@@ -1,0 +1,65 @@
+// Extended baseline comparison: the paper's roster plus two more
+// bandit families from its related-work section — LinUCB (parametric
+// contextual model, Li et al. [20]) and Thompson sampling (posterior
+// randomization) — on the paper setup. Answers two questions the paper
+// leaves open: does a parametric context model beat the hypercube
+// partition on this workload, and does any constraint-unaware learner
+// approach LFSC's performance ratio? Scale with LFSC_BENCH_T /
+// LFSC_BENCH_SCNS.
+#include <iostream>
+
+#include "baselines/linucb.h"
+#include "baselines/thompson.h"
+#include "common/csv.h"
+#include "fig_common.h"
+
+int main() {
+  using namespace lfsc;
+  using namespace lfsc::bench;
+
+  const int horizon = env_int("LFSC_BENCH_T", 6000);
+  const int scns = env_int("LFSC_BENCH_SCNS", 30);
+
+  PaperSetup setup;
+  setup.set_num_scns(scns);
+  setup.set_horizon(static_cast<std::size_t>(horizon));
+  auto sim = setup.make_simulator();
+  auto owned = make_paper_policies(setup);
+  LinUcbPolicy linucb(setup.net);
+  ThompsonPolicy thompson(setup.net);
+  auto policies = policy_pointers(owned);
+  policies.push_back(&linucb);
+  policies.push_back(&thompson);
+
+  std::cerr << "[bench] baseline zoo: " << policies.size() << " policies, "
+            << scns << " SCNs, T=" << horizon << "\n";
+  const auto result = run_experiment(sim, policies, {.horizon = horizon});
+
+  std::cout << "\n== extended baseline comparison (" << scns << " SCNs, T="
+            << horizon << ") ==\n";
+  Table table({"policy", "reward", "QoS viol", "res viol", "ratio",
+               "tail reward/slot"});
+  CsvWriter csv("baseline_zoo.csv");
+  csv.header({"policy", "reward", "qos", "res", "ratio", "tail_reward"});
+  const std::size_t tail = static_cast<std::size_t>(horizon) / 10;
+  for (const auto& rec : result.series) {
+    table.add_row({std::string(rec.name()), Table::num(rec.total_reward(), 1),
+                   Table::num(rec.total_qos_violation(), 1),
+                   Table::num(rec.total_resource_violation(), 1),
+                   Table::num(rec.final_performance_ratio(), 4),
+                   Table::num(rec.mean_reward_tail(tail), 2)});
+    csv.row({std::string(rec.name()), CsvWriter::format(rec.total_reward()),
+             CsvWriter::format(rec.total_qos_violation()),
+             CsvWriter::format(rec.total_resource_violation()),
+             CsvWriter::format(rec.final_performance_ratio()),
+             CsvWriter::format(rec.mean_reward_tail(tail))});
+  }
+  table.print(std::cout);
+  std::cout << "\nfull table -> baseline_zoo.csv\n"
+            << "\nreading: the ground truth is piecewise-constant per context "
+               "category, so the\nhypercube learners (vUCB/Thompson/FML) fit "
+               "it exactly in the limit while\nLinUCB's linear model is "
+               "misspecified; none of them touches LFSC's ratio\nbecause "
+               "none of them sees the constraints.\n";
+  return 0;
+}

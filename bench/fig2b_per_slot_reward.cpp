@@ -1,0 +1,69 @@
+// Figure 2(b): per-time-slot compound reward vs time.
+//
+// Paper shape to reproduce: LFSC's per-slot reward starts above the
+// Oracle's (it grabs high-reward tasks while still ignorant of the
+// constraints; the paper reports the crossover near t ~ 74), dips while
+// it learns, then converges to just below the Oracle. vUCB/FML stay
+// above both throughout; Random stays low.
+#include <iostream>
+
+#include "fig_common.h"
+
+int main() {
+  using namespace lfsc;
+  using namespace lfsc::bench;
+
+  const auto run = run_paper_experiment(/*default_horizon=*/10000);
+
+  // A light moving average (window 25) keeps the console series readable
+  // without hiding the early transient; the CSV holds the raw values.
+  std::vector<std::pair<std::string, std::vector<double>>> smoothed;
+  std::vector<std::pair<std::string, std::vector<double>>> raw;
+  for (const auto& rec : run.result.series) {
+    raw.emplace_back(rec.name(),
+                     std::vector<double>(rec.reward().begin(),
+                                         rec.reward().end()));
+    smoothed.emplace_back(rec.name(), smooth(rec.reward(), 25));
+  }
+  print_and_save_series("Fig 2(b): per-slot compound reward (smoothed w=25)",
+                        "fig2b.csv", raw, 20, 2);
+
+  // Early-stage detail: the paper highlights LFSC > Oracle in the first
+  // slots before learning kicks in.
+  const auto& lfsc = run.result.find("LFSC");
+  const auto& oracle = run.result.find("Oracle");
+  int crossover = -1;
+  for (std::size_t t = 0; t < lfsc.reward().size(); ++t) {
+    if (lfsc.reward()[t] < oracle.reward()[t]) {
+      crossover = static_cast<int>(t) + 1;
+      break;
+    }
+  }
+  double lfsc_early = 0.0, oracle_early = 0.0;
+  const std::size_t early_window =
+      std::min<std::size_t>(50, lfsc.reward().size());
+  for (std::size_t t = 0; t < early_window; ++t) {
+    lfsc_early += lfsc.reward()[t];
+    oracle_early += oracle.reward()[t];
+  }
+  std::cout << "\nearly-stage check (paper: LFSC above Oracle for the first "
+               "~74 slots):\n"
+            << "  mean reward, first " << early_window
+            << " slots: LFSC=" << Table::num(lfsc_early / early_window, 2)
+            << " Oracle=" << Table::num(oracle_early / early_window, 2)
+            << "\n  first slot with LFSC < Oracle: t=" << crossover << "\n";
+
+  std::cout << "\nconverged regime (last 10% of slots), mean per-slot "
+               "reward:\n";
+  Table table({"policy", "tail mean", "vs Oracle"});
+  const std::size_t tail = lfsc.slots() / 10;
+  const double oracle_tail = oracle.mean_reward_tail(tail);
+  for (const auto& rec : run.result.series) {
+    table.add_row(
+        {rec.name(), Table::num(rec.mean_reward_tail(tail), 2),
+         Table::num(100.0 * rec.mean_reward_tail(tail) / oracle_tail, 1) +
+             "%"});
+  }
+  table.print(std::cout);
+  return 0;
+}

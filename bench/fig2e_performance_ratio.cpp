@@ -1,0 +1,30 @@
+// Performance ratio over time (Sec. 5 metric): cumulative reward divided
+// by cumulative reward plus cumulative violations.
+//
+// Paper shape to reproduce: LFSC's ratio dominates every learning
+// baseline and approaches the Oracle's as t grows.
+#include <iostream>
+
+#include "fig_common.h"
+
+int main() {
+  using namespace lfsc;
+  using namespace lfsc::bench;
+
+  const auto run = run_paper_experiment(/*default_horizon=*/10000);
+
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+  for (const auto& rec : run.result.series) {
+    series.emplace_back(rec.name(), rec.performance_ratio());
+  }
+  print_and_save_series("performance ratio = reward / (reward + violations)",
+                        "fig2e.csv", series, 20, 4);
+
+  std::cout << "\nfinal ratios:\n";
+  Table table({"policy", "ratio"});
+  for (const auto& rec : run.result.series) {
+    table.add_row({rec.name(), Table::num(rec.final_performance_ratio(), 4)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Shared plumbing for the figure-reproduction binaries: run the paper
+// setup, print downsampled series as console tables, and emit CSVs.
+//
+// Every figure bench honors two environment variables so the full paper
+// scale (T=10000, 30 SCNs) can be dialed down on small machines:
+//   LFSC_BENCH_T      horizon override (default: per-bench)
+//   LFSC_BENCH_SCNS   SCN count override (default: 30)
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/table.h"
+#include "harness/paper_setup.h"
+#include "harness/runner.h"
+#include "harness/series_io.h"
+
+namespace lfsc::bench {
+
+struct FigureRun {
+  PaperSetup setup;
+  int horizon = 10000;
+  ExperimentResult result;
+};
+
+/// Applies env overrides to the canonical paper setup and runs the full
+/// policy roster once.
+inline FigureRun run_paper_experiment(int default_horizon,
+                                      std::uint64_t seed = 42) {
+  FigureRun run;
+  run.horizon = env_int("LFSC_BENCH_T", default_horizon);
+  const int scns = env_int("LFSC_BENCH_SCNS", 30);
+  run.setup.set_num_scns(scns);
+  run.setup.set_seed(seed);
+  run.setup.set_horizon(static_cast<std::size_t>(run.horizon));
+  auto sim = run.setup.make_simulator();
+  auto owned = make_paper_policies(run.setup);
+  auto policies = policy_pointers(owned);
+  std::cerr << "[bench] running paper setup: " << scns << " SCNs, T="
+            << run.horizon << "\n";
+  run.result = run_experiment(sim, policies, {.horizon = run.horizon});
+  return run;
+}
+
+/// Prints named series downsampled to ~`points` rows, one column per
+/// series, and writes the full-resolution CSV.
+inline void print_and_save_series(
+    const std::string& title, const std::string& csv_path,
+    const std::vector<std::pair<std::string, std::vector<double>>>& series,
+    std::size_t points = 20, int precision = 1) {
+  std::cout << "\n== " << title << " ==\n";
+  if (series.empty() || series.front().second.empty()) {
+    std::cout << "(no data)\n";
+    return;
+  }
+  std::vector<std::string> columns{"t"};
+  for (const auto& [name, values] : series) columns.push_back(name);
+  Table table(columns);
+  const auto indices =
+      downsample_indices(series.front().second.size(), points);
+  for (const auto idx : indices) {
+    std::vector<std::string> row{std::to_string(idx + 1)};
+    for (const auto& [name, values] : series) {
+      row.push_back(Table::num(values[idx], precision));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  const std::size_t stride =
+      series.front().second.size() > 2000
+          ? series.front().second.size() / 2000
+          : 1;
+  write_series_csv(csv_path, series, stride);
+  std::cout << "full series -> " << csv_path << "\n";
+}
+
+/// Centered moving average (window w) used for readable per-slot curves.
+inline std::vector<double> smooth(std::span<const double> xs, std::size_t w) {
+  std::vector<double> out(xs.size(), 0.0);
+  if (xs.empty()) return out;
+  double sum = 0.0;
+  std::size_t left = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sum += xs[i];
+    if (i >= w) {
+      sum -= xs[left];
+      ++left;
+    }
+    out[i] = sum / static_cast<double>(i - left + 1);
+  }
+  return out;
+}
+
+}  // namespace lfsc::bench

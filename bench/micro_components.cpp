@@ -1,0 +1,121 @@
+// Component micro-benchmarks (google-benchmark): the per-slot costs that
+// determine whether the MBS controller can run LFSC in real time —
+// probability calculation (Alg. 2), greedy assignment (Alg. 4), the
+// weight update (Alg. 3), slot generation, and the exact solvers used by
+// the oracle validation path.
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "bandit/exp3m.h"
+#include "bandit/partition.h"
+#include "common/rng.h"
+#include "harness/paper_setup.h"
+#include "lfsc/lfsc_policy.h"
+#include "metrics/metrics.h"
+#include "solver/greedy_assignment.h"
+#include "solver/min_cost_flow.h"
+
+namespace {
+
+using namespace lfsc;
+
+void BM_Exp3mProbabilities(benchmark::State& state) {
+  const auto num_arms = static_cast<std::size_t>(state.range(0));
+  RngStream rng(1);
+  std::vector<double> weights(num_arms);
+  for (auto& w : weights) w = std::exp(rng.uniform(-4.0, 4.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exp3m_probabilities(weights, 20, 0.05));
+  }
+}
+BENCHMARK(BM_Exp3mProbabilities)->Arg(35)->Arg(100)->Arg(1000);
+
+void BM_GreedyAssignment(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  RngStream rng(2);
+  std::vector<Edge> edges;
+  for (int m = 0; m < 30; ++m) {
+    for (int i = 0; i < tasks; ++i) {
+      if (rng.uniform() < 0.05) {
+        Edge e;
+        e.scn = m;
+        e.task = i;
+        e.local = i;
+        e.weight = rng.uniform();
+        edges.push_back(e);
+      }
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedy_select(30, tasks, 20, edges));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(edges.size()));
+}
+BENCHMARK(BM_GreedyAssignment)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_MaxWeightBMatching(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  RngStream rng(3);
+  std::vector<Edge> edges;
+  for (int m = 0; m < 10; ++m) {
+    for (int i = 0; i < tasks; ++i) {
+      if (rng.uniform() < 0.2) {
+        Edge e;
+        e.scn = m;
+        e.task = i;
+        e.local = i;
+        e.weight = rng.uniform();
+        edges.push_back(e);
+      }
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_weight_b_matching(10, tasks, 5, edges));
+  }
+}
+BENCHMARK(BM_MaxWeightBMatching)->Arg(100)->Arg(400);
+
+void BM_PartitionIndex(benchmark::State& state) {
+  HypercubePartition part(3, 3);
+  RngStream rng(4);
+  std::vector<std::array<double, 3>> contexts(1024);
+  for (auto& c : contexts) c = {rng.uniform(), rng.uniform(), rng.uniform()};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(part.index(contexts[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_PartitionIndex);
+
+void BM_SimulatorSlot(benchmark::State& state) {
+  PaperSetup s;
+  s.set_num_scns(static_cast<int>(state.range(0)));
+  auto sim = s.make_simulator();
+  int t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.generate_slot(++t));
+  }
+}
+BENCHMARK(BM_SimulatorSlot)->Arg(10)->Arg(30);
+
+void BM_LfscFullSlotStep(benchmark::State& state) {
+  PaperSetup s;
+  s.set_num_scns(static_cast<int>(state.range(0)));
+  auto sim = s.make_simulator();
+  LfscPolicy policy(s.net, s.lfsc);
+  int t = 0;
+  for (auto _ : state) {
+    const auto slot = sim.generate_slot(++t);
+    const auto assignment = policy.select(slot.info);
+    policy.observe(slot.info, assignment, make_feedback(slot, assignment));
+  }
+}
+BENCHMARK(BM_LfscFullSlotStep)->Arg(10)->Arg(30);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Extending the framework: implement your own offloading policy against
+// the Policy interface and benchmark it with the standard harness.
+//
+// The example policy is a simple epsilon-greedy learner over the same
+// context hypercubes LFSC uses — a realistic starting point for users
+// prototyping alternatives.
+//
+//   ./examples/custom_policy [T]
+#include <cstdlib>
+#include <iostream>
+#include <string_view>
+
+#include "bandit/estimators.h"
+#include "bandit/partition.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "harness/paper_setup.h"
+#include "harness/runner.h"
+#include "solver/greedy_assignment.h"
+
+namespace {
+
+using namespace lfsc;
+
+/// Epsilon-greedy over context hypercubes with greedy cross-SCN
+/// coordination. Everything a policy needs: select() from SlotInfo,
+/// learn in observe() from its own feedback only.
+class EpsilonGreedyPolicy final : public Policy {
+ public:
+  EpsilonGreedyPolicy(const NetworkConfig& net, double epsilon,
+                      std::uint64_t seed = 7)
+      : net_(net), epsilon_(epsilon), partition_(kContextDims, 3),
+        rng_(seed, 0xE9) {
+    for (int m = 0; m < net.num_scns; ++m) {
+      stats_.emplace_back(partition_.cell_count());
+    }
+  }
+
+  std::string_view name() const noexcept override { return "EpsGreedy"; }
+
+  Assignment select(const SlotInfo& info) override {
+    std::vector<Edge> edges;
+    for (std::size_t m = 0; m < info.coverage.size(); ++m) {
+      const auto& cover = info.coverage[m];
+      for (std::size_t j = 0; j < cover.size(); ++j) {
+        const auto& ctx =
+            info.tasks[static_cast<std::size_t>(cover[j])].context;
+        const auto& arm = stats_[m][partition_.index(ctx.normalized)];
+        Edge e;
+        e.scn = static_cast<int>(m);
+        e.task = cover[j];
+        e.local = static_cast<int>(j);
+        // With probability epsilon the edge gets a random key (explore);
+        // otherwise its empirical mean (exploit).
+        e.weight = rng_.bernoulli(epsilon_) ? rng_.uniform(0.0, 1.0)
+                                            : std::max(arm.mean_g, 1e-6);
+        edges.push_back(e);
+      }
+    }
+    return greedy_select(static_cast<int>(info.coverage.size()),
+                         static_cast<int>(info.tasks.size()), net_.capacity_c,
+                         edges);
+  }
+
+  void observe(const SlotInfo& info, const Assignment&,
+               const SlotFeedback& feedback) override {
+    for (std::size_t m = 0; m < feedback.per_scn.size(); ++m) {
+      for (const auto& f : feedback.per_scn[m]) {
+        const int task =
+            info.coverage[m][static_cast<std::size_t>(f.local_index)];
+        const auto& ctx = info.tasks[static_cast<std::size_t>(task)].context;
+        stats_[m][partition_.index(ctx.normalized)].add(f.compound(), f.v,
+                                                        f.q);
+      }
+    }
+  }
+
+ private:
+  NetworkConfig net_;
+  double epsilon_;
+  HypercubePartition partition_;
+  std::vector<ArmStatsTable> stats_;
+  RngStream rng_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int horizon = argc > 1 ? std::atoi(argv[1]) : 1000;
+  if (horizon <= 0) {
+    std::cerr << "usage: custom_policy [positive horizon T]\n";
+    return 1;
+  }
+
+  PaperSetup setup = small_setup();
+  setup.set_horizon(static_cast<std::size_t>(horizon));
+  auto sim = setup.make_simulator();
+
+  auto owned = make_paper_policies(setup);
+  EpsilonGreedyPolicy mine(setup.net, /*epsilon=*/0.1);
+  auto policies = policy_pointers(owned);
+  policies.push_back(&mine);
+
+  const auto result = run_experiment(sim, policies, {.horizon = horizon});
+
+  Table table({"policy", "total reward", "total violation", "ratio"});
+  for (const auto& series : result.series) {
+    table.add_row({std::string(series.name()),
+                   Table::num(series.total_reward(), 1),
+                   Table::num(series.total_violation(), 1),
+                   Table::num(series.final_performance_ratio(), 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nEpsGreedy ignores the constraints, so expect a reward "
+               "between Random and vUCB\nwith violations to match — the gap "
+               "to LFSC is the value of constraint-aware learning.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Geometric scenario: SCNs mounted on fixed street furniture across a
+// 6x6 km district, wireless devices moving by random waypoint, coverage
+// by radio range. Demonstrates the spatial coverage model (instead of the
+// paper's abstract |D_mt| ~ U[35,100] arrivals) and mmWave blockage.
+//
+//   ./examples/geometric_city [T]
+#include <cstdlib>
+#include <iostream>
+
+#include "baselines/oracle.h"
+#include "baselines/random_policy.h"
+#include "common/table.h"
+#include "harness/runner.h"
+#include "lfsc/lfsc_policy.h"
+#include "sim/simulator.h"
+
+int main(int argc, char** argv) {
+  using namespace lfsc;
+
+  const int horizon = argc > 1 ? std::atoi(argv[1]) : 400;
+  if (horizon <= 0) {
+    std::cerr << "usage: geometric_city [positive horizon T]\n";
+    return 1;
+  }
+
+  NetworkConfig net{.num_scns = 12,
+                    .capacity_c = 8,
+                    .qos_alpha = 4.0,
+                    .resource_beta = 11.0};
+
+  GeometricCoverageConfig geo;
+  geo.num_scns = net.num_scns;
+  geo.num_wds = 250;
+  geo.area_km = 6.0;
+  geo.coverage_radius_km = 1.6;
+  geo.wd_speed_km_per_slot = 0.08;
+  geo.task_probability = 0.7;
+
+  EnvironmentConfig env;
+  env.num_scns = net.num_scns;
+  env.blockage_prob = 0.15;  // mmWave blockage interrupts 15% of tasks
+  env.seed = 2026;
+
+  Simulator sim(net, env, std::make_unique<GeometricCoverage>(geo));
+
+  // Report the deployment so the scenario is inspectable.
+  const auto* coverage =
+      dynamic_cast<const GeometricCoverage*>(&sim.coverage());
+  std::cout << "deployment: " << geo.num_scns << " SCNs over "
+            << geo.area_km << "x" << geo.area_km << " km, radius "
+            << geo.coverage_radius_km << " km, " << geo.num_wds
+            << " devices, blockage " << env.blockage_prob * 100 << "%\n";
+  std::cout << "SCN positions (km):";
+  for (const auto& p : coverage->scn_positions()) {
+    std::cout << " (" << Table::num(p.x, 1) << "," << Table::num(p.y, 1)
+              << ")";
+  }
+  std::cout << "\n\n";
+
+  LfscConfig lfsc_config;
+  lfsc_config.horizon = static_cast<std::size_t>(horizon);
+  lfsc_config.expected_tasks_per_scn = 40;
+  OraclePolicy oracle(net);
+  LfscPolicy lfsc(net, lfsc_config);
+  RandomPolicy random(net);
+  Policy* policies[] = {&oracle, &lfsc, &random};
+
+  const auto result = run_experiment(sim, policies, {.horizon = horizon});
+
+  Table table({"policy", "total reward", "QoS viol", "res viol", "ratio"});
+  for (const auto& series : result.series) {
+    table.add_row({std::string(series.name()),
+                   Table::num(series.total_reward(), 1),
+                   Table::num(series.total_qos_violation(), 1),
+                   Table::num(series.total_resource_violation(), 1),
+                   Table::num(series.final_performance_ratio(), 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nnote: with mobile devices the per-SCN task mix drifts "
+               "every slot;\nLFSC's hypercube weights track contexts, not "
+               "device identities, so it\nremains applicable.\n";
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Hierarchical offloading: the paper's Sec. 3.3 / future-work scenario in
+// one runnable piece. Three tiers of the same workload:
+//
+//   1. LFSC alone               — tasks the SCNs skip are simply lost;
+//   2. LFSC + MBS fallback      — the macrocell absorbs skipped tasks at
+//                                 a latency discount (Sec. 3.3);
+//   3. Joint(LFSC+MBS) + MBS    — heavy, latency-tolerant tasks are
+//                                 pre-routed to the MBS so SCN capacity
+//                                 concentrates on latency-sensitive work
+//                                 (the paper's future-work proposal);
+//
+// plus persistent re-submission (tasks retry for a few slots before
+// giving up), reported as service-rate statistics.
+//
+//   ./examples/hierarchical_offloading [T]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.h"
+#include "extensions/joint_policy.h"
+#include "extensions/mbs.h"
+#include "extensions/persistent.h"
+#include "harness/paper_setup.h"
+#include "harness/runner.h"
+#include "lfsc/lfsc_policy.h"
+#include "metrics/metrics.h"
+
+int main(int argc, char** argv) {
+  using namespace lfsc;
+
+  const int horizon = argc > 1 ? std::atoi(argv[1]) : 800;
+  if (horizon <= 0) {
+    std::cerr << "usage: hierarchical_offloading [positive horizon T]\n";
+    return 1;
+  }
+
+  PaperSetup setup = small_setup();
+  setup.set_horizon(static_cast<std::size_t>(horizon));
+  const MbsConfig mbs{.capacity = 30, .reward_discount = 0.5};
+
+  struct TierResult {
+    std::string label;
+    double scn_reward = 0.0;
+    double mbs_reward = 0.0;
+    double violations = 0.0;
+    long unserved = 0;
+  };
+  std::vector<TierResult> tiers;
+
+  // Tier 1 & 2 share one run: the fallback is pure post-processing.
+  {
+    auto sim = setup.make_simulator();
+    LfscPolicy lfsc(setup.net, setup.lfsc);
+    TierResult t1{.label = "LFSC alone"};
+    TierResult t2{.label = "LFSC + MBS fallback"};
+    for (int t = 1; t <= horizon; ++t) {
+      const auto slot = sim.generate_slot(t);
+      const auto a = lfsc.select(slot.info);
+      const auto outcome = evaluate_slot(slot, a, setup.net);
+      const auto extra = evaluate_mbs_fallback(slot, a, mbs);
+      t1.scn_reward += outcome.reward;
+      t1.violations += outcome.qos_violation + outcome.resource_violation;
+      t1.unserved += extra.mbs_tasks + extra.unserved_tasks;
+      t2.scn_reward += outcome.reward;
+      t2.mbs_reward += extra.mbs_reward;
+      t2.violations = t1.violations;
+      t2.unserved += extra.unserved_tasks;
+      lfsc.observe(slot.info, a, make_feedback(slot, a));
+    }
+    tiers.push_back(t1);
+    tiers.push_back(t2);
+  }
+
+  // Tier 3: heavy latency-tolerant tasks pre-routed to the MBS.
+  {
+    auto sim = setup.make_simulator();
+    JointMbsPolicy joint(std::make_unique<LfscPolicy>(setup.net, setup.lfsc));
+    TierResult t3{.label = "Joint(LFSC+MBS) pre-routing"};
+    for (int t = 1; t <= horizon; ++t) {
+      const auto slot = sim.generate_slot(t);
+      const auto a = joint.select(slot.info);
+      const auto outcome = evaluate_slot(slot, a, setup.net);
+      const auto extra = evaluate_mbs_fallback(slot, a, mbs);
+      t3.scn_reward += outcome.reward;
+      t3.mbs_reward += extra.mbs_reward;
+      t3.violations += outcome.qos_violation + outcome.resource_violation;
+      t3.unserved += extra.unserved_tasks;
+      joint.observe(slot.info, a, make_feedback(slot, a));
+    }
+    tiers.push_back(t3);
+  }
+
+  std::cout << "hierarchical offloading, " << setup.net.num_scns
+            << " SCNs + 1 MBS (cap " << mbs.capacity << ", discount "
+            << mbs.reward_discount << "), T=" << horizon << "\n\n";
+  Table table({"tier", "SCN reward", "MBS reward", "system total",
+               "violations", "unserved"});
+  for (const auto& tier : tiers) {
+    table.add_row({tier.label, Table::num(tier.scn_reward, 1),
+                   Table::num(tier.mbs_reward, 1),
+                   Table::num(tier.scn_reward + tier.mbs_reward, 1),
+                   Table::num(tier.violations, 1),
+                   std::to_string(tier.unserved)});
+  }
+  table.print(std::cout);
+
+  // Persistence: how much service rate does patience buy? Run it on an
+  // under-loaded variant (demand straddles capacity) — in a saturated
+  // network throughput is capacity-bound and patience only shifts *which*
+  // tasks are served.
+  PaperSetup slack = setup;
+  slack.coverage.tasks_per_scn_min = 4;
+  slack.coverage.tasks_per_scn_max = 30;
+  std::cout << "\npersistent re-submission (Sec. 3.3), under-loaded "
+               "network:\n";
+  Table persistence({"patience", "served fraction", "mean wait (slots)",
+                     "expired", "peak backlog"});
+  for (const int patience : {0, 1, 3, 5}) {
+    auto sim = slack.make_simulator();
+    LfscPolicy lfsc(slack.net, slack.lfsc);
+    const auto run = run_persistent_experiment(
+        sim, lfsc, {.horizon = horizon}, {.max_patience = patience});
+    persistence.add_row({std::to_string(patience),
+                         Table::num(run.stats.served_fraction(), 3),
+                         Table::num(run.stats.mean_wait_slots, 2),
+                         std::to_string(run.stats.expired_tasks),
+                         std::to_string(run.stats.max_backlog)});
+  }
+  persistence.print(std::cout);
+  std::cout << "\ntakeaway: the MBS fallback tier turns skipped tasks into "
+               "revenue at a\nlatency discount. Pre-routing trades SCN reward "
+               "for MBS absorption — whether\nthat wins depends on the "
+               "discount and the share of heavy tasks. Patience\nconverts "
+               "unserved-but-covered tasks into (delayed) service when slack "
+               "slots\nexist; in a saturated network throughput stays "
+               "capacity-bound.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// mmWave campus: the physics-driven world. Completion likelihoods are
+// not configured — they emerge from 3GPP-style pathloss, log-normal
+// shadowing, beamforming gain, human-body blockage and the task's data
+// volume vs its airtime share; resource consumption comes from the edge
+// server compute model. LFSC learns the same way it does on the
+// table-driven environment, because all it ever sees is (context,
+// feedback).
+//
+//   ./examples/mmwave_campus [T]
+#include <cstdlib>
+#include <iostream>
+
+#include "baselines/oracle.h"
+#include "baselines/random_policy.h"
+#include "common/table.h"
+#include "harness/runner.h"
+#include "lfsc/lfsc_policy.h"
+#include "radio/radio_simulator.h"
+
+int main(int argc, char** argv) {
+  using namespace lfsc;
+
+  const int horizon = argc > 1 ? std::atoi(argv[1]) : 600;
+  if (horizon <= 0) {
+    std::cerr << "usage: mmwave_campus [positive horizon T]\n";
+    return 1;
+  }
+
+  NetworkConfig net{.num_scns = 10,
+                    .capacity_c = 8,
+                    .qos_alpha = 4.0,
+                    .resource_beta = 11.0};
+  RadioSimConfig config;
+  config.geometry.num_wds = 220;
+  config.geometry.area_km = 2.0;
+  config.seed = 2026;
+  RadioSimulator sim(net, config);
+
+  std::cout << "mmWave campus: " << net.num_scns << " SCNs at "
+            << config.pathloss.carrier_ghz << " GHz, "
+            << config.link.bandwidth_mhz << " MHz, "
+            << config.link.tx_antennas << "x" << config.link.rx_antennas
+            << " antennas, " << config.geometry.num_wds << " devices\n\n";
+
+  std::cout << "link budget vs distance (LoS, no shadowing):\n";
+  Table budget({"distance (m)", "rate (Mbit/s)",
+                "movable in airtime (Mbit)", "P(LoS)", "P(blockage)"});
+  for (const double d : {25.0, 100.0, 250.0, 500.0, 800.0}) {
+    const double rate = sim.nominal_rate_mbps(d);
+    budget.add_row({Table::num(d, 0), Table::num(rate, 0),
+                    Table::num(rate * config.airtime_per_task_s, 1),
+                    Table::num(los_probability(d), 2),
+                    Table::num(blockage_probability(d, config.link), 3)});
+  }
+  budget.print(std::cout);
+  std::cout << "(tasks carry 6-24 Mbit total, so cell-edge and blocked "
+               "links cannot finish them\n — this is the V heterogeneity "
+               "LFSC has to learn)\n\n";
+
+  OraclePolicy oracle(net);
+  LfscConfig lfsc_config;
+  lfsc_config.horizon = static_cast<std::size_t>(horizon);
+  lfsc_config.expected_tasks_per_scn = 40;
+  LfscPolicy lfsc(net, lfsc_config);
+  RandomPolicy random(net);
+  Policy* policies[] = {&oracle, &lfsc, &random};
+  const auto result = run_experiment(sim, policies, {.horizon = horizon});
+
+  Table table({"policy", "total reward", "QoS viol", "res viol", "ratio"});
+  for (const auto& rec : result.series) {
+    table.add_row({std::string(rec.name()),
+                   Table::num(rec.total_reward(), 1),
+                   Table::num(rec.total_qos_violation(), 1),
+                   Table::num(rec.total_resource_violation(), 1),
+                   Table::num(rec.final_performance_ratio(), 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nreading the numbers: LFSC never sees the geometry — it "
+               "learns per-(SCN,\ncontext) statistics only. That reliably "
+               "buys lower violations and a reward\nedge over Random (the "
+               "volume-vs-likelihood gradient is contextual), but most\nof "
+               "the Oracle's remaining margin is per-link randomness (LoS, "
+               "shadowing,\nblockage) that no contextual learner can see "
+               "before committing — an\ninstructive contrast to the "
+               "table-driven world, where context explains\nnearly "
+               "everything.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Quickstart: build the paper's small cell network, run LFSC against the
+// benchmark policies for a short horizon, and print the summary table.
+//
+//   ./examples/quickstart [T]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.h"
+#include "harness/paper_setup.h"
+#include "harness/runner.h"
+
+int main(int argc, char** argv) {
+  using namespace lfsc;
+
+  const int horizon = argc > 1 ? std::atoi(argv[1]) : 500;
+  if (horizon <= 0) {
+    std::cerr << "usage: quickstart [positive horizon T]\n";
+    return 1;
+  }
+
+  // The scaled-down network (6 SCNs) keeps this instant; swap in
+  // PaperSetup{} for the full 30-SCN evaluation configuration.
+  PaperSetup setup = small_setup();
+  setup.set_horizon(static_cast<std::size_t>(horizon));
+
+  std::cout << "Small cell network: " << setup.net.num_scns
+            << " SCNs, c=" << setup.net.capacity_c
+            << ", alpha=" << setup.net.qos_alpha
+            << ", beta=" << setup.net.resource_beta << ", T=" << horizon
+            << "\n\n";
+
+  auto sim = setup.make_simulator();
+  auto owned = make_paper_policies(setup);
+  auto policies = policy_pointers(owned);
+  const auto result = run_experiment(sim, policies, {.horizon = horizon});
+
+  Table table({"policy", "total reward", "QoS viol (1c)", "res viol (1d)",
+               "perf ratio"});
+  for (const auto& series : result.series) {
+    table.add_row({std::string(series.name()),
+                   Table::num(series.total_reward(), 1),
+                   Table::num(series.total_qos_violation(), 1),
+                   Table::num(series.total_resource_violation(), 1),
+                   Table::num(series.final_performance_ratio(), 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\ncompleted in " << Table::num(result.wall_seconds, 2)
+            << "s\n";
+  return 0;
+}

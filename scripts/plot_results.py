@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Plot the CSV series emitted by the bench binaries.
+
+Usage:
+    # run the benches first (they write CSVs to the working directory)
+    ./build/bench/fig2a_cumulative_reward
+    ./build/bench/fig3_alpha_sweep
+    python3 scripts/plot_results.py            # plots whatever CSVs exist
+    python3 scripts/plot_results.py --dir out  # read CSVs from ./out
+
+Produces one PNG next to each recognized CSV:
+    fig2a.csv -> fig2a.png   cumulative compound reward vs t
+    fig2b.csv -> fig2b.png   per-slot compound reward (smoothed)
+    fig2c.csv / fig2d.csv    cumulative violations of (1c)/(1d)
+    fig2e.csv -> fig2e.png   performance ratio vs t
+    fig3.csv  -> fig3.png    reward & QoS violation vs alpha (two panels)
+    fig4.csv  -> fig4.png    reward & violations per environment (bars)
+    ablation.csv             LFSC variant bars
+    replication.csv          mean ± CI bars
+
+Requires matplotlib (and nothing else). Missing files are skipped.
+"""
+
+import argparse
+import csv
+import os
+import sys
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:  # pragma: no cover
+    sys.exit("plot_results.py needs matplotlib: pip install matplotlib")
+
+POLICY_STYLE = {
+    "Oracle": {"color": "#222222", "linestyle": "--"},
+    "LFSC": {"color": "#d62728", "linewidth": 2.0},
+    "vUCB": {"color": "#1f77b4"},
+    "FML": {"color": "#2ca02c"},
+    "Random": {"color": "#9467bd"},
+    "LinUCB": {"color": "#8c564b"},
+    "Thompson": {"color": "#e377c2"},
+}
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        rows = list(csv.reader(handle))
+    if not rows:
+        raise ValueError(f"{path}: empty")
+    header, data = rows[0], rows[1:]
+    return header, data
+
+
+def floats(rows, col):
+    return [float(r[col]) for r in rows]
+
+
+def save(fig, path):
+    fig.tight_layout()
+    fig.savefig(path, dpi=150)
+    plt.close(fig)
+    print(f"wrote {path}")
+
+
+def plot_series(path, title, ylabel, smooth_window=0):
+    header, rows = read_csv(path)
+    t = floats(rows, 0)
+    fig, ax = plt.subplots(figsize=(7, 4.2))
+    for col, name in enumerate(header[1:], start=1):
+        ys = floats(rows, col)
+        if smooth_window > 1:
+            acc, out = 0.0, []
+            queue = []
+            for y in ys:
+                queue.append(y)
+                acc += y
+                if len(queue) > smooth_window:
+                    acc -= queue.pop(0)
+                out.append(acc / len(queue))
+            ys = out
+        ax.plot(t, ys, label=name, **POLICY_STYLE.get(name, {}))
+    ax.set_xlabel("time slot t")
+    ax.set_ylabel(ylabel)
+    ax.set_title(title)
+    ax.legend(fontsize=8)
+    ax.grid(alpha=0.3)
+    save(fig, os.path.splitext(path)[0] + ".png")
+
+
+def plot_fig3(path):
+    header, rows = read_csv(path)
+    alphas = floats(rows, 0)
+    policies = [h[: -len("_reward")] for h in header if h.endswith("_reward")]
+    fig, (left, right) = plt.subplots(1, 2, figsize=(10, 4.2))
+    for k, name in enumerate(policies):
+        style = POLICY_STYLE.get(name, {})
+        left.plot(alphas, floats(rows, 1 + k), marker="o", label=name, **style)
+        right.plot(alphas, floats(rows, 1 + len(policies) + k), marker="o",
+                   label=name, **style)
+    left.set_xlabel("alpha")
+    left.set_ylabel("total compound reward")
+    left.set_title("Fig 3 (left): reward vs alpha")
+    right.set_xlabel("alpha")
+    right.set_ylabel("total QoS violation (1c)")
+    right.set_title("Fig 3 (right): violation vs alpha")
+    for ax in (left, right):
+        ax.grid(alpha=0.3)
+        ax.legend(fontsize=8)
+    save(fig, os.path.splitext(path)[0] + ".png")
+
+
+def plot_fig4(path):
+    header, rows = read_csv(path)
+    envs = [r[0] for r in rows]
+    policies = [h[: -len("_reward")] for h in header if h.endswith("_reward")]
+    base = 4  # environment, lo, hi, blockage
+    fig, (top, bottom) = plt.subplots(2, 1, figsize=(9, 7))
+    width = 0.8 / len(policies)
+    xs = range(len(envs))
+    for k, name in enumerate(policies):
+        style = POLICY_STYLE.get(name, {})
+        offs = [x + (k - len(policies) / 2) * width for x in xs]
+        top.bar(offs, floats(rows, base + k), width=width, label=name,
+                color=style.get("color"))
+        bottom.bar(offs, floats(rows, base + len(policies) + k), width=width,
+                   label=name, color=style.get("color"))
+    for ax, label in ((top, "total reward"), (bottom, "total violations")):
+        ax.set_xticks(list(xs))
+        ax.set_xticklabels(envs, fontsize=7)
+        ax.set_ylabel(label)
+        ax.grid(alpha=0.3, axis="y")
+        ax.legend(fontsize=8)
+    top.set_title("Fig 4: channel environments")
+    save(fig, os.path.splitext(path)[0] + ".png")
+
+
+def plot_ablation(path):
+    header, rows = read_csv(path)
+    labels = [r[0] for r in rows]
+    fig, ax = plt.subplots(figsize=(9, 4.8))
+    xs = range(len(labels))
+    ax.bar(xs, [float(r[3]) for r in rows], color="#d62728")
+    ax.set_xticks(list(xs))
+    ax.set_xticklabels(labels, rotation=30, ha="right", fontsize=7)
+    ax.set_ylabel("performance ratio")
+    ax.set_title("LFSC design ablations")
+    ax.grid(alpha=0.3, axis="y")
+    save(fig, os.path.splitext(path)[0] + ".png")
+
+
+def plot_replication(path):
+    header, rows = read_csv(path)
+    labels = [r[0] for r in rows]
+    fig, ax = plt.subplots(figsize=(7, 4.2))
+    xs = range(len(labels))
+    means = [float(r[7]) for r in rows]  # ratio_mean
+    cis = [float(r[8]) for r in rows]
+    colors = [POLICY_STYLE.get(name, {}).get("color") for name in labels]
+    ax.bar(xs, means, yerr=cis, capsize=4, color=colors)
+    ax.set_xticks(list(xs))
+    ax.set_xticklabels(labels)
+    ax.set_ylabel("performance ratio (mean ± 95% CI)")
+    ax.set_title("Replicated summary across seeds")
+    ax.grid(alpha=0.3, axis="y")
+    save(fig, os.path.splitext(path)[0] + ".png")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", default=".", help="directory holding the CSVs")
+    args = parser.parse_args()
+    os.chdir(args.dir)
+
+    plotted = 0
+    handlers = [
+        ("fig2a.csv", lambda p: plot_series(
+            p, "Fig 2(a): cumulative compound reward", "cumulative reward")),
+        ("fig2b.csv", lambda p: plot_series(
+            p, "Fig 2(b): per-slot compound reward (smoothed w=50)",
+            "reward per slot", smooth_window=50)),
+        ("fig2c.csv", lambda p: plot_series(
+            p, "Fig 2(c): cumulative QoS violation (1c)",
+            "cumulative violation")),
+        ("fig2d.csv", lambda p: plot_series(
+            p, "Fig 2(d): cumulative resource violation (1d)",
+            "cumulative violation")),
+        ("fig2e.csv", lambda p: plot_series(
+            p, "Performance ratio", "reward / (reward + violations)")),
+        ("fig3.csv", plot_fig3),
+        ("fig4.csv", plot_fig4),
+        ("ablation.csv", plot_ablation),
+        ("replication.csv", plot_replication),
+    ]
+    for filename, handler in handlers:
+        if os.path.exists(filename):
+            try:
+                handler(filename)
+                plotted += 1
+            except Exception as error:  # keep going on malformed files
+                print(f"skipping {filename}: {error}", file=sys.stderr)
+    if plotted == 0:
+        print("no recognized CSVs found — run the bench binaries first",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+// Per-(SCN, hypercube) statistics.
+//
+// Two kinds of estimate coexist:
+//  * sample means of observed (g, v, q) — used by vUCB and FML, and by
+//    diagnostics;
+//  * inverse-propensity-weighted (IPW) slot estimates — used by LFSC's
+//    exponential weight update (Alg. 3 lines 2-8): for a task selected
+//    with probability p, x_hat = x * 1(selected) / p is unbiased.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace lfsc {
+
+/// Running sample means of the three observables for one arm
+/// (one hypercube at one SCN).
+struct ArmStats {
+  std::size_t pulls = 0;
+  double mean_g = 0.0;  ///< compound reward u*v/q
+  double mean_v = 0.0;  ///< completion likelihood
+  double mean_q = 0.0;  ///< resource consumption
+
+  void add(double g, double v, double q) noexcept {
+    ++pulls;
+    const double inv = 1.0 / static_cast<double>(pulls);
+    mean_g += (g - mean_g) * inv;
+    mean_v += (v - mean_v) * inv;
+    mean_q += (q - mean_q) * inv;
+  }
+
+  void reset() noexcept { *this = ArmStats{}; }
+};
+
+/// A table of ArmStats for all hypercubes of one SCN.
+class ArmStatsTable {
+ public:
+  explicit ArmStatsTable(std::size_t num_cells) : stats_(num_cells) {}
+
+  ArmStats& operator[](std::size_t cell) noexcept { return stats_[cell]; }
+  const ArmStats& operator[](std::size_t cell) const noexcept {
+    return stats_[cell];
+  }
+  std::size_t size() const noexcept { return stats_.size(); }
+
+  void reset() noexcept {
+    for (auto& s : stats_) s.reset();
+  }
+
+ private:
+  std::vector<ArmStats> stats_;
+};
+
+/// Accumulates one slot's IPW estimates per hypercube, then averages over
+/// the tasks that fell into each hypercube (Alg. 3 lines 6-8). Tasks that
+/// were not selected contribute 0 (their indicator is 0), which keeps the
+/// estimate unbiased.
+class IpwSlotAccumulator {
+ public:
+  explicit IpwSlotAccumulator(std::size_t num_cells)
+      : sum_g_(num_cells, 0.0),
+        sum_v_(num_cells, 0.0),
+        sum_q_(num_cells, 0.0),
+        count_(num_cells, 0) {}
+
+  /// Registers a task that fell into `cell` this slot. If it was selected
+  /// (probability `p` > 0) and processed with observations (g, v, q), the
+  /// IPW contributions are g/p, v/p, q/p; otherwise all contributions are 0.
+  void add_task(std::size_t cell, bool selected, double p, double g, double v,
+                double q) noexcept {
+    ++count_[cell];
+    if (selected && p > 0.0) {
+      sum_g_[cell] += g / p;
+      sum_v_[cell] += v / p;
+      sum_q_[cell] += q / p;
+    }
+  }
+
+  bool touched(std::size_t cell) const noexcept { return count_[cell] > 0; }
+
+  double estimate_g(std::size_t cell) const noexcept {
+    return count_[cell] > 0 ? sum_g_[cell] / static_cast<double>(count_[cell])
+                            : 0.0;
+  }
+  double estimate_v(std::size_t cell) const noexcept {
+    return count_[cell] > 0 ? sum_v_[cell] / static_cast<double>(count_[cell])
+                            : 0.0;
+  }
+  double estimate_q(std::size_t cell) const noexcept {
+    return count_[cell] > 0 ? sum_q_[cell] / static_cast<double>(count_[cell])
+                            : 0.0;
+  }
+
+  void reset() noexcept {
+    std::fill(sum_g_.begin(), sum_g_.end(), 0.0);
+    std::fill(sum_v_.begin(), sum_v_.end(), 0.0);
+    std::fill(sum_q_.begin(), sum_q_.end(), 0.0);
+    std::fill(count_.begin(), count_.end(), 0);
+  }
+
+  std::size_t size() const noexcept { return count_.size(); }
+
+ private:
+  std::vector<double> sum_g_;
+  std::vector<double> sum_v_;
+  std::vector<double> sum_q_;
+  std::vector<std::size_t> count_;
+};
+
+}  // namespace lfsc

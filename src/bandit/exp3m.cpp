@@ -1,0 +1,168 @@
+#include "bandit/exp3m.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace lfsc {
+
+CappedProbabilities exp3m_probabilities(std::span<const double> weights,
+                                        std::size_t k, double gamma) {
+  const std::size_t num_arms = weights.size();
+  if (k == 0) throw std::invalid_argument("exp3m: k must be >= 1");
+  if (gamma < 0.0 || gamma > 1.0) {
+    throw std::invalid_argument("exp3m: gamma must be in [0,1]");
+  }
+  for (const double w : weights) {
+    if (!(w > 0.0)) throw std::invalid_argument("exp3m: weights must be > 0");
+  }
+
+  CappedProbabilities out;
+  out.p.assign(num_arms, 0.0);
+  out.capped.assign(num_arms, false);
+  if (num_arms == 0) return out;
+
+  // Fewer arms than plays: every arm is selected with certainty.
+  if (num_arms <= k) {
+    std::fill(out.p.begin(), out.p.end(), 1.0);
+    out.capped.assign(num_arms, true);
+    out.weight_sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+    return out;
+  }
+
+  const auto K = static_cast<double>(num_arms);
+  const auto kd = static_cast<double>(k);
+
+  // gamma == 1 is pure exploration: uniform marginals k/K (< 1 here).
+  if (gamma >= 1.0) {
+    std::fill(out.p.begin(), out.p.end(), kd / K);
+    out.weight_sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+    return out;
+  }
+
+  // Target ratio from Alg. 2 line 6: an arm whose (capped) weight share
+  // reaches `rhs` has probability exactly 1.
+  const double rhs = (1.0 / kd - gamma / K) / (1.0 - gamma);
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+
+  double epsilon = 0.0;
+  std::size_t num_capped = 0;
+  const double max_weight = *std::max_element(weights.begin(), weights.end());
+  std::vector<double> sorted;
+  if (rhs > 0.0 && max_weight >= rhs * total) {
+    // Solve the fixed point epsilon / sum(w') = rhs by scanning candidate
+    // capped-set sizes over the weights sorted descending.
+    sorted.assign(weights.begin(), weights.end());
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    // Suffix sums: tail[s] = sum of sorted[s..K-1].
+    std::vector<double> tail(num_arms + 1, 0.0);
+    for (std::size_t i = num_arms; i-- > 0;) tail[i] = tail[i + 1] + sorted[i];
+    for (std::size_t s = 1; s < num_arms; ++s) {
+      const double denom = 1.0 - rhs * static_cast<double>(s);
+      if (denom <= 0.0) break;  // capping more arms cannot satisfy p <= 1
+      const double eps = rhs * tail[s] / denom;
+      // Consistency: exactly the s largest weights are >= eps.
+      if (sorted[s - 1] >= eps && sorted[s] < eps) {
+        epsilon = eps;
+        num_capped = s;
+        break;
+      }
+    }
+    // No consistent cut found means the weights are so concentrated that
+    // k arms tie at the cap; fall back to capping the top-k ties.
+    if (num_capped == 0) {
+      const double denom = 1.0 - rhs * kd;
+      epsilon = denom > 0.0 ? rhs * tail[k] / denom : sorted[k - 1];
+      num_capped = k;
+    }
+  }
+
+  double weight_sum = 0.0;
+  if (num_capped > 0) {
+    // Identify capped arms (weight >= epsilon), largest-first for ties.
+    // Arms are marked by value; exact ties beyond num_capped stay uncapped
+    // via a countdown to keep |S'| consistent with the fixed point.
+    std::size_t remaining = num_capped;
+    for (std::size_t i = 0; i < num_arms; ++i) {
+      if (remaining > 0 && weights[i] >= epsilon) {
+        out.capped[i] = true;
+        --remaining;
+        weight_sum += epsilon;
+      } else {
+        weight_sum += weights[i];
+      }
+    }
+  } else {
+    weight_sum = total;
+  }
+
+  for (std::size_t i = 0; i < num_arms; ++i) {
+    const double w = out.capped[i] ? epsilon : weights[i];
+    double p = kd * ((1.0 - gamma) * w / weight_sum + gamma / K);
+    out.p[i] = std::clamp(p, 0.0, 1.0);
+  }
+  out.epsilon = epsilon;
+  out.weight_sum = weight_sum;
+  return out;
+}
+
+double exp3m_default_gamma(std::size_t num_arms, std::size_t k,
+                           std::size_t horizon) noexcept {
+  if (num_arms == 0 || k == 0 || horizon == 0 || num_arms <= k) return 0.0;
+  const auto K = static_cast<double>(num_arms);
+  const auto kd = static_cast<double>(k);
+  const auto T = static_cast<double>(horizon);
+  const double value =
+      std::sqrt(K * std::log(K / kd) / ((std::exp(1.0) - 1.0) * kd * T));
+  return std::min(1.0, value);
+}
+
+std::vector<std::size_t> dep_round(std::vector<double> p, RngStream& stream) {
+  const std::size_t n = p.size();
+  constexpr double kTol = 1e-12;
+  for (const double value : p) {
+    if (value < -kTol || value > 1.0 + kTol) {
+      throw std::invalid_argument("dep_round: probabilities must be in [0,1]");
+    }
+  }
+  // Indices with fractional probability; pairs are repeatedly rounded
+  // against each other until at most one fractional index remains.
+  std::vector<std::size_t> fractional;
+  fractional.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (p[i] > kTol && p[i] < 1.0 - kTol) fractional.push_back(i);
+  }
+  while (fractional.size() >= 2) {
+    const std::size_t i = fractional[fractional.size() - 2];
+    const std::size_t j = fractional[fractional.size() - 1];
+    const double alpha = std::min(1.0 - p[i], p[j]);
+    const double beta = std::min(p[i], 1.0 - p[j]);
+    // Move probability mass between i and j, preserving the expectation
+    // and the total sum.
+    if (stream.uniform() < beta / (alpha + beta)) {
+      p[i] += alpha;
+      p[j] -= alpha;
+    } else {
+      p[i] -= beta;
+      p[j] += beta;
+    }
+    fractional.pop_back();
+    fractional.pop_back();
+    if (p[i] > kTol && p[i] < 1.0 - kTol) fractional.push_back(i);
+    if (p[j] > kTol && p[j] < 1.0 - kTol) fractional.push_back(j);
+  }
+  // A single residual fractional entry (sum p not integral) is resolved
+  // by a Bernoulli draw, preserving its marginal.
+  if (fractional.size() == 1) {
+    const std::size_t i = fractional.front();
+    p[i] = stream.bernoulli(p[i]) ? 1.0 : 0.0;
+  }
+  std::vector<std::size_t> selected;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (p[i] >= 1.0 - kTol) selected.push_back(i);
+  }
+  return selected;
+}
+
+}  // namespace lfsc

@@ -1,0 +1,49 @@
+// Exp3.M-style probability machinery (Alg. 2 of the paper; Uchiya et al.,
+// "Algorithms for adversarial bandit problems with multiple plays").
+//
+// Given per-arm weights w_i, a play budget k and exploration rate gamma,
+// computes marginal selection probabilities
+//     p_i = k * ((1-gamma) * w'_i / sum(w') + gamma / K)
+// where w' are the *capped* weights: when one weight would push p_i above
+// 1, a threshold epsilon_t is solved for (paper Alg. 2 lines 6-9), arms
+// with w_i >= epsilon_t form the capped set S' and their temporary weight
+// is clipped to epsilon_t — making their probability exactly 1.
+//
+// Also provides DepRound (dependent rounding) to sample a size-k subset
+// whose inclusion marginals match p, used by the single-SCN variant and
+// the no-coordination ablation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lfsc {
+
+struct CappedProbabilities {
+  std::vector<double> p;     ///< per-arm marginal probability, in [0,1]
+  std::vector<bool> capped;  ///< arm is in S' (probability clipped to 1)
+  double epsilon = 0.0;      ///< cap threshold; 0 when no capping occurred
+  double weight_sum = 0.0;   ///< sum of capped weights, sum(w')
+};
+
+/// Computes the capped probability vector. Requirements: all weights
+/// strictly positive, k >= 1, gamma in [0, 1].
+/// When the number of arms K <= k every arm gets p = 1 (and is marked
+/// capped: there is nothing to learn from a forced selection).
+CappedProbabilities exp3m_probabilities(std::span<const double> weights,
+                                        std::size_t k, double gamma);
+
+/// Theory-suggested exploration rate for Exp3.M:
+///   gamma = min(1, sqrt(K ln(K/k) / ((e-1) k T))).
+double exp3m_default_gamma(std::size_t num_arms, std::size_t k,
+                           std::size_t horizon) noexcept;
+
+/// Dependent rounding (Gandhi et al.): samples a subset S with |S| =
+/// round(sum p) such that P(i in S) = p_i exactly. Requires every
+/// p_i in [0,1]. Returns the selected indices in ascending order.
+std::vector<std::size_t> dep_round(std::vector<double> p, RngStream& stream);
+
+}  // namespace lfsc

@@ -1,0 +1,52 @@
+#include "bandit/partition.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace lfsc {
+
+HypercubePartition::HypercubePartition(std::size_t dims,
+                                       std::size_t parts_per_dim)
+    : dims_(dims), parts_(parts_per_dim) {
+  if (dims_ == 0 || parts_ == 0) {
+    throw std::invalid_argument("HypercubePartition: dims and h_T must be > 0");
+  }
+  cell_count_ = 1;
+  for (std::size_t d = 0; d < dims_; ++d) {
+    if (cell_count_ > std::numeric_limits<std::size_t>::max() / parts_) {
+      throw std::invalid_argument("HypercubePartition: h_T^D overflows");
+    }
+    cell_count_ *= parts_;
+  }
+}
+
+std::size_t HypercubePartition::index(
+    std::span<const double> context) const noexcept {
+  std::size_t idx = 0;
+  const std::size_t used = std::min(context.size(), dims_);
+  for (std::size_t d = 0; d < used; ++d) {
+    const double coord = std::clamp(context[d], 0.0, 1.0);
+    auto part = static_cast<std::size_t>(coord * static_cast<double>(parts_));
+    part = std::min(part, parts_ - 1);  // coord == 1.0 -> last cell
+    idx = idx * parts_ + part;
+  }
+  // Missing trailing dimensions (context shorter than dims) land in part 0.
+  for (std::size_t d = used; d < dims_; ++d) idx *= parts_;
+  return idx;
+}
+
+std::vector<double> HypercubePartition::cell_center(std::size_t index) const {
+  if (index >= cell_count_) {
+    throw std::out_of_range("HypercubePartition::cell_center: bad index");
+  }
+  std::vector<double> center(dims_);
+  for (std::size_t d = dims_; d-- > 0;) {
+    const std::size_t part = index % parts_;
+    index /= parts_;
+    center[d] = (static_cast<double>(part) + 0.5) / static_cast<double>(parts_);
+  }
+  return center;
+}
+
+}  // namespace lfsc

@@ -1,0 +1,43 @@
+// Uniform hypercube partition of the context space [0,1]^D (Alg. 1 init):
+// each dimension is split into h_T equal parts, giving h_T^D hypercubes.
+// Contexts map to cell indices in row-major order.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lfsc {
+
+class HypercubePartition {
+ public:
+  /// `dims` context dimensions, each split into `parts_per_dim` (h_T).
+  /// Throws std::invalid_argument on zero arguments or if h_T^D overflows.
+  HypercubePartition(std::size_t dims, std::size_t parts_per_dim);
+
+  std::size_t dims() const noexcept { return dims_; }
+  std::size_t parts_per_dim() const noexcept { return parts_; }
+
+  /// Total number of hypercubes, h_T^D.
+  std::size_t cell_count() const noexcept { return cell_count_; }
+
+  /// Index of the hypercube containing `context`. Coordinates are clamped
+  /// into [0,1]; the boundary 1.0 belongs to the last cell.
+  std::size_t index(std::span<const double> context) const noexcept;
+
+  /// Center coordinates of cell `index` (inverse of index(); for tests
+  /// and diagnostics).
+  std::vector<double> cell_center(std::size_t index) const;
+
+  /// Side length of each hypercube, 1/h_T.
+  double cell_side() const noexcept {
+    return 1.0 / static_cast<double>(parts_);
+  }
+
+ private:
+  std::size_t dims_;
+  std::size_t parts_;
+  std::size_t cell_count_;
+};
+
+}  // namespace lfsc

@@ -1,0 +1,21 @@
+// UCB1 index used by the vUCB baseline (Sec. 5):
+//   index_f(t) = mean_g_f + sqrt(2 ln t / N_f(t)),
+// with an infinite index for never-pulled hypercubes (forced exploration).
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+#include "bandit/estimators.h"
+
+namespace lfsc {
+
+/// Computes the UCB index for an arm at (1-based) slot t.
+inline double ucb_index(const ArmStats& stats, long t) noexcept {
+  if (stats.pulls == 0) return std::numeric_limits<double>::infinity();
+  const double bonus = std::sqrt(2.0 * std::log(static_cast<double>(t < 1 ? 1 : t)) /
+                                 static_cast<double>(stats.pulls));
+  return stats.mean_g + bonus;
+}
+
+}  // namespace lfsc

@@ -1,0 +1,80 @@
+#include "baselines/fml.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "solver/greedy_assignment.h"
+
+namespace lfsc {
+
+FmlPolicy::FmlPolicy(const NetworkConfig& net, FmlConfig config)
+    : net_(net),
+      config_(config),
+      partition_(config.context_dims, config.parts_per_dim) {
+  net_.validate();
+  stats_.reserve(static_cast<std::size_t>(net_.num_scns));
+  for (int m = 0; m < net_.num_scns; ++m) {
+    stats_.emplace_back(partition_.cell_count());
+  }
+}
+
+double FmlPolicy::exploration_threshold(long t) const noexcept {
+  const auto td = static_cast<double>(std::max<long>(1, t));
+  return config_.k1 * std::pow(td, config_.z) * std::log(td + 1.0);
+}
+
+Assignment FmlPolicy::select(const SlotInfo& info) {
+  ++slots_seen_;
+  const double threshold = exploration_threshold(slots_seen_);
+  // Exploration edges outrank all exploitation edges (mean g <= 1).
+  constexpr double kExploreWeight = 2.0;
+  std::vector<Edge> edges;
+  std::size_t total = 0;
+  for (const auto& cover : info.coverage) total += cover.size();
+  edges.reserve(total);
+  for (std::size_t m = 0; m < info.coverage.size(); ++m) {
+    const auto& cover = info.coverage[m];
+    const auto& table = stats_[m];
+    for (std::size_t j = 0; j < cover.size(); ++j) {
+      const auto& ctx = info.tasks[static_cast<std::size_t>(cover[j])].context;
+      const std::size_t cell = partition_.index(ctx.normalized);
+      const auto& arm = table[cell];
+      Edge e;
+      e.scn = static_cast<int>(m);
+      e.task = cover[j];
+      e.local = static_cast<int>(j);
+      e.weight = static_cast<double>(arm.pulls) < threshold ? kExploreWeight
+                                                            : arm.mean_g;
+      // Exploitation of a zero-mean arm would produce weight 0, which the
+      // greedy skips; nudge it so capacity is still used.
+      if (e.weight <= 0.0) e.weight = 1e-6;
+      edges.push_back(e);
+    }
+  }
+  return greedy_select(static_cast<int>(info.coverage.size()),
+                       static_cast<int>(info.tasks.size()), net_.capacity_c,
+                       edges);
+}
+
+void FmlPolicy::observe(const SlotInfo& info, const Assignment& assignment,
+                        const SlotFeedback& feedback) {
+  (void)assignment;
+  for (std::size_t m = 0; m < feedback.per_scn.size(); ++m) {
+    auto& table = stats_[m];
+    const auto& cover = info.coverage[m];
+    for (const auto& f : feedback.per_scn[m]) {
+      const auto& ctx =
+          info.tasks[static_cast<std::size_t>(
+                         cover[static_cast<std::size_t>(f.local_index)])]
+              .context;
+      table[partition_.index(ctx.normalized)].add(f.compound(), f.v, f.q);
+    }
+  }
+}
+
+void FmlPolicy::reset() {
+  for (auto& table : stats_) table.reset();
+  slots_seen_ = 0;
+}
+
+}  // namespace lfsc

@@ -1,0 +1,49 @@
+// FML baseline (Sec. 5): "Fast Machine Learning", a context-aware online
+// learner. Following the paper's description of its adaptation, each SCN
+// learns per-hypercube reward estimates with a forced-exploration phase
+// (hypercubes sampled fewer than ceil(K1 * t^z * ln t) times are explored
+// first), then exploits the empirical mean; Alg. 4's greedy handles the
+// multi-SCN coordination. Like vUCB it is constraint-unaware.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "bandit/estimators.h"
+#include "bandit/partition.h"
+#include "sim/policy.h"
+
+namespace lfsc {
+
+struct FmlConfig {
+  std::size_t context_dims = kContextDims;
+  std::size_t parts_per_dim = 3;
+
+  /// Exploration schedule: a hypercube is under-explored at slot t when
+  /// N_f < ceil(k1 * t^z * ln(t+1)).
+  double k1 = 0.25;
+  double z = 0.25;
+};
+
+class FmlPolicy final : public Policy {
+ public:
+  FmlPolicy(const NetworkConfig& net, FmlConfig config = {});
+
+  std::string_view name() const noexcept override { return "FML"; }
+  Assignment select(const SlotInfo& info) override;
+  void observe(const SlotInfo& info, const Assignment& assignment,
+               const SlotFeedback& feedback) override;
+  void reset() override;
+
+  /// Exploration threshold in force at slot t (exposed for tests).
+  double exploration_threshold(long t) const noexcept;
+
+ private:
+  NetworkConfig net_;
+  FmlConfig config_;
+  HypercubePartition partition_;
+  std::vector<ArmStatsTable> stats_;
+  long slots_seen_ = 0;
+};
+
+}  // namespace lfsc

@@ -1,0 +1,148 @@
+#include "baselines/linucb.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "solver/greedy_assignment.h"
+
+namespace lfsc {
+namespace {
+
+constexpr std::size_t kDim = LinUcbPolicy::kDim;
+
+/// Solves A x = rhs for symmetric positive-definite A (kDim x kDim,
+/// row-major) by Gaussian elimination with partial pivoting. A is small
+/// (4x4), so this runs in nanoseconds.
+std::array<double, kDim> solve(std::vector<double> a,
+                               std::array<double, kDim> rhs) {
+  for (std::size_t col = 0; col < kDim; ++col) {
+    // Pivot.
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < kDim; ++row) {
+      if (std::fabs(a[row * kDim + col]) > std::fabs(a[pivot * kDim + col])) {
+        pivot = row;
+      }
+    }
+    if (pivot != col) {
+      for (std::size_t k = 0; k < kDim; ++k) {
+        std::swap(a[col * kDim + k], a[pivot * kDim + k]);
+      }
+      std::swap(rhs[col], rhs[pivot]);
+    }
+    const double diag = a[col * kDim + col];
+    for (std::size_t row = col + 1; row < kDim; ++row) {
+      const double factor = a[row * kDim + col] / diag;
+      if (factor == 0.0) continue;
+      for (std::size_t k = col; k < kDim; ++k) {
+        a[row * kDim + k] -= factor * a[col * kDim + k];
+      }
+      rhs[row] -= factor * rhs[col];
+    }
+  }
+  std::array<double, kDim> x{};
+  for (std::size_t row = kDim; row-- > 0;) {
+    double sum = rhs[row];
+    for (std::size_t k = row + 1; k < kDim; ++k) {
+      sum -= a[row * kDim + k] * x[k];
+    }
+    x[row] = sum / a[row * kDim + row];
+  }
+  return x;
+}
+
+}  // namespace
+
+LinUcbPolicy::ScnModel::ScnModel(double ridge)
+    : a(kDim * kDim, 0.0), b(kDim, 0.0) {
+  for (std::size_t i = 0; i < kDim; ++i) a[i * kDim + i] = ridge;
+}
+
+LinUcbPolicy::LinUcbPolicy(const NetworkConfig& net, LinUcbConfig config)
+    : net_(net), config_(config) {
+  net_.validate();
+  if (config_.ridge <= 0.0) {
+    throw std::invalid_argument("LinUcbPolicy: ridge must be positive");
+  }
+  models_.assign(static_cast<std::size_t>(net_.num_scns),
+                 ScnModel(config_.ridge));
+}
+
+std::array<double, LinUcbPolicy::kDim> LinUcbPolicy::features(
+    const TaskContext& ctx) noexcept {
+  std::array<double, kDim> x{};
+  x[0] = 1.0;
+  for (std::size_t d = 0; d < kContextDims; ++d) x[d + 1] = ctx.normalized[d];
+  return x;
+}
+
+std::vector<double> LinUcbPolicy::theta(int scn) const {
+  const auto& model = models_[static_cast<std::size_t>(scn)];
+  std::array<double, kDim> b{};
+  for (std::size_t i = 0; i < kDim; ++i) b[i] = model.b[i];
+  const auto t = solve(model.a, b);
+  return std::vector<double>(t.begin(), t.end());
+}
+
+Assignment LinUcbPolicy::select(const SlotInfo& info) {
+  std::vector<Edge> edges;
+  std::size_t total = 0;
+  for (const auto& cover : info.coverage) total += cover.size();
+  edges.reserve(total);
+  for (std::size_t m = 0; m < info.coverage.size(); ++m) {
+    const auto& model = models_[m];
+    // theta = A^-1 b, computed once per (SCN, slot).
+    std::array<double, kDim> b{};
+    for (std::size_t i = 0; i < kDim; ++i) b[i] = model.b[i];
+    const auto th = solve(model.a, b);
+    const auto& cover = info.coverage[m];
+    for (std::size_t j = 0; j < cover.size(); ++j) {
+      const auto x = features(
+          info.tasks[static_cast<std::size_t>(cover[j])].context);
+      double mean = 0.0;
+      for (std::size_t i = 0; i < kDim; ++i) mean += th[i] * x[i];
+      // Confidence width: sqrt(x^T A^{-1} x) via one solve.
+      const auto ainv_x = solve(model.a, x);
+      double quad = 0.0;
+      for (std::size_t i = 0; i < kDim; ++i) quad += x[i] * ainv_x[i];
+      Edge e;
+      e.scn = static_cast<int>(m);
+      e.task = cover[j];
+      e.local = static_cast<int>(j);
+      e.weight = mean + config_.alpha * std::sqrt(std::max(0.0, quad));
+      if (e.weight <= 0.0) e.weight = 1e-9;  // keep capacity usable
+      edges.push_back(e);
+    }
+  }
+  return greedy_select(static_cast<int>(info.coverage.size()),
+                       static_cast<int>(info.tasks.size()), net_.capacity_c,
+                       edges);
+}
+
+void LinUcbPolicy::observe(const SlotInfo& info, const Assignment& assignment,
+                           const SlotFeedback& feedback) {
+  (void)assignment;
+  for (std::size_t m = 0; m < feedback.per_scn.size(); ++m) {
+    auto& model = models_[m];
+    const auto& cover = info.coverage[m];
+    for (const auto& f : feedback.per_scn[m]) {
+      const auto x = features(
+          info.tasks[static_cast<std::size_t>(
+                         cover[static_cast<std::size_t>(f.local_index)])]
+              .context);
+      const double g = f.compound();
+      for (std::size_t i = 0; i < kDim; ++i) {
+        for (std::size_t k = 0; k < kDim; ++k) {
+          model.a[i * kDim + k] += x[i] * x[k];
+        }
+        model.b[i] += g * x[i];
+      }
+    }
+  }
+}
+
+void LinUcbPolicy::reset() {
+  models_.assign(static_cast<std::size_t>(net_.num_scns),
+                 ScnModel(config_.ridge));
+}
+
+}  // namespace lfsc

@@ -1,0 +1,60 @@
+// LinUCB baseline — the contextual linear bandit of Li et al. ("A
+// contextual-bandit approach to personalized news article recommendation",
+// cited as [20] in the paper's related work). Instead of partitioning the
+// context space, each SCN fits a ridge regression of the compound reward
+// on the context features x = [1, ctx...] and scores each task with the
+// optimistic index
+//     theta^T x + alpha * sqrt(x^T A^{-1} x),
+// where A is the regularized design matrix. Alg. 4's greedy handles the
+// multi-SCN coordination; like vUCB/FML it is constraint-unaware.
+//
+// Included to probe whether the hypercube partition (LFSC's choice) or a
+// parametric context model learns this workload faster — see
+// bench/baseline_zoo.
+#pragma once
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "sim/policy.h"
+
+namespace lfsc {
+
+struct LinUcbConfig {
+  double alpha = 0.6;   ///< exploration width multiplier
+  double ridge = 1.0;   ///< L2 regularization on the design matrix
+};
+
+class LinUcbPolicy final : public Policy {
+ public:
+  LinUcbPolicy(const NetworkConfig& net, LinUcbConfig config = {});
+
+  std::string_view name() const noexcept override { return "LinUCB"; }
+  Assignment select(const SlotInfo& info) override;
+  void observe(const SlotInfo& info, const Assignment& assignment,
+               const SlotFeedback& feedback) override;
+  void reset() override;
+
+  /// Feature dimension (1 bias + kContextDims).
+  static constexpr std::size_t kDim = 1 + kContextDims;
+
+  /// Current ridge estimate theta for SCN m (for tests).
+  std::vector<double> theta(int scn) const;
+
+ private:
+  struct ScnModel {
+    // A is kDim x kDim row-major; b is kDim. theta is recomputed lazily.
+    std::vector<double> a;
+    std::vector<double> b;
+    explicit ScnModel(double ridge);
+  };
+
+  static std::array<double, kDim> features(const TaskContext& ctx) noexcept;
+
+  NetworkConfig net_;
+  LinUcbConfig config_;
+  std::vector<ScnModel> models_;
+};
+
+}  // namespace lfsc

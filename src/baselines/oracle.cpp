@@ -1,0 +1,163 @@
+#include "baselines/oracle.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "solver/bipartite.h"
+
+namespace lfsc {
+
+OraclePolicy::OraclePolicy(const NetworkConfig& net, OracleConfig config)
+    : net_(net), config_(config) {
+  net_.validate();
+}
+
+Assignment OraclePolicy::select(const SlotInfo& info) {
+  Assignment empty;
+  empty.selected.assign(info.coverage.size(), {});
+  return empty;
+}
+
+Assignment OraclePolicy::select_omniscient(const Slot& slot) {
+  const auto& info = slot.info;
+  const auto& real = slot.real;
+  const std::size_t num_scns = info.coverage.size();
+
+  // Candidate edges weighted by the realized compound reward g = u*v/q.
+  struct Candidate {
+    int scn;
+    int local;
+    int task;
+    double g;
+    double v;
+    double q;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t m = 0; m < num_scns; ++m) {
+    const auto& cover = info.coverage[m];
+    for (std::size_t j = 0; j < cover.size(); ++j) {
+      const double q = real.q[m][j];
+      const double g = q > 0.0 ? real.u[m][j] * real.v[m][j] / q : 0.0;
+      candidates.push_back({static_cast<int>(m), static_cast<int>(j),
+                            cover[j], g, real.v[m][j], q});
+    }
+  }
+
+  Assignment out;
+  out.selected.assign(num_scns, {});
+  std::vector<int> load(num_scns, 0);
+  std::vector<double> used(num_scns, 0.0);
+  std::vector<double> completed(num_scns, 0.0);
+  std::vector<bool> taken(info.tasks.size(), false);
+
+  const auto try_take = [&](const Candidate& c) {
+    const auto m = static_cast<std::size_t>(c.scn);
+    if (load[m] >= net_.capacity_c) return false;
+    if (taken[static_cast<std::size_t>(c.task)]) return false;
+    if (config_.respect_resource && used[m] + c.q > net_.resource_beta) {
+      return false;
+    }
+    out.selected[m].push_back(c.local);
+    taken[static_cast<std::size_t>(c.task)] = true;
+    ++load[m];
+    used[m] += c.q;
+    completed[m] += c.v;
+    return true;
+  };
+
+  // Pass 1: reward-greedy under the hard constraints.
+  std::vector<std::size_t> order(candidates.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (candidates[a].g != candidates[b].g) {
+      return candidates[a].g > candidates[b].g;
+    }
+    if (candidates[a].scn != candidates[b].scn) {
+      return candidates[a].scn < candidates[b].scn;
+    }
+    return candidates[a].task < candidates[b].task;
+  });
+  for (const auto idx : order) {
+    if (candidates[idx].g <= 0.0) break;
+    try_take(candidates[idx]);
+  }
+
+  // Pass 2 (QoS repair): SCNs short of alpha first add remaining tasks in
+  // decreasing completion likelihood (cheap when capacity/resource room
+  // exists), then swap low-likelihood selections for higher-likelihood
+  // spares — pass 1 usually fills every slot, so swaps do the real work.
+  if (config_.repair_qos) {
+    std::vector<std::size_t> by_v = order;
+    std::sort(by_v.begin(), by_v.end(), [&](std::size_t a, std::size_t b) {
+      if (candidates[a].v != candidates[b].v) {
+        return candidates[a].v > candidates[b].v;
+      }
+      return candidates[a].task < candidates[b].task;
+    });
+    for (const auto idx : by_v) {
+      const auto m = static_cast<std::size_t>(candidates[idx].scn);
+      if (completed[m] >= net_.qos_alpha) continue;
+      try_take(candidates[idx]);
+    }
+
+    // Swap phase. For each SCN still short: replace its lowest-v selected
+    // task with the highest-v unselected spare, as long as that raises
+    // total completions and keeps the resource cap.
+    for (std::size_t m = 0; m < num_scns; ++m) {
+      if (completed[m] >= net_.qos_alpha) continue;
+      // Index candidates of this SCN by local slot for O(1) lookup.
+      std::vector<std::size_t> mine;
+      for (std::size_t idx = 0; idx < candidates.size(); ++idx) {
+        if (candidates[idx].scn == static_cast<int>(m)) mine.push_back(idx);
+      }
+      const auto is_selected = [&](const Candidate& c) {
+        return std::find(out.selected[m].begin(), out.selected[m].end(),
+                         c.local) != out.selected[m].end();
+      };
+      bool improved = true;
+      while (completed[m] < net_.qos_alpha && improved) {
+        improved = false;
+        // Lowest-v currently selected at m.
+        std::size_t worst = candidates.size();
+        for (const auto idx : mine) {
+          if (!is_selected(candidates[idx])) continue;
+          if (worst == candidates.size() ||
+              candidates[idx].v < candidates[worst].v) {
+            worst = idx;
+          }
+        }
+        if (worst == candidates.size()) break;
+        // Best-v spare that fits after removing `worst`.
+        std::size_t best = candidates.size();
+        for (const auto idx : mine) {
+          const auto& c = candidates[idx];
+          if (is_selected(c) || taken[static_cast<std::size_t>(c.task)]) {
+            continue;
+          }
+          if (config_.respect_resource &&
+              used[m] - candidates[worst].q + c.q > net_.resource_beta) {
+            continue;
+          }
+          if (best == candidates.size() || c.v > candidates[best].v) best = idx;
+        }
+        if (best == candidates.size() ||
+            candidates[best].v <= candidates[worst].v) {
+          break;  // no swap raises completions
+        }
+        // Execute the swap.
+        auto& sel = out.selected[m];
+        sel.erase(std::find(sel.begin(), sel.end(), candidates[worst].local));
+        taken[static_cast<std::size_t>(candidates[worst].task)] = false;
+        used[m] -= candidates[worst].q;
+        completed[m] -= candidates[worst].v;
+        --load[m];
+        improved = try_take(candidates[best]);
+      }
+    }
+  }
+
+  for (auto& s : out.selected) std::sort(s.begin(), s.end());
+  return out;
+}
+
+}  // namespace lfsc

@@ -1,0 +1,45 @@
+// Oracle baseline (Sec. 5): full a-priori knowledge of the slot's
+// realizations; makes the best offloading decision under the system
+// constraints and upper-bounds every learning algorithm.
+//
+// Per slot it runs a constrained greedy (reward-ordered, respecting
+// capacity c, task uniqueness and the resource cap beta) followed by a
+// QoS repair pass that adds high-likelihood tasks to SCNs whose expected
+// completions fall short of alpha. tests/test_oracle.cpp cross-checks the
+// greedy against the exact branch-and-bound solver on small instances.
+#pragma once
+
+#include <string_view>
+
+#include "sim/policy.h"
+
+namespace lfsc {
+
+struct OracleConfig {
+  /// When false, skips the QoS repair pass (pure reward maximization
+  /// under (1a), (1b), (1d)); used when comparing against solve_exact.
+  bool repair_qos = true;
+
+  /// When false, ignores the resource cap too (pure (1a)+(1b) matching).
+  bool respect_resource = true;
+};
+
+class OraclePolicy final : public Policy {
+ public:
+  explicit OraclePolicy(const NetworkConfig& net, OracleConfig config = {});
+
+  std::string_view name() const noexcept override { return "Oracle"; }
+  bool needs_realizations() const noexcept override { return true; }
+
+  /// Never called by the harness for an omniscient policy; returns an
+  /// empty assignment to satisfy the interface.
+  Assignment select(const SlotInfo& info) override;
+
+  Assignment select_omniscient(const Slot& slot) override;
+
+ private:
+  NetworkConfig net_;
+  OracleConfig config_;
+};
+
+}  // namespace lfsc

@@ -1,0 +1,37 @@
+#include "baselines/random_policy.h"
+
+#include "solver/greedy_assignment.h"
+
+namespace lfsc {
+
+RandomPolicy::RandomPolicy(const NetworkConfig& net, std::uint64_t seed)
+    : net_(net), seed_(seed), rng_(seed, 0xA11CE) {
+  net_.validate();
+}
+
+Assignment RandomPolicy::select(const SlotInfo& info) {
+  std::vector<Edge> edges;
+  std::size_t total = 0;
+  for (const auto& cover : info.coverage) total += cover.size();
+  edges.reserve(total);
+  for (std::size_t m = 0; m < info.coverage.size(); ++m) {
+    const auto& cover = info.coverage[m];
+    for (std::size_t j = 0; j < cover.size(); ++j) {
+      Edge e;
+      e.scn = static_cast<int>(m);
+      e.task = cover[j];
+      e.local = static_cast<int>(j);
+      // Uniform keys: the greedy's descending sweep yields a uniformly
+      // random conflict-free assignment filling every SCN to capacity.
+      e.weight = rng_.uniform(1e-9, 1.0);
+      edges.push_back(e);
+    }
+  }
+  return greedy_select(static_cast<int>(info.coverage.size()),
+                       static_cast<int>(info.tasks.size()), net_.capacity_c,
+                       edges);
+}
+
+void RandomPolicy::reset() { rng_ = RngStream(seed_, 0xA11CE); }
+
+}  // namespace lfsc

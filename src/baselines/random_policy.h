@@ -1,0 +1,28 @@
+// Random baseline (Sec. 5): picks c tasks per SCN uniformly at random,
+// never offloading a task twice. Implemented as Alg. 4's greedy on
+// uniform random edge weights, which is exactly a random conflict-free
+// assignment.
+#pragma once
+
+#include <string_view>
+
+#include "common/rng.h"
+#include "sim/policy.h"
+
+namespace lfsc {
+
+class RandomPolicy final : public Policy {
+ public:
+  explicit RandomPolicy(const NetworkConfig& net, std::uint64_t seed = 99);
+
+  std::string_view name() const noexcept override { return "Random"; }
+  Assignment select(const SlotInfo& info) override;
+  void reset() override;
+
+ private:
+  NetworkConfig net_;
+  std::uint64_t seed_;
+  RngStream rng_;
+};
+
+}  // namespace lfsc

@@ -1,0 +1,74 @@
+#include "baselines/thompson.h"
+
+#include <cmath>
+
+#include "solver/greedy_assignment.h"
+
+namespace lfsc {
+
+ThompsonPolicy::ThompsonPolicy(const NetworkConfig& net, ThompsonConfig config)
+    : net_(net),
+      config_(config),
+      partition_(config.context_dims, config.parts_per_dim),
+      rng_(config.seed, 0x7503) {
+  net_.validate();
+  stats_.reserve(static_cast<std::size_t>(net_.num_scns));
+  for (int m = 0; m < net_.num_scns; ++m) {
+    stats_.emplace_back(partition_.cell_count());
+  }
+}
+
+Assignment ThompsonPolicy::select(const SlotInfo& info) {
+  std::vector<Edge> edges;
+  std::size_t total = 0;
+  for (const auto& cover : info.coverage) total += cover.size();
+  edges.reserve(total);
+  // One posterior draw per (SCN, cube) per slot; tasks share their
+  // cube's draw so coordination compares cubes, not noise.
+  std::vector<double> sampled(partition_.cell_count());
+  for (std::size_t m = 0; m < info.coverage.size(); ++m) {
+    const auto& table = stats_[m];
+    for (std::size_t cell = 0; cell < sampled.size(); ++cell) {
+      const auto& arm = table[cell];
+      const double scale =
+          config_.sigma0 / std::sqrt(static_cast<double>(arm.pulls + 1));
+      sampled[cell] = rng_.normal(arm.mean_g, scale);
+    }
+    const auto& cover = info.coverage[m];
+    for (std::size_t j = 0; j < cover.size(); ++j) {
+      const auto& ctx = info.tasks[static_cast<std::size_t>(cover[j])].context;
+      Edge e;
+      e.scn = static_cast<int>(m);
+      e.task = cover[j];
+      e.local = static_cast<int>(j);
+      e.weight = std::max(1e-9, sampled[partition_.index(ctx.normalized)]);
+      edges.push_back(e);
+    }
+  }
+  return greedy_select(static_cast<int>(info.coverage.size()),
+                       static_cast<int>(info.tasks.size()), net_.capacity_c,
+                       edges);
+}
+
+void ThompsonPolicy::observe(const SlotInfo& info, const Assignment& assignment,
+                             const SlotFeedback& feedback) {
+  (void)assignment;
+  for (std::size_t m = 0; m < feedback.per_scn.size(); ++m) {
+    auto& table = stats_[m];
+    const auto& cover = info.coverage[m];
+    for (const auto& f : feedback.per_scn[m]) {
+      const auto& ctx =
+          info.tasks[static_cast<std::size_t>(
+                         cover[static_cast<std::size_t>(f.local_index)])]
+              .context;
+      table[partition_.index(ctx.normalized)].add(f.compound(), f.v, f.q);
+    }
+  }
+}
+
+void ThompsonPolicy::reset() {
+  for (auto& table : stats_) table.reset();
+  rng_ = RngStream(config_.seed, 0x7503);
+}
+
+}  // namespace lfsc

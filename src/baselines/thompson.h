@@ -1,0 +1,45 @@
+// Thompson sampling baseline: Gaussian posterior sampling over the same
+// per-(SCN, hypercube) arms LFSC uses. Each slot, every hypercube's
+// index is a draw from N(mean_g, sigma0^2 / (pulls + 1)); tasks inherit
+// their cube's sampled index and Alg. 4's greedy coordinates the SCNs.
+// Randomized exploration without confidence bounds — the classic
+// alternative to UCB, included for the baseline_zoo comparison.
+// Constraint-unaware like vUCB/FML.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "bandit/estimators.h"
+#include "bandit/partition.h"
+#include "common/rng.h"
+#include "sim/policy.h"
+
+namespace lfsc {
+
+struct ThompsonConfig {
+  std::size_t context_dims = kContextDims;
+  std::size_t parts_per_dim = 3;
+  double sigma0 = 0.5;  ///< prior scale of the sampling noise
+  std::uint64_t seed = 77;
+};
+
+class ThompsonPolicy final : public Policy {
+ public:
+  ThompsonPolicy(const NetworkConfig& net, ThompsonConfig config = {});
+
+  std::string_view name() const noexcept override { return "Thompson"; }
+  Assignment select(const SlotInfo& info) override;
+  void observe(const SlotInfo& info, const Assignment& assignment,
+               const SlotFeedback& feedback) override;
+  void reset() override;
+
+ private:
+  NetworkConfig net_;
+  ThompsonConfig config_;
+  HypercubePartition partition_;
+  std::vector<ArmStatsTable> stats_;
+  RngStream rng_;
+};
+
+}  // namespace lfsc

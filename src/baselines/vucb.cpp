@@ -1,0 +1,78 @@
+#include "baselines/vucb.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "bandit/ucb.h"
+#include "solver/greedy_assignment.h"
+
+namespace lfsc {
+
+VucbPolicy::VucbPolicy(const NetworkConfig& net, VucbConfig config)
+    : net_(net),
+      config_(config),
+      partition_(config.context_dims, config.parts_per_dim) {
+  net_.validate();
+  stats_.reserve(static_cast<std::size_t>(net_.num_scns));
+  for (int m = 0; m < net_.num_scns; ++m) {
+    stats_.emplace_back(partition_.cell_count());
+  }
+}
+
+Assignment VucbPolicy::select(const SlotInfo& info) {
+  ++slots_seen_;
+  // Greedy assignment cannot order +inf edges meaningfully, so unexplored
+  // hypercubes get a finite bonus above any realizable index
+  // (g <= 1, bonus <= sqrt(2 ln t)).
+  const double unexplored =
+      2.0 + std::sqrt(2.0 * std::log(static_cast<double>(
+                std::max<long>(2, slots_seen_))));
+  std::vector<Edge> edges;
+  std::size_t total = 0;
+  for (const auto& cover : info.coverage) total += cover.size();
+  edges.reserve(total);
+  for (std::size_t m = 0; m < info.coverage.size(); ++m) {
+    const auto& cover = info.coverage[m];
+    const auto& table = stats_[m];
+    for (std::size_t j = 0; j < cover.size(); ++j) {
+      const auto& ctx = info.tasks[static_cast<std::size_t>(cover[j])].context;
+      const std::size_t cell = partition_.index(ctx.normalized);
+      const double index = table[cell].pulls == 0
+                               ? unexplored
+                               : ucb_index(table[cell], slots_seen_);
+      Edge e;
+      e.scn = static_cast<int>(m);
+      e.task = cover[j];
+      e.local = static_cast<int>(j);
+      e.weight = index;
+      edges.push_back(e);
+    }
+  }
+  return greedy_select(static_cast<int>(info.coverage.size()),
+                       static_cast<int>(info.tasks.size()), net_.capacity_c,
+                       edges);
+}
+
+void VucbPolicy::observe(const SlotInfo& info, const Assignment& assignment,
+                         const SlotFeedback& feedback) {
+  (void)assignment;
+  for (std::size_t m = 0; m < feedback.per_scn.size(); ++m) {
+    auto& table = stats_[m];
+    const auto& cover = info.coverage[m];
+    for (const auto& f : feedback.per_scn[m]) {
+      const auto& ctx =
+          info.tasks[static_cast<std::size_t>(
+                         cover[static_cast<std::size_t>(f.local_index)])]
+              .context;
+      const std::size_t cell = partition_.index(ctx.normalized);
+      table[cell].add(f.compound(), f.v, f.q);
+    }
+  }
+}
+
+void VucbPolicy::reset() {
+  for (auto& table : stats_) table.reset();
+  slots_seen_ = 0;
+}
+
+}  // namespace lfsc

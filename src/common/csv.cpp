@@ -1,0 +1,85 @@
+#include "common/csv.h"
+
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+namespace lfsc {
+namespace {
+
+bool needs_quoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+std::string quote(std::string_view field) {
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+}
+
+void CsvWriter::header(std::initializer_list<std::string_view> columns) {
+  std::vector<std::string> fields;
+  fields.reserve(columns.size());
+  for (const auto c : columns) fields.emplace_back(c);
+  write_fields(fields);
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  write_fields(columns);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  write_fields(fields);
+}
+
+void CsvWriter::row_values(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (const double v : values) fields.push_back(format(v));
+  write_fields(fields);
+}
+
+void CsvWriter::labeled_row(std::string_view label,
+                            const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size() + 1);
+  fields.emplace_back(label);
+  for (const double v : values) fields.push_back(format(v));
+  write_fields(fields);
+}
+
+std::string CsvWriter::format(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf, ptr);
+}
+
+void CsvWriter::write_fields(const std::vector<std::string>& fields) {
+  bool first = true;
+  for (const auto& field : fields) {
+    if (!first) out_ << ',';
+    first = false;
+    out_ << (needs_quoting(field) ? quote(field) : field);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace lfsc

@@ -1,0 +1,48 @@
+// Minimal CSV emission for the benchmark harness: the figure benches write
+// one CSV per paper figure so the series can be re-plotted externally.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lfsc {
+
+/// Streams rows to a CSV file. Fields containing commas, quotes or
+/// newlines are quoted per RFC 4180. The file is flushed on destruction.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Throws std::runtime_error when
+  /// the file cannot be opened.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes the header row. Must be the first row written, if used.
+  void header(std::initializer_list<std::string_view> columns);
+  void header(const std::vector<std::string>& columns);
+
+  /// Appends a row of already-formatted fields.
+  void row(const std::vector<std::string>& fields);
+
+  /// Appends a row of doubles, formatted with round-trip precision.
+  void row_values(const std::vector<double>& values);
+
+  /// Appends a row whose first field is a label followed by doubles.
+  void labeled_row(std::string_view label, const std::vector<double>& values);
+
+  const std::string& path() const noexcept { return path_; }
+  std::size_t rows_written() const noexcept { return rows_; }
+
+  /// Formats a double with enough digits to round-trip.
+  static std::string format(double value);
+
+ private:
+  void write_fields(const std::vector<std::string>& fields);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace lfsc

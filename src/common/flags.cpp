@@ -1,0 +1,180 @@
+#include "common/flags.h"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+namespace lfsc {
+namespace {
+
+bool parse_bool(const std::string& text, bool& out) {
+  if (text == "true" || text == "1" || text == "yes" || text == "on") {
+    out = true;
+    return true;
+  }
+  if (text == "false" || text == "0" || text == "no" || text == "off") {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+FlagParser::FlagParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+FlagParser::Flag& FlagParser::register_flag(const std::string& name,
+                                            std::string help) {
+  if (name.empty()) throw std::invalid_argument("flag name must be non-empty");
+  auto [it, inserted] = flags_.emplace(name, Flag{});
+  if (!inserted) throw std::invalid_argument("duplicate flag --" + name);
+  it->second.help = std::move(help);
+  return it->second;
+}
+
+int* FlagParser::add_int(const std::string& name, int default_value,
+                         const std::string& help) {
+  auto& flag = register_flag(name, help);
+  ints_.push_back(std::make_unique<int>(default_value));
+  flag.target = ints_.back().get();
+  flag.default_repr = std::to_string(default_value);
+  return ints_.back().get();
+}
+
+double* FlagParser::add_double(const std::string& name, double default_value,
+                               const std::string& help) {
+  auto& flag = register_flag(name, help);
+  doubles_.push_back(std::make_unique<double>(default_value));
+  flag.target = doubles_.back().get();
+  std::ostringstream os;
+  os << default_value;
+  flag.default_repr = os.str();
+  return doubles_.back().get();
+}
+
+std::string* FlagParser::add_string(const std::string& name,
+                                    std::string default_value,
+                                    const std::string& help) {
+  auto& flag = register_flag(name, help);
+  strings_.push_back(std::make_unique<std::string>(std::move(default_value)));
+  flag.target = strings_.back().get();
+  flag.default_repr = *strings_.back();
+  return strings_.back().get();
+}
+
+bool* FlagParser::add_bool(const std::string& name, bool default_value,
+                           const std::string& help) {
+  auto& flag = register_flag(name, help);
+  bools_.push_back(std::make_unique<bool>(default_value));
+  flag.target = bools_.back().get();
+  flag.default_repr = default_value ? "true" : "false";
+  return bools_.back().get();
+}
+
+bool FlagParser::assign(Flag& flag, const std::string& value,
+                        std::ostream& err, const std::string& name) {
+  bool ok = true;
+  std::visit(
+      [&](auto* target) {
+        using T = std::remove_pointer_t<decltype(target)>;
+        if constexpr (std::is_same_v<T, int>) {
+          const auto [ptr, ec] = std::from_chars(
+              value.data(), value.data() + value.size(), *target);
+          ok = ec == std::errc{} && ptr == value.data() + value.size();
+        } else if constexpr (std::is_same_v<T, double>) {
+          try {
+            std::size_t pos = 0;
+            *target = std::stod(value, &pos);
+            ok = pos == value.size();
+          } catch (const std::exception&) {
+            ok = false;
+          }
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          *target = value;
+        } else {  // bool
+          ok = parse_bool(value, *target);
+        }
+      },
+      flag.target);
+  if (!ok) {
+    err << program_ << ": invalid value '" << value << "' for --" << name
+        << "\n";
+  }
+  return ok;
+}
+
+FlagParser::Result FlagParser::parse(int argc, const char* const* argv,
+                                     std::ostream& err) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      err << usage();
+      return Result::kHelp;
+    }
+    if (arg.rfind("--", 0) != 0 || arg.size() == 2) {
+      err << program_ << ": unexpected argument '" << arg << "'\n";
+      return Result::kError;
+    }
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      err << program_ << ": unknown flag --" << name << "\n" << usage();
+      return Result::kError;
+    }
+    Flag& flag = it->second;
+    const bool is_bool = std::holds_alternative<bool*>(flag.target);
+    if (!has_value) {
+      if (is_bool) {
+        // `--name` alone means true, unless the next token is an explicit
+        // boolean literal.
+        if (i + 1 < argc) {
+          bool parsed = false;
+          if (parse_bool(argv[i + 1], parsed)) {
+            *std::get<bool*>(flag.target) = parsed;
+            ++i;
+            flag.provided = true;
+            continue;
+          }
+        }
+        *std::get<bool*>(flag.target) = true;
+        flag.provided = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        err << program_ << ": flag --" << name << " expects a value\n";
+        return Result::kError;
+      }
+      value = argv[++i];
+    }
+    if (!assign(flag, value, err, name)) return Result::kError;
+    flag.provided = true;
+  }
+  return Result::kOk;
+}
+
+std::string FlagParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nflags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << "  " << flag.help << " (default: "
+       << flag.default_repr << ")\n";
+  }
+  os << "  --help  show this message\n";
+  return os.str();
+}
+
+bool FlagParser::provided(const std::string& name) const {
+  const auto it = flags_.find(name);
+  return it != flags_.end() && it->second.provided;
+}
+
+}  // namespace lfsc

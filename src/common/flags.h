@@ -1,0 +1,67 @@
+// A small typed command-line flag parser for the CLI tools: supports
+// --name value and --name=value forms, typed defaults, --help generation,
+// and strict unknown-flag rejection. No global state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace lfsc {
+
+class FlagParser {
+ public:
+  FlagParser(std::string program, std::string description);
+
+  /// Registration: returns a stable pointer whose value parse() fills.
+  /// Names must be unique and non-empty.
+  int* add_int(const std::string& name, int default_value,
+               const std::string& help);
+  double* add_double(const std::string& name, double default_value,
+                     const std::string& help);
+  std::string* add_string(const std::string& name, std::string default_value,
+                          const std::string& help);
+  /// Boolean flags: `--name` sets true; `--name=false` / `--name false`
+  /// also accepted.
+  bool* add_bool(const std::string& name, bool default_value,
+                 const std::string& help);
+
+  enum class Result { kOk, kHelp, kError };
+
+  /// Parses argv (skipping argv[0]). On kError a message was written to
+  /// `err`; on kHelp the usage text was written to `err`.
+  Result parse(int argc, const char* const* argv, std::ostream& err);
+
+  /// The generated usage text.
+  std::string usage() const;
+
+  /// True when the user supplied the flag explicitly (vs default).
+  bool provided(const std::string& name) const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::variant<int*, double*, std::string*, bool*> target;
+    std::string default_repr;
+    bool provided = false;
+  };
+
+  Flag& register_flag(const std::string& name, std::string help);
+  bool assign(Flag& flag, const std::string& value, std::ostream& err,
+              const std::string& name);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  // Owned storage for registered values.
+  std::vector<std::unique_ptr<int>> ints_;
+  std::vector<std::unique_ptr<double>> doubles_;
+  std::vector<std::unique_ptr<std::string>> strings_;
+  std::vector<std::unique_ptr<bool>> bools_;
+};
+
+}  // namespace lfsc

@@ -1,0 +1,50 @@
+// Leveled logging with a global threshold. The harness logs progress at
+// Info; the figure benches raise the threshold so stdout stays a clean
+// table stream.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace lfsc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level (thread-safe; relaxed atomic).
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits `message` to stderr with a level tag when `level` passes the
+/// global threshold. Line-buffered; safe for concurrent callers.
+void log_message(LogLevel level, std::string_view message);
+
+namespace detail {
+
+/// Stream-style one-shot log line: `LogLine(kInfo) << "x=" << x;`
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) noexcept : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+#define LFSC_LOG_DEBUG ::lfsc::detail::LogLine(::lfsc::LogLevel::kDebug)
+#define LFSC_LOG_INFO ::lfsc::detail::LogLine(::lfsc::LogLevel::kInfo)
+#define LFSC_LOG_WARN ::lfsc::detail::LogLine(::lfsc::LogLevel::kWarn)
+#define LFSC_LOG_ERROR ::lfsc::detail::LogLine(::lfsc::LogLevel::kError)
+
+}  // namespace lfsc

@@ -1,0 +1,86 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+
+namespace lfsc {
+
+bool approx_equal(double a, double b, double tol) noexcept {
+  const double diff = std::fabs(a - b);
+  if (diff <= tol) return true;
+  return diff <= tol * std::max(std::fabs(a), std::fabs(b));
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t count) {
+  std::vector<double> out;
+  if (count == 0) return out;
+  out.reserve(count);
+  if (count == 1) {
+    out.push_back(lo);
+    return out;
+  }
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(lo + step * static_cast<double>(i));
+  }
+  out.back() = hi;  // avoid drift on the final point
+  return out;
+}
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void KahanSum::add(double x) noexcept {
+  const double y = x - compensation_;
+  const double t = sum_ + y;
+  compensation_ = (t - sum_) - y;
+  sum_ = t;
+}
+
+double mean_of(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  KahanSum sum;
+  for (const double v : values) sum.add(v);
+  return sum.value() / static_cast<double>(values.size());
+}
+
+double stddev_of(std::span<const double> values) noexcept {
+  RunningStats stats;
+  for (const double v : values) stats.add(v);
+  return stats.stddev();
+}
+
+}  // namespace lfsc

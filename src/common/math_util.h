@@ -1,0 +1,66 @@
+// Small numeric helpers shared across modules: running statistics
+// (Welford), positive-part projection, linspace, and safe comparisons.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lfsc {
+
+/// max(x, 0): projection onto the non-negative orthant, used by the
+/// Lagrange multiplier updates and the violation metrics.
+constexpr double positive_part(double x) noexcept { return x > 0.0 ? x : 0.0; }
+
+/// Approximate floating-point equality with combined abs/rel tolerance.
+bool approx_equal(double a, double b, double tol = 1e-9) noexcept;
+
+/// `count` evenly spaced values from `lo` to `hi` inclusive (count >= 2).
+std::vector<double> linspace(double lo, double hi, std::size_t count);
+
+/// Numerically stable single-pass mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sum with Kahan compensation; keeps cumulative reward series accurate
+/// over 10^4+ additions.
+class KahanSum {
+ public:
+  void add(double x) noexcept;
+  double value() const noexcept { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// Mean of a span; 0 for an empty span.
+double mean_of(std::span<const double> values) noexcept;
+
+/// Sample standard deviation of a span; 0 for fewer than two values.
+double stddev_of(std::span<const double> values) noexcept;
+
+}  // namespace lfsc

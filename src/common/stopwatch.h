@@ -1,0 +1,25 @@
+// Wall-clock stopwatch for coarse harness timing.
+#pragma once
+
+#include <chrono>
+
+namespace lfsc {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace lfsc

@@ -1,0 +1,39 @@
+// Aligned console tables: all figure/benchmark binaries print the paper's
+// rows through this formatter so output stays scannable and diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lfsc {
+
+/// Collects rows and renders them as a fixed-width ASCII table with a
+/// header rule. Numeric cells should be pre-formatted by the caller
+/// (see Table::num for the common case).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Appends a row; missing trailing cells render empty, extra cells are
+  /// an error (checked).
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with `precision` fractional digits.
+  static std::string num(double value, int precision = 3);
+
+  /// Renders the table to `out` with 2-space column gaps.
+  void print(std::ostream& out) const;
+
+  /// Renders to a string (used by tests).
+  std::string to_string() const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lfsc

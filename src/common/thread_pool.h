@@ -1,0 +1,72 @@
+// Fixed-size worker pool plus a parallel-for helper. Used by the harness
+// to farm independent experiment runs / sweep points to hardware threads.
+// Determinism note: all simulation randomness is stream-keyed (see rng.h),
+// so results are identical for any worker count, including 1.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lfsc {
+
+/// A minimal task-queue thread pool. Tasks are std::function<void()>;
+/// submit() returns a future for completion/exception propagation.
+class ThreadPool {
+ public:
+  /// Creates `worker_count` threads; 0 means hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t worker_count = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues `fn`; the returned future carries its result or exception.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using Result = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<Fn>(fn));
+    auto future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs `fn(i)` for i in [0, count) across the pool and blocks until all
+/// complete. The first exception thrown by any iteration is rethrown.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Convenience overload using a process-wide default pool sized to the
+/// hardware.
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+/// The lazily-created process-wide pool used by the convenience overload.
+ThreadPool& default_thread_pool();
+
+}  // namespace lfsc

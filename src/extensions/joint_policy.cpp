@@ -1,0 +1,107 @@
+#include "extensions/joint_policy.h"
+
+#include <stdexcept>
+
+namespace lfsc {
+
+JointMbsPolicy::JointMbsPolicy(std::unique_ptr<Policy> inner,
+                               JointMbsConfig config)
+    : inner_(std::move(inner)), config_(config) {
+  if (!inner_) {
+    throw std::invalid_argument("JointMbsPolicy: inner policy required");
+  }
+  name_ = "Joint(" + std::string(inner_->name()) + "+MBS)";
+}
+
+bool JointMbsPolicy::is_mbs_bound(const Task& task) const noexcept {
+  return task.context.input_mbit >= config_.heavy_input_mbit &&
+         task.context.output_mbit <= config_.max_output_mbit;
+}
+
+void JointMbsPolicy::build_filtered(const SlotInfo& info) {
+  filtered_.t = info.t;
+  filtered_.tasks = info.tasks;  // task vector stays intact; only the
+                                 // coverage lists are thinned
+  filtered_.coverage.assign(info.coverage.size(), {});
+  to_original_.assign(info.coverage.size(), {});
+  to_filtered_.assign(info.coverage.size(), {});
+  last_routed_ = 0;
+
+  std::vector<bool> routed(info.tasks.size(), false);
+  for (std::size_t i = 0; i < info.tasks.size(); ++i) {
+    routed[i] = is_mbs_bound(info.tasks[i]);
+  }
+  for (const bool r : routed) {
+    if (r) ++last_routed_;
+  }
+
+  for (std::size_t m = 0; m < info.coverage.size(); ++m) {
+    const auto& cover = info.coverage[m];
+    auto& fcover = filtered_.coverage[m];
+    auto& fwd = to_filtered_[m];
+    auto& back = to_original_[m];
+    fwd.assign(cover.size(), -1);
+    for (std::size_t j = 0; j < cover.size(); ++j) {
+      if (routed[static_cast<std::size_t>(cover[j])]) continue;
+      fwd[j] = static_cast<int>(fcover.size());
+      back.push_back(static_cast<int>(j));
+      fcover.push_back(cover[j]);
+    }
+  }
+}
+
+Assignment JointMbsPolicy::select(const SlotInfo& info) {
+  build_filtered(info);
+  last_slot_t_ = info.t;
+  const Assignment inner_assignment = inner_->select(filtered_);
+  // Map the inner policy's filtered local indices back to the originals.
+  Assignment out;
+  out.selected.assign(info.coverage.size(), {});
+  if (inner_assignment.selected.size() != info.coverage.size()) {
+    throw std::logic_error("JointMbsPolicy: inner assignment shape mismatch");
+  }
+  for (std::size_t m = 0; m < out.selected.size(); ++m) {
+    for (const int flocal : inner_assignment.selected[m]) {
+      out.selected[m].push_back(
+          to_original_[m][static_cast<std::size_t>(flocal)]);
+    }
+  }
+  return out;
+}
+
+void JointMbsPolicy::observe(const SlotInfo& info,
+                             const Assignment& assignment,
+                             const SlotFeedback& feedback) {
+  if (info.t != last_slot_t_) {
+    throw std::logic_error("JointMbsPolicy: observe() without select()");
+  }
+  (void)assignment;
+  // Translate feedback to the filtered view before forwarding.
+  Assignment inner_assignment;
+  inner_assignment.selected.assign(info.coverage.size(), {});
+  SlotFeedback inner_feedback;
+  inner_feedback.per_scn.resize(info.coverage.size());
+  for (std::size_t m = 0; m < feedback.per_scn.size(); ++m) {
+    for (const auto& f : feedback.per_scn[m]) {
+      const int flocal =
+          to_filtered_[m][static_cast<std::size_t>(f.local_index)];
+      if (flocal < 0) {
+        throw std::logic_error(
+            "JointMbsPolicy: feedback for a task hidden from the learner");
+      }
+      TaskFeedback tf = f;
+      tf.local_index = flocal;
+      inner_feedback.per_scn[m].push_back(tf);
+      inner_assignment.selected[m].push_back(flocal);
+    }
+  }
+  inner_->observe(filtered_, inner_assignment, inner_feedback);
+}
+
+void JointMbsPolicy::reset() {
+  inner_->reset();
+  last_slot_t_ = -1;
+  last_routed_ = 0;
+}
+
+}  // namespace lfsc

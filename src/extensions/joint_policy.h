@@ -1,0 +1,67 @@
+// Joint MBS + SCN offloading (paper future work, Sec. 6): "Tasks that do
+// not restrict the latency but consume large amount of computing
+// resources will be offloaded to MBS."
+//
+// JointMbsPolicy wraps any learning policy: tasks classified as
+// MBS-bound (heavy input and large output — the resource-hungry,
+// latency-tolerant profile) are hidden from the wrapped policy's
+// coverage so SCN capacity concentrates on latency-sensitive work; the
+// MBS fallback evaluator (extensions/mbs.h) then absorbs them. The
+// wrapper translates local indices between the filtered and original
+// views in both directions, so the inner learner is oblivious.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/policy.h"
+
+namespace lfsc {
+
+struct JointMbsConfig {
+  /// Tasks with input size >= this (Mbit) are MBS-bound.
+  double heavy_input_mbit = 16.0;
+
+  /// ... provided their output is also small enough to tolerate the
+  /// backhaul round trip (large outputs would congest the fiber).
+  double max_output_mbit = 4.0;
+};
+
+class JointMbsPolicy final : public Policy {
+ public:
+  /// Takes ownership of the SCN-side learner.
+  JointMbsPolicy(std::unique_ptr<Policy> inner, JointMbsConfig config = {});
+
+  std::string_view name() const noexcept override { return name_; }
+  Assignment select(const SlotInfo& info) override;
+  void observe(const SlotInfo& info, const Assignment& assignment,
+               const SlotFeedback& feedback) override;
+  void reset() override;
+
+  /// True when `task` would be routed to the MBS.
+  bool is_mbs_bound(const Task& task) const noexcept;
+
+  /// Number of tasks hidden from the inner policy in the last slot.
+  std::size_t last_mbs_routed() const noexcept { return last_routed_; }
+
+ private:
+  /// Rebuilds the filtered view and the local-index maps for a slot.
+  void build_filtered(const SlotInfo& info);
+
+  std::unique_ptr<Policy> inner_;
+  JointMbsConfig config_;
+  std::string name_;
+
+  // Per-slot translation state (select() fills, observe() consumes).
+  SlotInfo filtered_;
+  /// to_original_[m][filtered_local] == original_local
+  std::vector<std::vector<int>> to_original_;
+  /// to_filtered_[m][original_local] == filtered_local or -1 (hidden)
+  std::vector<std::vector<int>> to_filtered_;
+  std::size_t last_routed_ = 0;
+  int last_slot_t_ = -1;
+};
+
+}  // namespace lfsc

@@ -1,0 +1,70 @@
+#include "extensions/mbs.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace lfsc {
+
+MbsOutcome evaluate_mbs_fallback(const Slot& slot, const Assignment& assignment,
+                                 const MbsConfig& config) {
+  if (config.capacity < 0 || config.reward_discount < 0.0 ||
+      config.reward_discount > 1.0) {
+    throw std::invalid_argument("evaluate_mbs_fallback: invalid config");
+  }
+  const auto num_tasks = slot.info.tasks.size();
+  std::vector<bool> served(num_tasks, false);
+  MbsOutcome outcome;
+  for (std::size_t m = 0; m < assignment.selected.size(); ++m) {
+    for (const int local : assignment.selected[m]) {
+      const int task = slot.info.coverage[m][static_cast<std::size_t>(local)];
+      served[static_cast<std::size_t>(task)] = true;
+      ++outcome.scn_tasks;
+    }
+  }
+
+  // A task's value at the MBS: slot-average compound reward over its
+  // covering SCNs (same task, averaged channel view), discounted.
+  struct Candidate {
+    std::size_t task;
+    double g;
+  };
+  std::vector<double> g_sum(num_tasks, 0.0);
+  std::vector<int> g_count(num_tasks, 0);
+  for (std::size_t m = 0; m < slot.info.coverage.size(); ++m) {
+    const auto& cover = slot.info.coverage[m];
+    for (std::size_t j = 0; j < cover.size(); ++j) {
+      const double q = slot.real.q[m][j];
+      const double g = q > 0.0 ? slot.real.u[m][j] * slot.real.v[m][j] / q : 0.0;
+      g_sum[static_cast<std::size_t>(cover[j])] += g;
+      ++g_count[static_cast<std::size_t>(cover[j])];
+    }
+  }
+  std::vector<Candidate> spare;
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    if (served[i]) continue;
+    // Tasks covered by no SCN have no realization; the MBS still serves
+    // them but their value defaults to the slot's median-ish 0 — skip
+    // them for reward purposes yet count them as served capacity-wise is
+    // misleading, so value them at 0 only when it has spare capacity.
+    const double g = g_count[i] > 0
+                         ? g_sum[i] / static_cast<double>(g_count[i])
+                         : 0.0;
+    spare.push_back({i, g});
+  }
+  std::sort(spare.begin(), spare.end(), [](const Candidate& a,
+                                           const Candidate& b) {
+    if (a.g != b.g) return a.g > b.g;
+    return a.task < b.task;
+  });
+  const auto take = std::min<std::size_t>(
+      spare.size(), static_cast<std::size_t>(config.capacity));
+  for (std::size_t k = 0; k < take; ++k) {
+    outcome.mbs_reward += config.reward_discount * spare[k].g;
+    ++outcome.mbs_tasks;
+  }
+  outcome.unserved_tasks = static_cast<int>(spare.size() - take);
+  return outcome;
+}
+
+}  // namespace lfsc

@@ -1,0 +1,43 @@
+// MBS fallback processing (paper Sec. 3.3): "For those tasks that are not
+// selected by SCNs, they can be offloaded and processed by MBS."
+//
+// The macrocell base station is modeled as a shared processor with its
+// own per-slot capacity and a reward discount (it sits behind the fiber
+// backhaul, so latency-sensitive value is partially lost). A task's MBS
+// realization reuses the mean of its covering SCNs' realizations — the
+// task itself is the same; only the processing venue changes.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/network.h"
+#include "sim/task.h"
+
+namespace lfsc {
+
+struct MbsConfig {
+  /// Tasks the MBS can absorb per slot (its servers are bigger than an
+  /// SCN's but it serves the whole network).
+  int capacity = 60;
+
+  /// Multiplier on the compound reward of MBS-processed tasks, modeling
+  /// the backhaul latency cost. In [0, 1].
+  double reward_discount = 0.5;
+};
+
+struct MbsOutcome {
+  double mbs_reward = 0.0;   ///< discounted reward earned at the MBS
+  int mbs_tasks = 0;         ///< tasks absorbed by the MBS this slot
+  int unserved_tasks = 0;    ///< tasks served by neither SCNs nor MBS
+  int scn_tasks = 0;         ///< tasks the SCN assignment served
+};
+
+/// Evaluates what the MBS adds on top of an SCN assignment: unassigned
+/// covered tasks are absorbed in decreasing expected compound reward
+/// until capacity runs out. Uncovered tasks (no SCN in range) are also
+/// eligible — the MBS reaches the whole network — but carry the same
+/// discount and are valued by their slot-average realization.
+MbsOutcome evaluate_mbs_fallback(const Slot& slot, const Assignment& assignment,
+                                 const MbsConfig& config);
+
+}  // namespace lfsc

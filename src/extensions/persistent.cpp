@@ -1,0 +1,143 @@
+#include "extensions/persistent.h"
+
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lfsc {
+namespace {
+
+struct Pending {
+  Task task;
+  std::vector<int> scns;  ///< SCNs that covered the task at arrival
+  int born_t = 0;
+  int age = 0;  ///< re-submissions so far
+};
+
+}  // namespace
+
+PersistentRunResult run_persistent_experiment(
+    Simulator& sim, Policy& policy, const RunConfig& config,
+    const PersistenceConfig& persistence) {
+  if (config.horizon <= 0) {
+    throw std::invalid_argument("run_persistent_experiment: bad horizon");
+  }
+  if (persistence.max_patience < 0) {
+    throw std::invalid_argument("run_persistent_experiment: bad patience");
+  }
+  if (policy.needs_realizations()) {
+    // The injection below would need to rebuild omniscient slots; the
+    // extension targets learning policies.
+    throw std::invalid_argument(
+        "run_persistent_experiment: omniscient policies unsupported");
+  }
+
+  PersistentRunResult result;
+  auto& stats = result.stats;
+  std::vector<Pending> backlog;
+  double wait_sum = 0.0;
+  const auto& net = sim.network();
+
+  for (int t = 1; t <= config.horizon; ++t) {
+    Slot slot = sim.generate_slot(t);
+    const std::size_t fresh_count = slot.info.tasks.size();
+    stats.total_tasks += static_cast<long>(fresh_count);
+
+    // Inject the backlog: same context and coverage, fresh realizations
+    // (the channel and server state have moved on since arrival).
+    RngStream redraw(persistence.realization_seed,
+                     static_cast<std::uint64_t>(t));
+    std::vector<std::size_t> backlog_task_index(backlog.size());
+    for (std::size_t b = 0; b < backlog.size(); ++b) {
+      const int new_index = static_cast<int>(slot.info.tasks.size());
+      backlog_task_index[b] = static_cast<std::size_t>(new_index);
+      slot.info.tasks.push_back(backlog[b].task);
+      for (const int m : backlog[b].scns) {
+        const auto mi = static_cast<std::size_t>(m);
+        slot.info.coverage[mi].push_back(new_index);
+        const auto d = sim.environment().draw(m, backlog[b].task.context,
+                                              redraw);
+        slot.real.u[mi].push_back(d.u);
+        slot.real.v[mi].push_back(d.v);
+        slot.real.q[mi].push_back(d.q);
+      }
+    }
+    stats.max_backlog =
+        std::max(stats.max_backlog, static_cast<long>(backlog.size()));
+
+    const Assignment assignment = policy.select(slot.info);
+    if (config.validate) {
+      if (const auto error = validate_assignment(slot.info, assignment, net)) {
+        throw std::logic_error("persistent run: invalid assignment at t=" +
+                               std::to_string(t) + ": " + *error);
+      }
+    }
+    result.series.add(evaluate_slot(slot, assignment, net));
+    policy.observe(slot.info, assignment, make_feedback(slot, assignment));
+
+    // Which global task indices were served?
+    std::vector<bool> served(slot.info.tasks.size(), false);
+    for (std::size_t m = 0; m < assignment.selected.size(); ++m) {
+      for (const int local : assignment.selected[m]) {
+        served[static_cast<std::size_t>(
+            slot.info.coverage[m][static_cast<std::size_t>(local)])] = true;
+      }
+    }
+
+    std::vector<Pending> next_backlog;
+    // Backlog entries: served -> record wait; unserved -> age or expire.
+    for (std::size_t b = 0; b < backlog.size(); ++b) {
+      if (served[backlog_task_index[b]]) {
+        ++stats.served_tasks;
+        wait_sum += static_cast<double>(t - backlog[b].born_t);
+      } else if (backlog[b].age + 1 >= persistence.max_patience) {
+        ++stats.expired_tasks;
+      } else {
+        Pending p = std::move(backlog[b]);
+        ++p.age;
+        next_backlog.push_back(std::move(p));
+      }
+    }
+    // Fresh tasks: served now, re-submit, or expire immediately when
+    // patience is zero. A reverse coverage map keeps this linear in the
+    // slot's total coverage size.
+    std::vector<std::vector<int>> covering(fresh_count);
+    for (std::size_t m = 0; m < slot.info.coverage.size(); ++m) {
+      for (const int task : slot.info.coverage[m]) {
+        if (static_cast<std::size_t>(task) < fresh_count) {
+          covering[static_cast<std::size_t>(task)].push_back(
+              static_cast<int>(m));
+        }
+      }
+    }
+    for (std::size_t i = 0; i < fresh_count; ++i) {
+      if (served[i]) {
+        ++stats.served_tasks;
+        continue;
+      }
+      if (persistence.max_patience == 0 || covering[i].empty()) {
+        ++stats.expired_tasks;  // out of patience or out of reach
+        continue;
+      }
+      Pending p;
+      p.task = slot.info.tasks[i];
+      p.born_t = t;
+      p.age = 0;
+      p.scns = std::move(covering[i]);
+      next_backlog.push_back(std::move(p));
+    }
+    backlog = std::move(next_backlog);
+  }
+  // Tasks still pending at the horizon count as expired (the run ended).
+  stats.expired_tasks += static_cast<long>(backlog.size());
+  stats.mean_wait_slots =
+      stats.served_tasks > 0
+          ? wait_sum / static_cast<double>(stats.served_tasks)
+          : 0.0;
+  return result;
+}
+
+}  // namespace lfsc

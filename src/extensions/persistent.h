@@ -1,0 +1,55 @@
+// Persistent task re-submission (paper Sec. 3.3): "If some tasks need to
+// execute over multiple slots, they can keep submitting offloading
+// requests in the subsequent time slots."
+//
+// run_persistent_experiment() extends the standard loop: tasks not served
+// in their arrival slot re-enter the next slot's task set (with the same
+// context, covered by the same SCNs) until served or their patience runs
+// out. The policy under test is unchanged — persistence is a property of
+// the workload, which is exactly why it lives in the harness and not in
+// a policy.
+#pragma once
+
+#include "harness/runner.h"
+#include "sim/policy.h"
+#include "sim/simulator.h"
+
+namespace lfsc {
+
+struct PersistenceConfig {
+  /// Maximum number of slots a task re-submits after its arrival slot.
+  int max_patience = 3;
+
+  /// Stream id for the re-submitted tasks' fresh realizations.
+  std::uint64_t realization_seed = 0xBEE5;
+};
+
+struct PersistentStats {
+  long total_tasks = 0;    ///< unique tasks that entered the system
+  long served_tasks = 0;   ///< eventually selected by some SCN
+  long expired_tasks = 0;  ///< dropped after exhausting patience
+  double mean_wait_slots = 0.0;  ///< among served tasks (0 = arrival slot)
+  long max_backlog = 0;    ///< peak number of re-submitting tasks
+
+  double served_fraction() const noexcept {
+    return total_tasks > 0
+               ? static_cast<double>(served_tasks) /
+                     static_cast<double>(total_tasks)
+               : 0.0;
+  }
+};
+
+struct PersistentRunResult {
+  SeriesRecorder series;
+  PersistentStats stats;
+
+  PersistentRunResult() : series("persistent") {}
+};
+
+/// Runs `policy` over `config.horizon` slots of `sim` with task
+/// re-submission. Constraint validation matches run_experiment.
+PersistentRunResult run_persistent_experiment(
+    Simulator& sim, Policy& policy, const RunConfig& config,
+    const PersistenceConfig& persistence = {});
+
+}  // namespace lfsc

@@ -1,0 +1,72 @@
+#include "harness/paper_setup.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "baselines/fml.h"
+#include "baselines/oracle.h"
+#include "baselines/random_policy.h"
+#include "baselines/vucb.h"
+#include "lfsc/lfsc_policy.h"
+
+namespace lfsc {
+
+Simulator PaperSetup::make_simulator() const {
+  return Simulator(net, env, std::make_unique<AbstractCoverage>(coverage));
+}
+
+PaperSetup small_setup() {
+  // Half the paper's per-SCN constants and a fifth of its SCNs, but the
+  // same task-per-hypercube density (~1.7 tasks per cube per SCN per
+  // slot) — the density is what makes the contextual learning regime
+  // representative; starving the cubes degenerates every learner to its
+  // exploration floor.
+  PaperSetup s;
+  s.net = NetworkConfig{.num_scns = 4,
+                        .capacity_c = 10,
+                        .qos_alpha = 7.5,
+                        .resource_beta = 13.5};
+  s.env.num_scns = 4;
+  s.coverage = AbstractCoverageConfig{.num_scns = 4,
+                                      .tasks_per_scn_min = 30,
+                                      .tasks_per_scn_max = 60,
+                                      .coverage_degree = 1.3};
+  s.lfsc.horizon = 2000;
+  s.lfsc.expected_tasks_per_scn = 45;
+  return s;
+}
+
+std::vector<std::unique_ptr<Policy>> make_paper_policies(
+    const PaperSetup& setup) {
+  std::vector<std::unique_ptr<Policy>> policies;
+  policies.push_back(std::make_unique<OraclePolicy>(setup.net));
+  policies.push_back(std::make_unique<LfscPolicy>(setup.net, setup.lfsc));
+  VucbConfig vucb;
+  vucb.parts_per_dim = setup.lfsc.parts_per_dim;
+  policies.push_back(std::make_unique<VucbPolicy>(setup.net, vucb));
+  FmlConfig fml;
+  fml.parts_per_dim = setup.lfsc.parts_per_dim;
+  policies.push_back(std::make_unique<FmlPolicy>(setup.net, fml));
+  policies.push_back(
+      std::make_unique<RandomPolicy>(setup.net, setup.env.seed ^ 0xBADA55));
+  return policies;
+}
+
+std::vector<Policy*> policy_pointers(
+    const std::vector<std::unique_ptr<Policy>>& owned) {
+  std::vector<Policy*> out;
+  out.reserve(owned.size());
+  for (const auto& p : owned) out.push_back(p.get());
+  return out;
+}
+
+int env_int(const char* name, int fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw || value <= 0) return fallback;
+  return static_cast<int>(value);
+}
+
+}  // namespace lfsc

@@ -1,0 +1,63 @@
+// Canonical configuration of the paper's evaluation (Sec. 5) and the
+// standard policy roster, shared by every figure bench and the
+// integration tests so all experiments agree on the world.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "lfsc/config.h"
+#include "sim/coverage.h"
+#include "sim/environment.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace lfsc {
+
+struct PaperSetup {
+  NetworkConfig net{.num_scns = 30,
+                    .capacity_c = 20,
+                    .qos_alpha = 15.0,
+                    .resource_beta = 27.0};
+  EnvironmentConfig env;  ///< defaults already match Sec. 5 (U,V ~ U[0,1], Q ~ U[1,2])
+  AbstractCoverageConfig coverage{.num_scns = 30,
+                                  .tasks_per_scn_min = 35,
+                                  .tasks_per_scn_max = 100,
+                                  .coverage_degree = 1.3};
+  LfscConfig lfsc;
+
+  /// Applies num_scns and the horizon consistently across sub-configs.
+  void set_num_scns(int m) {
+    net.num_scns = m;
+    env.num_scns = m;
+    coverage.num_scns = m;
+  }
+  void set_horizon(std::size_t t) { lfsc.horizon = t; }
+  void set_seed(std::uint64_t seed) {
+    env.seed = seed;
+    lfsc.seed = seed ^ 0x5eed;
+  }
+
+  Simulator make_simulator() const;
+};
+
+/// A scaled-down variant of the paper setup for unit/integration tests
+/// and quick examples: 6 SCNs, c=5, alpha=3, beta=7, |D_mt| in [8, 20].
+PaperSetup small_setup();
+
+/// Builds the standard roster: Oracle, LFSC, vUCB, FML, Random
+/// (ownership returned; raw pointers for run_experiment can be taken
+/// with policy_pointers()).
+std::vector<std::unique_ptr<class Policy>> make_paper_policies(
+    const PaperSetup& setup);
+
+/// Raw-pointer view over an owning roster.
+std::vector<Policy*> policy_pointers(
+    const std::vector<std::unique_ptr<Policy>>& owned);
+
+/// Reads a positive integer override from the environment (used by the
+/// benches: LFSC_BENCH_T scales horizons on small machines). Returns
+/// `fallback` when unset or unparsable.
+int env_int(const char* name, int fallback);
+
+}  // namespace lfsc

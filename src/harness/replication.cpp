@@ -1,0 +1,94 @@
+#include "harness/replication.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/table.h"
+#include "harness/sweep.h"
+
+namespace lfsc {
+
+std::string MetricSummary::to_string(int precision) const {
+  return Table::num(mean, precision) + " ± " + Table::num(ci95, precision);
+}
+
+const PolicySummary& ReplicationResult::find(std::string_view name) const {
+  for (const auto& p : policies) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("ReplicationResult: no policy named " +
+                          std::string(name));
+}
+
+MetricSummary summarize_metric(const std::vector<double>& values) {
+  MetricSummary out;
+  RunningStats stats;
+  for (const double v : values) stats.add(v);
+  out.mean = stats.mean();
+  out.stddev = stats.stddev();
+  out.replicates = stats.count();
+  if (stats.count() > 1) {
+    // Normal-approximation 95% interval on the mean.
+    out.ci95 = 1.96 * out.stddev / std::sqrt(static_cast<double>(stats.count()));
+  }
+  return out;
+}
+
+ReplicationResult replicate_paper_experiment(const PaperSetup& base,
+                                             int horizon,
+                                             std::size_t replicates,
+                                             std::uint64_t base_seed) {
+  if (replicates == 0) {
+    throw std::invalid_argument("replicate_paper_experiment: 0 replicates");
+  }
+  struct Replicate {
+    std::vector<std::string> names;
+    std::vector<double> rewards;
+    std::vector<double> qos;
+    std::vector<double> res;
+    std::vector<double> ratios;
+  };
+  const std::function<Replicate(std::size_t)> eval = [&](std::size_t r) {
+    PaperSetup s = base;
+    s.set_seed(base_seed + 7919 * r);  // distinct world per replicate
+    s.set_horizon(static_cast<std::size_t>(horizon));
+    auto sim = s.make_simulator();
+    auto owned = make_paper_policies(s);
+    auto policies = policy_pointers(owned);
+    const auto result = run_experiment(sim, policies, {.horizon = horizon});
+    Replicate rep;
+    for (const auto& rec : result.series) {
+      rep.names.push_back(rec.name());
+      rep.rewards.push_back(rec.total_reward());
+      rep.qos.push_back(rec.total_qos_violation());
+      rep.res.push_back(rec.total_resource_violation());
+      rep.ratios.push_back(rec.final_performance_ratio());
+    }
+    return rep;
+  };
+  const auto reps = sweep_parallel<Replicate>(replicates, eval);
+
+  ReplicationResult out;
+  out.horizon = horizon;
+  out.replicates = replicates;
+  const auto& names = reps.front().names;
+  for (std::size_t k = 0; k < names.size(); ++k) {
+    std::vector<double> rewards, qos, res, ratios;
+    for (const auto& rep : reps) {
+      rewards.push_back(rep.rewards[k]);
+      qos.push_back(rep.qos[k]);
+      res.push_back(rep.res[k]);
+      ratios.push_back(rep.ratios[k]);
+    }
+    PolicySummary summary;
+    summary.name = names[k];
+    summary.reward = summarize_metric(rewards);
+    summary.qos_violation = summarize_metric(qos);
+    summary.resource_violation = summarize_metric(res);
+    summary.performance_ratio = summarize_metric(ratios);
+    out.policies.push_back(std::move(summary));
+  }
+  return out;
+}
+
+}  // namespace lfsc

@@ -1,0 +1,56 @@
+// Multi-seed replication: run the same (setup, policies, horizon)
+// experiment under R independent seeds — farmed to the thread pool — and
+// aggregate each policy's summary metrics as mean ± 95% confidence
+// interval. The figure benches report single-seed series (as the paper
+// does); the replication bench quantifies how stable those conclusions
+// are across worlds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/math_util.h"
+#include "harness/paper_setup.h"
+#include "harness/runner.h"
+
+namespace lfsc {
+
+struct MetricSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95 = 0.0;  ///< half-width of the 95% CI (normal approximation)
+  std::size_t replicates = 0;
+
+  std::string to_string(int precision = 1) const;
+};
+
+/// Per-policy aggregate over replicates.
+struct PolicySummary {
+  std::string name;
+  MetricSummary reward;
+  MetricSummary qos_violation;
+  MetricSummary resource_violation;
+  MetricSummary performance_ratio;
+};
+
+struct ReplicationResult {
+  std::vector<PolicySummary> policies;
+  int horizon = 0;
+  std::size_t replicates = 0;
+
+  const PolicySummary& find(std::string_view name) const;
+};
+
+/// Runs `replicates` seeds of `setup` (seed varied per replicate) for
+/// `horizon` slots with the standard policy roster, in parallel.
+ReplicationResult replicate_paper_experiment(const PaperSetup& base,
+                                             int horizon,
+                                             std::size_t replicates,
+                                             std::uint64_t base_seed = 1000);
+
+/// Builds a MetricSummary from raw per-replicate values.
+MetricSummary summarize_metric(const std::vector<double>& values);
+
+}  // namespace lfsc

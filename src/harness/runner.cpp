@@ -1,0 +1,70 @@
+#include "harness/runner.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "common/log.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+
+namespace lfsc {
+
+const SeriesRecorder& ExperimentResult::find(std::string_view name) const {
+  for (const auto& s : series) {
+    if (s.name() == name) return s;
+  }
+  throw std::out_of_range("ExperimentResult: no series named " +
+                          std::string(name));
+}
+
+ExperimentResult run_experiment(SlotSource& sim,
+                                std::span<Policy* const> policies,
+                                const RunConfig& config) {
+  if (config.horizon <= 0) {
+    throw std::invalid_argument("run_experiment: horizon must be positive");
+  }
+  ExperimentResult result;
+  result.series.reserve(policies.size());
+  for (const Policy* p : policies) {
+    result.series.emplace_back(std::string(p->name()));
+  }
+
+  Stopwatch watch;
+  const auto& net = sim.network();
+  for (int t = 1; t <= config.horizon; ++t) {
+    const Slot slot = sim.generate_slot(t);
+    const auto step_policy = [&](std::size_t k) {
+      Policy& policy = *policies[k];
+      const Assignment assignment = policy.needs_realizations()
+                                        ? policy.select_omniscient(slot)
+                                        : policy.select(slot.info);
+      if (config.validate) {
+        if (const auto error = validate_assignment(slot.info, assignment, net)) {
+          throw std::logic_error("policy " + std::string(policy.name()) +
+                                 " produced invalid assignment at t=" +
+                                 std::to_string(t) + ": " + *error);
+        }
+      }
+      result.series[k].add(evaluate_slot(slot, assignment, net));
+      if (!policy.needs_realizations()) {
+        policy.observe(slot.info, assignment, make_feedback(slot, assignment));
+      }
+    };
+    if (config.parallel_policies && policies.size() > 1) {
+      // Each policy touches only its own state and its own series slot;
+      // the slot itself is shared read-only.
+      parallel_for(policies.size(), step_policy);
+    } else {
+      for (std::size_t k = 0; k < policies.size(); ++k) step_policy(k);
+    }
+    if (config.progress_every > 0 && t % config.progress_every == 0) {
+      LFSC_LOG_INFO << "slot " << t << "/" << config.horizon << " ("
+                    << Table::num(watch.seconds(), 1) << "s)";
+    }
+  }
+  result.wall_seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace lfsc

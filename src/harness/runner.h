@@ -1,0 +1,49 @@
+// The experiment loop: generates each slot once and plays every policy on
+// the identical realization, enforcing the information flow (honest
+// policies see SlotInfo only; the Oracle sees the full slot) and
+// validating constraints (1a)/(1b) structurally.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "metrics/recorder.h"
+#include "sim/policy.h"
+#include "sim/simulator.h"
+#include "sim/slot_source.h"
+
+namespace lfsc {
+
+struct RunConfig {
+  int horizon = 10000;  ///< number of time slots T
+
+  /// Validate every assignment against (1a)/(1b); violations throw.
+  /// The no-coordination LFSC ablation is the one caller that disables
+  /// this (it violates (1b) by design).
+  bool validate = true;
+
+  /// Log a progress line every N slots (0 disables).
+  int progress_every = 0;
+
+  /// Step the policies concurrently within each slot (they are
+  /// independent given the slot). Results are bit-identical to the
+  /// serial order because policies never share state.
+  bool parallel_policies = false;
+};
+
+struct ExperimentResult {
+  std::vector<SeriesRecorder> series;  ///< aligned with the policy span
+  double wall_seconds = 0.0;
+
+  /// Lookup by policy name; throws std::out_of_range when absent.
+  const SeriesRecorder& find(std::string_view name) const;
+};
+
+/// Runs all policies over `config.horizon` slots of `sim`. Policies are
+/// stateful and advanced in lockstep; each sees the same world.
+ExperimentResult run_experiment(SlotSource& sim,
+                                std::span<Policy* const> policies,
+                                const RunConfig& config);
+
+}  // namespace lfsc

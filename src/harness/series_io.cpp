@@ -1,0 +1,57 @@
+#include "harness/series_io.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/csv.h"
+
+namespace lfsc {
+
+std::vector<std::size_t> downsample_indices(std::size_t n, std::size_t points) {
+  std::vector<std::size_t> out;
+  if (n == 0 || points == 0) return out;
+  if (points >= n) {
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = i;
+    return out;
+  }
+  out.reserve(points);
+  for (std::size_t k = 0; k < points; ++k) {
+    // Evenly spaced, ending exactly at the last index.
+    const std::size_t idx =
+        (k + 1) * n / points - 1;
+    if (out.empty() || idx != out.back()) out.push_back(idx);
+  }
+  if (out.back() != n - 1) out.push_back(n - 1);
+  return out;
+}
+
+void write_series_csv(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::vector<double>>>& series,
+    std::size_t stride) {
+  if (stride == 0) throw std::invalid_argument("write_series_csv: stride 0");
+  std::size_t n = 0;
+  for (const auto& [name, values] : series) {
+    if (n == 0) n = values.size();
+    if (values.size() != n) {
+      throw std::invalid_argument("write_series_csv: ragged series");
+    }
+  }
+  CsvWriter csv(path);
+  std::vector<std::string> header{"t"};
+  for (const auto& [name, values] : series) header.push_back(name);
+  csv.header(header);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % stride != 0 && i != n - 1) continue;
+    std::vector<std::string> row;
+    row.reserve(series.size() + 1);
+    row.push_back(std::to_string(i + 1));
+    for (const auto& [name, values] : series) {
+      row.push_back(CsvWriter::format(values[i]));
+    }
+    csv.row(row);
+  }
+}
+
+}  // namespace lfsc

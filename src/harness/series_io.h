@@ -1,0 +1,25 @@
+// Helpers for emitting time series: downsampling for console tables and
+// CSV export of named series (one column per policy).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lfsc {
+
+/// Picks ~`points` indices spread evenly over [0, n), always including
+/// the final index. Returns the chosen indices (ascending).
+std::vector<std::size_t> downsample_indices(std::size_t n, std::size_t points);
+
+/// Writes `series` (name -> values; all the same length) to `path` with a
+/// leading column of 1-based slot indices, keeping every `stride`-th slot
+/// (stride >= 1; the final slot is always written).
+void write_series_csv(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::vector<double>>>& series,
+    std::size_t stride = 1);
+
+}  // namespace lfsc

@@ -1,0 +1,25 @@
+// Parallel parameter sweeps: each sweep point runs a full experiment on
+// its own Simulator/policy set, farmed to the default thread pool.
+// Results are returned in point order regardless of scheduling.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace lfsc {
+
+/// Evaluates `fn(i)` for i in [0, count) in parallel and collects the
+/// results in order. `fn` must be safe to call concurrently (each point
+/// should own its simulator and policies).
+template <typename Result>
+std::vector<Result> sweep_parallel(std::size_t count,
+                                   const std::function<Result(std::size_t)>& fn) {
+  std::vector<Result> results(count);
+  parallel_for(count, [&](std::size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+}  // namespace lfsc

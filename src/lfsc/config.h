@@ -1,0 +1,68 @@
+// Tunables of the LFSC algorithm (Alg. 1 initialization).
+//
+// Where the scanned paper's constant definitions are unreadable, defaults
+// follow the algorithms LFSC builds on (Exp3.M for gamma/eta; Mahdavi et
+// al.-style regularized dual ascent for delta). Every constant is
+// overridable and bench/ablation_lfsc_params sweeps the sensitive ones.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/context.h"
+
+namespace lfsc {
+
+struct LfscConfig {
+  /// Number of context dimensions D_b.
+  std::size_t context_dims = kContextDims;
+
+  /// h_T: parts per dimension; the context space splits into h_T^D
+  /// hypercubes. Paper default: 3 categories per dimension.
+  std::size_t parts_per_dim = 3;
+
+  /// Exploration rate gamma in (0,1]. 0 selects the Exp3.M formula
+  /// using `horizon` and `expected_tasks_per_scn`.
+  double gamma = 0.0;
+
+  /// Learning-rate scale for the exponential weight update. The per-slot
+  /// exponent uses eta_t = eta_scale * c * gamma / |D_{m,t}| (the Exp3.M
+  /// rate adapted to the varying arm count); eta_scale tunes it.
+  double eta_scale = 1.0;
+
+  /// Learning rate for the Lagrange multiplier (dual) updates.
+  /// 0 selects 1/sqrt(horizon) * 10 (empirically stable).
+  double eta_lambda = 0.0;
+
+  /// Regularization delta on the multipliers ((1 - eta*delta) decay).
+  /// 0 selects 1/sqrt(horizon).
+  double delta = 0.0;
+
+  /// Hard cap on each multiplier (projection upper bound).
+  double lambda_max = 5.0;
+
+  /// Horizon T used by the auto formulas. Does not limit the run length.
+  std::size_t horizon = 10000;
+
+  /// Estimate of K_m (max tasks per SCN coverage) for the auto gamma.
+  std::size_t expected_tasks_per_scn = 68;
+
+  /// Ablation switch: false removes the Lagrangian terms entirely
+  /// (constraint-blind Exp3.M — isolates the constraint machinery).
+  bool use_lagrangian = true;
+
+  /// Ablation switch: false replaces the cross-SCN greedy coordination
+  /// with independent per-SCN DepRound sampling (tasks may be offloaded
+  /// to several SCNs at once, violating (1b)).
+  bool coordinate_scns = true;
+
+  /// When true, edge weights are the probabilities themselves (the
+  /// paper's literal w(m,i) ∝ p), making selection deterministic given p
+  /// and starving exploration. Default false: Efraimidis-Spirakis keys
+  /// u^(1/p) randomize selection so realized inclusion tracks p.
+  bool deterministic_edges = false;
+
+  std::uint64_t seed = 1234;
+};
+
+}  // namespace lfsc

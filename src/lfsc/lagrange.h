@@ -1,0 +1,58 @@
+// Lagrange multipliers for the QoS (1c) and resource (1d) constraints
+// (Alg. 3 lines 15-17): regularized projected dual ascent.
+//
+//   lambda_qos  <- clip((1 - eta*delta)*lambda_qos + eta*(alpha - sum v)/alpha)
+//   lambda_res  <- clip((1 - eta*delta)*lambda_res + eta*(sum q - beta)/beta)
+//
+// Gaps are normalized by alpha/beta so one step size serves both
+// constraints; clip projects onto [0, lambda_max].
+#pragma once
+
+#include <algorithm>
+
+namespace lfsc {
+
+class LagrangeMultipliers {
+ public:
+  LagrangeMultipliers(double eta, double delta, double lambda_max) noexcept
+      : eta_(eta), delta_(delta), lambda_max_(lambda_max) {}
+
+  double qos() const noexcept { return lambda_qos_; }
+  double resource() const noexcept { return lambda_res_; }
+
+  /// One dual step from this slot's realized totals for one SCN.
+  /// `completed_sum` = sum of v over selected tasks; `resource_sum` =
+  /// sum of q over selected tasks.
+  void update(double completed_sum, double resource_sum, double alpha,
+              double beta) noexcept {
+    const double qos_gap = alpha > 0.0 ? (alpha - completed_sum) / alpha : 0.0;
+    const double res_gap = beta > 0.0 ? (resource_sum - beta) / beta : 0.0;
+    lambda_qos_ = project((1.0 - eta_ * delta_) * lambda_qos_ + eta_ * qos_gap);
+    lambda_res_ = project((1.0 - eta_ * delta_) * lambda_res_ + eta_ * res_gap);
+  }
+
+  void reset() noexcept {
+    lambda_qos_ = 0.0;
+    lambda_res_ = 0.0;
+  }
+
+  /// Restores persisted multiplier values (projected into the box);
+  /// used by LfscPolicy::load().
+  void restore(double qos, double resource) noexcept {
+    lambda_qos_ = project(qos);
+    lambda_res_ = project(resource);
+  }
+
+ private:
+  double project(double value) const noexcept {
+    return std::clamp(value, 0.0, lambda_max_);
+  }
+
+  double eta_;
+  double delta_;
+  double lambda_max_;
+  double lambda_qos_ = 0.0;
+  double lambda_res_ = 0.0;
+};
+
+}  // namespace lfsc

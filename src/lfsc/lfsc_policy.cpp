@@ -1,0 +1,295 @@
+#include "lfsc/lfsc_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "bandit/estimators.h"
+#include "solver/greedy_assignment.h"
+
+namespace lfsc {
+namespace {
+
+/// Keeps weight-update exponents representable: exp(±60) is ~1e26, far
+/// from overflow, and the post-update max-normalization removes any
+/// common scale anyway.
+constexpr double kMaxExponent = 60.0;
+
+}  // namespace
+
+LfscPolicy::LfscPolicy(const NetworkConfig& net, LfscConfig config)
+    : net_(net),
+      config_(config),
+      partition_(config.context_dims, config.parts_per_dim),
+      gamma_(config.gamma > 0.0
+                 ? config.gamma
+                 : exp3m_default_gamma(config.expected_tasks_per_scn,
+                                       static_cast<std::size_t>(net.capacity_c),
+                                       config.horizon)),
+      eta_lambda_(config.eta_lambda > 0.0
+                      ? config.eta_lambda
+                      : 10.0 / std::sqrt(static_cast<double>(
+                                   std::max<std::size_t>(1, config.horizon)))),
+      delta_(config.delta > 0.0
+                 ? config.delta
+                 : 1.0 / std::sqrt(static_cast<double>(
+                             std::max<std::size_t>(1, config.horizon)))),
+      rng_(config.seed, 0x1F5C) {
+  net_.validate();
+  if (gamma_ <= 0.0) gamma_ = 0.01;  // degenerate auto-formula inputs
+  gamma_ = std::min(gamma_, 1.0);
+  scn_state_.reserve(static_cast<std::size_t>(net_.num_scns));
+  for (int m = 0; m < net_.num_scns; ++m) {
+    scn_state_.emplace_back(partition_.cell_count(), eta_lambda_, delta_,
+                            config_.lambda_max);
+  }
+}
+
+void LfscPolicy::calculate_probabilities(std::size_t m, const SlotInfo& info) {
+  auto& state = scn_state_[m];
+  const auto& cover = info.coverage[m];
+
+  // Alg. 2 lines 1-5: map each covered task's context to its hypercube
+  // and look up the hypercube's weight as the task weight.
+  state.last_cells.resize(cover.size());
+  std::vector<double> task_weights(cover.size());
+  for (std::size_t j = 0; j < cover.size(); ++j) {
+    const auto& ctx = info.tasks[static_cast<std::size_t>(cover[j])].context;
+    const std::size_t cell = partition_.index(ctx.normalized);
+    state.last_cells[j] = cell;
+    task_weights[j] = state.weights[cell];
+  }
+
+  // Alg. 2 lines 6-17: capped Exp3.M probabilities with c plays.
+  const auto probs = exp3m_probabilities(
+      task_weights, static_cast<std::size_t>(net_.capacity_c), gamma_);
+  state.last_probs = probs.p;
+  state.last_capped.assign(cover.size(), false);
+  for (std::size_t j = 0; j < cover.size(); ++j) {
+    state.last_capped[j] = probs.capped[j];
+  }
+}
+
+Assignment LfscPolicy::select(const SlotInfo& info) {
+  if (info.coverage.size() != scn_state_.size()) {
+    throw std::invalid_argument("LfscPolicy: SCN count mismatch");
+  }
+  last_slot_t_ = info.t;
+
+  for (std::size_t m = 0; m < scn_state_.size(); ++m) {
+    calculate_probabilities(m, info);
+  }
+
+  if (!config_.coordinate_scns) {
+    // Ablation: each SCN independently DepRounds its own marginals; tasks
+    // may be duplicated across SCNs (constraint (1b) is intentionally
+    // unprotected, which the ablation bench quantifies).
+    Assignment out;
+    out.selected.resize(scn_state_.size());
+    for (std::size_t m = 0; m < scn_state_.size(); ++m) {
+      const auto picks = dep_round(scn_state_[m].last_probs, rng_);
+      auto& sel = out.selected[m];
+      sel.reserve(picks.size());
+      for (const auto j : picks) sel.push_back(static_cast<int>(j));
+    }
+    return out;
+  }
+
+  // Greedy collaborative assignment (Alg. 4) on probability-derived edge
+  // weights. Default: Efraimidis-Spirakis keys u^(1/p) — top-c by key is
+  // a probability-proportional random sample, so exploration survives the
+  // deterministic greedy. `deterministic_edges` reproduces the literal
+  // paper weighting w(m,i) ∝ p.
+  std::vector<Edge> edges;
+  std::size_t total = 0;
+  for (const auto& cover : info.coverage) total += cover.size();
+  edges.reserve(total);
+  for (std::size_t m = 0; m < scn_state_.size(); ++m) {
+    const auto& cover = info.coverage[m];
+    const auto& probs = scn_state_[m].last_probs;
+    for (std::size_t j = 0; j < cover.size(); ++j) {
+      Edge e;
+      e.scn = static_cast<int>(m);
+      e.task = cover[j];
+      e.local = static_cast<int>(j);
+      const double p = probs[j];
+      if (config_.deterministic_edges) {
+        e.weight = p;
+      } else if (p >= 1.0) {
+        e.weight = 2.0;  // capped arms outrank every sampled key
+      } else if (p > 0.0) {
+        // key = u^(1/p): larger p stochastically dominates smaller p.
+        const double u = std::max(rng_.uniform(), 1e-300);
+        e.weight = std::exp(std::log(u) / p);
+      } else {
+        e.weight = 0.0;
+      }
+      edges.push_back(e);
+    }
+  }
+  return greedy_select(static_cast<int>(scn_state_.size()),
+                       static_cast<int>(info.tasks.size()), net_.capacity_c,
+                       edges);
+}
+
+void LfscPolicy::update_scn(std::size_t m, const SlotInfo& info,
+                            const std::vector<int>& selected_locals,
+                            const std::vector<TaskFeedback>& feedback) {
+  auto& state = scn_state_[m];
+  const auto& cover = info.coverage[m];
+  const std::size_t num_tasks = cover.size();
+  if (num_tasks == 0) {
+    // No coverage: still decay the multipliers toward feasibility
+    // pressure from an empty slot (alpha unmet, no resource use).
+    state.multipliers.update(0.0, 0.0, net_.qos_alpha, net_.resource_beta);
+    return;
+  }
+
+  // Alg. 3 lines 1-8: IPW estimates per task, averaged per hypercube.
+  IpwSlotAccumulator acc(partition_.cell_count());
+  std::vector<char> selected(num_tasks, 0);
+  std::vector<double> fb_u(num_tasks, 0.0), fb_v(num_tasks, 0.0),
+      fb_q(num_tasks, 0.0);
+  for (const auto& f : feedback) {
+    const auto j = static_cast<std::size_t>(f.local_index);
+    if (j >= num_tasks) throw std::out_of_range("LfscPolicy: bad feedback index");
+    selected[j] = 1;
+    fb_u[j] = f.u;
+    fb_v[j] = f.v;
+    fb_q[j] = f.q;
+  }
+  (void)selected_locals;  // feedback already carries the selected set
+
+  double completed_sum = 0.0;
+  double resource_sum = 0.0;
+  for (std::size_t j = 0; j < num_tasks; ++j) {
+    const bool is_selected = selected[j] != 0;
+    const double p = state.last_probs.empty() ? 0.0 : state.last_probs[j];
+    const double g = fb_q[j] > 0.0 ? fb_u[j] * fb_v[j] / fb_q[j] : 0.0;
+    acc.add_task(state.last_cells[j], is_selected, p, g, fb_v[j],
+                 fb_q[j] / 2.0);  // q normalized to [0,1] for the update
+    if (is_selected) {
+      completed_sum += fb_v[j];
+      resource_sum += fb_q[j];
+    }
+  }
+
+  // Per-slot learning rate: the Exp3.M exponent c*gamma/K adapted to the
+  // slot's arm count, scaled by the configured eta_scale.
+  const double eta_t = config_.eta_scale * gamma_ *
+                       static_cast<double>(net_.capacity_c) /
+                       static_cast<double>(num_tasks);
+  const double lambda_qos =
+      config_.use_lagrangian ? state.multipliers.qos() : 0.0;
+  const double lambda_res =
+      config_.use_lagrangian ? state.multipliers.resource() : 0.0;
+
+  // A hypercube is "capped" this slot if any of its present tasks was in
+  // S' (they share the same weight, so capping is a per-weight property).
+  std::vector<char> cube_capped(partition_.cell_count(), 0);
+  for (std::size_t j = 0; j < num_tasks; ++j) {
+    if (state.last_capped[j]) cube_capped[state.last_cells[j]] = 1;
+  }
+
+  // Alg. 3 lines 9-14: exponential update for touched, uncapped cubes.
+  double max_weight = 0.0;
+  for (std::size_t cell = 0; cell < partition_.cell_count(); ++cell) {
+    if (acc.touched(cell) && !cube_capped[cell]) {
+      const double payoff = acc.estimate_g(cell) +
+                            lambda_qos * acc.estimate_v(cell) -
+                            lambda_res * acc.estimate_q(cell);
+      const double exponent =
+          std::clamp(eta_t * payoff, -kMaxExponent, kMaxExponent);
+      state.weights[cell] *= std::exp(exponent);
+    }
+    max_weight = std::max(max_weight, state.weights[cell]);
+  }
+  // Scale invariance of Alg. 2 lets us renormalize so max == 1; this
+  // keeps weights bounded over arbitrarily long horizons. A floor guards
+  // strict positivity required by exp3m_probabilities.
+  if (max_weight > 0.0) {
+    constexpr double kFloor = 1e-12;
+    for (auto& w : state.weights) {
+      w = std::max(w / max_weight, kFloor);
+    }
+  }
+
+  // Alg. 3 lines 15-17: dual ascent on the multipliers.
+  state.multipliers.update(completed_sum, resource_sum, net_.qos_alpha,
+                           net_.resource_beta);
+}
+
+void LfscPolicy::observe(const SlotInfo& info, const Assignment& assignment,
+                         const SlotFeedback& feedback) {
+  if (info.t != last_slot_t_) {
+    throw std::logic_error("LfscPolicy: observe() without matching select()");
+  }
+  if (assignment.selected.size() != scn_state_.size() ||
+      feedback.per_scn.size() != scn_state_.size()) {
+    throw std::invalid_argument("LfscPolicy: feedback SCN count mismatch");
+  }
+  for (std::size_t m = 0; m < scn_state_.size(); ++m) {
+    update_scn(m, info, assignment.selected[m], feedback.per_scn[m]);
+  }
+}
+
+namespace {
+constexpr std::string_view kStateMagic = "LFSC-STATE";
+constexpr int kStateVersion = 1;
+}  // namespace
+
+void LfscPolicy::save(std::ostream& out) const {
+  out << kStateMagic << ' ' << kStateVersion << '\n';
+  out << scn_state_.size() << ' ' << partition_.cell_count() << '\n';
+  out.precision(17);
+  for (const auto& state : scn_state_) {
+    out << state.multipliers.qos() << ' ' << state.multipliers.resource();
+    for (const double w : state.weights) out << ' ' << w;
+    out << '\n';
+  }
+}
+
+void LfscPolicy::load(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kStateMagic ||
+      version != kStateVersion) {
+    throw std::runtime_error("LfscPolicy::load: unrecognized state header");
+  }
+  std::size_t scns = 0, cells = 0;
+  if (!(in >> scns >> cells) || scns != scn_state_.size() ||
+      cells != partition_.cell_count()) {
+    throw std::runtime_error(
+        "LfscPolicy::load: state shape does not match this policy "
+        "(SCN count or partition differs)");
+  }
+  for (auto& state : scn_state_) {
+    double qos = 0.0, res = 0.0;
+    if (!(in >> qos >> res)) {
+      throw std::runtime_error("LfscPolicy::load: truncated multipliers");
+    }
+    state.multipliers.restore(qos, res);
+    for (auto& w : state.weights) {
+      if (!(in >> w) || !(w > 0.0)) {
+        throw std::runtime_error("LfscPolicy::load: bad weight value");
+      }
+    }
+  }
+}
+
+void LfscPolicy::reset() {
+  for (auto& state : scn_state_) {
+    std::fill(state.weights.begin(), state.weights.end(), 1.0);
+    state.multipliers.reset();
+    state.last_probs.clear();
+    state.last_capped.clear();
+    state.last_cells.clear();
+  }
+  rng_ = RngStream(config_.seed, 0x1F5C);
+  last_slot_t_ = -1;
+}
+
+}  // namespace lfsc

@@ -1,0 +1,105 @@
+// LFSC — the paper's online learning framework (Alg. 1), combining:
+//   * Calculating  (Alg. 2): Exp3.M capped selection probabilities over
+//     the tasks in each SCN's coverage, with weights kept per context
+//     hypercube;
+//   * GreedySelect (Alg. 4): collaborative cross-SCN assignment on the
+//     probability-weighted bipartite graph;
+//   * Updating     (Alg. 3): IPW estimates, exponential weight update
+//     with Lagrangian constraint terms, and dual ascent on the
+//     multipliers.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "bandit/exp3m.h"
+#include "bandit/partition.h"
+#include "common/rng.h"
+#include "lfsc/config.h"
+#include "lfsc/lagrange.h"
+#include "sim/policy.h"
+
+namespace lfsc {
+
+class LfscPolicy final : public Policy {
+ public:
+  LfscPolicy(const NetworkConfig& net, LfscConfig config = {});
+
+  std::string_view name() const noexcept override { return "LFSC"; }
+  Assignment select(const SlotInfo& info) override;
+  void observe(const SlotInfo& info, const Assignment& assignment,
+               const SlotFeedback& feedback) override;
+  void reset() override;
+
+  // --- introspection (tests, diagnostics, ablation benches) ---
+
+  const LfscConfig& config() const noexcept { return config_; }
+  const HypercubePartition& partition() const noexcept { return partition_; }
+
+  /// Hypercube weights of SCN `m` (normalized so max == 1 after updates).
+  const std::vector<double>& weights(int scn) const {
+    return scn_state_[static_cast<std::size_t>(scn)].weights;
+  }
+  double lambda_qos(int scn) const {
+    return scn_state_[static_cast<std::size_t>(scn)].multipliers.qos();
+  }
+  double lambda_resource(int scn) const {
+    return scn_state_[static_cast<std::size_t>(scn)].multipliers.resource();
+  }
+
+  /// Selection probabilities computed by the last select() call for SCN
+  /// `m`, aligned with coverage[m]. Empty before the first slot.
+  const std::vector<double>& last_probabilities(int scn) const {
+    return scn_state_[static_cast<std::size_t>(scn)].last_probs;
+  }
+
+  /// Effective exploration rate in use.
+  double gamma() const noexcept { return gamma_; }
+
+  // --- persistence (warm-starting a deployment) ---
+
+  /// Writes the learned state (hypercube weights and Lagrange
+  /// multipliers per SCN) as a versioned text blob.
+  void save(std::ostream& out) const;
+
+  /// Restores state written by save(). Throws std::runtime_error on a
+  /// malformed blob or a shape mismatch (different SCN count or
+  /// partition).
+  void load(std::istream& in);
+
+ private:
+  struct ScnState {
+    std::vector<double> weights;       // per hypercube
+    LagrangeMultipliers multipliers;
+    std::vector<double> last_probs;    // aligned with coverage[m]
+    std::vector<bool> last_capped;     // aligned with coverage[m]
+    std::vector<std::size_t> last_cells;  // hypercube of each covered task
+
+    ScnState(std::size_t cells, double eta_lambda, double delta,
+             double lambda_max)
+        : weights(cells, 1.0),
+          multipliers(eta_lambda, delta, lambda_max) {}
+  };
+
+  /// Alg. 2 for one SCN: fills last_probs/last_capped/last_cells.
+  void calculate_probabilities(std::size_t m, const SlotInfo& info);
+
+  /// Alg. 3 weight + multiplier update for one SCN.
+  void update_scn(std::size_t m, const SlotInfo& info,
+                  const std::vector<int>& selected_locals,
+                  const std::vector<TaskFeedback>& feedback);
+
+  NetworkConfig net_;
+  LfscConfig config_;
+  HypercubePartition partition_;
+  double gamma_;
+  double eta_lambda_;
+  double delta_;
+  std::vector<ScnState> scn_state_;
+  RngStream rng_;
+  int last_slot_t_ = -1;
+};
+
+}  // namespace lfsc

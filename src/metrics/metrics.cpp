@@ -1,0 +1,91 @@
+#include "metrics/metrics.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/math_util.h"
+
+namespace lfsc {
+
+SlotOutcome evaluate_slot(const Slot& slot, const Assignment& assignment,
+                          const NetworkConfig& net) {
+  SlotOutcome outcome;
+  const std::size_t num_scns = slot.info.coverage.size();
+  if (assignment.selected.size() != num_scns) {
+    throw std::invalid_argument("evaluate_slot: SCN count mismatch");
+  }
+  for (std::size_t m = 0; m < num_scns; ++m) {
+    double completed = 0.0;
+    double used = 0.0;
+    for (const int local : assignment.selected[m]) {
+      const auto j = static_cast<std::size_t>(local);
+      if (j >= slot.real.u[m].size()) {
+        throw std::out_of_range("evaluate_slot: local index out of range");
+      }
+      const double q = slot.real.q[m][j];
+      outcome.reward += q > 0.0 ? slot.real.u[m][j] * slot.real.v[m][j] / q : 0.0;
+      completed += slot.real.v[m][j];
+      used += q;
+      ++outcome.tasks_selected;
+    }
+    outcome.qos_violation += positive_part(net.qos_alpha - completed);
+    outcome.resource_violation += positive_part(used - net.resource_beta);
+    if (completed >= net.qos_alpha) ++outcome.scns_meeting_qos;
+    if (used <= net.resource_beta) ++outcome.scns_within_beta;
+  }
+  return outcome;
+}
+
+std::optional<std::string> validate_assignment(const SlotInfo& info,
+                                               const Assignment& assignment,
+                                               const NetworkConfig& net) {
+  if (assignment.selected.size() != info.coverage.size()) {
+    return "assignment SCN count mismatch";
+  }
+  std::vector<int> owner(info.tasks.size(), -1);
+  for (std::size_t m = 0; m < assignment.selected.size(); ++m) {
+    const auto& sel = assignment.selected[m];
+    if (static_cast<int>(sel.size()) > net.capacity_c) {
+      return "SCN " + std::to_string(m) + " exceeds capacity c (1a)";
+    }
+    std::vector<bool> seen_local(info.coverage[m].size(), false);
+    for (const int local : sel) {
+      if (local < 0 || static_cast<std::size_t>(local) >= info.coverage[m].size()) {
+        return "SCN " + std::to_string(m) + ": local index out of range";
+      }
+      if (seen_local[static_cast<std::size_t>(local)]) {
+        return "SCN " + std::to_string(m) + ": duplicate local index";
+      }
+      seen_local[static_cast<std::size_t>(local)] = true;
+      const int task = info.coverage[m][static_cast<std::size_t>(local)];
+      auto& who = owner[static_cast<std::size_t>(task)];
+      if (who >= 0) {
+        return "task " + std::to_string(task) + " offloaded to SCNs " +
+               std::to_string(who) + " and " + std::to_string(m) + " (1b)";
+      }
+      who = static_cast<int>(m);
+    }
+  }
+  return std::nullopt;
+}
+
+SlotFeedback make_feedback(const Slot& slot, const Assignment& assignment) {
+  SlotFeedback feedback;
+  feedback.per_scn.resize(assignment.selected.size());
+  for (std::size_t m = 0; m < assignment.selected.size(); ++m) {
+    auto& out = feedback.per_scn[m];
+    out.reserve(assignment.selected[m].size());
+    for (const int local : assignment.selected[m]) {
+      const auto j = static_cast<std::size_t>(local);
+      TaskFeedback f;
+      f.local_index = local;
+      f.u = slot.real.u[m][j];
+      f.v = slot.real.v[m][j];
+      f.q = slot.real.q[m][j];
+      out.push_back(f);
+    }
+  }
+  return feedback;
+}
+
+}  // namespace lfsc

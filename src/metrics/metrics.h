@@ -1,0 +1,41 @@
+// Per-slot evaluation of an assignment against the ground-truth
+// realizations: compound reward, violations of (1c) and (1d), and
+// structural validation of (1a)/(1b).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "sim/network.h"
+#include "sim/task.h"
+
+namespace lfsc {
+
+/// The per-slot quantities the paper's figures are built from.
+struct SlotOutcome {
+  double reward = 0.0;              ///< sum of realized g over selections
+  double qos_violation = 0.0;       ///< sum_m max(0, alpha - sum_selected v)
+  double resource_violation = 0.0;  ///< sum_m max(0, sum_selected q - beta)
+  int tasks_selected = 0;
+  int scns_meeting_qos = 0;   ///< # SCNs with sum v >= alpha
+  int scns_within_beta = 0;   ///< # SCNs with sum q <= beta
+};
+
+/// Scores `assignment` on `slot`. Does not validate structure; call
+/// validate_assignment() first when the assignment comes from untrusted
+/// code. Local indices out of range throw std::out_of_range.
+SlotOutcome evaluate_slot(const Slot& slot, const Assignment& assignment,
+                          const NetworkConfig& net);
+
+/// Checks constraints (1a) capacity and (1b) uniqueness plus index
+/// validity. Returns std::nullopt when valid, otherwise a description of
+/// the first violation found.
+std::optional<std::string> validate_assignment(const SlotInfo& info,
+                                               const Assignment& assignment,
+                                               const NetworkConfig& net);
+
+/// Builds the bandit feedback the harness delivers to a policy: realized
+/// (u, v, q) for exactly the selected tasks.
+SlotFeedback make_feedback(const Slot& slot, const Assignment& assignment);
+
+}  // namespace lfsc

@@ -1,0 +1,71 @@
+#include "metrics/recorder.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+
+namespace lfsc {
+
+void SeriesRecorder::add(const SlotOutcome& outcome) {
+  reward_.push_back(outcome.reward);
+  qos_.push_back(outcome.qos_violation);
+  res_.push_back(outcome.resource_violation);
+  cum_reward_ += outcome.reward;
+  cum_qos_ += outcome.qos_violation;
+  cum_res_ += outcome.resource_violation;
+}
+
+std::vector<double> SeriesRecorder::prefix_sum(std::span<const double> xs) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  KahanSum sum;
+  for (const double x : xs) {
+    sum.add(x);
+    out.push_back(sum.value());
+  }
+  return out;
+}
+
+std::vector<double> SeriesRecorder::cumulative_reward() const {
+  return prefix_sum(reward_);
+}
+std::vector<double> SeriesRecorder::cumulative_qos_violation() const {
+  return prefix_sum(qos_);
+}
+std::vector<double> SeriesRecorder::cumulative_resource_violation() const {
+  return prefix_sum(res_);
+}
+
+std::vector<double> SeriesRecorder::performance_ratio() const {
+  std::vector<double> out;
+  out.reserve(reward_.size());
+  KahanSum reward, violation;
+  for (std::size_t i = 0; i < reward_.size(); ++i) {
+    reward.add(reward_[i]);
+    violation.add(qos_[i]);
+    violation.add(res_[i]);
+    const double denom = reward.value() + violation.value();
+    out.push_back(denom > 0.0 ? reward.value() / denom : 1.0);
+  }
+  return out;
+}
+
+double SeriesRecorder::final_performance_ratio() const noexcept {
+  const double denom = cum_reward_ + cum_qos_ + cum_res_;
+  return denom > 0.0 ? cum_reward_ / denom : 1.0;
+}
+
+double SeriesRecorder::mean_reward_tail(std::size_t window) const noexcept {
+  if (reward_.empty()) return 0.0;
+  const std::size_t n = std::min(window, reward_.size());
+  return mean_of(std::span<const double>(reward_).last(n));
+}
+
+double SeriesRecorder::mean_qos_violation_tail(
+    std::size_t window) const noexcept {
+  if (qos_.empty()) return 0.0;
+  const std::size_t n = std::min(window, qos_.size());
+  return mean_of(std::span<const double>(qos_).last(n));
+}
+
+}  // namespace lfsc

@@ -1,0 +1,61 @@
+// Time-series accumulation for one policy across a run: per-slot and
+// cumulative compound reward, violations of (1c)/(1d), and the paper's
+// performance ratio.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.h"
+
+namespace lfsc {
+
+class SeriesRecorder {
+ public:
+  explicit SeriesRecorder(std::string policy_name)
+      : name_(std::move(policy_name)) {}
+
+  void add(const SlotOutcome& outcome);
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t slots() const noexcept { return reward_.size(); }
+
+  std::span<const double> reward() const noexcept { return reward_; }
+  std::span<const double> qos_violation() const noexcept { return qos_; }
+  std::span<const double> resource_violation() const noexcept { return res_; }
+
+  double total_reward() const noexcept { return cum_reward_; }
+  double total_qos_violation() const noexcept { return cum_qos_; }
+  double total_resource_violation() const noexcept { return cum_res_; }
+  double total_violation() const noexcept { return cum_qos_ + cum_res_; }
+
+  /// Cumulative series (prefix sums of the per-slot series).
+  std::vector<double> cumulative_reward() const;
+  std::vector<double> cumulative_qos_violation() const;
+  std::vector<double> cumulative_resource_violation() const;
+
+  /// Performance ratio (Sec. 5): cumulative reward divided by cumulative
+  /// reward plus cumulative violations, per slot. In (0, 1]; equals 1 for
+  /// a violation-free run.
+  std::vector<double> performance_ratio() const;
+  double final_performance_ratio() const noexcept;
+
+  /// Mean per-slot reward over a trailing window (convergence checks).
+  double mean_reward_tail(std::size_t window) const noexcept;
+  double mean_qos_violation_tail(std::size_t window) const noexcept;
+
+ private:
+  static std::vector<double> prefix_sum(std::span<const double> xs);
+
+  std::string name_;
+  std::vector<double> reward_;
+  std::vector<double> qos_;
+  std::vector<double> res_;
+  double cum_reward_ = 0.0;
+  double cum_qos_ = 0.0;
+  double cum_res_ = 0.0;
+};
+
+}  // namespace lfsc

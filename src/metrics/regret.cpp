@@ -1,0 +1,58 @@
+#include "metrics/regret.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/math_util.h"
+
+namespace lfsc {
+
+std::vector<double> cumulative_regret(std::span<const double> oracle_reward,
+                                      std::span<const double> policy_reward) {
+  if (oracle_reward.size() != policy_reward.size()) {
+    throw std::invalid_argument("cumulative_regret: length mismatch");
+  }
+  std::vector<double> out;
+  out.reserve(oracle_reward.size());
+  KahanSum sum;
+  for (std::size_t t = 0; t < oracle_reward.size(); ++t) {
+    sum.add(oracle_reward[t] - policy_reward[t]);
+    out.push_back(sum.value());
+  }
+  return out;
+}
+
+double estimate_growth_exponent(std::span<const double> cumulative,
+                                double tail_fraction) {
+  if (tail_fraction <= 0.0 || tail_fraction > 1.0) {
+    throw std::invalid_argument("estimate_growth_exponent: bad tail fraction");
+  }
+  const std::size_t n = cumulative.size();
+  const auto start = static_cast<std::size_t>(
+      static_cast<double>(n) * (1.0 - tail_fraction));
+  // Least squares of y = log S(t) on x = log t over usable tail points.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  std::size_t count = 0;
+  for (std::size_t t = start; t < n; ++t) {
+    const double value = cumulative[t];
+    if (value <= 0.0) continue;
+    const double x = std::log(static_cast<double>(t + 1));
+    const double y = std::log(value);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++count;
+  }
+  if (count < 2) return 0.0;
+  const auto cd = static_cast<double>(count);
+  const double denom = cd * sxx - sx * sx;
+  if (denom <= 0.0) return 0.0;
+  return (cd * sxy - sx * sy) / denom;
+}
+
+bool is_sublinear(std::span<const double> cumulative, double threshold) {
+  return estimate_growth_exponent(cumulative) < threshold;
+}
+
+}  // namespace lfsc

@@ -1,0 +1,35 @@
+// Regret accounting and empirical sub-linearity checks for Theorem 1.
+//
+// The paper proves R(T) and the violations V1(T), V2(T) grow sub-linearly
+// in T. Empirically we (a) build the cumulative regret series against the
+// Oracle and (b) estimate the growth exponent theta of a cumulative
+// series S(t) ~ C * t^theta via least squares on log S vs log t over the
+// tail; theta < 1 is the sub-linear signature.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace lfsc {
+
+/// Cumulative regret series: prefix sums of (oracle per-slot reward −
+/// policy per-slot reward). Negative per-slot entries are kept (the
+/// learner may beat the oracle's constrained choice in a slot); the
+/// cumulative series is clamped at 0 from below for exponent fitting.
+/// Requires equal lengths.
+std::vector<double> cumulative_regret(std::span<const double> oracle_reward,
+                                      std::span<const double> policy_reward);
+
+/// Fits theta in S(t) ~ C * t^theta by least squares on (log t, log S(t))
+/// using only the tail fraction of the series (default: last half), where
+/// transient effects have washed out. Points with S(t) <= 0 are skipped.
+/// Returns 0 when fewer than two usable points exist.
+double estimate_growth_exponent(std::span<const double> cumulative,
+                                double tail_fraction = 0.5);
+
+/// Convenience: true when the series' tail growth exponent is below
+/// `threshold` (default 0.95 — strictly sub-linear with a margin).
+bool is_sublinear(std::span<const double> cumulative,
+                  double threshold = 0.95);
+
+}  // namespace lfsc

@@ -1,0 +1,47 @@
+#include "radio/compute.h"
+
+#include <algorithm>
+
+namespace lfsc {
+
+ComputeDemand compute_demand(const TaskContext& ctx,
+                             const EdgeServerConfig& config) noexcept {
+  ComputeDemand demand;
+  // Output assembly always runs on the CPU.
+  demand.cpu_gcycles = ctx.output_mbit * config.output_gcycles_per_mbit;
+  switch (ctx.resource) {
+    case ResourceType::kCpu:
+      demand.cpu_gcycles += ctx.input_mbit * config.cpu_gcycles_per_mbit;
+      break;
+    case ResourceType::kGpu:
+      demand.gpu_gcycles += ctx.input_mbit * config.gpu_gcycles_per_mbit;
+      break;
+    case ResourceType::kCpuGpu:
+      // Split pipelines: half the input volume on each engine.
+      demand.cpu_gcycles += 0.5 * ctx.input_mbit * config.cpu_gcycles_per_mbit;
+      demand.gpu_gcycles += 0.5 * ctx.input_mbit * config.gpu_gcycles_per_mbit;
+      break;
+  }
+  return demand;
+}
+
+double server_utilization(const TaskContext& ctx,
+                          const EdgeServerConfig& config) noexcept {
+  const auto demand = compute_demand(ctx, config);
+  const double cpu_share =
+      config.cpu_gcycles_per_slot > 0.0
+          ? demand.cpu_gcycles / config.cpu_gcycles_per_slot
+          : 0.0;
+  const double gpu_share =
+      config.gpu_gcycles_per_slot > 0.0
+          ? demand.gpu_gcycles / config.gpu_gcycles_per_slot
+          : 0.0;
+  return std::clamp(std::max(cpu_share, gpu_share), 0.0, 1.0);
+}
+
+double resource_consumption_q(const TaskContext& ctx,
+                              const EdgeServerConfig& config) noexcept {
+  return 1.0 + server_utilization(ctx, config);
+}
+
+}  // namespace lfsc

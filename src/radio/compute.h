@@ -1,0 +1,44 @@
+// Edge-server compute model: derives the resource consumption Q of a
+// task from its demands and the server's capacity, instead of drawing it
+// from a configured range.
+//
+// Q keeps the paper's raw scale [1, 2] (beta = 27 is on that scale):
+// Q = 1 + utilization, where utilization in [0, 1] is the fraction of
+// the SCN server's per-slot compute the task consumes.
+#pragma once
+
+#include "sim/context.h"
+
+namespace lfsc {
+
+struct EdgeServerConfig {
+  /// Per-slot compute budget of one SCN's server.
+  double cpu_gcycles_per_slot = 60.0;
+  double gpu_gcycles_per_slot = 90.0;
+
+  /// Compute demand per Mbit of input, by resource type.
+  double cpu_gcycles_per_mbit = 1.2;
+  double gpu_gcycles_per_mbit = 1.8;
+
+  /// Output assembly cost per Mbit of output (always CPU).
+  double output_gcycles_per_mbit = 0.4;
+};
+
+/// Compute demand of a task in gigacycles on each engine.
+struct ComputeDemand {
+  double cpu_gcycles = 0.0;
+  double gpu_gcycles = 0.0;
+};
+ComputeDemand compute_demand(const TaskContext& ctx,
+                             const EdgeServerConfig& config = {}) noexcept;
+
+/// Fraction of one server-slot the task consumes (bottleneck engine),
+/// clamped to [0, 1].
+double server_utilization(const TaskContext& ctx,
+                          const EdgeServerConfig& config = {}) noexcept;
+
+/// The paper-scale resource consumption Q in [1, 2].
+double resource_consumption_q(const TaskContext& ctx,
+                              const EdgeServerConfig& config = {}) noexcept;
+
+}  // namespace lfsc

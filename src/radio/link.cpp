@@ -1,0 +1,56 @@
+#include "radio/link.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lfsc {
+
+double noise_power_dbm(const LinkConfig& config) noexcept {
+  return -174.0 + 10.0 * std::log10(config.bandwidth_mhz * 1e6) +
+         config.noise_figure_db;
+}
+
+double beamforming_gain_db(const LinkConfig& config) noexcept {
+  const double elements =
+      static_cast<double>(config.tx_antennas) *
+      static_cast<double>(std::max(1, config.rx_antennas));
+  return 10.0 * std::log10(std::max(1.0, elements)) -
+         config.beam_misalignment_db;
+}
+
+double blockage_probability(double distance_m,
+                            const LinkConfig& config) noexcept {
+  const double rate = config.blockage_rate_per_m * std::max(0.0, distance_m);
+  return 1.0 - std::exp(-rate);
+}
+
+double snr_db(double pathloss_db_value, const LinkConfig& config) noexcept {
+  return config.tx_power_dbm + beamforming_gain_db(config) -
+         pathloss_db_value - noise_power_dbm(config);
+}
+
+double achievable_rate_mbps(double snr_db_value,
+                            const LinkConfig& config) noexcept {
+  constexpr double kDemodFloorDb = -10.0;
+  if (snr_db_value < kDemodFloorDb) return 0.0;
+  const double snr_linear = std::pow(10.0, snr_db_value / 10.0);
+  const double efficiency = std::min(std::log2(1.0 + snr_linear),
+                                     config.max_spectral_efficiency);
+  return config.bandwidth_mhz * efficiency;  // MHz * bits/s/Hz = Mbit/s
+}
+
+LinkDraw draw_link(double distance_m, RngStream& stream,
+                   const LinkConfig& link,
+                   const PathlossConfig& pathloss) noexcept {
+  LinkDraw draw;
+  const auto channel = draw_channel(distance_m, stream, pathloss);
+  draw.line_of_sight = channel.line_of_sight;
+  draw.blocked = stream.bernoulli(blockage_probability(distance_m, link));
+  const double total_loss =
+      channel.pathloss_db + (draw.blocked ? link.blockage_loss_db : 0.0);
+  draw.snr_db = snr_db(total_loss, link);
+  draw.rate_mbps = achievable_rate_mbps(draw.snr_db, link);
+  return draw;
+}
+
+}  // namespace lfsc

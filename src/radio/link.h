@@ -1,0 +1,63 @@
+// mmWave link budget: beamforming gain, noise floor, SNR, Shannon rate
+// with a practical spectral-efficiency ceiling, and dynamic human-body
+// blockage — the ingredients that turn a (distance, channel draw) into
+// an achievable data rate per slot.
+#pragma once
+
+#include "common/rng.h"
+#include "radio/pathloss.h"
+
+namespace lfsc {
+
+struct LinkConfig {
+  double tx_power_dbm = 23.0;       ///< SCN downlink/uplink power
+  double bandwidth_mhz = 400.0;     ///< mmWave carrier bandwidth
+  double noise_figure_db = 7.0;
+  int tx_antennas = 64;             ///< SCN array (beamforming gain)
+  int rx_antennas = 4;              ///< device array
+  double beam_misalignment_db = 3.0;  ///< average pointing loss
+
+  /// Practical ceiling on spectral efficiency (256-QAM-ish), bits/s/Hz.
+  double max_spectral_efficiency = 7.4;
+
+  /// Human-body / vehicle blockage: density of blockers per meter of
+  /// link distance per slot; the blockage probability is
+  /// 1 - exp(-rate * distance), capped below 1.
+  double blockage_rate_per_m = 0.002;
+  double blockage_loss_db = 25.0;   ///< attenuation when blocked
+};
+
+/// Thermal noise power over the configured bandwidth, dBm:
+/// -174 dBm/Hz + 10 log10(BW) + NF.
+double noise_power_dbm(const LinkConfig& config) noexcept;
+
+/// Array gain (dB) for the configured antennas: 10 log10(Ntx * Nrx)
+/// minus the average misalignment loss.
+double beamforming_gain_db(const LinkConfig& config) noexcept;
+
+/// Probability that a blocker interrupts a link of length `distance_m`
+/// during a slot.
+double blockage_probability(double distance_m,
+                            const LinkConfig& config) noexcept;
+
+/// SNR in dB for a given total pathloss (including shadowing and any
+/// blockage loss).
+double snr_db(double pathloss_db, const LinkConfig& config) noexcept;
+
+/// Achievable rate in Mbit/s: bandwidth × min(log2(1+SNR), ceiling).
+/// Non-positive for SNR below the demodulation floor (-10 dB).
+double achievable_rate_mbps(double snr_db_value,
+                            const LinkConfig& config) noexcept;
+
+/// Full link realization: channel draw + blockage + rate.
+struct LinkDraw {
+  bool blocked = false;
+  bool line_of_sight = false;
+  double snr_db = 0.0;
+  double rate_mbps = 0.0;
+};
+LinkDraw draw_link(double distance_m, RngStream& stream,
+                   const LinkConfig& link = {},
+                   const PathlossConfig& pathloss = {}) noexcept;
+
+}  // namespace lfsc

@@ -1,0 +1,38 @@
+#include "radio/pathloss.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lfsc {
+
+double los_probability(double distance_m) noexcept {
+  const double d = std::max(distance_m, 1.0);
+  if (d <= 18.0) return 1.0;
+  const double decay = std::exp(-d / 36.0);
+  return std::min(18.0 / d, 1.0) * (1.0 - decay) + decay;
+}
+
+double pathloss_db(double distance_m, bool line_of_sight,
+                   const PathlossConfig& config) noexcept {
+  const double d = std::max(distance_m, config.min_distance_m);
+  const double log_d = std::log10(d);
+  const double log_f = std::log10(config.carrier_ghz);
+  const double los = 32.4 + 21.0 * log_d + 20.0 * log_f;
+  if (line_of_sight) return los;
+  const double nlos = 22.4 + 35.3 * log_d + 21.3 * log_f;
+  return std::max(los, nlos);
+}
+
+ChannelDraw draw_channel(double distance_m, RngStream& stream,
+                         const PathlossConfig& config) noexcept {
+  ChannelDraw draw;
+  draw.line_of_sight = stream.bernoulli(los_probability(distance_m));
+  const double sigma = draw.line_of_sight ? config.shadow_sigma_los_db
+                                          : config.shadow_sigma_nlos_db;
+  draw.pathloss_db =
+      pathloss_db(distance_m, draw.line_of_sight, config) +
+      stream.normal(0.0, sigma);
+  return draw;
+}
+
+}  // namespace lfsc

@@ -1,0 +1,45 @@
+// mmWave urban-micro pathloss, LoS probability and shadowing, after the
+// 3GPP TR 38.901 UMi street-canyon model (simplified to 2D distances).
+//
+// This is the physical grounding for the paper's "unstable communication
+// link ... caused by weak penetration of 5G mmWave": the completion
+// likelihood V of the radio-driven environment is *derived* from these
+// equations instead of being drawn from a configured range.
+#pragma once
+
+#include "common/rng.h"
+
+namespace lfsc {
+
+struct PathlossConfig {
+  double carrier_ghz = 28.0;      ///< mmWave carrier frequency
+  double shadow_sigma_los_db = 4.0;
+  double shadow_sigma_nlos_db = 7.8;
+
+  /// Minimum modeled distance; closer links are clamped (the model is
+  /// not calibrated below ~10 m).
+  double min_distance_m = 10.0;
+};
+
+/// 3GPP UMi line-of-sight probability at 2D distance `d` meters:
+///   P_LoS(d) = min(18/d, 1) * (1 - e^{-d/36}) + e^{-d/36}.
+/// Monotonically decreasing, 1 at d <= 18 m.
+double los_probability(double distance_m) noexcept;
+
+/// UMi street-canyon pathloss in dB (without shadowing):
+///   LoS : 32.4 + 21.0 log10(d) + 20 log10(f_GHz)
+///   NLoS: max(LoS, 22.4 + 35.3 log10(d) + 21.3 log10(f_GHz))
+/// (NLoS is lower-bounded by LoS per the standard.)
+double pathloss_db(double distance_m, bool line_of_sight,
+                   const PathlossConfig& config = {}) noexcept;
+
+/// One channel realization: Bernoulli LoS state, pathloss, and
+/// log-normal shadowing drawn from `stream`.
+struct ChannelDraw {
+  bool line_of_sight = false;
+  double pathloss_db = 0.0;  ///< including shadowing
+};
+ChannelDraw draw_channel(double distance_m, RngStream& stream,
+                         const PathlossConfig& config = {}) noexcept;
+
+}  // namespace lfsc

@@ -1,0 +1,83 @@
+#include "radio/radio_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lfsc {
+
+RadioSimulator::RadioSimulator(NetworkConfig net, RadioSimConfig config)
+    : net_(net),
+      config_([&] {
+        config.geometry.num_scns = net.num_scns;  // single source of truth
+        return config;
+      }()),
+      coverage_(config_.geometry) {
+  net_.validate();
+  if (config_.airtime_per_task_s <= 0.0) {
+    throw std::invalid_argument("RadioSimulator: airtime must be positive");
+  }
+}
+
+double RadioSimulator::nominal_rate_mbps(double distance_m) const noexcept {
+  const double loss =
+      pathloss_db(distance_m, /*line_of_sight=*/true, config_.pathloss);
+  return achievable_rate_mbps(snr_db(loss, config_.link), config_.link);
+}
+
+Slot RadioSimulator::generate_slot(int t) {
+  Slot slot;
+  slot.info.t = t;
+  RngStream stream(config_.seed, 0x12AD10 + static_cast<std::uint64_t>(t));
+  coverage_.generate(stream, generator_, slot.info);
+
+  const auto& scns = coverage_.scn_positions();
+  const auto& wds = coverage_.wd_positions();
+  const auto num_scns = slot.info.coverage.size();
+  slot.real.u.resize(num_scns);
+  slot.real.v.resize(num_scns);
+  slot.real.q.resize(num_scns);
+
+  // Task value u is a property of the task, not of the serving SCN: draw
+  // it once per task so every covering SCN sees the same value.
+  std::vector<double> task_value(slot.info.tasks.size());
+  for (std::size_t i = 0; i < slot.info.tasks.size(); ++i) {
+    const auto& ctx = slot.info.tasks[i].context;
+    const double raw = config_.value_base +
+                       config_.value_per_input_mbit * ctx.input_mbit +
+                       stream.uniform(-config_.value_noise,
+                                      config_.value_noise);
+    task_value[i] = std::clamp(raw, 0.0, 1.0);
+  }
+
+  for (std::size_t m = 0; m < num_scns; ++m) {
+    const auto& cover = slot.info.coverage[m];
+    slot.real.u[m].resize(cover.size());
+    slot.real.v[m].resize(cover.size());
+    slot.real.q[m].resize(cover.size());
+    for (std::size_t j = 0; j < cover.size(); ++j) {
+      const auto& task = slot.info.tasks[static_cast<std::size_t>(cover[j])];
+      const auto& wd = wds[static_cast<std::size_t>(task.wd_id)];
+      const double dx = (scns[m].x - wd.x) * 1000.0;  // km -> m
+      const double dy = (scns[m].y - wd.y) * 1000.0;
+      const double distance_m = std::hypot(dx, dy);
+
+      const auto link = draw_link(distance_m, stream, config_.link,
+                                  config_.pathloss);
+      // Completion likelihood: share of the task's data the link moves in
+      // its airtime. An interrupted (blocked-to-outage) link completes
+      // nothing.
+      const double volume_mbit = task.context.input_mbit +
+                                 task.context.output_mbit;
+      const double movable_mbit = link.rate_mbps * config_.airtime_per_task_s;
+      slot.real.v[m][j] =
+          volume_mbit > 0.0 ? std::clamp(movable_mbit / volume_mbit, 0.0, 1.0)
+                            : 1.0;
+      slot.real.u[m][j] = task_value[static_cast<std::size_t>(cover[j])];
+      slot.real.q[m][j] = resource_consumption_q(task.context, config_.server);
+    }
+  }
+  return slot;
+}
+
+}  // namespace lfsc

@@ -1,0 +1,47 @@
+#include "sim/context.h"
+
+#include <algorithm>
+
+namespace lfsc {
+
+std::string_view to_string(ResourceType type) noexcept {
+  switch (type) {
+    case ResourceType::kCpu:
+      return "CPU";
+    case ResourceType::kGpu:
+      return "GPU";
+    case ResourceType::kCpuGpu:
+      return "CPU+GPU";
+  }
+  return "unknown";
+}
+
+namespace {
+
+double normalize_range(double value, double lo, double hi) noexcept {
+  if (hi <= lo) return 0.0;
+  return std::clamp((value - lo) / (hi - lo), 0.0, 1.0);
+}
+
+}  // namespace
+
+TaskContext make_context(double input_mbit, double output_mbit,
+                         ResourceType resource,
+                         const ContextRanges& ranges) noexcept {
+  TaskContext ctx;
+  ctx.input_mbit = std::clamp(input_mbit, ranges.input_mbit_lo,
+                              ranges.input_mbit_hi);
+  ctx.output_mbit = std::clamp(output_mbit, ranges.output_mbit_lo,
+                               ranges.output_mbit_hi);
+  ctx.resource = resource;
+  ctx.normalized[0] =
+      normalize_range(ctx.input_mbit, ranges.input_mbit_lo, ranges.input_mbit_hi);
+  ctx.normalized[1] = normalize_range(ctx.output_mbit, ranges.output_mbit_lo,
+                                      ranges.output_mbit_hi);
+  // Resource type maps to the midpoint of its third of [0,1] so that the
+  // three categories fall into distinct partition cells for any h_T >= 3.
+  ctx.normalized[2] = (static_cast<double>(ctx.resource) + 0.5) / 3.0;
+  return ctx;
+}
+
+}  // namespace lfsc

@@ -1,0 +1,51 @@
+// Task context model (Sec. 3.2 of the paper).
+//
+// A task's context summarizes its meta information: input data size,
+// output data size, and the type of computation resource it depends on.
+// Contexts live (after normalization) in [0,1]^3; the LFSC algorithm
+// partitions that space into hypercubes and learns per-hypercube.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace lfsc {
+
+/// Which compute resource a task exercises on the edge server.
+enum class ResourceType : int { kCpu = 0, kGpu = 1, kCpuGpu = 2 };
+
+std::string_view to_string(ResourceType type) noexcept;
+
+/// Number of context dimensions per task (input size, output size,
+/// resource type).
+inline constexpr std::size_t kContextDims = 3;
+
+/// Value ranges used to normalize raw context fields into [0,1].
+/// Defaults follow the paper's simulation setup (Sec. 5).
+struct ContextRanges {
+  double input_mbit_lo = 5.0;
+  double input_mbit_hi = 20.0;
+  double output_mbit_lo = 1.0;
+  double output_mbit_hi = 4.0;
+};
+
+/// A task's context: raw meta information plus its normalized embedding
+/// in [0,1]^3. The normalized vector is what the learning algorithms see.
+struct TaskContext {
+  double input_mbit = 0.0;
+  double output_mbit = 0.0;
+  ResourceType resource = ResourceType::kCpu;
+
+  /// Normalized coordinates in [0,1]^3:
+  ///   [0] input size, [1] output size, [2] resource type (cell midpoint).
+  std::array<double, kContextDims> normalized{};
+};
+
+/// Builds a TaskContext from raw fields, computing the normalized
+/// embedding with the given ranges. Raw values are clamped into range.
+TaskContext make_context(double input_mbit, double output_mbit,
+                         ResourceType resource,
+                         const ContextRanges& ranges = {}) noexcept;
+
+}  // namespace lfsc

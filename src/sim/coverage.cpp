@@ -1,0 +1,132 @@
+#include "sim/coverage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lfsc {
+
+AbstractCoverage::AbstractCoverage(AbstractCoverageConfig config)
+    : config_(config) {
+  if (config_.num_scns <= 0) {
+    throw std::invalid_argument("AbstractCoverage: num_scns must be positive");
+  }
+  if (config_.tasks_per_scn_min < 0 ||
+      config_.tasks_per_scn_max < config_.tasks_per_scn_min) {
+    throw std::invalid_argument("AbstractCoverage: invalid |D_mt| range");
+  }
+  if (config_.coverage_degree < 1.0) {
+    throw std::invalid_argument(
+        "AbstractCoverage: coverage_degree must be >= 1");
+  }
+}
+
+void AbstractCoverage::generate(RngStream& stream, TaskGenerator& gen,
+                                SlotInfo& out) {
+  out.tasks.clear();
+  out.coverage.assign(static_cast<std::size_t>(config_.num_scns), {});
+
+  // Draw per-SCN demand |D_{m,t}| ~ U[min, max].
+  std::vector<int> demand(static_cast<std::size_t>(config_.num_scns));
+  long total_demand = 0;
+  for (auto& d : demand) {
+    d = static_cast<int>(stream.uniform_int(config_.tasks_per_scn_min,
+                                            config_.tasks_per_scn_max));
+    total_demand += d;
+  }
+
+  // Pool size chosen so the average task is covered by ~coverage_degree
+  // SCNs; each SCN then samples its demand from the shared pool.
+  const auto pool_size = static_cast<std::size_t>(std::max<long>(
+      1, std::lround(static_cast<double>(total_demand) / config_.coverage_degree)));
+  out.tasks.reserve(pool_size);
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    out.tasks.push_back(gen.next(stream));
+  }
+
+  for (int m = 0; m < config_.num_scns; ++m) {
+    const auto want =
+        std::min<std::size_t>(static_cast<std::size_t>(demand[static_cast<std::size_t>(m)]),
+                              pool_size);
+    auto picks = stream.sample_without_replacement(pool_size, want);
+    std::sort(picks.begin(), picks.end());
+    auto& cover = out.coverage[static_cast<std::size_t>(m)];
+    cover.reserve(picks.size());
+    for (const auto p : picks) cover.push_back(static_cast<int>(p));
+  }
+}
+
+std::unique_ptr<CoverageModel> AbstractCoverage::clone() const {
+  return std::make_unique<AbstractCoverage>(*this);
+}
+
+GeometricCoverage::GeometricCoverage(GeometricCoverageConfig config)
+    : config_(config) {
+  if (config_.num_scns <= 0 || config_.num_wds < 0) {
+    throw std::invalid_argument("GeometricCoverage: invalid counts");
+  }
+  if (config_.area_km <= 0.0 || config_.coverage_radius_km <= 0.0) {
+    throw std::invalid_argument("GeometricCoverage: invalid geometry");
+  }
+  // Infrastructure layout is fixed across the run (and across clones):
+  // SCNs are attached to fixed structures (streetlights, utility poles).
+  RngStream layout(config_.layout_seed, 0xC0FFEE);
+  scns_.resize(static_cast<std::size_t>(config_.num_scns));
+  for (auto& p : scns_) {
+    p.x = layout.uniform(0.0, config_.area_km);
+    p.y = layout.uniform(0.0, config_.area_km);
+  }
+  wds_.resize(static_cast<std::size_t>(config_.num_wds));
+  waypoints_.resize(static_cast<std::size_t>(config_.num_wds));
+  for (std::size_t i = 0; i < wds_.size(); ++i) {
+    wds_[i] = {layout.uniform(0.0, config_.area_km),
+               layout.uniform(0.0, config_.area_km)};
+    waypoints_[i] = {layout.uniform(0.0, config_.area_km),
+                     layout.uniform(0.0, config_.area_km)};
+  }
+}
+
+void GeometricCoverage::step_mobility(RngStream& stream) {
+  const double step = config_.wd_speed_km_per_slot;
+  for (std::size_t i = 0; i < wds_.size(); ++i) {
+    const double dx = waypoints_[i].x - wds_[i].x;
+    const double dy = waypoints_[i].y - wds_[i].y;
+    const double dist = std::hypot(dx, dy);
+    if (dist <= step) {
+      wds_[i] = waypoints_[i];
+      waypoints_[i] = {stream.uniform(0.0, config_.area_km),
+                       stream.uniform(0.0, config_.area_km)};
+    } else {
+      wds_[i].x += step * dx / dist;
+      wds_[i].y += step * dy / dist;
+    }
+  }
+}
+
+void GeometricCoverage::generate(RngStream& stream, TaskGenerator& gen,
+                                 SlotInfo& out) {
+  step_mobility(stream);
+  out.tasks.clear();
+  out.coverage.assign(static_cast<std::size_t>(config_.num_scns), {});
+
+  const double r2 = config_.coverage_radius_km * config_.coverage_radius_km;
+  for (std::size_t i = 0; i < wds_.size(); ++i) {
+    if (!stream.bernoulli(config_.task_probability)) continue;
+    const int task_index = static_cast<int>(out.tasks.size());
+    out.tasks.push_back(gen.next(stream, static_cast<int>(i)));
+    for (int m = 0; m < config_.num_scns; ++m) {
+      const auto& s = scns_[static_cast<std::size_t>(m)];
+      const double dx = s.x - wds_[i].x;
+      const double dy = s.y - wds_[i].y;
+      if (dx * dx + dy * dy <= r2) {
+        out.coverage[static_cast<std::size_t>(m)].push_back(task_index);
+      }
+    }
+  }
+}
+
+std::unique_ptr<CoverageModel> GeometricCoverage::clone() const {
+  return std::make_unique<GeometricCoverage>(*this);
+}
+
+}  // namespace lfsc

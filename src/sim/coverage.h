@@ -1,0 +1,103 @@
+// Coverage models: which tasks are within which SCN's coverage each slot.
+//
+// Two implementations:
+//  * AbstractCoverage — the paper's setup: per slot, SCN m sees
+//    |D_{m,t}| ~ U[35,100] tasks drawn from a shared pool, so tasks
+//    overlap between SCNs ("a WD may be covered by multiple small cells").
+//  * GeometricCoverage — an explicit spatial model: SCNs at fixed
+//    positions, wireless devices moving by random waypoint, coverage by
+//    Euclidean radius. Used by the geometric example and robustness tests.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/generator.h"
+#include "sim/task.h"
+
+namespace lfsc {
+
+/// Produces the task set D_t and the coverage lists D_{m,t} for a slot.
+/// Implementations may be stateful (mobility); state must evolve only
+/// through generate() so that a fixed seed yields a fixed trajectory.
+class CoverageModel {
+ public:
+  virtual ~CoverageModel() = default;
+
+  virtual int num_scns() const noexcept = 0;
+
+  /// Fills `out.tasks` and `out.coverage` for slot `out.t`, drawing all
+  /// randomness from `stream` and creating tasks through `gen`.
+  virtual void generate(RngStream& stream, TaskGenerator& gen,
+                        SlotInfo& out) = 0;
+
+  /// Deep copy including mobility state; used by parallel sweeps.
+  virtual std::unique_ptr<CoverageModel> clone() const = 0;
+};
+
+/// Paper-mode coverage (Sec. 5).
+struct AbstractCoverageConfig {
+  int num_scns = 30;
+  int tasks_per_scn_min = 35;  ///< lower end of |D_{m,t}|
+  int tasks_per_scn_max = 100; ///< upper end of |D_{m,t}|
+
+  /// Average number of SCNs covering a task; controls overlap. 1.0 means
+  /// disjoint coverage, larger values increase contention between SCNs.
+  double coverage_degree = 1.3;
+};
+
+class AbstractCoverage final : public CoverageModel {
+ public:
+  explicit AbstractCoverage(AbstractCoverageConfig config);
+
+  int num_scns() const noexcept override { return config_.num_scns; }
+  void generate(RngStream& stream, TaskGenerator& gen, SlotInfo& out) override;
+  std::unique_ptr<CoverageModel> clone() const override;
+
+  const AbstractCoverageConfig& config() const noexcept { return config_; }
+
+ private:
+  AbstractCoverageConfig config_;
+};
+
+/// Spatial coverage with random-waypoint device mobility.
+struct GeometricCoverageConfig {
+  int num_scns = 30;
+  int num_wds = 600;
+  double area_km = 6.0;          ///< side of the square deployment area
+  double coverage_radius_km = 1.0;
+  double wd_speed_km_per_slot = 0.05;
+  double task_probability = 0.9; ///< P(a WD requests offloading in a slot)
+  std::uint64_t layout_seed = 7; ///< SCN placement (fixed infrastructure)
+};
+
+class GeometricCoverage final : public CoverageModel {
+ public:
+  explicit GeometricCoverage(GeometricCoverageConfig config);
+
+  int num_scns() const noexcept override { return config_.num_scns; }
+  void generate(RngStream& stream, TaskGenerator& gen, SlotInfo& out) override;
+  std::unique_ptr<CoverageModel> clone() const override;
+
+  const GeometricCoverageConfig& config() const noexcept { return config_; }
+
+  struct Point {
+    double x = 0.0;
+    double y = 0.0;
+  };
+  /// Fixed SCN positions (exposed for the geometric example's map output).
+  const std::vector<Point>& scn_positions() const noexcept { return scns_; }
+  /// Current device positions (evolve via generate()).
+  const std::vector<Point>& wd_positions() const noexcept { return wds_; }
+
+ private:
+  void step_mobility(RngStream& stream);
+
+  GeometricCoverageConfig config_;
+  std::vector<Point> scns_;
+  std::vector<Point> wds_;
+  std::vector<Point> waypoints_;
+};
+
+}  // namespace lfsc

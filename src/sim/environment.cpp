@@ -1,0 +1,100 @@
+#include "sim/environment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lfsc {
+namespace {
+
+std::size_t grid_index(const std::array<double, kContextDims>& coords,
+                       int grid) noexcept {
+  std::size_t index = 0;
+  for (const double coord : coords) {
+    auto part = static_cast<std::size_t>(coord * grid);
+    part = std::min<std::size_t>(part, static_cast<std::size_t>(grid) - 1);
+    index = index * static_cast<std::size_t>(grid) + part;
+  }
+  return index;
+}
+
+}  // namespace
+
+Environment::Environment(const EnvironmentConfig& config) : config_(config) {
+  if (config_.num_scns <= 0) {
+    throw std::invalid_argument("Environment: num_scns must be positive");
+  }
+  if (config_.latent_grid <= 0) {
+    throw std::invalid_argument("Environment: latent_grid must be positive");
+  }
+  if (config_.reward_hi < config_.reward_lo ||
+      config_.likelihood_hi < config_.likelihood_lo ||
+      config_.consumption_hi < config_.consumption_lo) {
+    throw std::invalid_argument("Environment: inverted mean range");
+  }
+  cells_per_scn_ = 1;
+  for (std::size_t d = 0; d < kContextDims; ++d) {
+    cells_per_scn_ *= static_cast<std::size_t>(config_.latent_grid);
+  }
+  const std::size_t total = cells_per_scn_ * static_cast<std::size_t>(config_.num_scns);
+  mean_u_.resize(total);
+  mean_v_.resize(total);
+  mean_q_.resize(total);
+  // One stream per SCN keyed off the environment seed keeps ground truth
+  // independent of how many SCNs other configurations use.
+  for (int m = 0; m < config_.num_scns; ++m) {
+    RngStream stream(config_.seed, 0x1000 + static_cast<std::uint64_t>(m));
+    const std::size_t base = cells_per_scn_ * static_cast<std::size_t>(m);
+    for (std::size_t cell = 0; cell < cells_per_scn_; ++cell) {
+      mean_u_[base + cell] = stream.uniform(config_.reward_lo, config_.reward_hi);
+      mean_v_[base + cell] =
+          stream.uniform(config_.likelihood_lo, config_.likelihood_hi);
+      mean_q_[base + cell] =
+          stream.uniform(config_.consumption_lo, config_.consumption_hi);
+    }
+  }
+}
+
+std::size_t Environment::latent_cell(const TaskContext& ctx) const noexcept {
+  return grid_index(ctx.normalized, config_.latent_grid);
+}
+
+double Environment::mean_reward(int scn, const TaskContext& ctx) const noexcept {
+  return mean_u_[cells_per_scn_ * static_cast<std::size_t>(scn) + latent_cell(ctx)];
+}
+
+double Environment::mean_likelihood(int scn,
+                                    const TaskContext& ctx) const noexcept {
+  const double base =
+      mean_v_[cells_per_scn_ * static_cast<std::size_t>(scn) + latent_cell(ctx)];
+  return base * (1.0 - config_.blockage_prob);
+}
+
+double Environment::mean_consumption(int scn,
+                                     const TaskContext& ctx) const noexcept {
+  return mean_q_[cells_per_scn_ * static_cast<std::size_t>(scn) + latent_cell(ctx)];
+}
+
+double Environment::mean_compound(int scn, const TaskContext& ctx) const noexcept {
+  const double q = mean_consumption(scn, ctx);
+  return q > 0.0 ? mean_reward(scn, ctx) * mean_likelihood(scn, ctx) / q : 0.0;
+}
+
+Environment::Draw Environment::draw(int scn, const TaskContext& ctx,
+                                    RngStream& stream) const noexcept {
+  const std::size_t idx =
+      cells_per_scn_ * static_cast<std::size_t>(scn) + latent_cell(ctx);
+  Draw d;
+  const double jitter = config_.jitter;
+  d.u = std::clamp(mean_u_[idx] + stream.uniform(-jitter, jitter), 0.0, 1.0);
+  d.v = std::clamp(mean_v_[idx] + stream.uniform(-jitter, jitter), 0.0, 1.0);
+  d.q = std::clamp(mean_q_[idx] + stream.uniform(-jitter, jitter),
+                   config_.consumption_lo, config_.consumption_hi);
+  // mmWave blockage interrupts the task: completion likelihood collapses.
+  if (config_.blockage_prob > 0.0 && stream.bernoulli(config_.blockage_prob)) {
+    d.v = 0.0;
+  }
+  return d;
+}
+
+}  // namespace lfsc

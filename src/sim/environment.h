@@ -1,0 +1,106 @@
+// Ground-truth environment: the unknown random processes U, V, Q of
+// Sec. 3.2, realized per (SCN, context) pair.
+//
+// The processes are stationary (per the paper's assumption for V and Q;
+// we keep U stationary as well, matching the simulation setup where
+// rewards are "normalized and uniformly distributed in [0,1]").
+// Ground truth is defined on a *latent grid* finer than the algorithm's
+// hypercube partition, so that learning a hypercube's value is a genuine
+// estimation problem (within-hypercube heterogeneity exists).
+//
+// mmWave blockage (weak diffraction, Sec. 1) is modeled as an additional
+// Bernoulli event that zeroes the completion likelihood draw.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/context.h"
+
+namespace lfsc {
+
+struct EnvironmentConfig {
+  int num_scns = 30;
+
+  /// Per-dimension resolution of the latent ground-truth grid. Default 3
+  /// matches the paper's setup ("divide the input/output data size into
+  /// three categories by default"): truth is constant per category cell,
+  /// and learners estimate it from noisy realizations. Raise it above the
+  /// algorithm's h_T to study model mismatch (within-hypercube
+  /// heterogeneity the learner cannot resolve).
+  int latent_grid = 3;
+
+  /// Range the per-(SCN, cell) mean reward is drawn from. Paper: U[0,1].
+  double reward_lo = 0.0;
+  double reward_hi = 1.0;
+
+  /// Range the mean completion likelihood is drawn from. Paper: U[0,1];
+  /// Fig. 4 sweeps this range to model different channel environments.
+  double likelihood_lo = 0.0;
+  double likelihood_hi = 1.0;
+
+  /// Range the mean resource consumption is drawn from. Paper: U[1,2]
+  /// (raw scale; beta = 27 is on this scale).
+  double consumption_lo = 1.0;
+  double consumption_hi = 2.0;
+
+  /// Half-width of the uniform jitter applied to each realization around
+  /// its latent mean (clipped back into the valid range).
+  double jitter = 0.1;
+
+  /// Probability that an mmWave blockage interrupts a task, forcing the
+  /// likelihood realization to 0 for that draw.
+  double blockage_prob = 0.0;
+
+  std::uint64_t seed = 42;
+};
+
+/// Immutable ground truth plus realization sampling. Thread-safe for
+/// concurrent reads; draws consume the caller-provided stream.
+class Environment {
+ public:
+  explicit Environment(const EnvironmentConfig& config);
+
+  const EnvironmentConfig& config() const noexcept { return config_; }
+  int num_scns() const noexcept { return config_.num_scns; }
+
+  /// Latent mean of U (reward) for SCN m processing a task with context
+  /// `ctx`.
+  double mean_reward(int scn, const TaskContext& ctx) const noexcept;
+
+  /// Latent mean of V (completion likelihood), including the blockage
+  /// haircut (1 - blockage_prob).
+  double mean_likelihood(int scn, const TaskContext& ctx) const noexcept;
+
+  /// Latent mean of Q (resource consumption, raw scale [1,2]).
+  double mean_consumption(int scn, const TaskContext& ctx) const noexcept;
+
+  /// E[U]E[V]/E[Q]: the first-order expected compound reward, used by
+  /// tests and diagnostics (the processes are independent, so
+  /// E[UV] = E[U]E[V]; E[1/Q] != 1/E[Q] but the gap is O(jitter^2)).
+  double mean_compound(int scn, const TaskContext& ctx) const noexcept;
+
+  /// One realization of (U, V, Q) for SCN `scn` processing a task with
+  /// context `ctx`, drawn from `stream`.
+  struct Draw {
+    double u = 0.0;
+    double v = 0.0;
+    double q = 1.0;
+  };
+  Draw draw(int scn, const TaskContext& ctx, RngStream& stream) const noexcept;
+
+  /// Index of the latent grid cell containing `ctx` (exposed for tests).
+  std::size_t latent_cell(const TaskContext& ctx) const noexcept;
+  std::size_t latent_cell_count() const noexcept { return cells_per_scn_; }
+
+ private:
+  EnvironmentConfig config_;
+  std::size_t cells_per_scn_ = 0;
+  // Flattened [scn][cell] latent means.
+  std::vector<double> mean_u_;
+  std::vector<double> mean_v_;
+  std::vector<double> mean_q_;
+};
+
+}  // namespace lfsc

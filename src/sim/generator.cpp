@@ -1,0 +1,29 @@
+#include "sim/generator.h"
+
+namespace lfsc {
+
+double TaskGenerator::draw_size(RngStream& stream, double lo, double hi) noexcept {
+  if (config_.continuous_sizes) {
+    return stream.uniform(lo, hi);
+  }
+  // Categorical mode: sizes fall on the midpoints of `size_categories`
+  // equal bins, mirroring the paper's "three categories by default".
+  const int k = config_.size_categories;
+  const auto category = static_cast<double>(stream.uniform_int(0, k - 1));
+  const double width = (hi - lo) / static_cast<double>(k);
+  return lo + (category + 0.5) * width;
+}
+
+Task TaskGenerator::next(RngStream& stream, int wd_id) noexcept {
+  Task task;
+  task.id = next_id_++;
+  task.wd_id = wd_id;
+  const auto& r = config_.ranges;
+  const double input = draw_size(stream, r.input_mbit_lo, r.input_mbit_hi);
+  const double output = draw_size(stream, r.output_mbit_lo, r.output_mbit_hi);
+  const auto resource = static_cast<ResourceType>(stream.uniform_int(0, 2));
+  task.context = make_context(input, output, resource, r);
+  return task;
+}
+
+}  // namespace lfsc

@@ -1,0 +1,44 @@
+// Task generation with the paper's published workload marginals:
+// input size U[5,20] Mbit, output size U[1,4] Mbit, resource type uniform
+// over {CPU, GPU, CPU+GPU} (Sec. 5 simulation setup).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "sim/task.h"
+
+namespace lfsc {
+
+struct TaskGeneratorConfig {
+  ContextRanges ranges;
+
+  /// When true (default), raw sizes are drawn uniformly across the full
+  /// range. When false, sizes are drawn from one of `h` discrete
+  /// categories per dimension ("divide the input/output data size into
+  /// three categories", Sec. 5) — useful to test the categorical variant.
+  bool continuous_sizes = true;
+  int size_categories = 3;
+};
+
+/// Stateful task factory; ids increase monotonically across the run.
+class TaskGenerator {
+ public:
+  explicit TaskGenerator(TaskGeneratorConfig config = {}) noexcept
+      : config_(config) {}
+
+  const TaskGeneratorConfig& config() const noexcept { return config_; }
+
+  /// Draws one task; `wd_id` tags the originating device (geometric mode).
+  Task next(RngStream& stream, int wd_id = 0) noexcept;
+
+  std::int64_t tasks_created() const noexcept { return next_id_; }
+
+ private:
+  double draw_size(RngStream& stream, double lo, double hi) noexcept;
+
+  TaskGeneratorConfig config_;
+  std::int64_t next_id_ = 0;
+};
+
+}  // namespace lfsc

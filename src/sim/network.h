@@ -1,0 +1,33 @@
+// System-level constants of the small cell network (Sec. 3.2):
+// communication capacity c, QoS threshold alpha, resource capacity beta.
+#pragma once
+
+#include <stdexcept>
+
+namespace lfsc {
+
+struct NetworkConfig {
+  int num_scns = 30;
+
+  /// (1a) maximum number of tasks each SCN can accept per slot
+  /// (beamforming / RF-chain limit).
+  int capacity_c = 20;
+
+  /// (1c) minimum expected number of completed tasks per SCN per slot.
+  double qos_alpha = 15.0;
+
+  /// (1d) computation resource capacity per SCN per slot (raw Q scale,
+  /// Q in [1,2] per the simulation setup).
+  double resource_beta = 27.0;
+
+  void validate() const {
+    if (num_scns <= 0) throw std::invalid_argument("num_scns must be > 0");
+    if (capacity_c <= 0) throw std::invalid_argument("capacity_c must be > 0");
+    if (qos_alpha < 0.0) throw std::invalid_argument("qos_alpha must be >= 0");
+    if (resource_beta <= 0.0) {
+      throw std::invalid_argument("resource_beta must be > 0");
+    }
+  }
+};
+
+}  // namespace lfsc

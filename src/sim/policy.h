@@ -1,0 +1,52 @@
+// The policy interface every offloading strategy implements.
+//
+// Information flow enforces the bandit feedback model structurally:
+//  * select() sees only SlotInfo (tasks, contexts, coverage) — never the
+//    realized U/V/Q;
+//  * observe() delivers realizations only for the tasks the policy's own
+//    assignment actually processed;
+//  * the Oracle opts into full information via needs_realizations() and
+//    select_omniscient().
+#pragma once
+
+#include <string_view>
+
+#include "sim/network.h"
+#include "sim/task.h"
+
+namespace lfsc {
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Chooses the slot's assignment from observable information only.
+  virtual Assignment select(const SlotInfo& info) = 0;
+
+  /// Receives bandit feedback for the tasks processed under `assignment`.
+  /// Default: ignore (e.g. the Random policy does not learn).
+  virtual void observe(const SlotInfo& info, const Assignment& assignment,
+                       const SlotFeedback& feedback) {
+    (void)info;
+    (void)assignment;
+    (void)feedback;
+  }
+
+  /// True only for reference policies (the Oracle) that are allowed to
+  /// see realizations at decision time. The harness then calls
+  /// select_omniscient() instead of select().
+  virtual bool needs_realizations() const noexcept { return false; }
+
+  /// Full-information selection; only invoked when needs_realizations().
+  virtual Assignment select_omniscient(const Slot& slot) {
+    return select(slot.info);
+  }
+
+  /// Clears all learned state (weights, counters, multipliers) so the
+  /// policy can be reused for another run.
+  virtual void reset() {}
+};
+
+}  // namespace lfsc

@@ -1,0 +1,71 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+
+namespace lfsc {
+
+Simulator::Simulator(NetworkConfig net, const EnvironmentConfig& env,
+                     std::unique_ptr<CoverageModel> coverage,
+                     TaskGeneratorConfig gen_config)
+    : net_(net),
+      env_([&] {
+        EnvironmentConfig e = env;
+        e.num_scns = net.num_scns;  // single source of truth for SCN count
+        return Environment(e);
+      }()),
+      coverage_(std::move(coverage)),
+      generator_(gen_config),
+      seed_(env.seed) {
+  net_.validate();
+  if (!coverage_) {
+    throw std::invalid_argument("Simulator: coverage model required");
+  }
+  if (coverage_->num_scns() != net_.num_scns) {
+    throw std::invalid_argument(
+        "Simulator: coverage model SCN count differs from NetworkConfig");
+  }
+}
+
+Simulator::Simulator(NetworkConfig net, Environment env,
+                     std::unique_ptr<CoverageModel> coverage, TaskGenerator gen,
+                     std::uint64_t seed)
+    : net_(net),
+      env_(std::move(env)),
+      coverage_(std::move(coverage)),
+      generator_(gen),
+      seed_(seed) {}
+
+Slot Simulator::generate_slot(int t) {
+  Slot slot;
+  slot.info.t = t;
+  // Stream keyed by slot index: arrivals, contexts and realizations for
+  // slot t never depend on how other slots consumed randomness.
+  RngStream stream(seed_, 0x51D0 + static_cast<std::uint64_t>(t));
+  coverage_->generate(stream, generator_, slot.info);
+
+  const auto scns = slot.info.coverage.size();
+  slot.real.u.resize(scns);
+  slot.real.v.resize(scns);
+  slot.real.q.resize(scns);
+  for (std::size_t m = 0; m < scns; ++m) {
+    const auto& cover = slot.info.coverage[m];
+    slot.real.u[m].resize(cover.size());
+    slot.real.v[m].resize(cover.size());
+    slot.real.q[m].resize(cover.size());
+    for (std::size_t j = 0; j < cover.size(); ++j) {
+      const auto& ctx =
+          slot.info.tasks[static_cast<std::size_t>(cover[j])].context;
+      const auto d = env_.draw(static_cast<int>(m), ctx, stream);
+      slot.real.u[m][j] = d.u;
+      slot.real.v[m][j] = d.v;
+      slot.real.q[m][j] = d.q;
+    }
+  }
+  return slot;
+}
+
+Simulator Simulator::fork() const {
+  return Simulator(net_, env_, coverage_->clone(), generator_, seed_);
+}
+
+}  // namespace lfsc

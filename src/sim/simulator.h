@@ -1,0 +1,54 @@
+// The small cell network simulator: combines a coverage model, a task
+// generator and the ground-truth environment into a per-slot generator.
+//
+// Determinism contract: generate_slot(t) draws all randomness from a
+// stream keyed by (seed, t). For stateless coverage (AbstractCoverage)
+// any slot can be generated independently; for stateful coverage
+// (mobility) slots must be generated in order, which the harness does.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/coverage.h"
+#include "sim/environment.h"
+#include "sim/generator.h"
+#include "sim/network.h"
+#include "sim/slot_source.h"
+#include "sim/task.h"
+
+namespace lfsc {
+
+class Simulator final : public SlotSource {
+ public:
+  /// Takes ownership of `coverage`. `net.num_scns` must match both the
+  /// coverage model and the environment.
+  Simulator(NetworkConfig net, const EnvironmentConfig& env,
+            std::unique_ptr<CoverageModel> coverage,
+            TaskGeneratorConfig gen_config = {});
+
+  const NetworkConfig& network() const noexcept override { return net_; }
+  const Environment& environment() const noexcept { return env_; }
+  const CoverageModel& coverage() const noexcept { return *coverage_; }
+
+  /// Generates slot `t`: tasks, coverage sets, and the realized
+  /// (u, v, q) for every (SCN, covered task) pair.
+  Slot generate_slot(int t) override;
+
+  /// Deep copy (fresh generator ids, copied mobility state); used to run
+  /// identical worlds under different policies in sweep workers.
+  Simulator fork() const;
+
+ private:
+  Simulator(NetworkConfig net, Environment env,
+            std::unique_ptr<CoverageModel> coverage, TaskGenerator gen,
+            std::uint64_t seed);
+
+  NetworkConfig net_;
+  Environment env_;
+  std::unique_ptr<CoverageModel> coverage_;
+  TaskGenerator generator_;
+  std::uint64_t seed_;
+};
+
+}  // namespace lfsc

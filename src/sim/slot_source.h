@@ -1,0 +1,25 @@
+// The contract between world generators and the experiment harness: a
+// SlotSource produces one fully-realized Slot per time step. Simulator
+// (context-table environment) and RadioSimulator (physics-derived
+// environment) both implement it, so every harness facility — runner,
+// sweeps, persistence — works with either.
+#pragma once
+
+#include "sim/network.h"
+#include "sim/task.h"
+
+namespace lfsc {
+
+class SlotSource {
+ public:
+  virtual ~SlotSource() = default;
+
+  /// Generates slot `t` (tasks, coverage, realized u/v/q). Stateful
+  /// sources (mobility) require slots to be generated in order.
+  virtual Slot generate_slot(int t) = 0;
+
+  /// The network constants (c, alpha, beta) this world runs under.
+  virtual const NetworkConfig& network() const noexcept = 0;
+};
+
+}  // namespace lfsc

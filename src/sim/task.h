@@ -1,0 +1,82 @@
+// Task and per-slot data structures shared by the simulator, the
+// policies and the experiment harness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/context.h"
+
+namespace lfsc {
+
+/// One offloading request from a wireless device.
+struct Task {
+  std::int64_t id = 0;   ///< globally unique across the run
+  int wd_id = 0;         ///< originating wireless device (geometric mode)
+  TaskContext context;
+};
+
+/// What a policy is allowed to see at decision time (beginning of slot t):
+/// the tasks present and, per SCN, which of them are in coverage.
+/// Realizations of U/V/Q are NOT here — they are revealed only through
+/// SlotFeedback after processing (the bandit feedback model).
+struct SlotInfo {
+  int t = 0;
+  std::vector<Task> tasks;  ///< D_t, indexed by "global task index"
+
+  /// coverage[m] lists global task indices within SCN m's coverage
+  /// (the set D_{m,t}); sorted ascending.
+  std::vector<std::vector<int>> coverage;
+
+  std::size_t num_scns() const noexcept { return coverage.size(); }
+};
+
+/// Realized draws of the random processes for this slot:
+/// for SCN m and local index j (position within coverage[m]),
+/// u[m][j], v[m][j], q[m][j] are the realizations of U, V, Q for the
+/// corresponding (SCN, task) pair. Only the Oracle and the metrics see
+/// this in full.
+struct SlotRealization {
+  std::vector<std::vector<double>> u;  ///< task value/reward, in [0,1]
+  std::vector<std::vector<double>> v;  ///< completion likelihood, in [0,1]
+  std::vector<std::vector<double>> q;  ///< resource consumption, in [1,2]
+};
+
+/// A fully generated slot.
+struct Slot {
+  SlotInfo info;
+  SlotRealization real;
+};
+
+/// A policy's decision for a slot: selected[m] lists *local* indices j
+/// into info.coverage[m] for the tasks SCN m accepts. The harness
+/// validates capacity (<= c per SCN) and task uniqueness (constraint 1b).
+struct Assignment {
+  std::vector<std::vector<int>> selected;
+
+  std::size_t total_selected() const noexcept {
+    std::size_t n = 0;
+    for (const auto& s : selected) n += s.size();
+    return n;
+  }
+};
+
+/// Bandit feedback delivered to a policy after its assignment ran: the
+/// realized (u, v, q) for each task it actually processed, and nothing
+/// else. `local_index` refers to the position within coverage[m].
+struct TaskFeedback {
+  int local_index = 0;
+  double u = 0.0;
+  double v = 0.0;
+  double q = 0.0;
+
+  /// The compound reward realization g = u * v / q (Sec. 3.2).
+  double compound() const noexcept { return q > 0.0 ? u * v / q : 0.0; }
+};
+
+struct SlotFeedback {
+  /// per_scn[m] holds feedback for the tasks SCN m processed in this slot.
+  std::vector<std::vector<TaskFeedback>> per_scn;
+};
+
+}  // namespace lfsc

@@ -1,0 +1,191 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lfsc {
+namespace {
+
+constexpr std::string_view kHeader =
+    "slot,task_id,wd_id,input_mbit,output_mbit,resource,scns";
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, sep)) out.push_back(field);
+  if (!line.empty() && line.back() == sep) out.emplace_back();
+  return out;
+}
+
+int parse_int(const std::string& text, const char* what) {
+  int value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw std::runtime_error(std::string("trace: bad ") + what + " '" + text +
+                             "'");
+  }
+  return value;
+}
+
+double parse_double(const std::string& text, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("trace: bad ") + what + " '" + text +
+                             "'");
+  }
+}
+
+}  // namespace
+
+struct TraceWriter::Impl {
+  std::ofstream out;
+};
+
+TraceWriter::TraceWriter(const std::string& path)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->out.open(path);
+  if (!impl_->out) {
+    throw std::runtime_error("TraceWriter: cannot open " + path);
+  }
+  impl_->out << kHeader << '\n';
+}
+
+TraceWriter::~TraceWriter() = default;
+
+void TraceWriter::add_slot(const SlotInfo& info) {
+  ++slots_;
+  // Invert coverage: per task, the list of covering SCNs.
+  std::vector<std::vector<int>> covering(info.tasks.size());
+  for (std::size_t m = 0; m < info.coverage.size(); ++m) {
+    for (const int task : info.coverage[m]) {
+      covering[static_cast<std::size_t>(task)].push_back(static_cast<int>(m));
+    }
+  }
+  auto& out = impl_->out;
+  out.precision(17);
+  for (std::size_t i = 0; i < info.tasks.size(); ++i) {
+    const Task& task = info.tasks[i];
+    out << info.t << ',' << task.id << ',' << task.wd_id << ','
+        << task.context.input_mbit << ',' << task.context.output_mbit << ','
+        << static_cast<int>(task.context.resource) << ',';
+    for (std::size_t k = 0; k < covering[i].size(); ++k) {
+      if (k > 0) out << ';';
+      out << covering[i][k];
+    }
+    out << '\n';
+  }
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_trace: cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    throw std::runtime_error("load_trace: missing or wrong header in " + path);
+  }
+  Trace trace;
+  int current_slot = 0;
+  SlotInfo* info = nullptr;
+  int max_scn = -1;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto fields = split(line, ',');
+    if (fields.size() != 7) {
+      throw std::runtime_error("load_trace: line " + std::to_string(line_no) +
+                               ": expected 7 fields");
+    }
+    const int slot = parse_int(fields[0], "slot");
+    if (info == nullptr || slot != current_slot) {
+      if (info != nullptr && slot < current_slot) {
+        throw std::runtime_error("load_trace: slots out of order at line " +
+                                 std::to_string(line_no));
+      }
+      trace.slots.emplace_back();
+      info = &trace.slots.back();
+      info->t = slot;
+      current_slot = slot;
+    }
+    Task task;
+    task.id = parse_int(fields[1], "task_id");
+    task.wd_id = parse_int(fields[2], "wd_id");
+    const double input = parse_double(fields[3], "input_mbit");
+    const double output = parse_double(fields[4], "output_mbit");
+    const int resource = parse_int(fields[5], "resource");
+    if (resource < 0 || resource > 2) {
+      throw std::runtime_error("load_trace: bad resource at line " +
+                               std::to_string(line_no));
+    }
+    task.context =
+        make_context(input, output, static_cast<ResourceType>(resource));
+    const int task_index = static_cast<int>(info->tasks.size());
+    info->tasks.push_back(task);
+    if (!fields[6].empty()) {
+      for (const auto& scn_text : split(fields[6], ';')) {
+        const int scn = parse_int(scn_text, "scn");
+        if (scn < 0) {
+          throw std::runtime_error("load_trace: negative SCN at line " +
+                                   std::to_string(line_no));
+        }
+        max_scn = std::max(max_scn, scn);
+        if (static_cast<std::size_t>(scn) >= info->coverage.size()) {
+          info->coverage.resize(static_cast<std::size_t>(scn) + 1);
+        }
+        info->coverage[static_cast<std::size_t>(scn)].push_back(task_index);
+      }
+    }
+  }
+  trace.num_scns = max_scn + 1;
+  // Normalize every slot to the trace-wide SCN count and sort coverage.
+  for (auto& slot : trace.slots) {
+    slot.coverage.resize(static_cast<std::size_t>(trace.num_scns));
+    for (auto& cover : slot.coverage) std::sort(cover.begin(), cover.end());
+  }
+  if (trace.slots.empty()) {
+    throw std::runtime_error("load_trace: trace has no slots");
+  }
+  return trace;
+}
+
+TraceCoverage::TraceCoverage(Trace trace, int min_scns)
+    : trace_(std::move(trace)),
+      num_scns_(std::max(trace_.num_scns, min_scns)) {
+  if (trace_.slots.empty()) {
+    throw std::invalid_argument("TraceCoverage: empty trace");
+  }
+  for (auto& slot : trace_.slots) {
+    slot.coverage.resize(static_cast<std::size_t>(num_scns_));
+  }
+}
+
+TraceCoverage TraceCoverage::from_file(const std::string& path, int min_scns) {
+  return TraceCoverage(load_trace(path), min_scns);
+}
+
+int TraceCoverage::num_scns() const noexcept { return num_scns_; }
+
+void TraceCoverage::generate(RngStream& stream, TaskGenerator& gen,
+                             SlotInfo& out) {
+  (void)stream;
+  (void)gen;
+  const int t = out.t;  // preserve the caller's slot index
+  out = trace_.slots[cursor_];
+  out.t = t;
+  cursor_ = (cursor_ + 1) % trace_.slots.size();
+}
+
+std::unique_ptr<CoverageModel> TraceCoverage::clone() const {
+  return std::make_unique<TraceCoverage>(*this);
+}
+
+}  // namespace lfsc

@@ -1,0 +1,79 @@
+// Trace-driven workloads: record the task arrivals + coverage of any run
+// to a CSV file, and replay such a file as a CoverageModel. This is the
+// hook for driving the simulator with real-world traces (the paper's
+// evaluation is "based on real world data"; with a trace file in this
+// format the same experiments run on yours).
+//
+// Format (header + one row per (slot, task, coverage) tuple):
+//   slot,task_id,wd_id,input_mbit,output_mbit,resource,scns
+//   1,0,3,12.5,2.0,1,0;4;7
+// `resource` is the ResourceType integer; `scns` lists covering SCNs
+// separated by ';' (empty = task visible to no SCN).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/coverage.h"
+#include "sim/task.h"
+
+namespace lfsc {
+
+/// Streams slots to a trace file. Slots must be added in order.
+class TraceWriter {
+ public:
+  /// Opens `path` (truncates) and writes the header. Throws
+  /// std::runtime_error when the file cannot be opened.
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Appends one slot's tasks and coverage.
+  void add_slot(const SlotInfo& info);
+
+  std::size_t slots_written() const noexcept { return slots_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::size_t slots_ = 0;
+};
+
+/// In-memory parsed trace.
+struct Trace {
+  int num_scns = 0;  ///< 1 + max SCN index seen
+  std::vector<SlotInfo> slots;
+};
+
+/// Parses a trace file. Throws std::runtime_error on malformed input.
+Trace load_trace(const std::string& path);
+
+/// Replays a trace as a CoverageModel: slot k of the run receives trace
+/// slot (k mod trace length) — the trace wraps, so any horizon works.
+/// The RngStream/TaskGenerator arguments of generate() are unused (the
+/// trace fully determines arrivals); realizations still come from the
+/// hosting Simulator's environment.
+class TraceCoverage final : public CoverageModel {
+ public:
+  /// `min_scns` lets a trace recorded on fewer SCNs drive a larger
+  /// network (extra SCNs simply see no tasks).
+  explicit TraceCoverage(Trace trace, int min_scns = 0);
+
+  /// Convenience: load + construct.
+  static TraceCoverage from_file(const std::string& path, int min_scns = 0);
+
+  int num_scns() const noexcept override;
+  void generate(RngStream& stream, TaskGenerator& gen, SlotInfo& out) override;
+  std::unique_ptr<CoverageModel> clone() const override;
+
+  std::size_t trace_length() const noexcept { return trace_.slots.size(); }
+
+ private:
+  Trace trace_;
+  int num_scns_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace lfsc

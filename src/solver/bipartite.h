@@ -1,0 +1,53 @@
+// The weighted bipartite SCN-task graph G = (M, D_t, E) of Sec. 4.2:
+// an edge (m, i) exists when task i is within SCN m's coverage.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/task.h"
+
+namespace lfsc {
+
+struct Edge {
+  int scn = 0;     ///< left vertex m
+  int task = 0;    ///< right vertex: global task index within the slot
+  int local = 0;   ///< position of `task` within coverage[scn]
+  double weight = 0.0;
+};
+
+/// Builds the full edge list for a slot from per-(SCN, local) weights:
+/// weight_of(m, local_index) -> double.
+template <typename WeightFn>
+std::vector<Edge> build_edges(const SlotInfo& info, WeightFn&& weight_of) {
+  std::vector<Edge> edges;
+  std::size_t total = 0;
+  for (const auto& cover : info.coverage) total += cover.size();
+  edges.reserve(total);
+  for (std::size_t m = 0; m < info.coverage.size(); ++m) {
+    const auto& cover = info.coverage[m];
+    for (std::size_t j = 0; j < cover.size(); ++j) {
+      Edge e;
+      e.scn = static_cast<int>(m);
+      e.task = cover[j];
+      e.local = static_cast<int>(j);
+      e.weight = weight_of(static_cast<int>(m), static_cast<int>(j));
+      edges.push_back(e);
+    }
+  }
+  return edges;
+}
+
+/// Total weight of an assignment under the same weight function.
+template <typename WeightFn>
+double assignment_weight(const Assignment& assignment, WeightFn&& weight_of) {
+  double total = 0.0;
+  for (std::size_t m = 0; m < assignment.selected.size(); ++m) {
+    for (const int local : assignment.selected[m]) {
+      total += weight_of(static_cast<int>(m), local);
+    }
+  }
+  return total;
+}
+
+}  // namespace lfsc

@@ -1,0 +1,163 @@
+#include "solver/branch_and_bound.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lfsc {
+namespace {
+
+struct Option {
+  int scn = 0;
+  int local = 0;
+  double weight = 0.0;
+  double resource = 0.0;
+};
+
+struct SearchState {
+  const std::vector<std::vector<Option>>* options = nullptr;
+  const std::vector<double>* suffix_bound = nullptr;
+  int capacity_c = 0;
+  double resource_beta = 0.0;
+  bool use_resource = false;
+  std::size_t max_nodes = 0;
+
+  std::vector<int> load;
+  std::vector<double> used_resource;
+  // chosen[t] = index into (*options)[t], or -1 for "skip task t".
+  std::vector<int> chosen;
+  std::vector<int> best_chosen;
+  double current = 0.0;
+  double best = 0.0;
+  std::size_t nodes = 0;
+  bool truncated = false;
+};
+
+void dfs(SearchState& state, std::size_t task) {
+  if (state.nodes >= state.max_nodes) {
+    state.truncated = true;
+    return;
+  }
+  ++state.nodes;
+  const auto& options = *state.options;
+  if (task == options.size()) {
+    if (state.current > state.best) {
+      state.best = state.current;
+      state.best_chosen = state.chosen;
+    }
+    return;
+  }
+  // Optimistic bound: finish current value with every remaining task's
+  // best edge, ignoring capacity/resource coupling.
+  if (state.current + (*state.suffix_bound)[task] <= state.best + 1e-12) {
+    return;
+  }
+  // Branch on assigning this task to each feasible SCN, best edge first
+  // (options are pre-sorted by weight descending).
+  for (std::size_t k = 0; k < options[task].size(); ++k) {
+    const Option& opt = options[task][k];
+    auto& load = state.load[static_cast<std::size_t>(opt.scn)];
+    auto& used = state.used_resource[static_cast<std::size_t>(opt.scn)];
+    if (load >= state.capacity_c) continue;
+    if (state.use_resource && used + opt.resource > state.resource_beta + 1e-12) {
+      continue;
+    }
+    ++load;
+    used += opt.resource;
+    state.current += opt.weight;
+    state.chosen[task] = static_cast<int>(k);
+    dfs(state, task + 1);
+    state.chosen[task] = -1;
+    state.current -= opt.weight;
+    used -= opt.resource;
+    --load;
+    if (state.truncated) return;
+  }
+  // Branch: skip the task.
+  dfs(state, task + 1);
+}
+
+}  // namespace
+
+ExactResult solve_exact(const ExactProblem& problem, std::size_t max_nodes) {
+  if (problem.num_scns < 0 || problem.num_tasks < 0 || problem.capacity_c < 0) {
+    throw std::invalid_argument("solve_exact: negative sizes");
+  }
+  if (!problem.edge_resource.empty() &&
+      problem.edge_resource.size() != problem.edges.size()) {
+    throw std::invalid_argument(
+        "solve_exact: edge_resource size must match edges");
+  }
+
+  // Group candidate edges by task; drop non-positive weights.
+  std::vector<std::vector<Option>> options(
+      static_cast<std::size_t>(problem.num_tasks));
+  for (std::size_t k = 0; k < problem.edges.size(); ++k) {
+    const Edge& e = problem.edges[k];
+    if (e.weight <= 0.0) continue;
+    if (e.scn < 0 || e.scn >= problem.num_scns || e.task < 0 ||
+        e.task >= problem.num_tasks) {
+      throw std::out_of_range("solve_exact: edge endpoint out of range");
+    }
+    Option opt;
+    opt.scn = e.scn;
+    opt.local = e.local;
+    opt.weight = e.weight;
+    opt.resource = problem.edge_resource.empty() ? 0.0 : problem.edge_resource[k];
+    options[static_cast<std::size_t>(e.task)].push_back(opt);
+  }
+  for (auto& opts : options) {
+    std::sort(opts.begin(), opts.end(), [](const Option& a, const Option& b) {
+      if (a.weight != b.weight) return a.weight > b.weight;
+      return a.scn < b.scn;
+    });
+  }
+  // Order tasks by their best option descending: strong incumbents early
+  // make the suffix bound effective.
+  std::vector<std::size_t> task_order(options.size());
+  for (std::size_t i = 0; i < task_order.size(); ++i) task_order[i] = i;
+  std::sort(task_order.begin(), task_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              const double wa = options[a].empty() ? 0.0 : options[a][0].weight;
+              const double wb = options[b].empty() ? 0.0 : options[b][0].weight;
+              return wa > wb;
+            });
+  std::vector<std::vector<Option>> ordered;
+  ordered.reserve(options.size());
+  for (const auto t : task_order) ordered.push_back(std::move(options[t]));
+
+  std::vector<double> suffix(ordered.size() + 1, 0.0);
+  for (std::size_t i = ordered.size(); i-- > 0;) {
+    suffix[i] = suffix[i + 1] + (ordered[i].empty() ? 0.0 : ordered[i][0].weight);
+  }
+
+  SearchState state;
+  state.options = &ordered;
+  state.suffix_bound = &suffix;
+  state.capacity_c = problem.capacity_c;
+  state.resource_beta = problem.resource_beta;
+  state.use_resource = problem.resource_beta > 0.0 && !problem.edge_resource.empty();
+  state.max_nodes = max_nodes;
+  state.load.assign(static_cast<std::size_t>(problem.num_scns), 0);
+  state.used_resource.assign(static_cast<std::size_t>(problem.num_scns), 0.0);
+  state.chosen.assign(ordered.size(), -1);
+  state.best_chosen.assign(ordered.size(), -1);
+  dfs(state, 0);
+
+  ExactResult result;
+  result.assignment.selected.assign(static_cast<std::size_t>(problem.num_scns),
+                                    {});
+  for (std::size_t t = 0; t < ordered.size(); ++t) {
+    const int k = state.best_chosen[t];
+    if (k < 0) continue;
+    const Option& opt = ordered[t][static_cast<std::size_t>(k)];
+    result.assignment.selected[static_cast<std::size_t>(opt.scn)].push_back(
+        opt.local);
+  }
+  for (auto& s : result.assignment.selected) std::sort(s.begin(), s.end());
+  result.total_weight = state.best;
+  result.nodes_explored = state.nodes;
+  result.optimal = !state.truncated;
+  return result;
+}
+
+}  // namespace lfsc

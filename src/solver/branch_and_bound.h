@@ -1,0 +1,48 @@
+// Exact solver for the per-slot offloading ILP on small instances:
+//   maximize   sum w(m,i) x(m,i)
+//   subject to (1a) per-SCN count <= c
+//              (1b) per-task assignment <= 1
+//              (1d) per-SCN resource sum q(m,i) x(m,i) <= beta (optional)
+//
+// Depth-first branch and bound over tasks ordered by best edge weight,
+// with an optimistic suffix bound. Used to validate the greedy oracle and
+// to measure Alg. 4's empirical approximation factor; not intended for
+// the full 30-SCN / 2000-task slots (that is what the greedy is for).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "solver/bipartite.h"
+
+namespace lfsc {
+
+struct ExactProblem {
+  int num_scns = 0;
+  int num_tasks = 0;
+  int capacity_c = 0;
+
+  /// Per-SCN resource capacity; <= 0 disables constraint (1d).
+  double resource_beta = 0.0;
+
+  /// Candidate edges; `weight` is the (known) reward of the pair.
+  std::vector<Edge> edges;
+
+  /// Resource consumption per edge, aligned with `edges`. Empty means
+  /// all-zero consumption (constraint 1d never binds).
+  std::vector<double> edge_resource;
+};
+
+struct ExactResult {
+  Assignment assignment;
+  double total_weight = 0.0;
+  std::size_t nodes_explored = 0;
+  bool optimal = true;  ///< false when the node budget was exhausted
+};
+
+/// Solves `problem` exactly (up to `max_nodes` search nodes; beyond that
+/// the best incumbent is returned with optimal=false).
+ExactResult solve_exact(const ExactProblem& problem,
+                        std::size_t max_nodes = 2'000'000);
+
+}  // namespace lfsc

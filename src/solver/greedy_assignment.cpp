@@ -1,0 +1,43 @@
+#include "solver/greedy_assignment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lfsc {
+
+Assignment greedy_select(int num_scns, int num_tasks, int capacity_c,
+                         std::span<const Edge> edges) {
+  if (num_scns < 0 || num_tasks < 0 || capacity_c < 0) {
+    throw std::invalid_argument("greedy_select: negative sizes");
+  }
+  Assignment out;
+  out.selected.assign(static_cast<std::size_t>(num_scns), {});
+  if (capacity_c == 0 || edges.empty()) return out;
+
+  // Sort a copy descending by weight; deterministic tie-break.
+  std::vector<Edge> order(edges.begin(), edges.end());
+  std::sort(order.begin(), order.end(), [](const Edge& a, const Edge& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    if (a.scn != b.scn) return a.scn < b.scn;
+    return a.task < b.task;
+  });
+
+  std::vector<int> load(static_cast<std::size_t>(num_scns), 0);  // C(m)
+  std::vector<bool> assigned(static_cast<std::size_t>(num_tasks), false);
+  for (const Edge& e : order) {
+    if (e.weight <= 0.0) break;  // sorted: everything after is <= 0 too
+    if (e.scn < 0 || e.scn >= num_scns || e.task < 0 || e.task >= num_tasks) {
+      throw std::out_of_range("greedy_select: edge endpoint out of range");
+    }
+    auto& l = load[static_cast<std::size_t>(e.scn)];
+    if (l >= capacity_c) continue;                          // Alg. 4 line 8
+    if (assigned[static_cast<std::size_t>(e.task)]) continue;  // removed via line 6
+    out.selected[static_cast<std::size_t>(e.scn)].push_back(e.local);
+    assigned[static_cast<std::size_t>(e.task)] = true;
+    ++l;
+  }
+  for (auto& s : out.selected) std::sort(s.begin(), s.end());
+  return out;
+}
+
+}  // namespace lfsc

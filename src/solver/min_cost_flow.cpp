@@ -1,0 +1,157 @@
+#include "solver/min_cost_flow.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace lfsc {
+namespace {
+
+// Compact residual-graph representation: arcs stored in pairs, arc^1 is
+// the reverse of arc.
+struct Arc {
+  int to = 0;
+  int cap = 0;
+  double cost = 0.0;
+};
+
+class ResidualGraph {
+ public:
+  explicit ResidualGraph(int num_nodes) : head_(num_nodes) {}
+
+  void add_arc(int from, int to, int cap, double cost) {
+    head_[static_cast<std::size_t>(from)].push_back(static_cast<int>(arcs_.size()));
+    arcs_.push_back({to, cap, cost});
+    head_[static_cast<std::size_t>(to)].push_back(static_cast<int>(arcs_.size()));
+    arcs_.push_back({from, 0, -cost});
+  }
+
+  int num_nodes() const noexcept { return static_cast<int>(head_.size()); }
+  const std::vector<int>& out(int node) const noexcept {
+    return head_[static_cast<std::size_t>(node)];
+  }
+  Arc& arc(int id) noexcept { return arcs_[static_cast<std::size_t>(id)]; }
+  const Arc& arc(int id) const noexcept {
+    return arcs_[static_cast<std::size_t>(id)];
+  }
+
+ private:
+  std::vector<std::vector<int>> head_;
+  std::vector<Arc> arcs_;
+};
+
+// SPFA shortest path on the residual graph; returns false when the sink
+// is unreachable. `parent_arc[v]` records the arc used to reach v.
+bool spfa(const ResidualGraph& graph, int source, int sink,
+          std::vector<double>& dist, std::vector<int>& parent_arc) {
+  const auto n = static_cast<std::size_t>(graph.num_nodes());
+  dist.assign(n, std::numeric_limits<double>::infinity());
+  parent_arc.assign(n, -1);
+  std::vector<bool> in_queue(n, false);
+  std::deque<int> queue;
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  queue.push_back(source);
+  in_queue[static_cast<std::size_t>(source)] = true;
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop_front();
+    in_queue[static_cast<std::size_t>(u)] = false;
+    for (const int arc_id : graph.out(u)) {
+      const Arc& a = graph.arc(arc_id);
+      if (a.cap <= 0) continue;
+      const double candidate = dist[static_cast<std::size_t>(u)] + a.cost;
+      if (candidate + 1e-12 < dist[static_cast<std::size_t>(a.to)]) {
+        dist[static_cast<std::size_t>(a.to)] = candidate;
+        parent_arc[static_cast<std::size_t>(a.to)] = arc_id;
+        if (!in_queue[static_cast<std::size_t>(a.to)]) {
+          // SLF heuristic: promising nodes to the front.
+          if (!queue.empty() &&
+              candidate < dist[static_cast<std::size_t>(queue.front())]) {
+            queue.push_front(a.to);
+          } else {
+            queue.push_back(a.to);
+          }
+          in_queue[static_cast<std::size_t>(a.to)] = true;
+        }
+      }
+    }
+  }
+  return dist[static_cast<std::size_t>(sink)] <
+         std::numeric_limits<double>::infinity();
+}
+
+}  // namespace
+
+MaxWeightMatchingResult max_weight_b_matching(int num_scns, int num_tasks,
+                                              int capacity_c,
+                                              std::span<const Edge> edges) {
+  if (num_scns < 0 || num_tasks < 0 || capacity_c < 0) {
+    throw std::invalid_argument("max_weight_b_matching: negative sizes");
+  }
+  MaxWeightMatchingResult result;
+  result.assignment.selected.assign(static_cast<std::size_t>(num_scns), {});
+  if (capacity_c == 0 || edges.empty() || num_tasks == 0) return result;
+
+  // Node layout: source, SCNs, tasks, sink.
+  const int source = 0;
+  const int scn_base = 1;
+  const int task_base = scn_base + num_scns;
+  const int sink = task_base + num_tasks;
+  ResidualGraph graph(sink + 1);
+
+  for (int m = 0; m < num_scns; ++m) {
+    graph.add_arc(source, scn_base + m, capacity_c, 0.0);
+  }
+  for (int i = 0; i < num_tasks; ++i) {
+    graph.add_arc(task_base + i, sink, 1, 0.0);
+  }
+  // Remember which arc corresponds to which input edge so the final flow
+  // can be translated back into an Assignment. Arcs are appended in
+  // pairs, so the forward arc of the k-th added edge has a predictable id.
+  std::vector<int> arc_of_edge(edges.size(), -1);
+  int next_arc = 2 * (num_scns + num_tasks);
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    const Edge& e = edges[k];
+    if (e.weight <= 0.0) continue;  // can never improve the objective
+    if (e.scn < 0 || e.scn >= num_scns || e.task < 0 || e.task >= num_tasks) {
+      throw std::out_of_range("max_weight_b_matching: edge out of range");
+    }
+    arc_of_edge[k] = next_arc;
+    // Max weight == min cost with negated weights.
+    graph.add_arc(scn_base + e.scn, task_base + e.task, 1, -e.weight);
+    next_arc += 2;
+  }
+
+  std::vector<double> dist;
+  std::vector<int> parent_arc;
+  while (spfa(graph, source, sink, dist, parent_arc)) {
+    // Each augmenting path carries exactly one unit (task->sink cap is 1).
+    // Stop once the best path no longer has negative cost: further
+    // augmentation would lower total weight.
+    if (dist[static_cast<std::size_t>(sink)] >= -1e-12) break;
+    for (int v = sink; v != source;) {
+      const int arc_id = parent_arc[static_cast<std::size_t>(v)];
+      graph.arc(arc_id).cap -= 1;
+      graph.arc(arc_id ^ 1).cap += 1;
+      v = graph.arc(arc_id ^ 1).to;
+    }
+    result.total_weight += -dist[static_cast<std::size_t>(sink)];
+    ++result.augmentations;
+  }
+
+  // An edge is used when its forward arc has residual 0 (cap exhausted).
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    const int arc_id = arc_of_edge[k];
+    if (arc_id < 0) continue;
+    if (graph.arc(arc_id).cap == 0) {
+      result.assignment.selected[static_cast<std::size_t>(edges[k].scn)]
+          .push_back(edges[k].local);
+    }
+  }
+  for (auto& s : result.assignment.selected) std::sort(s.begin(), s.end());
+  return result;
+}
+
+}  // namespace lfsc

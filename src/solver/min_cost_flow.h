@@ -1,0 +1,29 @@
+// Exact maximum-weight b-matching via min-cost max-flow (successive
+// shortest paths). Solves the relaxation of the per-slot problem with
+// constraints (1a) capacity and (1b) uniqueness only — the LP-integral
+// core that Alg. 4 approximates. Used by tests and the
+// ablation_greedy_vs_exact bench to measure the greedy gap.
+#pragma once
+
+#include <span>
+
+#include "solver/bipartite.h"
+
+namespace lfsc {
+
+struct MaxWeightMatchingResult {
+  Assignment assignment;
+  double total_weight = 0.0;
+  int augmentations = 0;
+};
+
+/// Computes a maximum-total-weight assignment of tasks to SCNs with at
+/// most `capacity_c` tasks per SCN and each task assigned at most once.
+/// Edges with non-positive weight are never used. Runs successive
+/// shortest augmenting paths (SPFA) and stops when no augmenting path
+/// improves the objective, so partial matchings are allowed.
+MaxWeightMatchingResult max_weight_b_matching(int num_scns, int num_tasks,
+                                              int capacity_c,
+                                              std::span<const Edge> edges);
+
+}  // namespace lfsc

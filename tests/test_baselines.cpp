@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/fml.h"
+#include "baselines/random_policy.h"
+#include "baselines/vucb.h"
+#include "harness/paper_setup.h"
+#include "metrics/metrics.h"
+
+namespace lfsc {
+namespace {
+
+PaperSetup setup() { return small_setup(); }
+
+template <typename P>
+void run_policy_slots(P& policy, Simulator& sim, int slots) {
+  for (int t = 1; t <= slots; ++t) {
+    const auto slot = sim.generate_slot(t);
+    const auto assignment = policy.select(slot.info);
+    ASSERT_EQ(validate_assignment(slot.info, assignment, sim.network()),
+              std::nullopt)
+        << "policy " << policy.name() << " at t=" << t;
+    policy.observe(slot.info, assignment, make_feedback(slot, assignment));
+  }
+}
+
+TEST(Vucb, ValidAssignmentsOverManySlots) {
+  auto s = setup();
+  auto sim = s.make_simulator();
+  VucbPolicy policy(s.net);
+  run_policy_slots(policy, sim, 100);
+}
+
+TEST(Vucb, FillsCapacityWhenTasksAbound) {
+  auto s = setup();
+  auto sim = s.make_simulator();
+  VucbPolicy policy(s.net);
+  const auto slot = sim.generate_slot(1);
+  const auto assignment = policy.select(slot.info);
+  // Plenty of tasks (>= 8 per SCN) and positive indices everywhere:
+  // constraint-unaware vUCB fills most capacity. With coverage overlap
+  // some SCNs may lose contested tasks; total is the robust check.
+  EXPECT_GE(assignment.total_selected(),
+            static_cast<std::size_t>(s.net.num_scns * s.net.capacity_c) / 2);
+}
+
+TEST(Vucb, StatsAreUpdatedFromFeedbackOnly) {
+  auto s = setup();
+  auto sim = s.make_simulator();
+  VucbPolicy policy(s.net);
+  const auto slot = sim.generate_slot(1);
+  const auto assignment = policy.select(slot.info);
+  policy.observe(slot.info, assignment, make_feedback(slot, assignment));
+  std::size_t total_pulls = 0;
+  for (int m = 0; m < s.net.num_scns; ++m) {
+    const auto& table = policy.stats(m);
+    for (std::size_t cell = 0; cell < table.size(); ++cell) {
+      total_pulls += table[cell].pulls;
+    }
+  }
+  EXPECT_EQ(total_pulls, assignment.total_selected());
+}
+
+TEST(Vucb, ResetClearsStats) {
+  auto s = setup();
+  auto sim = s.make_simulator();
+  VucbPolicy policy(s.net);
+  run_policy_slots(policy, sim, 10);
+  policy.reset();
+  for (int m = 0; m < s.net.num_scns; ++m) {
+    const auto& table = policy.stats(m);
+    for (std::size_t cell = 0; cell < table.size(); ++cell) {
+      EXPECT_EQ(table[cell].pulls, 0u);
+    }
+  }
+}
+
+TEST(Fml, ValidAssignmentsOverManySlots) {
+  auto s = setup();
+  auto sim = s.make_simulator();
+  FmlPolicy policy(s.net);
+  run_policy_slots(policy, sim, 100);
+}
+
+TEST(Fml, ExplorationThresholdGrowsSublinearly) {
+  auto s = setup();
+  FmlPolicy policy(s.net);
+  const double t100 = policy.exploration_threshold(100);
+  const double t10000 = policy.exploration_threshold(10000);
+  EXPECT_GT(t10000, t100);
+  // Sub-linear: threshold at 100x the time is far less than 100x.
+  EXPECT_LT(t10000, 20.0 * t100);
+}
+
+TEST(Fml, EventuallyExploitsGoodArms) {
+  auto s = setup();
+  auto sim = s.make_simulator();
+  FmlPolicy policy(s.net);
+  // After warmup, assignments should be valid and capacity well used.
+  run_policy_slots(policy, sim, 200);
+  const auto slot = sim.generate_slot(201);
+  const auto assignment = policy.select(slot.info);
+  EXPECT_GT(assignment.total_selected(), 0u);
+}
+
+TEST(RandomPolicy, ValidAndFillsCapacity) {
+  auto s = setup();
+  auto sim = s.make_simulator();
+  RandomPolicy policy(s.net);
+  for (int t = 1; t <= 50; ++t) {
+    const auto slot = sim.generate_slot(t);
+    const auto assignment = policy.select(slot.info);
+    ASSERT_EQ(validate_assignment(slot.info, assignment, s.net), std::nullopt);
+    EXPECT_GT(assignment.total_selected(), 0u);
+  }
+}
+
+TEST(RandomPolicy, SelectionsVaryAcrossSlots) {
+  auto s = setup();
+  auto sim = s.make_simulator();
+  RandomPolicy policy(s.net);
+  const auto slot = sim.generate_slot(1);
+  const auto a = policy.select(slot.info);
+  const auto b = policy.select(slot.info);  // same slot, fresh draw
+  EXPECT_NE(a.selected, b.selected);
+}
+
+TEST(RandomPolicy, SelectionsAreUniformishOverTasks) {
+  // On a single SCN with n tasks and capacity c, each task should be
+  // picked with probability ~c/n.
+  NetworkConfig net{.num_scns = 1, .capacity_c = 2, .qos_alpha = 0.0,
+                    .resource_beta = 100.0};
+  RandomPolicy policy(net);
+  SlotInfo info;
+  info.t = 1;
+  info.tasks.resize(8);
+  info.coverage = {{0, 1, 2, 3, 4, 5, 6, 7}};
+  std::vector<int> hits(8, 0);
+  constexpr int kTrials = 20000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto a = policy.select(info);
+    for (const int local : a.selected[0]) ++hits[static_cast<std::size_t>(local)];
+  }
+  for (const int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / kTrials, 0.25, 0.02);
+  }
+}
+
+TEST(Baselines, NamesAreStable) {
+  auto s = setup();
+  EXPECT_EQ(VucbPolicy(s.net).name(), "vUCB");
+  EXPECT_EQ(FmlPolicy(s.net).name(), "FML");
+  EXPECT_EQ(RandomPolicy(s.net).name(), "Random");
+}
+
+}  // namespace
+}  // namespace lfsc

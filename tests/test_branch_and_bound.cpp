@@ -1,0 +1,176 @@
+#include "solver/branch_and_bound.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lfsc {
+namespace {
+
+Edge make_edge(int scn, int task, double weight) {
+  Edge e;
+  e.scn = scn;
+  e.task = task;
+  e.local = task;
+  e.weight = weight;
+  return e;
+}
+
+TEST(BranchAndBound, TrivialSingleEdge) {
+  ExactProblem p;
+  p.num_scns = 1;
+  p.num_tasks = 1;
+  p.capacity_c = 1;
+  p.edges = {make_edge(0, 0, 0.7)};
+  const auto r = solve_exact(p);
+  EXPECT_TRUE(r.optimal);
+  EXPECT_NEAR(r.total_weight, 0.7, 1e-12);
+  EXPECT_EQ(r.assignment.selected[0], (std::vector<int>{0}));
+}
+
+TEST(BranchAndBound, SkipsWhenNothingPositive) {
+  ExactProblem p;
+  p.num_scns = 1;
+  p.num_tasks = 2;
+  p.capacity_c = 2;
+  p.edges = {make_edge(0, 0, -1.0), make_edge(0, 1, 0.0)};
+  const auto r = solve_exact(p);
+  EXPECT_DOUBLE_EQ(r.total_weight, 0.0);
+  EXPECT_TRUE(r.assignment.selected[0].empty());
+}
+
+TEST(BranchAndBound, CapacityForcesChoice) {
+  ExactProblem p;
+  p.num_scns = 1;
+  p.num_tasks = 3;
+  p.capacity_c = 2;
+  p.edges = {make_edge(0, 0, 0.5), make_edge(0, 1, 0.9), make_edge(0, 2, 0.7)};
+  const auto r = solve_exact(p);
+  EXPECT_NEAR(r.total_weight, 1.6, 1e-12);  // 0.9 + 0.7
+}
+
+TEST(BranchAndBound, ResourceConstraintBinds) {
+  ExactProblem p;
+  p.num_scns = 1;
+  p.num_tasks = 3;
+  p.capacity_c = 3;
+  p.resource_beta = 2.0;
+  p.edges = {make_edge(0, 0, 0.9), make_edge(0, 1, 0.8), make_edge(0, 2, 0.7)};
+  p.edge_resource = {1.5, 1.5, 0.5};
+  const auto r = solve_exact(p);
+  // All three violate beta together; best feasible pair is {0, 2}
+  // (resource 2.0, weight 1.6) — {0,1} needs 3.0.
+  EXPECT_NEAR(r.total_weight, 1.6, 1e-12);
+  EXPECT_EQ(r.assignment.selected[0], (std::vector<int>{0, 2}));
+}
+
+TEST(BranchAndBound, TaskUniquenessAcrossScns) {
+  ExactProblem p;
+  p.num_scns = 2;
+  p.num_tasks = 1;
+  p.capacity_c = 1;
+  p.edges = {make_edge(0, 0, 0.6), make_edge(1, 0, 0.9)};
+  const auto r = solve_exact(p);
+  EXPECT_NEAR(r.total_weight, 0.9, 1e-12);
+  EXPECT_TRUE(r.assignment.selected[0].empty());
+  EXPECT_EQ(r.assignment.selected[1], (std::vector<int>{0}));
+}
+
+TEST(BranchAndBound, CrossingWeightsGlobalOptimum) {
+  // Same instance where plain greedy is suboptimal.
+  ExactProblem p;
+  p.num_scns = 2;
+  p.num_tasks = 2;
+  p.capacity_c = 1;
+  p.edges = {make_edge(0, 0, 0.6), make_edge(0, 1, 0.9),
+             make_edge(1, 0, 0.1), make_edge(1, 1, 0.8)};
+  const auto r = solve_exact(p);
+  EXPECT_NEAR(r.total_weight, 1.4, 1e-12);
+}
+
+TEST(BranchAndBound, MatchesBruteForceOnTinyInstances) {
+  // Exhaustive check: every task assigned to one of <=2 SCNs or skipped.
+  RngStream rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int tasks = 4 + static_cast<int>(rng.uniform_int(0, 2));
+    ExactProblem p;
+    p.num_scns = 2;
+    p.num_tasks = tasks;
+    p.capacity_c = 2;
+    std::vector<std::vector<double>> w(2, std::vector<double>(
+                                             static_cast<std::size_t>(tasks)));
+    for (int m = 0; m < 2; ++m) {
+      for (int i = 0; i < tasks; ++i) {
+        const double weight = rng.uniform(0.0, 1.0);
+        w[static_cast<std::size_t>(m)][static_cast<std::size_t>(i)] = weight;
+        p.edges.push_back(make_edge(m, i, weight));
+      }
+    }
+    // Brute force over 3^tasks assignments.
+    double best = 0.0;
+    int combos = 1;
+    for (int i = 0; i < tasks; ++i) combos *= 3;
+    for (int mask = 0; mask < combos; ++mask) {
+      int code = mask;
+      int load0 = 0, load1 = 0;
+      double value = 0.0;
+      bool ok = true;
+      for (int i = 0; i < tasks && ok; ++i) {
+        const int choice = code % 3;
+        code /= 3;
+        if (choice == 1) {
+          value += w[0][static_cast<std::size_t>(i)];
+          ok = ++load0 <= 2;
+        } else if (choice == 2) {
+          value += w[1][static_cast<std::size_t>(i)];
+          ok = ++load1 <= 2;
+        }
+      }
+      if (ok) best = std::max(best, value);
+    }
+    const auto r = solve_exact(p);
+    ASSERT_TRUE(r.optimal);
+    EXPECT_NEAR(r.total_weight, best, 1e-9) << "tasks=" << tasks;
+  }
+}
+
+TEST(BranchAndBound, NodeBudgetTruncationIsReported) {
+  RngStream rng(9);
+  ExactProblem p;
+  p.num_scns = 4;
+  p.num_tasks = 30;
+  p.capacity_c = 5;
+  for (int m = 0; m < 4; ++m) {
+    for (int i = 0; i < 30; ++i) {
+      p.edges.push_back(make_edge(m, i, rng.uniform(0.4, 0.6)));
+    }
+  }
+  const auto r = solve_exact(p, /*max_nodes=*/100);
+  EXPECT_FALSE(r.optimal);
+  EXPECT_LE(r.nodes_explored, 100u);
+  EXPECT_GE(r.total_weight, 0.0);
+}
+
+TEST(BranchAndBound, ValidatesInput) {
+  ExactProblem p;
+  p.num_scns = -1;
+  EXPECT_THROW(solve_exact(p), std::invalid_argument);
+  ExactProblem q;
+  q.num_scns = 1;
+  q.num_tasks = 1;
+  q.capacity_c = 1;
+  q.edges = {make_edge(0, 0, 1.0)};
+  q.edge_resource = {1.0, 2.0};  // size mismatch
+  EXPECT_THROW(solve_exact(q), std::invalid_argument);
+  ExactProblem r;
+  r.num_scns = 1;
+  r.num_tasks = 1;
+  r.capacity_c = 1;
+  r.edges = {make_edge(0, 5, 1.0)};  // task out of range
+  EXPECT_THROW(solve_exact(r), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace lfsc

@@ -1,0 +1,50 @@
+#include "sim/context.h"
+
+#include <gtest/gtest.h>
+
+namespace lfsc {
+namespace {
+
+TEST(Context, NormalizesIntoUnitCube) {
+  const auto ctx = make_context(12.5, 2.5, ResourceType::kGpu);
+  EXPECT_DOUBLE_EQ(ctx.normalized[0], 0.5);  // (12.5-5)/15
+  EXPECT_DOUBLE_EQ(ctx.normalized[1], 0.5);  // (2.5-1)/3
+  EXPECT_DOUBLE_EQ(ctx.normalized[2], 0.5);  // (1+0.5)/3
+}
+
+TEST(Context, ClampsOutOfRangeRawValues) {
+  const auto low = make_context(0.0, 0.0, ResourceType::kCpu);
+  EXPECT_DOUBLE_EQ(low.input_mbit, 5.0);
+  EXPECT_DOUBLE_EQ(low.normalized[0], 0.0);
+  const auto high = make_context(100.0, 100.0, ResourceType::kCpuGpu);
+  EXPECT_DOUBLE_EQ(high.input_mbit, 20.0);
+  EXPECT_DOUBLE_EQ(high.normalized[0], 1.0);
+  EXPECT_DOUBLE_EQ(high.normalized[1], 1.0);
+}
+
+TEST(Context, ResourceTypesMapToDistinctThirds) {
+  const auto cpu = make_context(10, 2, ResourceType::kCpu);
+  const auto gpu = make_context(10, 2, ResourceType::kGpu);
+  const auto both = make_context(10, 2, ResourceType::kCpuGpu);
+  EXPECT_LT(cpu.normalized[2], 1.0 / 3.0);
+  EXPECT_GT(gpu.normalized[2], 1.0 / 3.0);
+  EXPECT_LT(gpu.normalized[2], 2.0 / 3.0);
+  EXPECT_GT(both.normalized[2], 2.0 / 3.0);
+}
+
+TEST(Context, CustomRanges) {
+  ContextRanges ranges;
+  ranges.input_mbit_lo = 0.0;
+  ranges.input_mbit_hi = 10.0;
+  const auto ctx = make_context(2.5, 1.0, ResourceType::kCpu, ranges);
+  EXPECT_DOUBLE_EQ(ctx.normalized[0], 0.25);
+}
+
+TEST(Context, ResourceTypeNames) {
+  EXPECT_EQ(to_string(ResourceType::kCpu), "CPU");
+  EXPECT_EQ(to_string(ResourceType::kGpu), "GPU");
+  EXPECT_EQ(to_string(ResourceType::kCpuGpu), "CPU+GPU");
+}
+
+}  // namespace
+}  // namespace lfsc

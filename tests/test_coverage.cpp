@@ -1,0 +1,188 @@
+#include "sim/coverage.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace lfsc {
+namespace {
+
+SlotInfo generate_once(CoverageModel& model, std::uint64_t seed) {
+  SlotInfo info;
+  info.t = 1;
+  TaskGenerator gen;
+  RngStream stream(seed);
+  model.generate(stream, gen, info);
+  return info;
+}
+
+TEST(AbstractCoverage, RespectsDemandRange) {
+  AbstractCoverage cov({.num_scns = 30,
+                        .tasks_per_scn_min = 35,
+                        .tasks_per_scn_max = 100,
+                        .coverage_degree = 1.3});
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto info = generate_once(cov, seed);
+    ASSERT_EQ(info.coverage.size(), 30u);
+    for (const auto& c : info.coverage) {
+      EXPECT_GE(c.size(), 35u);
+      EXPECT_LE(c.size(), 100u);
+    }
+  }
+}
+
+TEST(AbstractCoverage, CoverageIndicesValidSortedUnique) {
+  AbstractCoverage cov({});
+  const auto info = generate_once(cov, 42);
+  for (const auto& cover : info.coverage) {
+    EXPECT_TRUE(std::is_sorted(cover.begin(), cover.end()));
+    std::set<int> unique(cover.begin(), cover.end());
+    EXPECT_EQ(unique.size(), cover.size());
+    for (const int task : cover) {
+      EXPECT_GE(task, 0);
+      EXPECT_LT(task, static_cast<int>(info.tasks.size()));
+    }
+  }
+}
+
+TEST(AbstractCoverage, OverlapMatchesCoverageDegree) {
+  AbstractCoverage cov({.num_scns = 30,
+                        .tasks_per_scn_min = 35,
+                        .tasks_per_scn_max = 100,
+                        .coverage_degree = 1.5});
+  double total_cover = 0.0;
+  double total_tasks = 0.0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto info = generate_once(cov, seed);
+    for (const auto& c : info.coverage) {
+      total_cover += static_cast<double>(c.size());
+    }
+    total_tasks += static_cast<double>(info.tasks.size());
+  }
+  // Mean SCNs-per-task should track the configured degree. Sampling
+  // without replacement caps per-SCN multiplicity, so allow slack.
+  EXPECT_NEAR(total_cover / total_tasks, 1.5, 0.1);
+}
+
+TEST(AbstractCoverage, SomeTasksCoveredByMultipleScns) {
+  AbstractCoverage cov({});
+  const auto info = generate_once(cov, 7);
+  std::vector<int> degree(info.tasks.size(), 0);
+  for (const auto& c : info.coverage) {
+    for (const int task : c) ++degree[static_cast<std::size_t>(task)];
+  }
+  EXPECT_GT(*std::max_element(degree.begin(), degree.end()), 1);
+}
+
+TEST(AbstractCoverage, DisjointDegreeOneIsMostlySingleCovered) {
+  AbstractCoverage cov({.num_scns = 10,
+                        .tasks_per_scn_min = 20,
+                        .tasks_per_scn_max = 20,
+                        .coverage_degree = 1.0});
+  const auto info = generate_once(cov, 3);
+  // degree 1.0 => pool size == total demand; random sampling still
+  // collides, but the mean degree must be ~1.
+  double cover = 0;
+  for (const auto& c : info.coverage) cover += static_cast<double>(c.size());
+  EXPECT_NEAR(cover / static_cast<double>(info.tasks.size()), 1.0, 0.05);
+}
+
+TEST(AbstractCoverage, ValidatesConfig) {
+  EXPECT_THROW(AbstractCoverage({.num_scns = 0}), std::invalid_argument);
+  EXPECT_THROW(AbstractCoverage({.num_scns = 1,
+                                 .tasks_per_scn_min = 10,
+                                 .tasks_per_scn_max = 5}),
+               std::invalid_argument);
+  EXPECT_THROW(AbstractCoverage({.num_scns = 1,
+                                 .tasks_per_scn_min = 1,
+                                 .tasks_per_scn_max = 2,
+                                 .coverage_degree = 0.5}),
+               std::invalid_argument);
+}
+
+TEST(AbstractCoverage, CloneProducesIdenticalSlots) {
+  AbstractCoverage cov({});
+  auto clone = cov.clone();
+  const auto a = generate_once(cov, 11);
+  const auto b = generate_once(*clone, 11);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  EXPECT_EQ(a.coverage, b.coverage);
+}
+
+TEST(GeometricCoverage, CoverageIsWithinRadius) {
+  GeometricCoverage cov({.num_scns = 10,
+                         .num_wds = 100,
+                         .area_km = 4.0,
+                         .coverage_radius_km = 1.0,
+                         .task_probability = 1.0});
+  SlotInfo info;
+  TaskGenerator gen;
+  RngStream stream(1);
+  cov.generate(stream, gen, info);
+  const auto& scns = cov.scn_positions();
+  const auto& wds = cov.wd_positions();
+  for (std::size_t m = 0; m < info.coverage.size(); ++m) {
+    for (const int task : info.coverage[m]) {
+      const int wd = info.tasks[static_cast<std::size_t>(task)].wd_id;
+      const double dx = scns[m].x - wds[static_cast<std::size_t>(wd)].x;
+      const double dy = scns[m].y - wds[static_cast<std::size_t>(wd)].y;
+      EXPECT_LE(std::hypot(dx, dy), 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(GeometricCoverage, MobilityMovesDevicesBoundedPerSlot) {
+  GeometricCoverage cov(
+      {.num_scns = 5, .num_wds = 50, .wd_speed_km_per_slot = 0.05});
+  const auto before = cov.wd_positions();
+  SlotInfo info;
+  TaskGenerator gen;
+  RngStream stream(2);
+  cov.generate(stream, gen, info);
+  const auto& after = cov.wd_positions();
+  double total_move = 0.0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    const double d = std::hypot(after[i].x - before[i].x,
+                                after[i].y - before[i].y);
+    EXPECT_LE(d, 0.05 + 1e-9);
+    total_move += d;
+  }
+  EXPECT_GT(total_move, 0.0);
+}
+
+TEST(GeometricCoverage, TaskProbabilityZeroMeansNoTasks) {
+  GeometricCoverage cov({.num_scns = 3, .num_wds = 50, .task_probability = 0.0});
+  SlotInfo info;
+  TaskGenerator gen;
+  RngStream stream(3);
+  cov.generate(stream, gen, info);
+  EXPECT_TRUE(info.tasks.empty());
+  for (const auto& c : info.coverage) EXPECT_TRUE(c.empty());
+}
+
+TEST(GeometricCoverage, CloneSharesLayoutAndState) {
+  GeometricCoverage cov({.num_scns = 4, .num_wds = 20});
+  SlotInfo warmup;
+  TaskGenerator gen;
+  RngStream stream(4);
+  cov.generate(stream, gen, warmup);  // advance mobility
+  auto clone = cov.clone();
+  auto* geo = dynamic_cast<GeometricCoverage*>(clone.get());
+  ASSERT_NE(geo, nullptr);
+  EXPECT_EQ(geo->wd_positions().size(), cov.wd_positions().size());
+  for (std::size_t i = 0; i < cov.wd_positions().size(); ++i) {
+    EXPECT_DOUBLE_EQ(geo->wd_positions()[i].x, cov.wd_positions()[i].x);
+    EXPECT_DOUBLE_EQ(geo->wd_positions()[i].y, cov.wd_positions()[i].y);
+  }
+}
+
+TEST(GeometricCoverage, ValidatesConfig) {
+  EXPECT_THROW(GeometricCoverage({.num_scns = 0}), std::invalid_argument);
+  EXPECT_THROW(GeometricCoverage({.num_scns = 1, .area_km = -1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lfsc

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/csv.h"
+#include "common/table.h"
+
+namespace lfsc {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CsvWriterTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "lfsc_csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvWriterTest, HeaderAndRows) {
+  {
+    CsvWriter csv(path_);
+    csv.header({"a", "b", "c"});
+    csv.row({"1", "2", "3"});
+    csv.row_values({0.5, 1.25, -2.0});
+  }
+  EXPECT_EQ(read_file(path_), "a,b,c\n1,2,3\n0.5,1.25,-2\n");
+}
+
+TEST_F(CsvWriterTest, QuotesSpecialCharacters) {
+  {
+    CsvWriter csv(path_);
+    csv.row({"plain", "has,comma", "has\"quote", "has\nnewline"});
+  }
+  EXPECT_EQ(read_file(path_),
+            "plain,\"has,comma\",\"has\"\"quote\",\"has\nnewline\"\n");
+}
+
+TEST_F(CsvWriterTest, LabeledRowAndCount) {
+  {
+    CsvWriter csv(path_);
+    csv.labeled_row("LFSC", {1.0, 2.0});
+    csv.labeled_row("Oracle", {3.0, 4.0});
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  EXPECT_EQ(read_file(path_), "LFSC,1,2\nOracle,3,4\n");
+}
+
+TEST_F(CsvWriterTest, FormatRoundTripsAndHandlesNonFinite) {
+  EXPECT_EQ(CsvWriter::format(0.1), "0.1");
+  EXPECT_EQ(CsvWriter::format(-3.0), "-3");
+  EXPECT_EQ(CsvWriter::format(std::nan("")), "nan");
+  EXPECT_EQ(CsvWriter::format(HUGE_VAL), "inf");
+  EXPECT_EQ(CsvWriter::format(-HUGE_VAL), "-inf");
+}
+
+TEST(CsvWriter, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), std::runtime_error);
+}
+
+TEST(Table, AlignsColumns) {
+  Table table({"name", "value"});
+  table.add_row({"x", "1.0"});
+  table.add_row({"longer-name", "2.5"});
+  const std::string out = table.to_string();
+  // Header present, rule present, both rows present.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("longer-name  2.5"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, PadsMissingCellsAndRejectsExtra) {
+  Table table({"a", "b", "c"});
+  table.add_row({"only-a"});
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_THROW(table.add_row({"1", "2", "3", "4"}), std::invalid_argument);
+}
+
+TEST(Table, RequiresColumns) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace lfsc

@@ -1,0 +1,168 @@
+#include "sim/environment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lfsc {
+namespace {
+
+TaskContext ctx_at(double a, double b, double c) {
+  TaskContext ctx;
+  ctx.normalized = {a, b, c};
+  return ctx;
+}
+
+TEST(Environment, MeansWithinConfiguredRanges) {
+  EnvironmentConfig config;
+  config.num_scns = 5;
+  config.likelihood_lo = 0.25;
+  config.likelihood_hi = 0.75;
+  Environment env(config);
+  for (int m = 0; m < 5; ++m) {
+    for (double x = 0.05; x < 1.0; x += 0.3) {
+      const auto ctx = ctx_at(x, 1.0 - x, x);
+      EXPECT_GE(env.mean_reward(m, ctx), 0.0);
+      EXPECT_LE(env.mean_reward(m, ctx), 1.0);
+      EXPECT_GE(env.mean_likelihood(m, ctx), 0.25);
+      EXPECT_LE(env.mean_likelihood(m, ctx), 0.75);
+      EXPECT_GE(env.mean_consumption(m, ctx), 1.0);
+      EXPECT_LE(env.mean_consumption(m, ctx), 2.0);
+    }
+  }
+}
+
+TEST(Environment, DrawsStayInValidRanges) {
+  EnvironmentConfig config;
+  config.num_scns = 3;
+  Environment env(config);
+  RngStream stream(1);
+  for (int i = 0; i < 10000; ++i) {
+    const auto ctx = ctx_at(stream.uniform(), stream.uniform(), stream.uniform());
+    const auto d = env.draw(i % 3, ctx, stream);
+    EXPECT_GE(d.u, 0.0);
+    EXPECT_LE(d.u, 1.0);
+    EXPECT_GE(d.v, 0.0);
+    EXPECT_LE(d.v, 1.0);
+    EXPECT_GE(d.q, 1.0);
+    EXPECT_LE(d.q, 2.0);
+  }
+}
+
+TEST(Environment, DrawsAreStationaryAroundMeans) {
+  EnvironmentConfig config;
+  config.num_scns = 1;
+  config.jitter = 0.1;
+  Environment env(config);
+  const auto ctx = ctx_at(0.4, 0.6, 0.2);
+  RngStream stream(2);
+  double sum_u = 0, sum_v = 0, sum_q = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const auto d = env.draw(0, ctx, stream);
+    sum_u += d.u;
+    sum_v += d.v;
+    sum_q += d.q;
+  }
+  // Clipping skews the mean only when the latent mean is near a boundary;
+  // tolerate that with a loose bound.
+  EXPECT_NEAR(sum_u / kN, env.mean_reward(0, ctx), 0.06);
+  EXPECT_NEAR(sum_v / kN, env.mean_likelihood(0, ctx), 0.06);
+  EXPECT_NEAR(sum_q / kN, env.mean_consumption(0, ctx), 0.06);
+}
+
+TEST(Environment, SameSeedSameGroundTruth) {
+  EnvironmentConfig config;
+  config.num_scns = 4;
+  Environment a(config), b(config);
+  for (int m = 0; m < 4; ++m) {
+    const auto ctx = ctx_at(0.1 * m, 0.9 - 0.1 * m, 0.5);
+    EXPECT_DOUBLE_EQ(a.mean_reward(m, ctx), b.mean_reward(m, ctx));
+    EXPECT_DOUBLE_EQ(a.mean_likelihood(m, ctx), b.mean_likelihood(m, ctx));
+    EXPECT_DOUBLE_EQ(a.mean_consumption(m, ctx), b.mean_consumption(m, ctx));
+  }
+}
+
+TEST(Environment, DifferentSeedsDifferentGroundTruth) {
+  EnvironmentConfig a_cfg, b_cfg;
+  a_cfg.num_scns = b_cfg.num_scns = 2;
+  a_cfg.seed = 1;
+  b_cfg.seed = 2;
+  Environment a(a_cfg), b(b_cfg);
+  const auto ctx = ctx_at(0.3, 0.3, 0.3);
+  EXPECT_NE(a.mean_reward(0, ctx), b.mean_reward(0, ctx));
+}
+
+TEST(Environment, GroundTruthStableWhenAddingScns) {
+  // Per-SCN streams: SCN 0's ground truth must not change when more SCNs
+  // are configured (important for sweep comparability).
+  EnvironmentConfig small, large;
+  small.num_scns = 2;
+  large.num_scns = 20;
+  Environment a(small), b(large);
+  const auto ctx = ctx_at(0.7, 0.2, 0.9);
+  EXPECT_DOUBLE_EQ(a.mean_reward(0, ctx), b.mean_reward(0, ctx));
+  EXPECT_DOUBLE_EQ(a.mean_reward(1, ctx), b.mean_reward(1, ctx));
+}
+
+TEST(Environment, LatentCellsDistinguishContexts) {
+  EnvironmentConfig config;
+  config.num_scns = 1;
+  config.latent_grid = 6;
+  Environment env(config);
+  EXPECT_EQ(env.latent_cell_count(), 216u);
+  EXPECT_NE(env.latent_cell(ctx_at(0.05, 0.05, 0.05)),
+            env.latent_cell(ctx_at(0.95, 0.95, 0.95)));
+  // Same latent cell -> identical means.
+  const auto c1 = ctx_at(0.01, 0.01, 0.01);
+  const auto c2 = ctx_at(0.15, 0.15, 0.15);  // both in cell 0 with grid 6
+  EXPECT_EQ(env.latent_cell(c1), env.latent_cell(c2));
+  EXPECT_DOUBLE_EQ(env.mean_reward(0, c1), env.mean_reward(0, c2));
+}
+
+TEST(Environment, BlockageZeroesLikelihoodAtGivenRate) {
+  EnvironmentConfig config;
+  config.num_scns = 1;
+  config.blockage_prob = 0.25;
+  config.likelihood_lo = 0.8;  // keep natural draws away from 0
+  config.likelihood_hi = 1.0;
+  config.jitter = 0.05;
+  Environment env(config);
+  const auto ctx = ctx_at(0.5, 0.5, 0.5);
+  RngStream stream(3);
+  int blocked = 0;
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) {
+    if (env.draw(0, ctx, stream).v == 0.0) ++blocked;
+  }
+  EXPECT_NEAR(static_cast<double>(blocked) / kN, 0.25, 0.01);
+  // Mean likelihood reports the blockage haircut.
+  EXPECT_LE(env.mean_likelihood(0, ctx), 0.75);
+}
+
+TEST(Environment, MeanCompoundIsConsistent) {
+  EnvironmentConfig config;
+  config.num_scns = 2;
+  Environment env(config);
+  const auto ctx = ctx_at(0.2, 0.8, 0.4);
+  const double expected = env.mean_reward(1, ctx) *
+                          env.mean_likelihood(1, ctx) /
+                          env.mean_consumption(1, ctx);
+  EXPECT_DOUBLE_EQ(env.mean_compound(1, ctx), expected);
+}
+
+TEST(Environment, ValidatesConfig) {
+  EnvironmentConfig bad;
+  bad.num_scns = 0;
+  EXPECT_THROW(Environment{bad}, std::invalid_argument);
+  EnvironmentConfig inverted;
+  inverted.likelihood_lo = 0.9;
+  inverted.likelihood_hi = 0.1;
+  EXPECT_THROW(Environment{inverted}, std::invalid_argument);
+  EnvironmentConfig grid;
+  grid.latent_grid = 0;
+  EXPECT_THROW(Environment{grid}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lfsc

@@ -1,0 +1,110 @@
+#include "bandit/estimators.h"
+
+#include <gtest/gtest.h>
+
+#include "bandit/ucb.h"
+#include "common/rng.h"
+
+namespace lfsc {
+namespace {
+
+TEST(ArmStats, RunningMeansAreExact) {
+  ArmStats stats;
+  stats.add(1.0, 0.5, 1.5);
+  stats.add(0.0, 1.0, 2.0);
+  EXPECT_EQ(stats.pulls, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_g, 0.5);
+  EXPECT_DOUBLE_EQ(stats.mean_v, 0.75);
+  EXPECT_DOUBLE_EQ(stats.mean_q, 1.75);
+  stats.reset();
+  EXPECT_EQ(stats.pulls, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_g, 0.0);
+}
+
+TEST(ArmStatsTable, IndependentCells) {
+  ArmStatsTable table(4);
+  table[1].add(1.0, 1.0, 1.0);
+  table[3].add(0.5, 0.5, 0.5);
+  EXPECT_EQ(table[0].pulls, 0u);
+  EXPECT_EQ(table[1].pulls, 1u);
+  EXPECT_EQ(table[2].pulls, 0u);
+  EXPECT_EQ(table[3].pulls, 1u);
+  table.reset();
+  EXPECT_EQ(table[1].pulls, 0u);
+}
+
+TEST(UcbIndex, UnpulledArmIsInfinite) {
+  ArmStats stats;
+  EXPECT_TRUE(std::isinf(ucb_index(stats, 10)));
+}
+
+TEST(UcbIndex, BonusShrinksWithPulls) {
+  ArmStats few, many;
+  for (int i = 0; i < 2; ++i) few.add(0.5, 0.5, 1.0);
+  for (int i = 0; i < 200; ++i) many.add(0.5, 0.5, 1.0);
+  EXPECT_GT(ucb_index(few, 1000), ucb_index(many, 1000));
+  EXPECT_GT(ucb_index(many, 1000), 0.5);  // bonus is positive
+}
+
+TEST(UcbIndex, GrowsWithTime) {
+  ArmStats stats;
+  stats.add(0.5, 0.5, 1.0);
+  EXPECT_LT(ucb_index(stats, 10), ucb_index(stats, 10000));
+}
+
+TEST(IpwAccumulator, UnselectedTasksContributeZeroButCount) {
+  IpwSlotAccumulator acc(3);
+  acc.add_task(0, /*selected=*/false, 0.5, 0.8, 0.9, 0.7);
+  EXPECT_TRUE(acc.touched(0));
+  EXPECT_DOUBLE_EQ(acc.estimate_g(0), 0.0);
+  EXPECT_DOUBLE_EQ(acc.estimate_v(0), 0.0);
+}
+
+TEST(IpwAccumulator, SelectedTaskIsInverseWeighted) {
+  IpwSlotAccumulator acc(3);
+  acc.add_task(1, /*selected=*/true, 0.25, 0.5, 0.8, 0.6);
+  EXPECT_DOUBLE_EQ(acc.estimate_g(1), 2.0);   // 0.5 / 0.25
+  EXPECT_DOUBLE_EQ(acc.estimate_v(1), 3.2);   // 0.8 / 0.25
+  EXPECT_DOUBLE_EQ(acc.estimate_q(1), 2.4);   // 0.6 / 0.25
+}
+
+TEST(IpwAccumulator, AveragesOverTasksInSameCell) {
+  IpwSlotAccumulator acc(2);
+  acc.add_task(0, true, 0.5, 1.0, 1.0, 1.0);   // contributes 2
+  acc.add_task(0, false, 0.5, 0.0, 0.0, 0.0);  // contributes 0
+  EXPECT_DOUBLE_EQ(acc.estimate_g(0), 1.0);    // (2 + 0) / 2
+}
+
+TEST(IpwAccumulator, UntouchedCellsReportZero) {
+  IpwSlotAccumulator acc(2);
+  EXPECT_FALSE(acc.touched(1));
+  EXPECT_DOUBLE_EQ(acc.estimate_g(1), 0.0);
+}
+
+TEST(IpwAccumulator, ResetClearsState) {
+  IpwSlotAccumulator acc(1);
+  acc.add_task(0, true, 0.5, 1.0, 1.0, 1.0);
+  acc.reset();
+  EXPECT_FALSE(acc.touched(0));
+  EXPECT_DOUBLE_EQ(acc.estimate_g(0), 0.0);
+}
+
+TEST(IpwAccumulator, EstimateIsUnbiasedOverRandomSelection) {
+  // E[x * 1(sel)/p] must equal E[x]: simulate Bernoulli(p) selection of a
+  // task with fixed observables and check the long-run mean.
+  RngStream rng(21);
+  const double p = 0.3;
+  const double g = 0.6;
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    IpwSlotAccumulator acc(1);
+    const bool sel = rng.bernoulli(p);
+    acc.add_task(0, sel, p, g, 0.0, 0.0);
+    sum += acc.estimate_g(0);
+  }
+  EXPECT_NEAR(sum / kN, g, 0.01);
+}
+
+}  // namespace
+}  // namespace lfsc

@@ -1,0 +1,218 @@
+#include "bandit/exp3m.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace lfsc {
+namespace {
+
+double sum_of(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+TEST(Exp3M, UniformWeightsGiveUniformProbabilities) {
+  const std::vector<double> w(10, 1.0);
+  const auto result = exp3m_probabilities(w, 3, 0.1);
+  for (const double p : result.p) EXPECT_NEAR(p, 0.3, 1e-12);
+  EXPECT_NEAR(sum_of(result.p), 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(result.epsilon, 0.0);  // no capping needed
+}
+
+TEST(Exp3M, ProbabilitiesSumToKAndStayInUnitInterval) {
+  RngStream rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 5 + static_cast<std::size_t>(rng.uniform_int(0, 45));
+    const std::size_t k = 1 + static_cast<std::size_t>(
+                              rng.uniform_int(0, static_cast<int>(n) - 2));
+    std::vector<double> w(n);
+    for (auto& x : w) x = std::exp(rng.uniform(-8.0, 8.0));
+    const double gamma = rng.uniform(0.01, 0.9);
+    const auto result = exp3m_probabilities(w, k, gamma);
+    double sum = 0.0;
+    for (const double p : result.p) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0 + 1e-9);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, static_cast<double>(k), 1e-6)
+        << "n=" << n << " k=" << k << " gamma=" << gamma;
+  }
+}
+
+TEST(Exp3M, DominantWeightIsCappedAtOne) {
+  std::vector<double> w{1000.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  const auto result = exp3m_probabilities(w, 2, 0.1);
+  EXPECT_TRUE(result.capped[0]);
+  EXPECT_NEAR(result.p[0], 1.0, 1e-9);
+  for (std::size_t i = 1; i < w.size(); ++i) {
+    EXPECT_FALSE(result.capped[i]);
+    EXPECT_LT(result.p[i], 1.0);
+  }
+  EXPECT_GT(result.epsilon, 0.0);
+  EXPECT_NEAR(sum_of(result.p), 2.0, 1e-9);
+}
+
+TEST(Exp3M, MultipleDominantWeightsAllCapped) {
+  std::vector<double> w{500.0, 400.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  const auto result = exp3m_probabilities(w, 3, 0.05);
+  EXPECT_TRUE(result.capped[0]);
+  EXPECT_TRUE(result.capped[1]);
+  EXPECT_NEAR(result.p[0], 1.0, 1e-9);
+  EXPECT_NEAR(result.p[1], 1.0, 1e-9);
+  EXPECT_NEAR(sum_of(result.p), 3.0, 1e-9);
+}
+
+TEST(Exp3M, MonotoneInWeights) {
+  std::vector<double> w{0.5, 1.0, 2.0, 4.0, 8.0};
+  const auto result = exp3m_probabilities(w, 2, 0.2);
+  for (std::size_t i = 1; i < w.size(); ++i) {
+    EXPECT_GE(result.p[i], result.p[i - 1] - 1e-12);
+  }
+}
+
+TEST(Exp3M, ExplorationFloorHolds) {
+  // Every arm gets at least k*gamma/K regardless of weights.
+  std::vector<double> w{1e-6, 1.0, 1e6};
+  const double gamma = 0.3;
+  const auto result = exp3m_probabilities(w, 1, gamma);
+  for (const double p : result.p) {
+    EXPECT_GE(p, gamma / 3.0 - 1e-12);
+  }
+}
+
+TEST(Exp3M, FewerArmsThanPlaysSelectsAll) {
+  std::vector<double> w{1.0, 5.0, 0.1};
+  const auto result = exp3m_probabilities(w, 5, 0.2);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.p[i], 1.0);
+    EXPECT_TRUE(result.capped[i]);
+  }
+}
+
+TEST(Exp3M, GammaOneIsUniform) {
+  std::vector<double> w{1.0, 100.0, 10000.0, 3.0};
+  const auto result = exp3m_probabilities(w, 2, 1.0);
+  for (const double p : result.p) EXPECT_DOUBLE_EQ(p, 0.5);
+}
+
+TEST(Exp3M, ScaleInvariance) {
+  std::vector<double> w{1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  auto scaled = w;
+  for (auto& x : scaled) x *= 1e6;
+  const auto a = exp3m_probabilities(w, 2, 0.15);
+  const auto b = exp3m_probabilities(scaled, 2, 0.15);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(a.p[i], b.p[i], 1e-9);
+  }
+}
+
+TEST(Exp3M, RejectsInvalidArguments) {
+  std::vector<double> w{1.0, 2.0};
+  EXPECT_THROW(exp3m_probabilities(w, 0, 0.1), std::invalid_argument);
+  EXPECT_THROW(exp3m_probabilities(w, 1, -0.1), std::invalid_argument);
+  EXPECT_THROW(exp3m_probabilities(w, 1, 1.5), std::invalid_argument);
+  std::vector<double> bad{1.0, 0.0};
+  EXPECT_THROW(exp3m_probabilities(bad, 1, 0.1), std::invalid_argument);
+  std::vector<double> neg{1.0, -1.0};
+  EXPECT_THROW(exp3m_probabilities(neg, 1, 0.1), std::invalid_argument);
+}
+
+TEST(Exp3M, EmptyArmsGiveEmptyResult) {
+  const auto result = exp3m_probabilities({}, 3, 0.1);
+  EXPECT_TRUE(result.p.empty());
+}
+
+TEST(Exp3MDefaultGamma, FormulaProperties) {
+  const double g = exp3m_default_gamma(100, 20, 10000);
+  EXPECT_GT(g, 0.0);
+  EXPECT_LT(g, 1.0);
+  // Longer horizons explore less.
+  EXPECT_LT(exp3m_default_gamma(100, 20, 100000), g);
+  // Degenerate inputs are safe.
+  EXPECT_DOUBLE_EQ(exp3m_default_gamma(0, 20, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(exp3m_default_gamma(10, 20, 1000), 0.0);  // K <= k
+}
+
+TEST(DepRound, SelectsExactlyKWhenSumIsIntegral) {
+  RngStream rng(7);
+  std::vector<double> p{0.5, 0.5, 0.5, 0.5, 0.5, 0.5};  // sum = 3
+  for (int i = 0; i < 200; ++i) {
+    const auto s = dep_round(p, rng);
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  }
+}
+
+TEST(DepRound, PreservesMarginals) {
+  RngStream rng(8);
+  const std::vector<double> p{0.9, 0.7, 0.5, 0.5, 0.3, 0.1};  // sum = 3
+  std::vector<int> hits(p.size(), 0);
+  constexpr int kTrials = 50000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    for (const auto i : dep_round(p, rng)) ++hits[i];
+  }
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(hits[i]) / kTrials, p[i], 0.01)
+        << "arm " << i;
+  }
+}
+
+TEST(DepRound, DeterministicEntriesAlwaysRespected) {
+  RngStream rng(9);
+  const std::vector<double> p{1.0, 0.0, 1.0, 0.5, 0.5};
+  for (int i = 0; i < 100; ++i) {
+    const auto s = dep_round(p, rng);
+    EXPECT_NE(std::find(s.begin(), s.end(), 0u), s.end());
+    EXPECT_NE(std::find(s.begin(), s.end(), 2u), s.end());
+    EXPECT_EQ(std::find(s.begin(), s.end(), 1u), s.end());
+    EXPECT_EQ(s.size(), 3u);
+  }
+}
+
+TEST(DepRound, HandlesNonIntegralSum) {
+  RngStream rng(10);
+  const std::vector<double> p{0.6, 0.6};  // sum = 1.2
+  int total = 0;
+  constexpr int kTrials = 20000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    total += static_cast<int>(dep_round(p, rng).size());
+  }
+  EXPECT_NEAR(static_cast<double>(total) / kTrials, 1.2, 0.02);
+}
+
+TEST(DepRound, RejectsOutOfRangeProbabilities) {
+  RngStream rng(11);
+  EXPECT_THROW(dep_round({0.5, 1.5}, rng), std::invalid_argument);
+  EXPECT_THROW(dep_round({-0.2, 0.5}, rng), std::invalid_argument);
+}
+
+TEST(Exp3MIntegration, WeightsLearnedFromRewardsShiftProbabilities) {
+  // Tiny two-arm learning loop: arm 1 pays 1, arm 0 pays 0. After a few
+  // hundred Exp3.M rounds arm 1's probability must dominate.
+  RngStream rng(12);
+  std::vector<double> w{1.0, 1.0};
+  const double gamma = 0.1;
+  for (int t = 0; t < 500; ++t) {
+    const auto probs = exp3m_probabilities(w, 1, gamma);
+    const auto sel = dep_round(probs.p, rng);
+    ASSERT_EQ(sel.size(), 1u);
+    const std::size_t arm = sel[0];
+    const double reward = arm == 1 ? 1.0 : 0.0;
+    const double ipw = reward / probs.p[arm];
+    if (!probs.capped[arm]) {
+      w[arm] *= std::exp(gamma / 2.0 * ipw);
+    }
+    const double mx = std::max(w[0], w[1]);
+    w[0] /= mx;
+    w[1] /= mx;
+  }
+  const auto final_probs = exp3m_probabilities(w, 1, gamma);
+  EXPECT_GT(final_probs.p[1], 0.8);
+}
+
+}  // namespace
+}  // namespace lfsc

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "baselines/linucb.h"
+#include "baselines/thompson.h"
+#include "harness/paper_setup.h"
+#include "harness/runner.h"
+#include "metrics/metrics.h"
+
+namespace lfsc {
+namespace {
+
+PaperSetup setup() { return small_setup(); }
+
+template <typename P>
+void run_slots(P& policy, Simulator& sim, int slots) {
+  for (int t = 1; t <= slots; ++t) {
+    const auto slot = sim.generate_slot(t);
+    const auto a = policy.select(slot.info);
+    ASSERT_EQ(validate_assignment(slot.info, a, sim.network()), std::nullopt)
+        << policy.name() << " t=" << t;
+    policy.observe(slot.info, a, make_feedback(slot, a));
+  }
+}
+
+TEST(LinUcb, ValidAssignmentsOverManySlots) {
+  auto s = setup();
+  auto sim = s.make_simulator();
+  LinUcbPolicy policy(s.net);
+  run_slots(policy, sim, 100);
+}
+
+TEST(LinUcb, ThetaConvergesOnLinearRewards) {
+  // Synthetic single-SCN world where g is exactly linear in the context:
+  // g = 0.2 + 0.5*x0 - 0.1*x1 + 0.3*x2. Theta must approach those
+  // coefficients.
+  NetworkConfig net{.num_scns = 1, .capacity_c = 2, .qos_alpha = 0.0,
+                    .resource_beta = 100.0};
+  LinUcbPolicy policy(net, {.alpha = 0.3, .ridge = 1.0});
+  RngStream rng(3);
+  for (int t = 1; t <= 2000; ++t) {
+    SlotInfo info;
+    info.t = t;
+    info.tasks.resize(4);
+    info.coverage = {{0, 1, 2, 3}};
+    for (auto& task : info.tasks) {
+      task.context = make_context(rng.uniform(5.0, 20.0),
+                                  rng.uniform(1.0, 4.0),
+                                  static_cast<ResourceType>(rng.uniform_int(0, 2)));
+    }
+    const auto a = policy.select(info);
+    SlotFeedback feedback;
+    feedback.per_scn.resize(1);
+    for (const int local : a.selected[0]) {
+      const auto& x =
+          info.tasks[static_cast<std::size_t>(info.coverage[0][
+              static_cast<std::size_t>(local)])].context.normalized;
+      const double g = 0.2 + 0.5 * x[0] - 0.1 * x[1] + 0.3 * x[2];
+      TaskFeedback f;
+      f.local_index = local;
+      // compound() = u*v/q = g when u=g, v=1, q=1.
+      f.u = g;
+      f.v = 1.0;
+      f.q = 1.0;
+      feedback.per_scn[0].push_back(f);
+    }
+    policy.observe(info, a, feedback);
+  }
+  const auto theta = policy.theta(0);
+  ASSERT_EQ(theta.size(), 4u);
+  EXPECT_NEAR(theta[0], 0.2, 0.05);
+  EXPECT_NEAR(theta[1], 0.5, 0.08);
+  EXPECT_NEAR(theta[2], -0.1, 0.08);
+  EXPECT_NEAR(theta[3], 0.3, 0.08);
+}
+
+TEST(LinUcb, RejectsBadRidge) {
+  auto s = setup();
+  EXPECT_THROW(LinUcbPolicy(s.net, {.alpha = 0.5, .ridge = 0.0}),
+               std::invalid_argument);
+}
+
+TEST(LinUcb, ResetClearsModel) {
+  auto s = setup();
+  auto sim = s.make_simulator();
+  LinUcbPolicy policy(s.net);
+  run_slots(policy, sim, 20);
+  policy.reset();
+  const auto theta = policy.theta(0);
+  for (const double v : theta) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Thompson, ValidAssignmentsOverManySlots) {
+  auto s = setup();
+  auto sim = s.make_simulator();
+  ThompsonPolicy policy(s.net);
+  run_slots(policy, sim, 100);
+}
+
+TEST(Thompson, SelectionIsStochasticButLearns) {
+  auto s = setup();
+  auto sim = s.make_simulator();
+  ThompsonPolicy policy(s.net);
+  const auto slot = sim.generate_slot(1);
+  const auto a = policy.select(slot.info);
+  const auto b = policy.select(slot.info);
+  EXPECT_NE(a.selected, b.selected);  // fresh posterior draws
+}
+
+TEST(Thompson, BeatsRandomAfterLearning) {
+  auto s = setup();
+  auto sim = s.make_simulator();
+  ThompsonPolicy thompson(s.net);
+  // Compare tail reward of Thompson vs a uniform-random policy on the
+  // same worlds.
+  double thompson_tail = 0.0, random_tail = 0.0;
+  RngStream rng(9);
+  for (int t = 1; t <= 600; ++t) {
+    const auto slot = sim.generate_slot(t);
+    const auto a = thompson.select(slot.info);
+    const auto outcome = evaluate_slot(slot, a, s.net);
+    thompson.observe(slot.info, a, make_feedback(slot, a));
+    // Random: c random tasks per SCN without conflicts.
+    Assignment random;
+    random.selected.resize(slot.info.coverage.size());
+    std::vector<bool> taken(slot.info.tasks.size(), false);
+    for (std::size_t m = 0; m < slot.info.coverage.size(); ++m) {
+      const auto& cover = slot.info.coverage[m];
+      for (const auto j : rng.sample_without_replacement(
+               cover.size(), static_cast<std::size_t>(s.net.capacity_c))) {
+        if (taken[static_cast<std::size_t>(cover[j])]) continue;
+        taken[static_cast<std::size_t>(cover[j])] = true;
+        random.selected[m].push_back(static_cast<int>(j));
+      }
+    }
+    const auto random_outcome = evaluate_slot(slot, random, s.net);
+    if (t > 300) {
+      thompson_tail += outcome.reward;
+      random_tail += random_outcome.reward;
+    }
+  }
+  EXPECT_GT(thompson_tail, 1.15 * random_tail);
+}
+
+TEST(ExtraBaselines, FullRosterRunsTogether) {
+  auto s = setup();
+  auto sim = s.make_simulator();
+  auto owned = make_paper_policies(s);
+  LinUcbPolicy linucb(s.net);
+  ThompsonPolicy thompson(s.net);
+  auto policies = policy_pointers(owned);
+  policies.push_back(&linucb);
+  policies.push_back(&thompson);
+  const auto result = run_experiment(sim, policies, {.horizon = 60});
+  EXPECT_EQ(result.series.size(), 7u);
+  EXPECT_GT(result.find("LinUCB").total_reward(), 0.0);
+  EXPECT_GT(result.find("Thompson").total_reward(), 0.0);
+}
+
+}  // namespace
+}  // namespace lfsc

@@ -1,0 +1,138 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace lfsc {
+namespace {
+
+FlagParser::Result run(FlagParser& parser, std::vector<const char*> args,
+                       std::string* err_text = nullptr) {
+  args.insert(args.begin(), "prog");
+  std::ostringstream err;
+  const auto result =
+      parser.parse(static_cast<int>(args.size()), args.data(), err);
+  if (err_text != nullptr) *err_text = err.str();
+  return result;
+}
+
+TEST(Flags, DefaultsSurviveEmptyArgv) {
+  FlagParser parser("p", "d");
+  const int* n = parser.add_int("n", 7, "count");
+  const double* x = parser.add_double("x", 1.5, "value");
+  const std::string* s = parser.add_string("s", "abc", "text");
+  const bool* b = parser.add_bool("b", false, "toggle");
+  EXPECT_EQ(run(parser, {}), FlagParser::Result::kOk);
+  EXPECT_EQ(*n, 7);
+  EXPECT_DOUBLE_EQ(*x, 1.5);
+  EXPECT_EQ(*s, "abc");
+  EXPECT_FALSE(*b);
+  EXPECT_FALSE(parser.provided("n"));
+}
+
+TEST(Flags, SpaceAndEqualsForms) {
+  FlagParser parser("p", "d");
+  const int* n = parser.add_int("n", 0, "count");
+  const double* x = parser.add_double("x", 0, "value");
+  EXPECT_EQ(run(parser, {"--n", "42", "--x=2.25"}), FlagParser::Result::kOk);
+  EXPECT_EQ(*n, 42);
+  EXPECT_DOUBLE_EQ(*x, 2.25);
+  EXPECT_TRUE(parser.provided("n"));
+  EXPECT_TRUE(parser.provided("x"));
+}
+
+TEST(Flags, BoolForms) {
+  FlagParser parser("p", "d");
+  const bool* a = parser.add_bool("a", false, "");
+  const bool* b = parser.add_bool("b", true, "");
+  const bool* c = parser.add_bool("c", false, "");
+  EXPECT_EQ(run(parser, {"--a", "--b=false", "--c", "true"}),
+            FlagParser::Result::kOk);
+  EXPECT_TRUE(*a);
+  EXPECT_FALSE(*b);
+  EXPECT_TRUE(*c);
+}
+
+TEST(Flags, BareBoolFollowedByAnotherFlag) {
+  FlagParser parser("p", "d");
+  const bool* a = parser.add_bool("a", false, "");
+  const int* n = parser.add_int("n", 0, "");
+  EXPECT_EQ(run(parser, {"--a", "--n", "3"}), FlagParser::Result::kOk);
+  EXPECT_TRUE(*a);
+  EXPECT_EQ(*n, 3);
+}
+
+TEST(Flags, UnknownFlagFails) {
+  FlagParser parser("p", "d");
+  parser.add_int("n", 0, "");
+  std::string err;
+  EXPECT_EQ(run(parser, {"--nope", "1"}, &err), FlagParser::Result::kError);
+  EXPECT_NE(err.find("unknown flag"), std::string::npos);
+  EXPECT_NE(err.find("--n"), std::string::npos);  // usage printed
+}
+
+TEST(Flags, InvalidValuesFail) {
+  FlagParser parser("p", "d");
+  parser.add_int("n", 0, "");
+  parser.add_double("x", 0, "");
+  parser.add_bool("b", false, "");
+  EXPECT_EQ(run(parser, {"--n", "abc"}), FlagParser::Result::kError);
+  FlagParser parser2("p", "d");
+  parser2.add_double("x", 0, "");
+  EXPECT_EQ(run(parser2, {"--x", "1.5garbage"}), FlagParser::Result::kError);
+  FlagParser parser3("p", "d");
+  parser3.add_bool("b", false, "");
+  EXPECT_EQ(run(parser3, {"--b=maybe"}), FlagParser::Result::kError);
+}
+
+TEST(Flags, MissingValueFails) {
+  FlagParser parser("p", "d");
+  parser.add_int("n", 0, "");
+  std::string err;
+  EXPECT_EQ(run(parser, {"--n"}, &err), FlagParser::Result::kError);
+  EXPECT_NE(err.find("expects a value"), std::string::npos);
+}
+
+TEST(Flags, HelpShortCircuits) {
+  FlagParser parser("p", "does things");
+  parser.add_int("n", 5, "the count");
+  std::string err;
+  EXPECT_EQ(run(parser, {"--help"}, &err), FlagParser::Result::kHelp);
+  EXPECT_NE(err.find("does things"), std::string::npos);
+  EXPECT_NE(err.find("the count"), std::string::npos);
+  EXPECT_NE(err.find("default: 5"), std::string::npos);
+}
+
+TEST(Flags, PositionalArgumentsRejected) {
+  FlagParser parser("p", "d");
+  EXPECT_EQ(run(parser, {"stray"}), FlagParser::Result::kError);
+}
+
+TEST(Flags, DuplicateRegistrationThrows) {
+  FlagParser parser("p", "d");
+  parser.add_int("n", 0, "");
+  EXPECT_THROW(parser.add_double("n", 0, ""), std::invalid_argument);
+  EXPECT_THROW(parser.add_int("", 0, ""), std::invalid_argument);
+}
+
+TEST(Flags, NegativeNumbersParse) {
+  FlagParser parser("p", "d");
+  const int* n = parser.add_int("n", 0, "");
+  const double* x = parser.add_double("x", 0, "");
+  EXPECT_EQ(run(parser, {"--n", "-5", "--x", "-0.25"}),
+            FlagParser::Result::kOk);
+  EXPECT_EQ(*n, -5);
+  EXPECT_DOUBLE_EQ(*x, -0.25);
+}
+
+TEST(Flags, LastValueWins) {
+  FlagParser parser("p", "d");
+  const int* n = parser.add_int("n", 0, "");
+  EXPECT_EQ(run(parser, {"--n", "1", "--n", "2"}), FlagParser::Result::kOk);
+  EXPECT_EQ(*n, 2);
+}
+
+}  // namespace
+}  // namespace lfsc

@@ -1,0 +1,99 @@
+#include "sim/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+namespace lfsc {
+namespace {
+
+TEST(TaskGenerator, IdsAreUniqueAndMonotone) {
+  TaskGenerator gen;
+  RngStream rng(1);
+  std::int64_t prev = -1;
+  for (int i = 0; i < 1000; ++i) {
+    const auto task = gen.next(rng);
+    EXPECT_GT(task.id, prev);
+    prev = task.id;
+  }
+  EXPECT_EQ(gen.tasks_created(), 1000);
+}
+
+TEST(TaskGenerator, SizesWithinPaperRanges) {
+  TaskGenerator gen;
+  RngStream rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const auto task = gen.next(rng);
+    EXPECT_GE(task.context.input_mbit, 5.0);
+    EXPECT_LE(task.context.input_mbit, 20.0);
+    EXPECT_GE(task.context.output_mbit, 1.0);
+    EXPECT_LE(task.context.output_mbit, 4.0);
+  }
+}
+
+TEST(TaskGenerator, SizeMeansMatchUniform) {
+  TaskGenerator gen;
+  RngStream rng(3);
+  double in_sum = 0, out_sum = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const auto task = gen.next(rng);
+    in_sum += task.context.input_mbit;
+    out_sum += task.context.output_mbit;
+  }
+  EXPECT_NEAR(in_sum / kN, 12.5, 0.1);
+  EXPECT_NEAR(out_sum / kN, 2.5, 0.05);
+}
+
+TEST(TaskGenerator, AllResourceTypesAppearUniformly) {
+  TaskGenerator gen;
+  RngStream rng(4);
+  std::array<int, 3> counts{};
+  constexpr int kN = 30000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[static_cast<std::size_t>(gen.next(rng).context.resource)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kN, 1.0 / 3.0, 0.02);
+  }
+}
+
+TEST(TaskGenerator, CategoricalModeProducesDiscreteSizes) {
+  TaskGeneratorConfig config;
+  config.continuous_sizes = false;
+  config.size_categories = 3;
+  TaskGenerator gen(config);
+  RngStream rng(5);
+  std::set<double> inputs;
+  for (int i = 0; i < 1000; ++i) {
+    inputs.insert(gen.next(rng).context.input_mbit);
+  }
+  EXPECT_EQ(inputs.size(), 3u);  // exactly the three bin midpoints
+  // Midpoints of [5,20] split in three: 7.5, 12.5, 17.5.
+  EXPECT_TRUE(inputs.count(7.5) == 1);
+  EXPECT_TRUE(inputs.count(12.5) == 1);
+  EXPECT_TRUE(inputs.count(17.5) == 1);
+}
+
+TEST(TaskGenerator, WdIdIsRecorded) {
+  TaskGenerator gen;
+  RngStream rng(6);
+  EXPECT_EQ(gen.next(rng, 17).wd_id, 17);
+  EXPECT_EQ(gen.next(rng).wd_id, 0);
+}
+
+TEST(TaskGenerator, DeterministicGivenStream) {
+  TaskGenerator g1, g2;
+  RngStream r1(9), r2(9);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = g1.next(r1);
+    const auto b = g2.next(r2);
+    EXPECT_DOUBLE_EQ(a.context.input_mbit, b.context.input_mbit);
+    EXPECT_DOUBLE_EQ(a.context.output_mbit, b.context.output_mbit);
+    EXPECT_EQ(a.context.resource, b.context.resource);
+  }
+}
+
+}  // namespace
+}  // namespace lfsc

@@ -1,0 +1,88 @@
+#include "lfsc/lagrange.h"
+
+#include <gtest/gtest.h>
+
+namespace lfsc {
+namespace {
+
+TEST(Lagrange, StartsAtZero) {
+  LagrangeMultipliers lm(0.1, 0.01, 5.0);
+  EXPECT_DOUBLE_EQ(lm.qos(), 0.0);
+  EXPECT_DOUBLE_EQ(lm.resource(), 0.0);
+}
+
+TEST(Lagrange, QosShortfallRaisesQosMultiplier) {
+  LagrangeMultipliers lm(0.1, 0.0, 5.0);
+  // completed 5 < alpha 15: gap (15-5)/15 = 2/3 -> lambda = 0.1 * 2/3.
+  lm.update(/*completed=*/5.0, /*resource=*/10.0, /*alpha=*/15.0, /*beta=*/27.0);
+  EXPECT_NEAR(lm.qos(), 0.1 * (10.0 / 15.0), 1e-12);
+  EXPECT_DOUBLE_EQ(lm.resource(), 0.0);  // within beta: projected to 0
+}
+
+TEST(Lagrange, ResourceOverrunRaisesResourceMultiplier) {
+  LagrangeMultipliers lm(0.1, 0.0, 5.0);
+  lm.update(/*completed=*/20.0, /*resource=*/30.0, 15.0, 27.0);
+  EXPECT_DOUBLE_EQ(lm.qos(), 0.0);
+  EXPECT_NEAR(lm.resource(), 0.1 * (3.0 / 27.0), 1e-12);
+}
+
+TEST(Lagrange, SatisfiedConstraintsDecayMultipliers) {
+  LagrangeMultipliers lm(0.1, 0.0, 5.0);
+  // Build up pressure, then satisfy the constraint: multiplier shrinks.
+  for (int i = 0; i < 20; ++i) lm.update(0.0, 40.0, 15.0, 27.0);
+  const double qos_high = lm.qos();
+  const double res_high = lm.resource();
+  EXPECT_GT(qos_high, 0.0);
+  EXPECT_GT(res_high, 0.0);
+  for (int i = 0; i < 5; ++i) lm.update(20.0, 20.0, 15.0, 27.0);
+  EXPECT_LT(lm.qos(), qos_high);
+  EXPECT_LT(lm.resource(), res_high);
+}
+
+TEST(Lagrange, ProjectionKeepsMultipliersInBox) {
+  LagrangeMultipliers lm(1.0, 0.0, 0.5);
+  for (int i = 0; i < 100; ++i) lm.update(0.0, 100.0, 15.0, 27.0);
+  EXPECT_LE(lm.qos(), 0.5);
+  EXPECT_LE(lm.resource(), 0.5);
+  // Push the other way: never below zero.
+  for (int i = 0; i < 100; ++i) lm.update(100.0, 0.0, 15.0, 27.0);
+  EXPECT_GE(lm.qos(), 0.0);
+  EXPECT_GE(lm.resource(), 0.0);
+}
+
+TEST(Lagrange, RegularizationDecaysTowardZero) {
+  LagrangeMultipliers with_reg(0.1, 1.0, 5.0);
+  LagrangeMultipliers without(0.1, 0.0, 5.0);
+  for (int i = 0; i < 50; ++i) {
+    with_reg.update(0.0, 40.0, 15.0, 27.0);
+    without.update(0.0, 40.0, 15.0, 27.0);
+  }
+  EXPECT_LT(with_reg.qos(), without.qos());
+}
+
+TEST(Lagrange, SteadyStateBalancesGapAndDecay) {
+  // With constant gap g and decay, lambda converges to g/delta (when the
+  // box allows): fixed point of l = (1-ed)l + e*g.
+  const double eta = 0.05, delta = 0.2;
+  LagrangeMultipliers lm(eta, delta, 100.0);
+  for (int i = 0; i < 5000; ++i) lm.update(0.0, 27.0, 15.0, 27.0);
+  EXPECT_NEAR(lm.qos(), 1.0 / delta, 1e-6);  // gap = 1 (normalized)
+}
+
+TEST(Lagrange, ResetClears) {
+  LagrangeMultipliers lm(0.1, 0.0, 5.0);
+  lm.update(0.0, 40.0, 15.0, 27.0);
+  lm.reset();
+  EXPECT_DOUBLE_EQ(lm.qos(), 0.0);
+  EXPECT_DOUBLE_EQ(lm.resource(), 0.0);
+}
+
+TEST(Lagrange, ZeroAlphaBetaAreSafe) {
+  LagrangeMultipliers lm(0.1, 0.0, 5.0);
+  lm.update(5.0, 5.0, 0.0, 0.0);  // guards against division by zero
+  EXPECT_DOUBLE_EQ(lm.qos(), 0.0);
+  EXPECT_DOUBLE_EQ(lm.resource(), 0.0);
+}
+
+}  // namespace
+}  // namespace lfsc

@@ -1,0 +1,225 @@
+#include "lfsc/lfsc_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harness/paper_setup.h"
+#include "metrics/metrics.h"
+
+namespace lfsc {
+namespace {
+
+PaperSetup setup() { return small_setup(); }
+
+TEST(LfscPolicy, ProducesValidAssignments) {
+  auto s = setup();
+  auto sim = s.make_simulator();
+  LfscPolicy policy(s.net, s.lfsc);
+  for (int t = 1; t <= 50; ++t) {
+    const auto slot = sim.generate_slot(t);
+    const auto assignment = policy.select(slot.info);
+    EXPECT_EQ(validate_assignment(slot.info, assignment, s.net), std::nullopt);
+    policy.observe(slot.info, assignment, make_feedback(slot, assignment));
+  }
+}
+
+TEST(LfscPolicy, ProbabilitiesAreValidMarginals) {
+  auto s = setup();
+  auto sim = s.make_simulator();
+  LfscPolicy policy(s.net, s.lfsc);
+  const auto slot = sim.generate_slot(1);
+  policy.select(slot.info);
+  for (int m = 0; m < s.net.num_scns; ++m) {
+    const auto& probs = policy.last_probabilities(m);
+    ASSERT_EQ(probs.size(), slot.info.coverage[static_cast<std::size_t>(m)].size());
+    double sum = 0.0;
+    for (const double p : probs) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0 + 1e-9);
+      sum += p;
+    }
+    const auto expected = std::min<double>(
+        static_cast<double>(s.net.capacity_c), static_cast<double>(probs.size()));
+    EXPECT_NEAR(sum, expected, 1e-6);
+  }
+}
+
+TEST(LfscPolicy, WeightsStayFiniteAndPositiveOverLongRuns) {
+  auto s = setup();
+  auto sim = s.make_simulator();
+  LfscPolicy policy(s.net, s.lfsc);
+  for (int t = 1; t <= 500; ++t) {
+    const auto slot = sim.generate_slot(t);
+    const auto assignment = policy.select(slot.info);
+    policy.observe(slot.info, assignment, make_feedback(slot, assignment));
+  }
+  for (int m = 0; m < s.net.num_scns; ++m) {
+    double max_w = 0.0;
+    for (const double w : policy.weights(m)) {
+      EXPECT_TRUE(std::isfinite(w));
+      EXPECT_GT(w, 0.0);
+      max_w = std::max(max_w, w);
+    }
+    EXPECT_NEAR(max_w, 1.0, 1e-9);  // normalized after every update
+  }
+}
+
+TEST(LfscPolicy, LambdasStayInBox) {
+  auto s = setup();
+  auto sim = s.make_simulator();
+  LfscPolicy policy(s.net, s.lfsc);
+  for (int t = 1; t <= 300; ++t) {
+    const auto slot = sim.generate_slot(t);
+    const auto assignment = policy.select(slot.info);
+    policy.observe(slot.info, assignment, make_feedback(slot, assignment));
+    for (int m = 0; m < s.net.num_scns; ++m) {
+      EXPECT_GE(policy.lambda_qos(m), 0.0);
+      EXPECT_LE(policy.lambda_qos(m), s.lfsc.lambda_max);
+      EXPECT_GE(policy.lambda_resource(m), 0.0);
+      EXPECT_LE(policy.lambda_resource(m), s.lfsc.lambda_max);
+    }
+  }
+}
+
+TEST(LfscPolicy, AutoGammaIsReasonable) {
+  auto s = setup();
+  LfscPolicy policy(s.net, s.lfsc);
+  EXPECT_GT(policy.gamma(), 0.0);
+  EXPECT_LE(policy.gamma(), 1.0);
+}
+
+TEST(LfscPolicy, ExplicitGammaIsHonored) {
+  auto s = setup();
+  s.lfsc.gamma = 0.42;
+  LfscPolicy policy(s.net, s.lfsc);
+  EXPECT_DOUBLE_EQ(policy.gamma(), 0.42);
+}
+
+TEST(LfscPolicy, ObserveWithoutSelectThrows) {
+  auto s = setup();
+  auto sim = s.make_simulator();
+  LfscPolicy policy(s.net, s.lfsc);
+  const auto slot = sim.generate_slot(1);
+  Assignment empty;
+  empty.selected.assign(static_cast<std::size_t>(s.net.num_scns), {});
+  SlotFeedback feedback;
+  feedback.per_scn.resize(static_cast<std::size_t>(s.net.num_scns));
+  EXPECT_THROW(policy.observe(slot.info, empty, feedback), std::logic_error);
+}
+
+TEST(LfscPolicy, ScnCountMismatchThrows) {
+  auto s = setup();
+  LfscPolicy policy(s.net, s.lfsc);
+  SlotInfo info;
+  info.t = 1;
+  info.coverage.resize(3);  // != 6
+  EXPECT_THROW(policy.select(info), std::invalid_argument);
+}
+
+TEST(LfscPolicy, ResetRestoresInitialState) {
+  auto s = setup();
+  auto sim = s.make_simulator();
+  LfscPolicy policy(s.net, s.lfsc);
+  for (int t = 1; t <= 50; ++t) {
+    const auto slot = sim.generate_slot(t);
+    const auto a = policy.select(slot.info);
+    policy.observe(slot.info, a, make_feedback(slot, a));
+  }
+  policy.reset();
+  for (int m = 0; m < s.net.num_scns; ++m) {
+    for (const double w : policy.weights(m)) EXPECT_DOUBLE_EQ(w, 1.0);
+    EXPECT_DOUBLE_EQ(policy.lambda_qos(m), 0.0);
+  }
+  // After reset the policy replays identically on the same world.
+  auto sim2 = s.make_simulator();
+  LfscPolicy fresh(s.net, s.lfsc);
+  for (int t = 1; t <= 10; ++t) {
+    const auto slot = sim2.generate_slot(t);
+    const auto a = policy.select(slot.info);
+    const auto b = fresh.select(slot.info);
+    EXPECT_EQ(a.selected, b.selected);
+    policy.observe(slot.info, a, make_feedback(slot, a));
+    fresh.observe(slot.info, b, make_feedback(slot, b));
+  }
+}
+
+TEST(LfscPolicy, LearnsToPreferHighRewardHypercube) {
+  // Deterministic micro-world: one SCN, two tasks per slot — one from a
+  // high-compound-reward context region, one from a low region. After
+  // learning, the high cube's weight must dominate.
+  NetworkConfig net{.num_scns = 1, .capacity_c = 1, .qos_alpha = 0.0,
+                    .resource_beta = 100.0};
+  LfscConfig config;
+  config.gamma = 0.1;
+  config.horizon = 2000;
+  config.expected_tasks_per_scn = 2;
+  LfscPolicy policy(net, config);
+
+  const auto good = make_context(6.0, 1.2, ResourceType::kCpu);   // cube A
+  const auto bad = make_context(19.0, 3.8, ResourceType::kCpuGpu);  // cube B
+  const std::size_t good_cell = policy.partition().index(good.normalized);
+  const std::size_t bad_cell = policy.partition().index(bad.normalized);
+  ASSERT_NE(good_cell, bad_cell);
+
+  for (int t = 1; t <= 1500; ++t) {
+    SlotInfo info;
+    info.t = t;
+    info.tasks.resize(2);
+    info.tasks[0].id = 2 * t;
+    info.tasks[0].context = good;
+    info.tasks[1].id = 2 * t + 1;
+    info.tasks[1].context = bad;
+    info.coverage = {{0, 1}};
+    const auto assignment = policy.select(info);
+    SlotFeedback feedback;
+    feedback.per_scn.resize(1);
+    for (const int local : assignment.selected[0]) {
+      TaskFeedback f;
+      f.local_index = local;
+      const bool is_good = local == 0;
+      f.u = is_good ? 0.9 : 0.1;
+      f.v = is_good ? 0.9 : 0.2;
+      f.q = is_good ? 1.0 : 2.0;
+      feedback.per_scn[0].push_back(f);
+    }
+    policy.observe(info, assignment, feedback);
+  }
+  const auto& weights = policy.weights(0);
+  EXPECT_GT(weights[good_cell], 10.0 * weights[bad_cell])
+      << "good=" << weights[good_cell] << " bad=" << weights[bad_cell];
+}
+
+TEST(LfscPolicy, NoCoordinationAblationDuplicatesTasks) {
+  auto s = setup();
+  s.lfsc.coordinate_scns = false;
+  s.coverage.coverage_degree = 2.5;  // heavy overlap to force duplicates
+  auto sim = s.make_simulator();
+  LfscPolicy policy(s.net, s.lfsc);
+  bool found_duplicate = false;
+  for (int t = 1; t <= 30 && !found_duplicate; ++t) {
+    const auto slot = sim.generate_slot(t);
+    const auto assignment = policy.select(slot.info);
+    found_duplicate =
+        validate_assignment(slot.info, assignment, s.net).has_value();
+    policy.observe(slot.info, assignment, make_feedback(slot, assignment));
+  }
+  EXPECT_TRUE(found_duplicate)
+      << "independent DepRound should eventually violate (1b) under overlap";
+}
+
+TEST(LfscPolicy, DeterministicEdgesVariantIsValidToo) {
+  auto s = setup();
+  s.lfsc.deterministic_edges = true;
+  auto sim = s.make_simulator();
+  LfscPolicy policy(s.net, s.lfsc);
+  for (int t = 1; t <= 30; ++t) {
+    const auto slot = sim.generate_slot(t);
+    const auto assignment = policy.select(slot.info);
+    EXPECT_EQ(validate_assignment(slot.info, assignment, s.net), std::nullopt);
+    policy.observe(slot.info, assignment, make_feedback(slot, assignment));
+  }
+}
+
+}  // namespace
+}  // namespace lfsc

@@ -1,0 +1,58 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace lfsc {
+namespace {
+
+// Restores the global level after each test so suites stay independent.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_level(); }
+  void TearDown() override { set_log_level(previous_); }
+  LogLevel previous_ = LogLevel::kInfo;
+};
+
+TEST_F(LogTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+TEST_F(LogTest, MessagesBelowThresholdAreSuppressed) {
+  set_log_level(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  log_message(LogLevel::kInfo, "should not appear");
+  log_message(LogLevel::kWarn, "nor this");
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(out.empty()) << out;
+}
+
+TEST_F(LogTest, MessagesAtOrAboveThresholdAppearWithTag) {
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  log_message(LogLevel::kInfo, "hello info");
+  log_message(LogLevel::kError, "hello error");
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[INFO ] hello info"), std::string::npos);
+  EXPECT_NE(out.find("[ERROR] hello error"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  ::testing::internal::CaptureStderr();
+  log_message(LogLevel::kError, "even errors");
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST_F(LogTest, StreamMacroFormatsValues) {
+  set_log_level(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  LFSC_LOG_DEBUG << "x=" << 42 << " y=" << 1.5;
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[DEBUG] x=42 y=1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lfsc

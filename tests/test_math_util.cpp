@@ -1,0 +1,109 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lfsc {
+namespace {
+
+TEST(PositivePart, Basics) {
+  EXPECT_DOUBLE_EQ(positive_part(3.5), 3.5);
+  EXPECT_DOUBLE_EQ(positive_part(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(positive_part(-2.0), 0.0);
+}
+
+TEST(ApproxEqual, AbsoluteAndRelative) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0));
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_TRUE(approx_equal(1e12, 1e12 + 1.0, 1e-9));  // relative
+  EXPECT_FALSE(approx_equal(1.0, 1.1));
+  EXPECT_TRUE(approx_equal(0.0, 0.0));
+}
+
+TEST(Linspace, EndpointsAndSpacing) {
+  const auto xs = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(xs.size(), 5u);
+  EXPECT_DOUBLE_EQ(xs.front(), 0.0);
+  EXPECT_DOUBLE_EQ(xs.back(), 1.0);
+  EXPECT_DOUBLE_EQ(xs[2], 0.5);
+}
+
+TEST(Linspace, SinglePointAndEmpty) {
+  EXPECT_TRUE(linspace(0, 1, 0).empty());
+  const auto one = linspace(3.0, 9.0, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0], 3.0);
+}
+
+TEST(RunningStats, MeanVarMinMax) {
+  RunningStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RngStream rng(5);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // copy
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(KahanSum, RecoversSmallIncrementsOnLargeBase) {
+  KahanSum sum;
+  sum.add(1e16);
+  for (int i = 0; i < 10000; ++i) sum.add(1.0);
+  EXPECT_DOUBLE_EQ(sum.value(), 1e16 + 10000.0);
+}
+
+TEST(KahanSum, MatchesExactForSmallSeries) {
+  KahanSum sum;
+  for (int i = 1; i <= 100; ++i) sum.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(sum.value(), 5050.0);
+}
+
+TEST(MeanStddevOf, SpanHelpers) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 2.5);
+  EXPECT_NEAR(stddev_of(xs), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(mean_of(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev_of(std::vector<double>{7.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace lfsc

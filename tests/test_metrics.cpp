@@ -1,0 +1,126 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace lfsc {
+namespace {
+
+// Hand-built two-SCN slot with known realizations.
+Slot make_slot() {
+  Slot slot;
+  slot.info.t = 1;
+  slot.info.tasks.resize(3);
+  for (int i = 0; i < 3; ++i) slot.info.tasks[static_cast<std::size_t>(i)].id = i;
+  slot.info.coverage = {{0, 1}, {1, 2}};
+  slot.real.u = {{1.0, 0.5}, {0.8, 0.6}};
+  slot.real.v = {{0.9, 0.4}, {0.7, 1.0}};
+  slot.real.q = {{1.0, 2.0}, {1.6, 1.2}};
+  return slot;
+}
+
+NetworkConfig net2() {
+  return NetworkConfig{.num_scns = 2, .capacity_c = 2, .qos_alpha = 1.0,
+                       .resource_beta = 2.5};
+}
+
+TEST(EvaluateSlot, RewardAndViolationsExact) {
+  const auto slot = make_slot();
+  Assignment a;
+  a.selected = {{0, 1}, {1}};
+  const auto outcome = evaluate_slot(slot, a, net2());
+  // SCN0: g = 1*0.9/1 + 0.5*0.4/2 = 0.9 + 0.1 = 1.0; v-sum = 1.3; q-sum = 3.0
+  // SCN1: g = 0.6*1.0/1.2 = 0.5; v-sum = 1.0; q-sum = 1.2
+  EXPECT_NEAR(outcome.reward, 1.5, 1e-12);
+  EXPECT_NEAR(outcome.qos_violation, 0.0, 1e-12);  // both meet alpha=1
+  EXPECT_NEAR(outcome.resource_violation, 0.5, 1e-12);  // SCN0: 3.0-2.5
+  EXPECT_EQ(outcome.tasks_selected, 3);
+  EXPECT_EQ(outcome.scns_meeting_qos, 2);
+  EXPECT_EQ(outcome.scns_within_beta, 1);
+}
+
+TEST(EvaluateSlot, EmptyAssignmentViolatesQosOnly) {
+  const auto slot = make_slot();
+  Assignment a;
+  a.selected = {{}, {}};
+  const auto outcome = evaluate_slot(slot, a, net2());
+  EXPECT_DOUBLE_EQ(outcome.reward, 0.0);
+  EXPECT_DOUBLE_EQ(outcome.qos_violation, 2.0);  // alpha per SCN unmet
+  EXPECT_DOUBLE_EQ(outcome.resource_violation, 0.0);
+}
+
+TEST(EvaluateSlot, ShapeErrors) {
+  const auto slot = make_slot();
+  Assignment wrong_scns;
+  wrong_scns.selected = {{}};
+  EXPECT_THROW(evaluate_slot(slot, wrong_scns, net2()), std::invalid_argument);
+  Assignment bad_index;
+  bad_index.selected = {{5}, {}};
+  EXPECT_THROW(evaluate_slot(slot, bad_index, net2()), std::out_of_range);
+}
+
+TEST(ValidateAssignment, AcceptsValid) {
+  const auto slot = make_slot();
+  Assignment a;
+  a.selected = {{0}, {0, 1}};
+  EXPECT_EQ(validate_assignment(slot.info, a, net2()), std::nullopt);
+}
+
+TEST(ValidateAssignment, DetectsCapacityViolation) {
+  const auto slot = make_slot();
+  NetworkConfig net = net2();
+  net.capacity_c = 1;
+  Assignment a;
+  a.selected = {{0, 1}, {}};
+  const auto error = validate_assignment(slot.info, a, net);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("capacity"), std::string::npos);
+}
+
+TEST(ValidateAssignment, DetectsDuplicateOffloading) {
+  const auto slot = make_slot();
+  // Task 1 is local index 1 at SCN0 and local index 0 at SCN1.
+  Assignment a;
+  a.selected = {{1}, {0}};
+  const auto error = validate_assignment(slot.info, a, net2());
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("(1b)"), std::string::npos);
+}
+
+TEST(ValidateAssignment, DetectsBadLocalIndexAndDuplicates) {
+  const auto slot = make_slot();
+  Assignment bad;
+  bad.selected = {{7}, {}};
+  EXPECT_TRUE(validate_assignment(slot.info, bad, net2()).has_value());
+  Assignment dup;
+  dup.selected = {{0, 0}, {}};
+  EXPECT_TRUE(validate_assignment(slot.info, dup, net2()).has_value());
+  Assignment wrong_shape;
+  wrong_shape.selected = {{}};
+  EXPECT_TRUE(validate_assignment(slot.info, wrong_shape, net2()).has_value());
+}
+
+TEST(MakeFeedback, ContainsExactlySelectedTasks) {
+  const auto slot = make_slot();
+  Assignment a;
+  a.selected = {{1}, {0, 1}};
+  const auto feedback = make_feedback(slot, a);
+  ASSERT_EQ(feedback.per_scn.size(), 2u);
+  ASSERT_EQ(feedback.per_scn[0].size(), 1u);
+  ASSERT_EQ(feedback.per_scn[1].size(), 2u);
+  EXPECT_EQ(feedback.per_scn[0][0].local_index, 1);
+  EXPECT_DOUBLE_EQ(feedback.per_scn[0][0].u, 0.5);
+  EXPECT_DOUBLE_EQ(feedback.per_scn[0][0].v, 0.4);
+  EXPECT_DOUBLE_EQ(feedback.per_scn[0][0].q, 2.0);
+  EXPECT_NEAR(feedback.per_scn[0][0].compound(), 0.1, 1e-12);
+}
+
+TEST(TaskFeedback, CompoundHandlesZeroQ) {
+  TaskFeedback f;
+  f.u = 1.0;
+  f.v = 1.0;
+  f.q = 0.0;
+  EXPECT_DOUBLE_EQ(f.compound(), 0.0);
+}
+
+}  // namespace
+}  // namespace lfsc

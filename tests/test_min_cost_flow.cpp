@@ -1,0 +1,128 @@
+#include "solver/min_cost_flow.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "solver/branch_and_bound.h"
+
+namespace lfsc {
+namespace {
+
+Edge make_edge(int scn, int task, double weight) {
+  Edge e;
+  e.scn = scn;
+  e.task = task;
+  e.local = task;
+  e.weight = weight;
+  return e;
+}
+
+TEST(MaxWeightBMatching, SimpleAssignment) {
+  // Two SCNs, two tasks; crossing weights force the non-greedy pairing.
+  std::vector<Edge> edges{make_edge(0, 0, 0.6), make_edge(0, 1, 0.9),
+                          make_edge(1, 0, 0.1), make_edge(1, 1, 0.8)};
+  const auto result = max_weight_b_matching(2, 2, 1, edges);
+  // Optimal: (0,0)+(1,1) = 1.4 beats (0,1)+(1,0) = 1.0 and (0,1) alone.
+  EXPECT_NEAR(result.total_weight, 1.4, 1e-9);
+  EXPECT_EQ(result.assignment.selected[0], (std::vector<int>{0}));
+  EXPECT_EQ(result.assignment.selected[1], (std::vector<int>{1}));
+}
+
+TEST(MaxWeightBMatching, GreedyWouldBeSuboptimalHere) {
+  // Greedy takes (0,1)=0.9 first, forcing SCN 1 to 0.1: total 1.0 < 1.4.
+  // The flow solver must beat that.
+  std::vector<Edge> edges{make_edge(0, 0, 0.6), make_edge(0, 1, 0.9),
+                          make_edge(1, 0, 0.1), make_edge(1, 1, 0.8)};
+  const auto result = max_weight_b_matching(2, 2, 1, edges);
+  EXPECT_GT(result.total_weight, 1.0);
+}
+
+TEST(MaxWeightBMatching, RespectsCapacity) {
+  std::vector<Edge> edges;
+  for (int i = 0; i < 6; ++i) edges.push_back(make_edge(0, i, 1.0));
+  const auto result = max_weight_b_matching(1, 6, 2, edges);
+  EXPECT_EQ(result.assignment.selected[0].size(), 2u);
+  EXPECT_NEAR(result.total_weight, 2.0, 1e-9);
+}
+
+TEST(MaxWeightBMatching, IgnoresNonPositiveEdges) {
+  std::vector<Edge> edges{make_edge(0, 0, -0.5), make_edge(0, 1, 0.0),
+                          make_edge(0, 2, 0.4)};
+  const auto result = max_weight_b_matching(1, 3, 3, edges);
+  EXPECT_EQ(result.assignment.selected[0], (std::vector<int>{2}));
+  EXPECT_NEAR(result.total_weight, 0.4, 1e-9);
+}
+
+TEST(MaxWeightBMatching, EmptyInstances) {
+  const auto a = max_weight_b_matching(2, 0, 3, {});
+  EXPECT_DOUBLE_EQ(a.total_weight, 0.0);
+  const auto b = max_weight_b_matching(0, 0, 0, {});
+  EXPECT_TRUE(b.assignment.selected.empty());
+}
+
+TEST(MaxWeightBMatching, PartialMatchingWhenTasksScarce) {
+  std::vector<Edge> edges{make_edge(0, 0, 0.5), make_edge(1, 0, 0.7)};
+  const auto result = max_weight_b_matching(2, 1, 3, edges);
+  // Only one task exists; the better SCN takes it.
+  EXPECT_NEAR(result.total_weight, 0.7, 1e-9);
+  EXPECT_TRUE(result.assignment.selected[0].empty());
+  EXPECT_EQ(result.assignment.selected[1], (std::vector<int>{0}));
+}
+
+TEST(MaxWeightBMatching, RejectsOutOfRangeEdges) {
+  std::vector<Edge> bad{make_edge(0, 7, 0.5)};
+  EXPECT_THROW(max_weight_b_matching(1, 3, 1, bad), std::out_of_range);
+}
+
+TEST(MaxWeightBMatching, AgreesWithBranchAndBoundOnRandomInstances) {
+  RngStream rng(55);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int scns = 2 + static_cast<int>(rng.uniform_int(0, 2));
+    const int tasks = 5 + static_cast<int>(rng.uniform_int(0, 10));
+    const int cap = 1 + static_cast<int>(rng.uniform_int(0, 2));
+    std::vector<Edge> edges;
+    for (int m = 0; m < scns; ++m) {
+      for (int i = 0; i < tasks; ++i) {
+        if (rng.uniform() < 0.6) {
+          edges.push_back(make_edge(m, i, rng.uniform(0.01, 1.0)));
+        }
+      }
+    }
+    const auto flow = max_weight_b_matching(scns, tasks, cap, edges);
+    ExactProblem problem;
+    problem.num_scns = scns;
+    problem.num_tasks = tasks;
+    problem.capacity_c = cap;
+    problem.edges = edges;
+    const auto exact = solve_exact(problem);
+    ASSERT_TRUE(exact.optimal);
+    EXPECT_NEAR(flow.total_weight, exact.total_weight, 1e-6)
+        << "scns=" << scns << " tasks=" << tasks << " cap=" << cap;
+  }
+}
+
+TEST(MaxWeightBMatching, TotalWeightMatchesSelectedEdges) {
+  RngStream rng(77);
+  std::vector<Edge> edges;
+  std::vector<std::vector<double>> w(3, std::vector<double>(12, 0.0));
+  for (int m = 0; m < 3; ++m) {
+    for (int i = 0; i < 12; ++i) {
+      const double weight = rng.uniform(0.01, 1.0);
+      w[static_cast<std::size_t>(m)][static_cast<std::size_t>(i)] = weight;
+      edges.push_back(make_edge(m, i, weight));
+    }
+  }
+  const auto result = max_weight_b_matching(3, 12, 4, edges);
+  double recomputed = 0.0;
+  for (std::size_t m = 0; m < 3; ++m) {
+    for (const int local : result.assignment.selected[m]) {
+      recomputed += w[m][static_cast<std::size_t>(local)];
+    }
+  }
+  EXPECT_NEAR(result.total_weight, recomputed, 1e-9);
+}
+
+}  // namespace
+}  // namespace lfsc

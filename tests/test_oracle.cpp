@@ -1,0 +1,148 @@
+#include "baselines/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/paper_setup.h"
+#include "metrics/metrics.h"
+#include "solver/branch_and_bound.h"
+
+namespace lfsc {
+namespace {
+
+PaperSetup setup() { return small_setup(); }
+
+TEST(Oracle, NeedsRealizations) {
+  auto s = setup();
+  OraclePolicy oracle(s.net);
+  EXPECT_TRUE(oracle.needs_realizations());
+  EXPECT_EQ(oracle.name(), "Oracle");
+}
+
+TEST(Oracle, ProducesValidAssignments) {
+  auto s = setup();
+  auto sim = s.make_simulator();
+  OraclePolicy oracle(s.net);
+  for (int t = 1; t <= 50; ++t) {
+    const auto slot = sim.generate_slot(t);
+    const auto assignment = oracle.select_omniscient(slot);
+    EXPECT_EQ(validate_assignment(slot.info, assignment, s.net), std::nullopt);
+  }
+}
+
+TEST(Oracle, RespectsResourceCapStrictly) {
+  auto s = setup();
+  auto sim = s.make_simulator();
+  OraclePolicy oracle(s.net);
+  for (int t = 1; t <= 50; ++t) {
+    const auto slot = sim.generate_slot(t);
+    const auto assignment = oracle.select_omniscient(slot);
+    const auto outcome = evaluate_slot(slot, assignment, s.net);
+    EXPECT_DOUBLE_EQ(outcome.resource_violation, 0.0) << "t=" << t;
+  }
+}
+
+TEST(Oracle, QosRepairReducesQosViolation) {
+  auto s = setup();
+  auto sim = s.make_simulator();
+  OraclePolicy with_repair(s.net, {.repair_qos = true});
+  OraclePolicy without_repair(s.net, {.repair_qos = false});
+  double v_with = 0.0, v_without = 0.0;
+  for (int t = 1; t <= 100; ++t) {
+    const auto slot = sim.generate_slot(t);
+    v_with += evaluate_slot(slot, with_repair.select_omniscient(slot), s.net)
+                  .qos_violation;
+    v_without +=
+        evaluate_slot(slot, without_repair.select_omniscient(slot), s.net)
+            .qos_violation;
+  }
+  EXPECT_LE(v_with, v_without);
+  EXPECT_LT(v_with, 0.9 * v_without + 1e-9);
+}
+
+TEST(Oracle, NearExactOnSmallInstancesWithoutRepair) {
+  // With repair and QoS disabled, the oracle is a greedy for the pure
+  // reward problem; compare with branch-and-bound on small slots.
+  NetworkConfig net{.num_scns = 3, .capacity_c = 3, .qos_alpha = 0.0,
+                    .resource_beta = 5.0};
+  EnvironmentConfig env;
+  env.num_scns = 3;
+  AbstractCoverageConfig cov{.num_scns = 3,
+                             .tasks_per_scn_min = 5,
+                             .tasks_per_scn_max = 10,
+                             .coverage_degree = 1.4};
+  Simulator sim(net, env, std::make_unique<AbstractCoverage>(cov));
+  OraclePolicy oracle(net, {.repair_qos = false});
+
+  double greedy_total = 0.0, exact_total = 0.0;
+  for (int t = 1; t <= 25; ++t) {
+    const auto slot = sim.generate_slot(t);
+    const auto assignment = oracle.select_omniscient(slot);
+    greedy_total += evaluate_slot(slot, assignment, net).reward;
+
+    ExactProblem problem;
+    problem.num_scns = net.num_scns;
+    problem.num_tasks = static_cast<int>(slot.info.tasks.size());
+    problem.capacity_c = net.capacity_c;
+    problem.resource_beta = net.resource_beta;
+    for (std::size_t m = 0; m < slot.info.coverage.size(); ++m) {
+      for (std::size_t j = 0; j < slot.info.coverage[m].size(); ++j) {
+        Edge e;
+        e.scn = static_cast<int>(m);
+        e.task = slot.info.coverage[m][j];
+        e.local = static_cast<int>(j);
+        const double q = slot.real.q[m][j];
+        e.weight = q > 0 ? slot.real.u[m][j] * slot.real.v[m][j] / q : 0.0;
+        problem.edges.push_back(e);
+        problem.edge_resource.push_back(q);
+      }
+    }
+    const auto exact = solve_exact(problem, 500000);
+    exact_total += exact.total_weight;
+    EXPECT_LE(evaluate_slot(slot, assignment, net).reward,
+              exact.total_weight + 1e-9);
+  }
+  // The greedy oracle captures nearly all of the exact optimum.
+  EXPECT_GT(greedy_total, 0.9 * exact_total);
+}
+
+TEST(Oracle, SelectWithoutRealizationsIsEmpty) {
+  auto s = setup();
+  auto sim = s.make_simulator();
+  OraclePolicy oracle(s.net);
+  const auto slot = sim.generate_slot(1);
+  const auto assignment = oracle.select(slot.info);
+  EXPECT_EQ(assignment.total_selected(), 0u);
+}
+
+TEST(Oracle, BeatsRandomInReward) {
+  auto s = setup();
+  auto sim = s.make_simulator();
+  OraclePolicy oracle(s.net);
+  double oracle_reward = 0.0, random_reward = 0.0;
+  RngStream rng(1);
+  for (int t = 1; t <= 50; ++t) {
+    const auto slot = sim.generate_slot(t);
+    oracle_reward +=
+        evaluate_slot(slot, oracle.select_omniscient(slot), s.net).reward;
+    // Random baseline inline: c random tasks per SCN (may be fewer).
+    Assignment random;
+    random.selected.resize(slot.info.coverage.size());
+    std::vector<bool> taken(slot.info.tasks.size(), false);
+    for (std::size_t m = 0; m < slot.info.coverage.size(); ++m) {
+      const auto& cover = slot.info.coverage[m];
+      const auto picks = rng.sample_without_replacement(
+          cover.size(), static_cast<std::size_t>(s.net.capacity_c));
+      for (const auto j : picks) {
+        const int task = cover[j];
+        if (taken[static_cast<std::size_t>(task)]) continue;
+        taken[static_cast<std::size_t>(task)] = true;
+        random.selected[m].push_back(static_cast<int>(j));
+      }
+    }
+    random_reward += evaluate_slot(slot, random, s.net).reward;
+  }
+  EXPECT_GT(oracle_reward, 1.3 * random_reward);
+}
+
+}  // namespace
+}  // namespace lfsc

@@ -1,0 +1,80 @@
+#include "harness/paper_setup.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/policy.h"
+
+namespace lfsc {
+namespace {
+
+TEST(PaperSetup, DefaultsMatchSection5) {
+  PaperSetup s;
+  EXPECT_EQ(s.net.num_scns, 30);
+  EXPECT_EQ(s.net.capacity_c, 20);
+  EXPECT_DOUBLE_EQ(s.net.qos_alpha, 15.0);
+  EXPECT_DOUBLE_EQ(s.net.resource_beta, 27.0);
+  EXPECT_EQ(s.coverage.tasks_per_scn_min, 35);
+  EXPECT_EQ(s.coverage.tasks_per_scn_max, 100);
+  EXPECT_DOUBLE_EQ(s.env.reward_lo, 0.0);
+  EXPECT_DOUBLE_EQ(s.env.reward_hi, 1.0);
+  EXPECT_DOUBLE_EQ(s.env.consumption_lo, 1.0);
+  EXPECT_DOUBLE_EQ(s.env.consumption_hi, 2.0);
+  EXPECT_EQ(s.lfsc.parts_per_dim, 3u);
+}
+
+TEST(PaperSetup, SettersPropagate) {
+  PaperSetup s;
+  s.set_num_scns(12);
+  EXPECT_EQ(s.net.num_scns, 12);
+  EXPECT_EQ(s.env.num_scns, 12);
+  EXPECT_EQ(s.coverage.num_scns, 12);
+  s.set_horizon(777);
+  EXPECT_EQ(s.lfsc.horizon, 777u);
+  s.set_seed(99);
+  EXPECT_EQ(s.env.seed, 99u);
+  EXPECT_NE(s.lfsc.seed, 99u);  // decorrelated from the world seed
+}
+
+TEST(PaperSetup, SmallSetupPreservesDensityRegime) {
+  const auto s = small_setup();
+  // Tasks per hypercube per SCN should be comparable to the paper scale
+  // (~67 tasks / 27 cubes ≈ 2.5): the small setup must stay above ~1.
+  const double mean_tasks =
+      0.5 * (s.coverage.tasks_per_scn_min + s.coverage.tasks_per_scn_max);
+  EXPECT_GT(mean_tasks / 27.0, 1.0);
+  // Constraint scaling mirrors the paper's c : alpha : beta proportions.
+  EXPECT_NEAR(s.net.qos_alpha / s.net.capacity_c, 15.0 / 20.0, 1e-12);
+  EXPECT_NEAR(s.net.resource_beta / s.net.capacity_c, 27.0 / 20.0, 1e-12);
+}
+
+TEST(PaperSetup, RosterHasCanonicalOrder) {
+  const auto s = small_setup();
+  const auto owned = make_paper_policies(s);
+  ASSERT_EQ(owned.size(), 5u);
+  EXPECT_EQ(owned[0]->name(), "Oracle");
+  EXPECT_EQ(owned[1]->name(), "LFSC");
+  EXPECT_EQ(owned[2]->name(), "vUCB");
+  EXPECT_EQ(owned[3]->name(), "FML");
+  EXPECT_EQ(owned[4]->name(), "Random");
+  const auto pointers = policy_pointers(owned);
+  ASSERT_EQ(pointers.size(), 5u);
+  EXPECT_EQ(pointers[0], owned[0].get());
+}
+
+TEST(EnvInt, ParsesAndFallsBack) {
+  ::setenv("LFSC_TEST_ENV_INT", "123", 1);
+  EXPECT_EQ(env_int("LFSC_TEST_ENV_INT", 7), 123);
+  ::setenv("LFSC_TEST_ENV_INT", "garbage", 1);
+  EXPECT_EQ(env_int("LFSC_TEST_ENV_INT", 7), 7);
+  ::setenv("LFSC_TEST_ENV_INT", "-5", 1);
+  EXPECT_EQ(env_int("LFSC_TEST_ENV_INT", 7), 7);  // non-positive rejected
+  ::setenv("LFSC_TEST_ENV_INT", "", 1);
+  EXPECT_EQ(env_int("LFSC_TEST_ENV_INT", 7), 7);
+  ::unsetenv("LFSC_TEST_ENV_INT");
+  EXPECT_EQ(env_int("LFSC_TEST_ENV_INT", 7), 7);
+}
+
+}  // namespace
+}  // namespace lfsc

@@ -1,0 +1,117 @@
+#include "bandit/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "common/rng.h"
+
+namespace lfsc {
+namespace {
+
+TEST(Partition, CellCountIsPow) {
+  EXPECT_EQ(HypercubePartition(3, 3).cell_count(), 27u);
+  EXPECT_EQ(HypercubePartition(2, 5).cell_count(), 25u);
+  EXPECT_EQ(HypercubePartition(1, 7).cell_count(), 7u);
+  EXPECT_EQ(HypercubePartition(4, 1).cell_count(), 1u);
+}
+
+TEST(Partition, RejectsDegenerateArguments) {
+  EXPECT_THROW(HypercubePartition(0, 3), std::invalid_argument);
+  EXPECT_THROW(HypercubePartition(3, 0), std::invalid_argument);
+  EXPECT_THROW(HypercubePartition(64, 1000), std::invalid_argument);  // overflow
+}
+
+TEST(Partition, IndexInRangeForAllContexts) {
+  HypercubePartition part(3, 3);
+  RngStream rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const std::array<double, 3> ctx{rng.uniform(), rng.uniform(), rng.uniform()};
+    EXPECT_LT(part.index(ctx), part.cell_count());
+  }
+}
+
+TEST(Partition, BoundaryOneBelongsToLastCell) {
+  HypercubePartition part(1, 4);
+  EXPECT_EQ(part.index(std::array{0.0}), 0u);
+  EXPECT_EQ(part.index(std::array{0.9999}), 3u);
+  EXPECT_EQ(part.index(std::array{1.0}), 3u);
+}
+
+TEST(Partition, ClampsOutOfRangeCoordinates) {
+  HypercubePartition part(2, 3);
+  EXPECT_EQ(part.index(std::array{-5.0, -1.0}), part.index(std::array{0.0, 0.0}));
+  EXPECT_EQ(part.index(std::array{5.0, 2.0}), part.index(std::array{1.0, 1.0}));
+}
+
+TEST(Partition, RowMajorLayout) {
+  HypercubePartition part(2, 3);
+  // (part_0, part_1) -> index part_0*3 + part_1.
+  EXPECT_EQ(part.index(std::array{0.1, 0.1}), 0u);
+  EXPECT_EQ(part.index(std::array{0.1, 0.5}), 1u);
+  EXPECT_EQ(part.index(std::array{0.5, 0.1}), 3u);
+  EXPECT_EQ(part.index(std::array{0.9, 0.9}), 8u);
+}
+
+TEST(Partition, CellCenterRoundTripsThroughIndex) {
+  HypercubePartition part(3, 4);
+  for (std::size_t cell = 0; cell < part.cell_count(); ++cell) {
+    const auto center = part.cell_center(cell);
+    EXPECT_EQ(part.index(center), cell);
+    for (const double c : center) {
+      EXPECT_GT(c, 0.0);
+      EXPECT_LT(c, 1.0);
+    }
+  }
+}
+
+TEST(Partition, CellCenterRejectsBadIndex) {
+  HypercubePartition part(2, 2);
+  EXPECT_THROW(part.cell_center(4), std::out_of_range);
+}
+
+TEST(Partition, AllCellsReachable) {
+  HypercubePartition part(2, 4);
+  std::set<std::size_t> seen;
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      seen.insert(part.index(std::array{(a + 0.5) / 4.0, (b + 0.5) / 4.0}));
+    }
+  }
+  EXPECT_EQ(seen.size(), part.cell_count());
+}
+
+TEST(Partition, ShortContextPadsWithCellZero) {
+  HypercubePartition part(3, 3);
+  // Two coordinates provided; the missing third dimension defaults to
+  // part 0 (the index is well-defined, never UB).
+  const std::array<double, 2> two{0.5, 0.5};
+  EXPECT_EQ(part.index(two), part.index(std::array{0.5, 0.5, 0.0}));
+}
+
+TEST(Partition, CellSide) {
+  EXPECT_DOUBLE_EQ(HypercubePartition(3, 4).cell_side(), 0.25);
+}
+
+class PartitionGranularity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PartitionGranularity, NearbyContextsShareCellsFarOnesDoNot) {
+  const std::size_t h = GetParam();
+  HypercubePartition part(3, h);
+  const double side = part.cell_side();
+  // Contexts within the same cell interior map identically.
+  const std::array<double, 3> base{side * 0.25, side * 0.25, side * 0.25};
+  const std::array<double, 3> near{side * 0.75, side * 0.75, side * 0.75};
+  EXPECT_EQ(part.index(base), part.index(near));
+  if (h > 1) {
+    const std::array<double, 3> far{1.0 - side * 0.5, side * 0.5, side * 0.5};
+    EXPECT_NE(part.index(base), part.index(far));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Granularities, PartitionGranularity,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+}  // namespace
+}  // namespace lfsc

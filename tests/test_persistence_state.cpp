@@ -1,0 +1,136 @@
+// Warm-start persistence of LfscPolicy state, and the policy-parallel
+// runner mode (bit-identical to serial).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/paper_setup.h"
+#include "harness/runner.h"
+#include "lfsc/lfsc_policy.h"
+#include "metrics/metrics.h"
+
+namespace lfsc {
+namespace {
+
+void train(LfscPolicy& policy, Simulator& sim, int slots) {
+  for (int t = 1; t <= slots; ++t) {
+    const auto slot = sim.generate_slot(t);
+    const auto a = policy.select(slot.info);
+    policy.observe(slot.info, a, make_feedback(slot, a));
+  }
+}
+
+TEST(LfscState, SaveLoadRoundTripsExactly) {
+  auto s = small_setup();
+  auto sim = s.make_simulator();
+  LfscPolicy trained(s.net, s.lfsc);
+  train(trained, sim, 100);
+
+  std::stringstream blob;
+  trained.save(blob);
+
+  LfscPolicy fresh(s.net, s.lfsc);
+  fresh.load(blob);
+  for (int m = 0; m < s.net.num_scns; ++m) {
+    ASSERT_EQ(fresh.weights(m).size(), trained.weights(m).size());
+    for (std::size_t f = 0; f < fresh.weights(m).size(); ++f) {
+      EXPECT_DOUBLE_EQ(fresh.weights(m)[f], trained.weights(m)[f]);
+    }
+    EXPECT_DOUBLE_EQ(fresh.lambda_qos(m), trained.lambda_qos(m));
+    EXPECT_DOUBLE_EQ(fresh.lambda_resource(m), trained.lambda_resource(m));
+  }
+}
+
+TEST(LfscState, WarmStartContinuesIdentically) {
+  auto s = small_setup();
+  // Train A for 60 slots; checkpoint at 30 into B; both must agree on
+  // the remaining 30 slots (same rng seed => same exploration draws is
+  // NOT given across instances, so compare weights, which evolve from
+  // feedback of the *same* assignments only if selections match; instead
+  // verify the warm-started policy performs comparably: its tail reward
+  // must beat a cold policy's early reward on the same world).
+  auto sim_a = s.make_simulator();
+  LfscPolicy a(s.net, s.lfsc);
+  train(a, sim_a, 400);
+  std::stringstream blob;
+  a.save(blob);
+
+  // Warm policy starts with trained weights; cold starts from scratch.
+  LfscPolicy warm(s.net, s.lfsc);
+  warm.load(blob);
+  LfscPolicy cold(s.net, s.lfsc);
+  auto sim_w = s.make_simulator();
+  auto sim_c = s.make_simulator();
+  SeriesRecorder warm_rec("warm"), cold_rec("cold");
+  for (int t = 1; t <= 150; ++t) {
+    const auto slot_w = sim_w.generate_slot(t);
+    const auto aw = warm.select(slot_w.info);
+    warm_rec.add(evaluate_slot(slot_w, aw, s.net));
+    warm.observe(slot_w.info, aw, make_feedback(slot_w, aw));
+
+    const auto slot_c = sim_c.generate_slot(t);
+    const auto ac = cold.select(slot_c.info);
+    cold_rec.add(evaluate_slot(slot_c, ac, s.net));
+    cold.observe(slot_c.info, ac, make_feedback(slot_c, ac));
+  }
+  EXPECT_LT(warm_rec.total_violation(), cold_rec.total_violation());
+}
+
+TEST(LfscState, LoadRejectsGarbage) {
+  auto s = small_setup();
+  LfscPolicy policy(s.net, s.lfsc);
+  std::stringstream bad("not-a-state 1\n");
+  EXPECT_THROW(policy.load(bad), std::runtime_error);
+  std::stringstream truncated("LFSC-STATE 1\n4 27\n0.1 0.2 1.0\n");
+  EXPECT_THROW(policy.load(truncated), std::runtime_error);
+}
+
+TEST(LfscState, LoadRejectsShapeMismatch) {
+  auto s = small_setup();
+  LfscPolicy policy(s.net, s.lfsc);
+  std::stringstream blob;
+  policy.save(blob);
+
+  auto other = s;
+  other.lfsc.parts_per_dim = 4;  // different partition
+  LfscPolicy different(other.net, other.lfsc);
+  EXPECT_THROW(different.load(blob), std::runtime_error);
+}
+
+TEST(LfscState, LoadRejectsNonPositiveWeights) {
+  auto s = small_setup();
+  LfscPolicy policy(s.net, s.lfsc);
+  std::stringstream blob;
+  policy.save(blob);
+  std::string text = blob.str();
+  // Corrupt the first weight (the "1" after the two multipliers).
+  const auto pos = text.find("0 0 1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 5, "0 0 0");
+  std::stringstream corrupted(text);
+  EXPECT_THROW(policy.load(corrupted), std::runtime_error);
+}
+
+TEST(Runner, ParallelPoliciesMatchSerialExactly) {
+  auto s = small_setup();
+  auto sim1 = s.make_simulator();
+  auto owned1 = make_paper_policies(s);
+  auto p1 = policy_pointers(owned1);
+  const auto serial = run_experiment(sim1, p1, {.horizon = 60});
+
+  auto sim2 = s.make_simulator();
+  auto owned2 = make_paper_policies(s);
+  auto p2 = policy_pointers(owned2);
+  const auto parallel = run_experiment(
+      sim2, p2, {.horizon = 60, .parallel_policies = true});
+
+  for (std::size_t k = 0; k < serial.series.size(); ++k) {
+    EXPECT_DOUBLE_EQ(serial.series[k].total_reward(),
+                     parallel.series[k].total_reward());
+    EXPECT_DOUBLE_EQ(serial.series[k].total_violation(),
+                     parallel.series[k].total_violation());
+  }
+}
+
+}  // namespace
+}  // namespace lfsc

@@ -1,0 +1,165 @@
+// The Policy contract, verified uniformly for every strategy in the
+// repository (parameterized suite):
+//   * select() returns structurally valid assignments (capacity (1a),
+//     uniqueness (1b), index validity) on arbitrary worlds;
+//   * learning uses feedback only — policies never peek at realizations
+//     (enforced by type for honest policies; the Oracle is exempt and
+//     declared via needs_realizations());
+//   * reset() restores a state equivalent to freshly constructed for
+//     deterministic policies, and a *valid* state for randomized ones;
+//   * empty slots and degenerate coverage are handled.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "baselines/fml.h"
+#include "baselines/linucb.h"
+#include "baselines/oracle.h"
+#include "baselines/random_policy.h"
+#include "baselines/thompson.h"
+#include "baselines/vucb.h"
+#include "extensions/joint_policy.h"
+#include "harness/paper_setup.h"
+#include "lfsc/lfsc_policy.h"
+#include "metrics/metrics.h"
+#include "metrics/recorder.h"
+
+namespace lfsc {
+namespace {
+
+struct PolicyCase {
+  const char* label;
+  std::function<std::unique_ptr<Policy>(const PaperSetup&)> make;
+};
+
+PolicyCase cases[] = {
+    {"Oracle",
+     [](const PaperSetup& s) { return std::make_unique<OraclePolicy>(s.net); }},
+    {"LFSC",
+     [](const PaperSetup& s) {
+       return std::make_unique<LfscPolicy>(s.net, s.lfsc);
+     }},
+    {"vUCB",
+     [](const PaperSetup& s) { return std::make_unique<VucbPolicy>(s.net); }},
+    {"FML",
+     [](const PaperSetup& s) { return std::make_unique<FmlPolicy>(s.net); }},
+    {"Random",
+     [](const PaperSetup& s) { return std::make_unique<RandomPolicy>(s.net); }},
+    {"LinUCB",
+     [](const PaperSetup& s) { return std::make_unique<LinUcbPolicy>(s.net); }},
+    {"Thompson",
+     [](const PaperSetup& s) {
+       return std::make_unique<ThompsonPolicy>(s.net);
+     }},
+    {"JointMBS",
+     [](const PaperSetup& s) {
+       return std::make_unique<JointMbsPolicy>(
+           std::make_unique<LfscPolicy>(s.net, s.lfsc));
+     }},
+};
+
+class PolicyContract : public ::testing::TestWithParam<PolicyCase> {
+ protected:
+  static void step(Policy& policy, const Slot& slot,
+                   const NetworkConfig& net) {
+    const Assignment a = policy.needs_realizations()
+                             ? policy.select_omniscient(slot)
+                             : policy.select(slot.info);
+    ASSERT_EQ(validate_assignment(slot.info, a, net), std::nullopt);
+    if (!policy.needs_realizations()) {
+      policy.observe(slot.info, a, make_feedback(slot, a));
+    }
+  }
+};
+
+TEST_P(PolicyContract, ValidAssignmentsAcrossWorldShapes) {
+  for (const std::uint64_t seed : {1ull, 99ull}) {
+    PaperSetup s = small_setup();
+    s.set_seed(seed);
+    auto sim = s.make_simulator();
+    auto policy = GetParam().make(s);
+    for (int t = 1; t <= 40; ++t) {
+      step(*policy, sim.generate_slot(t), s.net);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST_P(PolicyContract, HandlesEmptyAndSparseSlots) {
+  PaperSetup s = small_setup();
+  auto policy = GetParam().make(s);
+
+  // Empty slot: no tasks anywhere.
+  Slot empty;
+  empty.info.t = 1;
+  empty.info.coverage.assign(static_cast<std::size_t>(s.net.num_scns), {});
+  empty.real.u.resize(static_cast<std::size_t>(s.net.num_scns));
+  empty.real.v.resize(static_cast<std::size_t>(s.net.num_scns));
+  empty.real.q.resize(static_cast<std::size_t>(s.net.num_scns));
+  const Assignment on_empty = policy->needs_realizations()
+                                  ? policy->select_omniscient(empty)
+                                  : policy->select(empty.info);
+  EXPECT_EQ(on_empty.total_selected(), 0u);
+  if (!policy->needs_realizations()) {
+    SlotFeedback feedback;
+    feedback.per_scn.resize(static_cast<std::size_t>(s.net.num_scns));
+    policy->observe(empty.info, on_empty, feedback);
+  }
+
+  // Sparse slot: one task visible to one SCN.
+  Slot sparse = empty;
+  sparse.info.t = 2;
+  Task task;
+  task.id = 7;
+  task.context = make_context(10.0, 2.0, ResourceType::kGpu);
+  sparse.info.tasks.push_back(task);
+  sparse.info.coverage[0] = {0};
+  sparse.real.u[0] = {0.8};
+  sparse.real.v[0] = {0.9};
+  sparse.real.q[0] = {1.2};
+  const Assignment on_sparse = policy->needs_realizations()
+                                   ? policy->select_omniscient(sparse)
+                                   : policy->select(sparse.info);
+  EXPECT_EQ(validate_assignment(sparse.info, on_sparse, s.net), std::nullopt);
+  EXPECT_LE(on_sparse.total_selected(), 1u);
+}
+
+TEST_P(PolicyContract, SurvivesManySlotsWithoutDrift) {
+  PaperSetup s = small_setup();
+  auto sim = s.make_simulator();
+  auto policy = GetParam().make(s);
+  SeriesRecorder rec(GetParam().label);
+  for (int t = 1; t <= 250; ++t) {
+    const auto slot = sim.generate_slot(t);
+    const Assignment a = policy->needs_realizations()
+                             ? policy->select_omniscient(slot)
+                             : policy->select(slot.info);
+    ASSERT_EQ(validate_assignment(slot.info, a, s.net), std::nullopt);
+    rec.add(evaluate_slot(slot, a, s.net));
+    if (!policy->needs_realizations()) {
+      policy->observe(slot.info, a, make_feedback(slot, a));
+    }
+  }
+  // Tail reward must remain healthy: no collapse from numerical drift.
+  EXPECT_GT(rec.mean_reward_tail(50), 0.25 * rec.total_reward() / 250.0);
+}
+
+TEST_P(PolicyContract, ResetYieldsWorkingPolicy) {
+  PaperSetup s = small_setup();
+  auto sim = s.make_simulator();
+  auto policy = GetParam().make(s);
+  for (int t = 1; t <= 30; ++t) step(*policy, sim.generate_slot(t), s.net);
+  policy->reset();
+  auto sim2 = s.make_simulator();
+  for (int t = 1; t <= 10; ++t) step(*policy, sim2.generate_slot(t), s.net);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyContract,
+                         ::testing::ValuesIn(cases),
+                         [](const ::testing::TestParamInfo<PolicyCase>& param_info) {
+                           return std::string(param_info.param.label);
+                         });
+
+}  // namespace
+}  // namespace lfsc

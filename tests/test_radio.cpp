@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "radio/compute.h"
+#include "radio/link.h"
+#include "radio/pathloss.h"
+
+namespace lfsc {
+namespace {
+
+// --- pathloss / LoS ---
+
+TEST(Pathloss, LosProbabilityShape) {
+  EXPECT_DOUBLE_EQ(los_probability(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(los_probability(18.0), 1.0);
+  // Monotonically decreasing beyond 18 m.
+  double prev = 1.0;
+  for (double d = 20.0; d <= 500.0; d += 20.0) {
+    const double p = los_probability(d);
+    EXPECT_LT(p, prev) << "d=" << d;
+    EXPECT_GT(p, 0.0);
+    prev = p;
+  }
+  EXPECT_LT(los_probability(500.0), 0.1);
+}
+
+TEST(Pathloss, IncreasesWithDistanceAndFrequency) {
+  const double d100 = pathloss_db(100.0, true);
+  const double d200 = pathloss_db(200.0, true);
+  EXPECT_GT(d200, d100);
+  // 21 dB/decade LoS slope: doubling the distance adds ~6.3 dB.
+  EXPECT_NEAR(d200 - d100, 21.0 * std::log10(2.0), 1e-9);
+
+  PathlossConfig high;
+  high.carrier_ghz = 60.0;
+  EXPECT_GT(pathloss_db(100.0, true, high), pathloss_db(100.0, true));
+}
+
+TEST(Pathloss, NlosNeverBelowLos) {
+  for (double d = 10.0; d <= 1000.0; d *= 1.7) {
+    EXPECT_GE(pathloss_db(d, false), pathloss_db(d, true)) << "d=" << d;
+  }
+}
+
+TEST(Pathloss, ClampsBelowMinDistance) {
+  EXPECT_DOUBLE_EQ(pathloss_db(1.0, true), pathloss_db(10.0, true));
+}
+
+TEST(Pathloss, DrawMatchesModelStatistics) {
+  RngStream stream(1);
+  constexpr double kDistance = 60.0;
+  int los_count = 0;
+  double loss_sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const auto draw = draw_channel(kDistance, stream);
+    los_count += draw.line_of_sight ? 1 : 0;
+    loss_sum += draw.pathloss_db;
+  }
+  EXPECT_NEAR(static_cast<double>(los_count) / kN, los_probability(kDistance),
+              0.01);
+  // Mean loss sits between the pure LoS and pure NLoS values.
+  const double mean = loss_sum / kN;
+  EXPECT_GT(mean, pathloss_db(kDistance, true) - 1.0);
+  EXPECT_LT(mean, pathloss_db(kDistance, false) + 1.0);
+}
+
+// --- link budget ---
+
+TEST(Link, NoisePowerFormula) {
+  LinkConfig config;
+  // -174 + 10log10(400e6) + 7 = -174 + 86.02 + 7.
+  EXPECT_NEAR(noise_power_dbm(config), -80.98, 0.01);
+}
+
+TEST(Link, BeamformingGainGrowsWithArray) {
+  LinkConfig small;
+  small.tx_antennas = 16;
+  LinkConfig large;
+  large.tx_antennas = 256;
+  EXPECT_GT(beamforming_gain_db(large), beamforming_gain_db(small));
+  // 64x4 = 256 elements: 24.1 dB minus 3 dB misalignment.
+  EXPECT_NEAR(beamforming_gain_db(LinkConfig{}), 21.08, 0.01);
+}
+
+TEST(Link, BlockageProbabilityGrowsWithDistance) {
+  LinkConfig config;
+  EXPECT_DOUBLE_EQ(blockage_probability(0.0, config), 0.0);
+  double prev = 0.0;
+  for (double d = 50.0; d <= 800.0; d += 150.0) {
+    const double p = blockage_probability(d, config);
+    EXPECT_GT(p, prev);
+    EXPECT_LT(p, 1.0);
+    prev = p;
+  }
+}
+
+TEST(Link, RateDecreasesWithDistanceAndCapsAtCeiling) {
+  LinkConfig config;
+  // Very short link: spectral efficiency ceiling binds.
+  const double near_snr = snr_db(pathloss_db(10.0, true), config);
+  EXPECT_NEAR(achievable_rate_mbps(near_snr, config),
+              config.bandwidth_mhz * config.max_spectral_efficiency, 1e-6);
+  // Rate monotone non-increasing with distance (LoS, no shadowing).
+  double prev = 1e18;
+  for (double d = 20.0; d <= 2000.0; d *= 1.6) {
+    const double rate =
+        achievable_rate_mbps(snr_db(pathloss_db(d, true), config), config);
+    EXPECT_LE(rate, prev + 1e-9) << "d=" << d;
+    prev = rate;
+  }
+}
+
+TEST(Link, OutageBelowDemodFloor) {
+  LinkConfig config;
+  EXPECT_DOUBLE_EQ(achievable_rate_mbps(-15.0, config), 0.0);
+  EXPECT_GT(achievable_rate_mbps(-5.0, config), 0.0);
+}
+
+TEST(Link, DrawBlockageReducesRateOnAverage) {
+  LinkConfig config;
+  config.blockage_rate_per_m = 0.01;  // frequent blockers
+  RngStream stream(2);
+  double blocked_sum = 0.0, clear_sum = 0.0;
+  int blocked_n = 0, clear_n = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto draw = draw_link(120.0, stream, config);
+    if (draw.blocked) {
+      blocked_sum += draw.rate_mbps;
+      ++blocked_n;
+    } else {
+      clear_sum += draw.rate_mbps;
+      ++clear_n;
+    }
+  }
+  ASSERT_GT(blocked_n, 100);
+  ASSERT_GT(clear_n, 100);
+  EXPECT_LT(blocked_sum / blocked_n, 0.5 * (clear_sum / clear_n));
+}
+
+// --- compute model ---
+
+TEST(Compute, DemandFollowsResourceType) {
+  const auto cpu_task = make_context(10.0, 2.0, ResourceType::kCpu);
+  const auto gpu_task = make_context(10.0, 2.0, ResourceType::kGpu);
+  const auto both_task = make_context(10.0, 2.0, ResourceType::kCpuGpu);
+  const auto cpu = compute_demand(cpu_task);
+  const auto gpu = compute_demand(gpu_task);
+  const auto both = compute_demand(both_task);
+  EXPECT_GT(cpu.cpu_gcycles, 0.0);
+  EXPECT_DOUBLE_EQ(cpu.gpu_gcycles, 0.0);
+  EXPECT_GT(gpu.gpu_gcycles, 0.0);
+  // GPU tasks still pay CPU output assembly.
+  EXPECT_GT(gpu.cpu_gcycles, 0.0);
+  EXPECT_LT(gpu.cpu_gcycles, cpu.cpu_gcycles);
+  // Mixed pipeline splits the input across engines.
+  EXPECT_GT(both.cpu_gcycles, gpu.cpu_gcycles);
+  EXPECT_LT(both.gpu_gcycles, gpu.gpu_gcycles);
+}
+
+TEST(Compute, UtilizationMonotoneInInputSize) {
+  double prev = -1.0;
+  for (double mbit = 5.0; mbit <= 20.0; mbit += 2.5) {
+    const auto ctx = make_context(mbit, 2.0, ResourceType::kCpu);
+    const double util = server_utilization(ctx);
+    EXPECT_GT(util, prev);
+    EXPECT_GE(util, 0.0);
+    EXPECT_LE(util, 1.0);
+    prev = util;
+  }
+}
+
+TEST(Compute, QStaysOnPaperScale) {
+  RngStream rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto ctx = make_context(rng.uniform(5.0, 20.0),
+                                  rng.uniform(1.0, 4.0),
+                                  static_cast<ResourceType>(rng.uniform_int(0, 2)));
+    const double q = resource_consumption_q(ctx);
+    EXPECT_GE(q, 1.0);
+    EXPECT_LE(q, 2.0);
+  }
+}
+
+TEST(Compute, ZeroCapacityIsSafe) {
+  EdgeServerConfig broken;
+  broken.cpu_gcycles_per_slot = 0.0;
+  broken.gpu_gcycles_per_slot = 0.0;
+  const auto ctx = make_context(10.0, 2.0, ResourceType::kCpu);
+  EXPECT_DOUBLE_EQ(server_utilization(ctx, broken), 0.0);
+}
+
+}  // namespace
+}  // namespace lfsc

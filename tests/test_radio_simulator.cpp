@@ -1,0 +1,163 @@
+#include "radio/radio_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/oracle.h"
+#include "harness/runner.h"
+#include "lfsc/lfsc_policy.h"
+#include "metrics/metrics.h"
+
+namespace lfsc {
+namespace {
+
+NetworkConfig radio_net() {
+  return NetworkConfig{.num_scns = 8,
+                       .capacity_c = 6,
+                       .qos_alpha = 3.0,
+                       .resource_beta = 8.0};
+}
+
+RadioSimConfig radio_config() {
+  RadioSimConfig config;
+  config.geometry.num_scns = 8;
+  config.geometry.num_wds = 150;
+  config.geometry.area_km = 2.0;
+  config.seed = 11;
+  return config;
+}
+
+TEST(RadioSimulator, SlotShapeAndRanges) {
+  RadioSimulator sim(radio_net(), radio_config());
+  for (int t = 1; t <= 10; ++t) {
+    const auto slot = sim.generate_slot(t);
+    ASSERT_EQ(slot.info.coverage.size(), 8u);
+    for (std::size_t m = 0; m < 8; ++m) {
+      ASSERT_EQ(slot.real.u[m].size(), slot.info.coverage[m].size());
+      for (std::size_t j = 0; j < slot.real.u[m].size(); ++j) {
+        EXPECT_GE(slot.real.u[m][j], 0.0);
+        EXPECT_LE(slot.real.u[m][j], 1.0);
+        EXPECT_GE(slot.real.v[m][j], 0.0);
+        EXPECT_LE(slot.real.v[m][j], 1.0);
+        EXPECT_GE(slot.real.q[m][j], 1.0);
+        EXPECT_LE(slot.real.q[m][j], 2.0);
+      }
+    }
+  }
+}
+
+TEST(RadioSimulator, LikelihoodDegradesWithDistance) {
+  // Average v over near vs far links: physics must make far links worse.
+  RadioSimulator sim(radio_net(), radio_config());
+  const auto& scns = sim.geometry().scn_positions();
+  double near_sum = 0.0, far_sum = 0.0;
+  int near_n = 0, far_n = 0;
+  for (int t = 1; t <= 40; ++t) {
+    const auto slot = sim.generate_slot(t);
+    const auto& wds = sim.geometry().wd_positions();
+    for (std::size_t m = 0; m < slot.info.coverage.size(); ++m) {
+      for (std::size_t j = 0; j < slot.info.coverage[m].size(); ++j) {
+        const auto& task =
+            slot.info.tasks[static_cast<std::size_t>(slot.info.coverage[m][j])];
+        const auto& wd = wds[static_cast<std::size_t>(task.wd_id)];
+        const double d = std::hypot(scns[m].x - wd.x, scns[m].y - wd.y);
+        if (d < 0.15) {
+          near_sum += slot.real.v[m][j];
+          ++near_n;
+        } else if (d > 0.3) {
+          far_sum += slot.real.v[m][j];
+          ++far_n;
+        }
+      }
+    }
+  }
+  ASSERT_GT(near_n, 20);
+  ASSERT_GT(far_n, 20);
+  EXPECT_GT(near_sum / near_n, far_sum / far_n + 0.05);
+}
+
+TEST(RadioSimulator, TaskValueConsistentAcrossScns) {
+  // u is a property of the task: every covering SCN must see the same
+  // value in a slot.
+  RadioSimulator sim(radio_net(), radio_config());
+  const auto slot = sim.generate_slot(1);
+  std::vector<double> value(slot.info.tasks.size(), -1.0);
+  for (std::size_t m = 0; m < slot.info.coverage.size(); ++m) {
+    for (std::size_t j = 0; j < slot.info.coverage[m].size(); ++j) {
+      const auto task = static_cast<std::size_t>(slot.info.coverage[m][j]);
+      if (value[task] < 0.0) {
+        value[task] = slot.real.u[m][j];
+      } else {
+        EXPECT_DOUBLE_EQ(value[task], slot.real.u[m][j]);
+      }
+    }
+  }
+}
+
+TEST(RadioSimulator, DeterministicPerSeed) {
+  RadioSimulator a(radio_net(), radio_config());
+  RadioSimulator b(radio_net(), radio_config());
+  for (int t = 1; t <= 5; ++t) {
+    const auto sa = a.generate_slot(t);
+    const auto sb = b.generate_slot(t);
+    EXPECT_EQ(sa.info.coverage, sb.info.coverage);
+    EXPECT_EQ(sa.real.v, sb.real.v);
+    EXPECT_EQ(sa.real.u, sb.real.u);
+  }
+}
+
+TEST(RadioSimulator, NominalRateDecreasesWithDistance) {
+  RadioSimulator sim(radio_net(), radio_config());
+  // Near links saturate at the spectral-efficiency ceiling; compare a
+  // ceiling-limited link against one deep in the budget-limited regime.
+  EXPECT_GT(sim.nominal_rate_mbps(50.0), sim.nominal_rate_mbps(3000.0));
+  EXPECT_GE(sim.nominal_rate_mbps(10000.0), 0.0);
+}
+
+TEST(RadioSimulator, ValidatesConfig) {
+  auto config = radio_config();
+  config.airtime_per_task_s = 0.0;
+  EXPECT_THROW(RadioSimulator(radio_net(), config), std::invalid_argument);
+}
+
+TEST(RadioSimulator, HarnessRunsLfscOnRadioWorld) {
+  // SlotSource integration: the standard runner and policies work
+  // unchanged on the physics-driven world, and the Oracle beats Random.
+  RadioSimulator sim(radio_net(), radio_config());
+  auto net = radio_net();
+  OraclePolicy oracle(net);
+  LfscConfig lfsc_config;
+  lfsc_config.horizon = 200;
+  lfsc_config.expected_tasks_per_scn = 30;
+  LfscPolicy lfsc(net, lfsc_config);
+  Policy* policies[] = {&oracle, &lfsc};
+  const auto result = run_experiment(sim, policies, {.horizon = 200});
+  EXPECT_GT(result.find("Oracle").total_reward(), 0.0);
+  EXPECT_GT(result.find("LFSC").total_reward(), 0.0);
+  EXPECT_GE(result.find("Oracle").total_reward(),
+            result.find("LFSC").total_reward());
+}
+
+TEST(RadioSimulator, BlockageInterruptsTasks) {
+  // With extreme blockage density, most links collapse to v = 0.
+  auto config = radio_config();
+  config.link.blockage_rate_per_m = 0.1;
+  config.link.blockage_loss_db = 60.0;
+  RadioSimulator sim(radio_net(), config);
+  int zero = 0, total = 0;
+  for (int t = 1; t <= 10; ++t) {
+    const auto slot = sim.generate_slot(t);
+    for (const auto& row : slot.real.v) {
+      for (const double v : row) {
+        zero += v == 0.0 ? 1 : 0;
+        ++total;
+      }
+    }
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GT(static_cast<double>(zero) / total, 0.5);
+}
+
+}  // namespace
+}  // namespace lfsc

@@ -1,0 +1,82 @@
+#include "metrics/recorder.h"
+
+#include <gtest/gtest.h>
+
+namespace lfsc {
+namespace {
+
+SlotOutcome make_outcome(double reward, double qos, double res) {
+  SlotOutcome o;
+  o.reward = reward;
+  o.qos_violation = qos;
+  o.resource_violation = res;
+  return o;
+}
+
+TEST(SeriesRecorder, AccumulatesTotals) {
+  SeriesRecorder rec("LFSC");
+  rec.add(make_outcome(1.0, 0.5, 0.0));
+  rec.add(make_outcome(2.0, 0.0, 0.25));
+  EXPECT_EQ(rec.name(), "LFSC");
+  EXPECT_EQ(rec.slots(), 2u);
+  EXPECT_DOUBLE_EQ(rec.total_reward(), 3.0);
+  EXPECT_DOUBLE_EQ(rec.total_qos_violation(), 0.5);
+  EXPECT_DOUBLE_EQ(rec.total_resource_violation(), 0.25);
+  EXPECT_DOUBLE_EQ(rec.total_violation(), 0.75);
+}
+
+TEST(SeriesRecorder, CumulativeSeriesArePrefixSums) {
+  SeriesRecorder rec("x");
+  rec.add(make_outcome(1.0, 1.0, 0.0));
+  rec.add(make_outcome(2.0, 0.0, 1.0));
+  rec.add(make_outcome(3.0, 2.0, 0.0));
+  EXPECT_EQ(rec.cumulative_reward(), (std::vector<double>{1.0, 3.0, 6.0}));
+  EXPECT_EQ(rec.cumulative_qos_violation(),
+            (std::vector<double>{1.0, 1.0, 3.0}));
+  EXPECT_EQ(rec.cumulative_resource_violation(),
+            (std::vector<double>{0.0, 1.0, 1.0}));
+}
+
+TEST(SeriesRecorder, PerformanceRatioDefinition) {
+  SeriesRecorder rec("x");
+  rec.add(make_outcome(3.0, 1.0, 0.0));  // ratio 3/4
+  rec.add(make_outcome(1.0, 0.0, 1.0));  // cumulative: 4/(4+2) = 2/3
+  const auto ratio = rec.performance_ratio();
+  ASSERT_EQ(ratio.size(), 2u);
+  EXPECT_NEAR(ratio[0], 0.75, 1e-12);
+  EXPECT_NEAR(ratio[1], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(rec.final_performance_ratio(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(SeriesRecorder, RatioIsOneWithoutViolations) {
+  SeriesRecorder rec("clean");
+  rec.add(make_outcome(1.0, 0.0, 0.0));
+  EXPECT_DOUBLE_EQ(rec.final_performance_ratio(), 1.0);
+  SeriesRecorder empty("empty");
+  EXPECT_DOUBLE_EQ(empty.final_performance_ratio(), 1.0);
+}
+
+TEST(SeriesRecorder, TailMeans) {
+  SeriesRecorder rec("x");
+  for (int i = 1; i <= 10; ++i) {
+    rec.add(make_outcome(static_cast<double>(i), static_cast<double>(10 - i),
+                         0.0));
+  }
+  EXPECT_DOUBLE_EQ(rec.mean_reward_tail(2), 9.5);        // (9+10)/2
+  EXPECT_DOUBLE_EQ(rec.mean_qos_violation_tail(2), 0.5); // (1+0)/2
+  EXPECT_DOUBLE_EQ(rec.mean_reward_tail(100), 5.5);      // clamps to size
+  SeriesRecorder empty("e");
+  EXPECT_DOUBLE_EQ(empty.mean_reward_tail(5), 0.0);
+}
+
+TEST(SeriesRecorder, SpansViewLiveData) {
+  SeriesRecorder rec("x");
+  rec.add(make_outcome(1.5, 0.25, 0.75));
+  ASSERT_EQ(rec.reward().size(), 1u);
+  EXPECT_DOUBLE_EQ(rec.reward()[0], 1.5);
+  EXPECT_DOUBLE_EQ(rec.qos_violation()[0], 0.25);
+  EXPECT_DOUBLE_EQ(rec.resource_violation()[0], 0.75);
+}
+
+}  // namespace
+}  // namespace lfsc

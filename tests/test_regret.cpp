@@ -1,0 +1,82 @@
+#include "metrics/regret.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lfsc {
+namespace {
+
+std::vector<double> power_law(std::size_t n, double exponent, double scale = 1.0,
+                              double noise = 0.0, std::uint64_t seed = 1) {
+  RngStream rng(seed);
+  std::vector<double> out(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const double base = scale * std::pow(static_cast<double>(t + 1), exponent);
+    out[t] = base * (1.0 + noise * (rng.uniform() - 0.5));
+  }
+  return out;
+}
+
+TEST(CumulativeRegret, PrefixSumOfDifferences) {
+  const std::vector<double> oracle{3.0, 3.0, 3.0};
+  const std::vector<double> policy{1.0, 2.0, 4.0};
+  const auto regret = cumulative_regret(oracle, policy);
+  EXPECT_EQ(regret, (std::vector<double>{2.0, 3.0, 2.0}));
+}
+
+TEST(CumulativeRegret, LengthMismatchThrows) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(cumulative_regret(a, b), std::invalid_argument);
+}
+
+TEST(GrowthExponent, RecoversKnownExponents) {
+  for (const double theta : {0.3, 0.5, 0.8, 1.0}) {
+    const auto series = power_law(5000, theta);
+    EXPECT_NEAR(estimate_growth_exponent(series), theta, 0.01)
+        << "theta=" << theta;
+  }
+}
+
+TEST(GrowthExponent, RobustToMultiplicativeNoise) {
+  const auto series = power_law(8000, 0.5, 2.0, /*noise=*/0.2);
+  EXPECT_NEAR(estimate_growth_exponent(series), 0.5, 0.05);
+}
+
+TEST(GrowthExponent, TailFractionSkipsTransient) {
+  // A series that is flat early and sqrt-like late: the tail fit should
+  // see ~0.5, a full fit would be biased.
+  std::vector<double> series(4000);
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    series[t] = t < 1000 ? 50.0
+                         : 50.0 + std::sqrt(static_cast<double>(t - 999));
+  }
+  const double tail = estimate_growth_exponent(series, 0.25);
+  EXPECT_LT(tail, 0.6);
+  EXPECT_GT(tail, 0.05);
+}
+
+TEST(GrowthExponent, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(estimate_growth_exponent(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(estimate_growth_exponent(std::vector<double>{1.0}), 0.0);
+  const std::vector<double> nonpositive{0.0, -1.0, 0.0, -2.0};
+  EXPECT_DOUBLE_EQ(estimate_growth_exponent(nonpositive), 0.0);
+  EXPECT_THROW(estimate_growth_exponent(std::vector<double>{1.0, 2.0}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(estimate_growth_exponent(std::vector<double>{1.0, 2.0}, 1.5),
+               std::invalid_argument);
+}
+
+TEST(IsSublinear, ClassifiesCorrectly) {
+  EXPECT_TRUE(is_sublinear(power_law(3000, 0.5)));
+  EXPECT_TRUE(is_sublinear(power_law(3000, 0.8)));
+  EXPECT_FALSE(is_sublinear(power_law(3000, 1.0)));
+  EXPECT_FALSE(is_sublinear(power_law(3000, 1.2)));
+}
+
+}  // namespace
+}  // namespace lfsc

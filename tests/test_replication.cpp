@@ -1,0 +1,76 @@
+#include "harness/replication.h"
+
+#include <gtest/gtest.h>
+
+namespace lfsc {
+namespace {
+
+TEST(SummarizeMetric, MeanStddevCi) {
+  const auto s = summarize_metric({2.0, 4.0, 6.0, 8.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.581988897, 1e-8);
+  EXPECT_NEAR(s.ci95, 1.96 * 2.581988897 / 2.0, 1e-8);
+  EXPECT_EQ(s.replicates, 4u);
+}
+
+TEST(SummarizeMetric, SingleValueHasNoInterval) {
+  const auto s = summarize_metric({3.0});
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.ci95, 0.0);
+}
+
+TEST(SummarizeMetric, ToStringFormat) {
+  // mean 2, stddev sqrt(2), ci95 = 1.96*sqrt(2)/sqrt(2) = 1.96 -> "2.0".
+  const auto s = summarize_metric({1.0, 3.0});
+  EXPECT_EQ(s.to_string(1), "2.0 ± 2.0");
+  EXPECT_EQ(s.to_string(2), "2.00 ± 1.96");
+}
+
+TEST(Replication, AggregatesAcrossSeeds) {
+  auto s = small_setup();
+  const auto result = replicate_paper_experiment(s, /*horizon=*/150,
+                                                 /*replicates=*/3);
+  EXPECT_EQ(result.replicates, 3u);
+  EXPECT_EQ(result.horizon, 150);
+  ASSERT_EQ(result.policies.size(), 5u);
+  for (const auto& p : result.policies) {
+    EXPECT_GT(p.reward.mean, 0.0) << p.name;
+    EXPECT_EQ(p.reward.replicates, 3u);
+    // Different worlds give different totals, so spread is nonzero.
+    EXPECT_GT(p.reward.stddev, 0.0) << p.name;
+    EXPECT_GE(p.performance_ratio.mean, 0.0);
+    EXPECT_LE(p.performance_ratio.mean, 1.0);
+  }
+}
+
+TEST(Replication, FindByName) {
+  auto s = small_setup();
+  const auto result = replicate_paper_experiment(s, 50, 2);
+  EXPECT_EQ(result.find("LFSC").name, "LFSC");
+  EXPECT_THROW(result.find("missing"), std::out_of_range);
+}
+
+TEST(Replication, OracleDominatesRandomInEveryWorld) {
+  auto s = small_setup();
+  const auto result = replicate_paper_experiment(s, 200, 3);
+  EXPECT_GT(result.find("Oracle").reward.mean,
+            result.find("Random").reward.mean);
+  EXPECT_LT(result.find("Oracle").resource_violation.mean, 1e-9);
+}
+
+TEST(Replication, RejectsZeroReplicates) {
+  auto s = small_setup();
+  EXPECT_THROW(replicate_paper_experiment(s, 10, 0), std::invalid_argument);
+}
+
+TEST(Replication, DeterministicForFixedBaseSeed) {
+  auto s = small_setup();
+  const auto a = replicate_paper_experiment(s, 60, 2, /*base_seed=*/5);
+  const auto b = replicate_paper_experiment(s, 60, 2, /*base_seed=*/5);
+  for (std::size_t k = 0; k < a.policies.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a.policies[k].reward.mean, b.policies[k].reward.mean);
+  }
+}
+
+}  // namespace
+}  // namespace lfsc

@@ -1,0 +1,252 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace lfsc {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256StarStar a(42);
+  Xoshiro256StarStar b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, JumpChangesSequence) {
+  Xoshiro256StarStar a(42);
+  Xoshiro256StarStar b(42);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+class RngStreamTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngStreamTest, UniformInUnitInterval) {
+  RngStream rng(GetParam());
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST_P(RngStreamTest, UniformMeanNearHalf) {
+  RngStream rng(GetParam());
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST_P(RngStreamTest, UniformRangeRespectsBounds) {
+  RngStream rng(GetParam());
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-3.0, 7.5);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 7.5);
+  }
+}
+
+TEST_P(RngStreamTest, UniformIntCoversFullRangeInclusive) {
+  RngStream rng(GetParam());
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const auto x = rng.uniform_int(3, 9);
+    EXPECT_GE(x, 3);
+    EXPECT_LE(x, 9);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all of {3..9} after 5000 draws
+}
+
+TEST_P(RngStreamTest, UniformIntDegenerate) {
+  RngStream rng(GetParam());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST_P(RngStreamTest, UniformIntUnbiased) {
+  RngStream rng(GetParam());
+  std::array<int, 4> counts{};
+  constexpr int kN = 80000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[static_cast<std::size_t>(rng.uniform_int(0, 3))];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kN, 0.25, 0.01);
+  }
+}
+
+TEST_P(RngStreamTest, BernoulliFrequency) {
+  RngStream rng(GetParam());
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST_P(RngStreamTest, BernoulliExtremes) {
+  RngStream rng(GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));  // clamped
+    EXPECT_TRUE(rng.bernoulli(2.0));    // clamped
+  }
+}
+
+TEST_P(RngStreamTest, NormalMomentsMatch) {
+  RngStream rng(GetParam());
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.03);
+}
+
+TEST_P(RngStreamTest, NormalShiftScale) {
+  RngStream rng(GetParam());
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.05);
+}
+
+TEST_P(RngStreamTest, ExponentialMean) {
+  RngStream rng(GetParam());
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.exponential(2.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST_P(RngStreamTest, DiscreteMatchesWeights) {
+  RngStream rng(GetParam());
+  const std::vector<double> weights{1.0, 3.0, 6.0};
+  std::array<int, 3> counts{};
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.discrete(weights)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / kN, 0.3, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kN, 0.6, 0.01);
+}
+
+TEST_P(RngStreamTest, ShuffleIsPermutation) {
+  RngStream rng(GetParam());
+  std::vector<int> items(50);
+  std::iota(items.begin(), items.end(), 0);
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, items);
+}
+
+TEST_P(RngStreamTest, SampleWithoutReplacementDistinct) {
+  RngStream rng(GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto sample = rng.sample_without_replacement(30, 12);
+    ASSERT_EQ(sample.size(), 12u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 12u);
+    for (const auto s : sample) EXPECT_LT(s, 30u);
+  }
+}
+
+TEST_P(RngStreamTest, SampleWithoutReplacementClampsK) {
+  RngStream rng(GetParam());
+  const auto sample = rng.sample_without_replacement(5, 10);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+TEST_P(RngStreamTest, SampleWithoutReplacementUniformMarginals) {
+  RngStream rng(GetParam());
+  std::array<int, 10> counts{};
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    for (const auto s : rng.sample_without_replacement(10, 3)) {
+      ++counts[s];
+    }
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 0.3, 0.02);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngStreamTest,
+                         ::testing::Values(1ull, 42ull, 987654321ull,
+                                           0xDEADBEEFull));
+
+TEST(RngStream, StreamsAreIndependent) {
+  RngStream a(7, 0);
+  RngStream b(7, 1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.bits() == b.bits()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(RngStream, SameSeedSameStreamIdentical) {
+  RngStream a(7, 3);
+  RngStream b(7, 3);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.bits(), b.bits());
+}
+
+TEST(RngStream, StreamCorrelationIsLow) {
+  // Pearson correlation between two parallel streams should be ~0.
+  RngStream a(99, 10);
+  RngStream b(99, 11);
+  constexpr int kN = 50000;
+  double sa = 0, sb = 0, sab = 0, saa = 0, sbb = 0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = a.uniform();
+    const double y = b.uniform();
+    sa += x;
+    sb += y;
+    sab += x * y;
+    saa += x * x;
+    sbb += y * y;
+  }
+  const double cov = sab / kN - (sa / kN) * (sb / kN);
+  const double var_a = saa / kN - (sa / kN) * (sa / kN);
+  const double var_b = sbb / kN - (sb / kN) * (sb / kN);
+  const double corr = cov / std::sqrt(var_a * var_b);
+  EXPECT_NEAR(corr, 0.0, 0.02);
+}
+
+}  // namespace
+}  // namespace lfsc

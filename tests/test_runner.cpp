@@ -1,0 +1,105 @@
+#include "harness/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/paper_setup.h"
+
+namespace lfsc {
+namespace {
+
+TEST(Runner, RunsAllPoliciesAndRecordsSeries) {
+  auto s = small_setup();
+  auto sim = s.make_simulator();
+  auto owned = make_paper_policies(s);
+  auto policies = policy_pointers(owned);
+  const auto result = run_experiment(sim, policies, {.horizon = 50});
+  ASSERT_EQ(result.series.size(), 5u);
+  for (const auto& series : result.series) {
+    EXPECT_EQ(series.slots(), 50u);
+    EXPECT_GT(series.total_reward(), 0.0);
+  }
+  EXPECT_GT(result.wall_seconds, 0.0);
+}
+
+TEST(Runner, FindLocatesByNameAndThrowsOtherwise) {
+  auto s = small_setup();
+  auto sim = s.make_simulator();
+  auto owned = make_paper_policies(s);
+  auto policies = policy_pointers(owned);
+  const auto result = run_experiment(sim, policies, {.horizon = 5});
+  EXPECT_EQ(result.find("LFSC").name(), "LFSC");
+  EXPECT_EQ(result.find("Oracle").name(), "Oracle");
+  EXPECT_THROW(result.find("nope"), std::out_of_range);
+}
+
+TEST(Runner, DeterministicAcrossRuns) {
+  auto s = small_setup();
+  auto sim1 = s.make_simulator();
+  auto owned1 = make_paper_policies(s);
+  auto p1 = policy_pointers(owned1);
+  const auto r1 = run_experiment(sim1, p1, {.horizon = 40});
+
+  auto sim2 = s.make_simulator();
+  auto owned2 = make_paper_policies(s);
+  auto p2 = policy_pointers(owned2);
+  const auto r2 = run_experiment(sim2, p2, {.horizon = 40});
+
+  for (std::size_t k = 0; k < r1.series.size(); ++k) {
+    EXPECT_DOUBLE_EQ(r1.series[k].total_reward(), r2.series[k].total_reward());
+    EXPECT_DOUBLE_EQ(r1.series[k].total_violation(),
+                     r2.series[k].total_violation());
+  }
+}
+
+TEST(Runner, RejectsNonPositiveHorizon) {
+  auto s = small_setup();
+  auto sim = s.make_simulator();
+  auto owned = make_paper_policies(s);
+  auto policies = policy_pointers(owned);
+  EXPECT_THROW(run_experiment(sim, policies, {.horizon = 0}),
+               std::invalid_argument);
+}
+
+// A deliberately broken policy to exercise validation.
+class CheatingPolicy final : public Policy {
+ public:
+  std::string_view name() const noexcept override { return "Cheater"; }
+  Assignment select(const SlotInfo& info) override {
+    Assignment a;
+    a.selected.assign(info.coverage.size(), {});
+    // Select the same first task from every SCN covering it: violates (1b)
+    // whenever coverage overlaps; also over-selects capacity if c == 0.
+    for (std::size_t m = 0; m < info.coverage.size(); ++m) {
+      if (!info.coverage[m].empty()) a.selected[m].push_back(0);
+    }
+    return a;
+  }
+};
+
+TEST(Runner, ValidationCatchesConstraintViolations) {
+  auto s = small_setup();
+  s.coverage.coverage_degree = 3.0;  // strong overlap: duplicates certain
+  auto sim = s.make_simulator();
+  CheatingPolicy cheater;
+  Policy* policies[] = {&cheater};
+  EXPECT_THROW(run_experiment(sim, policies, {.horizon = 20}),
+               std::logic_error);
+  // With validation off the same run completes.
+  auto sim2 = s.make_simulator();
+  const auto result = run_experiment(
+      sim2, policies, {.horizon = 20, .validate = false});
+  EXPECT_EQ(result.series[0].slots(), 20u);
+}
+
+TEST(Runner, OracleDominatesRandomOnModerateHorizon) {
+  auto s = small_setup();
+  auto sim = s.make_simulator();
+  auto owned = make_paper_policies(s);
+  auto policies = policy_pointers(owned);
+  const auto result = run_experiment(sim, policies, {.horizon = 200});
+  EXPECT_GT(result.find("Oracle").total_reward(),
+            result.find("Random").total_reward());
+}
+
+}  // namespace
+}  // namespace lfsc

@@ -1,0 +1,71 @@
+#include "harness/series_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace lfsc {
+namespace {
+
+TEST(DownsampleIndices, FewerPointsThanData) {
+  const auto idx = downsample_indices(100, 10);
+  ASSERT_FALSE(idx.empty());
+  EXPECT_LE(idx.size(), 11u);
+  EXPECT_EQ(idx.back(), 99u);
+  for (std::size_t i = 1; i < idx.size(); ++i) EXPECT_GT(idx[i], idx[i - 1]);
+}
+
+TEST(DownsampleIndices, MorePointsThanDataReturnsAll) {
+  const auto idx = downsample_indices(5, 100);
+  EXPECT_EQ(idx, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(DownsampleIndices, EdgeCases) {
+  EXPECT_TRUE(downsample_indices(0, 10).empty());
+  EXPECT_TRUE(downsample_indices(10, 0).empty());
+  const auto one = downsample_indices(10, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 9u);
+}
+
+class SeriesCsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "lfsc_series_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string read() const {
+    std::ifstream in(path_);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+  }
+};
+
+TEST_F(SeriesCsvTest, WritesHeaderAndStridedRows) {
+  write_series_csv(path_,
+                   {{"a", {1, 2, 3, 4, 5}}, {"b", {10, 20, 30, 40, 50}}},
+                   /*stride=*/2);
+  EXPECT_EQ(read(), "t,a,b\n1,1,10\n3,3,30\n5,5,50\n");
+}
+
+TEST_F(SeriesCsvTest, AlwaysIncludesFinalSlot) {
+  write_series_csv(path_, {{"a", {1, 2, 3, 4}}}, /*stride=*/3);
+  // rows: t=1 (idx 0), t=4 (final).
+  EXPECT_EQ(read(), "t,a\n1,1\n4,4\n");
+}
+
+TEST_F(SeriesCsvTest, RejectsRaggedAndZeroStride) {
+  EXPECT_THROW(write_series_csv(path_, {{"a", {1, 2}}, {"b", {1}}}),
+               std::invalid_argument);
+  EXPECT_THROW(write_series_csv(path_, {{"a", {1}}}, 0), std::invalid_argument);
+}
+
+TEST_F(SeriesCsvTest, EmptySeriesProducesHeaderOnly) {
+  write_series_csv(path_, {{"a", {}}});
+  EXPECT_EQ(read(), "t,a\n");
+}
+
+}  // namespace
+}  // namespace lfsc

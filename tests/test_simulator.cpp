@@ -1,0 +1,114 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/paper_setup.h"
+
+namespace lfsc {
+namespace {
+
+Simulator make_small() {
+  return small_setup().make_simulator();
+}
+
+TEST(Simulator, SlotHasConsistentShape) {
+  auto sim = make_small();
+  const auto slot = sim.generate_slot(1);
+  const auto scns = slot.info.coverage.size();
+  EXPECT_EQ(scns, 4u);
+  ASSERT_EQ(slot.real.u.size(), scns);
+  ASSERT_EQ(slot.real.v.size(), scns);
+  ASSERT_EQ(slot.real.q.size(), scns);
+  for (std::size_t m = 0; m < scns; ++m) {
+    EXPECT_EQ(slot.real.u[m].size(), slot.info.coverage[m].size());
+    EXPECT_EQ(slot.real.v[m].size(), slot.info.coverage[m].size());
+    EXPECT_EQ(slot.real.q[m].size(), slot.info.coverage[m].size());
+  }
+  EXPECT_EQ(slot.info.t, 1);
+}
+
+TEST(Simulator, RealizationsWithinModelRanges) {
+  auto sim = make_small();
+  for (int t = 1; t <= 20; ++t) {
+    const auto slot = sim.generate_slot(t);
+    for (std::size_t m = 0; m < slot.real.u.size(); ++m) {
+      for (std::size_t j = 0; j < slot.real.u[m].size(); ++j) {
+        EXPECT_GE(slot.real.u[m][j], 0.0);
+        EXPECT_LE(slot.real.u[m][j], 1.0);
+        EXPECT_GE(slot.real.v[m][j], 0.0);
+        EXPECT_LE(slot.real.v[m][j], 1.0);
+        EXPECT_GE(slot.real.q[m][j], 1.0);
+        EXPECT_LE(slot.real.q[m][j], 2.0);
+      }
+    }
+  }
+}
+
+TEST(Simulator, SameSeedReproducesSlots) {
+  auto a = make_small();
+  auto b = make_small();
+  for (int t = 1; t <= 10; ++t) {
+    const auto sa = a.generate_slot(t);
+    const auto sb = b.generate_slot(t);
+    ASSERT_EQ(sa.info.tasks.size(), sb.info.tasks.size());
+    EXPECT_EQ(sa.info.coverage, sb.info.coverage);
+    EXPECT_EQ(sa.real.u, sb.real.u);
+    EXPECT_EQ(sa.real.v, sb.real.v);
+    EXPECT_EQ(sa.real.q, sb.real.q);
+  }
+}
+
+TEST(Simulator, SlotsAreIndependentOfGenerationOrder) {
+  // Abstract coverage is stateless, so slot 5 is identical whether or not
+  // slots 1-4 were generated first.
+  auto a = make_small();
+  auto b = make_small();
+  for (int t = 1; t <= 4; ++t) a.generate_slot(t);
+  const auto sa = a.generate_slot(5);
+  const auto sb = b.generate_slot(5);
+  EXPECT_EQ(sa.info.coverage, sb.info.coverage);
+  EXPECT_EQ(sa.real.u, sb.real.u);
+}
+
+TEST(Simulator, DifferentSlotsDiffer) {
+  auto sim = make_small();
+  const auto s1 = sim.generate_slot(1);
+  const auto s2 = sim.generate_slot(2);
+  EXPECT_NE(s1.info.coverage, s2.info.coverage);
+}
+
+TEST(Simulator, ForkReproducesOriginal) {
+  auto sim = make_small();
+  auto fork = sim.fork();
+  const auto sa = sim.generate_slot(3);
+  const auto sb = fork.generate_slot(3);
+  EXPECT_EQ(sa.info.coverage, sb.info.coverage);
+  EXPECT_EQ(sa.real.v, sb.real.v);
+}
+
+TEST(Simulator, RejectsScnCountMismatch) {
+  PaperSetup s = small_setup();
+  AbstractCoverageConfig cov = s.coverage;
+  cov.num_scns = 3;  // != net.num_scns (4)
+  EXPECT_THROW(Simulator(s.net, s.env, std::make_unique<AbstractCoverage>(cov)),
+               std::invalid_argument);
+}
+
+TEST(Simulator, RejectsNullCoverage) {
+  PaperSetup s = small_setup();
+  EXPECT_THROW(Simulator(s.net, s.env, nullptr), std::invalid_argument);
+}
+
+TEST(Simulator, PaperScaleSlotShape) {
+  PaperSetup s;  // the full 30-SCN setup
+  auto sim = s.make_simulator();
+  const auto slot = sim.generate_slot(1);
+  EXPECT_EQ(slot.info.coverage.size(), 30u);
+  for (const auto& c : slot.info.coverage) {
+    EXPECT_GE(c.size(), 35u);
+    EXPECT_LE(c.size(), 100u);
+  }
+}
+
+}  // namespace
+}  // namespace lfsc

@@ -1,0 +1,97 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace lfsc {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(2);
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor must wait for all 100
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WorkerCountDefaultsToHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.worker_count(), 1u);
+}
+
+TEST(ParallelFor, CoversAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for(pool, hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroAndOneCounts) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(pool, 1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, RethrowsIterationFailure) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 10,
+                            [](std::size_t i) {
+                              if (i == 5) throw std::logic_error("bad");
+                            }),
+               std::logic_error);
+}
+
+TEST(ParallelFor, ResultOrderIndependentOfScheduling) {
+  // Writes to disjoint slots: result must equal the serial computation
+  // regardless of worker count.
+  std::vector<double> serial(200), parallel(200);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    serial[i] = static_cast<double>(i * i);
+  }
+  ThreadPool pool(8);
+  parallel_for(pool, parallel.size(), [&](std::size_t i) {
+    parallel[i] = static_cast<double>(i * i);
+  });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(DefaultThreadPool, IsReusableSingleton) {
+  ThreadPool& a = default_thread_pool();
+  ThreadPool& b = default_thread_pool();
+  EXPECT_EQ(&a, &b);
+  std::atomic<int> counter{0};
+  parallel_for(50, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace lfsc

@@ -1,0 +1,161 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "harness/paper_setup.h"
+#include "harness/runner.h"
+#include "lfsc/lfsc_policy.h"
+
+namespace lfsc {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "lfsc_trace_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(TraceTest, RoundTripPreservesSlots) {
+  auto s = small_setup();
+  auto sim = s.make_simulator();
+  std::vector<SlotInfo> originals;
+  {
+    TraceWriter writer(path_);
+    for (int t = 1; t <= 5; ++t) {
+      const auto slot = sim.generate_slot(t);
+      writer.add_slot(slot.info);
+      originals.push_back(slot.info);
+    }
+    EXPECT_EQ(writer.slots_written(), 5u);
+  }
+  const auto trace = load_trace(path_);
+  ASSERT_EQ(trace.slots.size(), 5u);
+  EXPECT_EQ(trace.num_scns, s.net.num_scns);
+  for (std::size_t k = 0; k < originals.size(); ++k) {
+    const auto& orig = originals[k];
+    const auto& loaded = trace.slots[k];
+    ASSERT_EQ(loaded.tasks.size(), orig.tasks.size());
+    EXPECT_EQ(loaded.coverage, orig.coverage);
+    for (std::size_t i = 0; i < orig.tasks.size(); ++i) {
+      EXPECT_EQ(loaded.tasks[i].id, orig.tasks[i].id);
+      EXPECT_EQ(loaded.tasks[i].wd_id, orig.tasks[i].wd_id);
+      EXPECT_DOUBLE_EQ(loaded.tasks[i].context.input_mbit,
+                       orig.tasks[i].context.input_mbit);
+      EXPECT_DOUBLE_EQ(loaded.tasks[i].context.output_mbit,
+                       orig.tasks[i].context.output_mbit);
+      EXPECT_EQ(loaded.tasks[i].context.resource,
+                orig.tasks[i].context.resource);
+      EXPECT_EQ(loaded.tasks[i].context.normalized,
+                orig.tasks[i].context.normalized);
+    }
+  }
+}
+
+TEST_F(TraceTest, ReplayThroughSimulatorMatchesRecordedArrivals) {
+  auto s = small_setup();
+  auto source = s.make_simulator();
+  {
+    TraceWriter writer(path_);
+    for (int t = 1; t <= 4; ++t) writer.add_slot(source.generate_slot(t).info);
+  }
+  Simulator replay(s.net, s.env,
+                   std::make_unique<TraceCoverage>(load_trace(path_)));
+  auto source2 = s.make_simulator();
+  for (int t = 1; t <= 8; ++t) {  // wraps after 4
+    const auto replayed = replay.generate_slot(t);
+    const auto original = source2.generate_slot(((t - 1) % 4) + 1);
+    EXPECT_EQ(replayed.info.coverage, original.info.coverage) << "t=" << t;
+    EXPECT_EQ(replayed.info.t, t);
+    // Realizations are drawn fresh (slot-keyed), but shapes must agree.
+    for (std::size_t m = 0; m < replayed.real.u.size(); ++m) {
+      EXPECT_EQ(replayed.real.u[m].size(), original.real.u[m].size());
+    }
+  }
+}
+
+TEST_F(TraceTest, PoliciesRunOnReplayedTrace) {
+  auto s = small_setup();
+  auto source = s.make_simulator();
+  {
+    TraceWriter writer(path_);
+    for (int t = 1; t <= 10; ++t) writer.add_slot(source.generate_slot(t).info);
+  }
+  Simulator replay(s.net, s.env,
+                   std::make_unique<TraceCoverage>(load_trace(path_)));
+  LfscPolicy lfsc(s.net, s.lfsc);
+  Policy* policies[] = {&lfsc};
+  const auto result = run_experiment(replay, policies, {.horizon = 30});
+  EXPECT_EQ(result.series[0].slots(), 30u);
+  EXPECT_GT(result.series[0].total_reward(), 0.0);
+}
+
+TEST_F(TraceTest, MinScnsExpandsNetwork) {
+  auto s = small_setup();
+  auto source = s.make_simulator();
+  {
+    TraceWriter writer(path_);
+    writer.add_slot(source.generate_slot(1).info);
+  }
+  const auto cov = TraceCoverage::from_file(path_, /*min_scns=*/10);
+  EXPECT_EQ(cov.num_scns(), 10);
+}
+
+TEST_F(TraceTest, UncoveredTasksSurviveRoundTrip) {
+  SlotInfo info;
+  info.t = 1;
+  info.tasks.resize(2);
+  info.tasks[0].id = 100;
+  info.tasks[0].context = make_context(10, 2, ResourceType::kCpu);
+  info.tasks[1].id = 101;  // covered by no SCN
+  info.tasks[1].context = make_context(15, 3, ResourceType::kGpu);
+  info.coverage = {{0}, {}};
+  {
+    TraceWriter writer(path_);
+    writer.add_slot(info);
+  }
+  const auto trace = load_trace(path_);
+  ASSERT_EQ(trace.slots.size(), 1u);
+  EXPECT_EQ(trace.slots[0].tasks.size(), 2u);
+  EXPECT_EQ(trace.slots[0].tasks[1].id, 101);
+  EXPECT_EQ(trace.num_scns, 1);  // only SCN 0 appears
+}
+
+TEST_F(TraceTest, RejectsMalformedFiles) {
+  const auto write_file = [&](const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  };
+  write_file("wrong,header\n");
+  EXPECT_THROW(load_trace(path_), std::runtime_error);
+
+  write_file("slot,task_id,wd_id,input_mbit,output_mbit,resource,scns\n");
+  EXPECT_THROW(load_trace(path_), std::runtime_error);  // no slots
+
+  write_file(
+      "slot,task_id,wd_id,input_mbit,output_mbit,resource,scns\n"
+      "1,0,0,10,2,9,0\n");  // bad resource
+  EXPECT_THROW(load_trace(path_), std::runtime_error);
+
+  write_file(
+      "slot,task_id,wd_id,input_mbit,output_mbit,resource,scns\n"
+      "1,0,0,ten,2,0,0\n");  // bad number
+  EXPECT_THROW(load_trace(path_), std::runtime_error);
+
+  write_file(
+      "slot,task_id,wd_id,input_mbit,output_mbit,resource,scns\n"
+      "2,0,0,10,2,0,0\n"
+      "1,1,0,10,2,0,0\n");  // out of order
+  EXPECT_THROW(load_trace(path_), std::runtime_error);
+
+  EXPECT_THROW(load_trace("/nonexistent/trace.csv"), std::runtime_error);
+}
+
+TEST(TraceCoverage, RejectsEmptyTrace) {
+  EXPECT_THROW(TraceCoverage(Trace{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lfsc

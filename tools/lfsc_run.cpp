@@ -1,0 +1,260 @@
+// lfsc_run — the command-line front door to the framework: configure a
+// small cell network, an environment and a policy roster entirely from
+// flags, run the experiment, and get a summary table plus optional CSV
+// time series.
+//
+// Examples:
+//   lfsc_run --horizon 2000                      # paper setup, shorter run
+//   lfsc_run --scns 10 --alpha 12 --beta 20
+//   lfsc_run --coverage geometric --blockage 0.2
+//   lfsc_run --policies LFSC,Oracle --csv out    # writes out_*.csv
+//   lfsc_run --replicates 5                      # mean ± 95% CI summary
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "baselines/fml.h"
+#include "baselines/linucb.h"
+#include "baselines/oracle.h"
+#include "baselines/random_policy.h"
+#include "baselines/thompson.h"
+#include "baselines/vucb.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "harness/paper_setup.h"
+#include "harness/replication.h"
+#include "harness/runner.h"
+#include "harness/series_io.h"
+#include "sim/trace.h"
+#include "lfsc/lfsc_policy.h"
+
+namespace {
+
+using namespace lfsc;
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream is(text);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser parser("lfsc_run",
+                    "run a small-cell task-offloading experiment");
+  const int* scns = parser.add_int("scns", 30, "number of small cell nodes");
+  const int* capacity = parser.add_int("capacity", 20,
+                                       "per-SCN communication capacity c");
+  const double* alpha =
+      parser.add_double("alpha", 15.0, "QoS threshold alpha (1c)");
+  const double* beta =
+      parser.add_double("beta", 27.0, "resource capacity beta (1d)");
+  const int* horizon = parser.add_int("horizon", 10000, "time slots T");
+  const int* seed = parser.add_int("seed", 42, "world seed");
+  const int* h_t = parser.add_int("h", 3, "hypercube parts per dimension");
+  const double* gamma =
+      parser.add_double("gamma", 0.0, "LFSC exploration rate (0 = auto)");
+  const std::string* coverage = parser.add_string(
+      "coverage", "abstract", "coverage model: abstract | geometric");
+  const double* likelihood_lo = parser.add_double(
+      "likelihood-lo", 0.0, "lower end of the mean completion likelihood");
+  const double* likelihood_hi = parser.add_double(
+      "likelihood-hi", 1.0, "upper end of the mean completion likelihood");
+  const double* blockage =
+      parser.add_double("blockage", 0.0, "mmWave blockage probability");
+  const std::string* policies_flag = parser.add_string(
+      "policies", "Oracle,LFSC,vUCB,FML,Random", "comma-separated roster");
+  const std::string* csv_prefix = parser.add_string(
+      "csv", "", "write <prefix>_reward.csv / _violations.csv");
+  const int* replicates = parser.add_int(
+      "replicates", 1, "seeds to replicate (>1 prints mean ± 95% CI)");
+  const int* tasks_min =
+      parser.add_int("tasks-min", 35, "min tasks per SCN coverage");
+  const int* tasks_max =
+      parser.add_int("tasks-max", 100, "max tasks per SCN coverage");
+  const std::string* trace_in = parser.add_string(
+      "trace", "", "replay a workload trace file instead of generating");
+  const std::string* trace_out = parser.add_string(
+      "record-trace", "", "record this run's workload to a trace file");
+  const std::string* state_in = parser.add_string(
+      "load-state", "", "warm-start LFSC from a saved state file");
+  const std::string* state_out = parser.add_string(
+      "save-state", "", "save LFSC's learned state after the run");
+
+  switch (parser.parse(argc, argv, std::cerr)) {
+    case FlagParser::Result::kHelp:
+      return 0;
+    case FlagParser::Result::kError:
+      return 2;
+    case FlagParser::Result::kOk:
+      break;
+  }
+
+  PaperSetup setup;
+  setup.set_num_scns(*scns);
+  setup.net.capacity_c = *capacity;
+  setup.net.qos_alpha = *alpha;
+  setup.net.resource_beta = *beta;
+  setup.env.likelihood_lo = *likelihood_lo;
+  setup.env.likelihood_hi = *likelihood_hi;
+  setup.env.blockage_prob = *blockage;
+  setup.coverage.tasks_per_scn_min = *tasks_min;
+  setup.coverage.tasks_per_scn_max = *tasks_max;
+  setup.set_seed(static_cast<std::uint64_t>(*seed));
+  setup.set_horizon(static_cast<std::size_t>(*horizon));
+  setup.lfsc.parts_per_dim = static_cast<std::size_t>(*h_t);
+  setup.lfsc.gamma = *gamma;
+
+  if (*replicates > 1) {
+    if (!state_in->empty() || !state_out->empty() || !trace_in->empty() ||
+        !trace_out->empty()) {
+      std::cerr << "lfsc_run: --load-state/--save-state/--trace/"
+                   "--record-trace are single-run flags (incompatible with "
+                   "--replicates)\n";
+      return 2;
+    }
+    const auto rep = replicate_paper_experiment(
+        setup, *horizon, static_cast<std::size_t>(*replicates),
+        static_cast<std::uint64_t>(*seed));
+    std::cout << *replicates << " replicates, T=" << *horizon << ", "
+              << *scns << " SCNs (mean ± 95% CI)\n\n";
+    Table table({"policy", "reward", "QoS viol", "res viol", "ratio"});
+    for (const auto& p : rep.policies) {
+      table.add_row({p.name, p.reward.to_string(), p.qos_violation.to_string(),
+                     p.resource_violation.to_string(),
+                     p.performance_ratio.to_string(4)});
+    }
+    table.print(std::cout);
+    return 0;
+  }
+
+  std::unique_ptr<CoverageModel> cov;
+  if (!trace_in->empty()) {
+    cov = std::make_unique<TraceCoverage>(load_trace(*trace_in), *scns);
+  } else if (*coverage == "geometric") {
+    GeometricCoverageConfig geo;
+    geo.num_scns = *scns;
+    geo.num_wds = *scns * 25;
+    cov = std::make_unique<GeometricCoverage>(geo);
+  } else if (*coverage == "abstract") {
+    cov = std::make_unique<AbstractCoverage>(setup.coverage);
+  } else {
+    std::cerr << "lfsc_run: unknown coverage model '" << *coverage << "'\n";
+    return 2;
+  }
+  Simulator sim(setup.net, setup.env, std::move(cov));
+
+  if (!trace_out->empty()) {
+    // Record the workload this configuration generates (a separate pass
+    // over a forked world so the experiment below is unaffected).
+    auto recorder = sim.fork();
+    TraceWriter writer(*trace_out);
+    for (int t = 1; t <= *horizon; ++t) {
+      writer.add_slot(recorder.generate_slot(t).info);
+    }
+    std::cout << "workload trace -> " << *trace_out << " (" << *horizon
+              << " slots)\n";
+  }
+
+  std::vector<std::unique_ptr<Policy>> owned;
+  LfscPolicy* lfsc_instance = nullptr;
+  for (const auto& name : split_csv(*policies_flag)) {
+    if (name == "Oracle") {
+      owned.push_back(std::make_unique<OraclePolicy>(setup.net));
+    } else if (name == "LFSC") {
+      auto lfsc = std::make_unique<LfscPolicy>(setup.net, setup.lfsc);
+      lfsc_instance = lfsc.get();
+      owned.push_back(std::move(lfsc));
+    } else if (name == "vUCB") {
+      owned.push_back(std::make_unique<VucbPolicy>(setup.net));
+    } else if (name == "FML") {
+      owned.push_back(std::make_unique<FmlPolicy>(setup.net));
+    } else if (name == "Random") {
+      owned.push_back(std::make_unique<RandomPolicy>(setup.net));
+    } else if (name == "LinUCB") {
+      owned.push_back(std::make_unique<LinUcbPolicy>(setup.net));
+    } else if (name == "Thompson") {
+      owned.push_back(std::make_unique<ThompsonPolicy>(setup.net));
+    } else {
+      std::cerr << "lfsc_run: unknown policy '" << name
+                << "' (known: Oracle, LFSC, vUCB, FML, Random, LinUCB, "
+                   "Thompson)\n";
+      return 2;
+    }
+  }
+  if (owned.empty()) {
+    std::cerr << "lfsc_run: empty policy roster\n";
+    return 2;
+  }
+
+  if (!state_in->empty()) {
+    if (lfsc_instance == nullptr) {
+      std::cerr << "lfsc_run: --load-state requires LFSC in --policies\n";
+      return 2;
+    }
+    std::ifstream in(*state_in);
+    if (!in) {
+      std::cerr << "lfsc_run: cannot open state file " << *state_in << "\n";
+      return 2;
+    }
+    lfsc_instance->load(in);
+    std::cout << "warm-started LFSC from " << *state_in << "\n";
+  }
+
+  auto policies = policy_pointers(owned);
+  const auto result = run_experiment(sim, policies, {.horizon = *horizon});
+
+  if (!state_out->empty()) {
+    if (lfsc_instance == nullptr) {
+      std::cerr << "lfsc_run: --save-state requires LFSC in --policies\n";
+      return 2;
+    }
+    std::ofstream out(*state_out);
+    if (!out) {
+      std::cerr << "lfsc_run: cannot open state file " << *state_out << "\n";
+      return 2;
+    }
+    lfsc_instance->save(out);
+    std::cout << "LFSC state -> " << *state_out << "\n";
+  }
+
+  std::cout << *scns << " SCNs, c=" << *capacity << ", alpha=" << *alpha
+            << ", beta=" << *beta << ", T=" << *horizon << "\n\n";
+  Table table({"policy", "reward", "QoS viol (1c)", "res viol (1d)",
+               "ratio"});
+  for (const auto& rec : result.series) {
+    table.add_row({std::string(rec.name()), Table::num(rec.total_reward(), 1),
+                   Table::num(rec.total_qos_violation(), 1),
+                   Table::num(rec.total_resource_violation(), 1),
+                   Table::num(rec.final_performance_ratio(), 4)});
+  }
+  table.print(std::cout);
+  std::cout << "(" << Table::num(result.wall_seconds, 2) << "s)\n";
+
+  if (!csv_prefix->empty()) {
+    std::vector<std::pair<std::string, std::vector<double>>> reward, viol;
+    for (const auto& rec : result.series) {
+      reward.emplace_back(rec.name(), rec.cumulative_reward());
+      auto qos = rec.cumulative_qos_violation();
+      const auto res = rec.cumulative_resource_violation();
+      for (std::size_t i = 0; i < qos.size(); ++i) qos[i] += res[i];
+      viol.emplace_back(rec.name(), std::move(qos));
+    }
+    const std::size_t stride =
+        static_cast<std::size_t>(*horizon) > 2000
+            ? static_cast<std::size_t>(*horizon) / 2000
+            : 1;
+    write_series_csv(*csv_prefix + "_reward.csv", reward, stride);
+    write_series_csv(*csv_prefix + "_violations.csv", viol, stride);
+    std::cout << "series -> " << *csv_prefix << "_reward.csv, "
+              << *csv_prefix << "_violations.csv\n";
+  }
+  return 0;
+}
