@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lfsc_params.dir/ablation_lfsc_params.cpp.o"
+  "CMakeFiles/ablation_lfsc_params.dir/ablation_lfsc_params.cpp.o.d"
+  "ablation_lfsc_params"
+  "ablation_lfsc_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lfsc_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_radio_world.dir/ablation_radio_world.cpp.o"
+  "CMakeFiles/ablation_radio_world.dir/ablation_radio_world.cpp.o.d"
+  "ablation_radio_world"
+  "ablation_radio_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_radio_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_cumulative_reward.dir/fig2a_cumulative_reward.cpp.o"
+  "CMakeFiles/fig2a_cumulative_reward.dir/fig2a_cumulative_reward.cpp.o.d"
+  "fig2a_cumulative_reward"
+  "fig2a_cumulative_reward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_cumulative_reward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2b_per_slot_reward.cpp" "bench/CMakeFiles/fig2b_per_slot_reward.dir/fig2b_per_slot_reward.cpp.o" "gcc" "bench/CMakeFiles/fig2b_per_slot_reward.dir/fig2b_per_slot_reward.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/lfsc_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/lfsc_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/lfsc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfsc/CMakeFiles/lfsc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/lfsc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/bandit/CMakeFiles/lfsc_bandit.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/lfsc_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lfsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lfsc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_per_slot_reward.dir/fig2b_per_slot_reward.cpp.o"
+  "CMakeFiles/fig2b_per_slot_reward.dir/fig2b_per_slot_reward.cpp.o.d"
+  "fig2b_per_slot_reward"
+  "fig2b_per_slot_reward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_per_slot_reward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2b_per_slot_reward.
+# This may be replaced when dependencies are built.

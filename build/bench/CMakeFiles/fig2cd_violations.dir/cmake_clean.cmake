@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2cd_violations.dir/fig2cd_violations.cpp.o"
+  "CMakeFiles/fig2cd_violations.dir/fig2cd_violations.cpp.o.d"
+  "fig2cd_violations"
+  "fig2cd_violations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2cd_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2e_performance_ratio.dir/fig2e_performance_ratio.cpp.o"
+  "CMakeFiles/fig2e_performance_ratio.dir/fig2e_performance_ratio.cpp.o.d"
+  "fig2e_performance_ratio"
+  "fig2e_performance_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2e_performance_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

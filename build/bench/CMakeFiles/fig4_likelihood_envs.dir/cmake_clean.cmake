@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_likelihood_envs.dir/fig4_likelihood_envs.cpp.o"
+  "CMakeFiles/fig4_likelihood_envs.dir/fig4_likelihood_envs.cpp.o.d"
+  "fig4_likelihood_envs"
+  "fig4_likelihood_envs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_likelihood_envs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_replication.dir/summary_replication.cpp.o"
+  "CMakeFiles/summary_replication.dir/summary_replication.cpp.o.d"
+  "summary_replication"
+  "summary_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

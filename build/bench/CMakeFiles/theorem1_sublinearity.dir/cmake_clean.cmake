@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem1_sublinearity.dir/theorem1_sublinearity.cpp.o"
+  "CMakeFiles/theorem1_sublinearity.dir/theorem1_sublinearity.cpp.o.d"
+  "theorem1_sublinearity"
+  "theorem1_sublinearity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem1_sublinearity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_tuning.dir/constraint_tuning.cpp.o"
+  "CMakeFiles/constraint_tuning.dir/constraint_tuning.cpp.o.d"
+  "constraint_tuning"
+  "constraint_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometric_city.dir/geometric_city.cpp.o"
+  "CMakeFiles/geometric_city.dir/geometric_city.cpp.o.d"
+  "geometric_city"
+  "geometric_city.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometric_city.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_offloading.dir/hierarchical_offloading.cpp.o"
+  "CMakeFiles/hierarchical_offloading.dir/hierarchical_offloading.cpp.o.d"
+  "hierarchical_offloading"
+  "hierarchical_offloading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_offloading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmwave_campus.dir/mmwave_campus.cpp.o"
+  "CMakeFiles/mmwave_campus.dir/mmwave_campus.cpp.o.d"
+  "mmwave_campus"
+  "mmwave_campus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmwave_campus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bandit/exp3m.cpp" "src/bandit/CMakeFiles/lfsc_bandit.dir/exp3m.cpp.o" "gcc" "src/bandit/CMakeFiles/lfsc_bandit.dir/exp3m.cpp.o.d"
+  "/root/repo/src/bandit/partition.cpp" "src/bandit/CMakeFiles/lfsc_bandit.dir/partition.cpp.o" "gcc" "src/bandit/CMakeFiles/lfsc_bandit.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lfsc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfsc_bandit.dir/exp3m.cpp.o"
+  "CMakeFiles/lfsc_bandit.dir/exp3m.cpp.o.d"
+  "CMakeFiles/lfsc_bandit.dir/partition.cpp.o"
+  "CMakeFiles/lfsc_bandit.dir/partition.cpp.o.d"
+  "liblfsc_bandit.a"
+  "liblfsc_bandit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfsc_bandit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

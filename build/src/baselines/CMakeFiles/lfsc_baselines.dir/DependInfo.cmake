@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/fml.cpp" "src/baselines/CMakeFiles/lfsc_baselines.dir/fml.cpp.o" "gcc" "src/baselines/CMakeFiles/lfsc_baselines.dir/fml.cpp.o.d"
+  "/root/repo/src/baselines/linucb.cpp" "src/baselines/CMakeFiles/lfsc_baselines.dir/linucb.cpp.o" "gcc" "src/baselines/CMakeFiles/lfsc_baselines.dir/linucb.cpp.o.d"
+  "/root/repo/src/baselines/oracle.cpp" "src/baselines/CMakeFiles/lfsc_baselines.dir/oracle.cpp.o" "gcc" "src/baselines/CMakeFiles/lfsc_baselines.dir/oracle.cpp.o.d"
+  "/root/repo/src/baselines/random_policy.cpp" "src/baselines/CMakeFiles/lfsc_baselines.dir/random_policy.cpp.o" "gcc" "src/baselines/CMakeFiles/lfsc_baselines.dir/random_policy.cpp.o.d"
+  "/root/repo/src/baselines/thompson.cpp" "src/baselines/CMakeFiles/lfsc_baselines.dir/thompson.cpp.o" "gcc" "src/baselines/CMakeFiles/lfsc_baselines.dir/thompson.cpp.o.d"
+  "/root/repo/src/baselines/vucb.cpp" "src/baselines/CMakeFiles/lfsc_baselines.dir/vucb.cpp.o" "gcc" "src/baselines/CMakeFiles/lfsc_baselines.dir/vucb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lfsc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lfsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bandit/CMakeFiles/lfsc_bandit.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/lfsc_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfsc_baselines.dir/fml.cpp.o"
+  "CMakeFiles/lfsc_baselines.dir/fml.cpp.o.d"
+  "CMakeFiles/lfsc_baselines.dir/linucb.cpp.o"
+  "CMakeFiles/lfsc_baselines.dir/linucb.cpp.o.d"
+  "CMakeFiles/lfsc_baselines.dir/oracle.cpp.o"
+  "CMakeFiles/lfsc_baselines.dir/oracle.cpp.o.d"
+  "CMakeFiles/lfsc_baselines.dir/random_policy.cpp.o"
+  "CMakeFiles/lfsc_baselines.dir/random_policy.cpp.o.d"
+  "CMakeFiles/lfsc_baselines.dir/thompson.cpp.o"
+  "CMakeFiles/lfsc_baselines.dir/thompson.cpp.o.d"
+  "CMakeFiles/lfsc_baselines.dir/vucb.cpp.o"
+  "CMakeFiles/lfsc_baselines.dir/vucb.cpp.o.d"
+  "liblfsc_baselines.a"
+  "liblfsc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfsc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfsc_common.dir/csv.cpp.o"
+  "CMakeFiles/lfsc_common.dir/csv.cpp.o.d"
+  "CMakeFiles/lfsc_common.dir/flags.cpp.o"
+  "CMakeFiles/lfsc_common.dir/flags.cpp.o.d"
+  "CMakeFiles/lfsc_common.dir/log.cpp.o"
+  "CMakeFiles/lfsc_common.dir/log.cpp.o.d"
+  "CMakeFiles/lfsc_common.dir/math_util.cpp.o"
+  "CMakeFiles/lfsc_common.dir/math_util.cpp.o.d"
+  "CMakeFiles/lfsc_common.dir/rng.cpp.o"
+  "CMakeFiles/lfsc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/lfsc_common.dir/table.cpp.o"
+  "CMakeFiles/lfsc_common.dir/table.cpp.o.d"
+  "CMakeFiles/lfsc_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/lfsc_common.dir/thread_pool.cpp.o.d"
+  "liblfsc_common.a"
+  "liblfsc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfsc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

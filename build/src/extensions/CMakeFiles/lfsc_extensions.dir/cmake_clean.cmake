@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfsc_extensions.dir/joint_policy.cpp.o"
+  "CMakeFiles/lfsc_extensions.dir/joint_policy.cpp.o.d"
+  "CMakeFiles/lfsc_extensions.dir/mbs.cpp.o"
+  "CMakeFiles/lfsc_extensions.dir/mbs.cpp.o.d"
+  "CMakeFiles/lfsc_extensions.dir/persistent.cpp.o"
+  "CMakeFiles/lfsc_extensions.dir/persistent.cpp.o.d"
+  "liblfsc_extensions.a"
+  "liblfsc_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfsc_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfsc_harness.dir/paper_setup.cpp.o"
+  "CMakeFiles/lfsc_harness.dir/paper_setup.cpp.o.d"
+  "CMakeFiles/lfsc_harness.dir/replication.cpp.o"
+  "CMakeFiles/lfsc_harness.dir/replication.cpp.o.d"
+  "CMakeFiles/lfsc_harness.dir/runner.cpp.o"
+  "CMakeFiles/lfsc_harness.dir/runner.cpp.o.d"
+  "CMakeFiles/lfsc_harness.dir/series_io.cpp.o"
+  "CMakeFiles/lfsc_harness.dir/series_io.cpp.o.d"
+  "liblfsc_harness.a"
+  "liblfsc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfsc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lfsc/lfsc_policy.cpp" "src/lfsc/CMakeFiles/lfsc_core.dir/lfsc_policy.cpp.o" "gcc" "src/lfsc/CMakeFiles/lfsc_core.dir/lfsc_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lfsc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lfsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bandit/CMakeFiles/lfsc_bandit.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/lfsc_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

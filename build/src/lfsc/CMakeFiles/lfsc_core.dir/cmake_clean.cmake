@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfsc_core.dir/lfsc_policy.cpp.o"
+  "CMakeFiles/lfsc_core.dir/lfsc_policy.cpp.o.d"
+  "liblfsc_core.a"
+  "liblfsc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfsc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

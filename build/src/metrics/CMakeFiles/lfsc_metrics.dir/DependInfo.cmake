@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/metrics.cpp" "src/metrics/CMakeFiles/lfsc_metrics.dir/metrics.cpp.o" "gcc" "src/metrics/CMakeFiles/lfsc_metrics.dir/metrics.cpp.o.d"
+  "/root/repo/src/metrics/recorder.cpp" "src/metrics/CMakeFiles/lfsc_metrics.dir/recorder.cpp.o" "gcc" "src/metrics/CMakeFiles/lfsc_metrics.dir/recorder.cpp.o.d"
+  "/root/repo/src/metrics/regret.cpp" "src/metrics/CMakeFiles/lfsc_metrics.dir/regret.cpp.o" "gcc" "src/metrics/CMakeFiles/lfsc_metrics.dir/regret.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lfsc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lfsc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfsc_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/lfsc_metrics.dir/metrics.cpp.o.d"
+  "CMakeFiles/lfsc_metrics.dir/recorder.cpp.o"
+  "CMakeFiles/lfsc_metrics.dir/recorder.cpp.o.d"
+  "CMakeFiles/lfsc_metrics.dir/regret.cpp.o"
+  "CMakeFiles/lfsc_metrics.dir/regret.cpp.o.d"
+  "liblfsc_metrics.a"
+  "liblfsc_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfsc_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

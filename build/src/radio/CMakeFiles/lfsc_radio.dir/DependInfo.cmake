@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/compute.cpp" "src/radio/CMakeFiles/lfsc_radio.dir/compute.cpp.o" "gcc" "src/radio/CMakeFiles/lfsc_radio.dir/compute.cpp.o.d"
+  "/root/repo/src/radio/link.cpp" "src/radio/CMakeFiles/lfsc_radio.dir/link.cpp.o" "gcc" "src/radio/CMakeFiles/lfsc_radio.dir/link.cpp.o.d"
+  "/root/repo/src/radio/pathloss.cpp" "src/radio/CMakeFiles/lfsc_radio.dir/pathloss.cpp.o" "gcc" "src/radio/CMakeFiles/lfsc_radio.dir/pathloss.cpp.o.d"
+  "/root/repo/src/radio/radio_simulator.cpp" "src/radio/CMakeFiles/lfsc_radio.dir/radio_simulator.cpp.o" "gcc" "src/radio/CMakeFiles/lfsc_radio.dir/radio_simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lfsc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lfsc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfsc_radio.dir/compute.cpp.o"
+  "CMakeFiles/lfsc_radio.dir/compute.cpp.o.d"
+  "CMakeFiles/lfsc_radio.dir/link.cpp.o"
+  "CMakeFiles/lfsc_radio.dir/link.cpp.o.d"
+  "CMakeFiles/lfsc_radio.dir/pathloss.cpp.o"
+  "CMakeFiles/lfsc_radio.dir/pathloss.cpp.o.d"
+  "CMakeFiles/lfsc_radio.dir/radio_simulator.cpp.o"
+  "CMakeFiles/lfsc_radio.dir/radio_simulator.cpp.o.d"
+  "liblfsc_radio.a"
+  "liblfsc_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfsc_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblfsc_radio.a"
+)

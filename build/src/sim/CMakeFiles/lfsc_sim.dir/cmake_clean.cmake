@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfsc_sim.dir/context.cpp.o"
+  "CMakeFiles/lfsc_sim.dir/context.cpp.o.d"
+  "CMakeFiles/lfsc_sim.dir/coverage.cpp.o"
+  "CMakeFiles/lfsc_sim.dir/coverage.cpp.o.d"
+  "CMakeFiles/lfsc_sim.dir/environment.cpp.o"
+  "CMakeFiles/lfsc_sim.dir/environment.cpp.o.d"
+  "CMakeFiles/lfsc_sim.dir/generator.cpp.o"
+  "CMakeFiles/lfsc_sim.dir/generator.cpp.o.d"
+  "CMakeFiles/lfsc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/lfsc_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/lfsc_sim.dir/trace.cpp.o"
+  "CMakeFiles/lfsc_sim.dir/trace.cpp.o.d"
+  "liblfsc_sim.a"
+  "liblfsc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfsc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfsc_solver.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/lfsc_solver.dir/branch_and_bound.cpp.o.d"
+  "CMakeFiles/lfsc_solver.dir/greedy_assignment.cpp.o"
+  "CMakeFiles/lfsc_solver.dir/greedy_assignment.cpp.o.d"
+  "CMakeFiles/lfsc_solver.dir/min_cost_flow.cpp.o"
+  "CMakeFiles/lfsc_solver.dir/min_cost_flow.cpp.o.d"
+  "liblfsc_solver.a"
+  "liblfsc_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfsc_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

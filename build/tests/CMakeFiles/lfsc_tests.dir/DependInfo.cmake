@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_branch_and_bound.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_branch_and_bound.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_branch_and_bound.cpp.o.d"
+  "/root/repo/tests/test_context.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_context.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_context.cpp.o.d"
+  "/root/repo/tests/test_coverage.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_coverage.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_coverage.cpp.o.d"
+  "/root/repo/tests/test_csv_table.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_csv_table.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_csv_table.cpp.o.d"
+  "/root/repo/tests/test_environment.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_environment.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_environment.cpp.o.d"
+  "/root/repo/tests/test_estimators.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_estimators.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_estimators.cpp.o.d"
+  "/root/repo/tests/test_exp3m.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_exp3m.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_exp3m.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_extra_baselines.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_extra_baselines.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_extra_baselines.cpp.o.d"
+  "/root/repo/tests/test_flags.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_flags.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_flags.cpp.o.d"
+  "/root/repo/tests/test_generator.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_generator.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_generator.cpp.o.d"
+  "/root/repo/tests/test_greedy_assignment.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_greedy_assignment.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_greedy_assignment.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_lagrange.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_lagrange.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_lagrange.cpp.o.d"
+  "/root/repo/tests/test_lfsc_config_sweep.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_lfsc_config_sweep.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_lfsc_config_sweep.cpp.o.d"
+  "/root/repo/tests/test_lfsc_policy.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_lfsc_policy.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_lfsc_policy.cpp.o.d"
+  "/root/repo/tests/test_log.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_log.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_log.cpp.o.d"
+  "/root/repo/tests/test_math_util.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_math_util.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_math_util.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_min_cost_flow.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_min_cost_flow.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_min_cost_flow.cpp.o.d"
+  "/root/repo/tests/test_oracle.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_oracle.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_oracle.cpp.o.d"
+  "/root/repo/tests/test_paper_setup.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_paper_setup.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_paper_setup.cpp.o.d"
+  "/root/repo/tests/test_partition.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_partition.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_partition.cpp.o.d"
+  "/root/repo/tests/test_persistence_state.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_persistence_state.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_persistence_state.cpp.o.d"
+  "/root/repo/tests/test_policy_contract.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_policy_contract.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_policy_contract.cpp.o.d"
+  "/root/repo/tests/test_radio.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_radio.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_radio.cpp.o.d"
+  "/root/repo/tests/test_radio_simulator.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_radio_simulator.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_radio_simulator.cpp.o.d"
+  "/root/repo/tests/test_recorder.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_recorder.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_recorder.cpp.o.d"
+  "/root/repo/tests/test_regret.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_regret.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_regret.cpp.o.d"
+  "/root/repo/tests/test_replication.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_replication.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_replication.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_runner.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_runner.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_runner.cpp.o.d"
+  "/root/repo/tests/test_series_io.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_series_io.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_series_io.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/lfsc_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/lfsc_tests.dir/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/lfsc_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/extensions/CMakeFiles/lfsc_extensions.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/lfsc_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfsc/CMakeFiles/lfsc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/lfsc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/bandit/CMakeFiles/lfsc_bandit.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/lfsc_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/lfsc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lfsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lfsc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfsc_run.dir/lfsc_run.cpp.o"
+  "CMakeFiles/lfsc_run.dir/lfsc_run.cpp.o.d"
+  "lfsc_run"
+  "lfsc_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfsc_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
