@@ -1,0 +1,172 @@
+// End-to-end slot throughput of the MBS controller loop on the paper
+// setup (Sec. 5: 30 SCNs, c = 20, |D_{m,t}| ~ U[35,100]).
+//
+// The per-slot wall time is split into three buckets so the controller's
+// real-time budget (the number this repo's perf work tracks across PRs)
+// is separated from simulation overhead:
+//   * generate — Simulator::generate_slot (world sampling, not the
+//     controller);
+//   * policy   — LfscPolicy::select + observe, i.e. the paper's slot
+//     path Alg. 2 -> Alg. 4 -> Alg. 3 (the headline metric);
+//   * feedback — make_feedback (harness-side realization lookup).
+//
+// Flags:
+//   --slots N        slots to run after warmup (default 2000,
+//                    env LFSC_BENCH_T overrides the default)
+//   --warmup N       warmup slots excluded from timing (default 50)
+//   --parallel 0|1   LfscConfig::parallel_scns (default 0)
+//   --json PATH      write a JSON report (use BENCH_slot_throughput.json
+//                    at the repo root to track the perf trajectory)
+//   --baseline X     pre-change policy slots/sec to record alongside the
+//                    measurement (emits a speedup_vs_baseline field)
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "harness/paper_setup.h"
+#include "lfsc/lfsc_policy.h"
+#include "metrics/metrics.h"
+
+namespace {
+
+using namespace lfsc;
+
+struct Options {
+  int slots = 0;
+  int warmup = 50;
+  bool parallel = false;
+  std::string json_path;
+  double baseline = 0.0;
+};
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  opt.slots = env_int("LFSC_BENCH_T", 2000);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--slots") {
+      opt.slots = std::atoi(next());
+    } else if (arg == "--warmup") {
+      opt.warmup = std::atoi(next());
+    } else if (arg == "--parallel") {
+      opt.parallel = std::atoi(next()) != 0;
+    } else if (arg == "--json") {
+      opt.json_path = next();
+    } else if (arg == "--baseline") {
+      opt.baseline = std::atof(next());
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  if (opt.slots <= 0) opt.slots = 1;
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  PaperSetup setup;
+  setup.set_seed(42);
+  setup.set_horizon(static_cast<std::size_t>(opt.slots + opt.warmup));
+  setup.lfsc.parallel_scns = opt.parallel;
+  auto sim = setup.make_simulator();
+  LfscPolicy policy(setup.net, setup.lfsc);
+
+  std::cerr << "[slot_throughput] " << setup.net.num_scns << " SCNs, c="
+            << setup.net.capacity_c << ", slots=" << opt.slots
+            << " (+" << opt.warmup << " warmup), parallel_scns="
+            << (opt.parallel ? 1 : 0) << "\n";
+
+  double cumulative_reward = 0.0;
+  double gen_s = 0.0, policy_s = 0.0, feedback_s = 0.0;
+  double sel_s = 0.0, obs_s = 0.0;
+  Stopwatch phase;
+  for (int t = 1; t <= opt.warmup + opt.slots; ++t) {
+    const bool timed = t > opt.warmup;
+    phase.reset();
+    const auto slot = sim.generate_slot(t);
+    if (timed) gen_s += phase.seconds();
+
+    phase.reset();
+    const auto assignment = policy.select(slot.info);
+    const double select_s = phase.seconds();
+
+    phase.reset();
+    const auto feedback = make_feedback(slot, assignment);
+    if (timed) feedback_s += phase.seconds();
+
+    phase.reset();
+    policy.observe(slot.info, assignment, feedback);
+    if (timed) {
+      const double observe_s = phase.seconds();
+      policy_s += select_s + observe_s;
+      sel_s += select_s;
+      obs_s += observe_s;
+    }
+
+    cumulative_reward +=
+        evaluate_slot(slot, assignment, setup.net).reward;
+  }
+
+  const auto slots = static_cast<double>(opt.slots);
+  const double total_s = gen_s + policy_s + feedback_s;
+  const double policy_rate = slots / policy_s;
+  const double total_rate = slots / total_s;
+
+  std::printf("bucket      us/slot      slots/sec\n");
+  std::printf("generate   %8.1f   %12.1f\n", 1e6 * gen_s / slots,
+              slots / gen_s);
+  std::printf("policy     %8.1f   %12.1f   <- Alg.2->4->3 (headline)\n",
+              1e6 * policy_s / slots, policy_rate);
+  std::printf("  select   %8.1f\n", 1e6 * sel_s / slots);
+  std::printf("  observe  %8.1f\n", 1e6 * obs_s / slots);
+  std::printf("feedback   %8.1f   %12.1f\n", 1e6 * feedback_s / slots,
+              slots / feedback_s);
+  std::printf("total      %8.1f   %12.1f\n", 1e6 * total_s / slots,
+              total_rate);
+  std::printf("cumulative reward %.6f\n", cumulative_reward);
+
+  if (!opt.json_path.empty()) {
+    std::ofstream out(opt.json_path);
+    if (!out) {
+      std::cerr << "cannot write " << opt.json_path << "\n";
+      return 1;
+    }
+    out.precision(10);
+    out << "{\n"
+        << "  \"benchmark\": \"slot_throughput\",\n"
+        << "  \"setup\": {\"num_scns\": " << setup.net.num_scns
+        << ", \"capacity_c\": " << setup.net.capacity_c
+        << ", \"tasks_per_scn\": [" << setup.coverage.tasks_per_scn_min
+        << ", " << setup.coverage.tasks_per_scn_max << "], \"slots\": "
+        << opt.slots << ", \"parallel_scns\": "
+        << (opt.parallel ? "true" : "false") << "},\n"
+        << "  \"policy_slots_per_sec\": " << policy_rate << ",\n"
+        << "  \"policy_us_per_slot\": " << 1e6 * policy_s / slots << ",\n"
+        << "  \"generate_slots_per_sec\": " << slots / gen_s << ",\n"
+        << "  \"feedback_slots_per_sec\": " << slots / feedback_s << ",\n"
+        << "  \"total_slots_per_sec\": " << total_rate << ",\n"
+        << "  \"cumulative_reward\": " << cumulative_reward;
+    if (opt.baseline > 0.0) {
+      out << ",\n  \"baseline_policy_slots_per_sec\": " << opt.baseline
+          << ",\n  \"speedup_vs_baseline\": " << policy_rate / opt.baseline;
+    }
+    out << "\n}\n";
+    std::cerr << "json -> " << opt.json_path << "\n";
+  }
+  return 0;
+}

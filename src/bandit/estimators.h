@@ -56,21 +56,47 @@ class ArmStatsTable {
 /// the tasks that fell into each hypercube (Alg. 3 lines 6-8). Tasks that
 /// were not selected contribute 0 (their indicator is 0), which keeps the
 /// estimate unbiased.
+///
+/// The accumulator tracks the cells touched this slot, so consumers can
+/// iterate and reset in O(touched) instead of O(cells) — the property
+/// LFSC's sparse weight update relies on as the partition grows.
 class IpwSlotAccumulator {
  public:
-  explicit IpwSlotAccumulator(std::size_t num_cells)
+  explicit IpwSlotAccumulator(std::size_t num_cells = 0)
       : sum_g_(num_cells, 0.0),
         sum_v_(num_cells, 0.0),
         sum_q_(num_cells, 0.0),
         count_(num_cells, 0) {}
 
+  /// Grows/shrinks the table (zeroing everything); for scratch reuse.
+  void resize(std::size_t num_cells) {
+    sum_g_.assign(num_cells, 0.0);
+    sum_v_.assign(num_cells, 0.0);
+    sum_q_.assign(num_cells, 0.0);
+    count_.assign(num_cells, 0);
+    touched_.clear();
+  }
+
   /// Registers a task that fell into `cell` this slot. If it was selected
   /// (probability `p` > 0) and processed with observations (g, v, q), the
   /// IPW contributions are g/p, v/p, q/p; otherwise all contributions are 0.
   void add_task(std::size_t cell, bool selected, double p, double g, double v,
-                double q) noexcept {
-    ++count_[cell];
-    if (selected && p > 0.0) {
+                double q) {
+    add_presence(cell);
+    if (selected) add_selected(cell, p, g, v, q);
+  }
+
+  /// Counts a covered-but-unselected task (contributions are all 0, only
+  /// the per-cell divisor grows).
+  void add_presence(std::size_t cell) {
+    if (count_[cell]++ == 0) touched_.push_back(cell);
+  }
+
+  /// Adds the IPW contributions of a selected task whose presence was
+  /// already registered via add_presence()/add_task().
+  void add_selected(std::size_t cell, double p, double g, double v,
+                    double q) noexcept {
+    if (p > 0.0) {
       sum_g_[cell] += g / p;
       sum_v_[cell] += v / p;
       sum_q_[cell] += q / p;
@@ -78,6 +104,11 @@ class IpwSlotAccumulator {
   }
 
   bool touched(std::size_t cell) const noexcept { return count_[cell] > 0; }
+
+  /// Cells with at least one task this slot, in first-touch order.
+  const std::vector<std::size_t>& touched_cells() const noexcept {
+    return touched_;
+  }
 
   double estimate_g(std::size_t cell) const noexcept {
     return count_[cell] > 0 ? sum_g_[cell] / static_cast<double>(count_[cell])
@@ -92,11 +123,16 @@ class IpwSlotAccumulator {
                             : 0.0;
   }
 
+  /// O(touched) reset: only the cells used since the last reset are
+  /// cleared, so a slot touching few cells pays nothing for a large table.
   void reset() noexcept {
-    std::fill(sum_g_.begin(), sum_g_.end(), 0.0);
-    std::fill(sum_v_.begin(), sum_v_.end(), 0.0);
-    std::fill(sum_q_.begin(), sum_q_.end(), 0.0);
-    std::fill(count_.begin(), count_.end(), 0);
+    for (const std::size_t cell : touched_) {
+      sum_g_[cell] = 0.0;
+      sum_v_[cell] = 0.0;
+      sum_q_[cell] = 0.0;
+      count_[cell] = 0;
+    }
+    touched_.clear();
   }
 
   std::size_t size() const noexcept { return count_.size(); }
@@ -106,6 +142,7 @@ class IpwSlotAccumulator {
   std::vector<double> sum_v_;
   std::vector<double> sum_q_;
   std::vector<std::size_t> count_;
+  std::vector<std::size_t> touched_;
 };
 
 }  // namespace lfsc

@@ -2,33 +2,70 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 #include <stdexcept>
 
 namespace lfsc {
+namespace {
+
+/// Branchless 4-ary max-heap sift for plain doubles (ties interchangeable:
+/// only the value order feeds the fixed-point solve below).
+inline void sift_down_max4(double* h, std::size_t n, std::size_t i) noexcept {
+  const double node = h[i];
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    const std::size_t last = first + 4 < n ? first + 4 : n;
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      best = h[c] > h[best] ? c : best;
+    }
+    if (!(h[best] > node)) break;
+    h[i] = h[best];
+    i = best;
+  }
+  h[i] = node;
+}
+
+}  // namespace
+
 
 CappedProbabilities exp3m_probabilities(std::span<const double> weights,
                                         std::size_t k, double gamma) {
+  CappedProbabilities out;
+  Exp3mScratch scratch;
+  exp3m_probabilities(weights, k, gamma, out, scratch);
+  return out;
+}
+
+void exp3m_probabilities(std::span<const double> weights, std::size_t k,
+                         double gamma, CappedProbabilities& out,
+                         Exp3mScratch& scratch) {
   const std::size_t num_arms = weights.size();
   if (k == 0) throw std::invalid_argument("exp3m: k must be >= 1");
   if (gamma < 0.0 || gamma > 1.0) {
     throw std::invalid_argument("exp3m: gamma must be in [0,1]");
   }
+  // One fused pass: validate positivity, total and max.
+  double total = 0.0;
+  double max_weight = 0.0;
   for (const double w : weights) {
     if (!(w > 0.0)) throw std::invalid_argument("exp3m: weights must be > 0");
+    total += w;
+    max_weight = std::max(max_weight, w);
   }
 
-  CappedProbabilities out;
-  out.p.assign(num_arms, 0.0);
+  out.p.resize(num_arms);
   out.capped.assign(num_arms, false);
-  if (num_arms == 0) return out;
+  out.epsilon = 0.0;
+  out.weight_sum = 0.0;
+  if (num_arms == 0) return;
 
   // Fewer arms than plays: every arm is selected with certainty.
   if (num_arms <= k) {
     std::fill(out.p.begin(), out.p.end(), 1.0);
     out.capped.assign(num_arms, true);
-    out.weight_sum = std::accumulate(weights.begin(), weights.end(), 0.0);
-    return out;
+    out.weight_sum = total;
+    return;
   }
 
   const auto K = static_cast<double>(num_arms);
@@ -37,33 +74,56 @@ CappedProbabilities exp3m_probabilities(std::span<const double> weights,
   // gamma == 1 is pure exploration: uniform marginals k/K (< 1 here).
   if (gamma >= 1.0) {
     std::fill(out.p.begin(), out.p.end(), kd / K);
-    out.weight_sum = std::accumulate(weights.begin(), weights.end(), 0.0);
-    return out;
+    out.weight_sum = total;
+    return;
   }
 
   // Target ratio from Alg. 2 line 6: an arm whose (capped) weight share
   // reaches `rhs` has probability exactly 1.
   const double rhs = (1.0 / kd - gamma / K) / (1.0 - gamma);
-  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
 
   double epsilon = 0.0;
   std::size_t num_capped = 0;
-  const double max_weight = *std::max_element(weights.begin(), weights.end());
-  std::vector<double> sorted;
   if (rhs > 0.0 && max_weight >= rhs * total) {
     // Solve the fixed point epsilon / sum(w') = rhs by scanning candidate
-    // capped-set sizes over the weights sorted descending.
-    sorted.assign(weights.begin(), weights.end());
-    std::sort(sorted.begin(), sorted.end(), std::greater<>());
-    // Suffix sums: tail[s] = sum of sorted[s..K-1].
-    std::vector<double> tail(num_arms + 1, 0.0);
-    for (std::size_t i = num_arms; i-- > 0;) tail[i] = tail[i + 1] + sorted[i];
-    for (std::size_t s = 1; s < num_arms; ++s) {
+    // capped-set sizes s over the weights sorted descending. For K > k,
+    // rhs >= 1/k (it is increasing in gamma and equals 1/k at gamma = 0),
+    // so the scan's denominator 1 - rhs*s is non-positive for s >= k:
+    // only the k+1 largest weights can ever be inspected. Selecting and
+    // sorting just those is O(K + k log k) instead of O(K log K).
+    // Extract the k+1 largest weights sorted descending via a 4-ary
+    // max-heap over a copy (heapify O(K), then top_n pops). This beats
+    // nth_element + sort here: the branchless sifts avoid the data-
+    // dependent branch mispredicts introselect suffers on random
+    // weights, and the pops emit the prefix already sorted.
+    auto& heap = scratch.heap;
+    heap.assign(weights.begin(), weights.end());
+    const std::size_t top_n = std::min(num_arms, k + 1);
+    std::size_t len = num_arms;
+    for (std::size_t i = (len + 2) / 4; i-- > 0;) sift_down_max4(heap.data(), len, i);
+    auto& top = scratch.top;
+    top.resize(top_n);
+    for (std::size_t s = 0; s < top_n; ++s) {
+      top[s] = heap[0];
+      heap[0] = heap[--len];
+      sift_down_max4(heap.data(), len, 0);
+    }
+    // tail[s] = sum of the K - s smallest weights. Built as a suffix sum
+    // (rest-of-heap total, then adding top weights back smallest-first)
+    // rather than total - prefix(s): the scan divides by tail when the
+    // top weights dominate, where subtraction would cancel catastrophically.
+    auto& tail = scratch.tail;
+    double rest = 0.0;
+    for (std::size_t i = 0; i < len; ++i) rest += heap[i];
+    tail.assign(top_n + 1, 0.0);
+    tail[top_n] = rest;
+    for (std::size_t i = top_n; i-- > 0;) tail[i] = tail[i + 1] + top[i];
+    for (std::size_t s = 1; s < top_n; ++s) {
       const double denom = 1.0 - rhs * static_cast<double>(s);
       if (denom <= 0.0) break;  // capping more arms cannot satisfy p <= 1
       const double eps = rhs * tail[s] / denom;
       // Consistency: exactly the s largest weights are >= eps.
-      if (sorted[s - 1] >= eps && sorted[s] < eps) {
+      if (top[s - 1] >= eps && top[s] < eps) {
         epsilon = eps;
         num_capped = s;
         break;
@@ -73,7 +133,7 @@ CappedProbabilities exp3m_probabilities(std::span<const double> weights,
     // k arms tie at the cap; fall back to capping the top-k ties.
     if (num_capped == 0) {
       const double denom = 1.0 - rhs * kd;
-      epsilon = denom > 0.0 ? rhs * tail[k] / denom : sorted[k - 1];
+      epsilon = denom > 0.0 ? rhs * tail[k] / denom : top[k - 1];
       num_capped = k;
     }
   }
@@ -97,14 +157,16 @@ CappedProbabilities exp3m_probabilities(std::span<const double> weights,
     weight_sum = total;
   }
 
+  // One reciprocal instead of a divide per arm; the mixing terms are
+  // loop-invariant.
+  const double scale = kd * (1.0 - gamma) / weight_sum;
+  const double base = kd * gamma / K;
   for (std::size_t i = 0; i < num_arms; ++i) {
     const double w = out.capped[i] ? epsilon : weights[i];
-    double p = kd * ((1.0 - gamma) * w / weight_sum + gamma / K);
-    out.p[i] = std::clamp(p, 0.0, 1.0);
+    out.p[i] = std::clamp(scale * w + base, 0.0, 1.0);
   }
   out.epsilon = epsilon;
   out.weight_sum = weight_sum;
-  return out;
 }
 
 double exp3m_default_gamma(std::size_t num_arms, std::size_t k,

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -23,10 +24,21 @@
 namespace lfsc {
 
 struct CappedProbabilities {
-  std::vector<double> p;     ///< per-arm marginal probability, in [0,1]
-  std::vector<bool> capped;  ///< arm is in S' (probability clipped to 1)
-  double epsilon = 0.0;      ///< cap threshold; 0 when no capping occurred
-  double weight_sum = 0.0;   ///< sum of capped weights, sum(w')
+  std::vector<double> p;  ///< per-arm marginal probability, in [0,1]
+  /// Arm is in S' (probability clipped to 1). A byte vector, not
+  /// vector<bool>: the hot loop assigns and reads it per arm per slot.
+  std::vector<std::uint8_t> capped;
+  double epsilon = 0.0;     ///< cap threshold; 0 when no capping occurred
+  double weight_sum = 0.0;  ///< sum of capped weights, sum(w')
+};
+
+/// Reusable buffers for the epsilon fixed-point solve. Owned by the
+/// caller so the per-slot hot loop performs no heap allocation once the
+/// capacities are warm (they grow to the largest arm count seen).
+struct Exp3mScratch {
+  std::vector<double> heap;  ///< weight copy, consumed as a 4-ary max-heap
+  std::vector<double> top;   ///< the k+1 largest weights, sorted descending
+  std::vector<double> tail;  ///< tail[s] = total - sum(top[0..s))
 };
 
 /// Computes the capped probability vector. Requirements: all weights
@@ -35,6 +47,14 @@ struct CappedProbabilities {
 /// capped: there is nothing to learn from a forced selection).
 CappedProbabilities exp3m_probabilities(std::span<const double> weights,
                                         std::size_t k, double gamma);
+
+/// Allocation-free variant: writes the result into `out` and uses
+/// `scratch` for the fixed-point solve, reusing both objects' vector
+/// capacities across calls. Semantics identical to the value-returning
+/// overload (which is now a thin wrapper over this one).
+void exp3m_probabilities(std::span<const double> weights, std::size_t k,
+                         double gamma, CappedProbabilities& out,
+                         Exp3mScratch& scratch);
 
 /// Theory-suggested exploration rate for Exp3.M:
 ///   gamma = min(1, sqrt(K ln(K/k) / ((e-1) k T))).

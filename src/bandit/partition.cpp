@@ -21,21 +21,6 @@ HypercubePartition::HypercubePartition(std::size_t dims,
   }
 }
 
-std::size_t HypercubePartition::index(
-    std::span<const double> context) const noexcept {
-  std::size_t idx = 0;
-  const std::size_t used = std::min(context.size(), dims_);
-  for (std::size_t d = 0; d < used; ++d) {
-    const double coord = std::clamp(context[d], 0.0, 1.0);
-    auto part = static_cast<std::size_t>(coord * static_cast<double>(parts_));
-    part = std::min(part, parts_ - 1);  // coord == 1.0 -> last cell
-    idx = idx * parts_ + part;
-  }
-  // Missing trailing dimensions (context shorter than dims) land in part 0.
-  for (std::size_t d = used; d < dims_; ++d) idx *= parts_;
-  return idx;
-}
-
 std::vector<double> HypercubePartition::cell_center(std::size_t index) const {
   if (index >= cell_count_) {
     throw std::out_of_range("HypercubePartition::cell_center: bad index");

@@ -3,6 +3,7 @@
 // Contexts map to cell indices in row-major order.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -22,8 +23,22 @@ class HypercubePartition {
   std::size_t cell_count() const noexcept { return cell_count_; }
 
   /// Index of the hypercube containing `context`. Coordinates are clamped
-  /// into [0,1]; the boundary 1.0 belongs to the last cell.
-  std::size_t index(std::span<const double> context) const noexcept;
+  /// into [0,1]; the boundary 1.0 belongs to the last cell. Defined
+  /// inline: the slot path calls this once per task and the call
+  /// overhead was measurable.
+  std::size_t index(std::span<const double> context) const noexcept {
+    std::size_t idx = 0;
+    const std::size_t used = std::min(context.size(), dims_);
+    for (std::size_t d = 0; d < used; ++d) {
+      const double coord = std::clamp(context[d], 0.0, 1.0);
+      auto part = static_cast<std::size_t>(coord * static_cast<double>(parts_));
+      part = std::min(part, parts_ - 1);  // coord == 1.0 -> last cell
+      idx = idx * parts_ + part;
+    }
+    // Missing trailing dimensions (context shorter than dims) land in part 0.
+    for (std::size_t d = used; d < dims_; ++d) idx *= parts_;
+    return idx;
+  }
 
   /// Center coordinates of cell `index` (inverse of index(); for tests
   /// and diagnostics).

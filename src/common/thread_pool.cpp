@@ -1,6 +1,8 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <exception>
 
 namespace lfsc {
 
@@ -23,6 +25,24 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+void ThreadPool::submit_bulk(std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  const bool broadcast = tasks.size() > 1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& task : tasks) queue_.push_back(std::move(task));
+  }
+  tasks.clear();
+  // Waking every worker for a batch beats N sequential notify_one calls:
+  // the workers race to drain the batch instead of being woken one
+  // wake-up latency apart.
+  if (broadcast) {
+    cv_.notify_all();
+  } else {
+    cv_.notify_one();
+  }
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
@@ -42,17 +62,51 @@ void ThreadPool::worker_loop() {
 
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& fn) {
+  parallel_for(pool, count, 1, fn);
+}
+
+void parallel_for(ThreadPool& pool, std::size_t count, std::size_t grain,
+                  const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
-  if (count == 1 || pool.worker_count() == 1) {
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t blocks = (count + grain - 1) / grain;
+  if (blocks == 1 || pool.worker_count() == 1) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-  std::vector<std::future<void>> futures;
-  futures.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    futures.push_back(pool.submit([&fn, i] { fn(i); }));
+
+  // One shared completion latch instead of a future per block: a single
+  // mutex/cv pair and no per-task promise allocation.
+  struct Latch {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::exception_ptr error;
+  } latch;
+  latch.remaining = blocks;
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t begin = b * grain;
+    const std::size_t end = std::min(count, begin + grain);
+    tasks.emplace_back([&latch, &fn, begin, end] {
+      std::exception_ptr error;
+      try {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(latch.mutex);
+      if (error && !latch.error) latch.error = error;
+      if (--latch.remaining == 0) latch.done.notify_one();
+    });
   }
-  for (auto& f : futures) f.get();  // rethrows the first failure
+  pool.submit_bulk(tasks);
+
+  std::unique_lock<std::mutex> lock(latch.mutex);
+  latch.done.wait(lock, [&latch] { return latch.remaining == 0; });
+  if (latch.error) std::rethrow_exception(latch.error);
 }
 
 void parallel_for(std::size_t count,

@@ -46,6 +46,11 @@ class ThreadPool {
     return future;
   }
 
+  /// Enqueues all `tasks` under a single lock acquisition and wakes every
+  /// worker at once — one mutex round-trip and one broadcast instead of
+  /// N lock/notify pairs. `tasks` is consumed (left empty).
+  void submit_bulk(std::vector<std::function<void()>>& tasks);
+
  private:
   void worker_loop();
 
@@ -57,8 +62,17 @@ class ThreadPool {
 };
 
 /// Runs `fn(i)` for i in [0, count) across the pool and blocks until all
-/// complete. The first exception thrown by any iteration is rethrown.
+/// complete. An exception thrown by any iteration is rethrown (when
+/// several iterations throw, one of them is propagated).
 void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Grain-size variant: indices are dispatched in contiguous blocks of up
+/// to `grain` iterations, so `count` small work items cost
+/// ceil(count/grain) task enqueues instead of `count` std::function
+/// allocations. All blocks are enqueued in one submit_bulk() batch.
+/// grain == 1 reproduces the per-index behavior.
+void parallel_for(ThreadPool& pool, std::size_t count, std::size_t grain,
                   const std::function<void(std::size_t)>& fn);
 
 /// Convenience overload using a process-wide default pool sized to the

@@ -62,6 +62,17 @@ struct LfscConfig {
   /// u^(1/p) randomize selection so realized inclusion tracks p.
   bool deterministic_edges = false;
 
+  /// Run the per-SCN slot phases (Alg. 2 probability calculation and
+  /// Alg. 3 weight updates) across SCNs on a thread pool. Results are
+  /// bit-identical to the serial path for any worker count: every SCN
+  /// owns its state and its own stream-keyed RngStream. Default off —
+  /// the serial path wins below a few dozen SCNs.
+  bool parallel_scns = false;
+
+  /// Pool used when `parallel_scns` is set; nullptr selects the
+  /// process-wide default_thread_pool().
+  class ThreadPool* pool = nullptr;
+
   std::uint64_t seed = 1234;
 };
 

@@ -7,16 +7,32 @@
 #include <stdexcept>
 #include <string>
 
-#include "bandit/estimators.h"
-#include "solver/greedy_assignment.h"
+#include "common/thread_pool.h"
 
 namespace lfsc {
 namespace {
 
 /// Keeps weight-update exponents representable: exp(±60) is ~1e26, far
-/// from overflow, and the post-update max-normalization removes any
-/// common scale anyway.
+/// from overflow, and the max-normalization removes any common scale
+/// anyway.
 constexpr double kMaxExponent = 60.0;
+
+/// Weights live in [kWeightFloor, 1] relative to the running max; the
+/// floor guards the strict positivity exp3m_probabilities requires.
+constexpr double kWeightFloor = 1e-12;
+
+/// Lazy renormalization band: a full-table rescale happens only once the
+/// running max estimate exceeds this, so steady slots pay O(touched)
+/// instead of O(cells). Probabilities are scale-invariant, so the raw
+/// scale is unobservable; 1e6 stays far from double overflow even after
+/// a worst-case exp(+60) single-slot jump.
+constexpr double kScaleHigh = 1e6;
+
+/// Per-SCN RNG stream ids: (seed, kScnStreamBase + m). Replaces the
+/// pre-PR single shared stream (seed, 0x1F5C) — a one-time, documented
+/// break in the random stream that makes the per-SCN draws independent
+/// of SCN processing order (and therefore of the worker count).
+constexpr std::uint64_t kScnStreamBase = 0x1F5C0000ULL;
 
 }  // namespace
 
@@ -36,41 +52,59 @@ LfscPolicy::LfscPolicy(const NetworkConfig& net, LfscConfig config)
       delta_(config.delta > 0.0
                  ? config.delta
                  : 1.0 / std::sqrt(static_cast<double>(
-                             std::max<std::size_t>(1, config.horizon)))),
-      rng_(config.seed, 0x1F5C) {
+                             std::max<std::size_t>(1, config.horizon)))) {
   net_.validate();
   if (gamma_ <= 0.0) gamma_ = 0.01;  // degenerate auto-formula inputs
   gamma_ = std::min(gamma_, 1.0);
   scn_state_.reserve(static_cast<std::size_t>(net_.num_scns));
   for (int m = 0; m < net_.num_scns; ++m) {
-    scn_state_.emplace_back(partition_.cell_count(), eta_lambda_, delta_,
-                            config_.lambda_max);
+    scn_state_.emplace_back(
+        partition_.cell_count(), eta_lambda_, delta_, config_.lambda_max,
+        RngStream(config_.seed,
+                  kScnStreamBase + static_cast<std::uint64_t>(m)));
   }
+}
+
+template <typename Fn>
+void LfscPolicy::for_each_scn(const Fn& fn) {
+  const std::size_t count = scn_state_.size();
+  if (config_.parallel_scns) {
+    ThreadPool& pool =
+        config_.pool != nullptr ? *config_.pool : default_thread_pool();
+    if (pool.worker_count() > 1) {
+      // A handful of blocks per worker balances load without paying one
+      // task enqueue per SCN.
+      const std::size_t grain =
+          std::max<std::size_t>(1, count / (4 * pool.worker_count()));
+      parallel_for(pool, count, grain,
+                   [&fn](std::size_t m) { fn(m); });
+      return;
+    }
+  }
+  for (std::size_t m = 0; m < count; ++m) fn(m);
 }
 
 void LfscPolicy::calculate_probabilities(std::size_t m, const SlotInfo& info) {
   auto& state = scn_state_[m];
   const auto& cover = info.coverage[m];
 
-  // Alg. 2 lines 1-5: map each covered task's context to its hypercube
-  // and look up the hypercube's weight as the task weight.
+  // Alg. 2 lines 1-5: look up each covered task's hypercube (computed
+  // once per slot in task_cells_) and the hypercube's weight as the task
+  // weight.
   state.last_cells.resize(cover.size());
-  std::vector<double> task_weights(cover.size());
+  state.task_weights.resize(cover.size());
   for (std::size_t j = 0; j < cover.size(); ++j) {
-    const auto& ctx = info.tasks[static_cast<std::size_t>(cover[j])].context;
-    const std::size_t cell = partition_.index(ctx.normalized);
+    const std::size_t cell = task_cells_[static_cast<std::size_t>(cover[j])];
     state.last_cells[j] = cell;
-    task_weights[j] = state.weights[cell];
+    state.task_weights[j] = state.weights[cell];
   }
 
   // Alg. 2 lines 6-17: capped Exp3.M probabilities with c plays.
-  const auto probs = exp3m_probabilities(
-      task_weights, static_cast<std::size_t>(net_.capacity_c), gamma_);
-  state.last_probs = probs.p;
-  state.last_capped.assign(cover.size(), false);
-  for (std::size_t j = 0; j < cover.size(); ++j) {
-    state.last_capped[j] = probs.capped[j];
-  }
+  // Probabilities are invariant to the raw weight scale, so no
+  // normalization is needed first.
+  exp3m_probabilities(state.task_weights,
+                      static_cast<std::size_t>(net_.capacity_c), gamma_,
+                      state.last, state.exp3m_scratch);
 }
 
 Assignment LfscPolicy::select(const SlotInfo& info) {
@@ -78,19 +112,23 @@ Assignment LfscPolicy::select(const SlotInfo& info) {
     throw std::invalid_argument("LfscPolicy: SCN count mismatch");
   }
   last_slot_t_ = info.t;
+  const std::size_t num_scns = scn_state_.size();
 
-  for (std::size_t m = 0; m < scn_state_.size(); ++m) {
-    calculate_probabilities(m, info);
+  task_cells_.resize(info.tasks.size());
+  for (std::size_t i = 0; i < info.tasks.size(); ++i) {
+    task_cells_[i] = partition_.index(info.tasks[i].context.normalized);
   }
 
   if (!config_.coordinate_scns) {
     // Ablation: each SCN independently DepRounds its own marginals; tasks
     // may be duplicated across SCNs (constraint (1b) is intentionally
     // unprotected, which the ablation bench quantifies).
+    for_each_scn([&](std::size_t m) { calculate_probabilities(m, info); });
     Assignment out;
-    out.selected.resize(scn_state_.size());
-    for (std::size_t m = 0; m < scn_state_.size(); ++m) {
-      const auto picks = dep_round(scn_state_[m].last_probs, rng_);
+    out.selected.resize(num_scns);
+    for (std::size_t m = 0; m < num_scns; ++m) {
+      auto& state = scn_state_[m];
+      const auto picks = dep_round(state.last.p, state.rng);
       auto& sel = out.selected[m];
       sel.reserve(picks.size());
       for (const auto j : picks) sel.push_back(static_cast<int>(j));
@@ -98,45 +136,60 @@ Assignment LfscPolicy::select(const SlotInfo& info) {
     return out;
   }
 
-  // Greedy collaborative assignment (Alg. 4) on probability-derived edge
-  // weights. Default: Efraimidis-Spirakis keys u^(1/p) — top-c by key is
-  // a probability-proportional random sample, so exploration survives the
-  // deterministic greedy. `deterministic_edges` reproduces the literal
-  // paper weighting w(m,i) ∝ p.
-  std::vector<Edge> edges;
-  std::size_t total = 0;
-  for (const auto& cover : info.coverage) total += cover.size();
-  edges.reserve(total);
-  for (std::size_t m = 0; m < scn_state_.size(); ++m) {
-    const auto& cover = info.coverage[m];
-    const auto& probs = scn_state_[m].last_probs;
-    for (std::size_t j = 0; j < cover.size(); ++j) {
-      Edge e;
-      e.scn = static_cast<int>(m);
-      e.task = cover[j];
-      e.local = static_cast<int>(j);
-      const double p = probs[j];
-      if (config_.deterministic_edges) {
-        e.weight = p;
-      } else if (p >= 1.0) {
-        e.weight = 2.0;  // capped arms outrank every sampled key
-      } else if (p > 0.0) {
-        // key = u^(1/p): larger p stochastically dominates smaller p.
-        const double u = std::max(rng_.uniform(), 1e-300);
-        e.weight = std::exp(std::log(u) / p);
-      } else {
-        e.weight = 0.0;
-      }
-      edges.push_back(e);
-    }
+  // Per-SCN edge ranges: offsets are a prefix sum over coverage sizes,
+  // so the parallel phase writes disjoint subranges of entries_.
+  bucket_start_.resize(num_scns + 1);
+  bucket_start_[0] = 0;
+  for (std::size_t m = 0; m < num_scns; ++m) {
+    bucket_start_[m + 1] =
+        bucket_start_[m] + static_cast<int>(info.coverage[m].size());
   }
-  return greedy_select(static_cast<int>(scn_state_.size()),
+  entries_.resize(static_cast<std::size_t>(bucket_start_[num_scns]));
+
+  // Greedy collaborative assignment (Alg. 4) on probability-derived edge
+  // keys. Default: Efraimidis-Spirakis sampling — top-c by key is a
+  // probability-proportional random sample, so exploration survives the
+  // deterministic greedy. Only the key *order* matters to the greedy, so
+  // instead of u^(1/p) we use the strictly increasing transform
+  //   key = 1 / (1 - ln(u)/p)  in (0, 1],
+  // which selects identical sets while avoiding the exp() per edge.
+  // `deterministic_edges` reproduces the literal paper weighting
+  // w(m,i) ∝ p.
+  for_each_scn([&](std::size_t m) {
+    calculate_probabilities(m, info);
+    auto& state = scn_state_[m];
+    const auto& cover = info.coverage[m];
+    std::uint64_t* bucket =
+        entries_.data() + static_cast<std::size_t>(bucket_start_[m]);
+    for (std::size_t j = 0; j < cover.size(); ++j) {
+      const double p = state.last.p[j];
+      float key;
+      if (config_.deterministic_edges) {
+        key = static_cast<float>(p);
+      } else if (p >= 1.0) {
+        key = 2.0f;  // capped arms outrank every sampled key
+      } else if (p > 0.0) {
+        // float log: the key only feeds comparisons, and the coarser
+        // rounding keeps the sample exchangeable (extra float-level ties
+        // resolve deterministically by task index).
+        const auto u = static_cast<float>(state.rng.uniform());
+        key = 1.0f / (1.0f - std::log(std::max(u, 1e-35f)) /
+                                 static_cast<float>(p));
+      } else {
+        key = 0.0f;
+      }
+      bucket[j] = pack_greedy_entry(key, cover[j], static_cast<int>(j));
+    }
+  });
+
+  Assignment out;
+  greedy_select_packed(static_cast<int>(num_scns),
                        static_cast<int>(info.tasks.size()), net_.capacity_c,
-                       edges);
+                       bucket_start_, entries_, out, greedy_scratch_);
+  return out;
 }
 
 void LfscPolicy::update_scn(std::size_t m, const SlotInfo& info,
-                            const std::vector<int>& selected_locals,
                             const std::vector<TaskFeedback>& feedback) {
   auto& state = scn_state_[m];
   const auto& cover = info.coverage[m];
@@ -149,32 +202,27 @@ void LfscPolicy::update_scn(std::size_t m, const SlotInfo& info,
   }
 
   // Alg. 3 lines 1-8: IPW estimates per task, averaged per hypercube.
-  IpwSlotAccumulator acc(partition_.cell_count());
-  std::vector<char> selected(num_tasks, 0);
-  std::vector<double> fb_u(num_tasks, 0.0), fb_v(num_tasks, 0.0),
-      fb_q(num_tasks, 0.0);
-  for (const auto& f : feedback) {
-    const auto j = static_cast<std::size_t>(f.local_index);
-    if (j >= num_tasks) throw std::out_of_range("LfscPolicy: bad feedback index");
-    selected[j] = 1;
-    fb_u[j] = f.u;
-    fb_v[j] = f.v;
-    fb_q[j] = f.q;
+  // Presence first (every covered task grows its cell's divisor), then
+  // the sparse IPW contributions of the selected tasks only — no dense
+  // per-task staging buffers.
+  auto& acc = state.acc;
+  for (std::size_t j = 0; j < num_tasks; ++j) {
+    acc.add_presence(state.last_cells[j]);
   }
-  (void)selected_locals;  // feedback already carries the selected set
-
   double completed_sum = 0.0;
   double resource_sum = 0.0;
-  for (std::size_t j = 0; j < num_tasks; ++j) {
-    const bool is_selected = selected[j] != 0;
-    const double p = state.last_probs.empty() ? 0.0 : state.last_probs[j];
-    const double g = fb_q[j] > 0.0 ? fb_u[j] * fb_v[j] / fb_q[j] : 0.0;
-    acc.add_task(state.last_cells[j], is_selected, p, g, fb_v[j],
-                 fb_q[j] / 2.0);  // q normalized to [0,1] for the update
-    if (is_selected) {
-      completed_sum += fb_v[j];
-      resource_sum += fb_q[j];
+  for (const auto& f : feedback) {
+    const auto j = static_cast<std::size_t>(f.local_index);
+    if (j >= num_tasks) {
+      acc.reset();
+      throw std::out_of_range("LfscPolicy: bad feedback index");
     }
+    const double p = state.last.p.empty() ? 0.0 : state.last.p[j];
+    const double g = f.q > 0.0 ? f.u * f.v / f.q : 0.0;
+    acc.add_selected(state.last_cells[j], p, g, f.v,
+                     f.q / 2.0);  // q normalized to [0,1] for the update
+    completed_sum += f.v;
+    resource_sum += f.q;
   }
 
   // Per-slot learning rate: the Exp3.M exponent c*gamma/K adapted to the
@@ -189,33 +237,43 @@ void LfscPolicy::update_scn(std::size_t m, const SlotInfo& info,
 
   // A hypercube is "capped" this slot if any of its present tasks was in
   // S' (they share the same weight, so capping is a per-weight property).
-  std::vector<char> cube_capped(partition_.cell_count(), 0);
+  state.capped_cells.clear();
   for (std::size_t j = 0; j < num_tasks; ++j) {
-    if (state.last_capped[j]) cube_capped[state.last_cells[j]] = 1;
+    if (state.last.capped[j]) {
+      const std::size_t cell = state.last_cells[j];
+      if (state.cube_capped[cell] == 0) {
+        state.cube_capped[cell] = 1;
+        state.capped_cells.push_back(cell);
+      }
+    }
   }
 
-  // Alg. 3 lines 9-14: exponential update for touched, uncapped cubes.
-  double max_weight = 0.0;
-  for (std::size_t cell = 0; cell < partition_.cell_count(); ++cell) {
-    if (acc.touched(cell) && !cube_capped[cell]) {
-      const double payoff = acc.estimate_g(cell) +
-                            lambda_qos * acc.estimate_v(cell) -
-                            lambda_res * acc.estimate_q(cell);
-      const double exponent =
-          std::clamp(eta_t * payoff, -kMaxExponent, kMaxExponent);
-      state.weights[cell] *= std::exp(exponent);
-    }
-    max_weight = std::max(max_weight, state.weights[cell]);
+  // Alg. 3 lines 9-14: exponential update for touched, uncapped cubes —
+  // O(touched), not O(table). The eager floor relative to the running
+  // max bound keeps every weight representable and strictly positive
+  // without rescaling the whole table each slot.
+  for (const std::size_t cell : acc.touched_cells()) {
+    if (state.cube_capped[cell] != 0) continue;
+    const double payoff = acc.estimate_g(cell) +
+                          lambda_qos * acc.estimate_v(cell) -
+                          lambda_res * acc.estimate_q(cell);
+    const double exponent =
+        std::clamp(eta_t * payoff, -kMaxExponent, kMaxExponent);
+    const double updated = std::max(state.weights[cell] * std::exp(exponent),
+                                    state.weight_scale * kWeightFloor);
+    state.weights[cell] = updated;
+    state.weight_scale = std::max(state.weight_scale, updated);
   }
-  // Scale invariance of Alg. 2 lets us renormalize so max == 1; this
-  // keeps weights bounded over arbitrarily long horizons. A floor guards
-  // strict positivity required by exp3m_probabilities.
-  if (max_weight > 0.0) {
-    constexpr double kFloor = 1e-12;
-    for (auto& w : state.weights) {
-      w = std::max(w / max_weight, kFloor);
-    }
-  }
+  // Scale invariance of Alg. 2 lets us defer the max-renormalization
+  // until the scale drifts out of band; this keeps weights bounded over
+  // arbitrarily long horizons at amortized O(1) per touched cell.
+  if (state.weight_scale > kScaleHigh) renormalize(state);
+
+  // Reset the slot accumulator now (O(touched)) so the next slot starts
+  // clean without a full-table sweep.
+  acc.reset();
+  for (const std::size_t cell : state.capped_cells) state.cube_capped[cell] = 0;
+  state.capped_cells.clear();
 
   // Alg. 3 lines 15-17: dual ascent on the multipliers.
   state.multipliers.update(completed_sum, resource_sum, net_.qos_alpha,
@@ -231,9 +289,25 @@ void LfscPolicy::observe(const SlotInfo& info, const Assignment& assignment,
       feedback.per_scn.size() != scn_state_.size()) {
     throw std::invalid_argument("LfscPolicy: feedback SCN count mismatch");
   }
-  for (std::size_t m = 0; m < scn_state_.size(); ++m) {
-    update_scn(m, info, assignment.selected[m], feedback.per_scn[m]);
+  for_each_scn(
+      [&](std::size_t m) { update_scn(m, info, feedback.per_scn[m]); });
+}
+
+void LfscPolicy::renormalize(ScnState& state) {
+  double max_weight = 0.0;
+  for (const double w : state.weights) max_weight = std::max(max_weight, w);
+  if (max_weight > 0.0) {
+    for (auto& w : state.weights) {
+      w = std::max(w / max_weight, kWeightFloor);
+    }
   }
+  state.weight_scale = 1.0;
+}
+
+const std::vector<double>& LfscPolicy::weights(int scn) {
+  auto& state = scn_state_[static_cast<std::size_t>(scn)];
+  renormalize(state);
+  return state.weights;
 }
 
 namespace {
@@ -247,7 +321,14 @@ void LfscPolicy::save(std::ostream& out) const {
   out.precision(17);
   for (const auto& state : scn_state_) {
     out << state.multipliers.qos() << ' ' << state.multipliers.resource();
-    for (const double w : state.weights) out << ' ' << w;
+    // Emit the normalized view (max == 1, floored) without mutating the
+    // lazily-scaled internal table: same arithmetic as renormalize().
+    double max_weight = 0.0;
+    for (const double w : state.weights) max_weight = std::max(max_weight, w);
+    for (const double w : state.weights) {
+      out << ' '
+          << (max_weight > 0.0 ? std::max(w / max_weight, kWeightFloor) : w);
+    }
     out << '\n';
   }
 }
@@ -277,18 +358,25 @@ void LfscPolicy::load(std::istream& in) {
         throw std::runtime_error("LfscPolicy::load: bad weight value");
       }
     }
+    renormalize(state);
   }
 }
 
 void LfscPolicy::reset() {
-  for (auto& state : scn_state_) {
+  for (std::size_t m = 0; m < scn_state_.size(); ++m) {
+    auto& state = scn_state_[m];
     std::fill(state.weights.begin(), state.weights.end(), 1.0);
+    state.weight_scale = 1.0;
     state.multipliers.reset();
-    state.last_probs.clear();
-    state.last_capped.clear();
+    state.last.p.clear();
+    state.last.capped.clear();
     state.last_cells.clear();
+    state.acc.reset();
+    std::fill(state.cube_capped.begin(), state.cube_capped.end(), 0);
+    state.capped_cells.clear();
+    state.rng = RngStream(config_.seed,
+                          kScnStreamBase + static_cast<std::uint64_t>(m));
   }
-  rng_ = RngStream(config_.seed, 0x1F5C);
   last_slot_t_ = -1;
 }
 

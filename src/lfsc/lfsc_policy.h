@@ -7,19 +7,30 @@
 //   * Updating     (Alg. 3): IPW estimates, exponential weight update
 //     with Lagrangian constraint terms, and dual ascent on the
 //     multipliers.
+//
+// Performance contract (see DESIGN.md "Performance"): the per-slot path
+// select() -> observe() performs no heap allocation in steady state
+// beyond the returned Assignment; the weight update is O(touched cells)
+// per SCN, not O(table); and every SCN draws from its own stream-keyed
+// RngStream, so the per-SCN phases can run on a thread pool
+// (LfscConfig::parallel_scns) with bit-identical results for any worker
+// count.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string_view>
 #include <vector>
 
+#include "bandit/estimators.h"
 #include "bandit/exp3m.h"
 #include "bandit/partition.h"
 #include "common/rng.h"
 #include "lfsc/config.h"
 #include "lfsc/lagrange.h"
 #include "sim/policy.h"
+#include "solver/greedy_assignment.h"
 
 namespace lfsc {
 
@@ -38,10 +49,11 @@ class LfscPolicy final : public Policy {
   const LfscConfig& config() const noexcept { return config_; }
   const HypercubePartition& partition() const noexcept { return partition_; }
 
-  /// Hypercube weights of SCN `m` (normalized so max == 1 after updates).
-  const std::vector<double>& weights(int scn) const {
-    return scn_state_[static_cast<std::size_t>(scn)].weights;
-  }
+  /// Hypercube weights of SCN `m`, normalized so max == 1. Weights are
+  /// kept raw-scaled internally (lazy renormalization); this accessor
+  /// flushes the pending renormalization before returning the view.
+  const std::vector<double>& weights(int scn);
+
   double lambda_qos(int scn) const {
     return scn_state_[static_cast<std::size_t>(scn)].multipliers.qos();
   }
@@ -52,7 +64,7 @@ class LfscPolicy final : public Policy {
   /// Selection probabilities computed by the last select() call for SCN
   /// `m`, aligned with coverage[m]. Empty before the first slot.
   const std::vector<double>& last_probabilities(int scn) const {
-    return scn_state_[static_cast<std::size_t>(scn)].last_probs;
+    return scn_state_[static_cast<std::size_t>(scn)].last.p;
   }
 
   /// Effective exploration rate in use.
@@ -61,7 +73,9 @@ class LfscPolicy final : public Policy {
   // --- persistence (warm-starting a deployment) ---
 
   /// Writes the learned state (hypercube weights and Lagrange
-  /// multipliers per SCN) as a versioned text blob.
+  /// multipliers per SCN) as a versioned text blob. Weights are emitted
+  /// max-normalized, so the blob is independent of the internal raw
+  /// scale (and byte-identical across serial/parallel slot paths).
   void save(std::ostream& out) const;
 
   /// Restores state written by save(). Throws std::runtime_error on a
@@ -71,25 +85,51 @@ class LfscPolicy final : public Policy {
 
  private:
   struct ScnState {
-    std::vector<double> weights;       // per hypercube
+    std::vector<double> weights;  ///< per hypercube (raw scale)
     LagrangeMultipliers multipliers;
-    std::vector<double> last_probs;    // aligned with coverage[m]
-    std::vector<bool> last_capped;     // aligned with coverage[m]
-    std::vector<std::size_t> last_cells;  // hypercube of each covered task
+    CappedProbabilities last;     ///< p/capped aligned with coverage[m]
+    std::vector<std::size_t> last_cells;  ///< hypercube of each covered task
+    RngStream rng;  ///< stream-keyed (seed, kScnStreamBase + m)
+    /// Running upper bound on max(weights); weights are only rescaled to
+    /// max == 1 when this drifts outside the representable band (lazy
+    /// renormalization, O(cells) but rare) or when an exact normalized
+    /// view is needed (weights() accessor, save()).
+    double weight_scale = 1.0;
+
+    // Per-slot scratch: reused across slots, no steady-state allocation.
+    std::vector<double> task_weights;        ///< weight lookup per covered task
+    Exp3mScratch exp3m_scratch;              ///< Alg. 2 fixed-point buffers
+    IpwSlotAccumulator acc;                  ///< Alg. 3 IPW accumulator
+    std::vector<char> cube_capped;           ///< dense capped flags
+    std::vector<std::size_t> capped_cells;   ///< cells flagged this slot
 
     ScnState(std::size_t cells, double eta_lambda, double delta,
-             double lambda_max)
+             double lambda_max, RngStream stream)
         : weights(cells, 1.0),
-          multipliers(eta_lambda, delta, lambda_max) {}
+          multipliers(eta_lambda, delta, lambda_max),
+          rng(stream),
+          acc(cells),
+          cube_capped(cells, 0) {}
   };
 
-  /// Alg. 2 for one SCN: fills last_probs/last_capped/last_cells.
+  /// Alg. 2 for one SCN: fills last (probabilities/capped) and
+  /// last_cells. Touches only SCN-local state — safe to run per-SCN in
+  /// parallel.
   void calculate_probabilities(std::size_t m, const SlotInfo& info);
 
-  /// Alg. 3 weight + multiplier update for one SCN.
+  /// Alg. 3 weight + multiplier update for one SCN. The feedback already
+  /// carries the selected set. Touches only SCN-local state.
   void update_scn(std::size_t m, const SlotInfo& info,
-                  const std::vector<int>& selected_locals,
                   const std::vector<TaskFeedback>& feedback);
+
+  /// Rescales `state.weights` so max == 1 (with the 1e-12 positivity
+  /// floor) and resets weight_scale. O(cells); called lazily.
+  static void renormalize(ScnState& state);
+
+  /// Runs fn(m) for every SCN — serially, or on the configured thread
+  /// pool when config_.parallel_scns is set.
+  template <typename Fn>
+  void for_each_scn(const Fn& fn);
 
   NetworkConfig net_;
   LfscConfig config_;
@@ -98,8 +138,22 @@ class LfscPolicy final : public Policy {
   double eta_lambda_;
   double delta_;
   std::vector<ScnState> scn_state_;
-  RngStream rng_;
   int last_slot_t_ = -1;
+
+  /// Maps every task of the current slot to its hypercube, computed once
+  /// per slot: coverage overlap means per-SCN indexing would redo the
+  /// partition lookup coverage_degree times per task.
+  std::vector<std::size_t> task_cells_;
+
+  // Slot-level scratch for the collaborative path. Edges are produced
+  // already grouped by SCN (bucket m covers
+  // [bucket_start_[m], bucket_start_[m+1])) and packed into single
+  // uint64 keys (pack_greedy_entry), so greedy_select_packed skips the
+  // validation and counting-sort passes of the generic API and its
+  // heaps compare/move 8 bytes per edge.
+  std::vector<int> bucket_start_;          ///< per-SCN ranges into entries
+  std::vector<std::uint64_t> entries_;     ///< packed bucketed edge buffer
+  GreedySelectScratch greedy_scratch_;
 };
 
 }  // namespace lfsc

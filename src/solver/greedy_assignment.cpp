@@ -1,43 +1,314 @@
 #include "solver/greedy_assignment.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 
 namespace lfsc {
+namespace {
+/// Within-bucket order: weight descending, task ascending. Restricted to
+/// one SCN this equals the global (weight desc, scn asc, task asc) order
+/// the sort-based reference uses.
+inline bool bucket_before(const GreedyBucketEntry& a,
+                          const GreedyBucketEntry& b) noexcept {
+  // Bitwise | / & keep this branchless: the operands are random doubles,
+  // so a short-circuit form mispredicts on nearly every comparison.
+  return (a.weight > b.weight) |
+         ((a.weight == b.weight) & (a.task < b.task));
+}
 
-Assignment greedy_select(int num_scns, int num_tasks, int capacity_c,
-                         std::span<const Edge> edges) {
+/// Restores the max-heap property of a 4-ary bucket heap after h[i]
+/// changed. Bucket heaps pop in exact bucket_before order, so the merge
+/// consumes edges in the same global order a full sort would produce —
+/// but only consumed edges pay the O(log) sift; a saturated SCN abandons
+/// its remaining heap unvisited. 4-ary: the four children of a node span
+/// one 64-byte cache line and the sift is half as deep as a binary heap.
+void bucket_sift_down(GreedyBucketEntry* h, int n, int i) {
+  const GreedyBucketEntry node = h[i];
+  for (;;) {
+    const int first = 4 * i + 1;
+    if (first >= n) break;
+    const int last = first + 4 < n ? first + 4 : n;
+    int best = first;
+    for (int c = first + 1; c < last; ++c) {
+      best = bucket_before(h[c], h[best]) ? c : best;
+    }
+    if (!bucket_before(h[best], node)) break;
+    h[i] = h[best];
+    i = best;
+  }
+  h[i] = node;
+}
+
+/// Cross-bucket order for the merge heap nodes (weight, scn): higher
+/// weight first, lower SCN on ties — completing the global tie-break
+/// (each SCN appears at most once in the heap).
+inline bool merge_before(const std::pair<double, int>& a,
+                         const std::pair<double, int>& b) noexcept {
+  return (a.first > b.first) | ((a.first == b.first) & (a.second < b.second));
+}
+
+/// Restores the max-heap property after h[i] changed (replace-top after
+/// a cursor advance, or heapify during construction).
+void sift_down(std::vector<std::pair<double, int>>& h, std::size_t i) {
+  const std::size_t n = h.size();
+  const auto node = h[i];
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    child += (child + 1 < n) & merge_before(h[child + 1], h[child]);
+    if (!merge_before(h[child], node)) break;
+    h[i] = h[child];
+    i = child;
+  }
+  h[i] = node;
+}
+
+/// Shared back half of every overload: heapify each bucket, then run the
+/// k-way merge. `entries` is consumed in place; `start` has num_scns + 1
+/// offsets. `out.selected` must already be resized and cleared, and
+/// endpoints already validated.
+void merge_buckets(int num_scns, int num_tasks, int capacity_c,
+                   const int* start, GreedyBucketEntry* entries,
+                   Assignment& out, GreedySelectScratch& scratch) {
+  scratch.load.assign(static_cast<std::size_t>(num_scns), 0);
+  scratch.assigned.assign(static_cast<std::size_t>(num_tasks), 0);
+
+  // Heapify each bucket (O(E) total) instead of sorting it: only edges
+  // the merge actually consumes pay a log-factor sift.
+  auto& cursor = scratch.cursor;
+  cursor.resize(static_cast<std::size_t>(num_scns));
+  for (int m = 0; m < num_scns; ++m) {
+    GreedyBucketEntry* h = entries + start[m];
+    const int n = start[m + 1] - start[m];
+    for (int i = (n + 2) / 4; i-- > 0;) bucket_sift_down(h, n, i);
+    cursor[static_cast<std::size_t>(m)] = n;  // live heap length
+  }
+
+  // K-way merge: one (top weight, scn) node per non-empty bucket.
+  auto& heap = scratch.heap;
+  heap.clear();
+  for (int m = 0; m < num_scns; ++m) {
+    if (cursor[static_cast<std::size_t>(m)] > 0) {
+      heap.emplace_back(entries[start[m]].weight, m);
+    }
+  }
+  for (std::size_t i = heap.size() / 2; i-- > 0;) sift_down(heap, i);
+
+  int assigned_tasks = 0;
+  while (!heap.empty()) {
+    const auto [weight, m] = heap.front();
+    if (weight <= 0.0) break;  // every remaining edge is <= 0 too
+    const auto ms = static_cast<std::size_t>(m);
+    GreedyBucketEntry* h = entries + start[m];
+    int& len = cursor[ms];
+    const GreedyBucketEntry e = h[0];
+    bool drop_bucket = false;
+    if (!scratch.assigned[static_cast<std::size_t>(e.task)]) {  // line 6
+      out.selected[ms].push_back(e.local);
+      scratch.assigned[static_cast<std::size_t>(e.task)] = 1;
+      // Saturated SCN (Alg. 4 line 8): its whole remaining bucket can
+      // never be accepted — drop it from the merge without visiting it.
+      if (++scratch.load[ms] == capacity_c) drop_bucket = true;
+      if (++assigned_tasks == num_tasks) break;  // nothing left to assign
+    }
+    if (!drop_bucket && --len > 0) {
+      h[0] = h[len];
+      bucket_sift_down(h, len, 0);
+      heap.front().first = h[0].weight;
+      sift_down(heap, 0);
+    } else {
+      heap.front() = heap.back();
+      heap.pop_back();
+      if (!heap.empty()) sift_down(heap, 0);
+    }
+  }
+  for (auto& s : out.selected) std::sort(s.begin(), s.end());
+}
+
+/// 4-ary sift for packed uint64 entries; one integer compare per
+/// element. Branchless like bucket_sift_down.
+void packed_sift_down(std::uint64_t* h, int n, int i) {
+  const std::uint64_t node = h[i];
+  for (;;) {
+    const int first = 4 * i + 1;
+    if (first >= n) break;
+    const int last = first + 4 < n ? first + 4 : n;
+    int best = first;
+    for (int c = first + 1; c < last; ++c) {
+      best = h[c] > h[best] ? c : best;
+    }
+    if (h[best] <= node) break;
+    h[i] = h[best];
+    i = best;
+  }
+  h[i] = node;
+}
+
+/// Merge-heap node for the packed path: [63:32] float weight bits,
+/// [31:0] ~scn — one uint64 whose plain integer descending order is
+/// exactly (weight desc, scn asc), the cross-bucket tie-break contract.
+inline std::uint64_t packed_merge_node(std::uint64_t entry, int scn) noexcept {
+  return (entry & 0xFFFFFFFF00000000ull) |
+         (0xFFFFFFFFull - static_cast<std::uint32_t>(scn));
+}
+inline int packed_merge_scn(std::uint64_t node) noexcept {
+  return static_cast<int>(0xFFFFFFFFu -
+                          static_cast<std::uint32_t>(node & 0xFFFFFFFFull));
+}
+
+void packed_merge_sift_down(std::vector<std::uint64_t>& h, std::size_t i) {
+  const std::size_t n = h.size();
+  const std::uint64_t node = h[i];
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    child += (child + 1 < n) & (h[child + 1] > h[child]);
+    if (h[child] <= node) break;
+    h[i] = h[child];
+    i = child;
+  }
+  h[i] = node;
+}
+
+}  // namespace
+
+void greedy_select_packed(int num_scns, int num_tasks, int capacity_c,
+                          std::span<const int> bucket_start,
+                          std::span<std::uint64_t> entries, Assignment& out,
+                          GreedySelectScratch& scratch) {
   if (num_scns < 0 || num_tasks < 0 || capacity_c < 0) {
     throw std::invalid_argument("greedy_select: negative sizes");
   }
+  if (num_tasks > 0x10000) {
+    throw std::invalid_argument(
+        "greedy_select_packed: num_tasks exceeds the packed task field");
+  }
+  if (bucket_start.size() != static_cast<std::size_t>(num_scns) + 1) {
+    throw std::invalid_argument("greedy_select: bucket_start size mismatch");
+  }
+  out.selected.resize(static_cast<std::size_t>(num_scns));
+  for (auto& s : out.selected) s.clear();
+  if (capacity_c == 0 || entries.empty()) return;
+  const int* start = bucket_start.data();
+
+  scratch.load.assign(static_cast<std::size_t>(num_scns), 0);
+  scratch.assigned.assign(static_cast<std::size_t>(num_tasks), 0);
+
+  auto& cursor = scratch.cursor;
+  cursor.resize(static_cast<std::size_t>(num_scns));
+  for (int m = 0; m < num_scns; ++m) {
+    std::uint64_t* h = entries.data() + start[m];
+    const int n = start[m + 1] - start[m];
+    for (int i = (n + 2) / 4; i-- > 0;) packed_sift_down(h, n, i);
+    cursor[static_cast<std::size_t>(m)] = n;
+  }
+
+  auto& heap = scratch.heap_packed;
+  heap.clear();
+  for (int m = 0; m < num_scns; ++m) {
+    if (cursor[static_cast<std::size_t>(m)] > 0) {
+      heap.push_back(
+          packed_merge_node(entries[static_cast<std::size_t>(start[m])], m));
+    }
+  }
+  for (std::size_t i = heap.size() / 2; i-- > 0;) packed_merge_sift_down(heap, i);
+
+  int assigned_tasks = 0;
+  while (!heap.empty()) {
+    const std::uint64_t top = heap.front();
+    if ((top >> 32) == 0) break;  // float weight bits zero: nothing > 0 left
+    const int m = packed_merge_scn(top);
+    const auto ms = static_cast<std::size_t>(m);
+    std::uint64_t* h = entries.data() + start[m];
+    int& len = cursor[ms];
+    const std::uint64_t e = h[0];
+    const auto task = static_cast<std::size_t>(packed_entry_task(e));
+    bool drop_bucket = false;
+    if (!scratch.assigned[task]) {
+      out.selected[ms].push_back(packed_entry_local(e));
+      scratch.assigned[task] = 1;
+      if (++scratch.load[ms] == capacity_c) drop_bucket = true;
+      if (++assigned_tasks == num_tasks) break;
+    }
+    if (!drop_bucket && --len > 0) {
+      h[0] = h[len];
+      packed_sift_down(h, len, 0);
+      heap.front() = packed_merge_node(h[0], m);
+      packed_merge_sift_down(heap, 0);
+    } else {
+      heap.front() = heap.back();
+      heap.pop_back();
+      if (!heap.empty()) packed_merge_sift_down(heap, 0);
+    }
+  }
+  for (auto& s : out.selected) std::sort(s.begin(), s.end());
+}
+
+Assignment greedy_select(int num_scns, int num_tasks, int capacity_c,
+                         std::span<const Edge> edges) {
   Assignment out;
-  out.selected.assign(static_cast<std::size_t>(num_scns), {});
-  if (capacity_c == 0 || edges.empty()) return out;
+  GreedySelectScratch scratch;
+  greedy_select(num_scns, num_tasks, capacity_c, edges, out, scratch);
+  return out;
+}
 
-  // Sort a copy descending by weight; deterministic tie-break.
-  std::vector<Edge> order(edges.begin(), edges.end());
-  std::sort(order.begin(), order.end(), [](const Edge& a, const Edge& b) {
-    if (a.weight != b.weight) return a.weight > b.weight;
-    if (a.scn != b.scn) return a.scn < b.scn;
-    return a.task < b.task;
-  });
+void greedy_select(int num_scns, int num_tasks, int capacity_c,
+                   std::span<const Edge> edges, Assignment& out,
+                   GreedySelectScratch& scratch) {
+  if (num_scns < 0 || num_tasks < 0 || capacity_c < 0) {
+    throw std::invalid_argument("greedy_select: negative sizes");
+  }
+  out.selected.resize(static_cast<std::size_t>(num_scns));
+  for (auto& s : out.selected) s.clear();
+  if (capacity_c == 0 || edges.empty()) return;
 
-  std::vector<int> load(static_cast<std::size_t>(num_scns), 0);  // C(m)
-  std::vector<bool> assigned(static_cast<std::size_t>(num_tasks), false);
-  for (const Edge& e : order) {
-    if (e.weight <= 0.0) break;  // sorted: everything after is <= 0 too
+  // Validate endpoints up front (one predictable pass) so the merge loop
+  // below is branch-light and may terminate early.
+  for (const Edge& e : edges) {
     if (e.scn < 0 || e.scn >= num_scns || e.task < 0 || e.task >= num_tasks) {
       throw std::out_of_range("greedy_select: edge endpoint out of range");
     }
-    auto& l = load[static_cast<std::size_t>(e.scn)];
-    if (l >= capacity_c) continue;                          // Alg. 4 line 8
-    if (assigned[static_cast<std::size_t>(e.task)]) continue;  // removed via line 6
-    out.selected[static_cast<std::size_t>(e.scn)].push_back(e.local);
-    assigned[static_cast<std::size_t>(e.task)] = true;
-    ++l;
   }
-  for (auto& s : out.selected) std::sort(s.begin(), s.end());
-  return out;
+
+  // Counting-sort the edges into per-SCN buckets. Small per-SCN buckets
+  // are far cheaper to maintain than one global heap over all edges, and
+  // stay cache-resident.
+  auto& start = scratch.bucket_start;
+  start.assign(static_cast<std::size_t>(num_scns) + 1, 0);
+  for (const Edge& e : edges) ++start[static_cast<std::size_t>(e.scn) + 1];
+  for (int m = 0; m < num_scns; ++m) {
+    start[static_cast<std::size_t>(m) + 1] +=
+        start[static_cast<std::size_t>(m)];
+  }
+  auto& bucketed = scratch.bucketed;
+  bucketed.resize(edges.size());
+  auto& cursor = scratch.cursor;
+  cursor.assign(start.begin(), start.end() - 1);
+  for (const Edge& e : edges) {
+    bucketed[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(e.scn)]++)] = {e.weight, e.task,
+                                                       e.local};
+  }
+  merge_buckets(num_scns, num_tasks, capacity_c, start.data(), bucketed.data(),
+                out, scratch);
+}
+
+void greedy_select_bucketed(int num_scns, int num_tasks, int capacity_c,
+                            std::span<const int> bucket_start,
+                            std::span<GreedyBucketEntry> entries,
+                            Assignment& out, GreedySelectScratch& scratch) {
+  if (num_scns < 0 || num_tasks < 0 || capacity_c < 0) {
+    throw std::invalid_argument("greedy_select: negative sizes");
+  }
+  if (bucket_start.size() != static_cast<std::size_t>(num_scns) + 1) {
+    throw std::invalid_argument("greedy_select: bucket_start size mismatch");
+  }
+  out.selected.resize(static_cast<std::size_t>(num_scns));
+  for (auto& s : out.selected) s.clear();
+  if (capacity_c == 0 || entries.empty()) return;
+  merge_buckets(num_scns, num_tasks, capacity_c, bucket_start.data(),
+                entries.data(), out, scratch);
 }
 
 }  // namespace lfsc

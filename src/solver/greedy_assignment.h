@@ -4,14 +4,50 @@
 // when SCN m still has capacity (< c tasks) and task i is unassigned.
 // Proven (c+1)-approximate in the paper (Lemma 2); empirically much
 // closer to optimal (see bench/ablation_greedy_vs_exact).
+//
+// Implementation: edges are bucketed per SCN (one counting-sort pass),
+// each bucket is heapified (O(E) total) as a 4-ary max-heap, and the
+// buckets are consumed through a k-way merge over num_scns cursors. The
+// merge heap has one node per SCN, so advancing to the next edge in
+// global order costs O(log S) on an L1-resident heap instead of
+// O(log E) over the full edge list — and the moment an SCN saturates
+// its entire remaining bucket is dropped without ever being visited.
+// Total O(E + P log S) for P consumed edges. The merge consumes edges
+// in exactly descending
+// (weight, scn asc, task asc) order, i.e. the same order a global sort
+// would visit, so the assignment is identical to the sort-based
+// reference.
 #pragma once
 
+#include <bit>
+#include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "solver/bipartite.h"
 
 namespace lfsc {
+
+/// Bucketed edge payload: the SCN is implicit in the bucket, so sorting
+/// moves 16 bytes per element instead of a full 24-byte Edge.
+struct GreedyBucketEntry {
+  double weight;
+  int task;
+  int local;
+};
+
+/// Caller-owned bookkeeping buffers so the per-slot hot loop allocates
+/// nothing once capacities are warm.
+struct GreedySelectScratch {
+  std::vector<int> load;       ///< C(m): accepted tasks per SCN
+  std::vector<char> assigned;  ///< per-task assigned flag
+  std::vector<int> bucket_start;  ///< per-SCN offsets into `bucketed`
+  std::vector<int> cursor;        ///< per-SCN next-edge position
+  std::vector<GreedyBucketEntry> bucketed;   ///< grouped by SCN, sorted desc
+  std::vector<std::pair<double, int>> heap;  ///< merge heap: (weight, scn)
+  std::vector<std::uint64_t> heap_packed;  ///< packed merge nodes
+};
 
 /// Runs Alg. 4. `num_scns` and `num_tasks` size the bookkeeping arrays;
 /// `capacity_c` is the per-SCN communication capacity. Edges with
@@ -20,5 +56,58 @@ namespace lfsc {
 /// depend on the input edge order.
 Assignment greedy_select(int num_scns, int num_tasks, int capacity_c,
                          std::span<const Edge> edges);
+
+/// Allocation-free variant: fills `out` (resized; inner vectors keep
+/// their capacity) and uses `scratch` for bookkeeping, reusing its
+/// capacities across calls. `edges` is not modified. Same result as the
+/// span overload, which wraps this one.
+void greedy_select(int num_scns, int num_tasks, int capacity_c,
+                   std::span<const Edge> edges, Assignment& out,
+                   GreedySelectScratch& scratch);
+
+/// Pre-bucketed variant for callers that already produce edges grouped
+/// by SCN: `entries` holds bucket m in [bucket_start[m], bucket_start[m+1])
+/// (`bucket_start` has num_scns + 1 offsets). Skips the validation,
+/// counting-sort, and 24-byte Edge staging of the span overloads;
+/// `entries` is heapified in place (destroyed). Endpoint validity is the
+/// caller's contract: every task index must be in [0, num_tasks).
+/// Produces the same assignment as the span overload fed the equivalent
+/// flat edge list.
+void greedy_select_bucketed(int num_scns, int num_tasks, int capacity_c,
+                            std::span<const int> bucket_start,
+                            std::span<GreedyBucketEntry> entries,
+                            Assignment& out, GreedySelectScratch& scratch);
+
+/// One bucketed edge packed into a single integer so the hot heaps
+/// compare and move 8 bytes: [63:32] the IEEE bit pattern of the float
+/// weight (orders like the value for weights >= 0), [31:16] 0xFFFF-task
+/// (task ascending under the descending key order), [15:0] local index.
+/// Requires weight >= 0 and task/local < 0x10000.
+inline std::uint64_t pack_greedy_entry(float weight, int task,
+                                       int local) noexcept {
+  const auto bits = std::bit_cast<std::uint32_t>(weight);
+  return (static_cast<std::uint64_t>(bits) << 32) |
+         (static_cast<std::uint64_t>(0xFFFFu - static_cast<std::uint32_t>(
+                                                   task)) << 16) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(local));
+}
+inline int packed_entry_task(std::uint64_t e) noexcept {
+  return static_cast<int>(0xFFFFu - ((e >> 16) & 0xFFFFu));
+}
+inline int packed_entry_local(std::uint64_t e) noexcept {
+  return static_cast<int>(e & 0xFFFFu);
+}
+
+/// Packed-key variant of greedy_select_bucketed, for the slot hot path:
+/// a single uint64 comparison per heap step replaces a double compare
+/// plus tie-break, and the bucket heaps move half the bytes. Weights are
+/// compared at float precision (extra float-level ties resolve by task
+/// ascending, deterministically). Throws std::invalid_argument when
+/// num_tasks exceeds 0x10000 (the packed task field). `entries` is
+/// consumed in place.
+void greedy_select_packed(int num_scns, int num_tasks, int capacity_c,
+                          std::span<const int> bucket_start,
+                          std::span<std::uint64_t> entries, Assignment& out,
+                          GreedySelectScratch& scratch);
 
 }  // namespace lfsc
