@@ -30,6 +30,7 @@
 #include "harness/paper_setup.h"
 #include "lfsc/lfsc_policy.h"
 #include "metrics/metrics.h"
+#include "telemetry/telemetry.h"
 
 namespace {
 
@@ -89,7 +90,8 @@ int main(int argc, char** argv) {
   std::cerr << "[slot_throughput] " << setup.net.num_scns << " SCNs, c="
             << setup.net.capacity_c << ", slots=" << opt.slots
             << " (+" << opt.warmup << " warmup), parallel_scns="
-            << (opt.parallel ? 1 : 0) << "\n";
+            << (opt.parallel ? 1 : 0) << ", telemetry="
+            << (telemetry::kEnabled ? "on" : "off") << "\n";
 
   double cumulative_reward = 0.0;
   double gen_s = 0.0, policy_s = 0.0, feedback_s = 0.0;
@@ -154,7 +156,8 @@ int main(int argc, char** argv) {
         << ", \"tasks_per_scn\": [" << setup.coverage.tasks_per_scn_min
         << ", " << setup.coverage.tasks_per_scn_max << "], \"slots\": "
         << opt.slots << ", \"parallel_scns\": "
-        << (opt.parallel ? "true" : "false") << "},\n"
+        << (opt.parallel ? "true" : "false") << ", \"telemetry\": "
+        << (telemetry::kEnabled ? "true" : "false") << "},\n"
         << "  \"policy_slots_per_sec\": " << policy_rate << ",\n"
         << "  \"policy_us_per_slot\": " << 1e6 * policy_s / slots << ",\n"
         << "  \"generate_slots_per_sec\": " << slots / gen_s << ",\n"

@@ -56,6 +56,7 @@ void exp3m_probabilities(std::span<const double> weights, std::size_t k,
 
   out.p.resize(num_arms);
   out.capped.assign(num_arms, false);
+  out.num_capped = 0;
   out.epsilon = 0.0;
   out.weight_sum = 0.0;
   if (num_arms == 0) return;
@@ -64,6 +65,7 @@ void exp3m_probabilities(std::span<const double> weights, std::size_t k,
   if (num_arms <= k) {
     std::fill(out.p.begin(), out.p.end(), 1.0);
     out.capped.assign(num_arms, true);
+    out.num_capped = num_arms;
     out.weight_sum = total;
     return;
   }
@@ -165,6 +167,7 @@ void exp3m_probabilities(std::span<const double> weights, std::size_t k,
     const double w = out.capped[i] ? epsilon : weights[i];
     out.p[i] = std::clamp(scale * w + base, 0.0, 1.0);
   }
+  out.num_capped = num_capped;
   out.epsilon = epsilon;
   out.weight_sum = weight_sum;
 }

@@ -28,6 +28,7 @@ struct CappedProbabilities {
   /// Arm is in S' (probability clipped to 1). A byte vector, not
   /// vector<bool>: the hot loop assigns and reads it per arm per slot.
   std::vector<std::uint8_t> capped;
+  std::size_t num_capped = 0;  ///< |S'|, the number of set bytes in `capped`
   double epsilon = 0.0;     ///< cap threshold; 0 when no capping occurred
   double weight_sum = 0.0;  ///< sum of capped weights, sum(w')
 };

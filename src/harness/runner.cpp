@@ -1,5 +1,6 @@
 #include "harness/runner.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -30,6 +31,27 @@ ExperimentResult run_experiment(SlotSource& sim,
     result.series.emplace_back(std::string(p->name()));
   }
 
+  // Telemetry capture: harness-side metrics join the caller's registry
+  // so one export carries the policy's internals and the run's outcome
+  // series side by side (they cross-check each other in tests).
+  telemetry::Registry* telemetry = config.telemetry;
+  const int sample_every = config.telemetry_interval > 0
+                               ? config.telemetry_interval
+                               : std::max(1, config.horizon / 1000);
+  const std::size_t telemetry_policy = std::min(
+      policies.size() - 1,
+      static_cast<std::size_t>(std::max(0, config.telemetry_policy)));
+  telemetry::Counter* harness_slots = nullptr;
+  telemetry::Gauge* cum_reward = nullptr;
+  telemetry::Gauge* cum_qos = nullptr;
+  telemetry::Gauge* cum_res = nullptr;
+  if (telemetry != nullptr) {
+    harness_slots = &telemetry->counter("harness.slots", "slots");
+    cum_reward = &telemetry->gauge("harness.cum_reward", "reward");
+    cum_qos = &telemetry->gauge("harness.cum_qos_violation", "violation");
+    cum_res = &telemetry->gauge("harness.cum_resource_violation", "violation");
+  }
+
   Stopwatch watch;
   const auto& net = sim.network();
   for (int t = 1; t <= config.horizon; ++t) {
@@ -57,6 +79,16 @@ ExperimentResult run_experiment(SlotSource& sim,
       parallel_for(policies.size(), step_policy);
     } else {
       for (std::size_t k = 0; k < policies.size(); ++k) step_policy(k);
+    }
+    if (telemetry != nullptr) {
+      harness_slots->add(1);
+      if (t % sample_every == 0 || t == config.horizon) {
+        const SeriesRecorder& rec = result.series[telemetry_policy];
+        cum_reward->set(rec.total_reward());
+        cum_qos->set(rec.total_qos_violation());
+        cum_res->set(rec.total_resource_violation());
+        result.telemetry_series.sample(*telemetry, t);
+      }
     }
     if (config.progress_every > 0 && t % config.progress_every == 0) {
       LFSC_LOG_INFO << "slot " << t << "/" << config.horizon << " ("

@@ -12,6 +12,7 @@
 #include "sim/policy.h"
 #include "sim/simulator.h"
 #include "sim/slot_source.h"
+#include "telemetry/telemetry.h"
 
 namespace lfsc {
 
@@ -30,11 +31,32 @@ struct RunConfig {
   /// independent given the slot). Results are bit-identical to the
   /// serial order because policies never share state.
   bool parallel_policies = false;
+
+  /// Telemetry capture (DESIGN.md §8). When set, the runner registers
+  /// its own `harness.*` metrics on this registry (slot counter plus
+  /// cumulative reward/violation gauges mirroring the SeriesRecorder of
+  /// `telemetry_policy`) and samples every column into
+  /// ExperimentResult::telemetry_series each `telemetry_interval` slots
+  /// (and at the final slot). Typically `&LfscPolicy::telemetry()`.
+  telemetry::Registry* telemetry = nullptr;
+
+  /// Slots between telemetry samples; 0 selects max(1, horizon / 1000)
+  /// (~1000 rows at any scale, T=10000 included).
+  int telemetry_interval = 0;
+
+  /// Index into the policy span whose SeriesRecorder feeds the
+  /// harness.cum_* gauges (out-of-range values clamp).
+  int telemetry_policy = 0;
 };
 
 struct ExperimentResult {
   std::vector<SeriesRecorder> series;  ///< aligned with the policy span
   double wall_seconds = 0.0;
+
+  /// Sampled telemetry columns (empty unless RunConfig::telemetry was
+  /// set and the build has LFSC_TELEMETRY=ON). Export with
+  /// telemetry::write_json / write_csv.
+  telemetry::TimeSeries telemetry_series;
 
   /// Lookup by policy name; throws std::out_of_range when absent.
   const SeriesRecorder& find(std::string_view name) const;

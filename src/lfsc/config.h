@@ -4,6 +4,10 @@
 // follow the algorithms LFSC builds on (Exp3.M for gamma/eta; Mahdavi et
 // al.-style regularized dual ascent for delta). Every constant is
 // overridable and bench/ablation_lfsc_params sweeps the sensitive ones.
+//
+// Each field below records: the paper symbol it implements, its unit,
+// the valid range, and the default (with the auto-selection formula when
+// 0 means "derive it").
 #pragma once
 
 #include <cstddef>
@@ -14,46 +18,73 @@
 namespace lfsc {
 
 struct LfscConfig {
-  /// Number of context dimensions D_b.
+  /// Paper symbol: D_b, the context dimensionality (Sec. 3.1: input
+  /// size, output size, resource type). Unit: dimensions. Valid: >= 1
+  /// and equal to the simulator's context width. Default: kContextDims
+  /// (= 3, the paper's model).
   std::size_t context_dims = kContextDims;
 
-  /// h_T: parts per dimension; the context space splits into h_T^D
-  /// hypercubes. Paper default: 3 categories per dimension.
+  /// Paper symbol: h_T, partition granularity per dimension; the context
+  /// space [0,1]^D splits into h_T^D hypercubes (Alg. 1 line 2). Unit:
+  /// parts per dimension. Valid: >= 1 (1 merges all contexts; see the E8
+  /// ablation). Default: 3 — the paper's "three categories" per
+  /// dimension, matching the ground-truth grid.
   std::size_t parts_per_dim = 3;
 
-  /// Exploration rate gamma in (0,1]. 0 selects the Exp3.M formula
-  /// using `horizon` and `expected_tasks_per_scn`.
+  /// Paper symbol: γ, the Exp3.M exploration mixture (Alg. 2). Unit:
+  /// probability mass. Valid: [0, 1]; 0 selects the Exp3.M formula
+  /// γ = min(1, sqrt(K ln(K/c) / ((e−1) c T))) using `horizon` and
+  /// `expected_tasks_per_scn`. Default: 0 (auto).
   double gamma = 0.0;
 
-  /// Learning-rate scale for the exponential weight update. The per-slot
-  /// exponent uses eta_t = eta_scale * c * gamma / |D_{m,t}| (the Exp3.M
-  /// rate adapted to the varying arm count); eta_scale tunes it.
+  /// Scale on the learning rate η of the exponential weight update
+  /// (Alg. 3 line 8). The per-slot exponent uses
+  /// η_t = eta_scale · c · γ / |D_{m,t}| (the Exp3.M rate adapted to the
+  /// varying arm count). Unit: dimensionless multiplier. Valid: > 0.
+  /// Default: 1.0 (the textbook rate).
   double eta_scale = 1.0;
 
-  /// Learning rate for the Lagrange multiplier (dual) updates.
-  /// 0 selects 1/sqrt(horizon) * 10 (empirically stable).
+  /// Paper symbols: the step size of the projected-gradient updates of
+  /// λ_m (QoS, constraint (1c)) and λ'_m (resource, constraint (1d)) in
+  /// Alg. 3. Unit: multiplier units per unit of constraint slack.
+  /// Valid: >= 0; 0 selects 10/sqrt(horizon) (empirically stable).
+  /// Default: 0 (auto).
   double eta_lambda = 0.0;
 
-  /// Regularization delta on the multipliers ((1 - eta*delta) decay).
-  /// 0 selects 1/sqrt(horizon).
+  /// Paper symbol: δ, the dual regularization; each update decays the
+  /// multipliers by (1 − η·δ) so they settle at λ ≈ gap/δ instead of
+  /// drifting (DESIGN.md §6 "Primal-dual equilibrium"). Unit:
+  /// dimensionless. Valid: >= 0; 0 selects 1/sqrt(horizon).
+  /// Default: 0 (auto).
   double delta = 0.0;
 
-  /// Hard cap on each multiplier (projection upper bound).
+  /// Projection upper bound on each Lagrange multiplier. Unit: same as
+  /// λ (dimensionless weight on v̂/q̂ in the compound update). Valid:
+  /// > 0. Default: 5.0. The exported telemetry gauges
+  /// `lfsc.lagrange.{qos,resource}[m]` show how close the duals run to
+  /// this cap.
   double lambda_max = 5.0;
 
-  /// Horizon T used by the auto formulas. Does not limit the run length.
+  /// Paper symbol: T, the horizon the auto formulas (γ, η_λ, δ) tune
+  /// for. Unit: slots. Valid: >= 1. Default: 10000 (Sec. 5). Does NOT
+  /// limit the run length — running past T merely leaves the constants
+  /// tuned for a shorter horizon.
   std::size_t horizon = 10000;
 
-  /// Estimate of K_m (max tasks per SCN coverage) for the auto gamma.
+  /// Estimate of K_m = max |D_{m,t}| (tasks an SCN can see per slot),
+  /// used by the auto-γ formula as the arm count. Unit: tasks. Valid:
+  /// >= 1. Default: 68 — E[U[35,100]] at the paper's coverage density.
   std::size_t expected_tasks_per_scn = 68;
 
   /// Ablation switch: false removes the Lagrangian terms entirely
-  /// (constraint-blind Exp3.M — isolates the constraint machinery).
+  /// (constraint-blind Exp3.M — isolates the constraint machinery; E8
+  /// shows violations roughly double). Default: true (the paper's
+  /// algorithm).
   bool use_lagrangian = true;
 
   /// Ablation switch: false replaces the cross-SCN greedy coordination
-  /// with independent per-SCN DepRound sampling (tasks may be offloaded
-  /// to several SCNs at once, violating (1b)).
+  /// (Alg. 4) with independent per-SCN DepRound sampling — tasks may be
+  /// offloaded to several SCNs at once, violating (1b). Default: true.
   bool coordinate_scns = true;
 
   /// When true, edge weights are the probabilities themselves (the
@@ -65,14 +96,18 @@ struct LfscConfig {
   /// Run the per-SCN slot phases (Alg. 2 probability calculation and
   /// Alg. 3 weight updates) across SCNs on a thread pool. Results are
   /// bit-identical to the serial path for any worker count: every SCN
-  /// owns its state and its own stream-keyed RngStream. Default off —
-  /// the serial path wins below a few dozen SCNs.
+  /// owns its state, its own stream-keyed RngStream, and its own
+  /// telemetry stream (DESIGN.md §8). Default: false — the serial path
+  /// wins below a few dozen SCNs.
   bool parallel_scns = false;
 
   /// Pool used when `parallel_scns` is set; nullptr selects the
-  /// process-wide default_thread_pool().
+  /// process-wide default_thread_pool(). Not owned.
   class ThreadPool* pool = nullptr;
 
+  /// Root seed for every stream-keyed RNG the policy owns. Valid: any.
+  /// Default: 1234. Two policies with equal config and seed replay the
+  /// same trajectory bit-for-bit.
   std::uint64_t seed = 1234;
 };
 

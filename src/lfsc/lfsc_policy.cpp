@@ -63,6 +63,24 @@ LfscPolicy::LfscPolicy(const NetworkConfig& net, LfscConfig config)
         RngStream(config_.seed,
                   kScnStreamBase + static_cast<std::uint64_t>(m)));
   }
+
+  // Telemetry registration (schema in DESIGN.md §8); per-SCN metrics are
+  // sharded with one stream per SCN so the parallel_scns phases write
+  // race-free and aggregate reads merge in SCN order (deterministic).
+  const auto scns = static_cast<std::size_t>(net_.num_scns);
+  tel_select_ = &telemetry_.timer("lfsc.select");
+  tel_observe_ = &telemetry_.timer("lfsc.observe");
+  tel_calculating_ = &telemetry_.timer("lfsc.alg2.calculating");
+  tel_greedy_ = &telemetry_.timer("lfsc.alg4.greedy_select");
+  tel_updating_ = &telemetry_.timer("lfsc.alg3.updating");
+  tel_slots_ = &telemetry_.counter("lfsc.slots", "slots");
+  tel_accepted_ = &telemetry_.counter("lfsc.scn.accepted", "tasks", scns);
+  tel_lambda_qos_ = &telemetry_.gauge("lfsc.lagrange.qos", "1", scns);
+  tel_lambda_res_ = &telemetry_.gauge("lfsc.lagrange.resource", "1", scns);
+  tel_capset_ = &telemetry_.histogram(
+      "lfsc.exp3m.capset_size", {0, 1, 2, 4, 8, 16, 32, 64}, "arms", scns);
+  tel_occupancy_ = &telemetry_.histogram(
+      "lfsc.cells.touched", {0, 1, 2, 4, 8, 16, 32, 64, 128}, "cells", scns);
 }
 
 template <typename Fn>
@@ -105,12 +123,17 @@ void LfscPolicy::calculate_probabilities(std::size_t m, const SlotInfo& info) {
   exp3m_probabilities(state.task_weights,
                       static_cast<std::size_t>(net_.capacity_c), gamma_,
                       state.last, state.exp3m_scratch);
+
+  // |S'| this slot: arms whose probability the Exp3.M cap clipped to 1.
+  tel_capset_->observe(static_cast<double>(state.last.num_capped), m);
 }
 
 Assignment LfscPolicy::select(const SlotInfo& info) {
   if (info.coverage.size() != scn_state_.size()) {
     throw std::invalid_argument("LfscPolicy: SCN count mismatch");
   }
+  const telemetry::ScopedTimer select_timer(*tel_select_);
+  tel_slots_->add(1);
   last_slot_t_ = info.t;
   const std::size_t num_scns = scn_state_.size();
 
@@ -123,7 +146,13 @@ Assignment LfscPolicy::select(const SlotInfo& info) {
     // Ablation: each SCN independently DepRounds its own marginals; tasks
     // may be duplicated across SCNs (constraint (1b) is intentionally
     // unprotected, which the ablation bench quantifies).
-    for_each_scn([&](std::size_t m) { calculate_probabilities(m, info); });
+    {
+      // Phase wall time, one sample per slot: per-call timers inside the
+      // per-SCN loop cost two clock reads per SCN and blew the <=2%
+      // telemetry overhead budget at paper scale.
+      const telemetry::ScopedTimer calc_timer(*tel_calculating_);
+      for_each_scn([&](std::size_t m) { calculate_probabilities(m, info); });
+    }
     Assignment out;
     out.selected.resize(num_scns);
     for (std::size_t m = 0; m < num_scns; ++m) {
@@ -155,37 +184,46 @@ Assignment LfscPolicy::select(const SlotInfo& info) {
   // which selects identical sets while avoiding the exp() per edge.
   // `deterministic_edges` reproduces the literal paper weighting
   // w(m,i) ∝ p.
-  for_each_scn([&](std::size_t m) {
-    calculate_probabilities(m, info);
-    auto& state = scn_state_[m];
-    const auto& cover = info.coverage[m];
-    std::uint64_t* bucket =
-        entries_.data() + static_cast<std::size_t>(bucket_start_[m]);
-    for (std::size_t j = 0; j < cover.size(); ++j) {
-      const double p = state.last.p[j];
-      float key;
-      if (config_.deterministic_edges) {
-        key = static_cast<float>(p);
-      } else if (p >= 1.0) {
-        key = 2.0f;  // capped arms outrank every sampled key
-      } else if (p > 0.0) {
-        // float log: the key only feeds comparisons, and the coarser
-        // rounding keeps the sample exchangeable (extra float-level ties
-        // resolve deterministically by task index).
-        const auto u = static_cast<float>(state.rng.uniform());
-        key = 1.0f / (1.0f - std::log(std::max(u, 1e-35f)) /
-                                 static_cast<float>(p));
-      } else {
-        key = 0.0f;
+  {
+    // Phase wall time, one sample per slot (see the note in the
+    // uncoordinated branch). Includes the per-SCN edge-key build, which
+    // consumes Alg. 2's probabilities in the same pass.
+    const telemetry::ScopedTimer calc_timer(*tel_calculating_);
+    for_each_scn([&](std::size_t m) {
+      calculate_probabilities(m, info);
+      auto& state = scn_state_[m];
+      const auto& cover = info.coverage[m];
+      std::uint64_t* bucket =
+          entries_.data() + static_cast<std::size_t>(bucket_start_[m]);
+      for (std::size_t j = 0; j < cover.size(); ++j) {
+        const double p = state.last.p[j];
+        float key;
+        if (config_.deterministic_edges) {
+          key = static_cast<float>(p);
+        } else if (p >= 1.0) {
+          key = 2.0f;  // capped arms outrank every sampled key
+        } else if (p > 0.0) {
+          // float log: the key only feeds comparisons, and the coarser
+          // rounding keeps the sample exchangeable (extra float-level ties
+          // resolve deterministically by task index).
+          const auto u = static_cast<float>(state.rng.uniform());
+          key = 1.0f / (1.0f - std::log(std::max(u, 1e-35f)) /
+                                   static_cast<float>(p));
+        } else {
+          key = 0.0f;
+        }
+        bucket[j] = pack_greedy_entry(key, cover[j], static_cast<int>(j));
       }
-      bucket[j] = pack_greedy_entry(key, cover[j], static_cast<int>(j));
-    }
-  });
+    });
+  }
 
   Assignment out;
-  greedy_select_packed(static_cast<int>(num_scns),
-                       static_cast<int>(info.tasks.size()), net_.capacity_c,
-                       bucket_start_, entries_, out, greedy_scratch_);
+  {
+    const telemetry::ScopedTimer greedy_timer(*tel_greedy_);
+    greedy_select_packed(static_cast<int>(num_scns),
+                         static_cast<int>(info.tasks.size()), net_.capacity_c,
+                         bucket_start_, entries_, out, greedy_scratch_);
+  }
   return out;
 }
 
@@ -194,10 +232,13 @@ void LfscPolicy::update_scn(std::size_t m, const SlotInfo& info,
   auto& state = scn_state_[m];
   const auto& cover = info.coverage[m];
   const std::size_t num_tasks = cover.size();
+  tel_accepted_->add(feedback.size(), m);
   if (num_tasks == 0) {
     // No coverage: still decay the multipliers toward feasibility
     // pressure from an empty slot (alpha unmet, no resource use).
     state.multipliers.update(0.0, 0.0, net_.qos_alpha, net_.resource_beta);
+    tel_lambda_qos_->set(state.multipliers.qos(), m);
+    tel_lambda_res_->set(state.multipliers.resource(), m);
     return;
   }
 
@@ -269,6 +310,8 @@ void LfscPolicy::update_scn(std::size_t m, const SlotInfo& info,
   // arbitrarily long horizons at amortized O(1) per touched cell.
   if (state.weight_scale > kScaleHigh) renormalize(state);
 
+  tel_occupancy_->observe(static_cast<double>(acc.touched_cells().size()), m);
+
   // Reset the slot accumulator now (O(touched)) so the next slot starts
   // clean without a full-table sweep.
   acc.reset();
@@ -278,6 +321,8 @@ void LfscPolicy::update_scn(std::size_t m, const SlotInfo& info,
   // Alg. 3 lines 15-17: dual ascent on the multipliers.
   state.multipliers.update(completed_sum, resource_sum, net_.qos_alpha,
                            net_.resource_beta);
+  tel_lambda_qos_->set(state.multipliers.qos(), m);
+  tel_lambda_res_->set(state.multipliers.resource(), m);
 }
 
 void LfscPolicy::observe(const SlotInfo& info, const Assignment& assignment,
@@ -289,6 +334,8 @@ void LfscPolicy::observe(const SlotInfo& info, const Assignment& assignment,
       feedback.per_scn.size() != scn_state_.size()) {
     throw std::invalid_argument("LfscPolicy: feedback SCN count mismatch");
   }
+  const telemetry::ScopedTimer observe_timer(*tel_observe_);
+  const telemetry::ScopedTimer updating_timer(*tel_updating_);
   for_each_scn(
       [&](std::size_t m) { update_scn(m, info, feedback.per_scn[m]); });
 }
@@ -377,6 +424,7 @@ void LfscPolicy::reset() {
     state.rng = RngStream(config_.seed,
                           kScnStreamBase + static_cast<std::uint64_t>(m));
   }
+  telemetry_.reset();
   last_slot_t_ = -1;
 }
 

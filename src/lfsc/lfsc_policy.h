@@ -31,6 +31,7 @@
 #include "lfsc/lagrange.h"
 #include "sim/policy.h"
 #include "solver/greedy_assignment.h"
+#include "telemetry/telemetry.h"
 
 namespace lfsc {
 
@@ -69,6 +70,15 @@ class LfscPolicy final : public Policy {
 
   /// Effective exploration rate in use.
   double gamma() const noexcept { return gamma_; }
+
+  /// The policy's telemetry registry (DESIGN.md §8): per-subroutine
+  /// timers, Lagrange-multiplier gauges, per-SCN acceptance counters and
+  /// cap-set / hypercube-occupancy histograms. Per-SCN metrics are
+  /// sharded with stream = SCN index, so the parallel_scns phases record
+  /// race-free and aggregates merge deterministically. The registry is
+  /// live even under LFSC_TELEMETRY=OFF (every read returns zero).
+  telemetry::Registry& telemetry() noexcept { return telemetry_; }
+  const telemetry::Registry& telemetry() const noexcept { return telemetry_; }
 
   // --- persistence (warm-starting a deployment) ---
 
@@ -154,6 +164,22 @@ class LfscPolicy final : public Policy {
   std::vector<int> bucket_start_;          ///< per-SCN ranges into entries
   std::vector<std::uint64_t> entries_;     ///< packed bucketed edge buffer
   GreedySelectScratch greedy_scratch_;
+
+  // Telemetry (DESIGN.md §8). Handles are registered once in the
+  // constructor; under LFSC_TELEMETRY=OFF every call through them is an
+  // inline no-op. Per-SCN metrics use stream = m.
+  telemetry::Registry telemetry_;
+  telemetry::Timer* tel_select_;       ///< lfsc.select (whole Alg. 1 decision)
+  telemetry::Timer* tel_observe_;      ///< lfsc.observe (whole Alg. 3 phase)
+  telemetry::Timer* tel_calculating_;  ///< lfsc.alg2.calculating, phase/slot
+  telemetry::Timer* tel_greedy_;       ///< lfsc.alg4.greedy_select
+  telemetry::Timer* tel_updating_;     ///< lfsc.alg3.updating, phase/slot
+  telemetry::Counter* tel_slots_;      ///< lfsc.slots
+  telemetry::Counter* tel_accepted_;   ///< lfsc.scn.accepted, per SCN
+  telemetry::Gauge* tel_lambda_qos_;   ///< lfsc.lagrange.qos = λ_m (1c)
+  telemetry::Gauge* tel_lambda_res_;   ///< lfsc.lagrange.resource = λ'_m (1d)
+  telemetry::Histogram* tel_capset_;   ///< lfsc.exp3m.capset_size, |S'| per SCN-slot
+  telemetry::Histogram* tel_occupancy_;  ///< lfsc.cells.touched per SCN-slot
 };
 
 }  // namespace lfsc

@@ -1,0 +1,118 @@
+#include "telemetry/export.h"
+
+#include <ostream>
+
+namespace lfsc::telemetry {
+namespace {
+
+/// Minimal JSON string escaping; metric names/units are ASCII
+/// identifiers, so only the structural characters need care.
+std::string escaped(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+template <typename T>
+void write_array(std::ostream& out, const std::vector<T>& values) {
+  out << '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << values[i];
+  }
+  out << ']';
+}
+
+void write_metric(std::ostream& out, const MetricSnapshot& snap) {
+  out << "    {\"name\": \"" << escaped(snap.name) << "\", \"kind\": \""
+      << kind_name(snap.kind) << "\", \"unit\": \"" << escaped(snap.unit)
+      << "\"";
+  switch (snap.kind) {
+    case Kind::kCounter:
+      out << ", \"value\": " << snap.count;
+      break;
+    case Kind::kGauge:
+      out << ", \"value\": " << snap.value;
+      break;
+    case Kind::kTimer:
+      out << ", \"count\": " << snap.count << ", \"total_s\": " << snap.sum
+          << ", \"min_s\": " << snap.min << ", \"max_s\": " << snap.max;
+      break;
+    case Kind::kHistogram:
+      out << ", \"count\": " << snap.count << ", \"sum\": " << snap.sum
+          << ", \"mean\": " << snap.value << ", \"bounds\": ";
+      write_array(out, snap.bounds);
+      out << ", \"counts\": ";
+      write_array(out, snap.bucket_counts);
+      break;
+  }
+  if (!snap.stream_values.empty()) {
+    out << ", \"streams\": ";
+    write_array(out, snap.stream_values);
+  }
+  out << "}";
+}
+
+}  // namespace
+
+void write_json(std::ostream& out, const Registry& registry,
+                const TimeSeries* series, std::string_view label) {
+  const auto snapshots = registry.snapshot();
+  out.precision(17);
+  out << "{\n"
+      << "  \"schema\": \"lfsc.telemetry/1\",\n"
+      << "  \"enabled\": " << (kEnabled ? "true" : "false") << ",\n"
+      << "  \"label\": \"" << escaped(label) << "\",\n"
+      << "  \"metrics\": [";
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n");
+    write_metric(out, snapshots[i]);
+  }
+  out << (snapshots.empty() ? "]" : "\n  ]");
+  if (series != nullptr && !series->empty()) {
+    out << ",\n  \"series\": {\n    \"t\": ";
+    write_array(out, series->t);
+    out << ",\n    \"columns\": [";
+    for (std::size_t c = 0; c < series->names.size(); ++c) {
+      out << (c == 0 ? "\n" : ",\n");
+      out << "      {\"name\": \"" << escaped(series->names[c])
+          << "\", \"values\": [";
+      for (std::size_t r = 0; r < series->rows.size(); ++r) {
+        if (r > 0) out << ", ";
+        out << series->rows[r][c];
+      }
+      out << "]}";
+    }
+    out << (series->names.empty() ? "]" : "\n    ]") << "\n  }";
+  }
+  out << "\n}\n";
+}
+
+void write_csv(std::ostream& out, const TimeSeries& series) {
+  out.precision(17);
+  out << "t";
+  for (const auto& name : series.names) out << ',' << name;
+  out << '\n';
+  for (std::size_t r = 0; r < series.t.size(); ++r) {
+    out << series.t[r];
+    for (const double v : series.rows[r]) out << ',' << v;
+    out << '\n';
+  }
+}
+
+}  // namespace lfsc::telemetry

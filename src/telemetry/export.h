@@ -1,0 +1,27 @@
+// Structured export of a telemetry Registry: a JSON document carrying
+// the final snapshot (+ optional sampled time series), and a plain CSV
+// of the sampled series (one column per metric, schema in DESIGN.md §8).
+// Both work — emitting an empty shell — when the instrumentation is
+// compiled out (LFSC_TELEMETRY=OFF).
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+
+#include "telemetry/telemetry.h"
+
+namespace lfsc::telemetry {
+
+/// Writes the `lfsc.telemetry/1` JSON document: schema/enabled header,
+/// `label` (e.g. the policy name), the registry's full metric snapshot,
+/// and — when `series` is non-null and non-empty — the sampled series as
+/// named columns.
+void write_json(std::ostream& out, const Registry& registry,
+                const TimeSeries* series = nullptr,
+                std::string_view label = "");
+
+/// Writes the sampled series as CSV: header `t,<column...>`, one row per
+/// sample. Writes only the header when the series is empty.
+void write_csv(std::ostream& out, const TimeSeries& series);
+
+}  // namespace lfsc::telemetry

@@ -1,0 +1,308 @@
+#include "telemetry/telemetry.h"
+
+namespace lfsc::telemetry {
+
+const char* kind_name(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::kCounter:
+      return "counter";
+    case Kind::kGauge:
+      return "gauge";
+    case Kind::kTimer:
+      return "timer";
+    case Kind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+#if LFSC_TELEMETRY_ENABLED
+
+double Timer::min_seconds() const noexcept {
+  double min = 0.0;
+  bool seen = false;
+  for (const auto& s : shards_) {
+    if (s.count == 0) continue;
+    min = seen ? std::min(min, s.min) : s.min;
+    seen = true;
+  }
+  return min;
+}
+
+double Timer::max_seconds() const noexcept {
+  double max = 0.0;
+  for (const auto& s : shards_) {
+    if (s.count > 0) max = std::max(max, s.max);
+  }
+  return max;
+}
+
+Histogram::Histogram(std::vector<double> bounds, std::size_t streams)
+    : bounds_(std::move(bounds)), shards_(streams == 0 ? 1 : streams) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  for (auto& s : shards_) s.counts.assign(bounds_.size() + 1, 0);
+}
+
+std::vector<std::uint64_t> Histogram::merged_counts() const {
+  std::vector<std::uint64_t> merged(bounds_.size() + 1, 0);
+  for (const auto& s : shards_) {
+    for (std::size_t b = 0; b < merged.size(); ++b) merged[b] += s.counts[b];
+  }
+  return merged;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& s : shards_) {
+    std::fill(s.counts.begin(), s.counts.end(), 0);
+    s.count = 0;
+    s.sum = 0.0;
+  }
+}
+
+Registry::Entry* Registry::find(const std::string& name) noexcept {
+  for (auto& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+namespace {
+
+[[noreturn]] void throw_kind_mismatch(const std::string& name, Kind wanted,
+                                      Kind existing) {
+  throw std::logic_error("telemetry::Registry: metric '" + name +
+                         "' already registered as " + kind_name(existing) +
+                         ", requested as " + kind_name(wanted));
+}
+
+}  // namespace
+
+Counter& Registry::counter(const std::string& name, const std::string& unit,
+                           std::size_t streams) {
+  if (Entry* entry = find(name)) {
+    if (entry->kind != Kind::kCounter) {
+      throw_kind_mismatch(name, Kind::kCounter, entry->kind);
+    }
+    return *entry->counter;
+  }
+  entries_.push_back(Entry{name, unit, Kind::kCounter,
+                           std::make_unique<Counter>(streams), nullptr,
+                           nullptr, nullptr});
+  return *entries_.back().counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& unit,
+                       std::size_t streams) {
+  if (Entry* entry = find(name)) {
+    if (entry->kind != Kind::kGauge) {
+      throw_kind_mismatch(name, Kind::kGauge, entry->kind);
+    }
+    return *entry->gauge;
+  }
+  entries_.push_back(Entry{name, unit, Kind::kGauge, nullptr,
+                           std::make_unique<Gauge>(streams), nullptr,
+                           nullptr});
+  return *entries_.back().gauge;
+}
+
+Timer& Registry::timer(const std::string& name, const std::string& unit,
+                       std::size_t streams) {
+  if (Entry* entry = find(name)) {
+    if (entry->kind != Kind::kTimer) {
+      throw_kind_mismatch(name, Kind::kTimer, entry->kind);
+    }
+    return *entry->timer;
+  }
+  entries_.push_back(Entry{name, unit, Kind::kTimer, nullptr, nullptr,
+                           std::make_unique<Timer>(streams), nullptr});
+  return *entries_.back().timer;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds,
+                               const std::string& unit, std::size_t streams) {
+  if (Entry* entry = find(name)) {
+    if (entry->kind != Kind::kHistogram) {
+      throw_kind_mismatch(name, Kind::kHistogram, entry->kind);
+    }
+    return *entry->histogram;
+  }
+  entries_.push_back(
+      Entry{name, unit, Kind::kHistogram, nullptr, nullptr, nullptr,
+            std::make_unique<Histogram>(std::move(bounds), streams)});
+  return *entries_.back().histogram;
+}
+
+void Registry::reset() noexcept {
+  for (auto& entry : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        entry.counter->reset();
+        break;
+      case Kind::kGauge:
+        entry.gauge->reset();
+        break;
+      case Kind::kTimer:
+        entry.timer->reset();
+        break;
+      case Kind::kHistogram:
+        entry.histogram->reset();
+        break;
+    }
+  }
+}
+
+std::vector<MetricSnapshot> Registry::snapshot() const {
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    MetricSnapshot snap;
+    snap.name = entry.name;
+    snap.unit = entry.unit;
+    snap.kind = entry.kind;
+    switch (entry.kind) {
+      case Kind::kCounter: {
+        const Counter& c = *entry.counter;
+        snap.value = static_cast<double>(c.value());
+        snap.count = c.value();
+        if (c.streams() > 1) {
+          snap.stream_values.reserve(c.streams());
+          for (std::size_t s = 0; s < c.streams(); ++s) {
+            snap.stream_values.push_back(
+                static_cast<double>(c.stream_value(s)));
+          }
+        }
+        break;
+      }
+      case Kind::kGauge: {
+        const Gauge& g = *entry.gauge;
+        snap.value = g.value();
+        if (g.streams() > 1) {
+          snap.stream_values.reserve(g.streams());
+          for (std::size_t s = 0; s < g.streams(); ++s) {
+            snap.stream_values.push_back(g.stream_value(s));
+          }
+        }
+        break;
+      }
+      case Kind::kTimer: {
+        const Timer& t = *entry.timer;
+        snap.count = t.count();
+        snap.sum = t.total_seconds();
+        snap.value = snap.sum;
+        snap.min = t.min_seconds();
+        snap.max = t.max_seconds();
+        if (t.streams() > 1) {
+          snap.stream_values.reserve(t.streams());
+          for (std::size_t s = 0; s < t.streams(); ++s) {
+            snap.stream_values.push_back(t.stream_total(s));
+          }
+        }
+        break;
+      }
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        snap.count = h.count();
+        snap.sum = h.sum();
+        snap.value = h.mean();
+        snap.bounds = h.bounds();
+        snap.bucket_counts = h.merged_counts();
+        break;
+      }
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+namespace {
+
+std::string stream_column(const std::string& name, std::size_t stream) {
+  return name + "[" + std::to_string(stream) + "]";
+}
+
+}  // namespace
+
+void Registry::column_names(std::vector<std::string>& out) const {
+  for (const auto& entry : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter: {
+        out.push_back(entry.name);
+        const std::size_t streams = entry.counter->streams();
+        if (streams > 1) {
+          for (std::size_t s = 0; s < streams; ++s) {
+            out.push_back(stream_column(entry.name, s));
+          }
+        }
+        break;
+      }
+      case Kind::kGauge: {
+        const std::size_t streams = entry.gauge->streams();
+        if (streams > 1) {
+          for (std::size_t s = 0; s < streams; ++s) {
+            out.push_back(stream_column(entry.name, s));
+          }
+        } else {
+          out.push_back(entry.name);
+        }
+        break;
+      }
+      case Kind::kTimer:
+        out.push_back(entry.name);
+        break;
+      case Kind::kHistogram:
+        out.push_back(entry.name + ".count");
+        out.push_back(entry.name + ".mean");
+        break;
+    }
+  }
+}
+
+void Registry::column_values(std::vector<double>& out) const {
+  for (const auto& entry : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter: {
+        const Counter& c = *entry.counter;
+        out.push_back(static_cast<double>(c.value()));
+        if (c.streams() > 1) {
+          for (std::size_t s = 0; s < c.streams(); ++s) {
+            out.push_back(static_cast<double>(c.stream_value(s)));
+          }
+        }
+        break;
+      }
+      case Kind::kGauge: {
+        const Gauge& g = *entry.gauge;
+        if (g.streams() > 1) {
+          for (std::size_t s = 0; s < g.streams(); ++s) {
+            out.push_back(g.stream_value(s));
+          }
+        } else {
+          out.push_back(g.value());
+        }
+        break;
+      }
+      case Kind::kTimer:
+        out.push_back(entry.timer->total_seconds());
+        break;
+      case Kind::kHistogram:
+        out.push_back(static_cast<double>(entry.histogram->count()));
+        out.push_back(entry.histogram->mean());
+        break;
+    }
+  }
+}
+
+#endif  // LFSC_TELEMETRY_ENABLED
+
+void TimeSeries::sample(const Registry& registry, int slot) {
+  if (registry.empty()) return;
+  if (names.empty()) registry.column_names(names);
+  rows.emplace_back();
+  rows.back().reserve(names.size());
+  registry.column_values(rows.back());
+  t.push_back(slot);
+}
+
+}  // namespace lfsc::telemetry

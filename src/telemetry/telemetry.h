@@ -1,0 +1,398 @@
+// Near-zero-overhead instrumentation for the slot pipeline: monotonic
+// counters, gauges, scoped RAII timers (backed by common/stopwatch.h)
+// and fixed-bucket histograms, collected in a per-policy Registry.
+//
+// Concurrency model — per-stream accumulation, deterministic merge:
+// every metric is created with S >= 1 *streams* (shards). Writers on
+// different streams never touch the same memory, so the per-SCN slot
+// phases (LfscConfig::parallel_scns) can record into stream m = SCN
+// index from pool threads without atomics or locks. Aggregate readers
+// (value(), total_seconds(), snapshot(), ...) fold the shards in
+// ascending stream order — a fixed fold order, so merged floating-point
+// sums are bit-identical for any worker count, serial included.
+// Registration and aggregate reads are single-threaded by contract
+// (construction / between slots / after the run).
+//
+// Compile-time gating: built with LFSC_TELEMETRY_ENABLED=0 (CMake
+// -DLFSC_TELEMETRY=OFF) every class below becomes an empty inline stub —
+// call sites compile to nothing, exports emit an "enabled": false
+// shell — so instrumented code carries no cost and no #ifdefs.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+#ifndef LFSC_TELEMETRY_ENABLED
+#define LFSC_TELEMETRY_ENABLED 1
+#endif
+
+namespace lfsc::telemetry {
+
+/// True when the instrumentation is compiled in. Use to gate telemetry
+/// work with a cost even when its metric calls would be no-ops (e.g.
+/// counting flags before a histogram observe).
+inline constexpr bool kEnabled = LFSC_TELEMETRY_ENABLED != 0;
+
+enum class Kind { kCounter, kGauge, kTimer, kHistogram };
+
+/// Stable lowercase name ("counter", "gauge", "timer", "histogram").
+const char* kind_name(Kind kind) noexcept;
+
+/// One exported metric, flattened for serialization and tests. Field use
+/// by kind:
+///  * counter   — value (total); stream_values when streams > 1
+///  * gauge     — value (stream sum; == the value for 1 stream);
+///                stream_values when streams > 1
+///  * timer     — count, sum/min/max (seconds), value = sum;
+///                stream_values = per-stream total seconds
+///  * histogram — count, sum, value = mean, bounds (upper, inclusive)
+///                and bucket_counts (bounds.size() + 1, last = overflow)
+struct MetricSnapshot {
+  std::string name;
+  std::string unit;
+  Kind kind = Kind::kCounter;
+  std::uint64_t count = 0;
+  double value = 0.0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<double> stream_values;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> bucket_counts;
+};
+
+#if LFSC_TELEMETRY_ENABLED
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  explicit Counter(std::size_t streams = 1)
+      : shards_(streams == 0 ? 1 : streams, 0) {}
+
+  void add(std::uint64_t n = 1, std::size_t stream = 0) noexcept {
+    shards_[stream] += n;
+  }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto v : shards_) total += v;
+    return total;
+  }
+  std::uint64_t stream_value(std::size_t stream) const noexcept {
+    return shards_[stream];
+  }
+  std::size_t streams() const noexcept { return shards_.size(); }
+
+  void reset() noexcept { std::fill(shards_.begin(), shards_.end(), 0); }
+
+ private:
+  std::vector<std::uint64_t> shards_;
+};
+
+/// Last-value gauge. The aggregate of a multi-stream gauge is the sum of
+/// its stream values (fixed fold order); per-entity reads use
+/// stream_value().
+class Gauge {
+ public:
+  explicit Gauge(std::size_t streams = 1)
+      : shards_(streams == 0 ? 1 : streams, 0.0) {}
+
+  void set(double v, std::size_t stream = 0) noexcept { shards_[stream] = v; }
+
+  double value() const noexcept {
+    double total = 0.0;
+    for (const auto v : shards_) total += v;
+    return total;
+  }
+  double stream_value(std::size_t stream) const noexcept {
+    return shards_[stream];
+  }
+  std::size_t streams() const noexcept { return shards_.size(); }
+
+  void reset() noexcept { std::fill(shards_.begin(), shards_.end(), 0.0); }
+
+ private:
+  std::vector<double> shards_;
+};
+
+/// Accumulating duration metric (seconds): count, total, min, max.
+/// Usually fed through ScopedTimer.
+class Timer {
+ public:
+  explicit Timer(std::size_t streams = 1)
+      : shards_(streams == 0 ? 1 : streams) {}
+
+  void add(double seconds, std::size_t stream = 0) noexcept {
+    Shard& s = shards_[stream];
+    s.min = s.count == 0 ? seconds : std::min(s.min, seconds);
+    s.max = std::max(s.max, seconds);
+    ++s.count;
+    s.total += seconds;
+  }
+
+  std::uint64_t count() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s.count;
+    return total;
+  }
+  double total_seconds() const noexcept {
+    double total = 0.0;
+    for (const auto& s : shards_) total += s.total;
+    return total;
+  }
+  double min_seconds() const noexcept;
+  double max_seconds() const noexcept;
+  double stream_total(std::size_t stream) const noexcept {
+    return shards_[stream].total;
+  }
+  std::size_t streams() const noexcept { return shards_.size(); }
+
+  void reset() noexcept { std::fill(shards_.begin(), shards_.end(), Shard{}); }
+
+ private:
+  struct Shard {
+    std::uint64_t count = 0;
+    double total = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  std::vector<Shard> shards_;
+};
+
+/// RAII timer: measures construction-to-destruction wall time on a
+/// Stopwatch and adds it to `timer` under `stream`.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer, std::size_t stream = 0) noexcept
+      : timer_(&timer), stream_(stream) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { timer_->add(watch_.seconds(), stream_); }
+
+ private:
+  Timer* timer_;
+  std::size_t stream_;
+  Stopwatch watch_;
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bucket edges
+/// (sorted on construction); a sample lands in the first bucket whose
+/// bound >= sample, or in the trailing overflow bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds, std::size_t streams = 1);
+
+  void observe(double v, std::size_t stream = 0) noexcept {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+    Shard& s = shards_[stream];
+    ++s.counts[bucket];
+    ++s.count;
+    s.sum += v;
+  }
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Per-bucket counts folded across streams; size bounds().size() + 1,
+  /// last entry = overflow.
+  std::vector<std::uint64_t> merged_counts() const;
+  std::uint64_t count() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s.count;
+    return total;
+  }
+  double sum() const noexcept {
+    double total = 0.0;
+    for (const auto& s : shards_) total += s.sum;
+    return total;
+  }
+  double mean() const noexcept {
+    const auto n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  std::size_t streams() const noexcept { return shards_.size(); }
+
+  void reset() noexcept;
+
+ private:
+  struct Shard {
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (overflow last)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::vector<double> bounds_;
+  std::vector<Shard> shards_;
+};
+
+/// Named metric collection for one policy (or one harness run).
+/// Accessors look up by name and create on first use, so independent
+/// components (policy + runner) can share one registry; asking for an
+/// existing name with a different kind throws std::logic_error.
+/// Returned references stay valid for the registry's lifetime.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name, const std::string& unit = "",
+                   std::size_t streams = 1);
+  Gauge& gauge(const std::string& name, const std::string& unit = "",
+               std::size_t streams = 1);
+  Timer& timer(const std::string& name, const std::string& unit = "s",
+               std::size_t streams = 1);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& unit = "", std::size_t streams = 1);
+
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Zeroes every metric (the registrations survive).
+  void reset() noexcept;
+
+  /// Flattened view of every metric, in registration order.
+  std::vector<MetricSnapshot> snapshot() const;
+
+  /// Column labels for time-series sampling, in registration order:
+  /// counters emit `name` (+ `name[s]` per stream when sharded), gauges
+  /// emit `name` or per-stream `name[s]`, timers emit `name` (total
+  /// seconds), histograms emit `name.count` and `name.mean`.
+  void column_names(std::vector<std::string>& out) const;
+  /// Appends the current value of every column, aligned with
+  /// column_names().
+  void column_values(std::vector<double>& out) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string unit;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Timer> timer;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry* find(const std::string& name) noexcept;
+
+  std::vector<Entry> entries_;
+};
+
+#else  // !LFSC_TELEMETRY_ENABLED — inline no-op stubs, same API.
+
+class Counter {
+ public:
+  explicit Counter(std::size_t = 1) noexcept {}
+  void add(std::uint64_t = 1, std::size_t = 0) noexcept {}
+  std::uint64_t value() const noexcept { return 0; }
+  std::uint64_t stream_value(std::size_t) const noexcept { return 0; }
+  std::size_t streams() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Gauge {
+ public:
+  explicit Gauge(std::size_t = 1) noexcept {}
+  void set(double, std::size_t = 0) noexcept {}
+  double value() const noexcept { return 0.0; }
+  double stream_value(std::size_t) const noexcept { return 0.0; }
+  std::size_t streams() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Timer {
+ public:
+  explicit Timer(std::size_t = 1) noexcept {}
+  void add(double, std::size_t = 0) noexcept {}
+  std::uint64_t count() const noexcept { return 0; }
+  double total_seconds() const noexcept { return 0.0; }
+  double min_seconds() const noexcept { return 0.0; }
+  double max_seconds() const noexcept { return 0.0; }
+  double stream_total(std::size_t) const noexcept { return 0.0; }
+  std::size_t streams() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer&, std::size_t = 0) noexcept {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  // Non-trivial destructor so `ScopedTimer t(...)` never warns as unused.
+  ~ScopedTimer() {}
+};
+
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> = {}, std::size_t = 1) noexcept {}
+  void observe(double, std::size_t = 0) noexcept {}
+  const std::vector<double>& bounds() const noexcept {
+    static const std::vector<double> kEmpty;
+    return kEmpty;
+  }
+  std::vector<std::uint64_t> merged_counts() const { return {}; }
+  std::uint64_t count() const noexcept { return 0; }
+  double sum() const noexcept { return 0.0; }
+  double mean() const noexcept { return 0.0; }
+  std::size_t streams() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string&, const std::string& = "",
+                   std::size_t = 1) noexcept {
+    return counter_;
+  }
+  Gauge& gauge(const std::string&, const std::string& = "",
+               std::size_t = 1) noexcept {
+    return gauge_;
+  }
+  Timer& timer(const std::string&, const std::string& = "s",
+               std::size_t = 1) noexcept {
+    return timer_;
+  }
+  Histogram& histogram(const std::string&, std::vector<double>,
+                       const std::string& = "", std::size_t = 1) noexcept {
+    return histogram_;
+  }
+
+  bool empty() const noexcept { return true; }
+  std::size_t size() const noexcept { return 0; }
+  void reset() noexcept {}
+  std::vector<MetricSnapshot> snapshot() const { return {}; }
+  void column_names(std::vector<std::string>&) const {}
+  void column_values(std::vector<double>&) const {}
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Timer timer_;
+  Histogram histogram_;
+};
+
+#endif  // LFSC_TELEMETRY_ENABLED
+
+/// Sampled time series of a registry's scalar columns (SeriesRecorder's
+/// telemetry sibling): one row per sample slot. Rows all have
+/// names.size() values. No-op (stays empty) when the registry has no
+/// metrics — in particular under LFSC_TELEMETRY=OFF.
+struct TimeSeries {
+  std::vector<std::string> names;
+  std::vector<int> t;
+  std::vector<std::vector<double>> rows;
+
+  void sample(const Registry& registry, int slot);
+  bool empty() const noexcept { return t.empty(); }
+};
+
+}  // namespace lfsc::telemetry

@@ -21,7 +21,12 @@ std::string read_file(const std::string& path) {
 
 class CsvWriterTest : public ::testing::Test {
  protected:
-  std::string path_ = ::testing::TempDir() + "lfsc_csv_test.csv";
+  // One file per test case: ctest -j runs the cases as concurrent
+  // processes, so a shared name races writer against writer.
+  std::string path_ =
+      ::testing::TempDir() + "lfsc_csv_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      ".csv";
   void TearDown() override { std::remove(path_.c_str()); }
 };
 

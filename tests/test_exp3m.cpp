@@ -53,6 +53,7 @@ TEST(Exp3M, DominantWeightIsCappedAtOne) {
     EXPECT_LT(result.p[i], 1.0);
   }
   EXPECT_GT(result.epsilon, 0.0);
+  EXPECT_EQ(result.num_capped, 1u);
   EXPECT_NEAR(sum_of(result.p), 2.0, 1e-9);
 }
 
@@ -63,6 +64,7 @@ TEST(Exp3M, MultipleDominantWeightsAllCapped) {
   EXPECT_TRUE(result.capped[1]);
   EXPECT_NEAR(result.p[0], 1.0, 1e-9);
   EXPECT_NEAR(result.p[1], 1.0, 1e-9);
+  EXPECT_EQ(result.num_capped, 2u);
   EXPECT_NEAR(sum_of(result.p), 3.0, 1e-9);
 }
 
@@ -91,6 +93,7 @@ TEST(Exp3M, FewerArmsThanPlaysSelectsAll) {
     EXPECT_DOUBLE_EQ(result.p[i], 1.0);
     EXPECT_TRUE(result.capped[i]);
   }
+  EXPECT_EQ(result.num_capped, w.size());
 }
 
 TEST(Exp3M, GammaOneIsUniform) {

@@ -32,7 +32,12 @@ TEST(DownsampleIndices, EdgeCases) {
 
 class SeriesCsvTest : public ::testing::Test {
  protected:
-  std::string path_ = ::testing::TempDir() + "lfsc_series_test.csv";
+  // One file per test case: ctest -j runs the cases as concurrent
+  // processes, so a shared name races writer against writer.
+  std::string path_ =
+      ::testing::TempDir() + "lfsc_series_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      ".csv";
   void TearDown() override { std::remove(path_.c_str()); }
 
   std::string read() const {

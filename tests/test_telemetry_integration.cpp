@@ -1,0 +1,206 @@
+// Telemetry through the real pipeline: LfscPolicy's instrumented slot
+// path must produce bit-identical non-timer metrics for any
+// parallel_scns worker count (the per-stream accumulation /
+// deterministic-merge contract), and the harness capture path
+// (RunConfig::telemetry -> ExperimentResult::telemetry_series ->
+// write_json) must agree with the SeriesRecorder it mirrors.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "harness/paper_setup.h"
+#include "harness/runner.h"
+#include "lfsc/lfsc_policy.h"
+#include "metrics/metrics.h"
+#include "telemetry/export.h"
+#include "telemetry/telemetry.h"
+
+namespace lfsc {
+namespace {
+
+#define SKIP_IF_TELEMETRY_OFF()                                            \
+  do {                                                                     \
+    if (!telemetry::kEnabled) GTEST_SKIP() << "LFSC_TELEMETRY=OFF build";  \
+  } while (false)
+
+/// Runs `slots` slots of the small setup through a fresh LfscPolicy and
+/// returns its telemetry snapshot.
+std::vector<telemetry::MetricSnapshot> run_and_snapshot(bool parallel,
+                                                        ThreadPool* pool,
+                                                        int slots) {
+  auto s = small_setup();
+  s.lfsc.parallel_scns = parallel;
+  s.lfsc.pool = pool;
+  auto sim = s.make_simulator();
+  LfscPolicy policy(s.net, s.lfsc);
+  for (int t = 1; t <= slots; ++t) {
+    const auto slot = sim.generate_slot(t);
+    const auto assignment = policy.select(slot.info);
+    policy.observe(slot.info, assignment, make_feedback(slot, assignment));
+  }
+  return policy.telemetry().snapshot();
+}
+
+TEST(TelemetryIntegration, BitIdenticalAcrossParallelScnsWorkerCounts) {
+  SKIP_IF_TELEMETRY_OFF();
+  const int kSlots = 120;
+  const auto serial = run_and_snapshot(false, nullptr, kSlots);
+  ThreadPool pool(4);
+  const auto parallel = run_and_snapshot(true, &pool, kSlots);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const auto& a = serial[i];
+    const auto& b = parallel[i];
+    ASSERT_EQ(a.name, b.name);
+    ASSERT_EQ(a.kind, b.kind);
+    if (a.kind == telemetry::Kind::kTimer) continue;  // wall time varies
+    SCOPED_TRACE(a.name);
+    EXPECT_EQ(a.count, b.count);
+    // Bit-identical, not approximately equal: per-stream values are
+    // computed by the same deterministic per-SCN arithmetic and merged
+    // in ascending stream order on both paths.
+    EXPECT_EQ(a.value, b.value);
+    EXPECT_EQ(a.sum, b.sum);
+    EXPECT_EQ(a.stream_values, b.stream_values);
+    EXPECT_EQ(a.bucket_counts, b.bucket_counts);
+  }
+}
+
+TEST(TelemetryIntegration, PolicyMetricsCoverTheSlotPath) {
+  SKIP_IF_TELEMETRY_OFF();
+  const int kSlots = 30;
+  const auto snaps = run_and_snapshot(false, nullptr, kSlots);
+  const auto find = [&](const std::string& name)
+      -> const telemetry::MetricSnapshot* {
+    for (const auto& s : snaps) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  };
+
+  const auto* slots = find("lfsc.slots");
+  ASSERT_NE(slots, nullptr);
+  EXPECT_EQ(slots->count, static_cast<std::uint64_t>(kSlots));
+
+  const auto s = small_setup();
+  const auto scns = static_cast<std::uint64_t>(s.net.num_scns);
+  for (const char* timer :
+       {"lfsc.select", "lfsc.observe", "lfsc.alg4.greedy_select",
+        "lfsc.alg2.calculating", "lfsc.alg3.updating"}) {
+    const auto* snap = find(timer);
+    ASSERT_NE(snap, nullptr) << timer;
+    EXPECT_EQ(snap->count, static_cast<std::uint64_t>(kSlots)) << timer;
+    EXPECT_GT(snap->sum, 0.0) << timer;
+  }
+
+  const auto* accepted = find("lfsc.scn.accepted");
+  ASSERT_NE(accepted, nullptr);
+  EXPECT_GT(accepted->count, 0u);
+  EXPECT_EQ(accepted->stream_values.size(), scns);
+
+  const auto* occupancy = find("lfsc.cells.touched");
+  ASSERT_NE(occupancy, nullptr);
+  EXPECT_EQ(occupancy->count, static_cast<std::uint64_t>(kSlots) * scns);
+
+  const auto* lambda = find("lfsc.lagrange.qos");
+  ASSERT_NE(lambda, nullptr);
+  EXPECT_EQ(lambda->stream_values.size(), scns);
+}
+
+TEST(TelemetryIntegration, HarnessCaptureMatchesSeriesRecorder) {
+  SKIP_IF_TELEMETRY_OFF();
+  auto s = small_setup();
+  auto sim = s.make_simulator();
+  LfscPolicy policy(s.net, s.lfsc);
+  Policy* roster[] = {&policy};
+
+  RunConfig config{.horizon = 80};
+  config.telemetry = &policy.telemetry();
+  config.telemetry_interval = 20;
+  const auto result = run_experiment(sim, roster, config);
+  const SeriesRecorder& rec = result.series[0];
+
+  // Final snapshot mirrors the recorder exactly.
+  const auto snaps = policy.telemetry().snapshot();
+  double cum_reward = -1.0, cum_qos = -1.0, cum_res = -1.0;
+  std::uint64_t harness_slots = 0, policy_slots = 0;
+  for (const auto& snap : snaps) {
+    if (snap.name == "harness.cum_reward") cum_reward = snap.value;
+    if (snap.name == "harness.cum_qos_violation") cum_qos = snap.value;
+    if (snap.name == "harness.cum_resource_violation") cum_res = snap.value;
+    if (snap.name == "harness.slots") harness_slots = snap.count;
+    if (snap.name == "lfsc.slots") policy_slots = snap.count;
+  }
+  EXPECT_EQ(harness_slots, rec.slots());
+  EXPECT_EQ(policy_slots, rec.slots());
+  EXPECT_DOUBLE_EQ(cum_reward, rec.total_reward());
+  EXPECT_DOUBLE_EQ(cum_qos, rec.total_qos_violation());
+  EXPECT_DOUBLE_EQ(cum_res, rec.total_resource_violation());
+
+  // The sampled series covers every interval plus the final slot, and
+  // its harness columns match the recorder's prefix sums at each sample.
+  const auto& series = result.telemetry_series;
+  ASSERT_EQ(series.t, (std::vector<int>{20, 40, 60, 80}));
+  std::size_t reward_col = series.names.size();
+  for (std::size_t c = 0; c < series.names.size(); ++c) {
+    if (series.names[c] == "harness.cum_reward") reward_col = c;
+  }
+  ASSERT_LT(reward_col, series.names.size());
+  const auto cumulative = rec.cumulative_reward();
+  for (std::size_t r = 0; r < series.t.size(); ++r) {
+    EXPECT_DOUBLE_EQ(series.rows[r][reward_col],
+                     cumulative[static_cast<std::size_t>(series.t[r]) - 1]);
+  }
+}
+
+TEST(TelemetryIntegration, JsonExportRoundTripsRecorderTotals) {
+  SKIP_IF_TELEMETRY_OFF();
+  auto s = small_setup();
+  auto sim = s.make_simulator();
+  LfscPolicy policy(s.net, s.lfsc);
+  Policy* roster[] = {&policy};
+
+  RunConfig config{.horizon = 50};
+  config.telemetry = &policy.telemetry();
+  config.telemetry_interval = 25;
+  const auto result = run_experiment(sim, roster, config);
+
+  std::ostringstream out;
+  telemetry::write_json(out, policy.telemetry(), &result.telemetry_series,
+                        "LFSC");
+  const std::string json = out.str();
+
+  // Minimal field extraction: locate the metric object by name, read the
+  // numeric field that follows. Doubles are printed at precision 17, so
+  // strtod round-trips them exactly.
+  const auto json_number_after = [&](const std::string& anchor,
+                                     const std::string& field) {
+    const auto at = json.find(anchor);
+    EXPECT_NE(at, std::string::npos) << anchor;
+    const auto key = json.find("\"" + field + "\": ", at);
+    EXPECT_NE(key, std::string::npos) << field;
+    return std::strtod(json.c_str() + key + field.size() + 4, nullptr);
+  };
+
+  const SeriesRecorder& rec = result.series[0];
+  EXPECT_DOUBLE_EQ(
+      json_number_after("\"name\": \"harness.cum_reward\"", "value"),
+      rec.total_reward());
+  EXPECT_DOUBLE_EQ(
+      json_number_after("\"name\": \"harness.slots\"", "value"),
+      static_cast<double>(rec.slots()));
+  EXPECT_DOUBLE_EQ(json_number_after("\"name\": \"lfsc.slots\"", "value"),
+                   static_cast<double>(rec.slots()));
+  // The series block made it out with both sample rows.
+  EXPECT_NE(json.find("\"t\": [25, 50]"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"harness.cum_reward\", \"values\": ["),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace lfsc

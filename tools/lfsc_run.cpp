@@ -9,6 +9,7 @@
 //   lfsc_run --coverage geometric --blockage 0.2
 //   lfsc_run --policies LFSC,Oracle --csv out    # writes out_*.csv
 //   lfsc_run --replicates 5                      # mean ± 95% CI summary
+//   lfsc_run --telemetry t.json --telemetry-csv t.csv   # slot-pipeline telemetry
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -29,6 +30,7 @@
 #include "harness/series_io.h"
 #include "sim/trace.h"
 #include "lfsc/lfsc_policy.h"
+#include "telemetry/export.h"
 
 namespace {
 
@@ -87,6 +89,14 @@ int main(int argc, char** argv) {
       "load-state", "", "warm-start LFSC from a saved state file");
   const std::string* state_out = parser.add_string(
       "save-state", "", "save LFSC's learned state after the run");
+  const std::string* telemetry_json = parser.add_string(
+      "telemetry", "",
+      "write LFSC slot-pipeline telemetry (snapshot + series) as JSON");
+  const std::string* telemetry_csv = parser.add_string(
+      "telemetry-csv", "", "write the sampled telemetry series as CSV");
+  const int* telemetry_interval = parser.add_int(
+      "telemetry-interval", 0,
+      "slots between telemetry samples (0 = horizon/1000)");
 
   switch (parser.parse(argc, argv, std::cerr)) {
     case FlagParser::Result::kHelp:
@@ -112,12 +122,15 @@ int main(int argc, char** argv) {
   setup.lfsc.parts_per_dim = static_cast<std::size_t>(*h_t);
   setup.lfsc.gamma = *gamma;
 
+  const bool want_telemetry =
+      !telemetry_json->empty() || !telemetry_csv->empty();
+
   if (*replicates > 1) {
     if (!state_in->empty() || !state_out->empty() || !trace_in->empty() ||
-        !trace_out->empty()) {
+        !trace_out->empty() || want_telemetry) {
       std::cerr << "lfsc_run: --load-state/--save-state/--trace/"
-                   "--record-trace are single-run flags (incompatible with "
-                   "--replicates)\n";
+                   "--record-trace/--telemetry are single-run flags "
+                   "(incompatible with --replicates)\n";
       return 2;
     }
     const auto rep = replicate_paper_experiment(
@@ -165,12 +178,14 @@ int main(int argc, char** argv) {
 
   std::vector<std::unique_ptr<Policy>> owned;
   LfscPolicy* lfsc_instance = nullptr;
+  int lfsc_index = -1;
   for (const auto& name : split_csv(*policies_flag)) {
     if (name == "Oracle") {
       owned.push_back(std::make_unique<OraclePolicy>(setup.net));
     } else if (name == "LFSC") {
       auto lfsc = std::make_unique<LfscPolicy>(setup.net, setup.lfsc);
       lfsc_instance = lfsc.get();
+      lfsc_index = static_cast<int>(owned.size());
       owned.push_back(std::move(lfsc));
     } else if (name == "vUCB") {
       owned.push_back(std::make_unique<VucbPolicy>(setup.net));
@@ -208,8 +223,20 @@ int main(int argc, char** argv) {
     std::cout << "warm-started LFSC from " << *state_in << "\n";
   }
 
+  if (want_telemetry && lfsc_instance == nullptr) {
+    std::cerr << "lfsc_run: --telemetry/--telemetry-csv require LFSC in "
+                 "--policies\n";
+    return 2;
+  }
+
   auto policies = policy_pointers(owned);
-  const auto result = run_experiment(sim, policies, {.horizon = *horizon});
+  RunConfig run_config{.horizon = *horizon};
+  if (want_telemetry) {
+    run_config.telemetry = &lfsc_instance->telemetry();
+    run_config.telemetry_interval = *telemetry_interval;
+    run_config.telemetry_policy = lfsc_index;
+  }
+  const auto result = run_experiment(sim, policies, run_config);
 
   if (!state_out->empty()) {
     if (lfsc_instance == nullptr) {
@@ -223,6 +250,32 @@ int main(int argc, char** argv) {
     }
     lfsc_instance->save(out);
     std::cout << "LFSC state -> " << *state_out << "\n";
+  }
+
+  if (!telemetry_json->empty()) {
+    std::ofstream out(*telemetry_json);
+    if (!out) {
+      std::cerr << "lfsc_run: cannot open telemetry file " << *telemetry_json
+                << "\n";
+      return 2;
+    }
+    telemetry::write_json(out, lfsc_instance->telemetry(),
+                          &result.telemetry_series, "LFSC");
+    std::cout << "telemetry -> " << *telemetry_json << "\n";
+  }
+  if (!telemetry_csv->empty()) {
+    std::ofstream out(*telemetry_csv);
+    if (!out) {
+      std::cerr << "lfsc_run: cannot open telemetry file " << *telemetry_csv
+                << "\n";
+      return 2;
+    }
+    telemetry::write_csv(out, result.telemetry_series);
+    std::cout << "telemetry series -> " << *telemetry_csv << "\n";
+  }
+  if (want_telemetry && !telemetry::kEnabled) {
+    std::cout << "note: telemetry instrumentation compiled out "
+                 "(LFSC_TELEMETRY=OFF); exports are empty shells\n";
   }
 
   std::cout << *scns << " SCNs, c=" << *capacity << ", alpha=" << *alpha
