@@ -105,6 +105,13 @@ class IpwSlotAccumulator {
 
   bool touched(std::size_t cell) const noexcept { return count_[cell] > 0; }
 
+  /// Number of tasks registered in `cell` since the last reset — the IPW
+  /// divisor. The delayed-feedback path freezes this at decision time so
+  /// late batches divide by the slot's true presence count.
+  std::size_t presence(std::size_t cell) const noexcept {
+    return count_[cell];
+  }
+
   /// Cells with at least one task this slot, in first-touch order.
   const std::vector<std::size_t>& touched_cells() const noexcept {
     return touched_;

@@ -45,13 +45,37 @@ void exp3m_probabilities(std::span<const double> weights, std::size_t k,
   if (gamma < 0.0 || gamma > 1.0) {
     throw std::invalid_argument("exp3m: gamma must be in [0,1]");
   }
-  // One fused pass: validate positivity, total and max.
+  // One fused pass: validate positivity/finiteness, total and max.
   double total = 0.0;
   double max_weight = 0.0;
   for (const double w : weights) {
-    if (!(w > 0.0)) throw std::invalid_argument("exp3m: weights must be > 0");
+    if (!(w > 0.0) || !std::isfinite(w)) {
+      throw std::invalid_argument("exp3m: weights must be > 0 and finite");
+    }
     total += w;
     max_weight = std::max(max_weight, w);
+  }
+
+  // Numeric guard (degraded-input hardening): a sum that overflowed to
+  // +inf, or a maximum small enough that dividing by the weight sum
+  // would overflow, both poison the marginals downstream. Probabilities
+  // are invariant to a common scale, so recompute on the max-normalized
+  // copy (with the same 1e-12 relative floor LfscPolicy keeps) instead.
+  if (num_arms > 0 &&
+      (!std::isfinite(total) || max_weight < 1e-100)) {
+    auto& scaled = scratch.scaled;
+    scaled.resize(num_arms);
+    for (std::size_t i = 0; i < num_arms; ++i) {
+      // True division, not multiplication by 1/max: a denormal maximum
+      // makes the reciprocal infinite while max/max is still exactly 1.
+      scaled[i] = std::max(weights[i] / max_weight, 1e-12);
+    }
+    // scaled is not aliased by the solve below (it uses heap/top/tail),
+    // and the recursion terminates: max(scaled) == 1, so neither guard
+    // condition can re-trigger.
+    exp3m_probabilities(std::span<const double>(scaled), k, gamma, out,
+                        scratch);
+    return;
   }
 
   out.p.resize(num_arms);

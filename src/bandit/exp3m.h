@@ -40,12 +40,22 @@ struct Exp3mScratch {
   std::vector<double> heap;  ///< weight copy, consumed as a 4-ary max-heap
   std::vector<double> top;   ///< the k+1 largest weights, sorted descending
   std::vector<double> tail;  ///< tail[s] = total - sum(top[0..s))
+  /// Max-normalized weight copy, populated only on the numeric-guard
+  /// path (sum overflow / denormal maximum); empty in steady state.
+  std::vector<double> scaled;
 };
 
 /// Computes the capped probability vector. Requirements: all weights
-/// strictly positive, k >= 1, gamma in [0, 1].
+/// strictly positive and finite, k >= 1, gamma in [0, 1].
 /// When the number of arms K <= k every arm gets p = 1 (and is marked
 /// capped: there is nothing to learn from a forced selection).
+///
+/// Numeric guard: when the weight scale is degenerate — the sum
+/// overflows to infinity, or the largest weight is so small that the
+/// normalizing reciprocal would overflow — the weights are re-expressed
+/// relative to their maximum (probabilities are scale-invariant) with a
+/// 1e-12 relative floor, so the returned marginals are always finite,
+/// in [0, 1], and sum to k.
 CappedProbabilities exp3m_probabilities(std::span<const double> weights,
                                         std::size_t k, double gamma);
 

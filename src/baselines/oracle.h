@@ -37,6 +37,16 @@ class OraclePolicy final : public Policy {
 
   Assignment select_omniscient(const Slot& slot) override;
 
+  /// The Oracle is stateless per slot, so its checkpoint is empty and a
+  /// resumed run is trivially bit-identical.
+  bool supports_checkpoint() const noexcept override { return true; }
+  void save_checkpoint(std::string& out) const override { (void)out; }
+  void load_checkpoint(std::string_view blob) override {
+    if (!blob.empty()) {
+      throw std::runtime_error("OraclePolicy: unexpected checkpoint payload");
+    }
+  }
+
  private:
   NetworkConfig net_;
   OracleConfig config_;

@@ -4,8 +4,10 @@
 // assignment.
 #pragma once
 
+#include <stdexcept>
 #include <string_view>
 
+#include "common/binio.h"
 #include "common/rng.h"
 #include "sim/policy.h"
 
@@ -18,6 +20,28 @@ class RandomPolicy final : public Policy {
   std::string_view name() const noexcept override { return "Random"; }
   Assignment select(const SlotInfo& info) override;
   void reset() override;
+
+  /// The RNG stream is the policy's only mutable state.
+  bool supports_checkpoint() const noexcept override { return true; }
+  void save_checkpoint(std::string& out) const override {
+    BlobWriter w;
+    const RngStreamState s = rng_.state();
+    for (const auto word : s.engine) w.u64(word);
+    w.f64(s.cached_normal);
+    w.u8(s.has_cached_normal ? 1 : 0);
+    out += w.take();
+  }
+  void load_checkpoint(std::string_view blob) override {
+    BlobReader r(blob);
+    RngStreamState s;
+    for (auto& word : s.engine) word = r.u64();
+    s.cached_normal = r.f64();
+    s.has_cached_normal = r.u8() != 0;
+    if (!r.done()) {
+      throw std::runtime_error("RandomPolicy: trailing bytes in checkpoint");
+    }
+    rng_.restore(s);
+  }
 
  private:
   NetworkConfig net_;

@@ -1,0 +1,136 @@
+// Bounds-checked binary blob serialization for checkpoints and other
+// exact-state persistence (harness/checkpoint.h). Values are written as
+// raw little-endian bytes — doubles round-trip bit-exactly, which the
+// resume-determinism contract (DESIGN.md §9) depends on — so blobs are
+// portable across processes on the same architecture family, not
+// across endianness.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lfsc {
+
+/// Appends typed values to a growing byte buffer.
+class BlobWriter {
+ public:
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i32(std::int32_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+
+  /// Length-prefixed byte string (u64 size + payload).
+  void str(std::string_view s) {
+    u64(s.size());
+    raw(s.data(), s.size());
+  }
+
+  void f64_span(std::span<const double> xs) {
+    u64(xs.size());
+    raw(xs.data(), xs.size() * sizeof(double));
+  }
+
+  const std::string& data() const noexcept { return buf_; }
+  std::string take() noexcept { return std::move(buf_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    // An empty span/string_view may carry a null data() pointer, which
+    // append() must not see even with n == 0.
+    if (n != 0) buf_.append(static_cast<const char*>(p), n);
+  }
+  std::string buf_;
+};
+
+/// Reads typed values back out of a blob; every read is bounds-checked
+/// and throws std::runtime_error on underflow (a truncated/corrupt blob
+/// must never become undefined behavior).
+class BlobReader {
+ public:
+  explicit BlobReader(std::string_view blob) noexcept : blob_(blob) {}
+
+  std::uint8_t u8() { return read<std::uint8_t>(); }
+  std::uint32_t u32() { return read<std::uint32_t>(); }
+  std::uint64_t u64() { return read<std::uint64_t>(); }
+  std::int32_t i32() { return read<std::int32_t>(); }
+  double f64() { return read<double>(); }
+
+  std::string str() {
+    const std::uint64_t n = u64();
+    check(n);
+    std::string out(blob_.substr(pos_, n));
+    pos_ += n;
+    return out;
+  }
+
+  std::vector<double> f64_vec() {
+    const std::uint64_t n = u64();
+    // Divide rather than multiply: n is attacker-controlled in a corrupt
+    // blob and n * sizeof(double) could wrap past the bounds check.
+    if (n > (blob_.size() - pos_) / sizeof(double)) {
+      throw std::runtime_error("BlobReader: truncated blob");
+    }
+    std::vector<double> out(n);
+    if (n != 0) {
+      std::memcpy(out.data(), blob_.data() + pos_, n * sizeof(double));
+      pos_ += n * sizeof(double);
+    }
+    return out;
+  }
+
+  std::size_t remaining() const noexcept { return blob_.size() - pos_; }
+  bool done() const noexcept { return pos_ == blob_.size(); }
+
+ private:
+  template <typename T>
+  T read() {
+    check(sizeof(T));
+    T v;
+    std::memcpy(&v, blob_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  void check(std::uint64_t n) const {
+    if (n > blob_.size() - pos_) {
+      throw std::runtime_error("BlobReader: truncated blob");
+    }
+  }
+
+  std::string_view blob_;
+  std::size_t pos_ = 0;
+};
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr auto kCrc32Table = make_crc32_table();
+}  // namespace detail
+
+/// IEEE 802.3 CRC-32 (the zlib polynomial); the checkpoint footer uses it
+/// to detect torn or bit-rotted files before any field is interpreted.
+inline std::uint32_t crc32(std::string_view data) noexcept {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    c = detail::kCrc32Table[(c ^ static_cast<std::uint8_t>(ch)) & 0xFFu] ^
+        (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace lfsc

@@ -52,8 +52,22 @@ class Xoshiro256StarStar {
   /// Advances the state by 2^128 steps; used to derive parallel streams.
   void jump() noexcept;
 
+  /// Exact engine state, for checkpointing. restore() of a saved state
+  /// resumes the identical output sequence.
+  const std::array<std::uint64_t, 4>& state() const noexcept { return s_; }
+  void restore(const std::array<std::uint64_t, 4>& s) noexcept { s_ = s; }
+
  private:
   std::array<std::uint64_t, 4> s_;
+};
+
+/// Exact serializable state of an RngStream: the engine words plus the
+/// Box-Muller cache (without it, a resumed stream would desync by one
+/// normal draw).
+struct RngStreamState {
+  std::array<std::uint64_t, 4> engine{};
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
 };
 
 /// A self-contained random stream with the distribution helpers the
@@ -106,6 +120,16 @@ class RngStream {
 
   /// Raw 64 random bits.
   std::uint64_t bits() noexcept { return engine_(); }
+
+  /// Exact state capture/restore for crash-safe checkpointing.
+  RngStreamState state() const noexcept {
+    return {engine_.state(), cached_normal_, has_cached_normal_};
+  }
+  void restore(const RngStreamState& s) noexcept {
+    engine_.restore(s.engine);
+    cached_normal_ = s.cached_normal;
+    has_cached_normal_ = s.has_cached_normal;
+  }
 
  private:
   Xoshiro256StarStar engine_;

@@ -1,0 +1,202 @@
+#include "faults/fault_model.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string_view>
+
+#include "common/binio.h"
+
+namespace lfsc {
+namespace {
+
+/// SplitMix64 finalizer: the avalanche stage used for stream derivation
+/// in common/rng.h, reused here as a counter-based hash.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Hashes (seed, tag, a, b) to a uniform double in [0, 1). Chained
+/// mix64 stages so every input perturbs all output bits.
+double hash_unit(std::uint64_t seed, std::uint64_t tag, std::uint64_t a,
+                 std::uint64_t b) noexcept {
+  std::uint64_t h = mix64(seed ^ mix64(tag));
+  h = mix64(h ^ a);
+  h = mix64(h ^ b);
+  // Top 53 bits -> [0, 1), the same mapping RngStream::uniform() uses.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Domain-separation tags for the independent draw families.
+constexpr std::uint64_t kTagOutageStart = 0x00DA6E'5741ULL;
+constexpr std::uint64_t kTagOutageLen = 0x00DA6E'4C45ULL;
+constexpr std::uint64_t kTagFate = 0xFA7EULL;
+constexpr std::uint64_t kTagCorrupt = 0xC0'44BB47ULL;
+
+void check_prob(double p, const char* name) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(std::string("FaultConfig: ") + name +
+                                " must be in [0,1]");
+  }
+}
+
+}  // namespace
+
+void FaultConfig::validate() const {
+  check_prob(outage_prob, "outage_prob");
+  check_prob(loss_prob, "loss_prob");
+  check_prob(delay_prob, "delay_prob");
+  check_prob(corrupt_prob, "corrupt_prob");
+  if (loss_prob + delay_prob + corrupt_prob > 1.0) {
+    throw std::invalid_argument(
+        "FaultConfig: loss_prob + delay_prob + corrupt_prob must be <= 1");
+  }
+  if (outage_min_slots < 1 || outage_max_slots < outage_min_slots) {
+    throw std::invalid_argument(
+        "FaultConfig: need 1 <= outage_min_slots <= outage_max_slots");
+  }
+  if (delay_slots < 0) {
+    throw std::invalid_argument("FaultConfig: delay_slots must be >= 0");
+  }
+  if (delay_prob > 0.0 && delay_slots < 1) {
+    throw std::invalid_argument(
+        "FaultConfig: delay_prob > 0 requires delay_slots >= 1");
+  }
+}
+
+FaultModel::FaultModel(FaultConfig config, int num_scns)
+    : config_(config),
+      remaining_(static_cast<std::size_t>(num_scns), 0),
+      down_(static_cast<std::size_t>(num_scns), 0) {
+  if (num_scns <= 0) {
+    throw std::invalid_argument("FaultModel: num_scns must be >= 1");
+  }
+  config_.validate();
+}
+
+void FaultModel::attach_telemetry(telemetry::Registry& registry) {
+  outage_slots_ = &registry.counter("faults.outage_slots");
+  outages_started_ = &registry.counter("faults.outages_started");
+  feedback_total_ = &registry.counter("faults.feedback.total");
+  fate_counters_[0] = &registry.counter("faults.feedback.delivered");
+  fate_counters_[1] = &registry.counter("faults.feedback.lost");
+  fate_counters_[2] = &registry.counter("faults.feedback.delayed");
+  fate_counters_[3] = &registry.counter("faults.feedback.corrupted");
+  late_delivered_ = &registry.counter("faults.feedback.late_delivered");
+  inflight_lost_ = &registry.counter("faults.feedback.inflight_lost");
+  late_dropped_ = &registry.counter("faults.feedback.late_dropped");
+}
+
+void FaultModel::begin_slot(int t) {
+  down_count_ = 0;
+  const auto num_scns = remaining_.size();
+  for (std::size_t m = 0; m < num_scns; ++m) {
+    if (remaining_[m] > 0) {
+      --remaining_[m];
+      down_[m] = 1;
+      ++down_count_;
+      continue;
+    }
+    down_[m] = 0;
+    if (config_.outage_prob <= 0.0) continue;
+    const double u = hash_unit(config_.seed, kTagOutageStart,
+                               static_cast<std::uint64_t>(t), m);
+    if (u < config_.outage_prob) {
+      const double len_u = hash_unit(config_.seed, kTagOutageLen,
+                                     static_cast<std::uint64_t>(t), m);
+      const int span = config_.outage_max_slots - config_.outage_min_slots + 1;
+      const int length =
+          config_.outage_min_slots +
+          std::min(span - 1, static_cast<int>(len_u * span));
+      // This slot is the first down slot of the burst.
+      remaining_[m] = length - 1;
+      down_[m] = 1;
+      ++down_count_;
+      if (outages_started_ != nullptr) outages_started_->add();
+    }
+  }
+  if (outage_slots_ != nullptr && down_count_ > 0) {
+    outage_slots_->add(static_cast<std::uint64_t>(down_count_));
+  }
+}
+
+FaultModel::Fate FaultModel::classify(int t, int m, int local_index) const {
+  const double u = hash_unit(
+      config_.seed, kTagFate, static_cast<std::uint64_t>(t),
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(m)) << 32) |
+          static_cast<std::uint32_t>(local_index));
+  double edge = config_.loss_prob;
+  if (u < edge) return Fate::kLost;
+  edge += config_.delay_prob;
+  if (u < edge) return Fate::kDelayed;
+  edge += config_.corrupt_prob;
+  if (u < edge) return Fate::kCorrupted;
+  return Fate::kDeliver;
+}
+
+TaskFeedback FaultModel::corrupt(int t, int m, int local_index,
+                                 TaskFeedback f) const {
+  const double u = hash_unit(
+      config_.seed, kTagCorrupt, static_cast<std::uint64_t>(t),
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(m)) << 32) |
+          static_cast<std::uint32_t>(local_index));
+  switch (static_cast<int>(u * 4.0) & 3) {
+    case 0:
+      f.u = std::numeric_limits<double>::quiet_NaN();
+      break;
+    case 1:
+      f.v = std::numeric_limits<double>::infinity();
+      break;
+    case 2:
+      f.q = -1.0;  // out of range: Q lives in [1, 2]
+      break;
+    default:
+      f.u = 1.0e9;  // out of range: U lives in [0, 1]
+      break;
+  }
+  return f;
+}
+
+void FaultModel::note_fate(Fate fate, std::uint64_t n) {
+  if (feedback_total_ == nullptr || n == 0) return;
+  feedback_total_->add(n);
+  fate_counters_[static_cast<std::size_t>(fate)]->add(n);
+}
+
+void FaultModel::note_late_delivered(std::uint64_t n) {
+  if (late_delivered_ != nullptr && n > 0) late_delivered_->add(n);
+}
+
+void FaultModel::note_inflight_lost(std::uint64_t n) {
+  if (inflight_lost_ != nullptr && n > 0) inflight_lost_->add(n);
+}
+
+void FaultModel::note_late_dropped(std::uint64_t n) {
+  if (late_dropped_ != nullptr && n > 0) late_dropped_->add(n);
+}
+
+void FaultModel::save_state(std::string& out) const {
+  BlobWriter w;
+  w.u32(static_cast<std::uint32_t>(remaining_.size()));
+  for (const auto r : remaining_) w.i32(r);
+  out += w.take();
+}
+
+void FaultModel::load_state(std::string_view blob) {
+  BlobReader r(blob);
+  const auto n = r.u32();
+  if (n != remaining_.size()) {
+    throw std::runtime_error("FaultModel: checkpoint SCN count mismatch");
+  }
+  for (auto& rem : remaining_) rem = r.i32();
+  if (!r.done()) {
+    throw std::runtime_error("FaultModel: trailing bytes in checkpoint");
+  }
+  std::fill(down_.begin(), down_.end(), 0);
+  down_count_ = 0;
+}
+
+}  // namespace lfsc

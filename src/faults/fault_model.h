@@ -1,0 +1,143 @@
+// Seeded, deterministic fault injection for the control plane
+// (DESIGN.md §9): the paper's learner is built for an uncertain *radio*
+// environment, this layer makes the *pipeline* uncertain too.
+//
+// Three fault families, all driven by counter-based hashing so every
+// event is a pure function of (fault seed, slot, SCN, task) — no hidden
+// RNG stream to advance, which is what makes an injected schedule
+// independent of the policy roster, of parallel_scns, and of
+// checkpoint/resume:
+//  * SCN outages — an SCN goes dark for a burst of slots: its coverage
+//    is emptied (it accepts nothing) and delayed feedback addressed to
+//    it while down is dropped (in-flight loss). The only evolving state
+//    is the per-SCN remaining-burst counter, serialized in checkpoints.
+//  * Feedback loss & delay — each observation independently either
+//    arrives on time, arrives `delay_slots` late, or never arrives.
+//  * Observation corruption — an observation is delivered with poisoned
+//    fields (NaN / infinity / out-of-range values); hardened policies
+//    must reject or clamp it (LfscPolicy counts lfsc.feedback.rejected).
+//
+// When a telemetry registry is attached, every injected event and every
+// recovery action is counted under faults.* (schema in DESIGN.md §9).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/task.h"
+#include "telemetry/telemetry.h"
+
+namespace lfsc {
+
+struct FaultConfig {
+  /// Probability that an *up* SCN starts an outage burst in a given
+  /// slot. Valid: [0, 1]. 0 disables outages.
+  double outage_prob = 0.0;
+
+  /// Outage burst length is drawn uniformly from
+  /// [outage_min_slots, outage_max_slots]. Valid: 1 <= min <= max.
+  int outage_min_slots = 1;
+  int outage_max_slots = 1;
+
+  /// Probability an observation is lost outright (never delivered).
+  /// Valid: [0, 1].
+  double loss_prob = 0.0;
+
+  /// Probability an observation is delayed by exactly `delay_slots`
+  /// slots. Valid: [0, 1]; > 0 requires delay_slots >= 1.
+  double delay_prob = 0.0;
+
+  /// The paper-facing delay L: a delayed observation for slot t arrives
+  /// at slot t + L. Valid: >= 0.
+  int delay_slots = 0;
+
+  /// Probability an observation is delivered with corrupted fields.
+  /// Valid: [0, 1].
+  double corrupt_prob = 0.0;
+
+  /// Root seed of the injected schedule; independent of world and
+  /// policy seeds.
+  std::uint64_t seed = 0xFA17;
+
+  /// True when any fault family is active.
+  bool any() const noexcept {
+    return outage_prob > 0.0 || loss_prob > 0.0 || delay_prob > 0.0 ||
+           corrupt_prob > 0.0;
+  }
+
+  /// Throws std::invalid_argument on out-of-range parameters.
+  void validate() const;
+};
+
+class FaultModel {
+ public:
+  /// What happens to one observation on its way back to the learner.
+  enum class Fate : std::uint8_t {
+    kDeliver = 0,    ///< arrives on time, intact
+    kLost = 1,       ///< never arrives
+    kDelayed = 2,    ///< arrives delay_slots late
+    kCorrupted = 3,  ///< arrives on time with poisoned fields
+  };
+
+  FaultModel(FaultConfig config, int num_scns);
+
+  const FaultConfig& config() const noexcept { return config_; }
+  bool enabled() const noexcept { return config_.any(); }
+
+  /// Registers the faults.* counters on `registry` (idempotent names;
+  /// call once, before the run). Without this the model still injects,
+  /// it just counts nothing.
+  void attach_telemetry(telemetry::Registry& registry);
+
+  /// Advances the outage process into slot `t`. Must be called once per
+  /// slot, in order (checkpoint/restore snapshots the burst counters so
+  /// a resumed run continues the same schedule).
+  void begin_slot(int t);
+
+  /// True when SCN `m` is down in the current slot.
+  bool scn_down(int m) const {
+    return down_[static_cast<std::size_t>(m)] != 0;
+  }
+  int down_scns() const noexcept { return down_count_; }
+
+  /// Fate of the observation for (slot t, SCN m, local task index j).
+  /// Pure function of the fault seed — independent of call order.
+  Fate classify(int t, int m, int local_index) const;
+
+  /// Deterministically poisons one field of `f` (NaN, infinity, negative
+  /// or absurdly large values), keyed like classify().
+  TaskFeedback corrupt(int t, int m, int local_index, TaskFeedback f) const;
+
+  // Recovery-action accounting, called by the harness for the policy
+  // whose registry is attached (no-ops before attach_telemetry()).
+  void note_fate(Fate fate, std::uint64_t n = 1);
+  void note_late_delivered(std::uint64_t n = 1);
+  void note_inflight_lost(std::uint64_t n = 1);
+  void note_late_dropped(std::uint64_t n = 1);
+
+  /// Exact state snapshot (the per-SCN burst counters) for crash-safe
+  /// checkpointing.
+  void save_state(std::string& out) const;
+  void load_state(std::string_view blob);
+
+ private:
+  double unit_draw(std::uint64_t tag, std::uint64_t a,
+                   std::uint64_t b) const noexcept;
+
+  FaultConfig config_;
+  std::vector<std::int32_t> remaining_;  ///< burst slots left, per SCN
+  std::vector<std::uint8_t> down_;       ///< down this slot, per SCN
+  int down_count_ = 0;
+
+  telemetry::Counter* outage_slots_ = nullptr;    ///< faults.outage_slots
+  telemetry::Counter* outages_started_ = nullptr; ///< faults.outages_started
+  telemetry::Counter* feedback_total_ = nullptr;  ///< faults.feedback.total
+  telemetry::Counter* fate_counters_[4] = {};  ///< .delivered/.lost/.delayed/.corrupted
+  telemetry::Counter* late_delivered_ = nullptr;
+  telemetry::Counter* inflight_lost_ = nullptr;
+  telemetry::Counter* late_dropped_ = nullptr;
+};
+
+}  // namespace lfsc

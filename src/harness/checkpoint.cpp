@@ -1,0 +1,216 @@
+#include "harness/checkpoint.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include <unistd.h>
+
+#include "common/binio.h"
+
+namespace lfsc {
+namespace {
+
+constexpr char kMagic[8] = {'L', 'F', 'S', 'C', 'C', 'K', 'P', 'T'};
+constexpr std::uint32_t kFileVersion = 1;
+
+void write_feedback(BlobWriter& w, const SlotFeedback& fb) {
+  w.u32(static_cast<std::uint32_t>(fb.per_scn.size()));
+  for (const auto& items : fb.per_scn) {
+    w.u32(static_cast<std::uint32_t>(items.size()));
+    for (const auto& f : items) {
+      w.i32(f.local_index);
+      w.f64(f.u);
+      w.f64(f.v);
+      w.f64(f.q);
+    }
+  }
+}
+
+SlotFeedback read_feedback(BlobReader& r) {
+  SlotFeedback fb;
+  fb.per_scn.resize(r.u32());
+  for (auto& items : fb.per_scn) {
+    items.resize(r.u32());
+    for (auto& f : items) {
+      f.local_index = r.i32();
+      f.u = r.f64();
+      f.v = r.f64();
+      f.q = r.f64();
+    }
+  }
+  return fb;
+}
+
+void write_u64_vec(BlobWriter& w, const std::vector<std::uint64_t>& xs) {
+  w.u64(xs.size());
+  for (const auto x : xs) w.u64(x);
+}
+
+std::vector<std::uint64_t> read_u64_vec(BlobReader& r) {
+  std::vector<std::uint64_t> out(r.u64());
+  for (auto& x : out) x = r.u64();
+  return out;
+}
+
+std::string serialize(const CheckpointState& state) {
+  BlobWriter w;
+  w.u32(kFileVersion);
+  w.i32(state.completed_slots);
+  w.i32(state.horizon);
+
+  w.u32(static_cast<std::uint32_t>(state.policies.size()));
+  for (const auto& p : state.policies) {
+    w.str(p.name);
+    w.str(p.blob);
+    w.f64_span(p.reward);
+    w.f64_span(p.qos);
+    w.f64_span(p.res);
+    w.u32(static_cast<std::uint32_t>(p.delayed.size()));
+    for (const auto& batch : p.delayed) {
+      w.i32(batch.origin_t);
+      w.i32(batch.arrival_t);
+      write_feedback(w, batch.feedback);
+    }
+  }
+
+  w.str(state.faults_blob);
+
+  w.u32(static_cast<std::uint32_t>(state.metrics.size()));
+  for (const auto& m : state.metrics) {
+    w.str(m.name);
+    w.u8(static_cast<std::uint8_t>(m.kind));
+    w.u64(m.count);
+    w.f64(m.value);
+    w.f64(m.sum);
+    w.f64_span(m.stream_values);
+    w.f64_span(m.bounds);
+    write_u64_vec(w, m.bucket_counts);
+  }
+
+  const auto& series = state.telemetry_series;
+  w.u32(static_cast<std::uint32_t>(series.names.size()));
+  for (const auto& name : series.names) w.str(name);
+  w.u32(static_cast<std::uint32_t>(series.t.size()));
+  for (const auto t : series.t) w.i32(t);
+  for (const auto& row : series.rows) w.f64_span(row);
+
+  return w.take();
+}
+
+CheckpointState deserialize(std::string_view payload) {
+  BlobReader r(payload);
+  if (r.u32() != kFileVersion) {
+    throw std::runtime_error("checkpoint: unsupported file version");
+  }
+  CheckpointState state;
+  state.completed_slots = r.i32();
+  state.horizon = r.i32();
+
+  state.policies.resize(r.u32());
+  for (auto& p : state.policies) {
+    p.name = r.str();
+    p.blob = r.str();
+    p.reward = r.f64_vec();
+    p.qos = r.f64_vec();
+    p.res = r.f64_vec();
+    p.delayed.resize(r.u32());
+    for (auto& batch : p.delayed) {
+      batch.origin_t = r.i32();
+      batch.arrival_t = r.i32();
+      batch.feedback = read_feedback(r);
+    }
+  }
+
+  state.faults_blob = r.str();
+
+  state.metrics.resize(r.u32());
+  for (auto& m : state.metrics) {
+    m.name = r.str();
+    m.kind = static_cast<telemetry::Kind>(r.u8());
+    m.count = r.u64();
+    m.value = r.f64();
+    m.sum = r.f64();
+    m.stream_values = r.f64_vec();
+    m.bounds = r.f64_vec();
+    m.bucket_counts = read_u64_vec(r);
+  }
+
+  auto& series = state.telemetry_series;
+  series.names.resize(r.u32());
+  for (auto& name : series.names) name = r.str();
+  series.t.resize(r.u32());
+  for (auto& t : series.t) t = r.i32();
+  series.rows.resize(series.t.size());
+  for (auto& row : series.rows) row = r.f64_vec();
+
+  if (!r.done()) {
+    throw std::runtime_error("checkpoint: trailing bytes after payload");
+  }
+  return state;
+}
+
+}  // namespace
+
+void write_checkpoint_file(const std::string& path,
+                           const CheckpointState& state) {
+  std::string file(kMagic, sizeof kMagic);
+  file += serialize(state);
+  const std::uint32_t crc = crc32(file);
+  file.append(reinterpret_cast<const char*>(&crc), sizeof crc);
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* fp = std::fopen(tmp.c_str(), "wb");
+  if (fp == nullptr) {
+    throw std::runtime_error("checkpoint: cannot open " + tmp + ": " +
+                             std::strerror(errno));
+  }
+  const bool wrote =
+      std::fwrite(file.data(), 1, file.size(), fp) == file.size() &&
+      std::fflush(fp) == 0 && ::fsync(::fileno(fp)) == 0;
+  const bool closed = std::fclose(fp) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: write to " + tmp + " failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: rename to " + path + " failed: " +
+                             std::strerror(errno));
+  }
+}
+
+CheckpointState read_checkpoint_file(const std::string& path) {
+  std::FILE* fp = std::fopen(path.c_str(), "rb");
+  if (fp == nullptr) {
+    throw std::runtime_error("checkpoint: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
+  std::string file;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, fp)) > 0) file.append(buf, n);
+  const bool read_error = std::ferror(fp) != 0;
+  std::fclose(fp);
+  if (read_error) {
+    throw std::runtime_error("checkpoint: read from " + path + " failed");
+  }
+
+  if (file.size() < sizeof kMagic + sizeof(std::uint32_t) ||
+      std::memcmp(file.data(), kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("checkpoint: " + path +
+                             " is not a checkpoint file");
+  }
+  const std::size_t body = file.size() - sizeof(std::uint32_t);
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, file.data() + body, sizeof stored);
+  if (crc32(std::string_view(file.data(), body)) != stored) {
+    throw std::runtime_error("checkpoint: " + path +
+                             " failed CRC32 verification (torn or corrupt)");
+  }
+  return deserialize(
+      std::string_view(file.data() + sizeof kMagic, body - sizeof kMagic));
+}
+
+}  // namespace lfsc

@@ -1,0 +1,59 @@
+// Crash-safe run checkpoints (DESIGN.md §9): the full mutable state of
+// an experiment mid-run — every policy's exact learner image, the
+// partial outcome series, in-flight delayed feedback, the fault model's
+// burst counters and the telemetry registry — serialized as one binary
+// file.
+//
+// Durability: the file is written to `<path>.tmp`, flushed and fsynced,
+// then renamed over `<path>` (atomic on POSIX), and carries a CRC32
+// footer over the whole payload — a crash mid-write leaves either the
+// previous checkpoint or a torn temp file, never a half-written
+// checkpoint that read_checkpoint_file() would accept.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/task.h"
+#include "telemetry/telemetry.h"
+
+namespace lfsc {
+
+/// A delayed-feedback batch still queued inside the runner.
+struct CheckpointDelayedBatch {
+  int origin_t = 0;
+  int arrival_t = 0;
+  SlotFeedback feedback;
+};
+
+/// One policy's share of a checkpoint.
+struct CheckpointPolicyState {
+  std::string name;  ///< must match the live policy at resume
+  std::string blob;  ///< Policy::save_checkpoint image
+  std::vector<double> reward;  ///< partial per-slot series (completed_slots)
+  std::vector<double> qos;
+  std::vector<double> res;
+  std::vector<CheckpointDelayedBatch> delayed;  ///< runner's queue
+};
+
+struct CheckpointState {
+  int completed_slots = 0;  ///< slots 1..completed_slots are done
+  int horizon = 0;          ///< the run's configured T (sanity check)
+  std::vector<CheckpointPolicyState> policies;
+  std::string faults_blob;  ///< FaultModel::save_state, empty = no faults
+  std::vector<telemetry::MetricSnapshot> metrics;  ///< Registry::snapshot
+  telemetry::TimeSeries telemetry_series;          ///< sampled rows so far
+};
+
+/// Serializes `state` and atomically replaces the file at `path`.
+/// Throws std::runtime_error on I/O failure (temp file is removed).
+void write_checkpoint_file(const std::string& path,
+                           const CheckpointState& state);
+
+/// Reads and verifies (magic, version, CRC32) a checkpoint written by
+/// write_checkpoint_file. Throws std::runtime_error on a missing,
+/// corrupt or version-incompatible file.
+CheckpointState read_checkpoint_file(const std::string& path);
+
+}  // namespace lfsc

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "common/log.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
+#include "harness/checkpoint.h"
 
 namespace lfsc {
 
@@ -19,17 +21,61 @@ const SeriesRecorder& ExperimentResult::find(std::string_view name) const {
                           std::string(name));
 }
 
+namespace {
+
+/// A delayed-feedback batch in flight between observe(origin_t) and its
+/// arrival `delay_slots` later.
+struct DelayedBatch {
+  int origin_t = 0;
+  int arrival_t = 0;
+  SlotFeedback feedback;
+};
+
+}  // namespace
+
 ExperimentResult run_experiment(SlotSource& sim,
                                 std::span<Policy* const> policies,
                                 const RunConfig& config) {
   if (config.horizon <= 0) {
     throw std::invalid_argument("run_experiment: horizon must be positive");
   }
+  if (config.resume && config.checkpoint_path.empty()) {
+    throw std::invalid_argument(
+        "run_experiment: resume requires a checkpoint path");
+  }
+  if (!config.checkpoint_path.empty()) {
+    for (const Policy* p : policies) {
+      if (!p->supports_checkpoint()) {
+        throw std::invalid_argument(
+            "run_experiment: checkpointing requested but policy '" +
+            std::string(p->name()) + "' does not support it");
+      }
+    }
+  }
   ExperimentResult result;
   result.series.reserve(policies.size());
   for (const Policy* p : policies) {
     result.series.emplace_back(std::string(p->name()));
   }
+
+  // Fault-injection setup. The delay window is fixed by the fault
+  // config, so policies opt in (or not) once, before the first slot.
+  FaultModel* faults = config.faults;
+  const bool faults_on = faults != nullptr && faults->enabled();
+  const int delay_slots =
+      faults_on && faults->config().delay_prob > 0.0
+          ? faults->config().delay_slots
+          : 0;
+  std::vector<char> accepts_delayed(policies.size(), 0);
+  if (delay_slots > 0) {
+    for (std::size_t k = 0; k < policies.size(); ++k) {
+      if (!policies[k]->needs_realizations()) {
+        accepts_delayed[k] =
+            policies[k]->enable_delayed_feedback(delay_slots) ? 1 : 0;
+      }
+    }
+  }
+  std::vector<std::vector<DelayedBatch>> in_flight(policies.size());
 
   // Telemetry capture: harness-side metrics join the caller's registry
   // so one export carries the policy's internals and the run's outcome
@@ -45,17 +91,154 @@ ExperimentResult run_experiment(SlotSource& sim,
   telemetry::Gauge* cum_reward = nullptr;
   telemetry::Gauge* cum_qos = nullptr;
   telemetry::Gauge* cum_res = nullptr;
+  telemetry::Counter* ckpt_writes = nullptr;
+  telemetry::Counter* ckpt_resumes = nullptr;
   if (telemetry != nullptr) {
     harness_slots = &telemetry->counter("harness.slots", "slots");
     cum_reward = &telemetry->gauge("harness.cum_reward", "reward");
     cum_qos = &telemetry->gauge("harness.cum_qos_violation", "violation");
     cum_res = &telemetry->gauge("harness.cum_resource_violation", "violation");
+    if (!config.checkpoint_path.empty()) {
+      ckpt_writes = &telemetry->counter("checkpoint.writes", "files");
+      ckpt_resumes = &telemetry->counter("checkpoint.resumes", "runs");
+    }
+    if (faults_on) faults->attach_telemetry(*telemetry);
+  }
+
+  // Captures the run's full mutable state after `t` completed slots and
+  // atomically replaces the checkpoint file. `last_checkpoint_t` skips
+  // a redundant rewrite when a stop lands right after a periodic write —
+  // which also keeps the checkpoint.writes count identical between an
+  // interrupted-and-resumed run and an uninterrupted one.
+  int last_checkpoint_t = -1;
+  const auto write_checkpoint = [&](int t) {
+    if (t == last_checkpoint_t) return;
+    last_checkpoint_t = t;
+    if (ckpt_writes != nullptr) ckpt_writes->add(1);
+    CheckpointState ck;
+    ck.completed_slots = t;
+    ck.horizon = config.horizon;
+    ck.policies.resize(policies.size());
+    for (std::size_t k = 0; k < policies.size(); ++k) {
+      auto& ps = ck.policies[k];
+      ps.name = std::string(policies[k]->name());
+      policies[k]->save_checkpoint(ps.blob);
+      const SeriesRecorder& rec = result.series[k];
+      ps.reward.assign(rec.reward().begin(), rec.reward().end());
+      ps.qos.assign(rec.qos_violation().begin(), rec.qos_violation().end());
+      ps.res.assign(rec.resource_violation().begin(),
+                    rec.resource_violation().end());
+      for (const auto& batch : in_flight[k]) {
+        ps.delayed.push_back({batch.origin_t, batch.arrival_t, batch.feedback});
+      }
+    }
+    if (faults != nullptr) faults->save_state(ck.faults_blob);
+    if (telemetry != nullptr) ck.metrics = telemetry->snapshot();
+    ck.telemetry_series = result.telemetry_series;
+    write_checkpoint_file(config.checkpoint_path, ck);
+  };
+
+  int start_t = 1;
+  if (config.resume) {
+    CheckpointState ck = read_checkpoint_file(config.checkpoint_path);
+    if (ck.horizon != config.horizon) {
+      throw std::runtime_error(
+          "run_experiment: checkpoint horizon differs from this run");
+    }
+    if (ck.policies.size() != policies.size()) {
+      throw std::runtime_error(
+          "run_experiment: checkpoint policy roster differs from this run");
+    }
+    for (std::size_t k = 0; k < policies.size(); ++k) {
+      auto& ps = ck.policies[k];
+      if (ps.name != policies[k]->name()) {
+        throw std::runtime_error(
+            "run_experiment: checkpoint policy '" + ps.name +
+            "' does not match '" + std::string(policies[k]->name()) + "'");
+      }
+      policies[k]->load_checkpoint(ps.blob);
+      result.series[k].restore(ps.reward, ps.qos, ps.res);
+      for (auto& batch : ps.delayed) {
+        in_flight[k].push_back(
+            {batch.origin_t, batch.arrival_t, std::move(batch.feedback)});
+      }
+    }
+    if (faults != nullptr) {
+      if (ck.faults_blob.empty()) {
+        throw std::runtime_error(
+            "run_experiment: checkpoint carries no fault state but fault "
+            "injection is configured");
+      }
+      faults->load_state(ck.faults_blob);
+    }
+    if (telemetry != nullptr) telemetry->restore(ck.metrics);
+    result.telemetry_series = std::move(ck.telemetry_series);
+    // Fast-forward the world: stateful sources (mobility) need slots in
+    // order, and the task-id sequence must continue where it left off.
+    for (int t = 1; t <= ck.completed_slots; ++t) {
+      (void)sim.generate_slot(t);
+    }
+    start_t = ck.completed_slots + 1;
+    last_checkpoint_t = ck.completed_slots;
+    if (ckpt_resumes != nullptr) ckpt_resumes->add(1);
   }
 
   Stopwatch watch;
   const auto& net = sim.network();
-  for (int t = 1; t <= config.horizon; ++t) {
-    const Slot slot = sim.generate_slot(t);
+  const std::size_t num_scns = static_cast<std::size_t>(net.num_scns);
+  int completed = start_t - 1;
+  for (int t = start_t; t <= config.horizon; ++t) {
+    if (config.stop != nullptr &&
+        config.stop->load(std::memory_order_relaxed)) {
+      result.interrupted = true;
+      break;
+    }
+    if (faults_on) faults->begin_slot(t);
+    Slot slot = sim.generate_slot(t);
+    if (faults_on && faults->down_scns() > 0) {
+      // A down SCN accepts nothing this slot: its coverage vanishes
+      // before any policy sees the SlotInfo.
+      for (std::size_t m = 0; m < num_scns; ++m) {
+        if (faults->scn_down(static_cast<int>(m))) {
+          slot.info.coverage[m].clear();
+        }
+      }
+    }
+
+    // Deliver due delayed batches before any decision for slot t.
+    // Batches addressed to an SCN that is down at arrival are lost in
+    // flight. Serial per policy — delivery mutates policy state in
+    // origin order, and the per-SCN application inside observe_delayed
+    // is where the parallelism lives.
+    if (delay_slots > 0) {
+      for (std::size_t k = 0; k < policies.size(); ++k) {
+        auto& queue = in_flight[k];
+        std::size_t write = 0;
+        for (std::size_t i = 0; i < queue.size(); ++i) {
+          if (queue[i].arrival_t != t) {
+            if (write != i) queue[write] = std::move(queue[i]);
+            ++write;
+            continue;
+          }
+          DelayedBatch batch = std::move(queue[i]);
+          for (std::size_t m = 0; m < batch.feedback.per_scn.size(); ++m) {
+            auto& items = batch.feedback.per_scn[m];
+            if (items.empty()) continue;
+            if (faults->scn_down(static_cast<int>(m))) {
+              if (k == telemetry_policy) {
+                faults->note_inflight_lost(items.size());
+              }
+              items.clear();
+            } else if (k == telemetry_policy) {
+              faults->note_late_delivered(items.size());
+            }
+          }
+          policies[k]->observe_delayed(batch.origin_t, batch.feedback);
+        }
+        queue.resize(write);
+      }
+    }
+
     const auto step_policy = [&](std::size_t k) {
       Policy& policy = *policies[k];
       const Assignment assignment = policy.needs_realizations()
@@ -69,17 +252,62 @@ ExperimentResult run_experiment(SlotSource& sim,
         }
       }
       result.series[k].add(evaluate_slot(slot, assignment, net));
-      if (!policy.needs_realizations()) {
-        policy.observe(slot.info, assignment, make_feedback(slot, assignment));
+      if (policy.needs_realizations()) return;
+      SlotFeedback feedback = make_feedback(slot, assignment);
+      if (!faults_on) {
+        policy.observe(slot.info, assignment, feedback);
+        return;
+      }
+      // Route every observation through the fault model: deliver, lose,
+      // delay, or corrupt. Fates are pure functions of (seed, t, SCN,
+      // local index), so the injected schedule is identical for every
+      // policy; counters track the telemetry policy's experience.
+      SlotFeedback late;
+      late.per_scn.resize(feedback.per_scn.size());
+      bool any_late = false;
+      for (std::size_t m = 0; m < feedback.per_scn.size(); ++m) {
+        auto& items = feedback.per_scn[m];
+        std::size_t write = 0;
+        for (std::size_t i = 0; i < items.size(); ++i) {
+          const auto fate =
+              faults->classify(t, static_cast<int>(m), items[i].local_index);
+          if (k == telemetry_policy) faults->note_fate(fate);
+          switch (fate) {
+            case FaultModel::Fate::kDeliver:
+              items[write++] = items[i];
+              break;
+            case FaultModel::Fate::kCorrupted:
+              items[write++] = faults->corrupt(t, static_cast<int>(m),
+                                               items[i].local_index, items[i]);
+              break;
+            case FaultModel::Fate::kLost:
+              break;
+            case FaultModel::Fate::kDelayed:
+              if (accepts_delayed[k] != 0) {
+                late.per_scn[m].push_back(items[i]);
+                any_late = true;
+              } else if (k == telemetry_policy) {
+                faults->note_late_dropped(1);
+              }
+              break;
+          }
+        }
+        items.resize(write);
+      }
+      policy.observe(slot.info, assignment, feedback);
+      if (any_late) {
+        in_flight[k].push_back({t, t + delay_slots, std::move(late)});
       }
     };
     if (config.parallel_policies && policies.size() > 1) {
-      // Each policy touches only its own state and its own series slot;
-      // the slot itself is shared read-only.
+      // Each policy touches only its own state, its own series slot and
+      // its own delay queue; the slot itself is shared read-only, and
+      // fault counters are touched only by the telemetry policy.
       parallel_for(policies.size(), step_policy);
     } else {
       for (std::size_t k = 0; k < policies.size(); ++k) step_policy(k);
     }
+    completed = t;
     if (telemetry != nullptr) {
       harness_slots->add(1);
       if (t % sample_every == 0 || t == config.horizon) {
@@ -90,10 +318,21 @@ ExperimentResult run_experiment(SlotSource& sim,
         result.telemetry_series.sample(*telemetry, t);
       }
     }
+    if (!config.checkpoint_path.empty() && config.checkpoint_every > 0 &&
+        t % config.checkpoint_every == 0 && t != config.horizon) {
+      write_checkpoint(t);
+    }
     if (config.progress_every > 0 && t % config.progress_every == 0) {
       LFSC_LOG_INFO << "slot " << t << "/" << config.horizon << " ("
                     << Table::num(watch.seconds(), 1) << "s)";
     }
+  }
+  result.completed_slots = completed;
+  if (!config.checkpoint_path.empty() &&
+      (result.interrupted || completed == config.horizon)) {
+    // Final state: on interruption this is what --resume continues
+    // from; on completion it doubles as the run's state archive.
+    write_checkpoint(completed);
   }
   result.wall_seconds = watch.seconds();
   return result;

@@ -2,12 +2,20 @@
 // the identical realization, enforcing the information flow (honest
 // policies see SlotInfo only; the Oracle sees the full slot) and
 // validating constraints (1a)/(1b) structurally.
+//
+// Optional robustness features (DESIGN.md §9): fault injection (SCN
+// outages, feedback loss/delay/corruption via a FaultModel), graceful
+// interruption, and crash-safe checkpoint/restore with bit-identical
+// resume.
 #pragma once
 
+#include <atomic>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
+#include "faults/fault_model.h"
 #include "metrics/recorder.h"
 #include "sim/policy.h"
 #include "sim/simulator.h"
@@ -47,11 +55,46 @@ struct RunConfig {
   /// Index into the policy span whose SeriesRecorder feeds the
   /// harness.cum_* gauges (out-of-range values clamp).
   int telemetry_policy = 0;
+
+  /// Fault injection (DESIGN.md §9). When set, the runner advances the
+  /// outage process each slot (down SCNs lose their coverage before any
+  /// policy sees the slot) and routes every observation through
+  /// FaultModel::classify — delivered, lost, delayed delay_slots late,
+  /// or corrupted. Policies that accept delayed feedback
+  /// (enable_delayed_feedback) get late batches via observe_delayed;
+  /// for the rest, late observations are dropped. Fault counters are
+  /// recorded for the policy at index `telemetry_policy`.
+  FaultModel* faults = nullptr;
+
+  /// Checkpointing. When `checkpoint_path` is non-empty, every policy
+  /// must support checkpointing (supports_checkpoint), and the runner
+  /// atomically rewrites the file every `checkpoint_every` slots
+  /// (0 = only on graceful stop) and on a stop request.
+  std::string checkpoint_path{};
+  int checkpoint_every = 0;
+
+  /// Resume from `checkpoint_path` instead of starting at slot 1: the
+  /// runner restores every policy, the partial series, in-flight
+  /// delayed feedback, fault state and telemetry, fast-forwards the
+  /// world by regenerating the completed slots (stateful sources need
+  /// the full history), then continues. The resumed run is bit-identical
+  /// to an uninterrupted one.
+  bool resume = false;
+
+  /// Graceful-stop flag (e.g. flipped by a SIGINT handler). Checked
+  /// between slots; when set the runner writes a final checkpoint (if
+  /// configured) and returns with ExperimentResult::interrupted.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 struct ExperimentResult {
   std::vector<SeriesRecorder> series;  ///< aligned with the policy span
   double wall_seconds = 0.0;
+
+  /// Slots actually completed: == the configured horizon for a full
+  /// run, less when the stop flag interrupted it.
+  int completed_slots = 0;
+  bool interrupted = false;
 
   /// Sampled telemetry columns (empty unless RunConfig::telemetry was
   /// set and the build has LFSC_TELEMETRY=ON). Export with

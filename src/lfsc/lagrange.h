@@ -9,6 +9,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 
 namespace lfsc {
 
@@ -27,8 +28,19 @@ class LagrangeMultipliers {
               double beta) noexcept {
     const double qos_gap = alpha > 0.0 ? (alpha - completed_sum) / alpha : 0.0;
     const double res_gap = beta > 0.0 ? (resource_sum - beta) / beta : 0.0;
-    lambda_qos_ = project((1.0 - eta_ * delta_) * lambda_qos_ + eta_ * qos_gap);
-    lambda_res_ = project((1.0 - eta_ * delta_) * lambda_res_ + eta_ * res_gap);
+    lambda_qos_ =
+        project((1.0 - eta_ * delta_) * lambda_qos_ + eta_ * qos_gap,
+                lambda_qos_);
+    lambda_res_ =
+        project((1.0 - eta_ * delta_) * lambda_res_ + eta_ * res_gap,
+                lambda_res_);
+  }
+
+  /// True when both multipliers are finite (they always should be —
+  /// project() drops non-finite steps — but the fault-injection tests
+  /// assert it explicitly).
+  bool finite() const noexcept {
+    return std::isfinite(lambda_qos_) && std::isfinite(lambda_res_);
   }
 
   void reset() noexcept {
@@ -39,13 +51,20 @@ class LagrangeMultipliers {
   /// Restores persisted multiplier values (projected into the box);
   /// used by LfscPolicy::load().
   void restore(double qos, double resource) noexcept {
-    lambda_qos_ = project(qos);
-    lambda_res_ = project(resource);
+    lambda_qos_ = project(qos, 0.0);
+    lambda_res_ = project(resource, 0.0);
   }
 
  private:
-  double project(double value) const noexcept {
-    return std::clamp(value, 0.0, lambda_max_);
+  /// Projection onto [0, lambda_max], hardened against poisoned slot
+  /// sums: a non-finite dual step (NaN gap from a corrupted observation
+  /// that slipped through upstream sanitization) keeps the previous
+  /// multiplier rather than absorbing the step — std::clamp(NaN, ...)
+  /// would return NaN and the multiplier would contaminate every
+  /// subsequent weight update.
+  double project(double value, double previous) const noexcept {
+    return std::isfinite(value) ? std::clamp(value, 0.0, lambda_max_)
+                                : previous;
   }
 
   double eta_;

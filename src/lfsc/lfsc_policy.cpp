@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/binio.h"
 #include "common/thread_pool.h"
 
 namespace lfsc {
@@ -33,6 +34,19 @@ constexpr double kScaleHigh = 1e6;
 /// break in the random stream that makes the per-SCN draws independent
 /// of SCN processing order (and therefore of the worker count).
 constexpr std::uint64_t kScnStreamBase = 0x1F5C0000ULL;
+
+/// Degraded-feedback guard (DESIGN.md §9): rejects observations whose
+/// fields a corrupted control channel could have poisoned — non-finite
+/// values, or magnitudes far outside the model ranges (U, V in [0, 1],
+/// Q in [1, 2]; the 100x slack tolerates experimental environments with
+/// wider scales without letting a poisoned 1e9 through). Values inside
+/// the envelope pass through untouched, so fault-free runs stay
+/// bit-identical to the unhardened path.
+bool feedback_sane(const TaskFeedback& f) noexcept {
+  return std::isfinite(f.u) && std::isfinite(f.v) && std::isfinite(f.q) &&
+         std::abs(f.u) <= 100.0 && std::abs(f.v) <= 100.0 && f.q > 0.0 &&
+         f.q <= 100.0;
+}
 
 }  // namespace
 
@@ -75,6 +89,7 @@ LfscPolicy::LfscPolicy(const NetworkConfig& net, LfscConfig config)
   tel_updating_ = &telemetry_.timer("lfsc.alg3.updating");
   tel_slots_ = &telemetry_.counter("lfsc.slots", "slots");
   tel_accepted_ = &telemetry_.counter("lfsc.scn.accepted", "tasks", scns);
+  tel_rejected_ = &telemetry_.counter("lfsc.feedback.rejected", "tasks", scns);
   tel_lambda_qos_ = &telemetry_.gauge("lfsc.lagrange.qos", "1", scns);
   tel_lambda_res_ = &telemetry_.gauge("lfsc.lagrange.resource", "1", scns);
   tel_capset_ = &telemetry_.histogram(
@@ -228,6 +243,7 @@ Assignment LfscPolicy::select(const SlotInfo& info) {
 }
 
 void LfscPolicy::update_scn(std::size_t m, const SlotInfo& info,
+                            const std::vector<int>& selected,
                             const std::vector<TaskFeedback>& feedback) {
   auto& state = scn_state_[m];
   const auto& cover = info.coverage[m];
@@ -239,13 +255,23 @@ void LfscPolicy::update_scn(std::size_t m, const SlotInfo& info,
     state.multipliers.update(0.0, 0.0, net_.qos_alpha, net_.resource_beta);
     tel_lambda_qos_->set(state.multipliers.qos(), m);
     tel_lambda_res_->set(state.multipliers.resource(), m);
+    if (max_delay_ > 0) {
+      // Vacant frozen state: a late batch for this slot has nothing to
+      // apply (the SCN was in outage or simply uncovered).
+      auto& pend =
+          pending_[static_cast<std::size_t>(info.t) % pending_.size()]
+              .per_scn[m];
+      pend.entries.clear();
+    }
     return;
   }
 
   // Alg. 3 lines 1-8: IPW estimates per task, averaged per hypercube.
   // Presence first (every covered task grows its cell's divisor), then
   // the sparse IPW contributions of the selected tasks only — no dense
-  // per-task staging buffers.
+  // per-task staging buffers. Insane observations (corrupted feedback
+  // channel: NaN/infinite/out-of-range fields) are rejected before they
+  // touch any estimate, as if that one observation had been lost.
   auto& acc = state.acc;
   for (std::size_t j = 0; j < num_tasks; ++j) {
     acc.add_presence(state.last_cells[j]);
@@ -257,6 +283,10 @@ void LfscPolicy::update_scn(std::size_t m, const SlotInfo& info,
     if (j >= num_tasks) {
       acc.reset();
       throw std::out_of_range("LfscPolicy: bad feedback index");
+    }
+    if (!feedback_sane(f)) {
+      tel_rejected_->add(1, m);
+      continue;
     }
     const double p = state.last.p.empty() ? 0.0 : state.last.p[j];
     const double g = f.q > 0.0 ? f.u * f.v / f.q : 0.0;
@@ -289,15 +319,41 @@ void LfscPolicy::update_scn(std::size_t m, const SlotInfo& info,
     }
   }
 
+  // Freeze this slot's update inputs for late arrivals: eta_t, the
+  // multipliers the on-time update used, and per selected task its
+  // decision probability and the reciprocal of its cell's IPW divisor.
+  // Entries in capped cubes are skipped — their weights don't move this
+  // slot, on time or late.
+  if (max_delay_ > 0) {
+    auto& pend =
+        pending_[static_cast<std::size_t>(info.t) % pending_.size()]
+            .per_scn[m];
+    pend.eta_t = eta_t;
+    pend.lambda_qos = lambda_qos;
+    pend.lambda_res = lambda_res;
+    pend.entries.clear();
+    for (const int j : selected) {
+      const std::size_t cell = state.last_cells[static_cast<std::size_t>(j)];
+      if (state.cube_capped[cell] != 0) continue;
+      pend.entries.push_back(
+          {j, static_cast<std::uint32_t>(cell),
+           state.last.p[static_cast<std::size_t>(j)],
+           1.0 / static_cast<double>(acc.presence(cell))});
+    }
+  }
+
   // Alg. 3 lines 9-14: exponential update for touched, uncapped cubes —
   // O(touched), not O(table). The eager floor relative to the running
   // max bound keeps every weight representable and strictly positive
-  // without rescaling the whole table each slot.
+  // without rescaling the whole table each slot. A non-finite payoff
+  // cannot normally occur (inputs are sanitized, p has the gamma floor)
+  // but skipping it is cheap insurance against poisoning the table.
   for (const std::size_t cell : acc.touched_cells()) {
     if (state.cube_capped[cell] != 0) continue;
     const double payoff = acc.estimate_g(cell) +
                           lambda_qos * acc.estimate_v(cell) -
                           lambda_res * acc.estimate_q(cell);
+    if (!std::isfinite(payoff)) continue;
     const double exponent =
         std::clamp(eta_t * payoff, -kMaxExponent, kMaxExponent);
     const double updated = std::max(state.weights[cell] * std::exp(exponent),
@@ -336,8 +392,113 @@ void LfscPolicy::observe(const SlotInfo& info, const Assignment& assignment,
   }
   const telemetry::ScopedTimer observe_timer(*tel_observe_);
   const telemetry::ScopedTimer updating_timer(*tel_updating_);
-  for_each_scn(
-      [&](std::size_t m) { update_scn(m, info, feedback.per_scn[m]); });
+  if (max_delay_ > 0) {
+    // Claim the ring slot before the parallel phase; each SCN then fills
+    // only its own PendingScn (race-free).
+    auto& slot =
+        pending_[static_cast<std::size_t>(info.t) % pending_.size()];
+    slot.t = info.t;
+    slot.per_scn.resize(scn_state_.size());
+  }
+  for_each_scn([&](std::size_t m) {
+    update_scn(m, info, assignment.selected[m], feedback.per_scn[m]);
+  });
+}
+
+bool LfscPolicy::enable_delayed_feedback(int max_delay) {
+  if (last_slot_t_ != -1) {
+    throw std::logic_error(
+        "LfscPolicy: enable_delayed_feedback must precede the first slot");
+  }
+  if (max_delay < 1) return true;  // degenerate: everything is on time
+  max_delay_ = max_delay;
+  pending_.assign(static_cast<std::size_t>(max_delay) + 1, PendingSlot{});
+  return true;
+}
+
+void LfscPolicy::observe_delayed(int origin_t, const SlotFeedback& feedback) {
+  if (max_delay_ == 0) {
+    throw std::logic_error(
+        "LfscPolicy: observe_delayed without enable_delayed_feedback");
+  }
+  if (feedback.per_scn.size() != scn_state_.size()) {
+    throw std::invalid_argument(
+        "LfscPolicy: delayed feedback SCN count mismatch (got " +
+        std::to_string(feedback.per_scn.size()) + ", want " +
+        std::to_string(scn_state_.size()) + ")");
+  }
+  const auto& slot =
+      pending_[static_cast<std::size_t>(origin_t) % pending_.size()];
+  if (slot.t != origin_t) {
+    throw std::logic_error(
+        "LfscPolicy: delayed feedback outside the promised window");
+  }
+  for_each_scn([&](std::size_t m) {
+    apply_delayed_scn(m, slot.per_scn[m], feedback.per_scn[m]);
+  });
+}
+
+void LfscPolicy::apply_delayed_scn(std::size_t m, const PendingScn& pend,
+                                   const std::vector<TaskFeedback>& arrived) {
+  if (arrived.empty()) return;
+  auto& state = scn_state_[m];
+  tel_accepted_->add(arrived.size(), m);
+
+  // Per-cell payoff sums over the arrived entries. Batches are at most
+  // capacity_c items, so the linear cell scan beats any map.
+  auto& cells = state.late_cells;
+  auto& payoff = state.late_payoff;
+  cells.clear();
+  payoff.clear();
+  for (const auto& f : arrived) {
+    if (!feedback_sane(f)) {
+      tel_rejected_->add(1, m);
+      continue;
+    }
+    const PendingEntry* entry = nullptr;
+    for (const auto& e : pend.entries) {
+      if (e.local == f.local_index) {
+        entry = &e;
+        break;
+      }
+    }
+    // No frozen entry: the task's cube was capped that slot, or the
+    // feedback does not belong to this SCN's selection. Nothing to apply.
+    if (entry == nullptr || !(entry->p > 0.0)) continue;
+    const double g = f.q > 0.0 ? f.u * f.v / f.q : 0.0;
+    // The same IPW term the on-time update would have added:
+    // (g + lambda*v - lambda'*q/2) / (p * n_cell).
+    const double s = (g + pend.lambda_qos * f.v -
+                      pend.lambda_res * (f.q / 2.0)) *
+                     entry->inv_n / entry->p;
+    if (!std::isfinite(s)) continue;
+    std::size_t slot_idx = cells.size();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (cells[i] == entry->cell) {
+        slot_idx = i;
+        break;
+      }
+    }
+    if (slot_idx == cells.size()) {
+      cells.push_back(entry->cell);
+      payoff.push_back(0.0);
+    }
+    payoff[slot_idx] += s;
+  }
+
+  // Exponential update with the frozen eta_t: exp(eta*A)*exp(eta*B) =
+  // exp(eta*(A+B)), so late batches compose exactly with the on-time
+  // update. Multipliers are not touched (they stepped at observe(t)).
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::size_t cell = cells[i];
+    const double exponent =
+        std::clamp(pend.eta_t * payoff[i], -kMaxExponent, kMaxExponent);
+    const double updated = std::max(state.weights[cell] * std::exp(exponent),
+                                    state.weight_scale * kWeightFloor);
+    state.weights[cell] = updated;
+    state.weight_scale = std::max(state.weight_scale, updated);
+  }
+  if (state.weight_scale > kScaleHigh) renormalize(state);
 }
 
 void LfscPolicy::renormalize(ScnState& state) {
@@ -409,6 +570,122 @@ void LfscPolicy::load(std::istream& in) {
   }
 }
 
+namespace {
+/// Exact-image checkpoint blob version (independent of the portable
+/// warm-start format above).
+constexpr std::uint32_t kCheckpointVersion = 1;
+}  // namespace
+
+void LfscPolicy::save_checkpoint(std::string& out) const {
+  BlobWriter w;
+  w.u32(kCheckpointVersion);
+  w.u32(static_cast<std::uint32_t>(scn_state_.size()));
+  w.u32(static_cast<std::uint32_t>(partition_.cell_count()));
+  w.i32(last_slot_t_);
+  w.i32(max_delay_);
+  for (const auto& state : scn_state_) {
+    w.f64(state.weight_scale);
+    w.f64(state.multipliers.qos());
+    w.f64(state.multipliers.resource());
+    // Raw-scaled weights, bit-exact: the normalized view save() emits
+    // would perturb subsequent floor/renormalization arithmetic.
+    w.f64_span(state.weights);
+    const RngStreamState rng = state.rng.state();
+    for (const auto word : rng.engine) w.u64(word);
+    w.f64(rng.cached_normal);
+    w.u8(rng.has_cached_normal ? 1 : 0);
+  }
+  if (max_delay_ > 0) {
+    w.u32(static_cast<std::uint32_t>(pending_.size()));
+    for (const auto& slot : pending_) {
+      w.i32(slot.t);
+      if (slot.t < 0) continue;
+      for (const auto& pend : slot.per_scn) {
+        w.f64(pend.eta_t);
+        w.f64(pend.lambda_qos);
+        w.f64(pend.lambda_res);
+        w.u32(static_cast<std::uint32_t>(pend.entries.size()));
+        for (const auto& e : pend.entries) {
+          w.i32(e.local);
+          w.u32(e.cell);
+          w.f64(e.p);
+          w.f64(e.inv_n);
+        }
+      }
+    }
+  }
+  out += w.take();
+}
+
+void LfscPolicy::load_checkpoint(std::string_view blob) {
+  BlobReader r(blob);
+  if (r.u32() != kCheckpointVersion) {
+    throw std::runtime_error("LfscPolicy: unsupported checkpoint version");
+  }
+  if (r.u32() != scn_state_.size() || r.u32() != partition_.cell_count()) {
+    throw std::runtime_error(
+        "LfscPolicy: checkpoint shape does not match this policy "
+        "(SCN count or partition differs)");
+  }
+  last_slot_t_ = r.i32();
+  const int max_delay = r.i32();
+  if (max_delay != max_delay_) {
+    throw std::runtime_error(
+        "LfscPolicy: checkpoint delay window does not match "
+        "enable_delayed_feedback");
+  }
+  for (auto& state : scn_state_) {
+    state.weight_scale = r.f64();
+    const double qos = r.f64();
+    const double res = r.f64();
+    state.multipliers.restore(qos, res);
+    auto weights = r.f64_vec();
+    if (weights.size() != state.weights.size()) {
+      throw std::runtime_error("LfscPolicy: checkpoint weight table size");
+    }
+    for (const double wv : weights) {
+      if (!(wv > 0.0) || !std::isfinite(wv)) {
+        throw std::runtime_error("LfscPolicy: corrupt checkpoint weight");
+      }
+    }
+    state.weights = std::move(weights);
+    RngStreamState rng;
+    for (auto& word : rng.engine) word = r.u64();
+    rng.cached_normal = r.f64();
+    rng.has_cached_normal = r.u8() != 0;
+    state.rng.restore(rng);
+  }
+  if (max_delay_ > 0) {
+    if (r.u32() != pending_.size()) {
+      throw std::runtime_error("LfscPolicy: checkpoint pending-ring size");
+    }
+    for (auto& slot : pending_) {
+      slot.t = r.i32();
+      slot.per_scn.assign(scn_state_.size(), PendingScn{});
+      if (slot.t < 0) continue;
+      for (auto& pend : slot.per_scn) {
+        pend.eta_t = r.f64();
+        pend.lambda_qos = r.f64();
+        pend.lambda_res = r.f64();
+        const auto n = r.u32();
+        pend.entries.resize(n);
+        for (auto& e : pend.entries) {
+          e.local = r.i32();
+          e.cell = r.u32();
+          if (e.cell >= partition_.cell_count()) {
+            throw std::runtime_error("LfscPolicy: corrupt checkpoint entry");
+          }
+          e.p = r.f64();
+          e.inv_n = r.f64();
+        }
+      }
+    }
+  }
+  if (!r.done()) {
+    throw std::runtime_error("LfscPolicy: trailing bytes in checkpoint");
+  }
+}
+
 void LfscPolicy::reset() {
   for (std::size_t m = 0; m < scn_state_.size(); ++m) {
     auto& state = scn_state_[m];
@@ -423,6 +700,10 @@ void LfscPolicy::reset() {
     state.capped_cells.clear();
     state.rng = RngStream(config_.seed,
                           kScnStreamBase + static_cast<std::uint64_t>(m));
+  }
+  for (auto& slot : pending_) {
+    slot.t = -1;
+    slot.per_scn.clear();
   }
   telemetry_.reset();
   last_slot_t_ = -1;

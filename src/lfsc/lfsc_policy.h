@@ -45,6 +45,29 @@ class LfscPolicy final : public Policy {
                const SlotFeedback& feedback) override;
   void reset() override;
 
+  // --- degraded feedback (DESIGN.md §9) ---
+
+  /// Accepts delayed bandit feedback up to `max_delay` slots late. At
+  /// observe(t) the policy freezes the slot's update inputs (eta_t, the
+  /// multipliers, each selected task's probability and its hypercube's
+  /// IPW divisor); a late batch then composes exactly with the on-time
+  /// update, because exponential weight updates with frozen inputs are
+  /// multiplicative across partial batches. Lagrange dual ascent runs
+  /// once per slot from the on-time arrivals only (documented deviation
+  /// from Alg. 3 — late constraint totals would re-run the projection).
+  bool enable_delayed_feedback(int max_delay) override;
+  void observe_delayed(int origin_t, const SlotFeedback& feedback) override;
+
+  // --- crash-safe checkpointing (DESIGN.md §9) ---
+
+  /// Unlike save()/load() (a portable, max-normalized warm-start blob),
+  /// the checkpoint is an exact binary image — raw-scaled weights,
+  /// per-SCN RNG stream states and the delayed-feedback ring — so a
+  /// resumed run continues bit-identically for any parallel_scns.
+  bool supports_checkpoint() const noexcept override { return true; }
+  void save_checkpoint(std::string& out) const override;
+  void load_checkpoint(std::string_view blob) override;
+
   // --- introspection (tests, diagnostics, ablation benches) ---
 
   const LfscConfig& config() const noexcept { return config_; }
@@ -112,6 +135,8 @@ class LfscPolicy final : public Policy {
     IpwSlotAccumulator acc;                  ///< Alg. 3 IPW accumulator
     std::vector<char> cube_capped;           ///< dense capped flags
     std::vector<std::size_t> capped_cells;   ///< cells flagged this slot
+    std::vector<std::uint32_t> late_cells;   ///< per-batch cells (delayed apply)
+    std::vector<double> late_payoff;         ///< per-batch payoff sums
 
     ScnState(std::size_t cells, double eta_lambda, double delta,
              double lambda_max, RngStream stream)
@@ -122,15 +147,43 @@ class LfscPolicy final : public Policy {
           cube_capped(cells, 0) {}
   };
 
+  // Frozen per-slot update inputs for late feedback (enable_delayed_
+  // feedback). One entry per selected task in an *uncapped* hypercube —
+  // capped cubes skip the weight update entirely, so their late
+  // arrivals have nothing to apply.
+  struct PendingEntry {
+    std::int32_t local = 0;   ///< local index within coverage[m]
+    std::uint32_t cell = 0;   ///< the task's hypercube
+    double p = 0.0;           ///< selection probability at decision time
+    double inv_n = 0.0;       ///< 1 / (cell's IPW divisor that slot)
+  };
+  struct PendingScn {
+    double eta_t = 0.0;
+    double lambda_qos = 0.0;
+    double lambda_res = 0.0;
+    std::vector<PendingEntry> entries;
+  };
+  struct PendingSlot {
+    int t = -1;  ///< origin slot, -1 = vacant
+    std::vector<PendingScn> per_scn;
+  };
+
   /// Alg. 2 for one SCN: fills last (probabilities/capped) and
   /// last_cells. Touches only SCN-local state — safe to run per-SCN in
   /// parallel.
   void calculate_probabilities(std::size_t m, const SlotInfo& info);
 
-  /// Alg. 3 weight + multiplier update for one SCN. The feedback already
-  /// carries the selected set. Touches only SCN-local state.
+  /// Alg. 3 weight + multiplier update for one SCN from the feedback
+  /// that arrived on time (all of it when no faults are injected).
+  /// `selected` is the SCN's slice of the assignment, needed to freeze
+  /// pending entries for late arrivals. Touches only SCN-local state.
   void update_scn(std::size_t m, const SlotInfo& info,
+                  const std::vector<int>& selected,
                   const std::vector<TaskFeedback>& feedback);
+
+  /// Applies one late batch for SCN `m` against the frozen slot state.
+  void apply_delayed_scn(std::size_t m, const PendingScn& pend,
+                         const std::vector<TaskFeedback>& arrived);
 
   /// Rescales `state.weights` so max == 1 (with the 1e-12 positivity
   /// floor) and resets weight_scale. O(cells); called lazily.
@@ -149,6 +202,13 @@ class LfscPolicy final : public Policy {
   double delta_;
   std::vector<ScnState> scn_state_;
   int last_slot_t_ = -1;
+
+  /// Delayed-feedback ring, indexed origin_t % (max_delay_ + 1); empty
+  /// until enable_delayed_feedback(). A slot's frozen state lives until
+  /// the ring wraps, which by the harness contract is after its delivery
+  /// window closed.
+  std::vector<PendingSlot> pending_;
+  int max_delay_ = 0;
 
   /// Maps every task of the current slot to its hypercube, computed once
   /// per slot: coverage overlap means per-SCN indexing would redo the
@@ -176,6 +236,7 @@ class LfscPolicy final : public Policy {
   telemetry::Timer* tel_updating_;     ///< lfsc.alg3.updating, phase/slot
   telemetry::Counter* tel_slots_;      ///< lfsc.slots
   telemetry::Counter* tel_accepted_;   ///< lfsc.scn.accepted, per SCN
+  telemetry::Counter* tel_rejected_;   ///< lfsc.feedback.rejected, per SCN
   telemetry::Gauge* tel_lambda_qos_;   ///< lfsc.lagrange.qos = λ_m (1c)
   telemetry::Gauge* tel_lambda_res_;   ///< lfsc.lagrange.resource = λ'_m (1d)
   telemetry::Histogram* tel_capset_;   ///< lfsc.exp3m.capset_size, |S'| per SCN-slot

@@ -15,6 +15,20 @@ void SeriesRecorder::add(const SlotOutcome& outcome) {
   cum_res_ += outcome.resource_violation;
 }
 
+void SeriesRecorder::restore(std::span<const double> reward,
+                             std::span<const double> qos,
+                             std::span<const double> res) {
+  reward_.assign(reward.begin(), reward.end());
+  qos_.assign(qos.begin(), qos.end());
+  res_.assign(res.begin(), res.end());
+  cum_reward_ = 0.0;
+  cum_qos_ = 0.0;
+  cum_res_ = 0.0;
+  for (const double x : reward_) cum_reward_ += x;
+  for (const double x : qos_) cum_qos_ += x;
+  for (const double x : res_) cum_res_ += x;
+}
+
 std::vector<double> SeriesRecorder::prefix_sum(std::span<const double> xs) {
   std::vector<double> out;
   out.reserve(xs.size());

@@ -19,6 +19,13 @@ class SeriesRecorder {
 
   void add(const SlotOutcome& outcome);
 
+  /// Replaces the recorded series with a partial run restored from a
+  /// checkpoint. The totals are re-accumulated in slot order with the
+  /// same `+=` sequence add() performs, so a resumed run's totals are
+  /// bit-identical to an uninterrupted one.
+  void restore(std::span<const double> reward, std::span<const double> qos,
+               std::span<const double> res);
+
   const std::string& name() const noexcept { return name_; }
   std::size_t slots() const noexcept { return reward_.size(); }
 

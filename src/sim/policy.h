@@ -9,6 +9,8 @@
 //    select_omniscient().
 #pragma once
 
+#include <stdexcept>
+#include <string>
 #include <string_view>
 
 #include "sim/network.h"
@@ -47,6 +49,49 @@ class Policy {
   /// Clears all learned state (weights, counters, multipliers) so the
   /// policy can be reused for another run.
   virtual void reset() {}
+
+  // --- degraded-feedback extension (DESIGN.md §9) ---
+
+  /// Opts the policy into delayed bandit feedback: after this returns
+  /// true, the harness may deliver observations for slot t via
+  /// observe_delayed() up to `max_delay` slots after observe(t), instead
+  /// of bundling everything into observe(). Must be called before the
+  /// first slot. The default declines — the harness then drops late
+  /// observations for this policy (degraded to lossy feedback).
+  virtual bool enable_delayed_feedback(int max_delay) {
+    (void)max_delay;
+    return false;
+  }
+
+  /// Late feedback for slot `origin_t` (an earlier select()/observe()
+  /// pair). Only called after enable_delayed_feedback() returned true,
+  /// and only within the promised delay window.
+  virtual void observe_delayed(int origin_t, const SlotFeedback& feedback) {
+    (void)origin_t;
+    (void)feedback;
+  }
+
+  // --- crash-safe checkpointing (DESIGN.md §9) ---
+
+  /// True when the policy can serialize its exact learner state for a
+  /// mid-run checkpoint. Policies that support it guarantee that
+  /// save_checkpoint() + load_checkpoint() resumes bit-identically.
+  virtual bool supports_checkpoint() const noexcept { return false; }
+
+  /// Appends an exact binary snapshot of all mutable state to `out`.
+  virtual void save_checkpoint(std::string& out) const {
+    (void)out;
+    throw std::logic_error(std::string(name()) +
+                           ": checkpointing not supported");
+  }
+
+  /// Restores state written by save_checkpoint(). Throws
+  /// std::runtime_error on a malformed blob or a shape mismatch.
+  virtual void load_checkpoint(std::string_view blob) {
+    (void)blob;
+    throw std::logic_error(std::string(name()) +
+                           ": checkpointing not supported");
+  }
 };
 
 }  // namespace lfsc

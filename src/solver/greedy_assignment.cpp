@@ -56,7 +56,12 @@ void sift_down(std::vector<std::pair<double, int>>& h, std::size_t i) {
   for (;;) {
     std::size_t child = 2 * i + 1;
     if (child >= n) break;
-    child += (child + 1 < n) & merge_before(h[child + 1], h[child]);
+    // Clamp the sibling index instead of masking the compare: `&` does
+    // not short-circuit, so the unclamped form reads h[n] when the node
+    // has a single child. merge_before is irreflexive, so a clamped
+    // self-compare never advances.
+    const std::size_t sib = child + (child + 1 < n);
+    child += merge_before(h[sib], h[child]);
     if (!merge_before(h[child], node)) break;
     h[i] = h[child];
     i = child;
@@ -163,7 +168,10 @@ void packed_merge_sift_down(std::vector<std::uint64_t>& h, std::size_t i) {
   for (;;) {
     std::size_t child = 2 * i + 1;
     if (child >= n) break;
-    child += (child + 1 < n) & (h[child + 1] > h[child]);
+    // Clamped sibling, same as merge_sift_down: never reads h[n], and a
+    // self-compare (x > x) never advances.
+    const std::size_t sib = child + (child + 1 < n);
+    child += h[sib] > h[child];
     if (h[child] <= node) break;
     h[i] = h[child];
     i = child;

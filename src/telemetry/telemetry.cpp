@@ -60,6 +60,18 @@ void Histogram::reset() noexcept {
   }
 }
 
+void Histogram::restore(const std::vector<std::uint64_t>& merged,
+                        std::uint64_t count, double sum) {
+  if (merged.size() != bounds_.size() + 1) {
+    throw std::logic_error(
+        "telemetry::Histogram::restore: bucket count mismatch");
+  }
+  reset();
+  shards_[0].counts = merged;
+  shards_[0].count = count;
+  shards_[0].sum = sum;
+}
+
 Registry::Entry* Registry::find(const std::string& name) noexcept {
   for (auto& entry : entries_) {
     if (entry.name == name) return &entry;
@@ -214,6 +226,49 @@ std::vector<MetricSnapshot> Registry::snapshot() const {
     out.push_back(std::move(snap));
   }
   return out;
+}
+
+void Registry::restore(const std::vector<MetricSnapshot>& snaps) {
+  for (const auto& snap : snaps) {
+    Entry* entry = find(snap.name);
+    if (entry == nullptr) continue;
+    if (entry->kind != snap.kind) {
+      throw_kind_mismatch(snap.name, snap.kind, entry->kind);
+    }
+    switch (entry->kind) {
+      case Kind::kCounter: {
+        Counter& c = *entry->counter;
+        c.reset();
+        if (!snap.stream_values.empty() && c.streams() > 1) {
+          const std::size_t n =
+              std::min(c.streams(), snap.stream_values.size());
+          for (std::size_t s = 0; s < n; ++s) {
+            c.add(static_cast<std::uint64_t>(snap.stream_values[s]), s);
+          }
+        } else {
+          c.add(snap.count);
+        }
+        break;
+      }
+      case Kind::kGauge: {
+        Gauge& g = *entry->gauge;
+        g.reset();
+        if (!snap.stream_values.empty() && g.streams() > 1) {
+          const std::size_t n =
+              std::min(g.streams(), snap.stream_values.size());
+          for (std::size_t s = 0; s < n; ++s) g.set(snap.stream_values[s], s);
+        } else {
+          g.set(snap.value);
+        }
+        break;
+      }
+      case Kind::kTimer:
+        break;  // wall time restarts from zero on resume
+      case Kind::kHistogram:
+        entry->histogram->restore(snap.bucket_counts, snap.count, snap.sum);
+        break;
+    }
+  }
 }
 
 namespace {

@@ -220,6 +220,14 @@ class Histogram {
 
   void reset() noexcept;
 
+  /// Replaces the histogram's contents with previously captured merged
+  /// state (checkpoint restore). Everything lands in shard 0 — stream
+  /// attribution is not recoverable from merged counts, and no reader
+  /// exposes per-stream histogram data. `merged` must have
+  /// bounds().size() + 1 entries.
+  void restore(const std::vector<std::uint64_t>& merged, std::uint64_t count,
+               double sum);
+
  private:
   struct Shard {
     std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (overflow last)
@@ -258,6 +266,13 @@ class Registry {
 
   /// Flattened view of every metric, in registration order.
   std::vector<MetricSnapshot> snapshot() const;
+
+  /// Restores counters, gauges and histograms from snapshots captured by
+  /// snapshot() (checkpoint resume). Snapshots are matched to live
+  /// metrics by name; unknown names are ignored, kind mismatches throw
+  /// std::logic_error. Timers are deliberately left untouched — wall
+  /// time is not part of the resume-determinism contract.
+  void restore(const std::vector<MetricSnapshot>& snaps);
 
   /// Column labels for time-series sampling, in registration order:
   /// counters emit `name` (+ `name[s]` per stream when sharded), gauges
@@ -341,6 +356,8 @@ class Histogram {
   double mean() const noexcept { return 0.0; }
   std::size_t streams() const noexcept { return 0; }
   void reset() noexcept {}
+  void restore(const std::vector<std::uint64_t>&, std::uint64_t,
+               double) noexcept {}
 };
 
 class Registry {
@@ -370,6 +387,7 @@ class Registry {
   std::size_t size() const noexcept { return 0; }
   void reset() noexcept {}
   std::vector<MetricSnapshot> snapshot() const { return {}; }
+  void restore(const std::vector<MetricSnapshot>&) noexcept {}
   void column_names(std::vector<std::string>&) const {}
   void column_values(std::vector<double>&) const {}
 

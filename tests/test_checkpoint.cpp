@@ -1,0 +1,468 @@
+#include "harness/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "baselines/random_policy.h"
+#include "faults/fault_model.h"
+#include "harness/paper_setup.h"
+#include "harness/runner.h"
+#include "lfsc/lfsc_policy.h"
+#include "test_util.h"
+
+namespace lfsc {
+namespace {
+
+// --- file format ---
+
+CheckpointState sample_state() {
+  CheckpointState state;
+  state.completed_slots = 7;
+  state.horizon = 20;
+  CheckpointPolicyState p;
+  p.name = "LFSC";
+  p.blob = std::string("\x00\x01raw\xff", 6);
+  p.reward = {1.0, 2.5, -0.25};
+  p.qos = {0.0, 1.0, 0.0};
+  p.res = {0.5, 0.0, 0.0};
+  CheckpointDelayedBatch batch;
+  batch.origin_t = 5;
+  batch.arrival_t = 8;
+  batch.feedback.per_scn.resize(2);
+  batch.feedback.per_scn[1].push_back({3, 0.5, 1.0, 2.0});
+  p.delayed.push_back(batch);
+  state.policies.push_back(p);
+  state.faults_blob = "fault-bytes";
+  telemetry::MetricSnapshot m;
+  m.name = "faults.feedback.total";
+  m.kind = telemetry::Kind::kCounter;
+  m.value = 42.0;
+  m.stream_values = {40.0, 2.0};
+  state.metrics.push_back(m);
+  state.telemetry_series.names = {"a", "b"};
+  state.telemetry_series.t = {1, 2};
+  state.telemetry_series.rows = {{0.1, 0.2}, {0.3, 0.4}};
+  return state;
+}
+
+class CheckpointFileTest : public ::testing::Test {
+ protected:
+  ScopedTempDir tmp_;
+  std::string path_ = tmp_.path("run.ckpt");
+};
+
+TEST_F(CheckpointFileTest, RoundTripPreservesEverything) {
+  const auto state = sample_state();
+  write_checkpoint_file(path_, state);
+  const auto loaded = read_checkpoint_file(path_);
+
+  EXPECT_EQ(loaded.completed_slots, state.completed_slots);
+  EXPECT_EQ(loaded.horizon, state.horizon);
+  ASSERT_EQ(loaded.policies.size(), 1u);
+  const auto& p = loaded.policies[0];
+  EXPECT_EQ(p.name, "LFSC");
+  EXPECT_EQ(p.blob, state.policies[0].blob);
+  EXPECT_EQ(p.reward, state.policies[0].reward);
+  EXPECT_EQ(p.qos, state.policies[0].qos);
+  EXPECT_EQ(p.res, state.policies[0].res);
+  ASSERT_EQ(p.delayed.size(), 1u);
+  EXPECT_EQ(p.delayed[0].origin_t, 5);
+  EXPECT_EQ(p.delayed[0].arrival_t, 8);
+  ASSERT_EQ(p.delayed[0].feedback.per_scn.size(), 2u);
+  ASSERT_EQ(p.delayed[0].feedback.per_scn[1].size(), 1u);
+  EXPECT_EQ(p.delayed[0].feedback.per_scn[1][0].local_index, 3);
+  EXPECT_DOUBLE_EQ(p.delayed[0].feedback.per_scn[1][0].q, 2.0);
+  EXPECT_EQ(loaded.faults_blob, "fault-bytes");
+  ASSERT_EQ(loaded.metrics.size(), 1u);
+  EXPECT_EQ(loaded.metrics[0].name, "faults.feedback.total");
+  EXPECT_EQ(loaded.metrics[0].stream_values, state.metrics[0].stream_values);
+  EXPECT_EQ(loaded.telemetry_series.names, state.telemetry_series.names);
+  EXPECT_EQ(loaded.telemetry_series.rows, state.telemetry_series.rows);
+}
+
+TEST_F(CheckpointFileTest, RewriteReplacesAtomically) {
+  auto state = sample_state();
+  write_checkpoint_file(path_, state);
+  state.completed_slots = 15;
+  write_checkpoint_file(path_, state);
+  EXPECT_EQ(read_checkpoint_file(path_).completed_slots, 15);
+  // No stray temp file left behind.
+  std::ifstream tmp(path_ + ".tmp");
+  EXPECT_FALSE(tmp.good());
+}
+
+TEST_F(CheckpointFileTest, DetectsCorruptionViaCrc) {
+  write_checkpoint_file(path_, sample_state());
+  // Flip one byte in the middle of the payload.
+  std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(40);
+  char byte = 0;
+  f.seekg(40);
+  f.get(byte);
+  f.seekp(40);
+  f.put(static_cast<char>(byte ^ 0x5A));
+  f.close();
+  EXPECT_THROW(read_checkpoint_file(path_), std::runtime_error);
+}
+
+TEST_F(CheckpointFileTest, RejectsTruncationAndForeignFiles) {
+  EXPECT_THROW(read_checkpoint_file(path_), std::runtime_error);  // missing
+
+  std::ofstream(path_, std::ios::binary) << "LFSC";  // truncated magic
+  EXPECT_THROW(read_checkpoint_file(path_), std::runtime_error);
+
+  std::ofstream(path_, std::ios::binary)
+      << "definitely not a checkpoint file at all";
+  EXPECT_THROW(read_checkpoint_file(path_), std::runtime_error);
+}
+
+// --- resume determinism ---
+
+/// Forwards to an inner policy and requests a graceful stop after
+/// observing slot `stop_after` — a deterministic stand-in for SIGINT.
+class StopAfterSlot : public Policy {
+ public:
+  StopAfterSlot(Policy& inner, int stop_after, std::atomic<bool>& stop)
+      : inner_(inner), stop_after_(stop_after), stop_(stop) {}
+
+  std::string_view name() const noexcept override { return inner_.name(); }
+  Assignment select(const SlotInfo& info) override {
+    return inner_.select(info);
+  }
+  void observe(const SlotInfo& info, const Assignment& assignment,
+               const SlotFeedback& feedback) override {
+    inner_.observe(info, assignment, feedback);
+    if (info.t == stop_after_) stop_.store(true);
+  }
+  bool needs_realizations() const noexcept override {
+    return inner_.needs_realizations();
+  }
+  Assignment select_omniscient(const Slot& slot) override {
+    return inner_.select_omniscient(slot);
+  }
+  void reset() override { inner_.reset(); }
+  bool enable_delayed_feedback(int max_delay) override {
+    return inner_.enable_delayed_feedback(max_delay);
+  }
+  void observe_delayed(int origin_t, const SlotFeedback& feedback) override {
+    inner_.observe_delayed(origin_t, feedback);
+  }
+  bool supports_checkpoint() const noexcept override {
+    return inner_.supports_checkpoint();
+  }
+  void save_checkpoint(std::string& out) const override {
+    inner_.save_checkpoint(out);
+  }
+  void load_checkpoint(std::string_view blob) override {
+    inner_.load_checkpoint(blob);
+  }
+
+ private:
+  Policy& inner_;
+  int stop_after_;
+  std::atomic<bool>& stop_;
+};
+
+FaultConfig test_faults() {
+  FaultConfig f;
+  f.outage_prob = 0.01;
+  f.outage_min_slots = 2;
+  f.outage_max_slots = 4;
+  f.loss_prob = 0.1;
+  f.delay_prob = 0.15;
+  f.delay_slots = 3;
+  f.corrupt_prob = 0.02;
+  return f;
+}
+
+/// Non-timer telemetry rows, minus checkpoint.resumes (the one counter
+/// that definitionally differs between an interrupted-and-resumed run
+/// and an uninterrupted one). Timers measure wall time and are outside
+/// the determinism contract.
+std::vector<telemetry::MetricSnapshot> comparable_rows(
+    const telemetry::Registry& registry) {
+  std::vector<telemetry::MetricSnapshot> out;
+  for (auto& snap : registry.snapshot()) {
+    if (snap.kind == telemetry::Kind::kTimer) continue;
+    if (snap.name == "checkpoint.resumes") continue;
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void expect_same_rows(const std::vector<telemetry::MetricSnapshot>& a,
+                      const std::vector<telemetry::MetricSnapshot>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].count, b[i].count) << a[i].name;
+    EXPECT_EQ(a[i].value, b[i].value) << a[i].name;
+    EXPECT_EQ(a[i].sum, b[i].sum) << a[i].name;
+    EXPECT_EQ(a[i].stream_values, b[i].stream_values) << a[i].name;
+    EXPECT_EQ(a[i].bucket_counts, b[i].bucket_counts) << a[i].name;
+  }
+}
+
+void expect_same_series(const SeriesRecorder& a, const SeriesRecorder& b) {
+  ASSERT_EQ(a.slots(), b.slots());
+  for (std::size_t i = 0; i < a.slots(); ++i) {
+    EXPECT_EQ(a.reward()[i], b.reward()[i]) << "slot " << i + 1;
+    EXPECT_EQ(a.qos_violation()[i], b.qos_violation()[i]) << "slot " << i + 1;
+    EXPECT_EQ(a.resource_violation()[i], b.resource_violation()[i])
+        << "slot " << i + 1;
+  }
+}
+
+void run_resume_determinism(bool parallel_scns) {
+  ScopedTempDir tmp;
+  // The stop lands exactly on a periodic checkpoint slot: the runner's
+  // last_checkpoint_t guard must then skip the redundant final rewrite,
+  // keeping the checkpoint.writes counter identical to the reference.
+  const int horizon = 200;
+  const int stop_after = horizon / 2;
+  auto s = small_setup();
+  s.lfsc.parallel_scns = parallel_scns;
+
+  const auto base_config = [&](const std::string& path) {
+    RunConfig c;
+    c.horizon = horizon;
+    c.checkpoint_path = path;
+    c.checkpoint_every = 50;
+    return c;
+  };
+
+  // Reference: one uninterrupted run (checkpointing on, so the
+  // checkpoint.writes counter is comparable).
+  auto ref_sim = s.make_simulator();
+  LfscPolicy ref_lfsc(s.net, s.lfsc);
+  RandomPolicy ref_random(s.net);
+  FaultModel ref_faults(test_faults(), s.net.num_scns);
+  Policy* ref_roster[] = {&ref_lfsc, &ref_random};
+  auto ref_config = base_config(tmp.path("ref.ckpt"));
+  ref_config.faults = &ref_faults;
+  ref_config.telemetry = &ref_lfsc.telemetry();
+  const auto ref = run_experiment(ref_sim, ref_roster, ref_config);
+  EXPECT_FALSE(ref.interrupted);
+  EXPECT_EQ(ref.completed_slots, horizon);
+
+  // Interrupted run: a wrapper flips the stop flag after slot T/2, the
+  // runner writes a final checkpoint and returns early.
+  const std::string ckpt = tmp.path("run.ckpt");
+  {
+    auto sim = s.make_simulator();
+    LfscPolicy lfsc(s.net, s.lfsc);
+    RandomPolicy random(s.net);
+    std::atomic<bool> stop{false};
+    StopAfterSlot stopper(random, stop_after, stop);
+    FaultModel faults(test_faults(), s.net.num_scns);
+    Policy* roster[] = {&lfsc, &stopper};
+    auto config = base_config(ckpt);
+    config.faults = &faults;
+    config.telemetry = &lfsc.telemetry();
+    config.stop = &stop;
+    const auto first = run_experiment(sim, roster, config);
+    EXPECT_TRUE(first.interrupted);
+    EXPECT_EQ(first.completed_slots, stop_after);
+  }
+
+  // Resume in a "new process": fresh simulator, fresh policies, fresh
+  // fault model — everything must come back from the file.
+  auto sim = s.make_simulator();
+  LfscPolicy lfsc(s.net, s.lfsc);
+  RandomPolicy random(s.net);
+  FaultModel faults(test_faults(), s.net.num_scns);
+  Policy* roster[] = {&lfsc, &random};
+  auto config = base_config(ckpt);
+  config.faults = &faults;
+  config.telemetry = &lfsc.telemetry();
+  config.resume = true;
+  const auto resumed = run_experiment(sim, roster, config);
+  EXPECT_FALSE(resumed.interrupted);
+  EXPECT_EQ(resumed.completed_slots, horizon);
+
+  ASSERT_EQ(resumed.series.size(), ref.series.size());
+  for (std::size_t k = 0; k < ref.series.size(); ++k) {
+    expect_same_series(resumed.series[k], ref.series[k]);
+  }
+  for (int m = 0; m < s.net.num_scns; ++m) {
+    EXPECT_EQ(lfsc.weights(m), ref_lfsc.weights(m)) << "SCN " << m;
+    EXPECT_EQ(lfsc.lambda_qos(m), ref_lfsc.lambda_qos(m)) << "SCN " << m;
+    EXPECT_EQ(lfsc.lambda_resource(m), ref_lfsc.lambda_resource(m))
+        << "SCN " << m;
+  }
+  if (telemetry::kEnabled) {
+    expect_same_rows(comparable_rows(lfsc.telemetry()),
+                     comparable_rows(ref_lfsc.telemetry()));
+    // Sampled series match column-for-column, except timer columns
+    // (wall seconds) and checkpoint.resumes.
+    ASSERT_EQ(resumed.telemetry_series.t, ref.telemetry_series.t);
+    ASSERT_EQ(resumed.telemetry_series.names, ref.telemetry_series.names);
+    std::vector<bool> comparable(ref.telemetry_series.names.size(), true);
+    for (const auto& snap : lfsc.telemetry().snapshot()) {
+      if (snap.kind != telemetry::Kind::kTimer &&
+          snap.name != "checkpoint.resumes") {
+        continue;
+      }
+      for (std::size_t c = 0; c < comparable.size(); ++c) {
+        if (ref.telemetry_series.names[c] == snap.name) comparable[c] = false;
+      }
+    }
+    for (std::size_t r = 0; r < ref.telemetry_series.rows.size(); ++r) {
+      for (std::size_t c = 0; c < comparable.size(); ++c) {
+        if (!comparable[c]) continue;
+        EXPECT_EQ(resumed.telemetry_series.rows[r][c],
+                  ref.telemetry_series.rows[r][c])
+            << "row " << r << " column " << ref.telemetry_series.names[c];
+      }
+    }
+  }
+}
+
+TEST(CheckpointResume, BitIdenticalSerialScns) {
+  run_resume_determinism(/*parallel_scns=*/false);
+}
+
+TEST(CheckpointResume, BitIdenticalParallelScns) {
+  run_resume_determinism(/*parallel_scns=*/true);
+}
+
+TEST(CheckpointResume, ResumeValidatesShape) {
+  ScopedTempDir tmp;
+  const std::string ckpt = tmp.path("run.ckpt");
+  auto s = small_setup();
+  {
+    auto sim = s.make_simulator();
+    LfscPolicy lfsc(s.net, s.lfsc);
+    Policy* roster[] = {&lfsc};
+    RunConfig config;
+    config.horizon = 30;
+    config.checkpoint_path = ckpt;
+    run_experiment(sim, roster, config);
+  }
+  // Different horizon.
+  {
+    auto sim = s.make_simulator();
+    LfscPolicy lfsc(s.net, s.lfsc);
+    Policy* roster[] = {&lfsc};
+    RunConfig config;
+    config.horizon = 60;
+    config.checkpoint_path = ckpt;
+    config.resume = true;
+    EXPECT_THROW(run_experiment(sim, roster, config), std::runtime_error);
+  }
+  // Different roster.
+  {
+    auto sim = s.make_simulator();
+    LfscPolicy lfsc(s.net, s.lfsc);
+    RandomPolicy random(s.net);
+    Policy* roster[] = {&lfsc, &random};
+    RunConfig config;
+    config.horizon = 30;
+    config.checkpoint_path = ckpt;
+    config.resume = true;
+    EXPECT_THROW(run_experiment(sim, roster, config), std::runtime_error);
+  }
+  // Resume without a path is rejected outright.
+  {
+    auto sim = s.make_simulator();
+    LfscPolicy lfsc(s.net, s.lfsc);
+    Policy* roster[] = {&lfsc};
+    RunConfig config;
+    config.horizon = 30;
+    config.resume = true;
+    EXPECT_THROW(run_experiment(sim, roster, config), std::invalid_argument);
+  }
+}
+
+// --- fault-injection integration (DESIGN.md §9 acceptance) ---
+
+TEST(FaultInjectionIntegration, LongDegradedRunStaysFinite) {
+  auto s = small_setup();
+  auto sim = s.make_simulator();
+  LfscPolicy lfsc(s.net, s.lfsc);
+  RandomPolicy random(s.net);
+  Policy* roster[] = {&lfsc, &random};
+
+  FaultConfig fc;
+  fc.outage_prob = 0.005;
+  fc.outage_min_slots = 2;
+  fc.outage_max_slots = 6;
+  fc.loss_prob = 0.1;
+  fc.delay_prob = 0.15;
+  fc.delay_slots = 3;
+  fc.corrupt_prob = 0.02;
+  FaultModel faults(fc, s.net.num_scns);
+
+  RunConfig config;
+  config.horizon = 10000;
+  config.faults = &faults;
+  config.telemetry = &lfsc.telemetry();
+  const auto result = run_experiment(sim, roster, config);
+
+  EXPECT_FALSE(result.interrupted);
+  EXPECT_EQ(result.completed_slots, 10000);
+  EXPECT_GT(result.series[0].total_reward(), 0.0);
+
+  // Degraded feedback must never leak a non-finite value into the
+  // learner: every weight and multiplier is finite at the end.
+  for (int m = 0; m < s.net.num_scns; ++m) {
+    for (const double w : lfsc.weights(m)) {
+      ASSERT_TRUE(std::isfinite(w)) << "SCN " << m;
+      ASSERT_GT(w, 0.0) << "SCN " << m;
+    }
+    ASSERT_TRUE(std::isfinite(lfsc.lambda_qos(m))) << "SCN " << m;
+    ASSERT_TRUE(std::isfinite(lfsc.lambda_resource(m))) << "SCN " << m;
+  }
+
+  if (!telemetry::kEnabled) return;
+  const auto rows = lfsc.telemetry().snapshot();
+  const auto counter = [&](const std::string& name) -> double {
+    for (const auto& r : rows) {
+      if (r.name == name) return r.value;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return -1.0;
+  };
+  const double total = counter("faults.feedback.total");
+  const double delivered = counter("faults.feedback.delivered");
+  const double lost = counter("faults.feedback.lost");
+  const double delayed = counter("faults.feedback.delayed");
+  const double corrupted = counter("faults.feedback.corrupted");
+  EXPECT_GT(total, 0.0);
+  EXPECT_GT(lost, 0.0);
+  EXPECT_GT(delayed, 0.0);
+  EXPECT_GT(corrupted, 0.0);
+  // The four fates partition every observation.
+  EXPECT_EQ(delivered + lost + delayed + corrupted, total);
+  // Every delayed observation is eventually delivered late, dropped
+  // with its down SCN, or still in flight at the horizon.
+  const double late_delivered = counter("faults.feedback.late_delivered");
+  const double inflight_lost = counter("faults.feedback.inflight_lost");
+  EXPECT_GT(late_delivered, 0.0);
+  EXPECT_LE(late_delivered + inflight_lost, delayed);
+  // Only the last delay_slots origin slots can still be in flight at
+  // the horizon (at most every covered task of those slots).
+  const double max_in_flight =
+      fc.delay_slots * s.net.num_scns * s.coverage.tasks_per_scn_max;
+  EXPECT_GE(late_delivered + inflight_lost, delayed - max_in_flight);
+  // LFSC accepts delayed feedback, so nothing is late-dropped.
+  EXPECT_EQ(counter("faults.feedback.late_dropped"), 0.0);
+  // Outage accounting: every started burst is down for >= 1 slot.
+  const double outage_slots = counter("faults.outage_slots");
+  const double outages = counter("faults.outages_started");
+  EXPECT_GT(outages, 0.0);
+  EXPECT_GE(outage_slots, outages);
+  // Corrupted observations were rejected by the policy's sanitizer.
+  EXPECT_EQ(counter("lfsc.feedback.rejected"), corrupted);
+}
+
+}  // namespace
+}  // namespace lfsc

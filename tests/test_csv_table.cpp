@@ -1,13 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
-#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "common/csv.h"
 #include "common/table.h"
+#include "test_util.h"
 
 namespace lfsc {
 namespace {
@@ -21,13 +21,8 @@ std::string read_file(const std::string& path) {
 
 class CsvWriterTest : public ::testing::Test {
  protected:
-  // One file per test case: ctest -j runs the cases as concurrent
-  // processes, so a shared name races writer against writer.
-  std::string path_ =
-      ::testing::TempDir() + "lfsc_csv_" +
-      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
-      ".csv";
-  void TearDown() override { std::remove(path_.c_str()); }
+  ScopedTempDir tmp_;
+  std::string path_ = tmp_.path("table.csv");
 };
 
 TEST_F(CsvWriterTest, HeaderAndRows) {

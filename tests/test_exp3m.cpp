@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <vector>
 
@@ -215,6 +216,74 @@ TEST(Exp3MIntegration, WeightsLearnedFromRewardsShiftProbabilities) {
   }
   const auto final_probs = exp3m_probabilities(w, 1, gamma);
   EXPECT_GT(final_probs.p[1], 0.8);
+}
+
+// --- numeric guard (DESIGN.md §9) ---
+
+void expect_valid_distribution(const CappedProbabilities& result,
+                               std::size_t k) {
+  double sum = 0.0;
+  for (const double p : result.p) {
+    ASSERT_TRUE(std::isfinite(p));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0 + 1e-9);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, static_cast<double>(k), 1e-6);
+}
+
+TEST(Exp3MNumericGuard, NearOverflowWeightsStayFinite) {
+  // The raw sum overflows to infinity; the guard re-expresses the
+  // weights max-normalized and still produces a valid distribution.
+  std::vector<double> w{1e308, 8e307, 5e307, 1e300, 1e290, 1.0};
+  const auto result = exp3m_probabilities(w, 2, 0.1);
+  expect_valid_distribution(result, 2);
+  // Relative order survives the rescue.
+  for (std::size_t i = 1; i < w.size(); ++i) {
+    EXPECT_LE(result.p[i], result.p[i - 1] + 1e-12);
+  }
+}
+
+TEST(Exp3MNumericGuard, NearZeroWeightsStayFinite) {
+  // Denormal weights: 1/max would overflow; the guard must not produce
+  // infinities or NaNs.
+  std::vector<double> w{5e-320, 4e-320, 3e-320, 2e-320, 1e-320};
+  const auto result = exp3m_probabilities(w, 2, 0.05);
+  expect_valid_distribution(result, 2);
+}
+
+TEST(Exp3MNumericGuard, MixedExtremeScalesKeepStableCapSet) {
+  // The cap set of a degenerate-scale input matches the cap set of the
+  // same weights pre-normalized by hand.
+  std::vector<double> raw{1e308, 1e302, 1e300, 1e299, 1e298, 1e297};
+  std::vector<double> normalized = raw;
+  for (auto& x : normalized) x /= 1e308;
+  const auto a = exp3m_probabilities(raw, 2, 0.1);
+  const auto b = exp3m_probabilities(normalized, 2, 0.1);
+  expect_valid_distribution(a, 2);
+  ASSERT_EQ(a.capped.size(), b.capped.size());
+  for (std::size_t i = 0; i < a.capped.size(); ++i) {
+    EXPECT_EQ(a.capped[i], b.capped[i]) << "arm " << i;
+  }
+  EXPECT_EQ(a.num_capped, b.num_capped);
+}
+
+TEST(Exp3MNumericGuard, ExtremeGammaWithExtremeWeights) {
+  std::vector<double> w{1e308, 1e-320, 1.0, 1e200, 1e-100};
+  for (const double gamma : {1e-12, 0.5, 1.0 - 1e-12, 1.0}) {
+    const auto result = exp3m_probabilities(w, 2, gamma);
+    expect_valid_distribution(result, 2);
+  }
+}
+
+TEST(Exp3MNumericGuard, NonFiniteWeightsAreRejected) {
+  // A NaN observation must be stopped at the update (the policy's
+  // sanitizer) — if one ever reaches the weights, the draw refuses to
+  // run rather than emitting a poisoned distribution.
+  std::vector<double> nan_w{1.0, std::nan(""), 2.0};
+  EXPECT_THROW(exp3m_probabilities(nan_w, 1, 0.1), std::invalid_argument);
+  std::vector<double> inf_w{1.0, std::numeric_limits<double>::infinity()};
+  EXPECT_THROW(exp3m_probabilities(inf_w, 1, 0.1), std::invalid_argument);
 }
 
 }  // namespace

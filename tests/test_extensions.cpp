@@ -243,6 +243,60 @@ TEST(Persistent, LfscHandlesInjectedTasks) {
   EXPECT_GT(result.series.total_reward(), 0.0);
 }
 
+// A policy that never serves anything: every task in every slot ages
+// out through the full patience window.
+class NullPolicy : public Policy {
+ public:
+  std::string_view name() const noexcept override { return "Null"; }
+  Assignment select(const SlotInfo& info) override {
+    Assignment a;
+    a.selected.resize(info.coverage.size());
+    return a;
+  }
+};
+
+TEST(Persistent, AllTasksExpireUnderNullPolicy) {
+  auto s = small_setup();
+  auto sim = s.make_simulator();
+  NullPolicy policy;
+  const auto result = run_persistent_experiment(sim, policy, {.horizon = 40},
+                                                {.max_patience = 2});
+  const auto& st = result.stats;
+  EXPECT_GT(st.total_tasks, 0);
+  EXPECT_EQ(st.served_tasks, 0);
+  EXPECT_EQ(st.expired_tasks, st.total_tasks);
+  EXPECT_DOUBLE_EQ(st.served_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(st.mean_wait_slots, 0.0);  // no served task ever waited
+  EXPECT_DOUBLE_EQ(result.series.total_reward(), 0.0);
+}
+
+TEST(Persistent, PatienceZeroNeverCarriesBacklog) {
+  auto s = small_setup();
+  auto sim = s.make_simulator();
+  NullPolicy policy;
+  // Even when nothing is served, zero patience expires every task in
+  // its arrival slot — the backlog never forms.
+  const auto result = run_persistent_experiment(sim, policy, {.horizon = 30},
+                                                {.max_patience = 0});
+  EXPECT_EQ(result.stats.max_backlog, 0);
+  EXPECT_EQ(result.stats.expired_tasks, result.stats.total_tasks);
+}
+
+TEST(Persistent, SaturatedBacklogExceedsCapacity) {
+  // Saturated demand (30-60 tasks per SCN vs c = 10) with patience:
+  // the re-submission backlog must grow past what one slot can serve,
+  // and the accounting invariant still holds at the horizon sweep.
+  auto s = small_setup();
+  auto sim = s.make_simulator();
+  RandomPolicy policy(s.net);
+  const auto result = run_persistent_experiment(sim, policy, {.horizon = 50},
+                                                {.max_patience = 4});
+  const auto& st = result.stats;
+  EXPECT_GT(st.max_backlog, static_cast<long>(s.net.capacity_c));
+  EXPECT_EQ(st.total_tasks, st.served_tasks + st.expired_tasks);
+  EXPECT_GT(st.expired_tasks, 0);
+}
+
 TEST(Persistent, RejectsBadArguments) {
   auto s = small_setup();
   auto sim = s.make_simulator();

@@ -1,0 +1,225 @@
+#include "faults/fault_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lfsc {
+namespace {
+
+FaultConfig all_families() {
+  FaultConfig c;
+  c.outage_prob = 0.05;
+  c.outage_min_slots = 2;
+  c.outage_max_slots = 5;
+  c.loss_prob = 0.1;
+  c.delay_prob = 0.2;
+  c.delay_slots = 3;
+  c.corrupt_prob = 0.05;
+  return c;
+}
+
+TEST(FaultConfig, ValidatesRanges) {
+  EXPECT_NO_THROW(FaultConfig{}.validate());
+  EXPECT_NO_THROW(all_families().validate());
+
+  FaultConfig c;
+  c.outage_prob = -0.1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = {};
+  c.loss_prob = 1.5;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = {};
+  c.loss_prob = 0.6;
+  c.delay_prob = 0.3;
+  c.delay_slots = 1;
+  c.corrupt_prob = 0.2;  // 0.6 + 0.3 + 0.2 > 1: fates must partition
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = {};
+  c.outage_min_slots = 4;
+  c.outage_max_slots = 2;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = {};
+  c.outage_min_slots = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = {};
+  c.delay_prob = 0.1;
+  c.delay_slots = 0;  // delayed feedback must actually be late
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(FaultConfig, AnyDetectsActiveFamilies) {
+  EXPECT_FALSE(FaultConfig{}.any());
+  FaultConfig c;
+  c.corrupt_prob = 0.01;
+  EXPECT_TRUE(c.any());
+}
+
+TEST(FaultModel, ClassifyIsAPureFunction) {
+  // Two independent instances, queried in different orders, agree on
+  // every fate: no hidden RNG stream advances.
+  const auto config = all_families();
+  FaultModel a(config, 4), b(config, 4);
+  std::vector<FaultModel::Fate> forward;
+  for (int t = 1; t <= 50; ++t) {
+    for (int m = 0; m < 4; ++m) {
+      for (int j = 0; j < 10; ++j) forward.push_back(a.classify(t, m, j));
+    }
+  }
+  std::size_t i = forward.size();
+  for (int t = 50; t >= 1; --t) {
+    for (int m = 3; m >= 0; --m) {
+      for (int j = 9; j >= 0; --j) {
+        --i;
+        EXPECT_EQ(forward[i], b.classify(t, m, j))
+            << "t=" << t << " m=" << m << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(FaultModel, FateFrequenciesTrackProbabilities) {
+  FaultConfig config;
+  config.loss_prob = 0.1;
+  config.delay_prob = 0.2;
+  config.delay_slots = 2;
+  config.corrupt_prob = 0.05;
+  FaultModel model(config, 1);
+  int counts[4] = {};
+  const int n = 20000;
+  for (int t = 1; t <= n; ++t) {
+    counts[static_cast<int>(model.classify(t, 0, 0))]++;
+  }
+  const double total = n;
+  EXPECT_NEAR(counts[static_cast<int>(FaultModel::Fate::kLost)] / total,
+              0.1, 0.02);
+  EXPECT_NEAR(counts[static_cast<int>(FaultModel::Fate::kDelayed)] / total,
+              0.2, 0.02);
+  EXPECT_NEAR(counts[static_cast<int>(FaultModel::Fate::kCorrupted)] / total,
+              0.05, 0.02);
+  EXPECT_NEAR(counts[static_cast<int>(FaultModel::Fate::kDeliver)] / total,
+              0.65, 0.03);
+}
+
+TEST(FaultModel, EverythingDeliversWhenDisabled) {
+  FaultModel model(FaultConfig{}, 3);
+  EXPECT_FALSE(model.enabled());
+  for (int t = 1; t <= 20; ++t) {
+    model.begin_slot(t);
+    EXPECT_EQ(model.down_scns(), 0);
+    for (int m = 0; m < 3; ++m) {
+      EXPECT_FALSE(model.scn_down(m));
+      EXPECT_EQ(model.classify(t, m, 0), FaultModel::Fate::kDeliver);
+    }
+  }
+}
+
+TEST(FaultModel, OutageBurstsRespectMinimumLength) {
+  FaultConfig config;
+  config.outage_prob = 0.1;
+  config.outage_min_slots = 3;
+  config.outage_max_slots = 6;
+  FaultModel model(config, 2);
+  // Every maximal down-run is at least min_slots long (runs can chain,
+  // so there is no upper-bound assertion).
+  int run[2] = {};
+  bool saw_outage = false;
+  for (int t = 1; t <= 2000; ++t) {
+    model.begin_slot(t);
+    for (int m = 0; m < 2; ++m) {
+      if (model.scn_down(m)) {
+        ++run[m];
+        saw_outage = true;
+      } else {
+        if (run[m] > 0) {
+          EXPECT_GE(run[m], 3) << "SCN " << m << " at t=" << t;
+        }
+        run[m] = 0;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_outage);
+}
+
+TEST(FaultModel, DownCountMatchesFlags) {
+  FaultConfig config;
+  config.outage_prob = 0.3;
+  FaultModel model(config, 5);
+  for (int t = 1; t <= 200; ++t) {
+    model.begin_slot(t);
+    int down = 0;
+    for (int m = 0; m < 5; ++m) down += model.scn_down(m) ? 1 : 0;
+    EXPECT_EQ(model.down_scns(), down);
+  }
+}
+
+TEST(FaultModel, CorruptPoisonsFeedback) {
+  const auto config = all_families();
+  FaultModel model(config, 2);
+  bool saw_nonfinite = false, saw_out_of_range = false;
+  for (int t = 1; t <= 64; ++t) {
+    TaskFeedback f;
+    f.local_index = 0;
+    f.u = 0.5;
+    f.v = 0.5;
+    f.q = 1.0;
+    const auto bad = model.corrupt(t, 0, 0, f);
+    EXPECT_EQ(bad.local_index, f.local_index);
+    // Every variant is either non-finite or wildly out of range — the
+    // exact poison rotates deterministically with the key.
+    const bool nonfinite = !std::isfinite(bad.u) || !std::isfinite(bad.v) ||
+                           !std::isfinite(bad.q);
+    const bool out_of_range =
+        std::abs(bad.u) > 100.0 || std::abs(bad.v) > 100.0 || bad.q <= 0.0 ||
+        bad.q > 100.0;
+    EXPECT_TRUE(nonfinite || out_of_range) << "t=" << t;
+    saw_nonfinite |= nonfinite;
+    saw_out_of_range |= out_of_range && !nonfinite;
+  }
+  EXPECT_TRUE(saw_nonfinite);
+  EXPECT_TRUE(saw_out_of_range);
+}
+
+TEST(FaultModel, StateRoundTripContinuesTheSchedule) {
+  FaultConfig config;
+  config.outage_prob = 0.2;
+  config.outage_min_slots = 2;
+  config.outage_max_slots = 4;
+  FaultModel reference(config, 3);
+  FaultModel first_half(config, 3);
+  for (int t = 1; t <= 100; ++t) {
+    reference.begin_slot(t);
+    first_half.begin_slot(t);
+  }
+  std::string blob;
+  first_half.save_state(blob);
+
+  FaultModel resumed(config, 3);
+  resumed.load_state(blob);
+  for (int t = 101; t <= 200; ++t) {
+    reference.begin_slot(t);
+    resumed.begin_slot(t);
+    for (int m = 0; m < 3; ++m) {
+      EXPECT_EQ(reference.scn_down(m), resumed.scn_down(m))
+          << "t=" << t << " m=" << m;
+    }
+  }
+}
+
+TEST(FaultModel, LoadStateRejectsMismatchedShape) {
+  FaultConfig config;
+  config.outage_prob = 0.1;
+  FaultModel four(config, 4);
+  std::string blob;
+  four.save_state(blob);
+
+  FaultModel three(config, 3);
+  EXPECT_THROW(three.load_state(blob), std::runtime_error);
+  EXPECT_THROW(three.load_state("garbage"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lfsc

@@ -2,9 +2,10 @@
 
 #include <gtest/gtest.h>
 
-#include <cstdio>
 #include <fstream>
 #include <sstream>
+
+#include "test_util.h"
 
 namespace lfsc {
 namespace {
@@ -32,13 +33,8 @@ TEST(DownsampleIndices, EdgeCases) {
 
 class SeriesCsvTest : public ::testing::Test {
  protected:
-  // One file per test case: ctest -j runs the cases as concurrent
-  // processes, so a shared name races writer against writer.
-  std::string path_ =
-      ::testing::TempDir() + "lfsc_series_" +
-      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
-      ".csv";
-  void TearDown() override { std::remove(path_.c_str()); }
+  ScopedTempDir tmp_;
+  std::string path_ = tmp_.path("series.csv");
 
   std::string read() const {
     std::ifstream in(path_);

@@ -2,25 +2,20 @@
 
 #include <gtest/gtest.h>
 
-#include <cstdio>
 #include <fstream>
 
 #include "harness/paper_setup.h"
 #include "harness/runner.h"
 #include "lfsc/lfsc_policy.h"
+#include "test_util.h"
 
 namespace lfsc {
 namespace {
 
 class TraceTest : public ::testing::Test {
  protected:
-  // One file per test case: ctest -j runs the cases as concurrent
-  // processes, so a shared name races writer against writer.
-  std::string path_ =
-      ::testing::TempDir() + "lfsc_trace_" +
-      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
-      ".csv";
-  void TearDown() override { std::remove(path_.c_str()); }
+  ScopedTempDir tmp_;
+  std::string path_ = tmp_.path("trace.csv");
 };
 
 TEST_F(TraceTest, RoundTripPreservesSlots) {

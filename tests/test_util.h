@@ -1,0 +1,45 @@
+// Shared test utilities.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+namespace lfsc {
+
+/// A per-test scratch directory under ::testing::TempDir(), removed
+/// recursively on destruction. The directory name embeds the suite and
+/// test names: ctest -j runs cases as concurrent processes, so a shared
+/// path would race writer against writer.
+class ScopedTempDir {
+ public:
+  ScopedTempDir() {
+    std::string leaf = "lfsc_";
+    if (const auto* info =
+            ::testing::UnitTest::GetInstance()->current_test_info()) {
+      leaf += std::string(info->test_suite_name()) + "_" + info->name();
+    }
+    for (char& c : leaf) {
+      if (c == '/') c = '_';  // parameterized test names contain '/'
+    }
+    dir_ = std::filesystem::path(::testing::TempDir()) / leaf;
+    std::filesystem::create_directories(dir_);
+  }
+  ~ScopedTempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);  // best-effort cleanup
+  }
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  /// Absolute path for a file named `name` inside the directory.
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+}  // namespace lfsc

@@ -10,10 +10,17 @@
 //   lfsc_run --policies LFSC,Oracle --csv out    # writes out_*.csv
 //   lfsc_run --replicates 5                      # mean ± 95% CI summary
 //   lfsc_run --telemetry t.json --telemetry-csv t.csv   # slot-pipeline telemetry
+//   lfsc_run --checkpoint run.ckpt --checkpoint-every 500   # crash-safe
+//   lfsc_run --checkpoint run.ckpt --resume              # continue after ^C
+//   lfsc_run --fault-outage-prob 0.01 --fault-loss-prob 0.1
+#include <atomic>
+#include <csignal>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "baselines/fml.h"
@@ -24,6 +31,7 @@
 #include "baselines/vucb.h"
 #include "common/flags.h"
 #include "common/table.h"
+#include "faults/fault_model.h"
 #include "harness/paper_setup.h"
 #include "harness/replication.h"
 #include "harness/runner.h"
@@ -45,6 +53,25 @@ std::vector<std::string> split_csv(const std::string& text) {
   }
   return out;
 }
+
+/// Output paths must point into an existing directory — catching a typo
+/// before a 10k-slot run beats failing at export time. Returns an error
+/// message, or empty when the path is usable.
+std::string check_output_path(const std::string& path) {
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) return {};  // bare filename in the CWD
+  std::error_code ec;
+  if (!std::filesystem::is_directory(parent, ec)) {
+    return "directory '" + parent.string() + "' does not exist";
+  }
+  return {};
+}
+
+/// Graceful-interrupt flag: SIGINT requests a stop between slots so the
+/// runner can write a final checkpoint instead of dying mid-run.
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_sigint(int) { g_stop.store(true); }
 
 }  // namespace
 
@@ -97,6 +124,30 @@ int main(int argc, char** argv) {
   const int* telemetry_interval = parser.add_int(
       "telemetry-interval", 0,
       "slots between telemetry samples (0 = horizon/1000)");
+  const std::string* checkpoint_path = parser.add_string(
+      "checkpoint", "", "crash-safe checkpoint file (atomically rewritten)");
+  const int* checkpoint_every = parser.add_int(
+      "checkpoint-every", 0,
+      "slots between periodic checkpoints (0 = only on interrupt/finish)");
+  const bool* resume = parser.add_bool(
+      "resume", false, "resume from --checkpoint instead of starting fresh");
+  const double* fault_outage_prob = parser.add_double(
+      "fault-outage-prob", 0.0, "per-slot probability an SCN starts an outage");
+  const int* fault_outage_min = parser.add_int(
+      "fault-outage-min", 1, "minimum outage burst length (slots)");
+  const int* fault_outage_max = parser.add_int(
+      "fault-outage-max", 1, "maximum outage burst length (slots)");
+  const double* fault_loss_prob = parser.add_double(
+      "fault-loss-prob", 0.0, "probability a task's feedback is lost");
+  const double* fault_delay_prob = parser.add_double(
+      "fault-delay-prob", 0.0, "probability a task's feedback arrives late");
+  const int* fault_delay_slots = parser.add_int(
+      "fault-delay-slots", 1, "lateness of delayed feedback (slots)");
+  const double* fault_corrupt_prob = parser.add_double(
+      "fault-corrupt-prob", 0.0,
+      "probability a task's feedback is corrupted (NaN / out-of-range)");
+  const int* fault_seed = parser.add_int(
+      "fault-seed", 0xFA17, "seed of the fault process (independent of world)");
 
   switch (parser.parse(argc, argv, std::cerr)) {
     case FlagParser::Result::kHelp:
@@ -105,6 +156,63 @@ int main(int argc, char** argv) {
       return 2;
     case FlagParser::Result::kOk:
       break;
+  }
+
+  // Input validation: fail fast with a one-line error (exit 2) instead of
+  // crashing deep inside the simulator on a nonsense configuration.
+  const auto fail = [](const std::string& message) {
+    std::cerr << "lfsc_run: " << message << "\n";
+    return 2;
+  };
+  if (*horizon <= 0) return fail("--horizon must be positive");
+  if (*scns <= 0) return fail("--scns must be positive");
+  if (*capacity <= 0) return fail("--capacity must be positive (c >= 1)");
+  if (*alpha <= 0.0) return fail("--alpha must be positive");
+  if (*beta <= 0.0) return fail("--beta must be positive");
+  if (*h_t <= 0) return fail("--h must be positive");
+  if (*gamma < 0.0 || *gamma > 1.0) return fail("--gamma must be in [0, 1]");
+  if (*replicates <= 0) return fail("--replicates must be positive");
+  if (*tasks_min <= 0) return fail("--tasks-min must be positive");
+  if (*tasks_max < *tasks_min) {
+    return fail("--tasks-max must be >= --tasks-min");
+  }
+  if (*likelihood_lo < 0.0 || *likelihood_hi > 1.0 ||
+      *likelihood_lo > *likelihood_hi) {
+    return fail("--likelihood-lo/--likelihood-hi must satisfy "
+                "0 <= lo <= hi <= 1");
+  }
+  if (*blockage < 0.0 || *blockage > 1.0) {
+    return fail("--blockage must be in [0, 1]");
+  }
+  if (*telemetry_interval < 0) {
+    return fail("--telemetry-interval must be >= 0");
+  }
+  if (*checkpoint_every < 0) return fail("--checkpoint-every must be >= 0");
+  if ((*checkpoint_every > 0 || *resume) && checkpoint_path->empty()) {
+    return fail("--checkpoint-every/--resume require --checkpoint <path>");
+  }
+  for (const std::string* out_path :
+       {csv_prefix, trace_out, state_out, telemetry_json, telemetry_csv,
+        checkpoint_path}) {
+    if (out_path->empty()) continue;
+    if (const auto err = check_output_path(*out_path); !err.empty()) {
+      return fail("cannot write '" + *out_path + "': " + err);
+    }
+  }
+
+  FaultConfig fault_config;
+  fault_config.outage_prob = *fault_outage_prob;
+  fault_config.outage_min_slots = *fault_outage_min;
+  fault_config.outage_max_slots = *fault_outage_max;
+  fault_config.loss_prob = *fault_loss_prob;
+  fault_config.delay_prob = *fault_delay_prob;
+  fault_config.delay_slots = *fault_delay_slots;
+  fault_config.corrupt_prob = *fault_corrupt_prob;
+  fault_config.seed = static_cast<std::uint64_t>(*fault_seed);
+  try {
+    fault_config.validate();
+  } catch (const std::invalid_argument& e) {
+    return fail(e.what());
   }
 
   PaperSetup setup;
@@ -127,10 +235,11 @@ int main(int argc, char** argv) {
 
   if (*replicates > 1) {
     if (!state_in->empty() || !state_out->empty() || !trace_in->empty() ||
-        !trace_out->empty() || want_telemetry) {
+        !trace_out->empty() || want_telemetry || !checkpoint_path->empty() ||
+        fault_config.any()) {
       std::cerr << "lfsc_run: --load-state/--save-state/--trace/"
-                   "--record-trace/--telemetry are single-run flags "
-                   "(incompatible with --replicates)\n";
+                   "--record-trace/--telemetry/--checkpoint/--fault-* are "
+                   "single-run flags (incompatible with --replicates)\n";
       return 2;
     }
     const auto rep = replicate_paper_experiment(
@@ -236,7 +345,38 @@ int main(int argc, char** argv) {
     run_config.telemetry_interval = *telemetry_interval;
     run_config.telemetry_policy = lfsc_index;
   }
-  const auto result = run_experiment(sim, policies, run_config);
+  std::unique_ptr<FaultModel> faults;
+  if (fault_config.any()) {
+    faults = std::make_unique<FaultModel>(fault_config, *scns);
+    run_config.faults = faults.get();
+  }
+  if (!checkpoint_path->empty()) {
+    run_config.checkpoint_path = *checkpoint_path;
+    run_config.checkpoint_every = *checkpoint_every;
+    run_config.resume = *resume;
+    // With a checkpoint configured, Ctrl-C becomes a graceful stop: the
+    // runner finishes the current slot, writes a final checkpoint, and
+    // the process exits cleanly with status 3.
+    run_config.stop = &g_stop;
+    std::signal(SIGINT, handle_sigint);
+  }
+
+  ExperimentResult result;
+  try {
+    result = run_experiment(sim, policies, run_config);
+  } catch (const std::exception& e) {
+    std::cerr << "lfsc_run: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (run_config.resume) {
+    std::cout << "resumed from " << *checkpoint_path << "\n";
+  }
+  if (result.interrupted) {
+    std::cout << "interrupted after slot " << result.completed_slots << "/"
+              << *horizon << "; checkpoint -> " << *checkpoint_path
+              << " (re-run with --resume to continue)\n";
+  }
 
   if (!state_out->empty()) {
     if (lfsc_instance == nullptr) {
@@ -309,5 +449,5 @@ int main(int argc, char** argv) {
     std::cout << "series -> " << *csv_prefix << "_reward.csv, "
               << *csv_prefix << "_violations.csv\n";
   }
-  return 0;
+  return result.interrupted ? 3 : 0;
 }
