@@ -17,6 +17,12 @@
 
 namespace lfsc {
 
+/// Per-SCN RNG stream ids: SCN m of a policy draws from the stream
+/// (seed, kScnStreamBase + m). Shared between LfscPolicy and the naive
+/// reference transliteration (src/reference) so a differential run can
+/// align both policies' exploration draws stream-for-stream.
+inline constexpr std::uint64_t kScnStreamBase = 0x1F5C0000ULL;
+
 struct LfscConfig {
   /// Paper symbol: D_b, the context dimensionality (Sec. 3.1: input
   /// size, output size, resource type). Unit: dimensions. Valid: >= 1

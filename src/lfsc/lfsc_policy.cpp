@@ -29,11 +29,10 @@ constexpr double kWeightFloor = 1e-12;
 /// a worst-case exp(+60) single-slot jump.
 constexpr double kScaleHigh = 1e6;
 
-/// Per-SCN RNG stream ids: (seed, kScnStreamBase + m). Replaces the
-/// pre-PR single shared stream (seed, 0x1F5C) — a one-time, documented
-/// break in the random stream that makes the per-SCN draws independent
-/// of SCN processing order (and therefore of the worker count).
-constexpr std::uint64_t kScnStreamBase = 0x1F5C0000ULL;
+/// Largest slot the packed greedy path can represent: pack_greedy_entry
+/// stores the task index in 16 bits. Bigger slots take the unpacked
+/// bucketed path (same keys, same order, wider fields).
+constexpr std::size_t kPackedMaxTasks = 0x10000;
 
 /// Degraded-feedback guard (DESIGN.md §9): rejects observations whose
 /// fields a corrupted control channel could have poisoned — non-finite
@@ -188,7 +187,7 @@ Assignment LfscPolicy::select(const SlotInfo& info) {
     bucket_start_[m + 1] =
         bucket_start_[m] + static_cast<int>(info.coverage[m].size());
   }
-  entries_.resize(static_cast<std::size_t>(bucket_start_[num_scns]));
+  const auto num_edges = static_cast<std::size_t>(bucket_start_[num_scns]);
 
   // Greedy collaborative assignment (Alg. 4) on probability-derived edge
   // keys. Default: Efraimidis-Spirakis sampling — top-c by key is a
@@ -199,6 +198,18 @@ Assignment LfscPolicy::select(const SlotInfo& info) {
   // which selects identical sets while avoiding the exp() per edge.
   // `deterministic_edges` reproduces the literal paper weighting
   // w(m,i) ∝ p.
+  //
+  // The packed edge representation stores task/local indices in 16 bits;
+  // a slot with more tasks than that takes the unpacked bucketed path.
+  // Both paths compare keys at float precision with the same tie-break
+  // (weight desc, scn asc, task asc), so the fallback changes layout,
+  // not the assignment.
+  const bool packed = info.tasks.size() <= kPackedMaxTasks;
+  if (packed) {
+    entries_.resize(num_edges);
+  } else {
+    wide_entries_.resize(num_edges);
+  }
   {
     // Phase wall time, one sample per slot (see the note in the
     // uncoordinated branch). Includes the per-SCN edge-key build, which
@@ -208,8 +219,7 @@ Assignment LfscPolicy::select(const SlotInfo& info) {
       calculate_probabilities(m, info);
       auto& state = scn_state_[m];
       const auto& cover = info.coverage[m];
-      std::uint64_t* bucket =
-          entries_.data() + static_cast<std::size_t>(bucket_start_[m]);
+      const auto offset = static_cast<std::size_t>(bucket_start_[m]);
       for (std::size_t j = 0; j < cover.size(); ++j) {
         const double p = state.last.p[j];
         float key;
@@ -227,7 +237,13 @@ Assignment LfscPolicy::select(const SlotInfo& info) {
         } else {
           key = 0.0f;
         }
-        bucket[j] = pack_greedy_entry(key, cover[j], static_cast<int>(j));
+        if (packed) {
+          entries_[offset + j] =
+              pack_greedy_entry(key, cover[j], static_cast<int>(j));
+        } else {
+          wide_entries_[offset + j] = {static_cast<double>(key), cover[j],
+                                       static_cast<int>(j)};
+        }
       }
     });
   }
@@ -235,9 +251,17 @@ Assignment LfscPolicy::select(const SlotInfo& info) {
   Assignment out;
   {
     const telemetry::ScopedTimer greedy_timer(*tel_greedy_);
-    greedy_select_packed(static_cast<int>(num_scns),
-                         static_cast<int>(info.tasks.size()), net_.capacity_c,
-                         bucket_start_, entries_, out, greedy_scratch_);
+    if (packed) {
+      greedy_select_packed(static_cast<int>(num_scns),
+                           static_cast<int>(info.tasks.size()),
+                           net_.capacity_c, bucket_start_, entries_, out,
+                           greedy_scratch_);
+    } else {
+      greedy_select_bucketed(static_cast<int>(num_scns),
+                             static_cast<int>(info.tasks.size()),
+                             net_.capacity_c, bucket_start_, wide_entries_,
+                             out, greedy_scratch_);
+    }
   }
   return out;
 }
@@ -560,9 +584,16 @@ void LfscPolicy::load(std::istream& in) {
     if (!(in >> qos >> res)) {
       throw std::runtime_error("LfscPolicy::load: truncated multipliers");
     }
+    // Reject, don't repair: LagrangeMultipliers::restore projects a
+    // non-finite value back to 0.0, which would silently reset learner
+    // state a corrupted blob was supposed to warm-start.
+    if (!std::isfinite(qos) || !std::isfinite(res)) {
+      throw std::runtime_error(
+          "LfscPolicy::load: non-finite Lagrange multiplier");
+    }
     state.multipliers.restore(qos, res);
     for (auto& w : state.weights) {
-      if (!(in >> w) || !(w > 0.0)) {
+      if (!(in >> w) || !(w > 0.0) || !std::isfinite(w)) {
         throw std::runtime_error("LfscPolicy::load: bad weight value");
       }
     }
@@ -638,6 +669,12 @@ void LfscPolicy::load_checkpoint(std::string_view blob) {
     state.weight_scale = r.f64();
     const double qos = r.f64();
     const double res = r.f64();
+    // Same reject-don't-repair rule as load(): restore() would project a
+    // non-finite multiplier to 0.0 and mask the corruption.
+    if (!std::isfinite(qos) || !std::isfinite(res)) {
+      throw std::runtime_error(
+          "LfscPolicy: non-finite checkpoint multiplier");
+    }
     state.multipliers.restore(qos, res);
     auto weights = r.f64_vec();
     if (weights.size() != state.weights.size()) {

@@ -91,6 +91,14 @@ class LfscPolicy final : public Policy {
     return scn_state_[static_cast<std::size_t>(scn)].last.p;
   }
 
+  /// Full Alg. 2 output of the last select() for SCN `m` — probabilities
+  /// plus the capped set S', |S'| and ε_t. Used by the differential
+  /// harness (tools/lfsc_diff_fuzz) to compare the optimized solve
+  /// against the reference transliteration slot by slot.
+  const CappedProbabilities& last_result(int scn) const {
+    return scn_state_[static_cast<std::size_t>(scn)].last;
+  }
+
   /// Effective exploration rate in use.
   double gamma() const noexcept { return gamma_; }
 
@@ -223,6 +231,9 @@ class LfscPolicy final : public Policy {
   // heaps compare/move 8 bytes per edge.
   std::vector<int> bucket_start_;          ///< per-SCN ranges into entries
   std::vector<std::uint64_t> entries_;     ///< packed bucketed edge buffer
+  /// Unpacked edge buffer for slots whose task count exceeds the packed
+  /// 16-bit task field; same keys and order, wider fields.
+  std::vector<GreedyBucketEntry> wide_entries_;
   GreedySelectScratch greedy_scratch_;
 
   // Telemetry (DESIGN.md §8). Handles are registered once in the

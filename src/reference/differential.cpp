@@ -1,0 +1,457 @@
+#include "reference/differential.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.h"
+#include "lfsc/lfsc_policy.h"
+#include "reference/reference_policy.h"
+#include "sim/task.h"
+#include "solver/bipartite.h"
+#include "solver/branch_and_bound.h"
+
+namespace lfsc {
+namespace {
+
+/// Stream ids of the harness's own randomness, disjoint from the policy
+/// streams (kScnStreamBase) so instance generation never perturbs the
+/// policies' draws.
+constexpr std::uint64_t kWorldStream = 0xD1FF0001ULL;
+constexpr std::uint64_t kFeedbackSeedSalt = 0xF33DF33DULL;
+
+std::string describe(int t, int m, const std::string& what) {
+  std::ostringstream out;
+  out << "slot " << t << " scn " << m << ": " << what;
+  return out.str();
+}
+
+/// One randomized slot: task contexts uniform in [0,1]^3, coverage as an
+/// independent per-(SCN, task) inclusion draw.
+void generate_slot(const DiffInstance& inst, int t, RngStream& world,
+                   SlotInfo& info) {
+  info.t = t;
+  const auto num_tasks = static_cast<std::size_t>(
+      world.uniform_int(inst.min_tasks, inst.max_tasks));
+  info.tasks.assign(num_tasks, Task{});
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    auto& task = info.tasks[i];
+    task.id = static_cast<std::int64_t>(t) * 1'000'000 +
+              static_cast<std::int64_t>(i);
+    task.wd_id = static_cast<int>(i);
+    for (auto& coord : task.context.normalized) coord = world.uniform();
+  }
+  info.coverage.assign(static_cast<std::size_t>(inst.net.num_scns), {});
+  for (auto& cover : info.coverage) {
+    for (std::size_t i = 0; i < num_tasks; ++i) {
+      if (inst.coverage_density >= 1.0 ||
+          world.uniform() < inst.coverage_density) {
+        cover.push_back(static_cast<int>(i));
+      }
+    }
+  }
+}
+
+/// Bandit feedback for `assignment`, keyed by (seed, t, m) so every
+/// policy twin receives bit-identical observations regardless of the
+/// order the twins run in.
+SlotFeedback synthesize_feedback(const DiffInstance& inst, int t,
+                                 const Assignment& assignment) {
+  SlotFeedback fb;
+  fb.per_scn.resize(assignment.selected.size());
+  for (std::size_t m = 0; m < assignment.selected.size(); ++m) {
+    RngStream draws(inst.seed ^ kFeedbackSeedSalt,
+                    (static_cast<std::uint64_t>(t) << 20) |
+                        static_cast<std::uint64_t>(m));
+    for (const int local : assignment.selected[m]) {
+      TaskFeedback f;
+      f.local_index = local;
+      if (inst.wide_feedback) {
+        // Near the sanitization envelope (|u|,|v| <= 100, q in (0,100]).
+        f.u = draws.uniform(0.0, 100.0);
+        f.v = draws.uniform(0.0, 100.0);
+        f.q = draws.uniform(0.5, 100.0);
+      } else {
+        // The paper's model ranges: U,V in [0,1], Q in [1,2].
+        f.u = draws.uniform();
+        f.v = draws.uniform();
+        f.q = draws.uniform(1.0, 2.0);
+      }
+      if (inst.poison_feedback && draws.uniform() < 0.08) {
+        // Insane observation — both sides must reject it identically.
+        switch (draws.uniform_int(0, 3)) {
+          case 0: f.u = std::numeric_limits<double>::quiet_NaN(); break;
+          case 1: f.v = std::numeric_limits<double>::infinity(); break;
+          case 2: f.q = -1.0; break;
+          default: f.u = 1e9; break;
+        }
+      }
+      fb.per_scn[m].push_back(f);
+    }
+  }
+  return fb;
+}
+
+/// Checks constraints (1a) and (1b) plus index hygiene (locals valid,
+/// strictly ascending). Returns a description of the first violation.
+bool assignment_valid(const SlotInfo& info, const Assignment& a,
+                      int capacity_c, std::string& why) {
+  if (a.selected.size() != info.coverage.size()) {
+    why = "assignment SCN count mismatch";
+    return false;
+  }
+  std::vector<char> taken(info.tasks.size(), 0);
+  for (std::size_t m = 0; m < a.selected.size(); ++m) {
+    const auto& sel = a.selected[m];
+    const auto& cover = info.coverage[m];
+    if (sel.size() > static_cast<std::size_t>(capacity_c)) {
+      why = "capacity (1a) violated";
+      return false;
+    }
+    int prev = -1;
+    for (const int local : sel) {
+      if (local <= prev) {
+        why = "locals not strictly ascending";
+        return false;
+      }
+      prev = local;
+      if (local < 0 || static_cast<std::size_t>(local) >= cover.size()) {
+        why = "local index out of coverage";
+        return false;
+      }
+      const auto task = static_cast<std::size_t>(cover[local]);
+      if (taken[task]) {
+        why = "task assigned twice (1b)";
+        return false;
+      }
+      taken[task] = 1;
+    }
+  }
+  return true;
+}
+
+/// Per-SCN Alg. 2 invariants that hold for any correct implementation:
+/// p in [0,1], sum p = min(c, K_m), capped => p == 1.
+bool probabilities_invariant(const std::vector<double>& p,
+                             const std::vector<std::uint8_t>& capped,
+                             int capacity_c, const DiffTolerances& tol,
+                             std::string& why) {
+  double sum = 0.0;
+  for (std::size_t j = 0; j < p.size(); ++j) {
+    if (!(p[j] >= 0.0) || !(p[j] <= 1.0) || !std::isfinite(p[j])) {
+      why = "probability outside [0,1]";
+      return false;
+    }
+    if (capped[j] != 0 && p[j] < 1.0 - 1e-9) {
+      why = "capped arm with p < 1";
+      return false;
+    }
+    sum += p[j];
+  }
+  const double expected =
+      std::min(static_cast<double>(capacity_c), static_cast<double>(p.size()));
+  if (std::abs(sum - expected) >
+      tol.prob_sum * std::max<double>(1.0, static_cast<double>(p.size()))) {
+    why = "sum p != min(c, K)";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+DiffInstance random_instance(std::uint64_t seed) {
+  DiffInstance inst;
+  inst.seed = seed;
+  RngStream g(seed, kWorldStream);
+
+  inst.net.num_scns = static_cast<int>(g.uniform_int(1, 6));
+  inst.net.capacity_c = static_cast<int>(g.uniform_int(1, 8));
+  const auto c = static_cast<double>(inst.net.capacity_c);
+  inst.net.qos_alpha = g.uniform(0.0, 1.5 * c);
+  inst.net.resource_beta = g.uniform(0.5, 2.5 * c);
+
+  inst.lfsc.parts_per_dim = static_cast<std::size_t>(g.uniform_int(1, 4));
+  const double gamma_mode = g.uniform();
+  if (gamma_mode < 0.3) {
+    inst.lfsc.gamma = 0.0;  // auto formula
+  } else if (gamma_mode < 0.95) {
+    inst.lfsc.gamma = g.uniform(0.02, 0.95);
+  } else {
+    inst.lfsc.gamma = 1.0;  // pure exploration
+  }
+  // Aggressive learning rates drive weights to degenerate scales —
+  // deep concentration, caps, floors — within a short horizon.
+  constexpr double kEtaScales[] = {0.5, 1.0, 2.0, 4.0, 8.0};
+  inst.lfsc.eta_scale = kEtaScales[g.uniform_int(0, 4)];
+  inst.lfsc.lambda_max = g.uniform(0.5, 5.0);
+  inst.lfsc.use_lagrangian = g.uniform() < 0.85;
+  inst.lfsc.seed = SplitMix64(seed).next();
+
+  inst.slots = static_cast<int>(g.uniform_int(30, 100));
+  inst.lfsc.horizon = static_cast<std::size_t>(inst.slots);
+
+  if (g.uniform() < 0.25) {
+    // Tiny slots: K_m <= c dominates (the forced-selection branch).
+    inst.min_tasks = 0;
+    inst.max_tasks = inst.net.capacity_c;
+  } else {
+    inst.min_tasks = std::max(0, inst.net.capacity_c - 2);
+    inst.max_tasks = std::min<int>(
+        60, inst.net.capacity_c * static_cast<int>(g.uniform_int(2, 6)));
+  }
+  inst.coverage_density = g.uniform() < 0.15 ? 1.0 : g.uniform(0.25, 1.0);
+  inst.lfsc.expected_tasks_per_scn = static_cast<std::size_t>(std::max(
+      1.0, 0.5 * (inst.min_tasks + inst.max_tasks) * inst.coverage_density));
+
+  inst.wide_feedback = g.uniform() < 0.2;
+  inst.poison_feedback = g.uniform() < 0.15;
+  return inst;
+}
+
+DiffResult run_differential(const DiffInstance& inst,
+                            const DiffOptions& opts) {
+  DiffResult res;
+  const DiffTolerances& tol = opts.tol;
+
+  // The primary pair runs the paper's deterministic edge weighting
+  // w(m,i) ∝ p, where the assignment is a pure function of the
+  // probabilities and can be compared exactly.
+  LfscConfig det = inst.lfsc;
+  det.deterministic_edges = true;
+  det.parallel_scns = false;
+  det.coordinate_scns = true;
+
+  ReferenceLfscPolicy ref(inst.net, det);
+  ref.inject_epsilon_off_by_one(opts.inject_epsilon_off_by_one);
+  LfscPolicy opt(inst.net, det);
+
+  LfscConfig par_cfg = det;
+  par_cfg.parallel_scns = true;
+  LfscPolicy par(inst.net, par_cfg);
+
+  LfscConfig es_cfg = det;
+  es_cfg.deterministic_edges = false;
+  LfscPolicy es(inst.net, es_cfg);
+
+  const auto fail = [&res](int t, int m, const std::string& what) {
+    res.diverged = true;
+    res.detail = describe(t, m, what);
+    return res;
+  };
+
+  if (std::abs(ref.gamma() - opt.gamma()) > 1e-12) {
+    return fail(0, -1, "effective gamma mismatch");
+  }
+
+  RngStream world(inst.seed, kWorldStream + 1);
+  SlotInfo info;
+  const auto num_scns = static_cast<std::size_t>(inst.net.num_scns);
+  for (int t = 1; t <= inst.slots; ++t) {
+    generate_slot(inst, t, world, info);
+    ++res.slots_run;
+
+    const Assignment a_opt = opt.select(info);
+    const Assignment a_ref = ref.select(info);
+    Assignment a_par, a_es;
+    if (opts.check_parallel) a_par = par.select(info);
+    if (opts.check_es_edges) a_es = es.select(info);
+
+    std::string why;
+    if (!assignment_valid(info, a_opt, inst.net.capacity_c, why)) {
+      return fail(t, -1, "optimized assignment invalid: " + why);
+    }
+    if (!assignment_valid(info, a_ref, inst.net.capacity_c, why)) {
+      return fail(t, -1, "reference assignment invalid: " + why);
+    }
+    if (opts.check_parallel && !(a_par.selected == a_opt.selected)) {
+      return fail(t, -1, "parallel_scns assignment differs from serial");
+    }
+    if (opts.check_es_edges &&
+        !assignment_valid(info, a_es, inst.net.capacity_c, why)) {
+      return fail(t, -1, "Efraimidis-Spirakis assignment invalid: " + why);
+    }
+
+    bool keys_identical = true;
+    for (std::size_t m = 0; m < num_scns; ++m) {
+      const auto& pr = ref.last_probabilities(static_cast<int>(m));
+      const auto& ro = opt.last_result(static_cast<int>(m));
+      const std::size_t K = info.coverage[m].size();
+      if (pr.size() != K || ro.p.size() != K) {
+        return fail(t, static_cast<int>(m), "probability vector size");
+      }
+
+      // Alg. 2 outputs: per-arm probabilities within tolerance, capped
+      // set and |S'| exact, epsilon within relative tolerance.
+      for (std::size_t j = 0; j < K; ++j) {
+        const double gap = std::abs(pr[j] - ro.p[j]);
+        res.max_probability_gap = std::max(res.max_probability_gap, gap);
+        if (gap > tol.probability) {
+          std::ostringstream what;
+          what << "probability gap " << gap << " at arm " << j << " (ref "
+               << pr[j] << " opt " << ro.p[j] << ")";
+          return fail(t, static_cast<int>(m), what.str());
+        }
+        if (static_cast<float>(pr[j]) != static_cast<float>(ro.p[j])) {
+          keys_identical = false;
+        }
+      }
+      const auto& rc = ref.last_capped(static_cast<int>(m));
+      if (ref.last_num_capped(static_cast<int>(m)) != ro.num_capped) {
+        std::ostringstream what;
+        what << "|S'| mismatch (ref "
+             << ref.last_num_capped(static_cast<int>(m)) << " opt "
+             << ro.num_capped << ")";
+        return fail(t, static_cast<int>(m), what.str());
+      }
+      for (std::size_t j = 0; j < K; ++j) {
+        if ((rc[j] != 0) != (ro.capped[j] != 0)) {
+          return fail(t, static_cast<int>(m), "capped set mismatch");
+        }
+      }
+      if (ro.num_capped > 0 && K > static_cast<std::size_t>(inst.net.capacity_c)) {
+        ++res.capped_scn_slots;
+        // epsilon is on the weight scale, which the two sides keep
+        // differently (raw vs max-normalized); the ratio epsilon/sum(w')
+        // is the scale-invariant fixed-point quantity.
+        const double ratio_ref = ref.last_epsilon(static_cast<int>(m)) /
+                                 ref.last_weight_sum(static_cast<int>(m));
+        const double ratio_opt = ro.epsilon / ro.weight_sum;
+        if (std::abs(ratio_ref - ratio_opt) >
+            tol.epsilon_rel * std::max(std::abs(ratio_opt), 1e-12)) {
+          std::ostringstream what;
+          what << "epsilon/sum(w') mismatch (ref " << ratio_ref << " opt "
+               << ratio_opt << ")";
+          return fail(t, static_cast<int>(m), what.str());
+        }
+      }
+
+      // Invariants, on both sides independently.
+      if (!probabilities_invariant(pr, rc, inst.net.capacity_c, tol, why)) {
+        return fail(t, static_cast<int>(m), "reference invariant: " + why);
+      }
+      if (!probabilities_invariant(ro.p, ro.capped, inst.net.capacity_c, tol,
+                                   why)) {
+        return fail(t, static_cast<int>(m), "optimized invariant: " + why);
+      }
+
+      // The Efraimidis-Spirakis twin shares weights and feedback with
+      // the deterministic run, so its Alg. 2 output is bit-identical.
+      if (opts.check_es_edges &&
+          es.last_probabilities(static_cast<int>(m)) != ro.p) {
+        return fail(t, static_cast<int>(m),
+                    "Efraimidis-Spirakis twin probability drift");
+      }
+    }
+
+    // Alg. 4: exact match, unless a double-ulp probability gap crossed a
+    // float rounding boundary and legitimately changed the key order.
+    if (!(a_ref.selected == a_opt.selected)) {
+      if (keys_identical) {
+        return fail(t, -1,
+                    "assignment mismatch with identical float edge keys");
+      }
+      ++res.key_tie_skips;
+    }
+
+    // Lemma 2 on small slots: greedy >= OPT / (c+1) under the slot's own
+    // deterministic edge weights (constraints (1a)/(1b) only).
+    std::size_t num_edges = 0;
+    for (const auto& cover : info.coverage) num_edges += cover.size();
+    if (num_edges > 0 && num_edges <= 24 &&
+        res.exact_checks < opts.max_exact_checks) {
+      ExactProblem problem;
+      problem.num_scns = inst.net.num_scns;
+      problem.num_tasks = static_cast<int>(info.tasks.size());
+      problem.capacity_c = inst.net.capacity_c;
+      problem.edges = build_edges(info, [&](int m, int j) {
+        return static_cast<double>(
+            static_cast<float>(opt.last_probabilities(m)[
+                static_cast<std::size_t>(j)]));
+      });
+      const ExactResult exact = solve_exact(problem, 500'000);
+      if (exact.optimal) {
+        ++res.exact_checks;
+        const double greedy_total =
+            assignment_weight(a_opt, [&](int m, int j) {
+              return static_cast<double>(
+                  static_cast<float>(opt.last_probabilities(m)[
+                      static_cast<std::size_t>(j)]));
+            });
+        const double bound = exact.total_weight /
+                             (static_cast<double>(inst.net.capacity_c) + 1.0);
+        if (greedy_total + 1e-9 < bound) {
+          std::ostringstream what;
+          what << "greedy " << greedy_total << " below Lemma 2 bound "
+               << bound << " (OPT " << exact.total_weight << ")";
+          return fail(t, -1, what.str());
+        }
+      }
+    }
+
+    // Shared feedback, derived from the optimized assignment, so every
+    // twin's learner state stays comparable.
+    const SlotFeedback fb = synthesize_feedback(inst, t, a_opt);
+    opt.observe(info, a_opt, fb);
+    ref.observe(info, a_ref, fb);
+    if (opts.check_parallel) par.observe(info, a_par, fb);
+    if (opts.check_es_edges) es.observe(info, a_es, fb);
+
+    // Alg. 3 dual ascent: identical realized sums on both sides.
+    for (std::size_t m = 0; m < num_scns; ++m) {
+      const int mi = static_cast<int>(m);
+      const double gap_qos = std::abs(ref.lambda_qos(mi) - opt.lambda_qos(mi));
+      const double gap_res =
+          std::abs(ref.lambda_resource(mi) - opt.lambda_resource(mi));
+      res.max_multiplier_gap =
+          std::max({res.max_multiplier_gap, gap_qos, gap_res});
+      if (gap_qos > tol.multiplier || gap_res > tol.multiplier) {
+        std::ostringstream what;
+        what << "multiplier gap (qos " << gap_qos << " res " << gap_res
+             << ")";
+        return fail(t, mi, what.str());
+      }
+      if (opts.check_parallel &&
+          (par.lambda_qos(mi) != opt.lambda_qos(mi) ||
+           par.lambda_resource(mi) != opt.lambda_resource(mi))) {
+        return fail(t, mi, "parallel_scns multiplier drift");
+      }
+    }
+  }
+
+  // Final weight tables: flushed max-normalized views within tolerance,
+  // floor zone exempt (floors pinned a few renorm-divisions apart can
+  // sit at neighboring representable values — DESIGN.md §10).
+  for (std::size_t m = 0; m < num_scns; ++m) {
+    const int mi = static_cast<int>(m);
+    const auto& wo = opt.weights(mi);
+    const auto& wr = ref.weights(mi);
+    if (wo.size() != wr.size()) return fail(inst.slots, mi, "weight table size");
+    for (std::size_t cell = 0; cell < wo.size(); ++cell) {
+      if (wo[cell] <= tol.weight_floor_zone &&
+          wr[cell] <= tol.weight_floor_zone) {
+        continue;
+      }
+      const double gap = std::abs(wo[cell] - wr[cell]);
+      res.max_weight_gap = std::max(res.max_weight_gap, gap);
+      if (gap > tol.weight) {
+        std::ostringstream what;
+        what << "weight gap " << gap << " at cell " << cell << " (ref "
+             << wr[cell] << " opt " << wo[cell] << ")";
+        return fail(inst.slots, mi, what.str());
+      }
+    }
+    if (opts.check_parallel && par.weights(mi) != wo) {
+      return fail(inst.slots, mi, "parallel_scns weight drift");
+    }
+    if (opts.check_es_edges && es.weights(mi) != wo) {
+      return fail(inst.slots, mi, "Efraimidis-Spirakis weight drift");
+    }
+  }
+
+  return res;
+}
+
+}  // namespace lfsc

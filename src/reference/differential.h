@@ -1,0 +1,105 @@
+// Differential fuzz harness: drives the optimized LfscPolicy and the
+// naive ReferenceLfscPolicy (reference_policy.h) through identical
+// randomized slot streams and compares them slot by slot.
+//
+// What is compared, and how tightly (full table in DESIGN.md §10):
+//   * Alg. 2 probability vectors     — within DiffTolerances::probability
+//     (the two sides sum and normalize in different orders; the shared
+//     floor/renormalization schedule keeps the gap to association noise);
+//   * capped set S', |S'|, epsilon_t — exact flags / |S'|, relative
+//     tolerance on epsilon;
+//   * Alg. 4 assignments             — exact, except slots where the two
+//     sides' float-precision edge keys differ (a double-ulp probability
+//     gap that crosses a float rounding boundary changes the key order
+//     legitimately; such slots are counted, not failed);
+//   * Lagrange multipliers           — within DiffTolerances::multiplier;
+//   * final weight tables            — within DiffTolerances::weight
+//     on the flushed (max == 1) views, with cells in the positivity-
+//     floor zone exempt (a floor pinned a few renorm-divisions apart can
+//     sit at neighboring representable values);
+//   * invariants on BOTH sides, every slot: sum p = min(c, K_m),
+//     p in [0,1], capped => p == 1, constraints (1a)/(1b), and on small
+//     slots the Lemma 2 bound greedy >= OPT/(c+1) via solve_exact;
+//   * twin runs of the optimized policy with parallel_scns and with
+//     Efraimidis-Spirakis edges — bit-exact probability/weight match
+//     against the serial deterministic run (they share every stream).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lfsc/config.h"
+#include "sim/network.h"
+
+namespace lfsc {
+
+struct DiffTolerances {
+  /// Per-arm |p_ref - p_opt|: cross-implementation summation/association
+  /// noise, amplified by up to ~K slots of IPW compounding (DESIGN.md §10).
+  double probability = 5e-5;
+  /// |sum p - min(c, K_m)| per SCN-slot, scaled by max(1, K_m).
+  double prob_sum = 1e-8;
+  /// Relative gap on epsilon_t when both sides capped.
+  double epsilon_rel = 1e-6;
+  /// |lambda_ref - lambda_opt|; the dual ascent consumes identical
+  /// realized sums, so this is pure arithmetic-association noise.
+  double multiplier = 1e-9;
+  /// Max-normalized final weight tables, outside the floor zone.
+  double weight = 1e-5;
+  /// Both sides below this => the cell sits in the positivity-floor
+  /// zone; absolute floor values may differ by renorm-division rounding.
+  double weight_floor_zone = 1e-4;
+};
+
+/// One randomized problem instance: network shape, algorithm tunables
+/// and slot-stream generator parameters. Fully determined by `seed`.
+struct DiffInstance {
+  std::uint64_t seed = 0;
+  NetworkConfig net;
+  LfscConfig lfsc;  ///< deterministic_edges/parallel_scns set by the runner
+  int slots = 60;
+  int min_tasks = 0;   ///< per-slot task count, uniform in [min, max]
+  int max_tasks = 40;
+  double coverage_density = 0.6;  ///< P(task in SCN coverage); 1 = full
+  bool wide_feedback = false;     ///< u,v,q near the sanitization envelope
+  bool poison_feedback = false;   ///< occasional insane values (both reject)
+};
+
+/// Deterministically derives a randomized instance from `seed`,
+/// exercising SCN counts, capacities, coverage shapes, c/alpha/beta,
+/// exploration rates, aggressive eta scales and K <= c slot shapes.
+DiffInstance random_instance(std::uint64_t seed);
+
+struct DiffOptions {
+  DiffTolerances tol;
+  /// Runs the reference with a deliberate off-by-one in the epsilon
+  /// fixed point (caps one arm fewer than the consistent cut); the
+  /// harness must then report a divergence on instances that cap.
+  bool inject_epsilon_off_by_one = false;
+  /// Twin optimized run with parallel_scns = true; must stay bit-exact.
+  bool check_parallel = true;
+  /// Twin optimized run with Efraimidis-Spirakis edges on the shared
+  /// feedback stream; probabilities/weights must stay bit-exact and its
+  /// assignments must satisfy (1a)/(1b).
+  bool check_es_edges = true;
+  /// Upper bound on solve_exact calls per instance (small slots only).
+  int max_exact_checks = 50;
+};
+
+struct DiffResult {
+  bool diverged = false;
+  std::string detail;  ///< first divergence: check, slot, SCN, values
+  int slots_run = 0;
+  int capped_scn_slots = 0;  ///< SCN-slots with a non-empty S'
+  int key_tie_skips = 0;     ///< assignment compares skipped (float-key tie)
+  int exact_checks = 0;      ///< Lemma 2 bound evaluations run
+  double max_probability_gap = 0.0;
+  double max_multiplier_gap = 0.0;
+  double max_weight_gap = 0.0;  ///< outside the floor zone
+};
+
+/// Runs one differential instance. Returns at the first divergence.
+DiffResult run_differential(const DiffInstance& inst,
+                            const DiffOptions& opts = {});
+
+}  // namespace lfsc

@@ -1,0 +1,442 @@
+#include "reference/reference_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lfsc {
+namespace {
+
+/// Same exponent clamp, positivity floor and renormalization band the
+/// optimized policy uses — these are part of the update's numeric
+/// contract (DESIGN.md §10), not an optimization, so the reference
+/// applies the same numbers on the same schedule. The floor in
+/// particular is observable through Alg. 2: in deep-concentration slots
+/// every uncapped arm sits at the floor and the floor value carries real
+/// probability mass, so flooring at a different time would fork the
+/// trajectories legitimately and the differential harness could compare
+/// nothing.
+constexpr double kMaxExponent = 60.0;
+constexpr double kWeightFloor = 1e-12;
+constexpr double kScaleHigh = 1e6;
+
+/// Same degraded-feedback envelope as LfscPolicy (DESIGN.md §9): both
+/// sides of a differential run must reject exactly the same
+/// observations or their trajectories legitimately fork.
+bool feedback_sane(const TaskFeedback& f) noexcept {
+  return std::isfinite(f.u) && std::isfinite(f.v) && std::isfinite(f.q) &&
+         std::abs(f.u) <= 100.0 && std::abs(f.v) <= 100.0 && f.q > 0.0 &&
+         f.q <= 100.0;
+}
+
+/// One bipartite edge of the Alg. 4 graph, kept as plain fields — the
+/// reference sorts the whole flat list every slot.
+struct RefEdge {
+  double key = 0.0;
+  int scn = 0;
+  int task = 0;
+  int local = 0;
+};
+
+}  // namespace
+
+ReferenceLfscPolicy::ReferenceLfscPolicy(const NetworkConfig& net,
+                                         LfscConfig config)
+    : net_(net), config_(config) {
+  net_.validate();
+  if (!config_.coordinate_scns) {
+    throw std::invalid_argument(
+        "ReferenceLfscPolicy: only the paper's coordinated path (Alg. 4) "
+        "is transliterated");
+  }
+
+  // Alg. 1 line 2: h_T^D hypercubes.
+  cell_count_ = 1;
+  for (std::size_t d = 0; d < config_.context_dims; ++d) {
+    cell_count_ *= config_.parts_per_dim;
+  }
+
+  // gamma = min(1, sqrt(K ln(K/k) / ((e-1) k T))) — the Exp3.M rate,
+  // with the same degenerate-input guards the optimized policy applies.
+  if (config_.gamma > 0.0) {
+    gamma_ = config_.gamma;
+  } else {
+    const auto K = static_cast<double>(config_.expected_tasks_per_scn);
+    const auto k = static_cast<double>(net_.capacity_c);
+    const auto T = static_cast<double>(config_.horizon);
+    if (config_.expected_tasks_per_scn == 0 || net_.capacity_c == 0 ||
+        config_.horizon == 0 ||
+        config_.expected_tasks_per_scn <=
+            static_cast<std::size_t>(net_.capacity_c)) {
+      gamma_ = 0.0;
+    } else {
+      gamma_ = std::min(
+          1.0, std::sqrt(K * std::log(K / k) / ((std::exp(1.0) - 1.0) * k * T)));
+    }
+  }
+  if (gamma_ <= 0.0) gamma_ = 0.01;
+  gamma_ = std::min(gamma_, 1.0);
+
+  const auto horizon =
+      static_cast<double>(std::max<std::size_t>(1, config_.horizon));
+  eta_lambda_ = config_.eta_lambda > 0.0 ? config_.eta_lambda
+                                         : 10.0 / std::sqrt(horizon);
+  delta_ = config_.delta > 0.0 ? config_.delta : 1.0 / std::sqrt(horizon);
+
+  scn_.reserve(static_cast<std::size_t>(net_.num_scns));
+  for (int m = 0; m < net_.num_scns; ++m) {
+    scn_.emplace_back(cell_count_,
+                      RngStream(config_.seed,
+                                kScnStreamBase + static_cast<std::uint64_t>(m)));
+  }
+}
+
+std::size_t ReferenceLfscPolicy::cell_index(const Task& task) const {
+  // Uniform partition of [0,1]^D: coordinate d falls into part
+  // floor(x_d * h_T), with 1.0 folded into the last part.
+  const auto& x = task.context.normalized;
+  const std::size_t parts = config_.parts_per_dim;
+  std::size_t idx = 0;
+  const std::size_t used = std::min(x.size(), config_.context_dims);
+  for (std::size_t d = 0; d < used; ++d) {
+    const double coord = std::clamp(x[d], 0.0, 1.0);
+    auto part = static_cast<std::size_t>(coord * static_cast<double>(parts));
+    part = std::min(part, parts - 1);
+    idx = idx * parts + part;
+  }
+  for (std::size_t d = used; d < config_.context_dims; ++d) idx *= parts;
+  return idx;
+}
+
+void ReferenceLfscPolicy::calculate(Scn& scn,
+                                    const std::vector<double>& task_weights)
+    const {
+  const std::size_t K = task_weights.size();
+  const auto k = static_cast<std::size_t>(net_.capacity_c);
+  scn.p.assign(K, 0.0);
+  scn.capped.assign(K, 0);
+  scn.num_capped = 0;
+  scn.epsilon = 0.0;
+  scn.weight_sum = 0.0;
+  if (K == 0) return;
+
+  // Fewer arms than plays: every arm is played with certainty.
+  if (K <= k) {
+    scn.p.assign(K, 1.0);
+    scn.capped.assign(K, 1);
+    scn.num_capped = K;
+    return;
+  }
+
+  const auto Kd = static_cast<double>(K);
+  const auto kd = static_cast<double>(k);
+
+  // gamma == 1 is pure exploration: uniform marginals.
+  if (gamma_ >= 1.0) {
+    scn.p.assign(K, kd / Kd);
+    return;
+  }
+
+  double total = 0.0;
+  double max_weight = 0.0;
+  for (const double w : task_weights) {
+    if (!(w > 0.0) || !std::isfinite(w)) {
+      throw std::invalid_argument(
+          "ReferenceLfscPolicy: weights must be > 0 and finite");
+    }
+    total += w;
+    max_weight = std::max(max_weight, w);
+  }
+
+  // Degenerate-scale guard, identical in spirit to exp3m_probabilities:
+  // probabilities are scale-invariant, so re-express relative to the
+  // maximum when the raw scale is unusable.
+  if (!std::isfinite(total) || max_weight < 1e-100) {
+    std::vector<double> scaled(K);
+    for (std::size_t i = 0; i < K; ++i) {
+      scaled[i] = std::max(task_weights[i] / max_weight, 1e-12);
+    }
+    calculate(scn, scaled);
+    return;
+  }
+
+  // Alg. 2 lines 6-9: solve the fixed point
+  //     epsilon_t / sum(w') = rhs,   rhs = (1/k - gamma/K) / (1 - gamma)
+  // over candidate capped-set sizes s, on the fully sorted weight list.
+  const double rhs = (1.0 / kd - gamma_ / Kd) / (1.0 - gamma_);
+  double epsilon = 0.0;
+  std::size_t num_capped = 0;
+  if (rhs > 0.0 && max_weight >= rhs * total) {
+    std::vector<double> sorted(task_weights);
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    // tail[s] = sum of the K - s smallest weights.
+    std::vector<double> tail(K + 1, 0.0);
+    for (std::size_t i = K; i-- > 0;) tail[i] = tail[i + 1] + sorted[i];
+    for (std::size_t s = 1; s < K; ++s) {
+      const double denom = 1.0 - rhs * static_cast<double>(s);
+      if (denom <= 0.0) break;  // capping more arms cannot help
+      const double eps = rhs * tail[s] / denom;
+      // Consistency: exactly the s largest weights reach the cap.
+      if (sorted[s - 1] >= eps && sorted[s] < eps) {
+        epsilon = eps;
+        num_capped = s;
+        break;
+      }
+    }
+    if (num_capped == 0) {
+      // Weights so concentrated that k arms tie at the cap.
+      const double denom = 1.0 - rhs * kd;
+      epsilon = denom > 0.0 ? rhs * tail[k] / denom : sorted[k - 1];
+      num_capped = k;
+    }
+    if (inject_epsilon_off_by_one_) {
+      // Deliberate bug for the harness's self-test: cap one arm fewer
+      // than the consistent cut.
+      --num_capped;
+      if (num_capped == 0) epsilon = 0.0;
+    }
+  }
+
+  // Mark S' by value (largest-first; exact ties beyond num_capped stay
+  // uncapped) and build the capped weight sum.
+  double weight_sum = 0.0;
+  if (num_capped > 0) {
+    std::size_t remaining = num_capped;
+    for (std::size_t i = 0; i < K; ++i) {
+      if (remaining > 0 && task_weights[i] >= epsilon) {
+        scn.capped[i] = 1;
+        --remaining;
+        weight_sum += epsilon;
+      } else {
+        weight_sum += task_weights[i];
+      }
+    }
+  } else {
+    weight_sum = total;
+  }
+
+  // Alg. 2 line 10: the gamma mixture, arm by arm.
+  for (std::size_t i = 0; i < K; ++i) {
+    const double w = scn.capped[i] != 0 ? epsilon : task_weights[i];
+    scn.p[i] =
+        std::clamp(kd * ((1.0 - gamma_) * w / weight_sum + gamma_ / Kd), 0.0,
+                   1.0);
+  }
+  scn.num_capped = num_capped;
+  scn.epsilon = epsilon;
+  scn.weight_sum = weight_sum;
+}
+
+Assignment ReferenceLfscPolicy::select(const SlotInfo& info) {
+  if (info.coverage.size() != scn_.size()) {
+    throw std::invalid_argument("ReferenceLfscPolicy: SCN count mismatch");
+  }
+
+  // Alg. 2 per SCN, then the full bipartite edge list.
+  std::vector<RefEdge> edges;
+  for (std::size_t m = 0; m < scn_.size(); ++m) {
+    auto& scn = scn_[m];
+    const auto& cover = info.coverage[m];
+    scn.cells.assign(cover.size(), 0);
+    std::vector<double> task_weights(cover.size(), 0.0);
+    for (std::size_t j = 0; j < cover.size(); ++j) {
+      const auto cell =
+          cell_index(info.tasks[static_cast<std::size_t>(cover[j])]);
+      scn.cells[j] = cell;
+      task_weights[j] = scn.weights[cell];
+    }
+    calculate(scn, task_weights);
+
+    // Edge keys, float precision (the documented key-schedule contract):
+    // the paper's literal w(m,i) ∝ p under deterministic_edges, otherwise
+    // the Efraimidis-Spirakis order transform 1/(1 - ln(u)/p) with one
+    // uniform per fractional arm from this SCN's keyed stream.
+    for (std::size_t j = 0; j < cover.size(); ++j) {
+      const double p = scn.p[j];
+      float key;
+      if (config_.deterministic_edges) {
+        key = static_cast<float>(p);
+      } else if (p >= 1.0) {
+        key = 2.0f;
+      } else if (p > 0.0) {
+        const auto u = static_cast<float>(scn.rng.uniform());
+        key = 1.0f /
+              (1.0f - std::log(std::max(u, 1e-35f)) / static_cast<float>(p));
+      } else {
+        key = 0.0f;
+      }
+      edges.push_back({static_cast<double>(key), static_cast<int>(m),
+                       cover[j], static_cast<int>(j)});
+    }
+  }
+
+  // Alg. 4: sort the whole edge list by (weight desc, scn asc, task asc)
+  // and scan greedily, accepting while SCN capacity and task uniqueness
+  // allow. This is the order contract the optimized bucket-heap merge
+  // must reproduce.
+  std::sort(edges.begin(), edges.end(),
+            [](const RefEdge& a, const RefEdge& b) {
+              if (a.key != b.key) return a.key > b.key;
+              if (a.scn != b.scn) return a.scn < b.scn;
+              return a.task < b.task;
+            });
+  Assignment out;
+  out.selected.resize(scn_.size());
+  std::vector<int> load(scn_.size(), 0);
+  std::vector<char> assigned(info.tasks.size(), 0);
+  for (const RefEdge& e : edges) {
+    if (!(e.key > 0.0)) break;  // sorted: everything after is <= 0 too
+    const auto m = static_cast<std::size_t>(e.scn);
+    if (load[m] >= net_.capacity_c) continue;            // (1a)
+    if (assigned[static_cast<std::size_t>(e.task)]) continue;  // (1b)
+    out.selected[m].push_back(e.local);
+    assigned[static_cast<std::size_t>(e.task)] = 1;
+    ++load[m];
+  }
+  for (auto& s : out.selected) std::sort(s.begin(), s.end());
+  return out;
+}
+
+void ReferenceLfscPolicy::observe(const SlotInfo& info,
+                                  const Assignment& assignment,
+                                  const SlotFeedback& feedback) {
+  (void)assignment;
+  if (feedback.per_scn.size() != scn_.size()) {
+    throw std::invalid_argument(
+        "ReferenceLfscPolicy: feedback SCN count mismatch");
+  }
+  for (std::size_t m = 0; m < scn_.size(); ++m) {
+    auto& scn = scn_[m];
+    const std::size_t num_tasks = info.coverage[m].size();
+
+    double completed_sum = 0.0;
+    double resource_sum = 0.0;
+    if (num_tasks > 0) {
+      // Alg. 3 lines 1-8: dense IPW tables, allocated fresh — the naive
+      // O(cells) shape the sparse accumulator replaced.
+      std::vector<double> sum_g(cell_count_, 0.0);
+      std::vector<double> sum_v(cell_count_, 0.0);
+      std::vector<double> sum_q(cell_count_, 0.0);
+      std::vector<std::size_t> count(cell_count_, 0);
+      // First-touch order of the covered cells. Part of the numeric
+      // contract: the floor of a cell updated mid-sweep depends on the
+      // running peak *so far*, so the sweep must visit cells in the same
+      // order on both sides.
+      std::vector<std::size_t> touched;
+      for (std::size_t j = 0; j < num_tasks; ++j) {
+        if (count[scn.cells[j]]++ == 0) touched.push_back(scn.cells[j]);
+      }
+      for (const auto& f : feedback.per_scn[m]) {
+        const auto j = static_cast<std::size_t>(f.local_index);
+        if (j >= num_tasks) {
+          throw std::out_of_range("ReferenceLfscPolicy: bad feedback index");
+        }
+        if (!feedback_sane(f)) continue;
+        const double p = scn.p.empty() ? 0.0 : scn.p[j];
+        if (p > 0.0) {
+          // IPW contributions x * 1(selected) / p; q normalized to [0,1]
+          // for the update, as in the optimized path.
+          const double g = f.q > 0.0 ? f.u * f.v / f.q : 0.0;
+          sum_g[scn.cells[j]] += g / p;
+          sum_v[scn.cells[j]] += f.v / p;
+          sum_q[scn.cells[j]] += (f.q / 2.0) / p;
+        }
+        // Realized totals feed the dual ascent regardless of p.
+        completed_sum += f.v;
+        resource_sum += f.q;
+      }
+
+      const double eta_t = config_.eta_scale * gamma_ *
+                           static_cast<double>(net_.capacity_c) /
+                           static_cast<double>(num_tasks);
+      const double lambda_qos = config_.use_lagrangian ? scn.lambda_qos : 0.0;
+      const double lambda_res = config_.use_lagrangian ? scn.lambda_res : 0.0;
+
+      // A hypercube is in S' this slot if any of its covered tasks was
+      // capped (tasks in one cube share one weight).
+      std::vector<char> cube_capped(cell_count_, 0);
+      for (std::size_t j = 0; j < num_tasks; ++j) {
+        if (scn.capped[j] != 0) cube_capped[scn.cells[j]] = 1;
+      }
+
+      // Alg. 3 lines 9-14: exponential update, full-table sweep. The
+      // floor is pinned to the running peak weight (floor_scale), and a
+      // full renormalization happens only when the peak leaves the
+      // representable band — the same values on the same schedule as the
+      // optimized policy (shared numeric contract, DESIGN.md §10), just
+      // computed with a naive dense sweep.
+      for (const std::size_t cell : touched) {
+        if (cube_capped[cell] != 0) continue;
+        const auto n = static_cast<double>(count[cell]);
+        const double payoff = sum_g[cell] / n + lambda_qos * (sum_v[cell] / n) -
+                              lambda_res * (sum_q[cell] / n);
+        if (!std::isfinite(payoff)) continue;
+        const double exponent =
+            std::clamp(eta_t * payoff, -kMaxExponent, kMaxExponent);
+        const double updated = std::max(scn.weights[cell] * std::exp(exponent),
+                                        scn.floor_scale * kWeightFloor);
+        scn.weights[cell] = updated;
+        scn.floor_scale = std::max(scn.floor_scale, updated);
+      }
+      if (scn.floor_scale > kScaleHigh) renormalize(scn);
+    }
+
+    // Alg. 3 lines 15-17: regularized projected dual ascent, with
+    // alpha/beta-normalized gaps. A non-finite step keeps the previous
+    // multiplier (same hardening as LagrangeMultipliers::project).
+    const double qos_gap =
+        net_.qos_alpha > 0.0 ? (net_.qos_alpha - completed_sum) / net_.qos_alpha
+                             : 0.0;
+    const double res_gap = net_.resource_beta > 0.0
+                               ? (resource_sum - net_.resource_beta) /
+                                     net_.resource_beta
+                               : 0.0;
+    const double next_qos =
+        (1.0 - eta_lambda_ * delta_) * scn.lambda_qos + eta_lambda_ * qos_gap;
+    const double next_res =
+        (1.0 - eta_lambda_ * delta_) * scn.lambda_res + eta_lambda_ * res_gap;
+    if (std::isfinite(next_qos)) {
+      scn.lambda_qos = std::clamp(next_qos, 0.0, config_.lambda_max);
+    }
+    if (std::isfinite(next_res)) {
+      scn.lambda_res = std::clamp(next_res, 0.0, config_.lambda_max);
+    }
+  }
+}
+
+void ReferenceLfscPolicy::renormalize(Scn& scn) {
+  double max_weight = 0.0;
+  for (const double w : scn.weights) max_weight = std::max(max_weight, w);
+  if (max_weight > 0.0) {
+    for (auto& w : scn.weights) {
+      w = std::max(w / max_weight, kWeightFloor);
+    }
+  }
+  scn.floor_scale = 1.0;
+}
+
+const std::vector<double>& ReferenceLfscPolicy::weights(int scn) {
+  auto& state = scn_[static_cast<std::size_t>(scn)];
+  renormalize(state);
+  return state.weights;
+}
+
+void ReferenceLfscPolicy::reset() {
+  for (std::size_t m = 0; m < scn_.size(); ++m) {
+    auto& scn = scn_[m];
+    std::fill(scn.weights.begin(), scn.weights.end(), 1.0);
+    scn.floor_scale = 1.0;
+    scn.lambda_qos = 0.0;
+    scn.lambda_res = 0.0;
+    scn.p.clear();
+    scn.capped.clear();
+    scn.num_capped = 0;
+    scn.epsilon = 0.0;
+    scn.weight_sum = 0.0;
+    scn.cells.clear();
+    scn.rng = RngStream(config_.seed,
+                        kScnStreamBase + static_cast<std::uint64_t>(m));
+  }
+}
+
+}  // namespace lfsc

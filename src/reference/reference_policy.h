@@ -1,0 +1,135 @@
+// Paper-fidelity reference oracle: a deliberately naive transliteration
+// of the paper's per-slot subroutines, used ONLY as the ground truth of
+// the differential harness (tools/lfsc_diff_fuzz, tests/test_differential).
+//
+//   * Calculating  (Alg. 2): dense O(K) per SCN — full weight copy, full
+//     descending sort for the epsilon_t fixed point, capped set S' by
+//     value, gamma mixture applied arm by arm;
+//   * GreedySelect (Alg. 4): one flat edge list, one global sort by
+//     (weight desc, scn asc, task asc), one linear greedy scan;
+//   * Updating     (Alg. 3): dense per-hypercube IPW tables allocated
+//     fresh every slot, a full-table weight sweep, and inline projected
+//     dual ascent.
+//
+// Nothing here reuses scratch, packs keys, or keeps heaps — every layout
+// trick the optimized LfscPolicy plays is absent by design, so a
+// divergence between the two isolates the trick that broke. The two
+// implementations share only the things that are part of the *numeric
+// contract* rather than the data layout: the per-SCN RNG stream keying
+// (lfsc/config.h kScnStreamBase), the float-precision edge-key
+// transform, and the positivity-floor / renormalization schedule (floor
+// at 1e-12 of the running peak weight, full renormalization when the
+// peak exceeds 1e6). DESIGN.md §10 documents why each of these is
+// observable behavior, not an optimization — the floor in particular
+// sets the probabilities of every uncapped arm in deep-concentration
+// slots, so flooring on a different schedule forks the trajectories.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "lfsc/config.h"
+#include "sim/network.h"
+#include "sim/policy.h"
+
+namespace lfsc {
+
+class ReferenceLfscPolicy final : public Policy {
+ public:
+  /// Accepts the same tunables as LfscPolicy so one config drives both
+  /// sides of a differential run. Only the paper's algorithm is
+  /// implemented: `coordinate_scns` must stay true and `parallel_scns`
+  /// is ignored (the reference is always serial).
+  ReferenceLfscPolicy(const NetworkConfig& net, LfscConfig config = {});
+
+  std::string_view name() const noexcept override { return "LFSC-Reference"; }
+  Assignment select(const SlotInfo& info) override;
+  void observe(const SlotInfo& info, const Assignment& assignment,
+               const SlotFeedback& feedback) override;
+  void reset() override;
+
+  // --- introspection (mirrors LfscPolicy's accessors) ---
+
+  double gamma() const noexcept { return gamma_; }
+  double lambda_qos(int scn) const {
+    return scn_[static_cast<std::size_t>(scn)].lambda_qos;
+  }
+  double lambda_resource(int scn) const {
+    return scn_[static_cast<std::size_t>(scn)].lambda_res;
+  }
+  const std::vector<double>& last_probabilities(int scn) const {
+    return scn_[static_cast<std::size_t>(scn)].p;
+  }
+  const std::vector<std::uint8_t>& last_capped(int scn) const {
+    return scn_[static_cast<std::size_t>(scn)].capped;
+  }
+  std::size_t last_num_capped(int scn) const {
+    return scn_[static_cast<std::size_t>(scn)].num_capped;
+  }
+  double last_epsilon(int scn) const {
+    return scn_[static_cast<std::size_t>(scn)].epsilon;
+  }
+  /// Sum of the capped weights sum(w') behind the last probabilities.
+  /// epsilon is on the weight scale, so cross-implementation comparisons
+  /// must use the scale-invariant ratio epsilon / weight_sum.
+  double last_weight_sum(int scn) const {
+    return scn_[static_cast<std::size_t>(scn)].weight_sum;
+  }
+
+  /// Hypercube weights of SCN `m`, normalized so max == 1 (with the
+  /// positivity floor). Like LfscPolicy::weights, this flushes the
+  /// pending renormalization before returning the view.
+  const std::vector<double>& weights(int scn);
+
+  /// Fault-injection hook for the harness's self-test: when enabled, the
+  /// epsilon fixed-point solve caps one arm fewer than the consistent
+  /// cut — the classic off-by-one Alg. 2 invites. test_differential
+  /// proves the fuzz harness flags a run with this bug injected.
+  void inject_epsilon_off_by_one(bool on) noexcept {
+    inject_epsilon_off_by_one_ = on;
+  }
+
+ private:
+  struct Scn {
+    std::vector<double> weights;  ///< dense per hypercube, raw scale
+    /// Running peak weight since the last renormalization; the floor
+    /// pins at floor_scale * 1e-12 (the shared numeric contract).
+    double floor_scale = 1.0;
+    double lambda_qos = 0.0;
+    double lambda_res = 0.0;
+    std::vector<double> p;               ///< last Alg. 2 probabilities
+    std::vector<std::uint8_t> capped;    ///< last S' membership
+    std::size_t num_capped = 0;
+    double epsilon = 0.0;
+    double weight_sum = 0.0;  ///< sum(w') of the last calculate()
+    std::vector<std::size_t> cells;  ///< hypercube of each covered task
+    RngStream rng;                   ///< (seed, kScnStreamBase + m)
+
+    Scn(std::size_t num_cells, RngStream stream)
+        : weights(num_cells, 1.0), rng(stream) {}
+  };
+
+  /// Alg. 2 transliteration for one SCN, writing p/capped/num_capped/
+  /// epsilon. `task_weights` is the dense weight lookup per covered task.
+  void calculate(Scn& scn, const std::vector<double>& task_weights) const;
+
+  /// Full-table max-renormalization with the positivity floor; resets
+  /// floor_scale. Same arithmetic as LfscPolicy::renormalize.
+  static void renormalize(Scn& scn);
+
+  std::size_t cell_index(const Task& task) const;
+
+  NetworkConfig net_;
+  LfscConfig config_;
+  std::size_t cell_count_;
+  double gamma_;
+  double eta_lambda_;
+  double delta_;
+  std::vector<Scn> scn_;
+  bool inject_epsilon_off_by_one_ = false;
+};
+
+}  // namespace lfsc

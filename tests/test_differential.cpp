@@ -1,0 +1,166 @@
+// Differential tests: the optimized LfscPolicy against the naive
+// reference transliteration (src/reference). The heavy randomized corpus
+// lives in tools/lfsc_diff_fuzz; these tests pin a fixed seed set plus
+// the harness's self-test (an injected reference bug must be caught).
+#include "reference/differential.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "reference/reference_policy.h"
+
+namespace lfsc {
+namespace {
+
+/// Fixed smoke corpus: small but varied (the instance generator derives
+/// every shape parameter from the seed). Chosen once; never "fixed up"
+/// to make a failure pass — a divergence here is a real bug on one side.
+const std::uint64_t kCorpusSeeds[] = {
+    1,      2,      3,      5,          8,         13,        21,
+    1997,   86028157, 0xDEADBEEF, 0xCAFED00D, 1u << 20,  (1u << 31) + 7,
+    424242, 0xFEEDFACE,
+};
+
+TEST(Differential, FixedCorpusHasNoDivergences) {
+  int capped = 0;
+  int exact = 0;
+  int slots = 0;
+  for (const std::uint64_t seed : kCorpusSeeds) {
+    const DiffInstance inst = random_instance(seed);
+    const DiffResult res = run_differential(inst);
+    EXPECT_FALSE(res.diverged) << "seed " << seed << ": " << res.detail;
+    slots += res.slots_run;
+    capped += res.capped_scn_slots;
+    exact += res.exact_checks;
+  }
+  // The corpus must actually exercise the interesting paths, or the
+  // zero-divergence result is vacuous.
+  EXPECT_GT(slots, 500);
+  EXPECT_GT(capped, 0) << "no instance ever capped an arm";
+  EXPECT_GT(exact, 0) << "no instance was small enough for solve_exact";
+}
+
+TEST(Differential, SerialOnlyCorpusMatches) {
+  // The parallel/ES twins off: isolates the plain serial ref-vs-opt pair.
+  DiffOptions opts;
+  opts.check_parallel = false;
+  opts.check_es_edges = false;
+  for (const std::uint64_t seed : {7ull, 1009ull, 31337ull}) {
+    const DiffResult res = run_differential(random_instance(seed), opts);
+    EXPECT_FALSE(res.diverged) << "seed " << seed << ": " << res.detail;
+  }
+}
+
+TEST(Differential, InjectedEpsilonOffByOneIsCaught) {
+  // Self-test: perturb the reference with the classic Alg. 2 off-by-one
+  // (cap one arm fewer than the consistent cut). The harness must flag a
+  // divergence on a corpus that caps — otherwise the fuzzer would also
+  // be blind to the same bug on the optimized side.
+  DiffOptions opts;
+  opts.inject_epsilon_off_by_one = true;
+  bool caught = false;
+  int capped = 0;
+  for (const std::uint64_t seed : kCorpusSeeds) {
+    const DiffResult res = run_differential(random_instance(seed), opts);
+    capped += res.capped_scn_slots;
+    if (res.diverged) {
+      caught = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(caught) << "injected off-by-one not detected ("
+                      << capped << " capped SCN-slots seen)";
+}
+
+TEST(Differential, InjectionHookActuallyChangesTheCapSet) {
+  // Sanity check on the hook itself: with weights concentrated enough to
+  // cap, the injected reference caps one arm fewer.
+  NetworkConfig net;
+  net.num_scns = 1;
+  net.capacity_c = 2;
+  net.qos_alpha = 1.0;
+  net.resource_beta = 4.0;
+  LfscConfig cfg;
+  cfg.gamma = 0.1;
+  cfg.deterministic_edges = true;
+  cfg.parts_per_dim = 2;
+  cfg.eta_scale = 8.0;        // concentrate fast so the cap engages
+  cfg.use_lagrangian = false;  // no penalty noise in the drive
+
+  SlotInfo info;
+  info.t = 1;
+  info.tasks.resize(6);
+  for (std::size_t i = 0; i < info.tasks.size(); ++i) {
+    auto& task = info.tasks[i];
+    task.id = static_cast<std::int64_t>(i);
+    // One DISTINCT hypercube per task: an arm sharing its cube with
+    // another would cap only past a share its duplicate makes
+    // unreachable (w appears once per covered task in the arm vector).
+    task.context.normalized = {(i & 1) != 0 ? 0.9 : 0.1,
+                               (i & 2) != 0 ? 0.9 : 0.1,
+                               (i & 4) != 0 ? 0.9 : 0.1};
+  }
+  info.coverage = {{0, 1, 2, 3, 4, 5}};
+
+  ReferenceLfscPolicy honest(net, cfg);
+  ReferenceLfscPolicy buggy(net, cfg);
+  buggy.inject_epsilon_off_by_one(true);
+
+  // Drive both with feedback that strongly favors task 0's hypercube so
+  // its weight dominates and the cap engages.
+  for (int t = 1; t <= 200; ++t) {
+    info.t = t;
+    const Assignment a = honest.select(info);
+    (void)buggy.select(info);
+    SlotFeedback fb;
+    fb.per_scn.resize(1);
+    for (const int local : a.selected[0]) {
+      TaskFeedback f;
+      f.local_index = local;
+      f.u = local == 0 ? 1.0 : 0.01;
+      f.v = local == 0 ? 1.0 : 0.01;
+      f.q = 1.0;
+      fb.per_scn[0].push_back(f);
+    }
+    honest.observe(info, a, fb);
+    buggy.observe(info, a, fb);
+  }
+  info.t = 201;
+  (void)honest.select(info);
+  (void)buggy.select(info);
+  ASSERT_GT(honest.last_num_capped(0), 0u)
+      << "weights never concentrated enough to cap";
+  EXPECT_EQ(buggy.last_num_capped(0), honest.last_num_capped(0) - 1);
+}
+
+TEST(Differential, PoisonedFeedbackInstancesStillMatch) {
+  // Instances that exercise the sanitization envelope: both sides must
+  // reject exactly the same observations.
+  for (std::uint64_t seed = 100; seed < 140; ++seed) {
+    DiffInstance inst = random_instance(seed);
+    if (!inst.poison_feedback) continue;
+    const DiffResult res = run_differential(inst);
+    EXPECT_FALSE(res.diverged) << "seed " << seed << ": " << res.detail;
+  }
+}
+
+TEST(Differential, TinySlotShapesForceAllCapped) {
+  // K_m <= c every slot: the forced-selection branch on both sides.
+  DiffInstance inst = random_instance(3);
+  inst.min_tasks = 0;
+  inst.max_tasks = inst.net.capacity_c;
+  const DiffResult res = run_differential(inst);
+  EXPECT_FALSE(res.diverged) << res.detail;
+}
+
+TEST(Differential, ReferenceRequiresCoordinatedPath) {
+  LfscConfig cfg;
+  cfg.coordinate_scns = false;
+  EXPECT_THROW(ReferenceLfscPolicy(NetworkConfig{}, cfg),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lfsc

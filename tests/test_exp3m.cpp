@@ -194,6 +194,49 @@ TEST(DepRound, RejectsOutOfRangeProbabilities) {
   EXPECT_THROW(dep_round({-0.2, 0.5}, rng), std::invalid_argument);
 }
 
+TEST(DepRound, CardinalityExactUnderAccumulatedFloatError) {
+  // Marginals integral only up to double rounding (7 * (3/7) = 3 - 4e-16):
+  // the residual fractional mass sits inside the tolerance, so the
+  // cardinality must still be exactly 3 on every draw — never 2 or 4 via
+  // a spurious trailing Bernoulli.
+  RngStream rng(21);
+  const std::vector<double> p(7, 3.0 / 7.0);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(dep_round(p, rng).size(), 3u);
+  }
+}
+
+TEST(DepRound, SingleResidualFractionalEntryKeepsItsMarginal) {
+  // One fractional entry among deterministic ones hits the final
+  // Bernoulli branch directly (no pair to round against).
+  RngStream rng(22);
+  const std::vector<double> p{1.0, 0.25, 0.0, 1.0};
+  int included = 0;
+  constexpr int kTrials = 40000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto s = dep_round(p, rng);
+    ASSERT_GE(s.size(), 2u);
+    ASSERT_LE(s.size(), 3u);
+    EXPECT_NE(std::find(s.begin(), s.end(), 0u), s.end());
+    EXPECT_NE(std::find(s.begin(), s.end(), 3u), s.end());
+    if (s.size() == 3u) ++included;  // only arm 1 can be the third
+  }
+  EXPECT_NEAR(static_cast<double>(included) / kTrials, 0.25, 0.01);
+}
+
+TEST(DepRound, AllCappedConsumesNoRandomness) {
+  // K <= k slot shapes pass p = 1.0 for every arm; the rounding must
+  // select them all without touching the stream, or replay determinism
+  // would fork on slots that force full selection.
+  RngStream used(23);
+  RngStream untouched(23);
+  const auto s = dep_round({1.0, 1.0, 1.0}, used);
+  EXPECT_EQ(s, (std::vector<std::size_t>{0, 1, 2}));
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(used.uniform(), untouched.uniform()) << "draw " << i;
+  }
+}
+
 TEST(Exp3MIntegration, WeightsLearnedFromRewardsShiftProbabilities) {
   // Tiny two-arm learning loop: arm 1 pays 1, arm 0 pays 0. After a few
   // hundred Exp3.M rounds arm 1's probability must dominate.

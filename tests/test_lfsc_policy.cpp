@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
 
 #include "harness/paper_setup.h"
 #include "metrics/metrics.h"
@@ -106,6 +109,65 @@ TEST(LfscPolicy, ObserveWithoutSelectThrows) {
   SlotFeedback feedback;
   feedback.per_scn.resize(static_cast<std::size_t>(s.net.num_scns));
   EXPECT_THROW(policy.observe(slot.info, empty, feedback), std::logic_error);
+}
+
+TEST(LfscPolicy, OversizedSlotFallsBackToBucketedGreedy) {
+  // Regression: a slot with more tasks than the 16-bit packed-edge limit
+  // (0x10000) used to abort mid-run. Such slots must take the unpacked
+  // bucketed greedy and apply the same (weight desc, scn asc, task asc)
+  // contract as the packed path.
+  NetworkConfig net;
+  net.num_scns = 2;
+  net.capacity_c = 3;
+  LfscConfig cfg;
+  cfg.gamma = 0.1;
+  cfg.deterministic_edges = true;
+  LfscPolicy policy(net, cfg);
+
+  constexpr std::size_t kTasks = 0x10000 + 1;
+  SlotInfo info;
+  info.t = 1;
+  info.tasks.resize(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    info.tasks[i].id = static_cast<std::int64_t>(i);
+    info.tasks[i].context.normalized = {0.5, 0.5, 0.5};
+  }
+  info.coverage.resize(2);
+  info.coverage[0].resize(kTasks);
+  std::iota(info.coverage[0].begin(), info.coverage[0].end(), 0);
+  info.coverage[1] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+
+  const Assignment a = policy.select(info);
+  EXPECT_EQ(validate_assignment(info, a, net), std::nullopt);
+  ASSERT_EQ(a.selected.size(), 2u);
+  // Uniform weights + deterministic edges: SCN 1's marginals (3/10)
+  // outrank SCN 0's (3/65537), so SCN 1 takes tasks {0,1,2} and the wide
+  // SCN the next ids — ties broken by task index, as in the packed path.
+  EXPECT_EQ(a.selected[1], (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(a.selected[0], (std::vector<int>{3, 4, 5}));
+
+  // The oversized slot round-trips through observe, and the next small
+  // slot (packed path again) still works on the same policy.
+  SlotFeedback fb;
+  fb.per_scn.resize(2);
+  for (std::size_t m = 0; m < 2; ++m) {
+    for (const int local : a.selected[m]) {
+      TaskFeedback f;
+      f.local_index = local;
+      f.u = 0.5;
+      f.v = 0.5;
+      f.q = 1.0;
+      fb.per_scn[m].push_back(f);
+    }
+  }
+  policy.observe(info, a, fb);
+
+  info.t = 2;
+  info.tasks.resize(16);
+  info.coverage[0] = {0, 1, 2, 3, 4, 5, 6, 7};
+  info.coverage[1] = {8, 9, 10, 11, 12, 13, 14, 15};
+  const Assignment b = policy.select(info);
+  EXPECT_EQ(validate_assignment(info, b, net), std::nullopt);
 }
 
 TEST(LfscPolicy, ScnCountMismatchThrows) {

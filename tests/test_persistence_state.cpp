@@ -2,7 +2,11 @@
 // runner mode (bit-identical to serial).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
+#include <limits>
 #include <sstream>
+#include <string>
 
 #include "harness/paper_setup.h"
 #include "harness/runner.h"
@@ -109,6 +113,56 @@ TEST(LfscState, LoadRejectsNonPositiveWeights) {
   text.replace(pos, 5, "0 0 0");
   std::stringstream corrupted(text);
   EXPECT_THROW(policy.load(corrupted), std::runtime_error);
+}
+
+TEST(LfscState, LoadRejectsNonFiniteWeights) {
+  // Regression: a non-finite weight used to be accepted and then poison
+  // every probability computed from its table. load() must reject the
+  // blob instead of repairing or propagating it.
+  auto s = small_setup();
+  LfscPolicy policy(s.net, s.lfsc);
+  std::stringstream blob;
+  policy.save(blob);
+  std::string text = blob.str();
+  const auto pos = text.find("0 0 1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 5, "0 0 inf");
+  std::stringstream corrupted(text);
+  EXPECT_THROW(policy.load(corrupted), std::runtime_error);
+}
+
+TEST(LfscState, LoadRejectsNonFiniteMultipliers) {
+  // A "nan" multiplier must throw, never restore: the old behavior let
+  // the box projection silently clamp it to 0.0 and mask the corruption.
+  // (Whether the stream extraction itself rejects the token or the
+  // explicit isfinite guard fires is platform detail; both throw.)
+  auto s = small_setup();
+  LfscPolicy policy(s.net, s.lfsc);
+  std::stringstream blob;
+  policy.save(blob);
+  std::string text = blob.str();
+  const auto pos = text.find("0 0 1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 5, "nan 0 1");
+  std::stringstream corrupted(text);
+  EXPECT_THROW(policy.load(corrupted), std::runtime_error);
+}
+
+TEST(LfscState, CheckpointRejectsNonFiniteMultiplier) {
+  // Binary checkpoints can hold any bit pattern, so the isfinite guard
+  // is load-bearing there: overwrite the first SCN's qos multiplier with
+  // a NaN image and the restore must throw.
+  auto s = small_setup();
+  LfscPolicy policy(s.net, s.lfsc);
+  std::string blob;
+  policy.save_checkpoint(blob);
+  // Layout: u32 version, u32 scns, u32 cells, i32 t, i32 delay window,
+  // then per SCN f64 weight_scale followed by the f64 qos multiplier.
+  const std::size_t qos_offset = 5 * sizeof(std::uint32_t) + sizeof(double);
+  ASSERT_GE(blob.size(), qos_offset + sizeof(double));
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::memcpy(blob.data() + qos_offset, &nan, sizeof nan);
+  EXPECT_THROW(policy.load_checkpoint(blob), std::runtime_error);
 }
 
 TEST(Runner, ParallelPoliciesMatchSerialExactly) {
