@@ -180,6 +180,7 @@ void FaultModel::note_late_dropped(std::uint64_t n) {
 
 void FaultModel::save_state(std::string& out) const {
   BlobWriter w;
+  w.u64(config_.seed);
   w.u32(static_cast<std::uint32_t>(remaining_.size()));
   for (const auto r : remaining_) w.i32(r);
   out += w.take();
@@ -187,6 +188,14 @@ void FaultModel::save_state(std::string& out) const {
 
 void FaultModel::load_state(std::string_view blob) {
   BlobReader r(blob);
+  const std::uint64_t seed = r.u64();
+  if (seed != config_.seed) {
+    // Fates are pure functions of the seed, so resuming under a
+    // different one silently rewrites history before the checkpoint.
+    throw std::runtime_error(
+        "FaultModel: checkpoint was recorded under a different fault seed; "
+        "resume with the original --fault-seed");
+  }
   const auto n = r.u32();
   if (n != remaining_.size()) {
     throw std::runtime_error("FaultModel: checkpoint SCN count mismatch");

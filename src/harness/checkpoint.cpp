@@ -13,7 +13,11 @@ namespace lfsc {
 namespace {
 
 constexpr char kMagic[8] = {'L', 'F', 'S', 'C', 'C', 'K', 'P', 'T'};
-constexpr std::uint32_t kFileVersion = 1;
+/// v2 (overload-protection PR): policy blobs carry degradation-ladder
+/// state, and the file gains the admission-control blob. Old versions
+/// are rejected by number — after the CRC passes — so a stale file
+/// yields one clear line, not corruption noise.
+constexpr std::uint32_t kFileVersion = 2;
 
 void write_feedback(BlobWriter& w, const SlotFeedback& fb) {
   w.u32(static_cast<std::uint32_t>(fb.per_scn.size()));
@@ -76,6 +80,7 @@ std::string serialize(const CheckpointState& state) {
   }
 
   w.str(state.faults_blob);
+  w.str(state.admission_blob);
 
   w.u32(static_cast<std::uint32_t>(state.metrics.size()));
   for (const auto& m : state.metrics) {
@@ -101,8 +106,13 @@ std::string serialize(const CheckpointState& state) {
 
 CheckpointState deserialize(std::string_view payload) {
   BlobReader r(payload);
-  if (r.u32() != kFileVersion) {
-    throw std::runtime_error("checkpoint: unsupported file version");
+  const std::uint32_t version = r.u32();
+  if (version != kFileVersion) {
+    throw std::runtime_error(
+        "checkpoint: file version " + std::to_string(version) +
+        " is not supported (this build reads version " +
+        std::to_string(kFileVersion) +
+        "; the file was written by a different build — restart the run)");
   }
   CheckpointState state;
   state.completed_slots = r.i32();
@@ -124,6 +134,7 @@ CheckpointState deserialize(std::string_view payload) {
   }
 
   state.faults_blob = r.str();
+  state.admission_blob = r.str();
 
   state.metrics.resize(r.u32());
   for (auto& m : state.metrics) {

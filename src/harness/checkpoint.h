@@ -42,6 +42,9 @@ struct CheckpointState {
   int horizon = 0;          ///< the run's configured T (sanity check)
   std::vector<CheckpointPolicyState> policies;
   std::string faults_blob;  ///< FaultModel::save_state, empty = no faults
+  /// AdmissionControl::save_state (queue backlog + counters), empty when
+  /// the run has no admission control.
+  std::string admission_blob;
   std::vector<telemetry::MetricSnapshot> metrics;  ///< Registry::snapshot
   telemetry::TimeSeries telemetry_series;          ///< sampled rows so far
 };

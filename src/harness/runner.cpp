@@ -58,6 +58,15 @@ ExperimentResult run_experiment(SlotSource& sim,
     result.series.emplace_back(std::string(p->name()));
   }
 
+  // Per-slot compute budget: run configuration, not checkpointed state,
+  // so it is forwarded before any restore. Policies without overload
+  // protection return false and are simply run unbudgeted.
+  if (config.slot_budget_us > 0) {
+    for (Policy* p : policies) {
+      (void)p->set_slot_budget(config.slot_budget_us);
+    }
+  }
+
   // Fault-injection setup. The delay window is fixed by the fault
   // config, so policies opt in (or not) once, before the first slot.
   FaultModel* faults = config.faults;
@@ -76,6 +85,11 @@ ExperimentResult run_experiment(SlotSource& sim,
     }
   }
   std::vector<std::vector<DelayedBatch>> in_flight(policies.size());
+
+  // Admission control sits upstream of everything: the gateway sheds
+  // before outages clear coverage and before any policy decides.
+  AdmissionControl* admission = config.admission;
+  const bool admission_on = admission != nullptr && admission->enabled();
 
   // Telemetry capture: harness-side metrics join the caller's registry
   // so one export carries the policy's internals and the run's outcome
@@ -103,6 +117,7 @@ ExperimentResult run_experiment(SlotSource& sim,
       ckpt_resumes = &telemetry->counter("checkpoint.resumes", "runs");
     }
     if (faults_on) faults->attach_telemetry(*telemetry);
+    if (admission_on) admission->attach_telemetry(*telemetry);
   }
 
   // Captures the run's full mutable state after `t` completed slots and
@@ -133,6 +148,7 @@ ExperimentResult run_experiment(SlotSource& sim,
       }
     }
     if (faults != nullptr) faults->save_state(ck.faults_blob);
+    if (admission != nullptr) admission->save_state(ck.admission_blob);
     if (telemetry != nullptr) ck.metrics = telemetry->snapshot();
     ck.telemetry_series = result.telemetry_series;
     write_checkpoint_file(config.checkpoint_path, ck);
@@ -171,6 +187,14 @@ ExperimentResult run_experiment(SlotSource& sim,
       }
       faults->load_state(ck.faults_blob);
     }
+    if (admission != nullptr) {
+      if (ck.admission_blob.empty()) {
+        throw std::runtime_error(
+            "run_experiment: checkpoint carries no admission state but "
+            "admission control is configured");
+      }
+      admission->load_state(ck.admission_blob);
+    }
     if (telemetry != nullptr) telemetry->restore(ck.metrics);
     result.telemetry_series = std::move(ck.telemetry_series);
     // Fast-forward the world: stateful sources (mobility) need slots in
@@ -195,6 +219,7 @@ ExperimentResult run_experiment(SlotSource& sim,
     }
     if (faults_on) faults->begin_slot(t);
     Slot slot = sim.generate_slot(t);
+    if (admission_on) (void)admission->admit(slot);
     if (faults_on && faults->down_scns() > 0) {
       // A down SCN accepts nothing this slot: its coverage vanishes
       // before any policy sees the SlotInfo.

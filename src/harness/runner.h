@@ -10,6 +10,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <string_view>
@@ -17,6 +18,7 @@
 
 #include "faults/fault_model.h"
 #include "metrics/recorder.h"
+#include "sim/admission.h"
 #include "sim/policy.h"
 #include "sim/simulator.h"
 #include "sim/slot_source.h"
@@ -65,6 +67,21 @@ struct RunConfig {
   /// for the rest, late observations are dropped. Fault counters are
   /// recorded for the policy at index `telemetry_policy`.
   FaultModel* faults = nullptr;
+
+  /// Per-slot compute budget in microseconds (DESIGN.md §11), forwarded
+  /// to every policy via Policy::set_slot_budget before the first slot
+  /// (and before checkpoint restore — budgets are run configuration,
+  /// not checkpointed state). Policies that do not implement overload
+  /// protection simply ignore it. 0 = no budget; the run is then
+  /// bit-identical to one without this field.
+  std::uint32_t slot_budget_us = 0;
+
+  /// Admission control (DESIGN.md §11). When set, every generated slot
+  /// passes through AdmissionControl::admit before any policy (or the
+  /// outage process) sees it: arrivals beyond the bounded queue are
+  /// deterministically shed and the backlog drains at the configured
+  /// capacity. Saved into checkpoints and restored on resume.
+  AdmissionControl* admission = nullptr;
 
   /// Checkpointing. When `checkpoint_path` is non-empty, every policy
   /// must support checkpointing (supports_checkpoint), and the runner

@@ -1,0 +1,83 @@
+#include "lfsc/audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace lfsc {
+
+namespace {
+std::string describe(const char* what, std::size_t index, double value) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%s at cell %zu: %.17g", what, index, value);
+  return buf;
+}
+}  // namespace
+
+std::string audit_weight_table(std::span<const double> weights, double scale) {
+  if (!std::isfinite(scale) || scale <= 0.0) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "weight_scale not finite-positive: %.17g",
+                  scale);
+    return buf;
+  }
+  // Slack on the upper bound: weight_scale is a running *upper bound*
+  // maintained with the same roundings as the weights themselves.
+  const double limit = scale * (1.0 + 1e-9);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i];
+    if (!std::isfinite(w)) return describe("non-finite weight", i, w);
+    if (w <= 0.0) return describe("non-positive weight", i, w);
+    if (w > limit) return describe("weight above scale bound", i, w);
+  }
+  return {};
+}
+
+std::string audit_probabilities(std::span<const double> p,
+                                std::span<const std::uint8_t> capped, int c,
+                                bool exact_solve) {
+  constexpr double kSlack = 1e-9;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double pi = p[i];
+    if (!std::isfinite(pi)) return describe("non-finite probability", i, pi);
+    if (pi < -kSlack || pi > 1.0 + kSlack) {
+      return describe("probability outside [0,1]", i, pi);
+    }
+    if (i < capped.size() && capped[i] && std::fabs(pi - 1.0) > 1e-9) {
+      return describe("capped arm with p != 1", i, pi);
+    }
+    sum += pi;
+  }
+  if (exact_solve && !p.empty()) {
+    const double expect =
+        std::min<double>(static_cast<double>(c), static_cast<double>(p.size()));
+    const double tol = 1e-6 * std::max<double>(1.0, static_cast<double>(p.size()));
+    if (std::fabs(sum - expect) > tol) {
+      char buf[128];
+      std::snprintf(buf, sizeof buf,
+                    "sum(p) = %.17g, expected min(c, K) = %.17g", sum, expect);
+      return buf;
+    }
+  }
+  return {};
+}
+
+std::string audit_multipliers(double lambda_qos, double lambda_resource,
+                              double lambda_max) {
+  constexpr double kSlack = 1e-9;
+  const auto check = [&](const char* name, double v) -> std::string {
+    if (!std::isfinite(v) || v < -kSlack || v > lambda_max + kSlack) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "%s multiplier out of [0, %.3g]: %.17g",
+                    name, lambda_max, v);
+      return buf;
+    }
+    return {};
+  };
+  std::string err = check("qos", lambda_qos);
+  if (err.empty()) err = check("resource", lambda_resource);
+  return err;
+}
+
+}  // namespace lfsc

@@ -1,0 +1,40 @@
+// Invariant auditor for the LFSC learner state (DESIGN.md §11).
+//
+// Each function checks one family of invariants and returns an empty
+// string on success, or a one-line human-readable description of the
+// first violation found. The checks are pure, allocation-free reads over
+// spans of the live state — safe to run from the owning thread at any
+// slot boundary (LfscPolicy::audit_now runs them serially, on a stride
+// or on demand). Violations are *contained*, not fatal: the policy
+// quarantines the offending SCN to the greedy-only rung and keeps
+// serving slots, emitting `audit.*` telemetry instead of crashing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace lfsc {
+
+/// Weight-table invariants: `scale` finite and > 0; every weight finite,
+/// strictly positive, and <= scale within rounding slack. (There is no
+/// lower-bound check against the positivity floor: floors are pinned
+/// relative to the scale at update time, so after lazy renormalization a
+/// legitimately-floored cell may sit below scale * 1e-12.)
+std::string audit_weight_table(std::span<const double> weights, double scale);
+
+/// Alg. 2 output invariants: every p finite and in [0, 1] (with epsilon
+/// slack); capped arms have p == 1. When `exact_solve` the vector came
+/// from a full Exp3.M solve, so additionally sum(p) == min(c, K) within
+/// association-noise tolerance. Degraded (rung 1) vectors clip per-arm
+/// and intentionally do not preserve the sum — pass exact_solve = false.
+std::string audit_probabilities(std::span<const double> p,
+                                std::span<const std::uint8_t> capped, int c,
+                                bool exact_solve);
+
+/// Lagrange-multiplier invariants: both finite and within the projection
+/// interval [0, lambda_max] (with epsilon slack).
+std::string audit_multipliers(double lambda_qos, double lambda_resource,
+                              double lambda_max);
+
+}  // namespace lfsc

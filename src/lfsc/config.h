@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "lfsc/overload.h"
 #include "sim/context.h"
 
 namespace lfsc {
@@ -115,6 +116,19 @@ struct LfscConfig {
   /// Default: 1234. Two policies with equal config and seed replay the
   /// same trajectory bit-for-bit.
   std::uint64_t seed = 1234;
+
+  /// Overload protection (DESIGN.md §11): per-slot deadline budget and
+  /// staged degradation ladder. Default-constructed = disabled — the
+  /// controller then reads no clock and the slot path is bit-identical
+  /// to a build without it.
+  OverloadConfig overload{};
+
+  /// Invariant-audit stride (DESIGN.md §11): every `audit_stride` slots
+  /// observe() runs the src/lfsc/audit checks over every non-quarantined
+  /// SCN; a violation quarantines that SCN to the greedy-only rung.
+  /// Unit: slots. Valid: >= 0; 0 disables the strided audit
+  /// (LfscPolicy::audit_now() remains callable on demand).
+  std::size_t audit_stride = 0;
 };
 
 }  // namespace lfsc

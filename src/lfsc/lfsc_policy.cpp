@@ -8,7 +8,9 @@
 #include <string>
 
 #include "common/binio.h"
+#include "common/log.h"
 #include "common/thread_pool.h"
+#include "lfsc/audit.h"
 
 namespace lfsc {
 namespace {
@@ -69,6 +71,9 @@ LfscPolicy::LfscPolicy(const NetworkConfig& net, LfscConfig config)
   net_.validate();
   if (gamma_ <= 0.0) gamma_ = 0.01;  // degenerate auto-formula inputs
   gamma_ = std::min(gamma_, 1.0);
+  overload_ = OverloadController(config_.overload);  // validates
+  cache_active_ = overload_.enabled();
+  quarantined_.assign(static_cast<std::size_t>(net_.num_scns), 0);
   scn_state_.reserve(static_cast<std::size_t>(net_.num_scns));
   for (int m = 0; m < net_.num_scns; ++m) {
     scn_state_.emplace_back(
@@ -95,6 +100,53 @@ LfscPolicy::LfscPolicy(const NetworkConfig& net, LfscConfig config)
       "lfsc.exp3m.capset_size", {0, 1, 2, 4, 8, 16, 32, 64}, "arms", scns);
   tel_occupancy_ = &telemetry_.histogram(
       "lfsc.cells.touched", {0, 1, 2, 4, 8, 16, 32, 64, 128}, "cells", scns);
+  if (overload_.enabled() || config_.audit_stride > 0) {
+    ensure_overload_telemetry();
+  }
+}
+
+void LfscPolicy::ensure_overload_telemetry() {
+  if (tel_overload_rung_ != nullptr) return;
+  tel_overload_rung_ = &telemetry_.gauge("overload.rung", "rung");
+  tel_overload_degraded_ =
+      &telemetry_.counter("overload.slots_degraded", "slots");
+  tel_overload_shed_ = &telemetry_.counter("overload.slots_shed", "slots");
+  tel_overload_over_ =
+      &telemetry_.counter("overload.slots_over_budget", "slots");
+  tel_overload_escal_ = &telemetry_.counter("overload.escalations");
+  tel_overload_recov_ = &telemetry_.counter("overload.recoveries");
+  tel_overload_skipped_ = &telemetry_.counter("overload.updates_skipped");
+  tel_overload_midshed_ = &telemetry_.counter("overload.mid_slot_sheds");
+  tel_audit_checks_ = &telemetry_.counter("audit.checks");
+  tel_audit_violations_ = &telemetry_.counter("audit.violations");
+  tel_audit_quarantined_ = &telemetry_.gauge("audit.quarantined", "scns");
+}
+
+void LfscPolicy::publish_overload_telemetry() {
+  if (tel_overload_rung_ == nullptr) return;
+  const OverloadCounters& c = overload_.counters();
+  tel_overload_rung_->set(
+      static_cast<double>(static_cast<std::uint8_t>(overload_.rung())));
+  tel_overload_degraded_->add(c.degraded_slots - tel_prev_.degraded_slots);
+  tel_overload_shed_->add(c.shed_slots - tel_prev_.shed_slots);
+  tel_overload_over_->add(c.over_budget_slots - tel_prev_.over_budget_slots);
+  tel_overload_escal_->add(c.escalations - tel_prev_.escalations);
+  tel_overload_recov_->add(c.recoveries - tel_prev_.recoveries);
+  tel_overload_skipped_->add(c.updates_skipped - tel_prev_.updates_skipped);
+  tel_overload_midshed_->add(c.mid_slot_sheds - tel_prev_.mid_slot_sheds);
+  tel_prev_ = c;
+}
+
+bool LfscPolicy::set_slot_budget(std::uint32_t budget_us) {
+  if (last_slot_t_ != -1) {
+    throw std::logic_error(
+        "LfscPolicy: set_slot_budget must precede the first slot");
+  }
+  config_.overload.slot_budget_us = budget_us;
+  overload_ = OverloadController(config_.overload);  // validates
+  cache_active_ = overload_.enabled();
+  if (overload_.enabled()) ensure_overload_telemetry();
+  return true;
 }
 
 template <typename Fn>
@@ -137,9 +189,96 @@ void LfscPolicy::calculate_probabilities(std::size_t m, const SlotInfo& info) {
   exp3m_probabilities(state.task_weights,
                       static_cast<std::size_t>(net_.capacity_c), gamma_,
                       state.last, state.exp3m_scratch);
+  state.last_solve_exact = 1;
+  if (cache_active_) {
+    // Remember each cell's exact-solve probability for the
+    // explore-capped rung; invalidated when the cell's weight moves.
+    for (std::size_t j = 0; j < cover.size(); ++j) {
+      state.cell_prob[state.last_cells[j]] = state.last.p[j];
+    }
+  }
 
   // |S'| this slot: arms whose probability the Exp3.M cap clipped to 1.
   tel_capset_->observe(static_cast<double>(state.last.num_capped), m);
+}
+
+void LfscPolicy::calculate_probabilities_degraded(std::size_t m,
+                                                  const SlotInfo& info) {
+  auto& state = scn_state_[m];
+  const auto& cover = info.coverage[m];
+  const std::size_t num_tasks = cover.size();
+  const auto c = static_cast<std::size_t>(net_.capacity_c);
+
+  state.last_cells.resize(num_tasks);
+  state.task_weights.resize(num_tasks);
+  double sum_w = 0.0;
+  for (std::size_t j = 0; j < num_tasks; ++j) {
+    const std::size_t cell = task_cells_[static_cast<std::size_t>(cover[j])];
+    state.last_cells[j] = cell;
+    const double w = state.weights[cell];
+    state.task_weights[j] = w;
+    sum_w += w;
+  }
+
+  auto& out = state.last;
+  out.p.resize(num_tasks);
+  out.capped.assign(num_tasks, 0);
+  out.num_capped = 0;
+  out.epsilon = 0.0;
+  out.weight_sum = sum_w;
+  state.last_solve_exact = 0;
+
+  if (num_tasks <= c) {
+    // Fewer arms than plays: every arm is forced, same as the exact path.
+    for (std::size_t j = 0; j < num_tasks; ++j) {
+      out.p[j] = 1.0;
+      out.capped[j] = 1;
+    }
+    out.num_capped = num_tasks;
+    tel_capset_->observe(static_cast<double>(out.num_capped), m);
+    return;
+  }
+
+  // One closed-form pass instead of the ε_t fixed point: the Exp3.M
+  // marginal c·((1-γ')·w/Σw + γ'/K) with capped exploration
+  // γ' = min(γ, degraded_gamma), clipped per arm to 1. Clipping loses
+  // the Σp = c property (the auditor knows: last_solve_exact = 0) but
+  // keeps every marginal valid, and Alg. 4 re-imposes (1a)/(1b) exactly.
+  // Cells whose weight is unchanged since their last exact solve reuse
+  // that solve's probability instead.
+  const double gamma_deg = std::min(gamma_, overload_.config().degraded_gamma);
+  const double cd = static_cast<double>(c);
+  const double uniform = cd / static_cast<double>(num_tasks);
+  const double mix = gamma_deg * uniform;
+  const double scale = (sum_w > 0.0 && std::isfinite(sum_w))
+                           ? (1.0 - gamma_deg) * cd / sum_w
+                           : 0.0;
+  std::size_t capped = 0;
+  for (std::size_t j = 0; j < num_tasks; ++j) {
+    const double cached = cache_active_ ? state.cell_prob[state.last_cells[j]]
+                                        : -1.0;
+    double p;
+    if (cached >= 0.0) {
+      p = cached;
+    } else if (scale > 0.0) {
+      p = state.task_weights[j] * scale + mix;
+    } else {
+      // Degenerate weight sum (all-floored or non-finite): fall back to
+      // the uniform marginal, which is always valid.
+      p = uniform;
+    }
+    if (!std::isfinite(p)) p = uniform;
+    if (p >= 1.0) {
+      p = 1.0;
+      out.capped[j] = 1;
+      ++capped;
+    } else if (p < 0.0) {
+      p = 0.0;
+    }
+    out.p[j] = p;
+  }
+  out.num_capped = capped;
+  tel_capset_->observe(static_cast<double>(out.num_capped), m);
 }
 
 Assignment LfscPolicy::select(const SlotInfo& info) {
@@ -150,6 +289,17 @@ Assignment LfscPolicy::select(const SlotInfo& info) {
   tel_slots_->add(1);
   last_slot_t_ = info.t;
   const std::size_t num_scns = scn_state_.size();
+
+  // Overload ladder (DESIGN.md §11): pick this slot's rung and start its
+  // deadline clock. Inert (kFull, no clock read) without a budget.
+  slot_rung_ = overload_.enabled() ? overload_.begin_slot() : DegradeRung::kFull;
+  if (slot_rung_ == DegradeRung::kShed) {
+    // Shed slot: accept nothing. Constraints (1a)/(1b) hold vacuously;
+    // observe() will still step the dual ascent from the empty slot.
+    Assignment out;
+    out.selected.resize(num_scns);
+    return out;
+  }
 
   task_cells_.resize(info.tasks.size());
   for (std::size_t i = 0; i < info.tasks.size(); ++i) {
@@ -165,7 +315,15 @@ Assignment LfscPolicy::select(const SlotInfo& info) {
       // per-SCN loop cost two clock reads per SCN and blew the <=2%
       // telemetry overhead budget at paper scale.
       const telemetry::ScopedTimer calc_timer(*tel_calculating_);
-      for_each_scn([&](std::size_t m) { calculate_probabilities(m, info); });
+      for_each_scn([&](std::size_t m) {
+        // DepRound needs marginals, so the greedy-only rung degrades to
+        // the closed-form pass on this (ablation) path.
+        if (effective_rung(m) == DegradeRung::kFull) {
+          calculate_probabilities(m, info);
+        } else {
+          calculate_probabilities_degraded(m, info);
+        }
+      });
     }
     Assignment out;
     out.selected.resize(num_scns);
@@ -216,14 +374,49 @@ Assignment LfscPolicy::select(const SlotInfo& info) {
     // consumes Alg. 2's probabilities in the same pass.
     const telemetry::ScopedTimer calc_timer(*tel_calculating_);
     for_each_scn([&](std::size_t m) {
-      calculate_probabilities(m, info);
       auto& state = scn_state_[m];
       const auto& cover = info.coverage[m];
       const auto offset = static_cast<std::size_t>(bucket_start_[m]);
+      const DegradeRung rung = effective_rung(m);
+
+      if (rung == DegradeRung::kGreedyOnly) {
+        // Alg. 2 skipped entirely: rank edges by the cached weight mean
+        // of each task's hypercube (scale-normalized so keys stay in
+        // [0, 1]; a corrupt quarantined table sanitizes to key 0). No
+        // probabilities are produced and no RNG is drawn.
+        const double inv_scale =
+            state.weight_scale > 0.0 ? 1.0 / state.weight_scale : 0.0;
+        for (std::size_t j = 0; j < cover.size(); ++j) {
+          const std::size_t cell =
+              task_cells_[static_cast<std::size_t>(cover[j])];
+          const double wn = state.weights[cell] * inv_scale;
+          const float key = (std::isfinite(wn) && wn > 0.0)
+                                ? static_cast<float>(std::min(wn, 1.0))
+                                : 0.0f;
+          if (packed) {
+            entries_[offset + j] =
+                pack_greedy_entry(key, cover[j], static_cast<int>(j));
+          } else {
+            wide_entries_[offset + j] = {static_cast<double>(key), cover[j],
+                                         static_cast<int>(j)};
+          }
+        }
+        return;
+      }
+
+      const bool degraded = rung != DegradeRung::kFull;
+      if (degraded) {
+        calculate_probabilities_degraded(m, info);
+      } else {
+        calculate_probabilities(m, info);
+      }
       for (std::size_t j = 0; j < cover.size(); ++j) {
         const double p = state.last.p[j];
         float key;
-        if (config_.deterministic_edges) {
+        if (config_.deterministic_edges || degraded) {
+          // Degraded rungs keep edge keys deterministic (key = p): the
+          // E-S sampling draw is skipped, both to save the log() and to
+          // leave the RNG stream untouched by degraded slots.
           key = static_cast<float>(p);
         } else if (p >= 1.0) {
           key = 2.0f;  // capped arms outrank every sampled key
@@ -246,6 +439,16 @@ Assignment LfscPolicy::select(const SlotInfo& info) {
         }
       }
     });
+  }
+
+  // Mid-slot deadline check between Alg. 2 and Alg. 4: when the budget
+  // is already gone, shed the rest of the slot (the ladder escalates at
+  // end_slot from the full measurement).
+  if (overload_.should_shed_mid_slot()) {
+    slot_rung_ = DegradeRung::kShed;
+    Assignment out;
+    out.selected.resize(num_scns);
+    return out;
   }
 
   Assignment out;
@@ -384,6 +587,7 @@ void LfscPolicy::update_scn(std::size_t m, const SlotInfo& info,
                                     state.weight_scale * kWeightFloor);
     state.weights[cell] = updated;
     state.weight_scale = std::max(state.weight_scale, updated);
+    if (cache_active_) state.cell_prob[cell] = -1.0;  // cached p is stale
   }
   // Scale invariance of Alg. 2 lets us defer the max-renormalization
   // until the scale drifts out of band; this keeps weights bounded over
@@ -405,6 +609,43 @@ void LfscPolicy::update_scn(std::size_t m, const SlotInfo& info,
   tel_lambda_res_->set(state.multipliers.resource(), m);
 }
 
+void LfscPolicy::update_scn_multiplier_only(
+    std::size_t m, const SlotInfo& info,
+    const std::vector<TaskFeedback>& feedback) {
+  auto& state = scn_state_[m];
+  const std::size_t num_tasks = info.coverage[m].size();
+  tel_accepted_->add(feedback.size(), m);
+
+  // Realized constraint sums from the sane on-time arrivals; the IPW
+  // weight update is intentionally absent on this path (greedy-only
+  // rung, shed slot, quarantined SCN, or a deadline-skipped update).
+  double completed_sum = 0.0;
+  double resource_sum = 0.0;
+  for (const auto& f : feedback) {
+    if (static_cast<std::size_t>(f.local_index) >= num_tasks) {
+      throw std::out_of_range("LfscPolicy: bad feedback index");
+    }
+    if (!feedback_sane(f)) {
+      tel_rejected_->add(1, m);
+      continue;
+    }
+    completed_sum += f.v;
+    resource_sum += f.q;
+  }
+  state.multipliers.update(completed_sum, resource_sum, net_.qos_alpha,
+                           net_.resource_beta);
+  tel_lambda_qos_->set(state.multipliers.qos(), m);
+  tel_lambda_res_->set(state.multipliers.resource(), m);
+
+  if (max_delay_ > 0) {
+    // No frozen inputs for this slot: a late batch has nothing to apply
+    // (the weight update did not run on time either).
+    auto& pend = pending_[static_cast<std::size_t>(info.t) % pending_.size()]
+                     .per_scn[m];
+    pend.entries.clear();
+  }
+}
+
 void LfscPolicy::observe(const SlotInfo& info, const Assignment& assignment,
                          const SlotFeedback& feedback) {
   if (info.t != last_slot_t_) {
@@ -414,19 +655,80 @@ void LfscPolicy::observe(const SlotInfo& info, const Assignment& assignment,
       feedback.per_scn.size() != scn_state_.size()) {
     throw std::invalid_argument("LfscPolicy: feedback SCN count mismatch");
   }
-  const telemetry::ScopedTimer observe_timer(*tel_observe_);
-  const telemetry::ScopedTimer updating_timer(*tel_updating_);
-  if (max_delay_ > 0) {
-    // Claim the ring slot before the parallel phase; each SCN then fills
-    // only its own PendingScn (race-free).
-    auto& slot =
-        pending_[static_cast<std::size_t>(info.t) % pending_.size()];
-    slot.t = info.t;
-    slot.per_scn.resize(scn_state_.size());
+  {
+    const telemetry::ScopedTimer observe_timer(*tel_observe_);
+    const telemetry::ScopedTimer updating_timer(*tel_updating_);
+
+    // Deadline check before the Alg. 3 phase: an already-blown budget
+    // downgrades this slot's update to multiplier-only (counted under
+    // overload.updates_skipped). No-op while the controller is inert.
+    const bool skip_update =
+        slot_rung_ >= DegradeRung::kGreedyOnly || overload_.should_skip_update();
+
+    if (max_delay_ > 0) {
+      // Claim the ring slot before the parallel phase; each SCN then
+      // fills only its own PendingScn (race-free).
+      auto& slot =
+          pending_[static_cast<std::size_t>(info.t) % pending_.size()];
+      slot.t = info.t;
+      slot.per_scn.resize(scn_state_.size());
+    }
+    for_each_scn([&](std::size_t m) {
+      if (skip_update || effective_rung(m) >= DegradeRung::kGreedyOnly) {
+        update_scn_multiplier_only(m, info, feedback.per_scn[m]);
+      } else {
+        update_scn(m, info, assignment.selected[m], feedback.per_scn[m]);
+      }
+    });
+
+    if (config_.audit_stride > 0 &&
+        info.t % static_cast<int>(config_.audit_stride) == 0) {
+      audit_now();
+    }
   }
-  for_each_scn([&](std::size_t m) {
-    update_scn(m, info, assignment.selected[m], feedback.per_scn[m]);
-  });
+  // The slot's deadline measurement includes the update phase; feed it
+  // to the ladder once the timers above have stopped.
+  if (overload_.enabled()) {
+    overload_.end_slot();
+    publish_overload_telemetry();
+  }
+}
+
+int LfscPolicy::audit_now() {
+  int new_violations = 0;
+  std::uint64_t checked = 0;
+  for (std::size_t m = 0; m < scn_state_.size(); ++m) {
+    if (quarantined_[m] != 0) continue;  // already contained, stop re-flagging
+    ++audit_checks_;
+    ++checked;
+    auto& state = scn_state_[m];
+    std::string err = audit_weight_table(state.weights, state.weight_scale);
+    if (err.empty() && !state.last.p.empty()) {
+      err = audit_probabilities(state.last.p, state.last.capped,
+                                net_.capacity_c, state.last_solve_exact != 0);
+    }
+    if (err.empty()) {
+      err = audit_multipliers(state.multipliers.qos(),
+                              state.multipliers.resource(),
+                              config_.lambda_max);
+    }
+    if (!err.empty()) {
+      quarantined_[m] = 1;
+      ++quarantine_count_;
+      ++audit_violations_;
+      ++new_violations;
+      last_audit_detail_ = "SCN " + std::to_string(m) + ": " + err;
+      LFSC_LOG_WARN << "lfsc.audit: quarantining " << last_audit_detail_
+                    << " (SCN degraded to the greedy-only rung)";
+    }
+  }
+  if (tel_audit_checks_ == nullptr) ensure_overload_telemetry();
+  tel_audit_checks_->add(checked);
+  if (new_violations > 0) {
+    tel_audit_violations_->add(static_cast<std::uint64_t>(new_violations));
+  }
+  tel_audit_quarantined_->set(static_cast<double>(quarantine_count_));
+  return new_violations;
 }
 
 bool LfscPolicy::enable_delayed_feedback(int max_delay) {
@@ -521,6 +823,7 @@ void LfscPolicy::apply_delayed_scn(std::size_t m, const PendingScn& pend,
                                     state.weight_scale * kWeightFloor);
     state.weights[cell] = updated;
     state.weight_scale = std::max(state.weight_scale, updated);
+    if (cache_active_) state.cell_prob[cell] = -1.0;  // cached p is stale
   }
   if (state.weight_scale > kScaleHigh) renormalize(state);
 }
@@ -534,6 +837,9 @@ void LfscPolicy::renormalize(ScnState& state) {
     }
   }
   state.weight_scale = 1.0;
+  // Every weight just moved: drop the explore-capped probability cache
+  // (rare O(cells) path, so the unconditional sweep is in budget).
+  std::fill(state.cell_prob.begin(), state.cell_prob.end(), -1.0);
 }
 
 const std::vector<double>& LfscPolicy::weights(int scn) {
@@ -603,8 +909,10 @@ void LfscPolicy::load(std::istream& in) {
 
 namespace {
 /// Exact-image checkpoint blob version (independent of the portable
-/// warm-start format above).
-constexpr std::uint32_t kCheckpointVersion = 1;
+/// warm-start format above). v2 (this PR) adds the overload-ladder
+/// block and, per SCN, the quarantine flag, the exact-solve marker and
+/// the explore-capped probability cache.
+constexpr std::uint32_t kCheckpointVersion = 2;
 }  // namespace
 
 void LfscPolicy::save_checkpoint(std::string& out) const {
@@ -614,7 +922,15 @@ void LfscPolicy::save_checkpoint(std::string& out) const {
   w.u32(static_cast<std::uint32_t>(partition_.cell_count()));
   w.i32(last_slot_t_);
   w.i32(max_delay_);
-  for (const auto& state : scn_state_) {
+  // Degradation-ladder state: rung, recovery bookkeeping and the
+  // overload.* counters, so a resumed run continues mid-degradation
+  // exactly where the interrupted one left off.
+  overload_.save(w);
+  w.u8(static_cast<std::uint8_t>(slot_rung_));
+  w.u64(audit_checks_);
+  w.u64(audit_violations_);
+  for (std::size_t m = 0; m < scn_state_.size(); ++m) {
+    const auto& state = scn_state_[m];
     w.f64(state.weight_scale);
     w.f64(state.multipliers.qos());
     w.f64(state.multipliers.resource());
@@ -625,6 +941,9 @@ void LfscPolicy::save_checkpoint(std::string& out) const {
     for (const auto word : rng.engine) w.u64(word);
     w.f64(rng.cached_normal);
     w.u8(rng.has_cached_normal ? 1 : 0);
+    w.u8(quarantined_[m]);
+    w.u8(state.last_solve_exact);
+    w.f64_span(state.cell_prob);
   }
   if (max_delay_ > 0) {
     w.u32(static_cast<std::uint32_t>(pending_.size()));
@@ -650,8 +969,13 @@ void LfscPolicy::save_checkpoint(std::string& out) const {
 
 void LfscPolicy::load_checkpoint(std::string_view blob) {
   BlobReader r(blob);
-  if (r.u32() != kCheckpointVersion) {
-    throw std::runtime_error("LfscPolicy: unsupported checkpoint version");
+  const std::uint32_t version = r.u32();
+  if (version != kCheckpointVersion) {
+    throw std::runtime_error(
+        "LfscPolicy: checkpoint blob version " + std::to_string(version) +
+        " is not supported (this build reads version " +
+        std::to_string(kCheckpointVersion) +
+        "; restart the run or regenerate the checkpoint)");
   }
   if (r.u32() != scn_state_.size() || r.u32() != partition_.cell_count()) {
     throw std::runtime_error(
@@ -665,7 +989,21 @@ void LfscPolicy::load_checkpoint(std::string_view blob) {
         "LfscPolicy: checkpoint delay window does not match "
         "enable_delayed_feedback");
   }
-  for (auto& state : scn_state_) {
+  overload_.load(r);
+  // Telemetry mirrors restart from the restored counters: the registry
+  // rows themselves are restored by the harness, so re-adding the
+  // pre-checkpoint history here would double-count.
+  tel_prev_ = overload_.counters();
+  const std::uint8_t slot_rung = r.u8();
+  if (slot_rung > static_cast<std::uint8_t>(DegradeRung::kShed)) {
+    throw std::runtime_error("LfscPolicy: corrupt checkpoint slot rung");
+  }
+  slot_rung_ = static_cast<DegradeRung>(slot_rung);
+  audit_checks_ = r.u64();
+  audit_violations_ = r.u64();
+  quarantine_count_ = 0;
+  for (std::size_t m = 0; m < scn_state_.size(); ++m) {
+    auto& state = scn_state_[m];
     state.weight_scale = r.f64();
     const double qos = r.f64();
     const double res = r.f64();
@@ -680,17 +1018,42 @@ void LfscPolicy::load_checkpoint(std::string_view blob) {
     if (weights.size() != state.weights.size()) {
       throw std::runtime_error("LfscPolicy: checkpoint weight table size");
     }
-    for (const double wv : weights) {
-      if (!(wv > 0.0) || !std::isfinite(wv)) {
-        throw std::runtime_error("LfscPolicy: corrupt checkpoint weight");
-      }
-    }
     state.weights = std::move(weights);
     RngStreamState rng;
     for (auto& word : rng.engine) word = r.u64();
     rng.cached_normal = r.f64();
     rng.has_cached_normal = r.u8() != 0;
     state.rng.restore(rng);
+    const std::uint8_t quarantined = r.u8();
+    if (quarantined > 1) {
+      throw std::runtime_error("LfscPolicy: corrupt checkpoint quarantine flag");
+    }
+    quarantined_[m] = quarantined;
+    if (quarantined != 0) ++quarantine_count_;
+    // A quarantined SCN's weight table is corrupt by definition — the
+    // flag records exactly that, and the greedy-only serving path
+    // sanitizes it — so strict validation applies only to live tables.
+    if (quarantined == 0) {
+      for (const double wv : state.weights) {
+        if (!(wv > 0.0) || !std::isfinite(wv)) {
+          throw std::runtime_error("LfscPolicy: corrupt checkpoint weight");
+        }
+      }
+    }
+    state.last_solve_exact = r.u8() != 0 ? 1 : 0;
+    auto cell_prob = r.f64_vec();
+    if (cell_prob.size() != state.cell_prob.size()) {
+      throw std::runtime_error("LfscPolicy: checkpoint probability-cache size");
+    }
+    for (const double p : cell_prob) {
+      // Valid cache entries are probabilities; -1 marks an invalidated
+      // cell. Anything else is corruption.
+      if (!std::isfinite(p) || p > 1.0 + 1e-9 || (p < 0.0 && p != -1.0)) {
+        throw std::runtime_error(
+            "LfscPolicy: corrupt checkpoint probability cache");
+      }
+    }
+    state.cell_prob = std::move(cell_prob);
   }
   if (max_delay_ > 0) {
     if (r.u32() != pending_.size()) {
@@ -735,6 +1098,8 @@ void LfscPolicy::reset() {
     state.acc.reset();
     std::fill(state.cube_capped.begin(), state.cube_capped.end(), 0);
     state.capped_cells.clear();
+    std::fill(state.cell_prob.begin(), state.cell_prob.end(), -1.0);
+    state.last_solve_exact = 0;
     state.rng = RngStream(config_.seed,
                           kScnStreamBase + static_cast<std::uint64_t>(m));
   }
@@ -742,6 +1107,14 @@ void LfscPolicy::reset() {
     slot.t = -1;
     slot.per_scn.clear();
   }
+  overload_.reset();
+  slot_rung_ = DegradeRung::kFull;
+  std::fill(quarantined_.begin(), quarantined_.end(), 0);
+  quarantine_count_ = 0;
+  audit_checks_ = 0;
+  audit_violations_ = 0;
+  last_audit_detail_.clear();
+  tel_prev_ = OverloadCounters{};
   telemetry_.reset();
   last_slot_t_ = -1;
 }

@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -29,6 +30,7 @@
 #include "common/rng.h"
 #include "lfsc/config.h"
 #include "lfsc/lagrange.h"
+#include "lfsc/overload.h"
 #include "sim/policy.h"
 #include "solver/greedy_assignment.h"
 #include "telemetry/telemetry.h"
@@ -57,6 +59,45 @@ class LfscPolicy final : public Policy {
   /// from Alg. 3 — late constraint totals would re-run the projection).
   bool enable_delayed_feedback(int max_delay) override;
   void observe_delayed(int origin_t, const SlotFeedback& feedback) override;
+
+  // --- overload protection (DESIGN.md §11) ---
+
+  /// Installs a per-slot deadline budget, merging it into
+  /// config().overload and rebuilding the degradation controller. Must
+  /// precede the first slot. Under a budget the policy walks the staged
+  /// ladder (full -> explore-capped -> greedy-only -> shed) instead of
+  /// overrunning; with no budget and no forced rung the controller is
+  /// inert (zero clock reads, bit-identical output).
+  bool set_slot_budget(std::uint32_t budget_us) override;
+
+  /// The ladder/deadline state machine (rung, overload.* counters).
+  const OverloadController& overload() const noexcept { return overload_; }
+
+  /// Runs the invariant auditor (src/lfsc/audit) over every
+  /// non-quarantined SCN now: weight-table finiteness/positivity and
+  /// scale bound, Alg. 2 probability range and Σp budget, multiplier
+  /// projection bounds. A violating SCN is quarantined to the
+  /// greedy-only rung (it keeps serving slots, stops learning) and
+  /// counted under audit.*. Returns the number of new violations.
+  /// observe() calls this on the configured audit_stride.
+  int audit_now();
+
+  bool quarantined(int scn) const {
+    return quarantined_[static_cast<std::size_t>(scn)] != 0;
+  }
+  std::uint64_t audit_checks() const noexcept { return audit_checks_; }
+  std::uint64_t audit_violations() const noexcept { return audit_violations_; }
+  /// One-line description of the most recent violation ("" when clean).
+  const std::string& last_audit_detail() const noexcept {
+    return last_audit_detail_;
+  }
+
+  /// Test/fault-injection hook: overwrites one hypercube weight
+  /// directly, bypassing every guard the update path has. The auditor
+  /// exists to catch exactly this kind of corruption.
+  void debug_set_weight(int scn, std::size_t cell, double value) {
+    scn_state_[static_cast<std::size_t>(scn)].weights[cell] = value;
+  }
 
   // --- crash-safe checkpointing (DESIGN.md §9) ---
 
@@ -137,6 +178,16 @@ class LfscPolicy final : public Policy {
     /// view is needed (weights() accessor, save()).
     double weight_scale = 1.0;
 
+    /// Per-hypercube probability cache for the explore-capped rung
+    /// (DESIGN.md §11): cell_prob[cell] holds the probability the last
+    /// *exact* Alg. 2 solve assigned to tasks of that cell, or -1 when
+    /// the cell's weight changed since (invalidated on every weight
+    /// update). Written only while the overload controller is active.
+    std::vector<double> cell_prob;
+    /// 1 when `last` came from a full Exp3.M solve (its Σp budget is an
+    /// invariant the auditor may check); 0 after a degraded pass.
+    std::uint8_t last_solve_exact = 0;
+
     // Per-slot scratch: reused across slots, no steady-state allocation.
     std::vector<double> task_weights;        ///< weight lookup per covered task
     Exp3mScratch exp3m_scratch;              ///< Alg. 2 fixed-point buffers
@@ -151,6 +202,7 @@ class LfscPolicy final : public Policy {
         : weights(cells, 1.0),
           multipliers(eta_lambda, delta, lambda_max),
           rng(stream),
+          cell_prob(cells, -1.0),
           acc(cells),
           cube_capped(cells, 0) {}
   };
@@ -181,6 +233,13 @@ class LfscPolicy final : public Policy {
   /// parallel.
   void calculate_probabilities(std::size_t m, const SlotInfo& info);
 
+  /// Degraded Alg. 2 for the explore-capped rung (DESIGN.md §11): a
+  /// single O(K) closed-form pass — cells untouched since their last
+  /// exact solve reuse the cached probability, the rest get the Exp3.M
+  /// marginal with capped exploration, clipped per arm instead of
+  /// solving the ε_t fixed point. Draws no RNG.
+  void calculate_probabilities_degraded(std::size_t m, const SlotInfo& info);
+
   /// Alg. 3 weight + multiplier update for one SCN from the feedback
   /// that arrived on time (all of it when no faults are injected).
   /// `selected` is the SCN's slice of the assignment, needed to freeze
@@ -188,6 +247,33 @@ class LfscPolicy final : public Policy {
   void update_scn(std::size_t m, const SlotInfo& info,
                   const std::vector<int>& selected,
                   const std::vector<TaskFeedback>& feedback);
+
+  /// Constraint-only Alg. 3 for slots/SCNs whose weight update is off
+  /// (greedy-only rung, shed slots, quarantined SCNs, deadline-skipped
+  /// updates): sanity-filters the feedback, steps the dual ascent from
+  /// the realized sums, and clears the slot's frozen pending entries so
+  /// late arrivals have nothing to apply.
+  void update_scn_multiplier_only(std::size_t m, const SlotInfo& info,
+                                  const std::vector<TaskFeedback>& feedback);
+
+  /// The rung SCN `m` runs at this slot: the slot rung, floored to
+  /// greedy-only for quarantined SCNs.
+  DegradeRung effective_rung(std::size_t m) const noexcept {
+    DegradeRung r = slot_rung_;
+    if (quarantine_count_ > 0 && quarantined_[m] != 0 &&
+        r < DegradeRung::kGreedyOnly) {
+      r = DegradeRung::kGreedyOnly;
+    }
+    return r;
+  }
+
+  /// Registers the overload.*/audit.* telemetry handles (idempotent);
+  /// called once the controller or the auditor becomes active.
+  void ensure_overload_telemetry();
+
+  /// Publishes the controller's counters/rung to telemetry as deltas
+  /// against the last published snapshot (exact across checkpoints).
+  void publish_overload_telemetry();
 
   /// Applies one late batch for SCN `m` against the frozen slot state.
   void apply_delayed_scn(std::size_t m, const PendingScn& pend,
@@ -210,6 +296,23 @@ class LfscPolicy final : public Policy {
   double delta_;
   std::vector<ScnState> scn_state_;
   int last_slot_t_ = -1;
+
+  // --- overload protection (DESIGN.md §11) ---
+  OverloadController overload_;
+  /// Rung chosen by begin_slot() for the slot currently in flight;
+  /// kFull whenever the controller is inert. May drop to kShed mid-slot
+  /// when the budget is blown between Alg. 2 and Alg. 4.
+  DegradeRung slot_rung_ = DegradeRung::kFull;
+  /// True while the controller is active: the exact-solve path then
+  /// maintains the per-cell probability cache the explore-capped rung
+  /// reuses. Kept false when inert so the hot loops skip the cache
+  /// writes entirely.
+  bool cache_active_ = false;
+  std::vector<std::uint8_t> quarantined_;  ///< per SCN, set by the auditor
+  int quarantine_count_ = 0;
+  std::uint64_t audit_checks_ = 0;
+  std::uint64_t audit_violations_ = 0;
+  std::string last_audit_detail_;
 
   /// Delayed-feedback ring, indexed origin_t % (max_delay_ + 1); empty
   /// until enable_delayed_feedback(). A slot's frozen state lives until
@@ -252,6 +355,22 @@ class LfscPolicy final : public Policy {
   telemetry::Gauge* tel_lambda_res_;   ///< lfsc.lagrange.resource = λ'_m (1d)
   telemetry::Histogram* tel_capset_;   ///< lfsc.exp3m.capset_size, |S'| per SCN-slot
   telemetry::Histogram* tel_occupancy_;  ///< lfsc.cells.touched per SCN-slot
+
+  // Overload/audit telemetry (registered lazily by
+  // ensure_overload_telemetry; null while both subsystems are inert).
+  telemetry::Gauge* tel_overload_rung_ = nullptr;  ///< overload.rung
+  telemetry::Counter* tel_overload_degraded_ = nullptr;   ///< overload.slots_degraded
+  telemetry::Counter* tel_overload_shed_ = nullptr;       ///< overload.slots_shed
+  telemetry::Counter* tel_overload_over_ = nullptr;       ///< overload.slots_over_budget
+  telemetry::Counter* tel_overload_escal_ = nullptr;      ///< overload.escalations
+  telemetry::Counter* tel_overload_recov_ = nullptr;      ///< overload.recoveries
+  telemetry::Counter* tel_overload_skipped_ = nullptr;    ///< overload.updates_skipped
+  telemetry::Counter* tel_overload_midshed_ = nullptr;    ///< overload.mid_slot_sheds
+  telemetry::Counter* tel_audit_checks_ = nullptr;        ///< audit.checks
+  telemetry::Counter* tel_audit_violations_ = nullptr;    ///< audit.violations
+  telemetry::Gauge* tel_audit_quarantined_ = nullptr;     ///< audit.quarantined
+  /// Controller counters at the last telemetry publish (delta base).
+  OverloadCounters tel_prev_{};
 };
 
 }  // namespace lfsc

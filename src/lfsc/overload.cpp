@@ -1,0 +1,184 @@
+#include "lfsc/overload.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/binio.h"
+
+namespace lfsc {
+
+namespace {
+/// Cap on the recovery backoff: past this the ladder has effectively
+/// stopped probing (also keeps the doubling from overflowing).
+constexpr std::uint32_t kMaxBackoff = 1u << 20;
+}  // namespace
+
+std::string_view rung_name(DegradeRung rung) noexcept {
+  switch (rung) {
+    case DegradeRung::kFull:
+      return "full";
+    case DegradeRung::kExploreCapped:
+      return "explore-capped";
+    case DegradeRung::kGreedyOnly:
+      return "greedy-only";
+    case DegradeRung::kShed:
+      return "shed";
+  }
+  return "?";
+}
+
+bool parse_rung(std::string_view name, DegradeRung& out) noexcept {
+  if (name == "full") {
+    out = DegradeRung::kFull;
+  } else if (name == "explore-capped") {
+    out = DegradeRung::kExploreCapped;
+  } else if (name == "greedy-only") {
+    out = DegradeRung::kGreedyOnly;
+  } else if (name == "shed") {
+    out = DegradeRung::kShed;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void OverloadConfig::validate() const {
+  if (force && slot_budget_us > 0) {
+    throw std::invalid_argument(
+        "OverloadConfig: a forced rung and a slot budget are mutually "
+        "exclusive (a forced rung never reads the clock)");
+  }
+  if (recover_after < 1) {
+    throw std::invalid_argument("OverloadConfig: recover_after must be >= 1");
+  }
+  if (!(recover_fraction > 0.0) || recover_fraction > 1.0) {
+    throw std::invalid_argument(
+        "OverloadConfig: recover_fraction must be in (0, 1]");
+  }
+  if (!(degraded_gamma >= 0.0) || degraded_gamma > 1.0 ||
+      !std::isfinite(degraded_gamma)) {
+    throw std::invalid_argument(
+        "OverloadConfig: degraded_gamma must be in [0, 1]");
+  }
+}
+
+OverloadController::OverloadController(const OverloadConfig& config)
+    : config_(config),
+      backoff_(config.recover_after),
+      slots_since_recovery_(config.recover_after) {
+  config_.validate();
+}
+
+DegradeRung OverloadController::begin_slot() {
+  const DegradeRung r = config_.force ? config_.forced_rung : rung_;
+  if (r == DegradeRung::kShed) {
+    ++counters_.shed_slots;
+  } else if (r != DegradeRung::kFull) {
+    ++counters_.degraded_slots;
+  }
+  if (timing()) watch_.reset();
+  return r;
+}
+
+bool OverloadController::should_shed_mid_slot() {
+  if (!over_budget_now()) return false;
+  ++counters_.mid_slot_sheds;
+  return true;
+}
+
+bool OverloadController::should_skip_update() {
+  if (!over_budget_now()) return false;
+  ++counters_.updates_skipped;
+  return true;
+}
+
+void OverloadController::end_slot() {
+  if (timing()) apply_measurement(elapsed_us());
+}
+
+void OverloadController::apply_measurement(double cost_us) {
+  if (config_.force || config_.slot_budget_us == 0) return;
+  const double budget = static_cast<double>(config_.slot_budget_us);
+
+  bool recovered_now = false;
+  if (cost_us > budget) {
+    ++counters_.over_budget_slots;
+    comfortable_streak_ = 0;
+    if (rung_ < DegradeRung::kShed) {
+      // An over-budget slot immediately after a recovery means the probe
+      // failed: the workload cannot afford the higher-fidelity rung yet.
+      // Back off exponentially so repeated probes don't blow the budget
+      // every recover_after slots.
+      if (slots_since_recovery_ < config_.recover_after) {
+        if (backoff_ < kMaxBackoff) backoff_ *= 2;
+        // The failed probe closes its observation window — otherwise the
+        // window would keep running after the escalation and reset the
+        // backoff the moment it fills, undoing the doubling above.
+        slots_since_recovery_ = config_.recover_after;
+      }
+      rung_ = static_cast<DegradeRung>(static_cast<std::uint8_t>(rung_) + 1);
+      ++counters_.escalations;
+    }
+  } else if (rung_ != DegradeRung::kFull &&
+             cost_us <= config_.recover_fraction * budget) {
+    if (++comfortable_streak_ >= backoff_) {
+      rung_ = static_cast<DegradeRung>(static_cast<std::uint8_t>(rung_) - 1);
+      ++counters_.recoveries;
+      comfortable_streak_ = 0;
+      slots_since_recovery_ = 0;
+      recovered_now = true;
+    }
+  } else {
+    comfortable_streak_ = 0;
+  }
+
+  if (!recovered_now && slots_since_recovery_ < config_.recover_after) {
+    // The most recent recovery probe survived its observation window:
+    // trust the recovered rung again and reset the backoff.
+    if (++slots_since_recovery_ == config_.recover_after) {
+      backoff_ = config_.recover_after;
+    }
+  }
+}
+
+void OverloadController::reset() {
+  rung_ = DegradeRung::kFull;
+  counters_ = OverloadCounters{};
+  comfortable_streak_ = 0;
+  backoff_ = config_.recover_after;
+  slots_since_recovery_ = config_.recover_after;
+}
+
+void OverloadController::save(BlobWriter& out) const {
+  out.u8(static_cast<std::uint8_t>(rung_));
+  out.u32(comfortable_streak_);
+  out.u32(backoff_);
+  out.u32(slots_since_recovery_);
+  out.u64(counters_.over_budget_slots);
+  out.u64(counters_.escalations);
+  out.u64(counters_.recoveries);
+  out.u64(counters_.degraded_slots);
+  out.u64(counters_.shed_slots);
+  out.u64(counters_.updates_skipped);
+  out.u64(counters_.mid_slot_sheds);
+}
+
+void OverloadController::load(BlobReader& in) {
+  const std::uint8_t rung = in.u8();
+  if (rung > static_cast<std::uint8_t>(DegradeRung::kShed)) {
+    throw std::runtime_error("OverloadController: corrupt rung in checkpoint");
+  }
+  rung_ = static_cast<DegradeRung>(rung);
+  comfortable_streak_ = in.u32();
+  backoff_ = in.u32();
+  slots_since_recovery_ = in.u32();
+  counters_.over_budget_slots = in.u64();
+  counters_.escalations = in.u64();
+  counters_.recoveries = in.u64();
+  counters_.degraded_slots = in.u64();
+  counters_.shed_slots = in.u64();
+  counters_.updates_skipped = in.u64();
+  counters_.mid_slot_sheds = in.u64();
+}
+
+}  // namespace lfsc

@@ -1,0 +1,177 @@
+// Overload protection for the per-slot LFSC pipeline (DESIGN.md §11).
+//
+// The paper's slot loop (Alg. 1–4) implicitly assumes each slot's
+// computation completes before the next slot arrives. Under bursty
+// arrivals or CPU contention that assumption breaks; this controller
+// gives LfscPolicy a per-slot deadline budget and a staged degradation
+// ladder so an overrun sheds *fidelity* deterministically instead of
+// falling behind unboundedly:
+//
+//   rung 0  kFull          full LFSC (Alg. 2 + Alg. 4 + Alg. 3)
+//   rung 1  kExploreCapped Alg. 2 replaced by an O(K) closed-form pass
+//                          with capped exploration; hypercubes untouched
+//                          since their last exact solve reuse the cached
+//                          previous-slot probability
+//   rung 2  kGreedyOnly    Alg. 2 skipped entirely; greedy edges ranked
+//                          by cached weight means; weight updates off
+//   rung 3  kShed          the slot is shed (accept nothing)
+//
+// Every rung still satisfies constraints (1a)/(1b) exactly — degradation
+// trades learning fidelity (regret vs. Theorem 2), never feasibility.
+//
+// When the budget is unset the controller is fully inert: no clock
+// reads, no cached state, and the policy's output is bit-identical to a
+// build without it (the acceptance contract of the differential fuzz
+// harness).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/stopwatch.h"
+
+namespace lfsc {
+
+class BlobReader;
+class BlobWriter;
+
+/// Ladder rungs, ordered by increasing degradation. The numeric values
+/// are part of the checkpoint format — do not reorder.
+enum class DegradeRung : std::uint8_t {
+  kFull = 0,
+  kExploreCapped = 1,
+  kGreedyOnly = 2,
+  kShed = 3,
+};
+
+/// Stable names for telemetry, logs and the --degrade CLI flag.
+std::string_view rung_name(DegradeRung rung) noexcept;
+
+/// Parses a --degrade value ("full", "explore-capped", "greedy-only",
+/// "shed"). Returns false on an unknown name ("auto" is handled by the
+/// caller — it means "do not force a rung").
+bool parse_rung(std::string_view name, DegradeRung& out) noexcept;
+
+struct OverloadConfig {
+  /// Per-slot deadline in microseconds; 0 disables the controller
+  /// entirely (no clock reads, bit-identical output). The budget covers
+  /// the policy's own select()+observe() work for one slot.
+  std::uint32_t slot_budget_us = 0;
+
+  /// Pin the ladder to `forced_rung` instead of adapting (tests,
+  /// ablations, `--degrade <rung>`). Mutually exclusive with a nonzero
+  /// slot_budget_us — a forced rung never reads the clock.
+  bool force = false;
+  DegradeRung forced_rung = DegradeRung::kFull;
+
+  /// Consecutive comfortable slots (cost <= recover_fraction * budget)
+  /// required before climbing back up one rung. Also the base value of
+  /// the recovery backoff.
+  std::uint32_t recover_after = 8;
+
+  /// Fraction of the budget below which a slot counts as comfortable.
+  double recover_fraction = 0.5;
+
+  /// Exploration rate gamma used on the kExploreCapped rung (the
+  /// effective rate is min(gamma, degraded_gamma) — degradation never
+  /// *increases* exploration).
+  double degraded_gamma = 0.05;
+
+  bool enabled() const noexcept { return force || slot_budget_us > 0; }
+
+  /// Throws std::invalid_argument on out-of-range fields or on a forced
+  /// rung combined with a budget.
+  void validate() const;
+};
+
+/// Monotonic counters for the `overload.*` telemetry group. Kept as
+/// plain integers (not telemetry handles) so they checkpoint/restore
+/// exactly and stay available under LFSC_TELEMETRY=OFF.
+struct OverloadCounters {
+  std::uint64_t over_budget_slots = 0;  ///< slots whose cost exceeded budget
+  std::uint64_t escalations = 0;        ///< ladder moved down one rung
+  std::uint64_t recoveries = 0;         ///< ladder climbed back one rung
+  std::uint64_t degraded_slots = 0;     ///< slots started on rung 1 or 2
+  std::uint64_t shed_slots = 0;         ///< slots started on rung 3
+  std::uint64_t updates_skipped = 0;    ///< Alg. 3 passes skipped mid-slot
+  std::uint64_t mid_slot_sheds = 0;     ///< Alg. 4 cut short after Alg. 2 overran
+};
+
+/// The deadline/ladder state machine. Pure bookkeeping plus one
+/// Stopwatch; the deterministic core (apply_measurement) is public so
+/// tests can drive the ladder with synthetic costs, no clock involved.
+class OverloadController {
+ public:
+  OverloadController() = default;
+  explicit OverloadController(const OverloadConfig& config);
+
+  const OverloadConfig& config() const noexcept { return config_; }
+  bool enabled() const noexcept { return config_.enabled(); }
+
+  /// True when the controller actually reads the monotonic clock (a
+  /// budget is set and no rung is forced).
+  bool timing() const noexcept {
+    return !config_.force && config_.slot_budget_us > 0;
+  }
+
+  /// Decides the rung for the slot about to run, starts its deadline
+  /// clock and counts degraded/shed slots. Call once per slot, before
+  /// Alg. 2.
+  DegradeRung begin_slot();
+
+  /// Mid-slot deadline check between Alg. 2 and Alg. 4: when the budget
+  /// is already blown, the caller sheds the remainder of the slot
+  /// (counted separately from ladder escalations; the ladder itself
+  /// reacts at end_slot from the full measurement).
+  bool should_shed_mid_slot();
+
+  /// Deadline check before the Alg. 3 update phase; true means the
+  /// weight/multiplier update should be skipped for this slot.
+  bool should_skip_update();
+
+  /// Stops the slot's deadline clock and feeds the measured cost to the
+  /// ladder. Call once per slot, after observe() finishes.
+  void end_slot();
+
+  /// The deterministic ladder core: escalates on an over-budget slot,
+  /// recovers after `recover_after` consecutive comfortable slots, and
+  /// applies exponential backoff to recovery probes that immediately
+  /// fail (so a workload that cannot afford rung r-1 settles at rung r
+  /// instead of oscillating and blowing the budget every probe).
+  void apply_measurement(double cost_us);
+
+  DegradeRung rung() const noexcept { return rung_; }
+  const OverloadCounters& counters() const noexcept { return counters_; }
+
+  /// Elapsed cost of the current slot in microseconds (only meaningful
+  /// while timing()).
+  double elapsed_us() const noexcept { return watch_.seconds() * 1e6; }
+
+  void reset();
+
+  /// Exact ladder + counter state for the checkpoint image. The config
+  /// itself is not serialized — it is reconstructed from LfscConfig.
+  void save(BlobWriter& out) const;
+  void load(BlobReader& in);
+
+ private:
+  bool over_budget_now() const noexcept {
+    return timing() && elapsed_us() > static_cast<double>(config_.slot_budget_us);
+  }
+
+  OverloadConfig config_{};
+  DegradeRung rung_ = DegradeRung::kFull;
+  OverloadCounters counters_{};
+  Stopwatch watch_;
+
+  std::uint32_t comfortable_streak_ = 0;
+  /// Comfortable slots currently required before a recovery; starts at
+  /// recover_after, doubles on each failed probe, resets when a probe
+  /// survives recover_after slots.
+  std::uint32_t backoff_ = 8;
+  /// Slots since the last recovery, saturated at recover_after (the
+  /// probe observation window).
+  std::uint32_t slots_since_recovery_ = 8;
+};
+
+}  // namespace lfsc

@@ -1,0 +1,174 @@
+#include "sim/admission.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/binio.h"
+
+namespace lfsc {
+
+namespace {
+
+/// SplitMix64 finalizer — the same avalanche stage the fault model uses
+/// for its counter-based draws (faults/fault_model.cpp).
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Domain-separation tag for the shed-priority draw family.
+constexpr std::uint64_t kTagShed = 0x0A4D'175DULL;
+
+/// Shed priority of (slot t, task id): a pure function of the admission
+/// seed, so the shed set is independent of the policy roster and stable
+/// across checkpoint/resume.
+std::uint64_t shed_hash(std::uint64_t seed, int t, std::int64_t task_id) {
+  std::uint64_t h = mix64(seed ^ mix64(kTagShed));
+  h = mix64(h ^ static_cast<std::uint64_t>(t));
+  return mix64(h ^ static_cast<std::uint64_t>(task_id));
+}
+
+}  // namespace
+
+void AdmissionConfig::validate() const {
+  if (!std::isfinite(capacity_factor) || capacity_factor <= 0.0) {
+    throw std::invalid_argument(
+        "AdmissionConfig: capacity_factor must be finite and > 0");
+  }
+  if (max_queue < 0) {
+    throw std::invalid_argument("AdmissionConfig: max_queue must be >= 0");
+  }
+}
+
+AdmissionControl::AdmissionControl(AdmissionConfig config,
+                                   const NetworkConfig& net)
+    : config_(config) {
+  config_.validate();
+  net.validate();
+  const double cap = config_.capacity_factor *
+                     static_cast<double>(net.capacity_c) *
+                     static_cast<double>(net.num_scns);
+  capacity_ = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(cap)));
+}
+
+void AdmissionControl::attach_telemetry(telemetry::Registry& registry) {
+  tel_offered_ = &registry.counter("admission.offered", "tasks");
+  tel_admitted_ = &registry.counter("admission.admitted", "tasks");
+  tel_shed_ = &registry.counter("admission.shed", "tasks");
+  tel_saturated_ = &registry.counter("admission.saturated_slots", "slots");
+  tel_backlog_ = &registry.gauge("admission.backlog", "tasks");
+}
+
+int AdmissionControl::admit(Slot& slot) {
+  if (!enabled()) return 0;
+  const std::size_t offered = slot.info.tasks.size();
+  backlog_ += static_cast<std::int64_t>(offered);
+
+  int shed_n = 0;
+  const std::int64_t overflow = backlog_ - config_.max_queue;
+  if (overflow > 0) {
+    shed_n = static_cast<int>(
+        std::min<std::int64_t>(overflow, static_cast<std::int64_t>(offered)));
+  }
+
+  if (shed_n > 0) {
+    // Rank this slot's tasks by hashed shed priority (ties broken by
+    // index — the low 32 bits carry the index, the high 32 the hash).
+    rank_.clear();
+    for (std::size_t i = 0; i < offered; ++i) {
+      const std::uint64_t h =
+          shed_hash(config_.seed, slot.info.t, slot.info.tasks[i].id);
+      rank_.push_back((h & 0xFFFFFFFF00000000ULL) |
+                      static_cast<std::uint32_t>(i));
+    }
+    std::nth_element(rank_.begin(),
+                     rank_.begin() + static_cast<std::ptrdiff_t>(shed_n),
+                     rank_.end());
+    shed_flag_.assign(offered, 0);
+    for (int i = 0; i < shed_n; ++i) {
+      shed_flag_[static_cast<std::uint32_t>(rank_[static_cast<std::size_t>(
+          i)])] = 1;
+    }
+
+    // Remove shed tasks from every coverage list, compacting the aligned
+    // realization rows in lockstep (local indices shift together).
+    for (std::size_t m = 0; m < slot.info.coverage.size(); ++m) {
+      auto& cov = slot.info.coverage[m];
+      auto& u = slot.real.u[m];
+      auto& v = slot.real.v[m];
+      auto& q = slot.real.q[m];
+      std::size_t w = 0;
+      for (std::size_t j = 0; j < cov.size(); ++j) {
+        if (shed_flag_[static_cast<std::size_t>(cov[j])]) continue;
+        cov[w] = cov[j];
+        u[w] = u[j];
+        v[w] = v[j];
+        q[w] = q[j];
+        ++w;
+      }
+      cov.resize(w);
+      u.resize(w);
+      v.resize(w);
+      q.resize(w);
+    }
+
+    backlog_ -= shed_n;
+    ++saturated_slots_;
+    if (tel_saturated_ != nullptr) tel_saturated_->add();
+  }
+
+  backlog_ = std::max<std::int64_t>(0, backlog_ - capacity_);
+
+  const std::uint64_t admitted =
+      static_cast<std::uint64_t>(offered) - static_cast<std::uint64_t>(shed_n);
+  offered_ += offered;
+  admitted_ += admitted;
+  shed_ += static_cast<std::uint64_t>(shed_n);
+  if (tel_offered_ != nullptr) {
+    tel_offered_->add(offered);
+    tel_admitted_->add(admitted);
+    if (shed_n > 0) tel_shed_->add(static_cast<std::uint64_t>(shed_n));
+    tel_backlog_->set(static_cast<double>(backlog_));
+  }
+  return shed_n;
+}
+
+void AdmissionControl::save_state(std::string& out) const {
+  BlobWriter w;
+  w.u64(config_.seed);
+  w.u64(static_cast<std::uint64_t>(backlog_));
+  w.u64(offered_);
+  w.u64(admitted_);
+  w.u64(shed_);
+  w.u64(saturated_slots_);
+  out += w.take();
+}
+
+void AdmissionControl::load_state(std::string_view blob) {
+  BlobReader r(blob);
+  const std::uint64_t seed = r.u64();
+  if (seed != config_.seed) {
+    throw std::runtime_error(
+        "AdmissionControl: checkpoint was recorded under a different "
+        "admission seed; resume with the original --admission-seed");
+  }
+  const std::uint64_t backlog = r.u64();
+  if (backlog > static_cast<std::uint64_t>(config_.max_queue)) {
+    throw std::runtime_error(
+        "AdmissionControl: checkpoint backlog exceeds max_queue");
+  }
+  backlog_ = static_cast<std::int64_t>(backlog);
+  offered_ = r.u64();
+  admitted_ = r.u64();
+  shed_ = r.u64();
+  saturated_slots_ = r.u64();
+  if (!r.done()) {
+    throw std::runtime_error("AdmissionControl: trailing bytes in checkpoint");
+  }
+}
+
+}  // namespace lfsc

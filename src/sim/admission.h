@@ -1,0 +1,106 @@
+// Admission control for the slot pipeline (DESIGN.md §11): a bounded
+// arrival queue in front of the policies, modelling a gateway that sheds
+// offered load exceeding the network's sustained service capacity c·M.
+//
+// The queue is a fluid-model overlay on the slotted simulator: arrivals
+// join a carried backlog, the backlog drains by `capacity_factor · c · M`
+// tasks per slot, and arrivals that would push the backlog past
+// `max_queue` are shed *before any policy sees the slot* — a shed task
+// is removed from every SCN's coverage list (it runs locally on its
+// device, the paper's fallback) while remaining in the slot's task list,
+// so metrics still see the full offered load.
+//
+// Shedding is deterministic and policy-order-independent: each task's
+// shed priority is a counter-based hash of (seed, slot, task id), the
+// same construction the fault model uses, so the shed set is a pure
+// function of the admission seed — independent of the policy roster,
+// of parallel_scns, and stable across checkpoint/resume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/task.h"
+#include "telemetry/telemetry.h"
+
+namespace lfsc {
+
+struct AdmissionConfig {
+  /// Sustained service capacity as a multiple of c·M tasks per slot.
+  /// Valid: > 0, finite.
+  double capacity_factor = 1.0;
+
+  /// Bound on the carried backlog, in tasks. 0 disables admission
+  /// control entirely (every task passes through untouched).
+  int max_queue = 0;
+
+  /// Seed of the deterministic shed ordering; independent of world,
+  /// policy and fault seeds.
+  std::uint64_t seed = 0xADC0;
+
+  bool enabled() const noexcept { return max_queue > 0; }
+
+  /// Throws std::invalid_argument on out-of-range parameters.
+  void validate() const;
+};
+
+class AdmissionControl {
+ public:
+  AdmissionControl(AdmissionConfig config, const NetworkConfig& net);
+
+  const AdmissionConfig& config() const noexcept { return config_; }
+  bool enabled() const noexcept { return config_.enabled(); }
+
+  /// Tasks the queue drains per slot: max(1, ceil(factor · c · M)).
+  std::int64_t service_capacity() const noexcept { return capacity_; }
+
+  /// Registers the admission.* counters/backlog gauge on `registry`
+  /// (call once, before the run). Without this the control still sheds,
+  /// it just counts nothing.
+  void attach_telemetry(telemetry::Registry& registry);
+
+  /// Applies admission control to a freshly generated slot, in slot
+  /// order: enqueues the offered tasks, sheds the overflow (removing
+  /// shed tasks from every coverage list and the aligned realization
+  /// rows), then drains one slot of service capacity. Returns the number
+  /// of tasks shed.
+  int admit(Slot& slot);
+
+  // Running totals (exact, available under LFSC_TELEMETRY=OFF).
+  std::uint64_t offered() const noexcept { return offered_; }
+  std::uint64_t admitted() const noexcept { return admitted_; }
+  std::uint64_t total_shed() const noexcept { return shed_; }
+  std::uint64_t saturated_slots() const noexcept { return saturated_slots_; }
+  std::int64_t backlog() const noexcept { return backlog_; }
+
+  /// Exact queue/counter state for crash-safe checkpointing. Rejects a
+  /// blob recorded under a different admission seed (a resumed run must
+  /// continue the same shed schedule).
+  void save_state(std::string& out) const;
+  void load_state(std::string_view blob);
+
+ private:
+  AdmissionConfig config_;
+  std::int64_t capacity_ = 1;
+
+  std::int64_t backlog_ = 0;
+  std::uint64_t offered_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t saturated_slots_ = 0;
+
+  // Per-slot scratch, reused across slots.
+  std::vector<std::uint64_t> rank_;      ///< packed (hash, index) per task
+  std::vector<std::uint8_t> shed_flag_;  ///< per global task index
+
+  telemetry::Counter* tel_offered_ = nullptr;    ///< admission.offered
+  telemetry::Counter* tel_admitted_ = nullptr;   ///< admission.admitted
+  telemetry::Counter* tel_shed_ = nullptr;       ///< admission.shed
+  telemetry::Counter* tel_saturated_ = nullptr;  ///< admission.saturated_slots
+  telemetry::Gauge* tel_backlog_ = nullptr;      ///< admission.backlog
+};
+
+}  // namespace lfsc

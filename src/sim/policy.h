@@ -50,6 +50,18 @@ class Policy {
   /// policy can be reused for another run.
   virtual void reset() {}
 
+  // --- overload protection (DESIGN.md §11) ---
+
+  /// Grants the policy a per-slot deadline budget in microseconds; the
+  /// policy may degrade its computation to stay within it, as long as
+  /// every assignment still satisfies the hard constraints (1a)/(1b).
+  /// Must be called before the first slot. The default declines — the
+  /// harness then runs the policy without a deadline.
+  virtual bool set_slot_budget(std::uint32_t budget_us) {
+    (void)budget_us;
+    return false;
+  }
+
   // --- degraded-feedback extension (DESIGN.md §9) ---
 
   /// Opts the policy into delayed bandit feedback: after this returns

@@ -1,0 +1,752 @@
+// Overload-protection subsystem (DESIGN.md §11): the degradation-ladder
+// state machine, the determinism contract (budget unset => bit-identical
+// output), forced-rung feasibility, admission control, the invariant
+// auditor, and checkpoint/resume through all of it.
+#include "lfsc/overload.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/binio.h"
+#include "baselines/random_policy.h"
+#include "faults/fault_model.h"
+#include "harness/checkpoint.h"
+#include "harness/paper_setup.h"
+#include "harness/runner.h"
+#include "lfsc/audit.h"
+#include "lfsc/lfsc_policy.h"
+#include "reference/differential.h"
+#include "sim/admission.h"
+#include "test_util.h"
+
+namespace lfsc {
+namespace {
+
+// --- ladder state machine (synthetic costs, no clock) ---
+
+OverloadConfig ladder_config() {
+  OverloadConfig cfg;
+  cfg.slot_budget_us = 100;
+  cfg.recover_after = 2;
+  cfg.recover_fraction = 0.5;
+  return cfg;
+}
+
+TEST(OverloadLadder, EscalatesOnOverBudgetAndRecoversOnComfort) {
+  OverloadController c(ladder_config());
+  EXPECT_EQ(c.rung(), DegradeRung::kFull);
+
+  c.apply_measurement(150.0);
+  EXPECT_EQ(c.rung(), DegradeRung::kExploreCapped);
+  EXPECT_EQ(c.counters().over_budget_slots, 1u);
+  EXPECT_EQ(c.counters().escalations, 1u);
+
+  // Comfortable = cost <= recover_fraction * budget. A merely-ok slot
+  // (under budget but above the fraction) resets the streak.
+  c.apply_measurement(40.0);
+  c.apply_measurement(80.0);  // ok but not comfortable: streak back to 0
+  c.apply_measurement(40.0);
+  EXPECT_EQ(c.rung(), DegradeRung::kExploreCapped);
+  c.apply_measurement(40.0);  // second consecutive comfortable slot
+  EXPECT_EQ(c.rung(), DegradeRung::kFull);
+  EXPECT_EQ(c.counters().recoveries, 1u);
+}
+
+TEST(OverloadLadder, EscalatesThroughAllRungsAndStopsAtShed) {
+  OverloadController c(ladder_config());
+  for (int i = 0; i < 6; ++i) c.apply_measurement(1000.0);
+  EXPECT_EQ(c.rung(), DegradeRung::kShed);
+  // Escalations saturate at the bottom rung; over-budget slots keep
+  // counting.
+  EXPECT_EQ(c.counters().escalations, 3u);
+  EXPECT_EQ(c.counters().over_budget_slots, 6u);
+  EXPECT_EQ(c.counters().escalations - c.counters().recoveries,
+            static_cast<std::uint64_t>(c.rung()));
+}
+
+TEST(OverloadLadder, FailedRecoveryProbeBacksOffExponentially) {
+  OverloadController c(ladder_config());  // recover_after = backoff = 2
+  c.apply_measurement(150.0);             // rung 1
+  c.apply_measurement(10.0);
+  c.apply_measurement(10.0);  // streak 2 >= backoff 2: recover to rung 0
+  ASSERT_EQ(c.rung(), DegradeRung::kFull);
+
+  // The probe fails immediately: escalate and double the backoff.
+  c.apply_measurement(150.0);
+  ASSERT_EQ(c.rung(), DegradeRung::kExploreCapped);
+  c.apply_measurement(10.0);
+  c.apply_measurement(10.0);
+  EXPECT_EQ(c.rung(), DegradeRung::kExploreCapped)
+      << "recovered after the old backoff; the failed probe did not double "
+         "it";
+  c.apply_measurement(10.0);
+  c.apply_measurement(10.0);  // streak 4 >= doubled backoff 4
+  EXPECT_EQ(c.rung(), DegradeRung::kFull);
+
+  // This probe survives its window, so the backoff resets: the next
+  // escalation + 2 comfortable slots recover again.
+  c.apply_measurement(10.0);
+  c.apply_measurement(10.0);
+  c.apply_measurement(150.0);
+  c.apply_measurement(10.0);
+  c.apply_measurement(10.0);
+  EXPECT_EQ(c.rung(), DegradeRung::kFull);
+  EXPECT_EQ(c.counters().escalations, 3u);
+  EXPECT_EQ(c.counters().recoveries, 3u);
+}
+
+TEST(OverloadLadder, SaveLoadRoundTripsExactState) {
+  OverloadController a(ladder_config());
+  a.apply_measurement(150.0);
+  a.apply_measurement(150.0);
+  a.apply_measurement(10.0);
+  BlobWriter w;
+  a.save(w);
+  const std::string blob = w.take();
+
+  OverloadController b(ladder_config());
+  BlobReader r(blob);
+  b.load(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(b.rung(), a.rung());
+  EXPECT_EQ(b.counters().over_budget_slots, a.counters().over_budget_slots);
+  EXPECT_EQ(b.counters().escalations, a.counters().escalations);
+
+  // The loaded controller continues exactly where the saved one left
+  // off (same recovery streak), not from a fresh streak.
+  a.apply_measurement(10.0);
+  b.apply_measurement(10.0);
+  EXPECT_EQ(b.rung(), a.rung());
+}
+
+TEST(OverloadLadder, RejectsCorruptRungByte) {
+  BlobWriter w;
+  OverloadController a(ladder_config());
+  a.save(w);
+  std::string blob = w.take();
+  blob[0] = 9;  // rung out of range
+  OverloadController b(ladder_config());
+  BlobReader r(blob);
+  EXPECT_THROW(b.load(r), std::runtime_error);
+}
+
+TEST(OverloadLadder, ConfigValidates) {
+  OverloadConfig cfg;
+  cfg.force = true;
+  cfg.slot_budget_us = 10;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = OverloadConfig{};
+  cfg.recover_after = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = OverloadConfig{};
+  cfg.recover_fraction = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = OverloadConfig{};
+  cfg.degraded_gamma = 1.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  EXPECT_FALSE(parse_rung("auto", cfg.forced_rung));
+  EXPECT_TRUE(parse_rung("greedy-only", cfg.forced_rung));
+  EXPECT_EQ(cfg.forced_rung, DegradeRung::kGreedyOnly);
+}
+
+// --- forced rungs stay feasible and learn/serve as specified ---
+
+void run_forced_rung(DegradeRung rung, bool parallel_scns) {
+  auto s = small_setup();
+  s.lfsc.parallel_scns = parallel_scns;
+  s.lfsc.overload.force = true;
+  s.lfsc.overload.forced_rung = rung;
+  auto sim = s.make_simulator();
+  LfscPolicy lfsc(s.net, s.lfsc);
+  Policy* roster[] = {&lfsc};
+  RunConfig config;
+  config.horizon = 80;
+  config.validate = true;  // every assignment checked against (1a)/(1b)
+  const auto result = run_experiment(sim, roster, config);
+  EXPECT_EQ(result.completed_slots, 80);
+
+  const auto& oc = lfsc.overload().counters();
+  if (rung == DegradeRung::kShed) {
+    EXPECT_EQ(result.series[0].total_reward(), 0.0);
+    EXPECT_EQ(oc.shed_slots, 80u);
+  } else {
+    EXPECT_GT(result.series[0].total_reward(), 0.0);
+    if (rung == DegradeRung::kFull) {
+      EXPECT_EQ(oc.degraded_slots, 0u);
+    } else {
+      EXPECT_EQ(oc.degraded_slots, 80u);
+    }
+  }
+  // Forced rungs never adapt.
+  EXPECT_EQ(oc.escalations, 0u);
+  EXPECT_EQ(oc.recoveries, 0u);
+  // The learner state stays finite on every rung.
+  for (int m = 0; m < s.net.num_scns; ++m) {
+    for (const double w : lfsc.weights(m)) {
+      ASSERT_TRUE(std::isfinite(w) && w > 0.0) << "SCN " << m;
+    }
+    ASSERT_TRUE(std::isfinite(lfsc.lambda_qos(m)));
+    ASSERT_TRUE(std::isfinite(lfsc.lambda_resource(m)));
+  }
+}
+
+TEST(ForcedRung, FullIsValid) {
+  run_forced_rung(DegradeRung::kFull, false);
+}
+TEST(ForcedRung, ExploreCappedIsValid) {
+  run_forced_rung(DegradeRung::kExploreCapped, false);
+}
+TEST(ForcedRung, GreedyOnlyIsValid) {
+  run_forced_rung(DegradeRung::kGreedyOnly, false);
+}
+TEST(ForcedRung, ShedIsValid) {
+  run_forced_rung(DegradeRung::kShed, false);
+}
+TEST(ForcedRung, ExploreCappedParallelIsValid) {
+  run_forced_rung(DegradeRung::kExploreCapped, true);
+}
+TEST(ForcedRung, GreedyOnlyParallelIsValid) {
+  run_forced_rung(DegradeRung::kGreedyOnly, true);
+}
+
+TEST(ForcedRung, UncoordinatedExploreCappedIsValid) {
+  auto s = small_setup();
+  s.lfsc.coordinate_scns = false;
+  s.lfsc.overload.force = true;
+  s.lfsc.overload.forced_rung = DegradeRung::kGreedyOnly;
+  auto sim = s.make_simulator();
+  LfscPolicy lfsc(s.net, s.lfsc);
+  Policy* roster[] = {&lfsc};
+  RunConfig config;
+  config.horizon = 40;
+  config.validate = false;  // the no-coordination ablation violates (1b)
+  const auto result = run_experiment(sim, roster, config);
+  EXPECT_EQ(result.completed_slots, 40);
+  EXPECT_GT(result.series[0].total_reward(), 0.0);
+}
+
+// --- determinism contract: budget unset / never-binding ---
+
+/// Runs the standard small experiment and returns the policy's full
+/// checkpoint image (weights, multipliers, RNG streams, accumulators —
+/// everything) plus the reward series for bit-exact comparison.
+struct RunImage {
+  std::string blob;
+  std::vector<double> reward;
+};
+
+RunImage run_and_image(const LfscConfig& lfsc_config, int horizon,
+                       std::uint32_t runner_budget_us) {
+  auto s = small_setup();
+  s.lfsc = lfsc_config;
+  auto sim = s.make_simulator();
+  LfscPolicy lfsc(s.net, s.lfsc);
+  Policy* roster[] = {&lfsc};
+  RunConfig config;
+  config.horizon = horizon;
+  config.slot_budget_us = runner_budget_us;
+  const auto result = run_experiment(sim, roster, config);
+  RunImage image;
+  lfsc.save_checkpoint(image.blob);
+  image.reward.assign(result.series[0].reward().begin(),
+                      result.series[0].reward().end());
+  return image;
+}
+
+/// The policy blob holds the overload block (rung, streaks, counters)
+/// which legitimately differs between a budgeted and an unbudgeted run
+/// even when every decision matched. Compare only the learner state: we
+/// strip nothing here but compare the decision-relevant outputs instead.
+void expect_same_learning(const LfscConfig& cfg, int horizon,
+                          std::uint32_t budget_us, bool parallel) {
+  LfscConfig c = cfg;
+  c.parallel_scns = parallel;
+  const RunImage base = run_and_image(c, horizon, 0);
+  const RunImage budgeted = run_and_image(c, horizon, budget_us);
+  // Reward series bit-exact.
+  ASSERT_EQ(base.reward.size(), budgeted.reward.size());
+  for (std::size_t i = 0; i < base.reward.size(); ++i) {
+    ASSERT_EQ(base.reward[i], budgeted.reward[i]) << "slot " << i + 1;
+  }
+}
+
+TEST(BudgetDeterminism, NeverBindingBudgetIsBitIdenticalSerial) {
+  auto s = small_setup();
+  // ~18 minutes per slot: the clock runs but the ladder never engages.
+  expect_same_learning(s.lfsc, 120, 1u << 30, false);
+}
+
+TEST(BudgetDeterminism, NeverBindingBudgetIsBitIdenticalParallel) {
+  auto s = small_setup();
+  expect_same_learning(s.lfsc, 120, 1u << 30, true);
+}
+
+TEST(BudgetDeterminism, UnbudgetedPolicyNeverReadsTheClock) {
+  auto s = small_setup();
+  LfscPolicy lfsc(s.net, s.lfsc);
+  EXPECT_FALSE(lfsc.overload().enabled());
+  EXPECT_FALSE(lfsc.overload().timing());
+}
+
+TEST(BudgetDeterminism, SetSlotBudgetAfterFirstSlotThrows) {
+  auto s = small_setup();
+  auto sim = s.make_simulator();
+  LfscPolicy lfsc(s.net, s.lfsc);
+  Policy* roster[] = {&lfsc};
+  RunConfig config;
+  config.horizon = 2;
+  run_experiment(sim, roster, config);
+  EXPECT_THROW(lfsc.set_slot_budget(100), std::logic_error);
+}
+
+// --- differential harness: infinite budget matches the reference ---
+
+TEST(BudgetDifferential, InfiniteBudgetMatchesReference) {
+  for (const std::uint64_t seed : {11ull, 2027ull, 0xB00Dull}) {
+    DiffInstance inst = random_instance(seed);
+    inst.lfsc.overload.slot_budget_us = 1u << 30;
+    const DiffResult res = run_differential(inst);
+    EXPECT_FALSE(res.diverged) << "seed " << seed << ": " << res.detail;
+  }
+}
+
+// --- resume mid-degradation ---
+
+/// Forwards to an inner policy and requests a graceful stop after
+/// observing slot `stop_after` (deterministic stand-in for SIGINT).
+class StopAfterSlot : public Policy {
+ public:
+  StopAfterSlot(Policy& inner, int stop_after, std::atomic<bool>& stop)
+      : inner_(inner), stop_after_(stop_after), stop_(stop) {}
+  std::string_view name() const noexcept override { return inner_.name(); }
+  Assignment select(const SlotInfo& info) override {
+    return inner_.select(info);
+  }
+  void observe(const SlotInfo& info, const Assignment& assignment,
+               const SlotFeedback& feedback) override {
+    inner_.observe(info, assignment, feedback);
+    if (info.t == stop_after_) stop_.store(true);
+  }
+  bool supports_checkpoint() const noexcept override {
+    return inner_.supports_checkpoint();
+  }
+  void save_checkpoint(std::string& out) const override {
+    inner_.save_checkpoint(out);
+  }
+  void load_checkpoint(std::string_view blob) override {
+    inner_.load_checkpoint(blob);
+  }
+  void reset() override { inner_.reset(); }
+
+ private:
+  Policy& inner_;
+  int stop_after_;
+  std::atomic<bool>& stop_;
+};
+
+void run_resume_mid_degradation(DegradeRung rung) {
+  ScopedTempDir tmp;
+  const int horizon = 60;
+  auto s = small_setup();
+  s.lfsc.overload.force = true;
+  s.lfsc.overload.forced_rung = rung;
+
+  AdmissionConfig ac;
+  ac.max_queue = 200;
+
+  // Reference: uninterrupted run on the degraded rung.
+  auto ref_sim = s.make_simulator();
+  LfscPolicy ref_lfsc(s.net, s.lfsc);
+  RandomPolicy ref_random(s.net);
+  AdmissionControl ref_admission(ac, s.net);
+  Policy* ref_roster[] = {&ref_lfsc, &ref_random};
+  RunConfig ref_config;
+  ref_config.horizon = horizon;
+  ref_config.checkpoint_path = tmp.path("ref.ckpt");
+  ref_config.admission = &ref_admission;
+  const auto ref = run_experiment(ref_sim, ref_roster, ref_config);
+  ASSERT_EQ(ref.completed_slots, horizon);
+
+  // Interrupted at T/2, then resumed by a fresh roster.
+  const std::string ckpt = tmp.path("run.ckpt");
+  {
+    auto sim = s.make_simulator();
+    LfscPolicy lfsc(s.net, s.lfsc);
+    RandomPolicy random(s.net);
+    AdmissionControl admission(ac, s.net);
+    std::atomic<bool> stop{false};
+    StopAfterSlot stopper(random, horizon / 2, stop);
+    Policy* roster[] = {&lfsc, &stopper};
+    RunConfig config;
+    config.horizon = horizon;
+    config.checkpoint_path = ckpt;
+    config.admission = &admission;
+    config.stop = &stop;
+    const auto first = run_experiment(sim, roster, config);
+    ASSERT_TRUE(first.interrupted);
+    ASSERT_EQ(first.completed_slots, horizon / 2);
+  }
+  auto sim = s.make_simulator();
+  LfscPolicy lfsc(s.net, s.lfsc);
+  RandomPolicy random(s.net);
+  AdmissionControl admission(ac, s.net);
+  Policy* roster[] = {&lfsc, &random};
+  RunConfig config;
+  config.horizon = horizon;
+  config.checkpoint_path = ckpt;
+  config.admission = &admission;
+  config.resume = true;
+  const auto resumed = run_experiment(sim, roster, config);
+  ASSERT_EQ(resumed.completed_slots, horizon);
+
+  // Bit-identical outcome series and learner state.
+  for (std::size_t k = 0; k < ref.series.size(); ++k) {
+    const auto got_r = resumed.series[k].reward();
+    const auto want_r = ref.series[k].reward();
+    ASSERT_EQ(got_r.size(), want_r.size()) << "policy " << k;
+    for (std::size_t i = 0; i < got_r.size(); ++i) {
+      ASSERT_EQ(got_r[i], want_r[i]) << "policy " << k << " slot " << i + 1;
+      ASSERT_EQ(resumed.series[k].qos_violation()[i],
+                ref.series[k].qos_violation()[i])
+          << "policy " << k << " slot " << i + 1;
+    }
+  }
+  for (int m = 0; m < s.net.num_scns; ++m) {
+    const auto got = lfsc.weights(m);
+    const auto want = ref_lfsc.weights(m);
+    ASSERT_EQ(got.size(), want.size()) << "SCN " << m;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], want[i]) << "SCN " << m << " cell " << i;
+    }
+    EXPECT_EQ(lfsc.lambda_qos(m), ref_lfsc.lambda_qos(m)) << "SCN " << m;
+  }
+  // Ladder counters came back from the checkpoint and kept counting.
+  EXPECT_EQ(lfsc.overload().counters().degraded_slots,
+            ref_lfsc.overload().counters().degraded_slots);
+  EXPECT_EQ(lfsc.overload().counters().shed_slots,
+            ref_lfsc.overload().counters().shed_slots);
+  // Admission state came back exactly.
+  EXPECT_EQ(admission.offered(), ref_admission.offered());
+  EXPECT_EQ(admission.total_shed(), ref_admission.total_shed());
+  EXPECT_EQ(admission.backlog(), ref_admission.backlog());
+}
+
+TEST(ResumeMidDegradation, ExploreCappedBitIdentical) {
+  run_resume_mid_degradation(DegradeRung::kExploreCapped);
+}
+TEST(ResumeMidDegradation, GreedyOnlyBitIdentical) {
+  run_resume_mid_degradation(DegradeRung::kGreedyOnly);
+}
+
+TEST(ResumeMidDegradation, MissingAdmissionBlobIsRejected) {
+  ScopedTempDir tmp;
+  const std::string ckpt = tmp.path("run.ckpt");
+  auto s = small_setup();
+  {
+    auto sim = s.make_simulator();
+    LfscPolicy lfsc(s.net, s.lfsc);
+    Policy* roster[] = {&lfsc};
+    RunConfig config;
+    config.horizon = 20;
+    config.checkpoint_path = ckpt;
+    run_experiment(sim, roster, config);  // no admission configured
+  }
+  auto sim = s.make_simulator();
+  LfscPolicy lfsc(s.net, s.lfsc);
+  Policy* roster[] = {&lfsc};
+  AdmissionConfig ac;
+  ac.max_queue = 100;
+  AdmissionControl admission(ac, s.net);
+  RunConfig config;
+  config.horizon = 20;
+  config.checkpoint_path = ckpt;
+  config.admission = &admission;
+  config.resume = true;
+  EXPECT_THROW(run_experiment(sim, roster, config), std::runtime_error);
+}
+
+// --- checkpoint file version gate ---
+
+TEST(CheckpointVersion, OldVersionIsRejectedByNumber) {
+  ScopedTempDir tmp;
+  const std::string path = tmp.path("run.ckpt");
+  CheckpointState state;
+  state.completed_slots = 1;
+  state.horizon = 2;
+  write_checkpoint_file(path, state);
+
+  // Rewrite the version word (first payload field, right after the
+  // 8-byte magic) and fix up the CRC footer so only the version check
+  // can object.
+  std::string file;
+  {
+    std::ifstream in(path, std::ios::binary);
+    file.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(file.size(), 16u);
+  const std::uint32_t old_version = 1;
+  std::memcpy(file.data() + 8, &old_version, sizeof old_version);
+  const std::uint32_t crc =
+      crc32(std::string_view(file.data(), file.size() - 4));
+  std::memcpy(file.data() + file.size() - 4, &crc, sizeof crc);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(file.data(), static_cast<std::streamsize>(file.size()));
+  }
+
+  try {
+    read_checkpoint_file(path);
+    FAIL() << "old file version was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+        << e.what();
+  }
+}
+
+// --- admission control ---
+
+AdmissionConfig small_admission() {
+  AdmissionConfig ac;
+  ac.max_queue = 120;
+  ac.capacity_factor = 0.5;
+  return ac;
+}
+
+TEST(Admission, ShedIsDeterministicAndConsistent) {
+  auto s = small_setup();
+  auto sim_a = s.make_simulator();
+  auto sim_b = s.make_simulator();
+  AdmissionControl a(small_admission(), s.net);
+  AdmissionControl b(small_admission(), s.net);
+  for (int t = 1; t <= 40; ++t) {
+    Slot slot_a = sim_a.generate_slot(t);
+    Slot slot_b = sim_b.generate_slot(t);
+    const int shed_a = a.admit(slot_a);
+    const int shed_b = b.admit(slot_b);
+    EXPECT_EQ(shed_a, shed_b) << "slot " << t;
+    ASSERT_EQ(slot_a.info.coverage, slot_b.info.coverage) << "slot " << t;
+    // Coverage lists and realization rows stay aligned after shedding.
+    for (std::size_t m = 0; m < slot_a.info.coverage.size(); ++m) {
+      ASSERT_EQ(slot_a.info.coverage[m].size(), slot_a.real.u[m].size());
+      ASSERT_EQ(slot_a.info.coverage[m].size(), slot_a.real.v[m].size());
+      ASSERT_EQ(slot_a.info.coverage[m].size(), slot_a.real.q[m].size());
+    }
+    // Backlog bound holds every slot.
+    EXPECT_LE(a.backlog(), small_admission().max_queue);
+    EXPECT_GE(a.backlog(), 0);
+  }
+  EXPECT_EQ(a.offered(), a.admitted() + a.total_shed());
+  EXPECT_GT(a.total_shed(), 0u) << "test load never saturated the queue";
+}
+
+TEST(Admission, DifferentSeedShedsDifferently) {
+  auto s = small_setup();
+  auto sim_a = s.make_simulator();
+  auto sim_b = s.make_simulator();
+  AdmissionConfig cfg_b = small_admission();
+  cfg_b.seed = 7;
+  AdmissionControl a(small_admission(), s.net);
+  AdmissionControl b(cfg_b, s.net);
+  bool any_difference = false;
+  for (int t = 1; t <= 40 && !any_difference; ++t) {
+    Slot slot_a = sim_a.generate_slot(t);
+    Slot slot_b = sim_b.generate_slot(t);
+    a.admit(slot_a);
+    b.admit(slot_b);
+    any_difference = slot_a.info.coverage != slot_b.info.coverage;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Admission, StateRoundTripsAndRejectsForeignSeed) {
+  auto s = small_setup();
+  auto sim = s.make_simulator();
+  AdmissionControl a(small_admission(), s.net);
+  for (int t = 1; t <= 10; ++t) {
+    Slot slot = sim.generate_slot(t);
+    a.admit(slot);
+  }
+  std::string blob;
+  a.save_state(blob);
+
+  AdmissionControl b(small_admission(), s.net);
+  b.load_state(blob);
+  EXPECT_EQ(b.backlog(), a.backlog());
+  EXPECT_EQ(b.offered(), a.offered());
+  EXPECT_EQ(b.total_shed(), a.total_shed());
+
+  AdmissionConfig other = small_admission();
+  other.seed = 99;
+  AdmissionControl c(other, s.net);
+  EXPECT_THROW(c.load_state(blob), std::runtime_error);
+}
+
+TEST(Admission, ConfigValidates) {
+  AdmissionConfig ac;
+  ac.max_queue = -1;
+  EXPECT_THROW(ac.validate(), std::invalid_argument);
+  ac = AdmissionConfig{};
+  ac.capacity_factor = 0.0;
+  EXPECT_THROW(ac.validate(), std::invalid_argument);
+  ac = AdmissionConfig{};
+  ac.max_queue = 10;
+  EXPECT_NO_THROW(ac.validate());
+}
+
+// --- invariant auditor ---
+
+TEST(Audit, PureChecksCatchEachFamily) {
+  const double w_ok[] = {0.5, 1.0, 0.25};
+  EXPECT_EQ(audit_weight_table(w_ok, 1.0), "");
+  const double w_nan[] = {0.5, std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_NE(audit_weight_table(w_nan, 1.0), "");
+  const double w_neg[] = {0.5, -0.1};
+  EXPECT_NE(audit_weight_table(w_neg, 1.0), "");
+  const double w_over[] = {0.5, 2.0};
+  EXPECT_NE(audit_weight_table(w_over, 1.0), "");
+  EXPECT_NE(audit_weight_table(w_ok, 0.0), "");
+
+  const double p_ok[] = {1.0, 0.5, 0.5};
+  const std::uint8_t capped[] = {1, 0, 0};
+  EXPECT_EQ(audit_probabilities(p_ok, capped, 2, true), "");
+  const double p_sum[] = {1.0, 0.5, 0.25};  // sum != min(c, K)
+  EXPECT_NE(audit_probabilities(p_sum, capped, 2, true), "");
+  EXPECT_EQ(audit_probabilities(p_sum, capped, 2, false), "")
+      << "degraded vectors do not preserve the sum";
+  const double p_range[] = {1.0, 1.5, -0.5};
+  EXPECT_NE(audit_probabilities(p_range, capped, 2, false), "");
+  const double p_capped_low[] = {0.5, 0.5, 1.0};
+  EXPECT_NE(audit_probabilities(p_capped_low, capped, 2, false), "")
+      << "capped arm with p != 1 must fail";
+
+  EXPECT_EQ(audit_multipliers(0.0, 1.0, 2.0), "");
+  EXPECT_NE(audit_multipliers(-0.5, 1.0, 2.0), "");
+  EXPECT_NE(audit_multipliers(0.0, 3.0, 2.0), "");
+  EXPECT_NE(audit_multipliers(std::numeric_limits<double>::infinity(), 0.0,
+                              2.0),
+            "");
+}
+
+TEST(Audit, CleanPolicyPassesAndPoisonQuarantines) {
+  auto s = small_setup();
+  auto sim = s.make_simulator();
+  LfscPolicy lfsc(s.net, s.lfsc);
+  Policy* roster[] = {&lfsc};
+  RunConfig config;
+  config.horizon = 30;
+  run_experiment(sim, roster, config);
+
+  EXPECT_EQ(lfsc.audit_now(), 0);
+  EXPECT_GT(lfsc.audit_checks(), 0u);
+  EXPECT_EQ(lfsc.audit_violations(), 0u);
+
+  lfsc.debug_set_weight(1, 0, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(lfsc.audit_now(), 1);
+  EXPECT_TRUE(lfsc.quarantined(1));
+  EXPECT_FALSE(lfsc.quarantined(0));
+  EXPECT_NE(lfsc.last_audit_detail(), "");
+
+  // Quarantine is idempotent: the poisoned SCN is skipped from now on.
+  EXPECT_EQ(lfsc.audit_now(), 0);
+  EXPECT_EQ(lfsc.audit_violations(), 1u);
+
+  // The quarantined policy keeps serving valid slots.
+  auto sim2 = s.make_simulator();
+  RunConfig more;
+  more.horizon = 30;
+  const auto result = run_experiment(sim2, roster, more);
+  EXPECT_EQ(result.completed_slots, 30);
+  EXPECT_GT(result.series[0].total_reward(), 0.0);
+}
+
+TEST(Audit, StridedAuditRunsDuringTheLoop) {
+  auto s = small_setup();
+  s.lfsc.audit_stride = 8;
+  auto sim = s.make_simulator();
+  LfscPolicy lfsc(s.net, s.lfsc);
+  Policy* roster[] = {&lfsc};
+  RunConfig config;
+  config.horizon = 40;
+  run_experiment(sim, roster, config);
+  // 5 strided audits x SCN count, all clean.
+  EXPECT_EQ(lfsc.audit_checks(),
+            5u * static_cast<std::uint64_t>(s.net.num_scns));
+  EXPECT_EQ(lfsc.audit_violations(), 0u);
+}
+
+TEST(Audit, QuarantineStateSurvivesCheckpoint) {
+  auto s = small_setup();
+  LfscPolicy a(s.net, s.lfsc);
+  auto sim = s.make_simulator();
+  Policy* roster[] = {&a};
+  RunConfig config;
+  config.horizon = 10;
+  run_experiment(sim, roster, config);
+  a.debug_set_weight(0, 0, std::numeric_limits<double>::quiet_NaN());
+  ASSERT_EQ(a.audit_now(), 1);
+
+  std::string blob;
+  a.save_checkpoint(blob);
+  LfscPolicy b(s.net, s.lfsc);
+  b.load_checkpoint(blob);
+  EXPECT_TRUE(b.quarantined(0));
+  EXPECT_EQ(b.audit_violations(), 1u);
+  EXPECT_EQ(b.audit_checks(), a.audit_checks());
+}
+
+// --- full-stack integration: budget + admission + faults ---
+
+TEST(OverloadIntegration, ChaosRunCompletesWithConsistentCounters) {
+  auto s = small_setup();
+  s.lfsc.audit_stride = 16;
+  auto sim = s.make_simulator();
+  LfscPolicy lfsc(s.net, s.lfsc);
+  Policy* roster[] = {&lfsc};
+
+  FaultConfig fc;
+  fc.outage_prob = 0.01;
+  fc.outage_min_slots = 1;
+  fc.outage_max_slots = 3;
+  fc.loss_prob = 0.05;
+  fc.corrupt_prob = 0.02;
+  FaultModel faults(fc, s.net.num_scns);
+  AdmissionConfig ac;
+  ac.max_queue = 60;
+  ac.capacity_factor = 0.25;
+  AdmissionControl admission(ac, s.net);
+
+  RunConfig config;
+  config.horizon = 400;
+  config.faults = &faults;
+  config.admission = &admission;
+  config.slot_budget_us = 50;  // tight enough to engage on most machines
+  config.telemetry = &lfsc.telemetry();
+  const auto result = run_experiment(sim, roster, config);
+
+  EXPECT_EQ(result.completed_slots, 400);
+  const auto& oc = lfsc.overload().counters();
+  EXPECT_EQ(oc.escalations - oc.recoveries,
+            static_cast<std::uint64_t>(lfsc.overload().rung()));
+  EXPECT_EQ(admission.offered(), admission.admitted() + admission.total_shed());
+  EXPECT_LE(admission.backlog(), ac.max_queue);
+  EXPECT_EQ(lfsc.audit_violations(), 0u);
+  EXPECT_GT(lfsc.audit_checks(), 0u);
+  for (int m = 0; m < s.net.num_scns; ++m) {
+    for (const double w : lfsc.weights(m)) {
+      ASSERT_TRUE(std::isfinite(w) && w > 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lfsc

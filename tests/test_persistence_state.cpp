@@ -156,9 +156,18 @@ TEST(LfscState, CheckpointRejectsNonFiniteMultiplier) {
   LfscPolicy policy(s.net, s.lfsc);
   std::string blob;
   policy.save_checkpoint(blob);
-  // Layout: u32 version, u32 scns, u32 cells, i32 t, i32 delay window,
-  // then per SCN f64 weight_scale followed by the f64 qos multiplier.
-  const std::size_t qos_offset = 5 * sizeof(std::uint32_t) + sizeof(double);
+  // Layout (blob v2): u32 version, u32 scns, u32 cells, i32 t, i32 delay
+  // window; overload-ladder block (u8 rung, u32 streak, u32 backoff,
+  // u32 slots-since-recovery, 7x u64 counters); u8 slot rung; u64 audit
+  // checks; u64 audit violations; then per SCN f64 weight_scale followed
+  // by the f64 qos multiplier.
+  const std::size_t overload_block =
+      sizeof(std::uint8_t) + 3 * sizeof(std::uint32_t) +
+      7 * sizeof(std::uint64_t);
+  const std::size_t audit_block =
+      sizeof(std::uint8_t) + 2 * sizeof(std::uint64_t);
+  const std::size_t qos_offset = 5 * sizeof(std::uint32_t) + overload_block +
+                                 audit_block + sizeof(double);
   ASSERT_GE(blob.size(), qos_offset + sizeof(double));
   const double nan = std::numeric_limits<double>::quiet_NaN();
   std::memcpy(blob.data() + qos_offset, &nan, sizeof nan);

@@ -148,6 +148,24 @@ int main(int argc, char** argv) {
       "probability a task's feedback is corrupted (NaN / out-of-range)");
   const int* fault_seed = parser.add_int(
       "fault-seed", 0xFA17, "seed of the fault process (independent of world)");
+  const int* slot_budget_us = parser.add_int(
+      "slot-budget-us", 0,
+      "per-slot compute budget for LFSC in microseconds (0 = unbudgeted)");
+  const std::string* degrade = parser.add_string(
+      "degrade", "auto",
+      "degradation ladder: auto | full | explore-capped | greedy-only | shed");
+  const int* audit_stride = parser.add_int(
+      "audit-stride", 0,
+      "audit LFSC invariants every N slots (0 = never)");
+  const int* admission_queue = parser.add_int(
+      "admission-queue", 0,
+      "bound on the admission backlog in tasks (0 = no admission control)");
+  const double* admission_capacity = parser.add_double(
+      "admission-capacity", 1.0,
+      "admission drain rate as a multiple of c*M tasks per slot");
+  const int* admission_seed = parser.add_int(
+      "admission-seed", 0xADC0,
+      "seed of the deterministic shed ordering (independent of world)");
 
   switch (parser.parse(argc, argv, std::cerr)) {
     case FlagParser::Result::kHelp:
@@ -188,6 +206,19 @@ int main(int argc, char** argv) {
     return fail("--telemetry-interval must be >= 0");
   }
   if (*checkpoint_every < 0) return fail("--checkpoint-every must be >= 0");
+  if (*slot_budget_us < 0) return fail("--slot-budget-us must be >= 0");
+  if (*audit_stride < 0) return fail("--audit-stride must be >= 0");
+  if (*admission_queue < 0) return fail("--admission-queue must be >= 0");
+  DegradeRung forced_rung = DegradeRung::kFull;
+  const bool force_rung = *degrade != "auto";
+  if (force_rung && !parse_rung(*degrade, forced_rung)) {
+    return fail("--degrade must be one of auto, full, explore-capped, "
+                "greedy-only, shed");
+  }
+  if (force_rung && *slot_budget_us > 0) {
+    return fail("--degrade <rung> pins the ladder and is incompatible with "
+                "--slot-budget-us (a forced rung never reads the clock)");
+  }
   if ((*checkpoint_every > 0 || *resume) && checkpoint_path->empty()) {
     return fail("--checkpoint-every/--resume require --checkpoint <path>");
   }
@@ -229,6 +260,21 @@ int main(int argc, char** argv) {
   setup.set_horizon(static_cast<std::size_t>(*horizon));
   setup.lfsc.parts_per_dim = static_cast<std::size_t>(*h_t);
   setup.lfsc.gamma = *gamma;
+  if (force_rung) {
+    setup.lfsc.overload.force = true;
+    setup.lfsc.overload.forced_rung = forced_rung;
+  }
+  setup.lfsc.audit_stride = static_cast<std::size_t>(*audit_stride);
+
+  AdmissionConfig admission_config;
+  admission_config.max_queue = *admission_queue;
+  admission_config.capacity_factor = *admission_capacity;
+  admission_config.seed = static_cast<std::uint64_t>(*admission_seed);
+  try {
+    admission_config.validate();
+  } catch (const std::invalid_argument& e) {
+    return fail(e.what());
+  }
 
   const bool want_telemetry =
       !telemetry_json->empty() || !telemetry_csv->empty();
@@ -236,10 +282,12 @@ int main(int argc, char** argv) {
   if (*replicates > 1) {
     if (!state_in->empty() || !state_out->empty() || !trace_in->empty() ||
         !trace_out->empty() || want_telemetry || !checkpoint_path->empty() ||
-        fault_config.any()) {
+        fault_config.any() || *slot_budget_us > 0 || force_rung ||
+        *audit_stride > 0 || admission_config.enabled()) {
       std::cerr << "lfsc_run: --load-state/--save-state/--trace/"
-                   "--record-trace/--telemetry/--checkpoint/--fault-* are "
-                   "single-run flags (incompatible with --replicates)\n";
+                   "--record-trace/--telemetry/--checkpoint/--fault-*/"
+                   "--slot-budget-us/--degrade/--audit-stride/--admission-* "
+                   "are single-run flags (incompatible with --replicates)\n";
       return 2;
     }
     const auto rep = replicate_paper_experiment(
@@ -337,6 +385,12 @@ int main(int argc, char** argv) {
                  "--policies\n";
     return 2;
   }
+  if ((*slot_budget_us > 0 || force_rung || *audit_stride > 0) &&
+      lfsc_instance == nullptr) {
+    std::cerr << "lfsc_run: --slot-budget-us/--degrade/--audit-stride require "
+                 "LFSC in --policies\n";
+    return 2;
+  }
 
   auto policies = policy_pointers(owned);
   RunConfig run_config{.horizon = *horizon};
@@ -349,6 +403,12 @@ int main(int argc, char** argv) {
   if (fault_config.any()) {
     faults = std::make_unique<FaultModel>(fault_config, *scns);
     run_config.faults = faults.get();
+  }
+  run_config.slot_budget_us = static_cast<std::uint32_t>(*slot_budget_us);
+  std::unique_ptr<AdmissionControl> admission;
+  if (admission_config.enabled()) {
+    admission = std::make_unique<AdmissionControl>(admission_config, setup.net);
+    run_config.admission = admission.get();
   }
   if (!checkpoint_path->empty()) {
     run_config.checkpoint_path = *checkpoint_path;

@@ -1,0 +1,281 @@
+// lfsc_soak — chaos soak for the overload-protection subsystem
+// (DESIGN.md §11): run LFSC for a long horizon under combined stress —
+// offered load far beyond c·M, a tight per-slot compute budget, the full
+// fault-injection suite and strided invariant audits — and assert that
+// the run terminates on schedule with internally consistent counters.
+//
+// The tool exits 0 only when every post-run assertion holds; any failed
+// assertion prints one line and flips the exit code to 1, so CI can run
+// it directly. `--inject-poison` plants a NaN in one weight-table entry
+// before the run and asserts the auditor catches it (exactly one
+// violation, SCN 0 quarantined) while the run still completes.
+//
+// Examples:
+//   lfsc_soak                                   # full T=10000 soak
+//   lfsc_soak --horizon 2000 --inject-poison    # CI smoke
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "faults/fault_model.h"
+#include "harness/paper_setup.h"
+#include "harness/runner.h"
+#include "lfsc/lfsc_policy.h"
+#include "sim/admission.h"
+#include "telemetry/telemetry.h"
+
+namespace {
+
+using namespace lfsc;
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (!ok) {
+    std::cerr << "lfsc_soak: FAIL: " << what << "\n";
+    ++g_failures;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser parser("lfsc_soak",
+                    "chaos soak: overload + faults + audits, with "
+                    "consistency assertions");
+  const int* horizon = parser.add_int("horizon", 10000, "time slots T");
+  const int* seed = parser.add_int("seed", 42, "world seed");
+  const int* scns = parser.add_int("scns", 12, "number of small cell nodes");
+  const int* capacity = parser.add_int("capacity", 20,
+                                       "per-SCN communication capacity c");
+  const int* tasks_min =
+      parser.add_int("tasks-min", 60, "min tasks per SCN coverage");
+  const int* tasks_max =
+      parser.add_int("tasks-max", 140, "max tasks per SCN coverage");
+  const int* slot_budget_us = parser.add_int(
+      "slot-budget-us", 120, "per-slot compute budget (0 = unbudgeted)");
+  const int* audit_stride = parser.add_int(
+      "audit-stride", 64, "audit LFSC invariants every N slots (0 = never)");
+  const int* admission_queue = parser.add_int(
+      "admission-queue", 0, "backlog bound in tasks (0 = default 6*c*M)");
+  const bool* inject_poison = parser.add_bool(
+      "inject-poison", false,
+      "plant a NaN weight before the run; assert the auditor quarantines it");
+
+  switch (parser.parse(argc, argv, std::cerr)) {
+    case FlagParser::Result::kHelp:
+      return 0;
+    case FlagParser::Result::kError:
+      return 2;
+    case FlagParser::Result::kOk:
+      break;
+  }
+  const auto fail = [](const std::string& message) {
+    std::cerr << "lfsc_soak: " << message << "\n";
+    return 2;
+  };
+  if (*horizon <= 0) return fail("--horizon must be positive");
+  if (*scns <= 0) return fail("--scns must be positive");
+  if (*capacity <= 0) return fail("--capacity must be positive");
+  if (*tasks_min <= 0 || *tasks_max < *tasks_min) {
+    return fail("--tasks-min/--tasks-max must satisfy 0 < min <= max");
+  }
+  if (*slot_budget_us < 0) return fail("--slot-budget-us must be >= 0");
+  if (*audit_stride < 0) return fail("--audit-stride must be >= 0");
+  if (*admission_queue < 0) return fail("--admission-queue must be >= 0");
+
+  PaperSetup setup;
+  setup.set_num_scns(*scns);
+  setup.net.capacity_c = *capacity;
+  setup.coverage.tasks_per_scn_min = *tasks_min;
+  setup.coverage.tasks_per_scn_max = *tasks_max;
+  setup.set_seed(static_cast<std::uint64_t>(*seed));
+  setup.set_horizon(static_cast<std::size_t>(*horizon));
+  setup.lfsc.audit_stride = static_cast<std::size_t>(*audit_stride);
+
+  // The chaos mix: every fault class at once, on top of sustained
+  // overload. Probabilities are the fault-injection test presets.
+  FaultConfig fault_config;
+  fault_config.outage_prob = 0.01;
+  fault_config.outage_min_slots = 1;
+  fault_config.outage_max_slots = 5;
+  fault_config.loss_prob = 0.05;
+  fault_config.delay_prob = 0.05;
+  fault_config.delay_slots = 2;
+  fault_config.corrupt_prob = 0.02;
+  fault_config.validate();
+  FaultModel faults(fault_config, *scns);
+
+  AdmissionConfig admission_config;
+  admission_config.max_queue =
+      *admission_queue > 0 ? *admission_queue : 6 * *capacity * *scns;
+  admission_config.validate();
+  AdmissionControl admission(admission_config, setup.net);
+
+  Simulator sim(setup.net, setup.env,
+                std::make_unique<AbstractCoverage>(setup.coverage));
+  LfscPolicy lfsc(setup.net, setup.lfsc);
+  if (*inject_poison) {
+    // Corrupt one weight-table entry, then audit on demand: the auditor
+    // must flag it and quarantine SCN 0 to greedy-only *before* the
+    // exact Alg. 2 solve would trip over the NaN — and the quarantined
+    // policy must still complete the whole soak.
+    lfsc.debug_set_weight(0, 0, std::numeric_limits<double>::quiet_NaN());
+    check(lfsc.audit_now() == 1, "on-demand audit missed the planted NaN");
+    check(lfsc.quarantined(0), "audit hit did not quarantine SCN 0");
+  }
+  std::vector<Policy*> policies{&lfsc};
+
+  RunConfig run_config{.horizon = *horizon};
+  run_config.telemetry = &lfsc.telemetry();
+  run_config.faults = &faults;
+  run_config.admission = &admission;
+  run_config.slot_budget_us = static_cast<std::uint32_t>(*slot_budget_us);
+
+  ExperimentResult result;
+  try {
+    result = run_experiment(sim, policies, run_config);
+  } catch (const std::exception& e) {
+    std::cerr << "lfsc_soak: run threw: " << e.what() << "\n";
+    return 1;
+  }
+
+  // --- On-schedule termination -------------------------------------
+  check(result.completed_slots == *horizon, "run did not reach the horizon");
+  check(!result.interrupted, "run reported interruption");
+
+  // --- Ladder consistency ------------------------------------------
+  const OverloadCounters& oc = lfsc.overload().counters();
+  const int rung = static_cast<int>(lfsc.overload().rung());
+  check(rung >= 0 && rung <= 3, "final rung out of range");
+  check(oc.escalations >= oc.recoveries, "more recoveries than escalations");
+  check(oc.escalations - oc.recoveries == static_cast<std::uint64_t>(rung),
+        "escalations - recoveries != final rung");
+  check(oc.degraded_slots + oc.shed_slots <=
+            static_cast<std::uint64_t>(*horizon),
+        "more degraded+shed slots than slots");
+  check(oc.over_budget_slots <= static_cast<std::uint64_t>(*horizon),
+        "more over-budget slots than slots");
+  if (*slot_budget_us > 0) {
+    check(oc.escalations > 0,
+          "tight budget never escalated (is the ladder wired?)");
+  }
+
+  // --- Admission consistency ---------------------------------------
+  check(admission.offered() == admission.admitted() + admission.total_shed(),
+        "admission offered != admitted + shed");
+  check(admission.backlog() >= 0 &&
+            admission.backlog() <= admission_config.max_queue,
+        "admission backlog out of [0, max_queue]");
+  check(admission.total_shed() > 0,
+        "overload soak shed nothing (offered load too low?)");
+
+  // --- Audit outcome -----------------------------------------------
+  const auto expected_violations =
+      static_cast<std::uint64_t>(*inject_poison ? 1 : 0);
+  if (*audit_stride > 0) {
+    check(lfsc.audit_checks() > 0, "auditor never ran");
+    check(lfsc.audit_violations() == expected_violations,
+          "audit violations = " + std::to_string(lfsc.audit_violations()) +
+              ", expected " + std::to_string(expected_violations) +
+              (lfsc.audit_violations() > 0 ? " (" + lfsc.last_audit_detail() +
+                                                 ")"
+                                           : ""));
+    check(lfsc.quarantined(0) == *inject_poison,
+          *inject_poison ? "poisoned SCN 0 was not quarantined"
+                         : "clean run quarantined SCN 0");
+  }
+
+  // --- Telemetry mirrors the exact counters ------------------------
+  if (telemetry::kEnabled) {
+    const auto snaps = lfsc.telemetry().snapshot();
+    const auto value = [&](const std::string& name) -> double {
+      for (const auto& m : snaps) {
+        if (m.name == name) return m.value;
+      }
+      return -1.0;
+    };
+    const auto mirror = [&](const std::string& name, double expect) {
+      check(value(name) == expect,
+            name + " = " + std::to_string(value(name)) + ", counter says " +
+                std::to_string(expect));
+    };
+    mirror("overload.rung", static_cast<double>(rung));
+    mirror("overload.escalations", static_cast<double>(oc.escalations));
+    mirror("overload.recoveries", static_cast<double>(oc.recoveries));
+    mirror("overload.slots_degraded", static_cast<double>(oc.degraded_slots));
+    mirror("overload.slots_shed", static_cast<double>(oc.shed_slots));
+    mirror("overload.slots_over_budget",
+           static_cast<double>(oc.over_budget_slots));
+    mirror("overload.updates_skipped",
+           static_cast<double>(oc.updates_skipped));
+    mirror("overload.mid_slot_sheds", static_cast<double>(oc.mid_slot_sheds));
+    mirror("admission.offered", static_cast<double>(admission.offered()));
+    mirror("admission.admitted", static_cast<double>(admission.admitted()));
+    mirror("admission.shed", static_cast<double>(admission.total_shed()));
+    mirror("admission.saturated_slots",
+           static_cast<double>(admission.saturated_slots()));
+    mirror("admission.backlog", static_cast<double>(admission.backlog()));
+    if (*audit_stride > 0) {
+      mirror("audit.checks", static_cast<double>(lfsc.audit_checks()));
+      mirror("audit.violations",
+             static_cast<double>(lfsc.audit_violations()));
+    }
+    check(value("faults.feedback.total") ==
+              value("faults.feedback.delivered") +
+                  value("faults.feedback.lost") +
+                  value("faults.feedback.delayed") +
+                  value("faults.feedback.corrupted"),
+          "fault fate counters do not sum to faults.feedback.total");
+
+    // Budgeted wall time: the policy's own slot work (select + observe)
+    // must land within 1.2x the total budget, plus fixed slack for the
+    // over-budget slots that *trigger* each escalation.
+    if (*slot_budget_us > 0) {
+      const double spent =
+          value("lfsc.select") + value("lfsc.observe");  // timer sums, s
+      const double budgeted =
+          1.2 * static_cast<double>(*horizon) * *slot_budget_us * 1e-6 + 0.5;
+      check(spent <= budgeted,
+            "policy slot work " + std::to_string(spent) + "s exceeds 1.2x "
+                "budget " + std::to_string(budgeted) + "s");
+    }
+  }
+
+  // --- The run still learned something -----------------------------
+  check(std::isfinite(result.series[0].total_reward()) &&
+            result.series[0].total_reward() > 0.0,
+        "soak produced no reward");
+
+  Table table({"metric", "value"});
+  table.add_row({"slots", Table::num(result.completed_slots, 0)});
+  table.add_row({"final rung", std::string(rung_name(lfsc.overload().rung()))});
+  table.add_row({"over-budget slots", Table::num(double(oc.over_budget_slots), 0)});
+  table.add_row({"escalations", Table::num(double(oc.escalations), 0)});
+  table.add_row({"recoveries", Table::num(double(oc.recoveries), 0)});
+  table.add_row({"degraded slots", Table::num(double(oc.degraded_slots), 0)});
+  table.add_row({"shed slots", Table::num(double(oc.shed_slots), 0)});
+  table.add_row({"mid-slot sheds", Table::num(double(oc.mid_slot_sheds), 0)});
+  table.add_row({"tasks offered", Table::num(double(admission.offered()), 0)});
+  table.add_row({"tasks shed", Table::num(double(admission.total_shed()), 0)});
+  table.add_row({"final backlog", Table::num(double(admission.backlog()), 0)});
+  table.add_row({"audit checks", Table::num(double(lfsc.audit_checks()), 0)});
+  table.add_row(
+      {"audit violations", Table::num(double(lfsc.audit_violations()), 0)});
+  table.add_row({"reward", Table::num(result.series[0].total_reward(), 1)});
+  table.add_row({"wall", Table::num(result.wall_seconds, 2) + "s"});
+  table.print(std::cout);
+
+  if (g_failures > 0) {
+    std::cerr << "lfsc_soak: " << g_failures << " assertion(s) failed\n";
+    return 1;
+  }
+  std::cout << "lfsc_soak: all assertions passed\n";
+  return 0;
+}
