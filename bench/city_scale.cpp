@@ -1,0 +1,181 @@
+// City-scale slot pipeline throughput: the paper's controller loop at
+// metropolitan deployment sizes (default 2000 SCNs vs the paper's 30),
+// exercising the SoA weight tables, the SIMD Exp3.M kernels, the radix
+// greedy, and the sharded multi-SCN execution together.
+//
+// The headline is the same bucket split as bench/slot_throughput.cpp —
+// generate / policy / feedback — with `policy` (Alg. 2 -> 4 -> 3) the
+// number under the real-time budget. Wall-clock comparisons follow the
+// matched-window A/B rule (EXPERIMENTS.md).
+//
+// Flags:
+//   --scns N         SCN count (default 2000, env LFSC_BENCH_SCNS)
+//   --shards N       LfscConfig::shards (0 = auto; implies parallel_scns)
+//   --slots N        timed slots (default 30, env LFSC_BENCH_T)
+//   --warmup N       untimed warmup slots (default 3)
+//   --force-scalar   pin the SIMD dispatch to the scalar kernel table
+//   --json PATH      write the JSON artifact (BENCH_city_scale.json at
+//                    the repo root tracks the city-scale trajectory)
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/simd.h"
+#include "common/stopwatch.h"
+#include "harness/paper_setup.h"
+#include "lfsc/lfsc_policy.h"
+#include "metrics/metrics.h"
+#include "telemetry/telemetry.h"
+
+namespace {
+
+using namespace lfsc;
+
+struct Options {
+  int scns = 0;
+  int shards = 0;
+  int slots = 0;
+  int warmup = 3;
+  bool force_scalar = false;
+  std::string json_path;
+};
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  opt.scns = env_int("LFSC_BENCH_SCNS", 2000);
+  opt.slots = env_int("LFSC_BENCH_T", 30);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scns") {
+      opt.scns = std::atoi(next());
+    } else if (arg == "--shards") {
+      opt.shards = std::atoi(next());
+    } else if (arg == "--slots") {
+      opt.slots = std::atoi(next());
+    } else if (arg == "--warmup") {
+      opt.warmup = std::atoi(next());
+    } else if (arg == "--force-scalar") {
+      opt.force_scalar = true;
+    } else if (arg == "--json") {
+      opt.json_path = next();
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  if (opt.scns <= 0) opt.scns = 1;
+  if (opt.slots <= 0) opt.slots = 1;
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  if (opt.force_scalar) simd::set_force_scalar(true);
+
+  PaperSetup setup;
+  setup.set_seed(42);
+  setup.set_num_scns(opt.scns);
+  setup.set_horizon(static_cast<std::size_t>(opt.slots + opt.warmup));
+  // City scale always runs the sharded pipeline; --shards 0 lets the
+  // policy pick (4x workers), a positive value pins the shard count.
+  setup.lfsc.parallel_scns = true;
+  setup.lfsc.shards = opt.shards;
+  auto sim = setup.make_simulator();
+  LfscPolicy policy(setup.net, setup.lfsc);
+
+  std::cerr << "[city_scale] " << setup.net.num_scns << " SCNs, c="
+            << setup.net.capacity_c << ", slots=" << opt.slots << " (+"
+            << opt.warmup << " warmup), shards=" << opt.shards
+            << " (0=auto), simd=" << simd::active_name() << ", telemetry="
+            << (telemetry::kEnabled ? "on" : "off") << "\n";
+
+  double cumulative_reward = 0.0;
+  double gen_s = 0.0, policy_s = 0.0, feedback_s = 0.0;
+  double sel_s = 0.0, obs_s = 0.0;
+  Stopwatch phase;
+  Slot slot;              // reused across slots (capacities stay warm)
+  Assignment assignment;  // likewise, via the select(info, out) overload
+  for (int t = 1; t <= opt.warmup + opt.slots; ++t) {
+    const bool timed = t > opt.warmup;
+    phase.reset();
+    sim.generate_slot(t, slot);
+    if (timed) gen_s += phase.seconds();
+
+    phase.reset();
+    policy.select(slot.info, assignment);
+    const double select_s = phase.seconds();
+
+    phase.reset();
+    const auto feedback = make_feedback(slot, assignment);
+    if (timed) feedback_s += phase.seconds();
+
+    phase.reset();
+    policy.observe(slot.info, assignment, feedback);
+    if (timed) {
+      const double observe_s = phase.seconds();
+      policy_s += select_s + observe_s;
+      sel_s += select_s;
+      obs_s += observe_s;
+    }
+
+    cumulative_reward += evaluate_slot(slot, assignment, setup.net).reward;
+  }
+
+  const auto slots = static_cast<double>(opt.slots);
+  const double total_s = gen_s + policy_s + feedback_s;
+  const double policy_rate = slots / policy_s;
+
+  std::printf("bucket      ms/slot      slots/sec\n");
+  std::printf("generate   %8.2f   %12.2f\n", 1e3 * gen_s / slots,
+              slots / gen_s);
+  std::printf("policy     %8.2f   %12.2f   <- Alg.2->4->3 (headline)\n",
+              1e3 * policy_s / slots, policy_rate);
+  std::printf("  select   %8.2f\n", 1e3 * sel_s / slots);
+  std::printf("  observe  %8.2f\n", 1e3 * obs_s / slots);
+  std::printf("feedback   %8.2f   %12.2f\n", 1e3 * feedback_s / slots,
+              slots / feedback_s);
+  std::printf("total      %8.2f   %12.2f\n", 1e3 * total_s / slots,
+              slots / total_s);
+  std::printf("cumulative reward %.6f\n", cumulative_reward);
+
+  if (!opt.json_path.empty()) {
+    std::ofstream out(opt.json_path);
+    if (!out) {
+      std::cerr << "cannot write " << opt.json_path << "\n";
+      return 1;
+    }
+    out.precision(10);
+    out << "{\n"
+        << "  \"benchmark\": \"city_scale\",\n"
+        << "  \"setup\": {\"num_scns\": " << setup.net.num_scns
+        << ", \"capacity_c\": " << setup.net.capacity_c
+        << ", \"tasks_per_scn\": [" << setup.coverage.tasks_per_scn_min
+        << ", " << setup.coverage.tasks_per_scn_max << "], \"slots\": "
+        << opt.slots << ", \"shards\": " << opt.shards
+        << ", \"simd\": \"" << simd::active_name() << "\", \"telemetry\": "
+        << (telemetry::kEnabled ? "true" : "false") << "},\n"
+        << "  \"policy_slots_per_sec\": " << policy_rate << ",\n"
+        << "  \"policy_ms_per_slot\": " << 1e3 * policy_s / slots << ",\n"
+        << "  \"select_ms_per_slot\": " << 1e3 * sel_s / slots << ",\n"
+        << "  \"observe_ms_per_slot\": " << 1e3 * obs_s / slots << ",\n"
+        << "  \"generate_slots_per_sec\": " << slots / gen_s << ",\n"
+        << "  \"feedback_slots_per_sec\": " << slots / feedback_s << ",\n"
+        << "  \"total_slots_per_sec\": " << slots / total_s << ",\n"
+        << "  \"cumulative_reward\": " << cumulative_reward << "\n"
+        << "}\n";
+    std::cerr << "json -> " << opt.json_path << "\n";
+  }
+  return 0;
+}

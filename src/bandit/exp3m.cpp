@@ -196,6 +196,152 @@ void exp3m_probabilities(std::span<const double> weights, std::size_t k,
   out.weight_sum = weight_sum;
 }
 
+void exp3m_grouped(std::span<const double> values,
+                   std::span<const std::uint32_t> counts, std::size_t k,
+                   double gamma, Exp3mGroupedResult& out,
+                   Exp3mGroupedScratch& scratch) {
+  const std::size_t num_groups = values.size();
+  if (k == 0) throw std::invalid_argument("exp3m: k must be >= 1");
+  if (gamma < 0.0 || gamma > 1.0) {
+    throw std::invalid_argument("exp3m: gamma must be in [0,1]");
+  }
+  double total = 0.0;
+  double max_weight = 0.0;
+  std::size_t num_arms = 0;
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    const double v = values[g];
+    if (!(v > 0.0) || !std::isfinite(v)) {
+      throw std::invalid_argument("exp3m: weights must be > 0 and finite");
+    }
+    total += v * static_cast<double>(counts[g]);
+    max_weight = std::max(max_weight, v);
+    num_arms += counts[g];
+  }
+
+  // Same degenerate-scale guard as the arm-level solve: re-express
+  // relative to the maximum (probabilities are scale-invariant).
+  if (num_groups > 0 && (!std::isfinite(total) || max_weight < 1e-100)) {
+    auto& scaled = scratch.scaled;
+    scaled.resize(num_groups);
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      scaled[g] = std::max(values[g] / max_weight, 1e-12);
+    }
+    exp3m_grouped(std::span<const double>(scaled), counts, k, gamma, out,
+                  scratch);
+    out.rescaled = true;
+    out.max_weight = max_weight;
+    return;
+  }
+
+  out = Exp3mGroupedResult{};
+  if (num_arms == 0) return;
+
+  const auto K = static_cast<double>(num_arms);
+  const auto kd = static_cast<double>(k);
+
+  if (num_arms <= k) {
+    out.all_capped = true;
+    out.num_capped = num_arms;
+    out.weight_sum = total;
+    return;
+  }
+  if (gamma >= 1.0) {
+    out.uniform = true;
+    out.base = kd / K;
+    out.weight_sum = total;
+    return;
+  }
+
+  const double rhs = (1.0 / kd - gamma / K) / (1.0 - gamma);
+
+  double epsilon = 0.0;
+  std::size_t num_capped = 0;
+  if (rhs > 0.0 && max_weight >= rhs * total) {
+    // Sort the groups by value descending (index ascending on ties, for
+    // determinism; tie order cannot change the solve).
+    auto& order = scratch.order;
+    order.resize(num_groups);
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      order[g] = static_cast<std::uint32_t>(g);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                if (values[a] != values[b]) return values[a] > values[b];
+                return a < b;
+              });
+    // suffix[j] = sum over sorted groups j..G-1 of value*count, built
+    // smallest-first like the arm-level tail to avoid cancellation.
+    auto& suffix = scratch.suffix;
+    suffix.resize(num_groups + 1);
+    suffix[num_groups] = 0.0;
+    for (std::size_t j = num_groups; j-- > 0;) {
+      const std::uint32_t g = order[j];
+      suffix[j] = suffix[j + 1] +
+                  values[g] * static_cast<double>(counts[g]);
+    }
+    // Scan candidate cut sizes: only group-boundary prefixes, in the
+    // same ascending order as the arm-level scan.
+    std::size_t cum = 0;
+    for (std::size_t j = 0; j + 1 < num_groups; ++j) {
+      cum += counts[order[j]];
+      const double denom = 1.0 - rhs * static_cast<double>(cum);
+      if (denom <= 0.0) break;
+      const double eps = rhs * suffix[j + 1] / denom;
+      if (values[order[j]] >= eps && values[order[j + 1]] < eps) {
+        epsilon = eps;
+        num_capped = cum;
+        break;
+      }
+    }
+    if (num_capped == 0) {
+      // Tie fallback: cap the top-k. tail(k) = total minus the k
+      // largest arms, splitting the group that spans arm rank k.
+      const double denom = 1.0 - rhs * kd;
+      std::size_t before = 0;
+      std::size_t j = 0;
+      while (before + counts[order[j]] <= k) {
+        before += counts[order[j]];
+        ++j;
+      }
+      const std::uint32_t g = order[j];
+      if (denom > 0.0) {
+        const auto beyond =
+            static_cast<double>(before + counts[g] - k);
+        const double tail_k = suffix[j + 1] + values[g] * beyond;
+        epsilon = rhs * tail_k / denom;
+      } else {
+        // values[order[j]] is the weight of arm rank k-1 when the
+        // boundary is interior to group j; when before == k the k-th
+        // largest arm is the last arm of group j-1.
+        epsilon = before == k ? values[order[j - 1]] : values[g];
+      }
+      num_capped = k;
+    }
+  }
+
+  double weight_sum = 0.0;
+  if (num_capped > 0) {
+    std::size_t remaining = num_capped;
+    for (std::size_t j = 0; j < num_groups; ++j) {
+      const std::uint32_t g = scratch.order[j];
+      const std::size_t c = counts[g];
+      const std::size_t take =
+          values[g] >= epsilon ? std::min(remaining, c) : 0;
+      remaining -= take;
+      weight_sum += static_cast<double>(take) * epsilon +
+                    static_cast<double>(c - take) * values[g];
+    }
+  } else {
+    weight_sum = total;
+  }
+
+  out.epsilon = epsilon;
+  out.num_capped = num_capped;
+  out.weight_sum = weight_sum;
+  out.scale = kd * (1.0 - gamma) / weight_sum;
+  out.base = kd * gamma / K;
+}
+
 double exp3m_default_gamma(std::size_t num_arms, std::size_t k,
                            std::size_t horizon) noexcept {
   if (num_arms == 0 || k == 0 || horizon == 0 || num_arms <= k) return 0.0;

@@ -67,6 +67,52 @@ void exp3m_probabilities(std::span<const double> weights, std::size_t k,
                          double gamma, CappedProbabilities& out,
                          Exp3mScratch& scratch);
 
+/// Scratch for the cell-grouped solve below.
+struct Exp3mGroupedScratch {
+  std::vector<std::uint32_t> order;  ///< group indices sorted by value desc
+  std::vector<double> suffix;  ///< suffix weighted sums over sorted groups
+  std::vector<double> scaled;  ///< numeric-guard normalized copy
+};
+
+/// Result of the cell-grouped epsilon solve. `epsilon`, `num_capped`
+/// and `weight_sum` have the same meaning as in CappedProbabilities
+/// (num_capped counts *arms*, not groups). `scale`/`base` are the
+/// loop-invariant marginal terms: p_i = clamp(scale * w'_i + base, 0, 1).
+/// When `all_capped` (K <= k) every arm has p = 1; when `uniform`
+/// (gamma >= 1) every arm has p = k/K (precomputed in `base`, scale 0).
+struct Exp3mGroupedResult {
+  double epsilon = 0.0;
+  std::size_t num_capped = 0;
+  double weight_sum = 0.0;
+  double scale = 0.0;
+  double base = 0.0;
+  bool all_capped = false;
+  bool uniform = false;
+  /// Numeric-guard path taken: epsilon/weight_sum/scale are expressed in
+  /// the max-normalized weight domain. Callers comparing raw weights
+  /// against `epsilon` must first map them with
+  /// max(w / max_weight, 1e-12).
+  bool rescaled = false;
+  double max_weight = 0.0;  ///< normalizer used when `rescaled`
+};
+
+/// Cell-grouped Exp3.M solve: the arms of one SCN slot share at most
+/// C distinct weights (one per hypercube cell), so the epsilon fixed
+/// point runs over (value, multiplicity) groups — O(C log C) instead of
+/// O(K + k log k) heap work per slot. `values[g]` is the weight shared
+/// by `counts[g]` arms; K = sum(counts). Exact equivalence with the
+/// arm-level solve: a consistent cut requires top[s-1] >= eps > top[s],
+/// i.e. a strict value boundary, so candidate cut sizes are exactly the
+/// group-boundary prefixes scanned here; interior (tied) boundaries
+/// fail the consistency test in both formulations. The tie fallback
+/// reproduces the arm-level epsilon = value of the k-th largest arm
+/// (the group containing arm rank k). Same validation, numeric-guard
+/// and gamma/K edge-case behavior as exp3m_probabilities.
+void exp3m_grouped(std::span<const double> values,
+                   std::span<const std::uint32_t> counts, std::size_t k,
+                   double gamma, Exp3mGroupedResult& out,
+                   Exp3mGroupedScratch& scratch);
+
 /// Theory-suggested exploration rate for Exp3.M:
 ///   gamma = min(1, sqrt(K ln(K/k) / ((e-1) k T))).
 double exp3m_default_gamma(std::size_t num_arms, std::size_t k,

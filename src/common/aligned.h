@@ -1,0 +1,59 @@
+// 64-byte-aligned storage for the SoA hot-path tables.
+//
+// The SIMD kernels in simd.h load 256-bit lanes; keeping every row of
+// the policy's structure-of-arrays blocks on a cache-line boundary lets
+// the vector loops use aligned loads and keeps rows from straddling
+// lines when shards write adjacent rows concurrently.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace lfsc {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Minimal std::allocator drop-in that over-aligns every allocation to
+/// a cache line. Works with std::vector so the SoA tables keep normal
+/// vector semantics (resize/assign/iteration) while guaranteeing
+/// 64-byte base alignment.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    const std::size_t bytes =
+        (n * sizeof(T) + kCacheLineBytes - 1) / kCacheLineBytes *
+        kCacheLineBytes;
+    void* p = ::operator new(bytes, std::align_val_t{kCacheLineBytes});
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kCacheLineBytes});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/// Rounds a row stride up so each row starts on a cache line
+/// (e.g. pad_stride<double>(27) == 32).
+template <typename T>
+constexpr std::size_t pad_stride(std::size_t n) noexcept {
+  const std::size_t per_line = kCacheLineBytes / sizeof(T);
+  return (n + per_line - 1) / per_line * per_line;
+}
+
+}  // namespace lfsc

@@ -5,31 +5,11 @@
 #include <numbers>
 
 namespace lfsc {
-namespace {
-
-constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-  return (x << k) | (x >> (64 - k));
-}
-
-}  // namespace
-
 Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed) noexcept {
   SplitMix64 sm(seed);
   for (auto& word : s_) word = sm.next();
   // An all-zero state is the one invalid state; SplitMix64 cannot emit four
   // consecutive zeros from any seed, so no further check is needed.
-}
-
-Xoshiro256StarStar::result_type Xoshiro256StarStar::operator()() noexcept {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
 }
 
 void Xoshiro256StarStar::jump() noexcept {
@@ -56,32 +36,6 @@ RngStream::RngStream(std::uint64_t seed, std::uint64_t stream_id) noexcept
         sm.next();
         return Xoshiro256StarStar(sm.next() ^ stream_id);
       }()) {}
-
-double RngStream::uniform() noexcept {
-  // 53 random bits -> double in [0, 1).
-  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
-}
-
-double RngStream::uniform(double lo, double hi) noexcept {
-  return lo + (hi - lo) * uniform();
-}
-
-std::int64_t RngStream::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
-  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
-  if (range == 0) {  // full 64-bit range requested
-    return static_cast<std::int64_t>(engine_());
-  }
-  // Lemire's nearly-divisionless bounded sampling with rejection to remove
-  // modulo bias.
-  const std::uint64_t threshold = (0 - range) % range;
-  for (;;) {
-    const std::uint64_t r = engine_();
-    const __uint128_t m = static_cast<__uint128_t>(r) * range;
-    if (static_cast<std::uint64_t>(m) >= threshold) {
-      return lo + static_cast<std::int64_t>(m >> 64);
-    }
-  }
-}
 
 bool RngStream::bernoulli(double p) noexcept {
   return uniform() < std::clamp(p, 0.0, 1.0);
@@ -123,18 +77,24 @@ std::size_t RngStream::discrete(std::span<const double> weights) noexcept {
 
 std::vector<std::size_t> RngStream::sample_without_replacement(
     std::size_t n, std::size_t k) noexcept {
+  std::vector<std::size_t> indices;
+  sample_without_replacement(n, k, indices);
+  return indices;
+}
+
+void RngStream::sample_without_replacement(
+    std::size_t n, std::size_t k, std::vector<std::size_t>& out) noexcept {
   // Partial Fisher-Yates over an index vector: O(n) setup, O(k) swaps.
-  std::vector<std::size_t> indices(n);
-  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+  out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = i;
   const std::size_t take = std::min(k, n);
   for (std::size_t i = 0; i < take; ++i) {
     const auto j = static_cast<std::size_t>(
         uniform_int(static_cast<std::int64_t>(i),
                     static_cast<std::int64_t>(n) - 1));
-    std::swap(indices[i], indices[j]);
+    std::swap(out[i], out[j]);
   }
-  indices.resize(take);
-  return indices;
+  out.resize(take);
 }
 
 }  // namespace lfsc

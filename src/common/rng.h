@@ -47,7 +47,19 @@ class Xoshiro256StarStar {
     return std::numeric_limits<result_type>::max();
   }
 
-  result_type operator()() noexcept;
+  // Inline: the simulator's per-slot loops draw tens of thousands of
+  // variates; an out-of-line call per draw dominated the generator.
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   /// Advances the state by 2^128 steps; used to derive parallel streams.
   void jump() noexcept;
@@ -58,6 +70,10 @@ class Xoshiro256StarStar {
   void restore(const std::array<std::uint64_t, 4>& s) noexcept { s_ = s; }
 
  private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<std::uint64_t, 4> s_;
 };
 
@@ -77,14 +93,37 @@ class RngStream {
  public:
   explicit RngStream(std::uint64_t seed, std::uint64_t stream_id = 0) noexcept;
 
+  // The unbounded/bounded uniform draws are inline for the same reason
+  // as the engine step: they are the per-arm / per-task hot path.
+
   /// Uniform double in [0, 1).
-  double uniform() noexcept;
+  double uniform() noexcept {
+    // 53 random bits -> double in [0, 1).
+    return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi). Requires lo <= hi.
-  double uniform(double lo, double hi) noexcept;
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
 
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
-  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) {  // full 64-bit range requested
+      return static_cast<std::int64_t>(engine_());
+    }
+    // Lemire's nearly-divisionless bounded sampling with rejection to
+    // remove modulo bias.
+    const std::uint64_t threshold = (0 - range) % range;
+    for (;;) {
+      const std::uint64_t r = engine_();
+      const __uint128_t m = static_cast<__uint128_t>(r) * range;
+      if (static_cast<std::uint64_t>(m) >= threshold) {
+        return lo + static_cast<std::int64_t>(m >> 64);
+      }
+    }
+  }
 
   /// True with probability p (clamped to [0, 1]).
   bool bernoulli(double p) noexcept;
@@ -117,6 +156,12 @@ class RngStream {
   /// returned in random order.
   std::vector<std::size_t> sample_without_replacement(std::size_t n,
                                                       std::size_t k) noexcept;
+
+  /// Allocation-reusing variant: fills `out` (resized) with the sample.
+  /// Identical draw sequence to the returning overload, which wraps this
+  /// one — callers may mix the two without desyncing a stream.
+  void sample_without_replacement(std::size_t n, std::size_t k,
+                                  std::vector<std::size_t>& out) noexcept;
 
   /// Raw 64 random bits.
   std::uint64_t bits() noexcept { return engine_(); }

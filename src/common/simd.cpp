@@ -1,0 +1,66 @@
+// Dispatch for the simd.h kernel table; rules documented in simd.h.
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/simd_constants.h"
+
+namespace lfsc::simd {
+namespace {
+
+// -1: not set programmatically (environment applies); 0/1: forced.
+std::atomic<int> g_force_scalar{-1};
+
+bool env_force_scalar() {
+  static const bool forced = [] {
+    const char* v = std::getenv("LFSC_FORCE_SCALAR");
+    if (v == nullptr) return false;
+    return !(v[0] == '\0' || std::strcmp(v, "0") == 0 ||
+             std::strcmp(v, "off") == 0 || std::strcmp(v, "OFF") == 0 ||
+             std::strcmp(v, "false") == 0);
+  }();
+  return forced;
+}
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(_M_X64)
+  static const bool has = __builtin_cpu_supports("avx2") &&
+                          __builtin_cpu_supports("fma");
+  return has;
+#else
+  return false;
+#endif
+}
+
+const Kernels* resolve() {
+#ifdef LFSC_FORCE_SCALAR_BUILD
+  return &detail::scalar_table();
+#else
+  const int forced = g_force_scalar.load(std::memory_order_relaxed);
+  if (forced == 1) return &detail::scalar_table();
+  if (forced == -1 && env_force_scalar()) return &detail::scalar_table();
+  const Kernels* avx2 = detail::avx2_table();
+  if (avx2 != nullptr && cpu_has_avx2()) return avx2;
+  return &detail::scalar_table();
+#endif
+}
+
+}  // namespace
+
+const Kernels& active() { return *resolve(); }
+
+const Kernels& scalar_kernels() { return detail::scalar_table(); }
+
+bool avx2_compiled() { return detail::avx2_table() != nullptr; }
+
+bool avx2_selected() { return resolve() == detail::avx2_table(); }
+
+const char* active_name() { return avx2_selected() ? "avx2" : "scalar"; }
+
+void set_force_scalar(bool force) {
+  g_force_scalar.store(force ? 1 : -1, std::memory_order_relaxed);
+}
+
+}  // namespace lfsc::simd

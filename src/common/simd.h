@@ -1,0 +1,98 @@
+// Runtime-dispatched vector kernels for the slot hot path.
+//
+// Two implementations sit behind one function-pointer table: a scalar
+// reference (simd_scalar.cpp, compiled with -ffp-contract=off) and an
+// AVX2+FMA build (simd_avx2.cpp, compiled with -mavx2 -mfma on x86-64).
+// The pair is *bit-exact by construction*: both follow the same
+// canonical operation order — blocked 4-accumulator reductions, the
+// same explicit fma() placements, the same polynomial exp/log — so the
+// only difference is how many lanes execute per instruction. Elementwise
+// IEEE ops (add/mul/div/min/max on finite inputs) are identical per
+// lane on both paths; test_simd.cpp asserts bitwise equality across the
+// whole table and test_simd_equivalence.cpp asserts whole-trajectory
+// equality of the policy under both.
+//
+// Dispatch: AVX2 is used when (a) the TU was compiled in, (b) the CPU
+// reports it, (c) the build was not configured with -DLFSC_FORCE_SCALAR=ON,
+// (d) the environment variable LFSC_FORCE_SCALAR is unset/0, and (e) no
+// test called set_force_scalar(true). The choice is process-wide and
+// cached after the first query.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lfsc::simd {
+
+/// The kernel table. All pointers are always non-null. Contracts:
+/// pointers may be unaligned unless noted; n may be 0; inputs finite
+/// unless noted.
+struct Kernels {
+  /// sum/max reduction over x[0..n): blocked over 4 accumulator lanes
+  /// (lane j takes x[i] with i % 4 == j), folded as
+  /// (acc0+acc2)+(acc1+acc3) and max-wise alike. n==0 -> sum 0, max -inf.
+  void (*sum_max)(const double* x, std::size_t n, double* sum, double* max);
+
+  /// out[i] = clamp(x[i] * scale + base, 0, 1) — mul and add unfused,
+  /// matching the arm-level Exp3.M solve bit for bit.
+  void (*scale_clamp01)(const double* x, std::size_t n, double scale,
+                        double base, double* out);
+
+  /// out[i] = capped[i] ? capped_p : cell_p[cells[i]]. Pure select +
+  /// gather, no arithmetic. capped is a byte mask (0 / nonzero).
+  void (*gather_select_prob)(const double* cell_p, const std::uint32_t* cells,
+                             const unsigned char* capped, double capped_p,
+                             std::size_t n, double* out);
+
+  /// out[i] = exp(x[i]) via the canonical polynomial (see simd_scalar.cpp);
+  /// requires |x| <= 64 (callers clamp to the policy's +-60 band).
+  /// Accuracy ~1 ulp over that range; both paths bit-identical.
+  void (*exp_stream)(const double* x, std::size_t n, double* out);
+
+  /// Efraimidis–Spirakis edge keys at float precision:
+  ///   (float)p[i] >= 1    -> 2.0f (capped arms outrank every sampled key)
+  ///   (float)p[i] <= 0    -> 0.0f
+  ///   otherwise           -> 1 / (1 - log(max((float)u[i], 1e-35f)) / (float)p[i])
+  /// log() is the canonical float polynomial shared by both paths.
+  void (*es_keys)(const double* p, const float* u, std::size_t n, float* keys);
+
+  /// w[i] = max(w[i] / max_w, floor) — lazy-renormalization pass.
+  void (*renorm_floor)(double* w, std::size_t n, double max_w, double floor);
+
+  /// out[i] = sum_g[i]/count[i] + lam_q*(sum_v[i]/count[i])
+  ///        - lam_r*(sum_q[i]/count[i]) — division-first, no fma,
+  /// exactly the reference transliteration's per-cell payoff.
+  /// count[i] == 0 yields inf/nan in that lane; callers skip untouched
+  /// cells, so those lanes are never read.
+  void (*ipw_payoff)(const double* sum_g, const double* sum_v,
+                     const double* sum_q, const std::uint32_t* count,
+                     std::size_t n, double lam_q, double lam_r, double* out);
+};
+
+/// Table picked by the dispatch rules above. Never null entries.
+const Kernels& active();
+
+/// The scalar reference table, regardless of dispatch.
+const Kernels& scalar_kernels();
+
+/// True when the AVX2 TU was compiled into this binary.
+bool avx2_compiled();
+
+/// True when active() currently resolves to the AVX2 table.
+bool avx2_selected();
+
+/// "avx2" or "scalar" — what active() resolves to right now.
+const char* active_name();
+
+/// Test/bench hook: force the scalar table (true) or restore normal
+/// dispatch (false). Overrides the environment variable. Not
+/// thread-safe against concurrent active() users; call between slots.
+void set_force_scalar(bool force);
+
+/// One element through the canonical polynomial exp (the exp_stream
+/// arithmetic; |x| <= 64). Sparse/rare weight-update paths — the
+/// delayed-feedback apply, the reference transliteration — call this so
+/// their trajectories stay bit-aligned with the vectorized update.
+double exp_canonical(double x);
+
+}  // namespace lfsc::simd

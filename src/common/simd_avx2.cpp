@@ -1,0 +1,278 @@
+// AVX2+FMA implementation of the simd.h kernel table.
+//
+// Every kernel mirrors the canonical operation order defined by
+// simd_scalar.cpp — same fma placements, same 4-lane reduction
+// blocking, same polynomials — so the two tables produce bitwise
+// identical results (asserted by tests/test_simd.cpp). Scalar tail
+// loops here copy the simd_scalar.cpp bodies verbatim; they contain
+// only single FP operations or explicit std::fma calls, so the
+// compiler's default contraction cannot alter them.
+//
+// This TU is compiled with -mavx2 -mfma on x86-64 (see
+// src/common/CMakeLists.txt); on other targets the table is absent and
+// avx2_table() returns nullptr.
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include "common/simd.h"
+#include "common/simd_constants.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+
+namespace lfsc::simd::detail {
+namespace {
+
+void sum_max_avx2(const double* x, std::size_t n, double* sum,
+                  double* max_out) {
+  __m256d acc = _mm256_setzero_pd();
+  __m256d mxv = _mm256_set1_pd(-std::numeric_limits<double>::infinity());
+  const std::size_t main = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < main; i += 4) {
+    const __m256d v = _mm256_loadu_pd(x + i);
+    acc = _mm256_add_pd(acc, v);
+    mxv = _mm256_max_pd(mxv, v);
+  }
+  double a[4], m[4];
+  _mm256_storeu_pd(a, acc);
+  _mm256_storeu_pd(m, mxv);
+  for (std::size_t i = main; i < n; ++i) {
+    const double v = x[i];
+    a[i - main] += v;
+    if (v > m[i - main]) m[i - main] = v;
+  }
+  *sum = (a[0] + a[2]) + (a[1] + a[3]);
+  const double m02 = m[0] > m[2] ? m[0] : m[2];
+  const double m13 = m[1] > m[3] ? m[1] : m[3];
+  *max_out = m02 > m13 ? m02 : m13;
+}
+
+void scale_clamp01_avx2(const double* x, std::size_t n, double scale,
+                        double base, double* out) {
+  const __m256d sv = _mm256_set1_pd(scale);
+  const __m256d bv = _mm256_set1_pd(base);
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // Unfused mul + add, mirroring the scalar kernel (and the arm-level
+    // Exp3.M solve) bit for bit.
+    __m256d v = _mm256_add_pd(_mm256_mul_pd(_mm256_loadu_pd(x + i), sv), bv);
+    v = _mm256_max_pd(v, zero);
+    v = _mm256_min_pd(v, one);
+    _mm256_storeu_pd(out + i, v);
+  }
+  for (; i < n; ++i) {
+    double v = x[i] * scale + base;
+    v = v > 0.0 ? v : 0.0;
+    v = v < 1.0 ? v : 1.0;
+    out[i] = v;
+  }
+}
+
+void gather_select_prob_avx2(const double* cell_p, const std::uint32_t* cells,
+                             const unsigned char* capped, double capped_p,
+                             std::size_t n, double* out) {
+  const __m256d cp = _mm256_set1_pd(capped_p);
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256d zpd = _mm256_setzero_pd();
+  // all-ones gather mask; the masked variant avoids gcc's
+  // maybe-uninitialized false positive on _mm256_undefined_pd().
+  const __m256d gmask = _mm256_cmp_pd(zpd, zpd, _CMP_EQ_OQ);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128i idx;
+    std::memcpy(&idx, cells + i, 16);
+    const __m256d g = _mm256_mask_i32gather_pd(zpd, cell_p, idx, gmask, 8);
+    std::uint32_t cb;
+    std::memcpy(&cb, capped + i, 4);
+    const __m256i c64 =
+        _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(static_cast<int>(cb)));
+    const __m256d mask = _mm256_castsi256_pd(_mm256_cmpgt_epi64(c64, zero));
+    _mm256_storeu_pd(out + i, _mm256_blendv_pd(g, cp, mask));
+  }
+  for (; i < n; ++i) {
+    out[i] = capped[i] != 0 ? capped_p : cell_p[cells[i]];
+  }
+}
+
+double exp_one(double x) {
+  const double t = x * kLog2E;
+  const double k = std::nearbyint(t);
+  double r = std::fma(k, -kLn2Hi, x);
+  r = std::fma(k, -kLn2Lo, r);
+  double p = kExpC[12];
+  for (int c = 11; c >= 0; --c) p = std::fma(p, r, kExpC[c]);
+  const auto ki = static_cast<std::int64_t>(k);
+  const double s = std::bit_cast<double>((ki + 1023) << 52);
+  return p * s;
+}
+
+void exp_stream_avx2(const double* x, std::size_t n, double* out) {
+  const __m256d log2e = _mm256_set1_pd(kLog2E);
+  const __m256d nln2hi = _mm256_set1_pd(-kLn2Hi);
+  const __m256d nln2lo = _mm256_set1_pd(-kLn2Lo);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d xv = _mm256_loadu_pd(x + i);
+    const __m256d t = _mm256_mul_pd(xv, log2e);
+    const __m256d k =
+        _mm256_round_pd(t, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    __m256d r = _mm256_fmadd_pd(k, nln2hi, xv);
+    r = _mm256_fmadd_pd(k, nln2lo, r);
+    __m256d p = _mm256_set1_pd(kExpC[12]);
+    for (int c = 11; c >= 0; --c) {
+      p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(kExpC[c]));
+    }
+    const __m128i k32 = _mm256_cvtpd_epi32(k);
+    const __m256i k64 = _mm256_cvtepi32_epi64(k32);
+    const __m256i sbits = _mm256_slli_epi64(
+        _mm256_add_epi64(k64, _mm256_set1_epi64x(1023)), 52);
+    const __m256d s = _mm256_castsi256_pd(sbits);
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(p, s));
+  }
+  for (; i < n; ++i) out[i] = exp_one(x[i]);
+}
+
+float log_one(float u) {
+  const auto bits = std::bit_cast<std::int32_t>(u);
+  std::int32_t e = (bits >> 23) - 127;
+  float m = std::bit_cast<float>((bits & 0x7FFFFF) | 0x3F800000);
+  if (m > kSqrt2F) {
+    m = m * 0.5f;
+    e += 1;
+  }
+  const float f = m - 1.0f;
+  const float s = f / (f + 2.0f);
+  const float z = s * s;
+  float w = std::fma(z, kLogC7, kLogC5);
+  w = std::fma(z, w, kLogC3);
+  w = std::fma(z, w, 2.0f);
+  const float r = s * w;
+  return std::fma(static_cast<float>(e), kLn2F, r);
+}
+
+void es_keys_avx2(const double* p, const float* u, std::size_t n,
+                  float* keys) {
+  const __m256 floor_u = _mm256_set1_ps(kEsFloorU);
+  const __m256 sqrt2 = _mm256_set1_ps(kSqrt2F);
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 two = _mm256_set1_ps(2.0f);
+  const __m256 c7 = _mm256_set1_ps(kLogC7);
+  const __m256 c5 = _mm256_set1_ps(kLogC5);
+  const __m256 c3 = _mm256_set1_ps(kLogC3);
+  const __m256 ln2 = _mm256_set1_ps(kLn2F);
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 capped_key = _mm256_set1_ps(kEsCappedKey);
+  const __m256i mant_mask = _mm256_set1_epi32(0x7FFFFF);
+  const __m256i one_bits = _mm256_set1_epi32(0x3F800000);
+  const __m256i bias = _mm256_set1_epi32(127);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128 plo = _mm256_cvtpd_ps(_mm256_loadu_pd(p + i));
+    const __m128 phi = _mm256_cvtpd_ps(_mm256_loadu_pd(p + i + 4));
+    const __m256 pf =
+        _mm256_insertf128_ps(_mm256_castps128_ps256(plo), phi, 1);
+    __m256 uv = _mm256_loadu_ps(u + i);
+    uv = _mm256_max_ps(uv, floor_u);
+    const __m256i bits = _mm256_castps_si256(uv);
+    __m256i e = _mm256_sub_epi32(_mm256_srli_epi32(bits, 23), bias);
+    __m256 m = _mm256_castsi256_ps(
+        _mm256_or_si256(_mm256_and_si256(bits, mant_mask), one_bits));
+    const __m256 adj = _mm256_cmp_ps(m, sqrt2, _CMP_GT_OQ);
+    m = _mm256_blendv_ps(m, _mm256_mul_ps(m, half), adj);
+    e = _mm256_sub_epi32(e, _mm256_castps_si256(adj));  // mask is -1: e += 1
+    const __m256 f = _mm256_sub_ps(m, one);
+    const __m256 s = _mm256_div_ps(f, _mm256_add_ps(f, two));
+    const __m256 z = _mm256_mul_ps(s, s);
+    __m256 w = _mm256_fmadd_ps(z, c7, c5);
+    w = _mm256_fmadd_ps(z, w, c3);
+    w = _mm256_fmadd_ps(z, w, two);
+    const __m256 r = _mm256_mul_ps(s, w);
+    const __m256 ef = _mm256_cvtepi32_ps(e);
+    const __m256 lg = _mm256_fmadd_ps(ef, ln2, r);
+    __m256 key =
+        _mm256_div_ps(one, _mm256_sub_ps(one, _mm256_div_ps(lg, pf)));
+    const __m256 pos = _mm256_cmp_ps(pf, zero, _CMP_GT_OQ);
+    key = _mm256_and_ps(key, pos);
+    const __m256 cm = _mm256_cmp_ps(pf, one, _CMP_GE_OQ);
+    key = _mm256_blendv_ps(key, capped_key, cm);
+    _mm256_storeu_ps(keys + i, key);
+  }
+  for (; i < n; ++i) {
+    const auto pf = static_cast<float>(p[i]);
+    const float uc = u[i] > kEsFloorU ? u[i] : kEsFloorU;
+    const float lg = log_one(uc);
+    float key = 1.0f / (1.0f - lg / pf);
+    if (pf <= 0.0f) key = 0.0f;
+    if (pf >= 1.0f) key = kEsCappedKey;
+    keys[i] = key;
+  }
+}
+
+void renorm_floor_avx2(double* w, std::size_t n, double max_w,
+                       double floor_v) {
+  const __m256d mv = _mm256_set1_pd(max_w);
+  const __m256d fv = _mm256_set1_pd(floor_v);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_div_pd(_mm256_loadu_pd(w + i), mv);
+    _mm256_storeu_pd(w + i, _mm256_max_pd(v, fv));
+  }
+  for (; i < n; ++i) {
+    const double v = w[i] / max_w;
+    w[i] = v > floor_v ? v : floor_v;
+  }
+}
+
+void ipw_payoff_avx2(const double* sum_g, const double* sum_v,
+                     const double* sum_q, const std::uint32_t* count,
+                     std::size_t n, double lam_q, double lam_r, double* out) {
+  const __m256d lr = _mm256_set1_pd(lam_r);
+  const __m256d lq = _mm256_set1_pd(lam_q);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128i c32;
+    std::memcpy(&c32, count + i, 16);
+    const __m256d cnt = _mm256_cvtepi32_pd(c32);
+    // Division-first, no fma — mirrors the scalar kernel (and the
+    // reference transliteration) bit for bit.
+    const __m256d eg = _mm256_div_pd(_mm256_loadu_pd(sum_g + i), cnt);
+    const __m256d ev = _mm256_div_pd(_mm256_loadu_pd(sum_v + i), cnt);
+    const __m256d eq = _mm256_div_pd(_mm256_loadu_pd(sum_q + i), cnt);
+    const __m256d acc =
+        _mm256_sub_pd(_mm256_add_pd(eg, _mm256_mul_pd(lq, ev)),
+                      _mm256_mul_pd(lr, eq));
+    _mm256_storeu_pd(out + i, acc);
+  }
+  for (; i < n; ++i) {
+    const double cnt = static_cast<double>(count[i]);
+    out[i] =
+        sum_g[i] / cnt + lam_q * (sum_v[i] / cnt) - lam_r * (sum_q[i] / cnt);
+  }
+}
+
+}  // namespace
+
+const Kernels* avx2_table() {
+  static const Kernels table{
+      &sum_max_avx2,     &scale_clamp01_avx2, &gather_select_prob_avx2,
+      &exp_stream_avx2,  &es_keys_avx2,       &renorm_floor_avx2,
+      &ipw_payoff_avx2,
+  };
+  return &table;
+}
+
+}  // namespace lfsc::simd::detail
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace lfsc::simd::detail {
+const Kernels* avx2_table() { return nullptr; }
+}  // namespace lfsc::simd::detail
+
+#endif

@@ -1,0 +1,55 @@
+// Shared constants for the canonical exp/log polynomials used by both
+// kernel implementations (simd_scalar.cpp and simd_avx2.cpp). Only
+// constants live here — the arithmetic is written out in each TU with
+// identical operation order, and bit-equality is enforced by
+// tests/test_simd.cpp.
+#pragma once
+
+namespace lfsc::simd {
+struct Kernels;
+}
+
+namespace lfsc::simd::detail {
+
+/// Defined in simd_scalar.cpp.
+const Kernels& scalar_table();
+
+/// Defined in simd_avx2.cpp; nullptr when the binary lacks AVX2 codegen
+/// (non-x86 target).
+const Kernels* avx2_table();
+
+// exp(x), double. Range reduction x = n*ln2 + r with ln2 split in two
+// so fma(n, -ln2_hi, x) is exact for |n| <= 1024; r in [-ln2/2, ln2/2].
+// Degree-12 Taylor keeps the truncation term below 2e-16 relative.
+inline constexpr double kLog2E = 1.4426950408889634074;
+inline constexpr double kLn2Hi = 6.93147180369123816490e-01;
+inline constexpr double kLn2Lo = 1.90821492927058770002e-10;
+inline constexpr double kExpC[13] = {
+    1.0,                        // 1/0!
+    1.0,                        // 1/1!
+    0.5,                        // 1/2!
+    1.6666666666666666e-01,     // 1/3!
+    4.1666666666666664e-02,     // 1/4!
+    8.3333333333333332e-03,     // 1/5!
+    1.3888888888888889e-03,     // 1/6!
+    1.9841269841269841e-04,     // 1/7!
+    2.4801587301587302e-05,     // 1/8!
+    2.7557319223985893e-06,     // 1/9!
+    2.7557319223985888e-07,     // 1/10!
+    2.5052108385441720e-08,     // 1/11!
+    2.0876756987868100e-09,     // 1/12!
+};
+
+// log(u), float, u in [1e-35, 1]. Mantissa split at sqrt(2) so
+// f = m - 1 is in [-0.2929, 0.4142]; then the atanh form
+// log(1+f) = s*(2 + (2/3)z + (2/5)z^2 + (2/7)z^3), s = f/(f+2),
+// z = s*s keeps |s| <= 0.1716 and the truncation below 3e-8.
+inline constexpr float kSqrt2F = 1.41421356f;
+inline constexpr float kLn2F = 0.693147180f;
+inline constexpr float kLogC7 = 2.0f / 7.0f;
+inline constexpr float kLogC5 = 2.0f / 5.0f;
+inline constexpr float kLogC3 = 2.0f / 3.0f;
+inline constexpr float kEsFloorU = 1e-35f;
+inline constexpr float kEsCappedKey = 2.0f;
+
+}  // namespace lfsc::simd::detail

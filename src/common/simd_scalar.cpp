@@ -1,0 +1,155 @@
+// Scalar reference implementation of the simd.h kernel table.
+//
+// This TU is the canonical definition of every kernel's arithmetic:
+// the AVX2 TU mirrors the exact operation order (same fma placements,
+// same reduction blocking, same polynomials) so the two tables are
+// bitwise identical. It is compiled with -ffp-contract=off so the
+// compiler cannot fuse the mul/add pairs that are deliberately written
+// unfused (fusing them here would diverge from the AVX2 code, which
+// only fuses where an explicit fma() appears).
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/simd.h"
+#include "common/simd_constants.h"
+
+namespace lfsc::simd::detail {
+namespace {
+
+void sum_max_scalar(const double* x, std::size_t n, double* sum,
+                    double* max_out) {
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  double mx[4];
+  for (double& v : mx) v = -std::numeric_limits<double>::infinity();
+  const std::size_t main = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < main; i += 4) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      const double v = x[i + j];
+      acc[j] += v;
+      if (v > mx[j]) mx[j] = v;
+    }
+  }
+  for (std::size_t i = main; i < n; ++i) {
+    const double v = x[i];
+    acc[i - main] += v;
+    if (v > mx[i - main]) mx[i - main] = v;
+  }
+  *sum = (acc[0] + acc[2]) + (acc[1] + acc[3]);
+  const double m02 = mx[0] > mx[2] ? mx[0] : mx[2];
+  const double m13 = mx[1] > mx[3] ? mx[1] : mx[3];
+  *max_out = m02 > m13 ? m02 : m13;
+}
+
+void scale_clamp01_scalar(const double* x, std::size_t n, double scale,
+                          double base, double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    // Deliberately unfused mul + add: matches the arm-level Exp3.M solve
+    // (exp3m_probabilities) bit for bit, so swapping it for this kernel
+    // does not perturb the trajectory.
+    double v = x[i] * scale + base;
+    v = v > 0.0 ? v : 0.0;
+    v = v < 1.0 ? v : 1.0;
+    out[i] = v;
+  }
+}
+
+void gather_select_prob_scalar(const double* cell_p, const std::uint32_t* cells,
+                               const unsigned char* capped, double capped_p,
+                               std::size_t n, double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = capped[i] != 0 ? capped_p : cell_p[cells[i]];
+  }
+}
+
+double exp_one(double x) {
+  const double t = x * kLog2E;
+  const double k = std::nearbyint(t);
+  double r = std::fma(k, -kLn2Hi, x);
+  r = std::fma(k, -kLn2Lo, r);
+  double p = kExpC[12];
+  for (int c = 11; c >= 0; --c) p = std::fma(p, r, kExpC[c]);
+  const auto ki = static_cast<std::int64_t>(k);
+  const double s = std::bit_cast<double>((ki + 1023) << 52);
+  return p * s;
+}
+
+void exp_stream_scalar(const double* x, std::size_t n, double* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = exp_one(x[i]);
+}
+
+float log_one(float u) {
+  const auto bits = std::bit_cast<std::int32_t>(u);
+  std::int32_t e = (bits >> 23) - 127;
+  float m = std::bit_cast<float>((bits & 0x7FFFFF) | 0x3F800000);
+  if (m > kSqrt2F) {
+    m = m * 0.5f;
+    e += 1;
+  }
+  const float f = m - 1.0f;
+  const float s = f / (f + 2.0f);
+  const float z = s * s;
+  float w = std::fma(z, kLogC7, kLogC5);
+  w = std::fma(z, w, kLogC3);
+  w = std::fma(z, w, 2.0f);
+  const float r = s * w;
+  return std::fma(static_cast<float>(e), kLn2F, r);
+}
+
+void es_keys_scalar(const double* p, const float* u, std::size_t n,
+                    float* keys) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto pf = static_cast<float>(p[i]);
+    const float uc = u[i] > kEsFloorU ? u[i] : kEsFloorU;
+    const float lg = log_one(uc);
+    float key = 1.0f / (1.0f - lg / pf);
+    if (pf <= 0.0f) key = 0.0f;
+    if (pf >= 1.0f) key = kEsCappedKey;
+    keys[i] = key;
+  }
+}
+
+void renorm_floor_scalar(double* w, std::size_t n, double max_w,
+                         double floor_v) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = w[i] / max_w;
+    w[i] = v > floor_v ? v : floor_v;
+  }
+}
+
+void ipw_payoff_scalar(const double* sum_g, const double* sum_v,
+                       const double* sum_q, const std::uint32_t* count,
+                       std::size_t n, double lam_q, double lam_r, double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    // Division-first association, no fma: exactly the reference
+    // transliteration's est_g + λ·est_v − λ'·est_q, so the kernel slots
+    // into the update path without perturbing the trajectory.
+    const double cnt = static_cast<double>(count[i]);
+    out[i] =
+        sum_g[i] / cnt + lam_q * (sum_v[i] / cnt) - lam_r * (sum_q[i] / cnt);
+  }
+}
+
+}  // namespace
+
+const Kernels& scalar_table() {
+  static const Kernels table{
+      &sum_max_scalar,     &scale_clamp01_scalar, &gather_select_prob_scalar,
+      &exp_stream_scalar,  &es_keys_scalar,       &renorm_floor_scalar,
+      &ipw_payoff_scalar,
+  };
+  return table;
+}
+
+}  // namespace lfsc::simd::detail
+
+namespace lfsc::simd {
+
+double exp_canonical(double x) {
+  double out;
+  detail::scalar_table().exp_stream(&x, 1, &out);
+  return out;
+}
+
+}  // namespace lfsc::simd

@@ -41,8 +41,9 @@ PersistentRunResult run_persistent_experiment(
   double wait_sum = 0.0;
   const auto& net = sim.network();
 
+  Slot slot;  // reused across the horizon (capacities stay warm)
   for (int t = 1; t <= config.horizon; ++t) {
-    Slot slot = sim.generate_slot(t);
+    sim.generate_slot(t, slot);
     const std::size_t fresh_count = slot.info.tasks.size();
     stats.total_tasks += static_cast<long>(fresh_count);
 

@@ -199,8 +199,9 @@ ExperimentResult run_experiment(SlotSource& sim,
     result.telemetry_series = std::move(ck.telemetry_series);
     // Fast-forward the world: stateful sources (mobility) need slots in
     // order, and the task-id sequence must continue where it left off.
+    Slot skipped;
     for (int t = 1; t <= ck.completed_slots; ++t) {
-      (void)sim.generate_slot(t);
+      sim.generate_slot(t, skipped);
     }
     start_t = ck.completed_slots + 1;
     last_checkpoint_t = ck.completed_slots;
@@ -211,6 +212,11 @@ ExperimentResult run_experiment(SlotSource& sim,
   const auto& net = sim.network();
   const std::size_t num_scns = static_cast<std::size_t>(net.num_scns);
   int completed = start_t - 1;
+  // One Slot reused across the horizon: by the second slot its vector
+  // capacities are warm and generation allocates nothing. Same for the
+  // per-policy assignments, via the select(info, out) reuse overload.
+  Slot slot;
+  std::vector<Assignment> assignments(policies.size());
   for (int t = start_t; t <= config.horizon; ++t) {
     if (config.stop != nullptr &&
         config.stop->load(std::memory_order_relaxed)) {
@@ -218,7 +224,7 @@ ExperimentResult run_experiment(SlotSource& sim,
       break;
     }
     if (faults_on) faults->begin_slot(t);
-    Slot slot = sim.generate_slot(t);
+    sim.generate_slot(t, slot);
     if (admission_on) (void)admission->admit(slot);
     if (faults_on && faults->down_scns() > 0) {
       // A down SCN accepts nothing this slot: its coverage vanishes
@@ -266,9 +272,12 @@ ExperimentResult run_experiment(SlotSource& sim,
 
     const auto step_policy = [&](std::size_t k) {
       Policy& policy = *policies[k];
-      const Assignment assignment = policy.needs_realizations()
-                                        ? policy.select_omniscient(slot)
-                                        : policy.select(slot.info);
+      Assignment& assignment = assignments[k];
+      if (policy.needs_realizations()) {
+        assignment = policy.select_omniscient(slot);
+      } else {
+        policy.select(slot.info, assignment);
+      }
       if (config.validate) {
         if (const auto error = validate_assignment(slot.info, assignment, net)) {
           throw std::logic_error("policy " + std::string(policy.name()) +

@@ -112,6 +112,15 @@ struct LfscConfig {
   /// process-wide default_thread_pool(). Not owned.
   class ThreadPool* pool = nullptr;
 
+  /// Shard count for the parallel per-SCN phases: SCNs are split into
+  /// this many contiguous ranges, each dispatched as one pool task and
+  /// timed under its own `lfsc.shard.busy` telemetry stream. Results
+  /// stay bit-identical for any shard or worker count (per-SCN state,
+  /// RNG streams and telemetry streams are disjoint; shard aggregates
+  /// merge in shard order). Valid: >= 0; 0 picks 4 blocks per pool
+  /// worker. Ignored (one shard) when `parallel_scns` is false.
+  int shards = 0;
+
   /// Root seed for every stream-keyed RNG the policy owns. Valid: any.
   /// Default: 1234. Two policies with equal config and seed replay the
   /// same trajectory bit-for-bit.

@@ -4,11 +4,13 @@
 #include <cmath>
 #include <istream>
 #include <ostream>
+#include <span>
 #include <stdexcept>
 #include <string>
 
 #include "common/binio.h"
 #include "common/log.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "lfsc/audit.h"
 
@@ -35,6 +37,12 @@ constexpr double kScaleHigh = 1e6;
 /// stores the task index in 16 bits. Bigger slots take the unpacked
 /// bucketed path (same keys, same order, wider fields).
 constexpr std::size_t kPackedMaxTasks = 0x10000;
+
+/// Edge count where the greedy switches from the packed merge heaps to
+/// the stable-radix variant. Below this the heaps' "only consumed edges
+/// pay a sift" property wins; above it the edge list spills L2 and the
+/// radix's sequential passes beat the heaps' random access.
+constexpr std::size_t kRadixMinEdges = 256;
 
 /// Degraded-feedback guard (DESIGN.md §9): rejects observations whose
 /// fields a corrupted control channel could have poisoned — non-finite
@@ -69,28 +77,74 @@ LfscPolicy::LfscPolicy(const NetworkConfig& net, LfscConfig config)
                  : 1.0 / std::sqrt(static_cast<double>(
                              std::max<std::size_t>(1, config.horizon)))) {
   net_.validate();
+  if (config_.shards < 0) {
+    throw std::invalid_argument("LfscConfig: shards must be >= 0");
+  }
   if (gamma_ <= 0.0) gamma_ = 0.01;  // degenerate auto-formula inputs
   gamma_ = std::min(gamma_, 1.0);
   overload_ = OverloadController(config_.overload);  // validates
   cache_active_ = overload_.enabled();
   quarantined_.assign(static_cast<std::size_t>(net_.num_scns), 0);
-  scn_state_.reserve(static_cast<std::size_t>(net_.num_scns));
+
+  const auto scns = static_cast<std::size_t>(net_.num_scns);
+  scn_state_.reserve(scns);
   for (int m = 0; m < net_.num_scns; ++m) {
     scn_state_.emplace_back(
-        partition_.cell_count(), eta_lambda_, delta_, config_.lambda_max,
+        eta_lambda_, delta_, config_.lambda_max,
         RngStream(config_.seed,
                   kScnStreamBase + static_cast<std::uint64_t>(m)));
+  }
+
+  // SoA hypercube tables (DESIGN.md §12): one padded, cache-line-aligned
+  // row per SCN so dense per-cell passes vectorize and sharded writers
+  // never share a line.
+  cells_ = partition_.cell_count();
+  stride_ = pad_stride<double>(cells_);
+  stride32_ = pad_stride<std::uint32_t>(cells_);
+  stride8_ = pad_stride<unsigned char>(cells_);
+  weights_.assign(scns * stride_, 0.0);
+  cell_prob_.assign(scns * stride_, -1.0);
+  cell_p_.assign(scns * stride_, 0.0);
+  solve_values_.assign(scns * stride_, 0.0);
+  ipw_g_.assign(scns * stride_, 0.0);
+  ipw_v_.assign(scns * stride_, 0.0);
+  ipw_q_.assign(scns * stride_, 0.0);
+  payoff_.assign(scns * stride_, 0.0);
+  expo_.assign(scns * stride_, 0.0);
+  expw_.assign(scns * stride_, 0.0);
+  ipw_n_.assign(scns * stride32_, 0);
+  cell_count_.assign(scns * stride32_, 0);
+  cube_capped_.assign(scns * stride8_, 0);
+  for (std::size_t m = 0; m < scns; ++m) {
+    std::fill(weight_row(m), weight_row(m) + cells_, 1.0);
+  }
+
+  // Shard plan: contiguous SCN ranges, resolved once so the per-slot
+  // dispatch is just an indexed loop. Serial runs use one shard.
+  std::size_t shard_target = 1;
+  if (config_.parallel_scns) {
+    ThreadPool& pool =
+        config_.pool != nullptr ? *config_.pool : default_thread_pool();
+    shard_target = config_.shards > 0
+                       ? static_cast<std::size_t>(config_.shards)
+                       : 4 * std::max<std::size_t>(1, pool.worker_count());
+  }
+  num_shards_ = std::clamp<std::size_t>(shard_target, 1,
+                                        std::max<std::size_t>(1, scns));
+  shard_start_.resize(num_shards_ + 1);
+  for (std::size_t s = 0; s <= num_shards_; ++s) {
+    shard_start_[s] = s * scns / num_shards_;
   }
 
   // Telemetry registration (schema in DESIGN.md §8); per-SCN metrics are
   // sharded with one stream per SCN so the parallel_scns phases write
   // race-free and aggregate reads merge in SCN order (deterministic).
-  const auto scns = static_cast<std::size_t>(net_.num_scns);
   tel_select_ = &telemetry_.timer("lfsc.select");
   tel_observe_ = &telemetry_.timer("lfsc.observe");
   tel_calculating_ = &telemetry_.timer("lfsc.alg2.calculating");
   tel_greedy_ = &telemetry_.timer("lfsc.alg4.greedy_select");
   tel_updating_ = &telemetry_.timer("lfsc.alg3.updating");
+  tel_shard_busy_ = &telemetry_.timer("lfsc.shard.busy", "s", num_shards_);
   tel_slots_ = &telemetry_.counter("lfsc.slots", "slots");
   tel_accepted_ = &telemetry_.counter("lfsc.scn.accepted", "tasks", scns);
   tel_rejected_ = &telemetry_.counter("lfsc.feedback.rejected", "tasks", scns);
@@ -152,18 +206,33 @@ bool LfscPolicy::set_slot_budget(std::uint32_t budget_us) {
 template <typename Fn>
 void LfscPolicy::for_each_scn(const Fn& fn) {
   const std::size_t count = scn_state_.size();
-  if (config_.parallel_scns) {
+  if (num_shards_ > 1) {
+    const auto run_shard = [&](std::size_t s) {
+      const telemetry::ScopedTimer shard_timer(*tel_shard_busy_, s);
+      // One deadline probe per shard (not per SCN: a clock read per SCN
+      // would dominate small cells). A blown budget latches shard_shed_
+      // so the remaining shards skip straight through their SCNs — the
+      // counting mid-slot check after this phase sheds the slot, and
+      // elapsed time is monotone, so the probe can never fire on a slot
+      // the official check would keep.
+      if (probe_active_ && !shard_shed_.load(std::memory_order_relaxed) &&
+          overload_.over_budget_probe()) {
+        shard_shed_.store(true, std::memory_order_relaxed);
+      }
+      for (std::size_t m = shard_start_[s]; m < shard_start_[s + 1]; ++m) {
+        fn(m);
+      }
+    };
     ThreadPool& pool =
         config_.pool != nullptr ? *config_.pool : default_thread_pool();
     if (pool.worker_count() > 1) {
-      // A handful of blocks per worker balances load without paying one
-      // task enqueue per SCN.
-      const std::size_t grain =
-          std::max<std::size_t>(1, count / (4 * pool.worker_count()));
-      parallel_for(pool, count, grain,
-                   [&fn](std::size_t m) { fn(m); });
-      return;
+      parallel_for(pool, num_shards_, 1, run_shard);
+    } else {
+      // Pool degenerated to one worker: run the same shard ranges inline
+      // so the per-shard telemetry streams stay populated.
+      for (std::size_t s = 0; s < num_shards_; ++s) run_shard(s);
     }
+    return;
   }
   for (std::size_t m = 0; m < count; ++m) fn(m);
 }
@@ -171,35 +240,112 @@ void LfscPolicy::for_each_scn(const Fn& fn) {
 void LfscPolicy::calculate_probabilities(std::size_t m, const SlotInfo& info) {
   auto& state = scn_state_[m];
   const auto& cover = info.coverage[m];
+  const std::size_t num_tasks = cover.size();
+  const auto c = static_cast<std::size_t>(net_.capacity_c);
+  const simd::Kernels& kr = simd::active();
 
-  // Alg. 2 lines 1-5: look up each covered task's hypercube (computed
-  // once per slot in task_cells_) and the hypercube's weight as the task
-  // weight.
-  state.last_cells.resize(cover.size());
-  state.task_weights.resize(cover.size());
-  for (std::size_t j = 0; j < cover.size(); ++j) {
-    const std::size_t cell = task_cells_[static_cast<std::size_t>(cover[j])];
-    state.last_cells[j] = cell;
-    state.task_weights[j] = state.weights[cell];
+  // Alg. 2 lines 1-5 on the SoA row: histogram the covered tasks into
+  // hypercube groups. All arms of one cell share the cube's weight, so
+  // the epsilon fixed point runs over (weight, multiplicity) groups
+  // (exp3m_grouped) — O(C log C) instead of a heap over all K arms.
+  std::uint32_t* cnt = count_row(m);
+  auto& cells = state.last_cells;
+  auto& gcells = state.group_cells;
+  cells.resize(num_tasks);
+  gcells.clear();
+  for (std::size_t j = 0; j < num_tasks; ++j) {
+    const auto cell = static_cast<std::uint32_t>(
+        task_cells_[static_cast<std::size_t>(cover[j])]);
+    cells[j] = cell;
+    if (cnt[cell]++ == 0) gcells.push_back(cell);
+  }
+  const std::size_t groups = gcells.size();
+  auto& gv = state.group_values;
+  auto& gc = state.group_counts;
+  gv.resize(groups);
+  gc.resize(groups);
+  const double* w = weight_row(m);
+  for (std::size_t g = 0; g < groups; ++g) {
+    gv[g] = w[gcells[g]];
+    gc[g] = cnt[gcells[g]];
+  }
+  // The count row is reused next slot: restore its zeros (O(groups)).
+  for (std::size_t g = 0; g < groups; ++g) cnt[gcells[g]] = 0;
+
+  Exp3mGroupedResult res;
+  exp3m_grouped(gv, gc, c, gamma_, res, state.grouped_scratch);
+
+  auto& out = state.last;
+  out.p.resize(num_tasks);
+  out.capped.assign(num_tasks, 0);
+  state.last_solve_exact = 1;
+
+  if (res.all_capped) {
+    // Fewer arms than plays: every arm is selected with certainty.
+    std::fill(out.p.begin(), out.p.end(), 1.0);
+    std::fill(out.capped.begin(), out.capped.end(), 1);
+    out.num_capped = num_tasks;
+    out.epsilon = 0.0;
+    out.weight_sum = res.weight_sum;
+  } else if (res.uniform) {
+    // gamma == 1 is pure exploration: uniform marginals k/K (< 1 here).
+    std::fill(out.p.begin(), out.p.end(), res.base);
+    out.num_capped = 0;
+    out.epsilon = 0.0;
+    out.weight_sum = res.weight_sum;
+  } else {
+    // Values in the solve's domain: the raw weight row, or the
+    // max-normalized copy when the numeric guard rescaled (rare).
+    const double* val = w;
+    if (res.rescaled) {
+      double* sv = solve_row(m);
+      for (std::size_t cell = 0; cell < cells_; ++cell) {
+        sv[cell] = std::max(w[cell] / res.max_weight, 1e-12);
+      }
+      val = sv;
+    }
+    // Per-cell uncapped marginal clamp(scale*w + base, 0, 1), one SIMD
+    // pass over the row (C lanes); lanes for cells absent this slot are
+    // computed but never gathered.
+    double* cellp = cell_p_row(m);
+    kr.scale_clamp01(val, cells_, res.scale, res.base, cellp);
+    const double capped_p =
+        std::clamp(res.scale * res.epsilon + res.base, 0.0, 1.0);
+    // Capped marking: the same global arm-order countdown as the
+    // arm-level reference — arms with value >= epsilon, first
+    // num_capped only, so exact ties beyond the fixed point stay
+    // uncapped and |S'| and the flags match exp3m_probabilities bit for
+    // bit.
+    std::size_t remaining = res.num_capped;
+    if (remaining > 0) {
+      const double eps = res.epsilon;
+      for (std::size_t j = 0; j < num_tasks && remaining > 0; ++j) {
+        if (val[cells[j]] >= eps) {
+          out.capped[j] = 1;
+          --remaining;
+        }
+      }
+    }
+    // Per-arm expansion: gather each arm's cell marginal, capped arms
+    // take the shared capped probability.
+    kr.gather_select_prob(cellp, cells.data(), out.capped.data(), capped_p,
+                          num_tasks, out.p.data());
+    out.num_capped = res.num_capped;
+    out.epsilon = res.epsilon;
+    out.weight_sum = res.weight_sum;
   }
 
-  // Alg. 2 lines 6-17: capped Exp3.M probabilities with c plays.
-  // Probabilities are invariant to the raw weight scale, so no
-  // normalization is needed first.
-  exp3m_probabilities(state.task_weights,
-                      static_cast<std::size_t>(net_.capacity_c), gamma_,
-                      state.last, state.exp3m_scratch);
-  state.last_solve_exact = 1;
   if (cache_active_) {
     // Remember each cell's exact-solve probability for the
     // explore-capped rung; invalidated when the cell's weight moves.
-    for (std::size_t j = 0; j < cover.size(); ++j) {
-      state.cell_prob[state.last_cells[j]] = state.last.p[j];
+    double* cprob = cell_prob_row(m);
+    for (std::size_t j = 0; j < num_tasks; ++j) {
+      cprob[cells[j]] = out.p[j];
     }
   }
 
   // |S'| this slot: arms whose probability the Exp3.M cap clipped to 1.
-  tel_capset_->observe(static_cast<double>(state.last.num_capped), m);
+  tel_capset_->observe(static_cast<double>(out.num_capped), m);
 }
 
 void LfscPolicy::calculate_probabilities_degraded(std::size_t m,
@@ -211,13 +357,15 @@ void LfscPolicy::calculate_probabilities_degraded(std::size_t m,
 
   state.last_cells.resize(num_tasks);
   state.task_weights.resize(num_tasks);
+  const double* w = weight_row(m);
   double sum_w = 0.0;
   for (std::size_t j = 0; j < num_tasks; ++j) {
-    const std::size_t cell = task_cells_[static_cast<std::size_t>(cover[j])];
+    const auto cell = static_cast<std::uint32_t>(
+        task_cells_[static_cast<std::size_t>(cover[j])]);
     state.last_cells[j] = cell;
-    const double w = state.weights[cell];
-    state.task_weights[j] = w;
-    sum_w += w;
+    const double wj = w[cell];
+    state.task_weights[j] = wj;
+    sum_w += wj;
   }
 
   auto& out = state.last;
@@ -253,10 +401,11 @@ void LfscPolicy::calculate_probabilities_degraded(std::size_t m,
   const double scale = (sum_w > 0.0 && std::isfinite(sum_w))
                            ? (1.0 - gamma_deg) * cd / sum_w
                            : 0.0;
+  const double* cprob = cell_prob_row(m);
   std::size_t capped = 0;
   for (std::size_t j = 0; j < num_tasks; ++j) {
-    const double cached = cache_active_ ? state.cell_prob[state.last_cells[j]]
-                                        : -1.0;
+    const double cached =
+        cache_active_ ? cprob[state.last_cells[j]] : -1.0;
     double p;
     if (cached >= 0.0) {
       p = cached;
@@ -282,6 +431,12 @@ void LfscPolicy::calculate_probabilities_degraded(std::size_t m,
 }
 
 Assignment LfscPolicy::select(const SlotInfo& info) {
+  Assignment out;
+  select(info, out);
+  return out;
+}
+
+void LfscPolicy::select(const SlotInfo& info, Assignment& out) {
   if (info.coverage.size() != scn_state_.size()) {
     throw std::invalid_argument("LfscPolicy: SCN count mismatch");
   }
@@ -296,9 +451,9 @@ Assignment LfscPolicy::select(const SlotInfo& info) {
   if (slot_rung_ == DegradeRung::kShed) {
     // Shed slot: accept nothing. Constraints (1a)/(1b) hold vacuously;
     // observe() will still step the dual ascent from the empty slot.
-    Assignment out;
     out.selected.resize(num_scns);
-    return out;
+    for (auto& sel : out.selected) sel.clear();
+    return;
   }
 
   task_cells_.resize(info.tasks.size());
@@ -325,16 +480,16 @@ Assignment LfscPolicy::select(const SlotInfo& info) {
         }
       });
     }
-    Assignment out;
     out.selected.resize(num_scns);
     for (std::size_t m = 0; m < num_scns; ++m) {
       auto& state = scn_state_[m];
       const auto picks = dep_round(state.last.p, state.rng);
       auto& sel = out.selected[m];
+      sel.clear();
       sel.reserve(picks.size());
       for (const auto j : picks) sel.push_back(static_cast<int>(j));
     }
-    return out;
+    return;
   }
 
   // Per-SCN edge ranges: offsets are a prefix sum over coverage sizes,
@@ -354,6 +509,9 @@ Assignment LfscPolicy::select(const SlotInfo& info) {
   // instead of u^(1/p) we use the strictly increasing transform
   //   key = 1 / (1 - ln(u)/p)  in (0, 1],
   // which selects identical sets while avoiding the exp() per edge.
+  // The uniforms are drawn for the whole coverage up front (one per
+  // arm, including capped and zero arms, keeping the stream layout
+  // data-independent) and the keys come out of the es_keys SIMD kernel.
   // `deterministic_edges` reproduces the literal paper weighting
   // w(m,i) ∝ p.
   //
@@ -368,14 +526,24 @@ Assignment LfscPolicy::select(const SlotInfo& info) {
   } else {
     wide_entries_.resize(num_edges);
   }
+  shard_shed_.store(false, std::memory_order_relaxed);
+  probe_active_ = overload_.enabled();
   {
     // Phase wall time, one sample per slot (see the note in the
     // uncoordinated branch). Includes the per-SCN edge-key build, which
     // consumes Alg. 2's probabilities in the same pass.
     const telemetry::ScopedTimer calc_timer(*tel_calculating_);
     for_each_scn([&](std::size_t m) {
+      // A shard probe found the budget blown: the slot is about to be
+      // shed by the mid-slot check below, so skip the remaining Alg. 2
+      // work (only reached on budgeted slots, which are wall-clock
+      // dependent — and therefore non-deterministic — already).
+      if (probe_active_ && shard_shed_.load(std::memory_order_relaxed)) {
+        return;
+      }
       auto& state = scn_state_[m];
       const auto& cover = info.coverage[m];
+      const std::size_t num_tasks = cover.size();
       const auto offset = static_cast<std::size_t>(bucket_start_[m]);
       const DegradeRung rung = effective_rung(m);
 
@@ -384,12 +552,13 @@ Assignment LfscPolicy::select(const SlotInfo& info) {
         // of each task's hypercube (scale-normalized so keys stay in
         // [0, 1]; a corrupt quarantined table sanitizes to key 0). No
         // probabilities are produced and no RNG is drawn.
+        const double* w = weight_row(m);
         const double inv_scale =
             state.weight_scale > 0.0 ? 1.0 / state.weight_scale : 0.0;
-        for (std::size_t j = 0; j < cover.size(); ++j) {
+        for (std::size_t j = 0; j < num_tasks; ++j) {
           const std::size_t cell =
               task_cells_[static_cast<std::size_t>(cover[j])];
-          const double wn = state.weights[cell] * inv_scale;
+          const double wn = w[cell] * inv_scale;
           const float key = (std::isfinite(wn) && wn > 0.0)
                                 ? static_cast<float>(std::min(wn, 1.0))
                                 : 0.0f;
@@ -410,55 +579,76 @@ Assignment LfscPolicy::select(const SlotInfo& info) {
       } else {
         calculate_probabilities(m, info);
       }
-      for (std::size_t j = 0; j < cover.size(); ++j) {
-        const double p = state.last.p[j];
-        float key;
-        if (config_.deterministic_edges || degraded) {
-          // Degraded rungs keep edge keys deterministic (key = p): the
-          // E-S sampling draw is skipped, both to save the log() and to
-          // leave the RNG stream untouched by degraded slots.
-          key = static_cast<float>(p);
-        } else if (p >= 1.0) {
-          key = 2.0f;  // capped arms outrank every sampled key
-        } else if (p > 0.0) {
-          // float log: the key only feeds comparisons, and the coarser
-          // rounding keeps the sample exchangeable (extra float-level ties
-          // resolve deterministically by task index).
-          const auto u = static_cast<float>(state.rng.uniform());
-          key = 1.0f / (1.0f - std::log(std::max(u, 1e-35f)) /
-                                   static_cast<float>(p));
-        } else {
-          key = 0.0f;
+      const double* p = state.last.p.data();
+      const float* keys = nullptr;
+      if (config_.deterministic_edges || degraded) {
+        // Degraded rungs keep edge keys deterministic (key = p): the
+        // E-S sampling draw is skipped, both to save the uniforms and
+        // to leave the RNG stream untouched by degraded slots.
+        auto& kbuf = state.es_keys;
+        kbuf.resize(num_tasks);
+        for (std::size_t j = 0; j < num_tasks; ++j) {
+          kbuf[j] = static_cast<float>(p[j]);
         }
-        if (packed) {
+        keys = kbuf.data();
+      } else {
+        auto& u = state.es_u;
+        auto& kbuf = state.es_keys;
+        u.resize(num_tasks);
+        kbuf.resize(num_tasks);
+        for (std::size_t j = 0; j < num_tasks; ++j) {
+          u[j] = static_cast<float>(state.rng.uniform());
+        }
+        simd::active().es_keys(p, u.data(), num_tasks, kbuf.data());
+        keys = kbuf.data();
+      }
+      if (packed) {
+        for (std::size_t j = 0; j < num_tasks; ++j) {
           entries_[offset + j] =
-              pack_greedy_entry(key, cover[j], static_cast<int>(j));
-        } else {
-          wide_entries_[offset + j] = {static_cast<double>(key), cover[j],
+              pack_greedy_entry(keys[j], cover[j], static_cast<int>(j));
+        }
+      } else {
+        for (std::size_t j = 0; j < num_tasks; ++j) {
+          wide_entries_[offset + j] = {static_cast<double>(keys[j]), cover[j],
                                        static_cast<int>(j)};
         }
       }
     });
   }
+  probe_active_ = false;
 
   // Mid-slot deadline check between Alg. 2 and Alg. 4: when the budget
   // is already gone, shed the rest of the slot (the ladder escalates at
   // end_slot from the full measurement).
   if (overload_.should_shed_mid_slot()) {
     slot_rung_ = DegradeRung::kShed;
-    Assignment out;
     out.selected.resize(num_scns);
-    return out;
+    for (auto& sel : out.selected) sel.clear();
+    return;
   }
 
-  Assignment out;
   {
+    // The greedy entry points below resize+clear `out` themselves, so a
+    // reused assignment keeps its warm per-SCN list capacity.
     const telemetry::ScopedTimer greedy_timer(*tel_greedy_);
     if (packed) {
-      greedy_select_packed(static_cast<int>(num_scns),
-                           static_cast<int>(info.tasks.size()),
-                           net_.capacity_c, bucket_start_, entries_, out,
-                           greedy_scratch_);
+      // Fallback chain radix -> packed -> wide: at city scale the edge
+      // list outgrows L2 and the merge heaps' random access loses to
+      // the radix variant's sequential passes; below the threshold the
+      // heaps' consume-only-P-edges property wins. Both produce the
+      // identical assignment (entries are staged tasks-ascending per
+      // bucket), so the cutover is purely a performance decision.
+      if (num_edges >= kRadixMinEdges) {
+        greedy_select_radix(static_cast<int>(num_scns),
+                            static_cast<int>(info.tasks.size()),
+                            net_.capacity_c, bucket_start_, entries_, out,
+                            greedy_scratch_);
+      } else {
+        greedy_select_packed(static_cast<int>(num_scns),
+                             static_cast<int>(info.tasks.size()),
+                             net_.capacity_c, bucket_start_, entries_, out,
+                             greedy_scratch_);
+      }
     } else {
       greedy_select_bucketed(static_cast<int>(num_scns),
                              static_cast<int>(info.tasks.size()),
@@ -466,7 +656,15 @@ Assignment LfscPolicy::select(const SlotInfo& info) {
                              out, greedy_scratch_);
     }
   }
-  return out;
+}
+
+void LfscPolicy::reset_slot_rows(std::size_t m) noexcept {
+  std::fill(ipw_g_row(m), ipw_g_row(m) + cells_, 0.0);
+  std::fill(ipw_v_row(m), ipw_v_row(m) + cells_, 0.0);
+  std::fill(ipw_q_row(m), ipw_q_row(m) + cells_, 0.0);
+  std::fill(ipw_n_row(m), ipw_n_row(m) + cells_, 0u);
+  std::fill(cube_capped_row(m), cube_capped_row(m) + cells_,
+            static_cast<unsigned char>(0));
 }
 
 void LfscPolicy::update_scn(std::size_t m, const SlotInfo& info,
@@ -493,22 +691,35 @@ void LfscPolicy::update_scn(std::size_t m, const SlotInfo& info,
     return;
   }
 
-  // Alg. 3 lines 1-8: IPW estimates per task, averaged per hypercube.
-  // Presence first (every covered task grows its cell's divisor), then
-  // the sparse IPW contributions of the selected tasks only — no dense
-  // per-task staging buffers. Insane observations (corrupted feedback
-  // channel: NaN/infinite/out-of-range fields) are rejected before they
-  // touch any estimate, as if that one observation had been lost.
-  auto& acc = state.acc;
+  // Alg. 3 lines 1-8: IPW estimates per task, accumulated per hypercube
+  // in the SCN's SoA rows. Presence first (every covered task grows its
+  // cell's divisor), then the sparse IPW contributions of the selected
+  // tasks only — no dense per-task staging buffers. Insane observations
+  // (corrupted feedback channel: NaN/infinite/out-of-range fields) are
+  // rejected before they touch any estimate, as if that one observation
+  // had been lost.
+  const auto& cells = state.last_cells;
+  double* sum_g = ipw_g_row(m);
+  double* sum_v = ipw_v_row(m);
+  double* sum_q = ipw_q_row(m);
+  std::uint32_t* count = ipw_n_row(m);
+  unsigned char* capped = cube_capped_row(m);
+  // First-touch order of the covered cells. Part of the numeric
+  // contract (DESIGN.md §10): the floor a cell receives in the
+  // write-back depends on the running peak *so far*, so the sweep must
+  // visit cells in the same order as the reference transliteration.
+  auto& touched_cells = state.touched_cells;
+  touched_cells.clear();
   for (std::size_t j = 0; j < num_tasks; ++j) {
-    acc.add_presence(state.last_cells[j]);
+    if (count[cells[j]]++ == 0) touched_cells.push_back(cells[j]);
   }
+  const std::size_t touched = touched_cells.size();
   double completed_sum = 0.0;
   double resource_sum = 0.0;
   for (const auto& f : feedback) {
     const auto j = static_cast<std::size_t>(f.local_index);
     if (j >= num_tasks) {
-      acc.reset();
+      reset_slot_rows(m);
       throw std::out_of_range("LfscPolicy: bad feedback index");
     }
     if (!feedback_sane(f)) {
@@ -516,9 +727,14 @@ void LfscPolicy::update_scn(std::size_t m, const SlotInfo& info,
       continue;
     }
     const double p = state.last.p.empty() ? 0.0 : state.last.p[j];
-    const double g = f.q > 0.0 ? f.u * f.v / f.q : 0.0;
-    acc.add_selected(state.last_cells[j], p, g, f.v,
-                     f.q / 2.0);  // q normalized to [0,1] for the update
+    if (p > 0.0) {
+      const double g = f.q > 0.0 ? f.u * f.v / f.q : 0.0;
+      const std::uint32_t cell = cells[j];
+      sum_g[cell] += g / p;
+      sum_v[cell] += f.v / p;
+      // q normalized to [0,1] for the update
+      sum_q[cell] += (f.q / 2.0) / p;
+    }
     completed_sum += f.v;
     resource_sum += f.q;
   }
@@ -535,15 +751,8 @@ void LfscPolicy::update_scn(std::size_t m, const SlotInfo& info,
 
   // A hypercube is "capped" this slot if any of its present tasks was in
   // S' (they share the same weight, so capping is a per-weight property).
-  state.capped_cells.clear();
   for (std::size_t j = 0; j < num_tasks; ++j) {
-    if (state.last.capped[j]) {
-      const std::size_t cell = state.last_cells[j];
-      if (state.cube_capped[cell] == 0) {
-        state.cube_capped[cell] = 1;
-        state.capped_cells.push_back(cell);
-      }
-    }
+    if (state.last.capped[j]) capped[cells[j]] = 1;
   }
 
   // Freeze this slot's update inputs for late arrivals: eta_t, the
@@ -560,47 +769,61 @@ void LfscPolicy::update_scn(std::size_t m, const SlotInfo& info,
     pend.lambda_res = lambda_res;
     pend.entries.clear();
     for (const int j : selected) {
-      const std::size_t cell = state.last_cells[static_cast<std::size_t>(j)];
-      if (state.cube_capped[cell] != 0) continue;
+      const std::uint32_t cell = cells[static_cast<std::size_t>(j)];
+      if (capped[cell] != 0) continue;
       pend.entries.push_back(
-          {j, static_cast<std::uint32_t>(cell),
-           state.last.p[static_cast<std::size_t>(j)],
-           1.0 / static_cast<double>(acc.presence(cell))});
+          {j, cell, state.last.p[static_cast<std::size_t>(j)],
+           1.0 / static_cast<double>(count[cell])});
     }
   }
 
-  // Alg. 3 lines 9-14: exponential update for touched, uncapped cubes —
-  // O(touched), not O(table). The eager floor relative to the running
-  // max bound keeps every weight representable and strictly positive
-  // without rescaling the whole table each slot. A non-finite payoff
-  // cannot normally occur (inputs are sanitized, p has the gamma floor)
-  // but skipping it is cheap insurance against poisoning the table.
-  for (const std::size_t cell : acc.touched_cells()) {
-    if (state.cube_capped[cell] != 0) continue;
-    const double payoff = acc.estimate_g(cell) +
-                          lambda_qos * acc.estimate_v(cell) -
-                          lambda_res * acc.estimate_q(cell);
-    if (!std::isfinite(payoff)) continue;
-    const double exponent =
-        std::clamp(eta_t * payoff, -kMaxExponent, kMaxExponent);
-    const double updated = std::max(state.weights[cell] * std::exp(exponent),
-                                    state.weight_scale * kWeightFloor);
-    state.weights[cell] = updated;
-    state.weight_scale = std::max(state.weight_scale, updated);
-    if (cache_active_) state.cell_prob[cell] = -1.0;  // cached p is stale
+  // Alg. 3 lines 9-14, dense over the SCN's row: the IPW payoff and the
+  // exponentials run through the SIMD kernels (C lanes per SCN beats
+  // sparse scalar exp() for the hypercube counts this policy runs), and
+  // the selective write-back touches only present, uncapped cubes. The
+  // eager floor relative to the running max bound keeps every weight
+  // representable and strictly positive without rescaling the whole
+  // table each slot. A non-finite payoff cannot normally occur (inputs
+  // are sanitized, p has the gamma floor) but skipping it is cheap
+  // insurance against poisoning the table.
+  const simd::Kernels& kr = simd::active();
+  double* pay = payoff_row(m);
+  double* expo = expo_row(m);
+  double* expw = expw_row(m);
+  kr.ipw_payoff(sum_g, sum_v, sum_q, count, cells_, lambda_qos, lambda_res,
+                pay);
+  for (std::size_t cell = 0; cell < cells_; ++cell) {
+    double e = 0.0;
+    if (count[cell] != 0 && capped[cell] == 0 && std::isfinite(pay[cell])) {
+      e = std::clamp(eta_t * pay[cell], -kMaxExponent, kMaxExponent);
+    }
+    expo[cell] = e;
   }
+  kr.exp_stream(expo, cells_, expw);
+  double* w = weight_row(m);
+  double* cprob = cache_active_ ? cell_prob_row(m) : nullptr;
+  double weight_scale = state.weight_scale;
+  // Write-back in first-touch order, not index order: the evolving
+  // weight_scale floor makes the sweep order part of the trajectory.
+  for (const std::uint32_t cell : touched_cells) {
+    if (capped[cell] != 0 || !std::isfinite(pay[cell])) continue;
+    const double updated =
+        std::max(w[cell] * expw[cell], weight_scale * kWeightFloor);
+    w[cell] = updated;
+    weight_scale = std::max(weight_scale, updated);
+    if (cprob != nullptr) cprob[cell] = -1.0;  // cached p is stale
+  }
+  state.weight_scale = weight_scale;
   // Scale invariance of Alg. 2 lets us defer the max-renormalization
   // until the scale drifts out of band; this keeps weights bounded over
   // arbitrarily long horizons at amortized O(1) per touched cell.
-  if (state.weight_scale > kScaleHigh) renormalize(state);
+  if (state.weight_scale > kScaleHigh) renormalize(m);
 
-  tel_occupancy_->observe(static_cast<double>(acc.touched_cells().size()), m);
+  tel_occupancy_->observe(static_cast<double>(touched), m);
 
-  // Reset the slot accumulator now (O(touched)) so the next slot starts
-  // clean without a full-table sweep.
-  acc.reset();
-  for (const std::size_t cell : state.capped_cells) state.cube_capped[cell] = 0;
-  state.capped_cells.clear();
+  // Reset the slot rows now (an O(cells) fill — cells is tiny) so the
+  // next slot starts clean.
+  reset_slot_rows(m);
 
   // Alg. 3 lines 15-17: dual ascent on the multipliers.
   state.multipliers.update(completed_sum, resource_sum, net_.qos_alpha,
@@ -702,7 +925,8 @@ int LfscPolicy::audit_now() {
     ++audit_checks_;
     ++checked;
     auto& state = scn_state_[m];
-    std::string err = audit_weight_table(state.weights, state.weight_scale);
+    std::string err = audit_weight_table(
+        std::span<const double>(weight_row(m), cells_), state.weight_scale);
     if (err.empty() && !state.last.p.empty()) {
       err = audit_probabilities(state.last.p, state.last.capped,
                                 net_.capacity_c, state.last_solve_exact != 0);
@@ -815,37 +1039,45 @@ void LfscPolicy::apply_delayed_scn(std::size_t m, const PendingScn& pend,
   // Exponential update with the frozen eta_t: exp(eta*A)*exp(eta*B) =
   // exp(eta*(A+B)), so late batches compose exactly with the on-time
   // update. Multipliers are not touched (they stepped at observe(t)).
+  // This path is rare and sparse, so it stays on shared scalar code
+  // (exp_canonical — the exp_stream arithmetic, SIMD-mode invariant).
+  double* w = weight_row(m);
+  double* cprob = cache_active_ ? cell_prob_row(m) : nullptr;
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const std::size_t cell = cells[i];
     const double exponent =
         std::clamp(pend.eta_t * payoff[i], -kMaxExponent, kMaxExponent);
-    const double updated = std::max(state.weights[cell] * std::exp(exponent),
+    const double updated = std::max(w[cell] * simd::exp_canonical(exponent),
                                     state.weight_scale * kWeightFloor);
-    state.weights[cell] = updated;
+    w[cell] = updated;
     state.weight_scale = std::max(state.weight_scale, updated);
-    if (cache_active_) state.cell_prob[cell] = -1.0;  // cached p is stale
+    if (cprob != nullptr) cprob[cell] = -1.0;  // cached p is stale
   }
-  if (state.weight_scale > kScaleHigh) renormalize(state);
+  if (state.weight_scale > kScaleHigh) renormalize(m);
 }
 
-void LfscPolicy::renormalize(ScnState& state) {
+void LfscPolicy::renormalize(std::size_t m) {
+  auto& state = scn_state_[m];
+  double* w = weight_row(m);
+  const simd::Kernels& kr = simd::active();
+  double sum = 0.0;
   double max_weight = 0.0;
-  for (const double w : state.weights) max_weight = std::max(max_weight, w);
+  kr.sum_max(w, cells_, &sum, &max_weight);
   if (max_weight > 0.0) {
-    for (auto& w : state.weights) {
-      w = std::max(w / max_weight, kWeightFloor);
-    }
+    kr.renorm_floor(w, cells_, max_weight, kWeightFloor);
   }
   state.weight_scale = 1.0;
   // Every weight just moved: drop the explore-capped probability cache
   // (rare O(cells) path, so the unconditional sweep is in budget).
-  std::fill(state.cell_prob.begin(), state.cell_prob.end(), -1.0);
+  double* cprob = cell_prob_row(m);
+  std::fill(cprob, cprob + cells_, -1.0);
 }
 
-const std::vector<double>& LfscPolicy::weights(int scn) {
-  auto& state = scn_state_[static_cast<std::size_t>(scn)];
-  renormalize(state);
-  return state.weights;
+std::vector<double> LfscPolicy::weights(int scn) {
+  const auto m = static_cast<std::size_t>(scn);
+  renormalize(m);
+  const double* w = weight_row(m);
+  return std::vector<double>(w, w + cells_);
 }
 
 namespace {
@@ -857,15 +1089,20 @@ void LfscPolicy::save(std::ostream& out) const {
   out << kStateMagic << ' ' << kStateVersion << '\n';
   out << scn_state_.size() << ' ' << partition_.cell_count() << '\n';
   out.precision(17);
-  for (const auto& state : scn_state_) {
+  for (std::size_t m = 0; m < scn_state_.size(); ++m) {
+    const auto& state = scn_state_[m];
     out << state.multipliers.qos() << ' ' << state.multipliers.resource();
     // Emit the normalized view (max == 1, floored) without mutating the
     // lazily-scaled internal table: same arithmetic as renormalize().
+    const double* w = weight_row(m);
     double max_weight = 0.0;
-    for (const double w : state.weights) max_weight = std::max(max_weight, w);
-    for (const double w : state.weights) {
+    for (std::size_t cell = 0; cell < cells_; ++cell) {
+      max_weight = std::max(max_weight, w[cell]);
+    }
+    for (std::size_t cell = 0; cell < cells_; ++cell) {
       out << ' '
-          << (max_weight > 0.0 ? std::max(w / max_weight, kWeightFloor) : w);
+          << (max_weight > 0.0 ? std::max(w[cell] / max_weight, kWeightFloor)
+                               : w[cell]);
     }
     out << '\n';
   }
@@ -885,7 +1122,8 @@ void LfscPolicy::load(std::istream& in) {
         "LfscPolicy::load: state shape does not match this policy "
         "(SCN count or partition differs)");
   }
-  for (auto& state : scn_state_) {
+  for (std::size_t m = 0; m < scn_state_.size(); ++m) {
+    auto& state = scn_state_[m];
     double qos = 0.0, res = 0.0;
     if (!(in >> qos >> res)) {
       throw std::runtime_error("LfscPolicy::load: truncated multipliers");
@@ -898,20 +1136,23 @@ void LfscPolicy::load(std::istream& in) {
           "LfscPolicy::load: non-finite Lagrange multiplier");
     }
     state.multipliers.restore(qos, res);
-    for (auto& w : state.weights) {
-      if (!(in >> w) || !(w > 0.0) || !std::isfinite(w)) {
+    double* w = weight_row(m);
+    for (std::size_t cell = 0; cell < cells_; ++cell) {
+      if (!(in >> w[cell]) || !(w[cell] > 0.0) || !std::isfinite(w[cell])) {
         throw std::runtime_error("LfscPolicy::load: bad weight value");
       }
     }
-    renormalize(state);
+    renormalize(m);
   }
 }
 
 namespace {
 /// Exact-image checkpoint blob version (independent of the portable
-/// warm-start format above). v2 (this PR) adds the overload-ladder
-/// block and, per SCN, the quarantine flag, the exact-solve marker and
-/// the explore-capped probability cache.
+/// warm-start format above). v2 adds the overload-ladder block and, per
+/// SCN, the quarantine flag, the exact-solve marker and the
+/// explore-capped probability cache. The SoA refactor did not change
+/// the format: rows serialize as the same length-C spans the AoS layout
+/// emitted.
 constexpr std::uint32_t kCheckpointVersion = 2;
 }  // namespace
 
@@ -936,14 +1177,15 @@ void LfscPolicy::save_checkpoint(std::string& out) const {
     w.f64(state.multipliers.resource());
     // Raw-scaled weights, bit-exact: the normalized view save() emits
     // would perturb subsequent floor/renormalization arithmetic.
-    w.f64_span(state.weights);
+    w.f64_span(std::span<const double>(weight_row(m), cells_));
     const RngStreamState rng = state.rng.state();
     for (const auto word : rng.engine) w.u64(word);
     w.f64(rng.cached_normal);
     w.u8(rng.has_cached_normal ? 1 : 0);
     w.u8(quarantined_[m]);
     w.u8(state.last_solve_exact);
-    w.f64_span(state.cell_prob);
+    w.f64_span(std::span<const double>(
+        cell_prob_.data() + m * stride_, cells_));
   }
   if (max_delay_ > 0) {
     w.u32(static_cast<std::uint32_t>(pending_.size()));
@@ -1014,11 +1256,11 @@ void LfscPolicy::load_checkpoint(std::string_view blob) {
           "LfscPolicy: non-finite checkpoint multiplier");
     }
     state.multipliers.restore(qos, res);
-    auto weights = r.f64_vec();
-    if (weights.size() != state.weights.size()) {
+    const auto weights = r.f64_vec();
+    if (weights.size() != cells_) {
       throw std::runtime_error("LfscPolicy: checkpoint weight table size");
     }
-    state.weights = std::move(weights);
+    std::copy(weights.begin(), weights.end(), weight_row(m));
     RngStreamState rng;
     for (auto& word : rng.engine) word = r.u64();
     rng.cached_normal = r.f64();
@@ -1034,15 +1276,15 @@ void LfscPolicy::load_checkpoint(std::string_view blob) {
     // flag records exactly that, and the greedy-only serving path
     // sanitizes it — so strict validation applies only to live tables.
     if (quarantined == 0) {
-      for (const double wv : state.weights) {
+      for (const double wv : weights) {
         if (!(wv > 0.0) || !std::isfinite(wv)) {
           throw std::runtime_error("LfscPolicy: corrupt checkpoint weight");
         }
       }
     }
     state.last_solve_exact = r.u8() != 0 ? 1 : 0;
-    auto cell_prob = r.f64_vec();
-    if (cell_prob.size() != state.cell_prob.size()) {
+    const auto cell_prob = r.f64_vec();
+    if (cell_prob.size() != cells_) {
       throw std::runtime_error("LfscPolicy: checkpoint probability-cache size");
     }
     for (const double p : cell_prob) {
@@ -1053,7 +1295,7 @@ void LfscPolicy::load_checkpoint(std::string_view blob) {
             "LfscPolicy: corrupt checkpoint probability cache");
       }
     }
-    state.cell_prob = std::move(cell_prob);
+    std::copy(cell_prob.begin(), cell_prob.end(), cell_prob_row(m));
   }
   if (max_delay_ > 0) {
     if (r.u32() != pending_.size()) {
@@ -1089,16 +1331,16 @@ void LfscPolicy::load_checkpoint(std::string_view blob) {
 void LfscPolicy::reset() {
   for (std::size_t m = 0; m < scn_state_.size(); ++m) {
     auto& state = scn_state_[m];
-    std::fill(state.weights.begin(), state.weights.end(), 1.0);
+    std::fill(weight_row(m), weight_row(m) + cells_, 1.0);
     state.weight_scale = 1.0;
     state.multipliers.reset();
     state.last.p.clear();
     state.last.capped.clear();
     state.last_cells.clear();
-    state.acc.reset();
-    std::fill(state.cube_capped.begin(), state.cube_capped.end(), 0);
-    state.capped_cells.clear();
-    std::fill(state.cell_prob.begin(), state.cell_prob.end(), -1.0);
+    reset_slot_rows(m);
+    std::fill(count_row(m), count_row(m) + cells_, 0u);
+    double* cprob = cell_prob_row(m);
+    std::fill(cprob, cprob + cells_, -1.0);
     state.last_solve_exact = 0;
     state.rng = RngStream(config_.seed,
                           kScnStreamBase + static_cast<std::uint64_t>(m));
@@ -1109,6 +1351,8 @@ void LfscPolicy::reset() {
   }
   overload_.reset();
   slot_rung_ = DegradeRung::kFull;
+  shard_shed_.store(false, std::memory_order_relaxed);
+  probe_active_ = false;
   std::fill(quarantined_.begin(), quarantined_.end(), 0);
   quarantine_count_ = 0;
   audit_checks_ = 0;

@@ -8,15 +8,20 @@
 //     with Lagrangian constraint terms, and dual ascent on the
 //     multipliers.
 //
-// Performance contract (see DESIGN.md "Performance"): the per-slot path
-// select() -> observe() performs no heap allocation in steady state
-// beyond the returned Assignment; the weight update is O(touched cells)
-// per SCN, not O(table); and every SCN draws from its own stream-keyed
-// RngStream, so the per-SCN phases can run on a thread pool
-// (LfscConfig::parallel_scns) with bit-identical results for any worker
-// count.
+// Performance contract (see DESIGN.md "Performance" and §12): the
+// per-slot path select() -> observe() performs no heap allocation in
+// steady state beyond the returned Assignment; per-hypercube state is
+// kept in structure-of-arrays tables (one cache-line-aligned row per
+// SCN) so the dense per-cell passes run through the runtime-dispatched
+// SIMD kernels in src/common/simd.h; the Alg. 2 epsilon fixed point is
+// solved over (weight, multiplicity) cell groups instead of per arm;
+// and every SCN draws from its own stream-keyed RngStream, so the
+// per-SCN phases can run sharded on a thread pool
+// (LfscConfig::parallel_scns / LfscConfig::shards) with bit-identical
+// results for any worker or shard count.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
@@ -24,9 +29,9 @@
 #include <string_view>
 #include <vector>
 
-#include "bandit/estimators.h"
 #include "bandit/exp3m.h"
 #include "bandit/partition.h"
+#include "common/aligned.h"
 #include "common/rng.h"
 #include "lfsc/config.h"
 #include "lfsc/lagrange.h"
@@ -43,6 +48,7 @@ class LfscPolicy final : public Policy {
 
   std::string_view name() const noexcept override { return "LFSC"; }
   Assignment select(const SlotInfo& info) override;
+  void select(const SlotInfo& info, Assignment& out) override;
   void observe(const SlotInfo& info, const Assignment& assignment,
                const SlotFeedback& feedback) override;
   void reset() override;
@@ -96,7 +102,7 @@ class LfscPolicy final : public Policy {
   /// directly, bypassing every guard the update path has. The auditor
   /// exists to catch exactly this kind of corruption.
   void debug_set_weight(int scn, std::size_t cell, double value) {
-    scn_state_[static_cast<std::size_t>(scn)].weights[cell] = value;
+    weights_[static_cast<std::size_t>(scn) * stride_ + cell] = value;
   }
 
   // --- crash-safe checkpointing (DESIGN.md §9) ---
@@ -115,9 +121,10 @@ class LfscPolicy final : public Policy {
   const HypercubePartition& partition() const noexcept { return partition_; }
 
   /// Hypercube weights of SCN `m`, normalized so max == 1. Weights are
-  /// kept raw-scaled internally (lazy renormalization); this accessor
-  /// flushes the pending renormalization before returning the view.
-  const std::vector<double>& weights(int scn);
+  /// kept raw-scaled in a shared SoA table (lazy renormalization); this
+  /// accessor flushes the pending renormalization, then copies the
+  /// SCN's row out of the table.
+  std::vector<double> weights(int scn);
 
   double lambda_qos(int scn) const {
     return scn_state_[static_cast<std::size_t>(scn)].multipliers.qos();
@@ -143,12 +150,18 @@ class LfscPolicy final : public Policy {
   /// Effective exploration rate in use.
   double gamma() const noexcept { return gamma_; }
 
+  /// Number of contiguous SCN shards the parallel phases dispatch
+  /// (LfscConfig::shards resolved against the pool; 1 when serial).
+  std::size_t num_shards() const noexcept { return num_shards_; }
+
   /// The policy's telemetry registry (DESIGN.md §8): per-subroutine
   /// timers, Lagrange-multiplier gauges, per-SCN acceptance counters and
   /// cap-set / hypercube-occupancy histograms. Per-SCN metrics are
-  /// sharded with stream = SCN index, so the parallel_scns phases record
-  /// race-free and aggregates merge deterministically. The registry is
-  /// live even under LFSC_TELEMETRY=OFF (every read returns zero).
+  /// sharded with stream = SCN index and the shard phases record under
+  /// lfsc.shard.busy with stream = shard index, so the parallel_scns
+  /// phases record race-free and aggregates merge deterministically.
+  /// The registry is live even under LFSC_TELEMETRY=OFF (every read
+  /// returns zero).
   telemetry::Registry& telemetry() noexcept { return telemetry_; }
   const telemetry::Registry& telemetry() const noexcept { return telemetry_; }
 
@@ -167,44 +180,34 @@ class LfscPolicy final : public Policy {
 
  private:
   struct ScnState {
-    std::vector<double> weights;  ///< per hypercube (raw scale)
     LagrangeMultipliers multipliers;
-    CappedProbabilities last;     ///< p/capped aligned with coverage[m]
-    std::vector<std::size_t> last_cells;  ///< hypercube of each covered task
+    CappedProbabilities last;  ///< p/capped aligned with coverage[m]
+    std::vector<std::uint32_t> last_cells;  ///< hypercube of each covered task
     RngStream rng;  ///< stream-keyed (seed, kScnStreamBase + m)
-    /// Running upper bound on max(weights); weights are only rescaled to
-    /// max == 1 when this drifts outside the representable band (lazy
-    /// renormalization, O(cells) but rare) or when an exact normalized
-    /// view is needed (weights() accessor, save()).
+    /// Running upper bound on max(weights row); weights are only
+    /// rescaled to max == 1 when this drifts outside the representable
+    /// band (lazy renormalization, O(cells) but rare) or when an exact
+    /// normalized view is needed (weights() accessor, save()).
     double weight_scale = 1.0;
-
-    /// Per-hypercube probability cache for the explore-capped rung
-    /// (DESIGN.md §11): cell_prob[cell] holds the probability the last
-    /// *exact* Alg. 2 solve assigned to tasks of that cell, or -1 when
-    /// the cell's weight changed since (invalidated on every weight
-    /// update). Written only while the overload controller is active.
-    std::vector<double> cell_prob;
     /// 1 when `last` came from a full Exp3.M solve (its Σp budget is an
     /// invariant the auditor may check); 0 after a degraded pass.
     std::uint8_t last_solve_exact = 0;
 
     // Per-slot scratch: reused across slots, no steady-state allocation.
-    std::vector<double> task_weights;        ///< weight lookup per covered task
-    Exp3mScratch exp3m_scratch;              ///< Alg. 2 fixed-point buffers
-    IpwSlotAccumulator acc;                  ///< Alg. 3 IPW accumulator
-    std::vector<char> cube_capped;           ///< dense capped flags
-    std::vector<std::size_t> capped_cells;   ///< cells flagged this slot
-    std::vector<std::uint32_t> late_cells;   ///< per-batch cells (delayed apply)
-    std::vector<double> late_payoff;         ///< per-batch payoff sums
+    std::vector<double> task_weights;  ///< degraded-path weight lookups
+    std::vector<std::uint32_t> group_cells;   ///< present cells, slot order
+    std::vector<double> group_values;         ///< group weight per cell
+    std::vector<std::uint32_t> group_counts;  ///< group multiplicity
+    Exp3mGroupedScratch grouped_scratch;      ///< Alg. 2 grouped solve
+    std::vector<float> es_u;     ///< batched E-S uniform draws
+    std::vector<float> es_keys;  ///< batched E-S edge keys
+    std::vector<std::uint32_t> touched_cells;  ///< first-touch order (update)
+    std::vector<std::uint32_t> late_cells;  ///< per-batch cells (delayed apply)
+    std::vector<double> late_payoff;        ///< per-batch payoff sums
 
-    ScnState(std::size_t cells, double eta_lambda, double delta,
-             double lambda_max, RngStream stream)
-        : weights(cells, 1.0),
-          multipliers(eta_lambda, delta, lambda_max),
-          rng(stream),
-          cell_prob(cells, -1.0),
-          acc(cells),
-          cube_capped(cells, 0) {}
+    ScnState(double eta_lambda, double delta, double lambda_max,
+             RngStream stream)
+        : multipliers(eta_lambda, delta, lambda_max), rng(stream) {}
   };
 
   // Frozen per-slot update inputs for late feedback (enable_delayed_
@@ -228,9 +231,66 @@ class LfscPolicy final : public Policy {
     std::vector<PendingScn> per_scn;
   };
 
+  // --- SoA row accessors (DESIGN.md §12) ---
+  // Every per-hypercube table stores one row per SCN at a padded,
+  // cache-line-aligned stride; row m of a double table starts at
+  // m * stride_. Rows are disjoint, so the sharded phases write
+  // race-free.
+  double* weight_row(std::size_t m) noexcept {
+    return weights_.data() + m * stride_;
+  }
+  const double* weight_row(std::size_t m) const noexcept {
+    return weights_.data() + m * stride_;
+  }
+  double* cell_prob_row(std::size_t m) noexcept {
+    return cell_prob_.data() + m * stride_;
+  }
+  double* cell_p_row(std::size_t m) noexcept {
+    return cell_p_.data() + m * stride_;
+  }
+  double* solve_row(std::size_t m) noexcept {
+    return solve_values_.data() + m * stride_;
+  }
+  std::uint32_t* count_row(std::size_t m) noexcept {
+    return cell_count_.data() + m * stride32_;
+  }
+  double* ipw_g_row(std::size_t m) noexcept {
+    return ipw_g_.data() + m * stride_;
+  }
+  double* ipw_v_row(std::size_t m) noexcept {
+    return ipw_v_.data() + m * stride_;
+  }
+  double* ipw_q_row(std::size_t m) noexcept {
+    return ipw_q_.data() + m * stride_;
+  }
+  std::uint32_t* ipw_n_row(std::size_t m) noexcept {
+    return ipw_n_.data() + m * stride32_;
+  }
+  double* payoff_row(std::size_t m) noexcept {
+    return payoff_.data() + m * stride_;
+  }
+  double* expo_row(std::size_t m) noexcept {
+    return expo_.data() + m * stride_;
+  }
+  double* expw_row(std::size_t m) noexcept {
+    return expw_.data() + m * stride_;
+  }
+  unsigned char* cube_capped_row(std::size_t m) noexcept {
+    return cube_capped_.data() + m * stride8_;
+  }
+
+  /// Zeroes SCN `m`'s per-slot IPW and capped-cube rows (exception
+  /// cleanup and end-of-update reset).
+  void reset_slot_rows(std::size_t m) noexcept;
+
   /// Alg. 2 for one SCN: fills last (probabilities/capped) and
-  /// last_cells. Touches only SCN-local state — safe to run per-SCN in
-  /// parallel.
+  /// last_cells. The epsilon fixed point runs over (weight,
+  /// multiplicity) cell groups (exp3m_grouped) and the per-arm
+  /// expansion through the SIMD kernels; the capped set is marked with
+  /// the same arm-order countdown as the arm-level reference, so the
+  /// output matches exp3m_probabilities (flags and |S'| exactly,
+  /// values to rounding). Touches only SCN-local state — safe to run
+  /// per-SCN in parallel.
   void calculate_probabilities(std::size_t m, const SlotInfo& info);
 
   /// Degraded Alg. 2 for the explore-capped rung (DESIGN.md §11): a
@@ -279,12 +339,16 @@ class LfscPolicy final : public Policy {
   void apply_delayed_scn(std::size_t m, const PendingScn& pend,
                          const std::vector<TaskFeedback>& arrived);
 
-  /// Rescales `state.weights` so max == 1 (with the 1e-12 positivity
-  /// floor) and resets weight_scale. O(cells); called lazily.
-  static void renormalize(ScnState& state);
+  /// Rescales SCN `m`'s weight row so max == 1 (with the 1e-12
+  /// positivity floor) and resets weight_scale. O(cells); called lazily.
+  void renormalize(std::size_t m);
 
-  /// Runs fn(m) for every SCN — serially, or on the configured thread
-  /// pool when config_.parallel_scns is set.
+  /// Runs fn(m) for every SCN — serially, or as num_shards_ contiguous
+  /// SCN ranges on the configured thread pool when
+  /// config_.parallel_scns is set. Each shard runs under its own
+  /// lfsc.shard.busy telemetry stream and, while a slot budget is being
+  /// probed (probe_active_), checks the deadline once at shard start,
+  /// latching shard_shed_ for the remaining shards.
   template <typename Fn>
   void for_each_scn(const Fn& fn);
 
@@ -296,6 +360,37 @@ class LfscPolicy final : public Policy {
   double delta_;
   std::vector<ScnState> scn_state_;
   int last_slot_t_ = -1;
+
+  // --- SoA hypercube tables (DESIGN.md §12) ---
+  std::size_t cells_ = 0;     ///< partition_.cell_count()
+  std::size_t stride_ = 0;    ///< double-row stride, 64B-aligned rows
+  std::size_t stride32_ = 0;  ///< uint32-row stride
+  std::size_t stride8_ = 0;   ///< byte-row stride
+  AlignedVector<double> weights_;    ///< raw-scaled weights, row per SCN
+  AlignedVector<double> cell_prob_;  ///< explore-capped probability cache
+  AlignedVector<double> cell_p_;     ///< per-slot per-cell marginal scratch
+  AlignedVector<double> solve_values_;  ///< numeric-guard scaled weights
+  AlignedVector<double> ipw_g_;      ///< per-slot IPW payoff sums
+  AlignedVector<double> ipw_v_;      ///< per-slot IPW QoS sums
+  AlignedVector<double> ipw_q_;      ///< per-slot IPW resource sums
+  AlignedVector<double> payoff_;     ///< update-pass payoff scratch
+  AlignedVector<double> expo_;       ///< update-pass exponent scratch
+  AlignedVector<double> expw_;       ///< update-pass exp() scratch
+  AlignedVector<std::uint32_t> ipw_n_;       ///< per-slot presence counts
+  AlignedVector<std::uint32_t> cell_count_;  ///< per-slot group histogram
+  AlignedVector<unsigned char> cube_capped_;  ///< per-slot capped cubes
+
+  // --- sharded dispatch (DESIGN.md §12) ---
+  std::size_t num_shards_ = 1;
+  std::vector<std::size_t> shard_start_;  ///< num_shards_ + 1 boundaries
+  /// Latched by a shard whose deadline probe finds the budget blown;
+  /// later shards then skip their Alg. 2 work (the slot is about to be
+  /// shed by the counting mid-slot check). Reset every slot. Relaxed
+  /// ordering: the flag is advisory, the authoritative check is
+  /// OverloadController::should_shed_mid_slot().
+  std::atomic<bool> shard_shed_{false};
+  /// True only during the select() calc phase of a budgeted slot.
+  bool probe_active_ = false;
 
   // --- overload protection (DESIGN.md §11) ---
   OverloadController overload_;
@@ -348,6 +443,7 @@ class LfscPolicy final : public Policy {
   telemetry::Timer* tel_calculating_;  ///< lfsc.alg2.calculating, phase/slot
   telemetry::Timer* tel_greedy_;       ///< lfsc.alg4.greedy_select
   telemetry::Timer* tel_updating_;     ///< lfsc.alg3.updating, phase/slot
+  telemetry::Timer* tel_shard_busy_;   ///< lfsc.shard.busy, stream = shard
   telemetry::Counter* tel_slots_;      ///< lfsc.slots
   telemetry::Counter* tel_accepted_;   ///< lfsc.scn.accepted, per SCN
   telemetry::Counter* tel_rejected_;   ///< lfsc.feedback.rejected, per SCN

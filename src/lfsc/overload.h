@@ -129,6 +129,13 @@ class OverloadController {
   /// weight/multiplier update should be skipped for this slot.
   bool should_skip_update();
 
+  /// Const deadline peek for the sharded slot phases: true when the
+  /// in-flight slot has already blown its budget. Unlike
+  /// should_shed_mid_slot() it mutates no counters, so concurrent
+  /// per-shard probes are race-free; the slot path still runs the one
+  /// counting mid-slot check afterwards. Always false while disabled.
+  bool over_budget_probe() const noexcept { return over_budget_now(); }
+
   /// Stops the slot's deadline clock and feeds the measured cost to the
   /// ladder. Call once per slot, after observe() finishes.
   void end_slot();

@@ -65,6 +65,7 @@ class RadioSimulator final : public SlotSource {
   const GeometricCoverage& geometry() const noexcept { return coverage_; }
 
   Slot generate_slot(int t) override;
+  using SlotSource::generate_slot;  // keep the reuse overload visible
 
   /// Expected (pre-shadowing, pre-blockage) link rate at distance d —
   /// exposed for tests and the example's coverage map.

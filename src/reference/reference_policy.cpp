@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/simd.h"
+
 namespace lfsc {
 namespace {
 
@@ -373,8 +375,14 @@ void ReferenceLfscPolicy::observe(const SlotInfo& info,
         if (!std::isfinite(payoff)) continue;
         const double exponent =
             std::clamp(eta_t * payoff, -kMaxExponent, kMaxExponent);
-        const double updated = std::max(scn.weights[cell] * std::exp(exponent),
-                                        scn.floor_scale * kWeightFloor);
+        // The canonical polynomial exp (not libm): the optimized policy
+        // runs its weight updates through the exp_stream kernel, and the
+        // two trajectories must agree beyond rounding chaos — weights
+        // feed back through 1/p, so a 1-ulp exp() disagreement amplifies
+        // exponentially over a horizon.
+        const double updated =
+            std::max(scn.weights[cell] * simd::exp_canonical(exponent),
+                     scn.floor_scale * kWeightFloor);
         scn.weights[cell] = updated;
         scn.floor_scale = std::max(scn.floor_scale, updated);
       }

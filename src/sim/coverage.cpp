@@ -24,10 +24,15 @@ AbstractCoverage::AbstractCoverage(AbstractCoverageConfig config)
 void AbstractCoverage::generate(RngStream& stream, TaskGenerator& gen,
                                 SlotInfo& out) {
   out.tasks.clear();
-  out.coverage.assign(static_cast<std::size_t>(config_.num_scns), {});
+  // Reuse the inner coverage vectors: assign(n, {}) would free every
+  // per-SCN list each slot, and at city scale that churn dominates the
+  // generator. Same contents either way.
+  out.coverage.resize(static_cast<std::size_t>(config_.num_scns));
+  for (auto& cover : out.coverage) cover.clear();
 
   // Draw per-SCN demand |D_{m,t}| ~ U[min, max].
-  std::vector<int> demand(static_cast<std::size_t>(config_.num_scns));
+  auto& demand = demand_;
+  demand.resize(static_cast<std::size_t>(config_.num_scns));
   long total_demand = 0;
   for (auto& d : demand) {
     d = static_cast<int>(stream.uniform_int(config_.tasks_per_scn_min,
@@ -48,7 +53,8 @@ void AbstractCoverage::generate(RngStream& stream, TaskGenerator& gen,
     const auto want =
         std::min<std::size_t>(static_cast<std::size_t>(demand[static_cast<std::size_t>(m)]),
                               pool_size);
-    auto picks = stream.sample_without_replacement(pool_size, want);
+    auto& picks = picks_;
+    stream.sample_without_replacement(pool_size, want, picks);
     std::sort(picks.begin(), picks.end());
     auto& cover = out.coverage[static_cast<std::size_t>(m)];
     cover.reserve(picks.size());
@@ -107,7 +113,9 @@ void GeometricCoverage::generate(RngStream& stream, TaskGenerator& gen,
                                  SlotInfo& out) {
   step_mobility(stream);
   out.tasks.clear();
-  out.coverage.assign(static_cast<std::size_t>(config_.num_scns), {});
+  // Reuse inner vectors (see AbstractCoverage::generate).
+  out.coverage.resize(static_cast<std::size_t>(config_.num_scns));
+  for (auto& cover : out.coverage) cover.clear();
 
   const double r2 = config_.coverage_radius_km * config_.coverage_radius_km;
   for (std::size_t i = 0; i < wds_.size(); ++i) {

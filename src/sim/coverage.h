@@ -59,6 +59,10 @@ class AbstractCoverage final : public CoverageModel {
 
  private:
   AbstractCoverageConfig config_;
+  // Per-slot scratch (reused across generate() calls; clone() copies are
+  // harmless — the contents are dead between calls).
+  std::vector<int> demand_;
+  std::vector<std::size_t> picks_;
 };
 
 /// Spatial coverage with random-waypoint device mobility.

@@ -97,4 +97,24 @@ Environment::Draw Environment::draw(int scn, const TaskContext& ctx,
   return d;
 }
 
+void Environment::draw_cover(int scn, std::span<const int> cover,
+                             const std::uint32_t* task_latent,
+                             RngStream& stream, double* u, double* v,
+                             double* q) const noexcept {
+  const double* mu = mean_u_.data() + cells_per_scn_ * static_cast<std::size_t>(scn);
+  const double* mv = mean_v_.data() + cells_per_scn_ * static_cast<std::size_t>(scn);
+  const double* mq = mean_q_.data() + cells_per_scn_ * static_cast<std::size_t>(scn);
+  const double jitter = config_.jitter;
+  const double qlo = config_.consumption_lo;
+  const double qhi = config_.consumption_hi;
+  const double blockage = config_.blockage_prob;
+  for (std::size_t j = 0; j < cover.size(); ++j) {
+    const std::size_t cell = task_latent[static_cast<std::size_t>(cover[j])];
+    u[j] = std::clamp(mu[cell] + stream.uniform(-jitter, jitter), 0.0, 1.0);
+    v[j] = std::clamp(mv[cell] + stream.uniform(-jitter, jitter), 0.0, 1.0);
+    q[j] = std::clamp(mq[cell] + stream.uniform(-jitter, jitter), qlo, qhi);
+    if (blockage > 0.0 && stream.bernoulli(blockage)) v[j] = 0.0;
+  }
+}
+
 }  // namespace lfsc

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -89,6 +90,17 @@ class Environment {
     double q = 1.0;
   };
   Draw draw(int scn, const TaskContext& ctx, RngStream& stream) const noexcept;
+
+  /// Batch realization over one SCN's coverage list: for each position j,
+  /// draws (u, v, q) for the task `cover[j]` whose latent cell the caller
+  /// precomputed in `task_latent` (indexed by global task index — one
+  /// latent_cell() per task instead of one per (SCN, task) pair). Writes
+  /// u/v/q[j]. Draw-for-draw identical to calling draw() per pair; the
+  /// per-draw stream consumption order is part of the determinism
+  /// contract.
+  void draw_cover(int scn, std::span<const int> cover,
+                  const std::uint32_t* task_latent, RngStream& stream,
+                  double* u, double* v, double* q) const noexcept;
 
   /// Index of the latent grid cell containing `ctx` (exposed for tests).
   std::size_t latent_cell(const TaskContext& ctx) const noexcept;

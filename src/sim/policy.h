@@ -27,6 +27,14 @@ class Policy {
   /// Chooses the slot's assignment from observable information only.
   virtual Assignment select(const SlotInfo& info) = 0;
 
+  /// Allocation-reusing variant: fills `out` (cleared first) with the
+  /// same assignment select() would return. Hot harness loops call this
+  /// so per-SCN selection lists keep their warm capacity across slots;
+  /// policies without an in-place path inherit this wrapper.
+  virtual void select(const SlotInfo& info, Assignment& out) {
+    out = select(info);
+  }
+
   /// Receives bandit feedback for the tasks processed under `assignment`.
   /// Default: ignore (e.g. the Random policy does not learn).
   virtual void observe(const SlotInfo& info, const Assignment& assignment,

@@ -37,11 +37,24 @@ Simulator::Simulator(NetworkConfig net, Environment env,
 
 Slot Simulator::generate_slot(int t) {
   Slot slot;
+  generate_slot(t, slot);
+  return slot;
+}
+
+void Simulator::generate_slot(int t, Slot& slot) {
   slot.info.t = t;
   // Stream keyed by slot index: arrivals, contexts and realizations for
   // slot t never depend on how other slots consumed randomness.
   RngStream stream(seed_, 0x51D0 + static_cast<std::uint64_t>(t));
   coverage_->generate(stream, generator_, slot.info);
+
+  // Latent cell per task, once — the per-(SCN, task) realization loop
+  // below would otherwise re-derive it coverage_degree times per task.
+  latent_scratch_.resize(slot.info.tasks.size());
+  for (std::size_t i = 0; i < slot.info.tasks.size(); ++i) {
+    latent_scratch_[i] =
+        static_cast<std::uint32_t>(env_.latent_cell(slot.info.tasks[i].context));
+  }
 
   const auto scns = slot.info.coverage.size();
   slot.real.u.resize(scns);
@@ -52,16 +65,10 @@ Slot Simulator::generate_slot(int t) {
     slot.real.u[m].resize(cover.size());
     slot.real.v[m].resize(cover.size());
     slot.real.q[m].resize(cover.size());
-    for (std::size_t j = 0; j < cover.size(); ++j) {
-      const auto& ctx =
-          slot.info.tasks[static_cast<std::size_t>(cover[j])].context;
-      const auto d = env_.draw(static_cast<int>(m), ctx, stream);
-      slot.real.u[m][j] = d.u;
-      slot.real.v[m][j] = d.v;
-      slot.real.q[m][j] = d.q;
-    }
+    env_.draw_cover(static_cast<int>(m), cover, latent_scratch_.data(), stream,
+                    slot.real.u[m].data(), slot.real.v[m].data(),
+                    slot.real.q[m].data());
   }
-  return slot;
 }
 
 Simulator Simulator::fork() const {

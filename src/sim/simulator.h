@@ -35,6 +35,12 @@ class Simulator final : public SlotSource {
   /// (u, v, q) for every (SCN, covered task) pair.
   Slot generate_slot(int t) override;
 
+  /// Reuse overload: same slot, same draws, no per-slot allocation once
+  /// `out`'s capacities are warm. Latent cells are resolved once per task
+  /// (not once per (SCN, task) pair) and realizations come out of the
+  /// batched Environment::draw_cover.
+  void generate_slot(int t, Slot& out) override;
+
   /// Deep copy (fresh generator ids, copied mobility state); used to run
   /// identical worlds under different policies in sweep workers.
   Simulator fork() const;
@@ -49,6 +55,7 @@ class Simulator final : public SlotSource {
   std::unique_ptr<CoverageModel> coverage_;
   TaskGenerator generator_;
   std::uint64_t seed_;
+  std::vector<std::uint32_t> latent_scratch_;  ///< per-task latent cell
 };
 
 }  // namespace lfsc

@@ -18,6 +18,12 @@ class SlotSource {
   /// sources (mobility) require slots to be generated in order.
   virtual Slot generate_slot(int t) = 0;
 
+  /// Allocation-reusing variant: fills `out` in place, reusing its vector
+  /// capacities across slots. Identical contents (and identical RNG
+  /// consumption) to the returning overload; sources that don't override
+  /// it fall back to a full regeneration.
+  virtual void generate_slot(int t, Slot& out) { out = generate_slot(t); }
+
   /// The network constants (c, alpha, beta) this world runs under.
   virtual const NetworkConfig& network() const noexcept = 0;
 };

@@ -253,6 +253,98 @@ void greedy_select_packed(int num_scns, int num_tasks, int capacity_c,
   for (auto& s : out.selected) std::sort(s.begin(), s.end());
 }
 
+void greedy_select_radix(int num_scns, int num_tasks, int capacity_c,
+                         std::span<const int> bucket_start,
+                         std::span<const std::uint64_t> entries,
+                         Assignment& out, GreedySelectScratch& scratch) {
+  if (num_scns < 0 || num_tasks < 0 || capacity_c < 0) {
+    throw std::invalid_argument("greedy_select: negative sizes");
+  }
+  if (num_tasks > 0x10000) {
+    throw std::invalid_argument(
+        "greedy_select_radix: num_tasks exceeds the packed task field");
+  }
+  if (bucket_start.size() != static_cast<std::size_t>(num_scns) + 1) {
+    throw std::invalid_argument("greedy_select: bucket_start size mismatch");
+  }
+  out.selected.resize(static_cast<std::size_t>(num_scns));
+  for (auto& s : out.selected) s.clear();
+  if (capacity_c == 0 || entries.empty()) return;
+  const std::size_t n = entries.size();
+  const int* start = bucket_start.data();
+
+  // idx -> SCN, derived from the bucket layout in one sequential pass.
+  auto& scn_of = scratch.radix_scn;
+  scn_of.resize(n);
+  for (int m = 0; m < num_scns; ++m) {
+    for (int i = start[m]; i < start[m + 1]; ++i) {
+      scn_of[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(m);
+    }
+  }
+
+  // Sort keys [weight bits | staging index]. Only the weight bytes are
+  // radixed; the index rides along so ties keep staging order (which is
+  // (scn asc, task asc) under the bucket-staging precondition) and the
+  // consume pass can recover the entry.
+  auto& keys = scratch.radix_keys;
+  auto& tmp = scratch.radix_tmp;
+  keys.resize(n);
+  tmp.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = (entries[i] & 0xFFFFFFFF00000000ull) | i;
+  }
+  std::uint64_t* src = keys.data();
+  std::uint64_t* dst = tmp.data();
+  for (int shift = 32; shift < 64; shift += 8) {
+    std::size_t hist[256] = {};
+    for (std::size_t i = 0; i < n; ++i) ++hist[(src[i] >> shift) & 0xFF];
+    // A byte all entries share sorts to the identity — skip the pass.
+    // Common in practice: probability keys live in [0, 1], so the float
+    // exponent byte varies far less than 256 ways.
+    bool uniform = false;
+    for (std::size_t b = 0; b < 256; ++b) {
+      if (hist[b] == n) {
+        uniform = true;
+        break;
+      }
+    }
+    if (uniform) continue;
+    std::size_t ofs[256];
+    std::size_t acc = 0;
+    for (int b = 255; b >= 0; --b) {
+      ofs[b] = acc;
+      acc += hist[b];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[ofs[(src[i] >> shift) & 0xFF]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+
+  // Linear consume in global order. Unlike the merge, a saturated SCN's
+  // remaining entries are skipped one by one — the price of having no
+  // per-bucket structure left to drop, paid as predictable sequential
+  // reads.
+  scratch.load.assign(static_cast<std::size_t>(num_scns), 0);
+  scratch.assigned.assign(static_cast<std::size_t>(num_tasks), 0);
+  int assigned_tasks = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t k = src[i];
+    if ((k >> 32) == 0) break;  // float weight bits zero: nothing > 0 left
+    const auto idx = static_cast<std::size_t>(k & 0xFFFFFFFFull);
+    const std::uint64_t e = entries[idx];
+    const auto task = static_cast<std::size_t>(packed_entry_task(e));
+    if (scratch.assigned[task]) continue;
+    const auto ms = static_cast<std::size_t>(scn_of[idx]);
+    if (scratch.load[ms] == capacity_c) continue;
+    out.selected[ms].push_back(packed_entry_local(e));
+    scratch.assigned[task] = 1;
+    ++scratch.load[ms];
+    if (++assigned_tasks == num_tasks) break;
+  }
+  for (auto& s : out.selected) std::sort(s.begin(), s.end());
+}
+
 Assignment greedy_select(int num_scns, int num_tasks, int capacity_c,
                          std::span<const Edge> edges) {
   Assignment out;

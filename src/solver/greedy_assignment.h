@@ -47,6 +47,9 @@ struct GreedySelectScratch {
   std::vector<GreedyBucketEntry> bucketed;   ///< grouped by SCN, sorted desc
   std::vector<std::pair<double, int>> heap;  ///< merge heap: (weight, scn)
   std::vector<std::uint64_t> heap_packed;  ///< packed merge nodes
+  std::vector<std::uint64_t> radix_keys;   ///< [w32 | entry index] keys
+  std::vector<std::uint64_t> radix_tmp;    ///< radix ping-pong buffer
+  std::vector<std::uint32_t> radix_scn;    ///< entry index -> SCN
 };
 
 /// Runs Alg. 4. `num_scns` and `num_tasks` size the bookkeeping arrays;
@@ -109,5 +112,21 @@ void greedy_select_packed(int num_scns, int num_tasks, int capacity_c,
                           std::span<const int> bucket_start,
                           std::span<std::uint64_t> entries, Assignment& out,
                           GreedySelectScratch& scratch);
+
+/// Radix variant of greedy_select_packed for edge counts where the heap
+/// machinery's random access loses to sequential passes: a stable LSD
+/// byte radix over the float weight bits (descending, uniform-byte
+/// passes skipped, ping-pong scratch) followed by one linear consume
+/// pass with the load/assigned checks. Stability makes ties resolve by
+/// staging position, so the global order equals the heaps' (weight
+/// desc, scn asc, task asc) contract **provided each bucket is staged
+/// tasks-ascending** — the order the policy produces from its ascending
+/// coverage lists. `entries` is read-only (not consumed). Same
+/// assignment as greedy_select_packed under that precondition, and the
+/// same num_tasks <= 0x10000 bound.
+void greedy_select_radix(int num_scns, int num_tasks, int capacity_c,
+                         std::span<const int> bucket_start,
+                         std::span<const std::uint64_t> entries,
+                         Assignment& out, GreedySelectScratch& scratch);
 
 }  // namespace lfsc

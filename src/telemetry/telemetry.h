@@ -157,7 +157,10 @@ class Timer {
   void reset() noexcept { std::fill(shards_.begin(), shards_.end(), Shard{}); }
 
  private:
-  struct Shard {
+  /// Padded to a cache line: adjacent streams are written concurrently
+  /// by different pool workers (one stream per shard/SCN), and at 32
+  /// bytes two shards would false-share a line.
+  struct alignas(64) Shard {
     std::uint64_t count = 0;
     double total = 0.0;
     double min = 0.0;

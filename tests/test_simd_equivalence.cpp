@@ -1,0 +1,241 @@
+// SIMD/scalar equivalence tests (DESIGN.md §12): the AVX2 kernels must
+// be bit-identical to the scalar reference on the full slot path, not
+// just per-kernel — 1/p IPW feedback amplifies a single ulp into a
+// macroscopically different trajectory within a few slots, so "close"
+// is indistinguishable from "wrong" here. Every test drives whole
+// policies and compares byte-identical save() state.
+//
+// On hosts without AVX2 (or builds without the AVX2 TU) the two modes
+// collapse to the same scalar code and the comparisons hold vacuously;
+// the CI matrix runs this file on an AVX2 host to make them real.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/simd.h"
+#include "common/thread_pool.h"
+#include "harness/paper_setup.h"
+#include "lfsc/lfsc_policy.h"
+#include "metrics/metrics.h"
+#include "reference/differential.h"
+#include "solver/greedy_assignment.h"
+
+namespace lfsc {
+namespace {
+
+/// Restores the process-wide dispatch override on scope exit so a
+/// failing assertion cannot leak forced-scalar mode into later tests.
+class ScopedForceScalar {
+ public:
+  explicit ScopedForceScalar(bool force) { simd::set_force_scalar(force); }
+  ~ScopedForceScalar() { simd::set_force_scalar(false); }
+  ScopedForceScalar(const ScopedForceScalar&) = delete;
+  ScopedForceScalar& operator=(const ScopedForceScalar&) = delete;
+};
+
+/// True when the vector path is actually reachable in this process; when
+/// false the scalar-vs-vector comparisons are vacuous (still valid).
+bool vector_path_available() {
+  simd::set_force_scalar(false);
+  return std::string(simd::active_name()) != "scalar";
+}
+
+struct RunResult {
+  double cumulative_reward = 0.0;
+  std::string state;       ///< save() blob after the last slot
+  std::string checkpoint;  ///< exact save_checkpoint() image
+};
+
+struct RunOptions {
+  bool force_scalar = false;
+  bool parallel = false;
+  int shards = 0;          ///< 0 = auto (only meaningful when parallel)
+  ThreadPool* pool = nullptr;
+  int first_slot = 1;
+  int slots = 100;
+  std::string resume_from;  ///< checkpoint blob to load before slot 1
+};
+
+/// Drives the small paper setup for [first_slot, first_slot+slots) and
+/// returns the trajectory endpoint. Slot generation is keyed by t, so
+/// two runs covering adjacent windows compose into one longer run.
+RunResult run_policy(const RunOptions& opt) {
+  const ScopedForceScalar guard(opt.force_scalar);
+  auto s = small_setup();
+  s.lfsc.parallel_scns = opt.parallel;
+  s.lfsc.shards = opt.shards;
+  s.lfsc.pool = opt.pool;
+  auto sim = s.make_simulator();
+  LfscPolicy policy(s.net, s.lfsc);
+  if (!opt.resume_from.empty()) policy.load_checkpoint(opt.resume_from);
+  RunResult out;
+  Slot slot;
+  Assignment assignment;
+  for (int t = opt.first_slot; t < opt.first_slot + opt.slots; ++t) {
+    sim.generate_slot(t, slot);
+    policy.select(slot.info, assignment);
+    out.cumulative_reward += evaluate_slot(slot, assignment, s.net).reward;
+    policy.observe(slot.info, assignment, make_feedback(slot, assignment));
+  }
+  std::ostringstream blob;
+  policy.save(blob);
+  out.state = blob.str();
+  policy.save_checkpoint(out.checkpoint);
+  return out;
+}
+
+TEST(SimdEquivalence, PolicyTrajectoryBitIdenticalScalarVsVector) {
+  RunOptions scalar;
+  scalar.force_scalar = true;
+  RunOptions vector;
+  vector.force_scalar = false;
+  const RunResult a = run_policy(scalar);
+  const RunResult b = run_policy(vector);
+  EXPECT_EQ(a.state, b.state);
+  EXPECT_EQ(a.cumulative_reward, b.cumulative_reward);
+  EXPECT_GT(a.cumulative_reward, 0.0);
+  if (!vector_path_available()) {
+    GTEST_SKIP() << "no AVX2 at runtime: comparison was scalar-vs-scalar";
+  }
+}
+
+TEST(SimdEquivalence, DifferentialCorpusPassesInBothModes) {
+  // The randomized ref-vs-opt harness under each dispatch mode: forced
+  // scalar pins opt-scalar against the reference, the default mode pins
+  // opt-AVX2 against it (the reference's own exp calls go through
+  // simd::exp_canonical, which is mode-independent by construction).
+  for (const bool force : {true, false}) {
+    const ScopedForceScalar guard(force);
+    for (const std::uint64_t seed : {2ull, 13ull, 1997ull, 424242ull}) {
+      const DiffResult res = run_differential(random_instance(seed));
+      EXPECT_FALSE(res.diverged)
+          << "seed " << seed << " (force_scalar=" << force
+          << "): " << res.detail;
+    }
+  }
+}
+
+TEST(SimdEquivalence, ShardCountAndSimdModeNeverChangeTheTrajectory) {
+  // The full matrix {serial, 1, 3, 8 shards} x {scalar, vector} must
+  // land on one byte-identical learned state: shard boundaries only
+  // partition the per-SCN loop, and each SCN owns a keyed RNG stream.
+  RunOptions base;
+  base.force_scalar = true;
+  const RunResult golden = run_policy(base);
+  ThreadPool pool(4);
+  for (const bool force : {true, false}) {
+    for (const int shards : {0, 1, 3, 8}) {
+      RunOptions opt;
+      opt.force_scalar = force;
+      opt.parallel = true;
+      opt.shards = shards;
+      opt.pool = &pool;
+      const RunResult got = run_policy(opt);
+      EXPECT_EQ(golden.state, got.state)
+          << "shards=" << shards << " force_scalar=" << force;
+      EXPECT_EQ(golden.cumulative_reward, got.cumulative_reward)
+          << "shards=" << shards << " force_scalar=" << force;
+    }
+  }
+}
+
+TEST(SimdEquivalence, CheckpointRoundTripsAcrossSimdModes) {
+  // Save under the vector path, resume under forced scalar (the
+  // migration a checkpoint moved between hosts actually performs). The
+  // spliced run must equal an uninterrupted all-scalar run bit for bit.
+  RunOptions first_half;
+  first_half.slots = 50;
+  const RunResult mid = run_policy(first_half);
+
+  RunOptions second_half;
+  second_half.force_scalar = true;
+  second_half.first_slot = 51;
+  second_half.slots = 50;
+  second_half.resume_from = mid.checkpoint;
+  const RunResult resumed = run_policy(second_half);
+
+  RunOptions full;
+  full.force_scalar = true;
+  full.slots = 100;
+  const RunResult straight = run_policy(full);
+  EXPECT_EQ(straight.state, resumed.state);
+}
+
+/// Builds a random packed edge staging that satisfies the greedy
+/// precondition (tasks ascending within each SCN bucket). Weights are
+/// quantized to a handful of levels so ties — where the (weight desc,
+/// scn asc, task asc) order contract actually bites — are common.
+void random_staging(std::uint64_t seed, int num_scns, int num_tasks,
+                    std::vector<int>& bucket_start,
+                    std::vector<std::uint64_t>& entries) {
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<float> weight(0.0f, 1.0f);
+  bucket_start.assign(static_cast<std::size_t>(num_scns) + 1, 0);
+  entries.clear();
+  for (int m = 0; m < num_scns; ++m) {
+    bucket_start[static_cast<std::size_t>(m)] =
+        static_cast<int>(entries.size());
+    int local = 0;
+    for (int task = 0; task < num_tasks; ++task) {
+      if ((gen() & 3) != 0) continue;  // ~25% coverage
+      float w = weight(gen);
+      if ((gen() & 1) != 0) w = static_cast<float>(gen() % 5) * 0.25f;
+      entries.push_back(pack_greedy_entry(w, task, local++));
+    }
+  }
+  bucket_start[static_cast<std::size_t>(num_scns)] =
+      static_cast<int>(entries.size());
+}
+
+TEST(SimdEquivalence, RadixGreedyMatchesPackedGreedyExactly) {
+  // Covers both sides of the kRadixMinEdges cutover plus degenerate
+  // shapes; the two variants must agree entry-for-entry, ties included.
+  GreedySelectScratch scratch_a;
+  GreedySelectScratch scratch_b;
+  std::vector<int> bucket_start;
+  std::vector<std::uint64_t> entries;
+  const struct {
+    std::uint64_t seed;
+    int num_scns, num_tasks, capacity_c;
+  } cases[] = {
+      {1, 30, 600, 20},   // paper scale, ~4.5k edges
+      {2, 8, 40, 3},      // tiny, heavy saturation
+      {3, 2000, 70, 20},  // many SCNs, sparse buckets
+      {4, 1, 5000, 7},    // one SCN saturates immediately
+      {5, 16, 0, 4},      // no tasks at all
+  };
+  for (const auto& c : cases) {
+    random_staging(c.seed, c.num_scns, c.num_tasks, bucket_start, entries);
+    Assignment radix;
+    greedy_select_radix(c.num_scns, c.num_tasks, c.capacity_c, bucket_start,
+                        entries, radix, scratch_a);
+    // greedy_select_packed consumes its entries in place (heap sifts);
+    // give it a copy so both variants see the same staging.
+    std::vector<std::uint64_t> mutable_entries = entries;
+    Assignment packed;
+    greedy_select_packed(c.num_scns, c.num_tasks, c.capacity_c, bucket_start,
+                         mutable_entries, packed, scratch_b);
+    ASSERT_EQ(radix.selected, packed.selected)
+        << "seed " << c.seed << " (" << c.num_scns << " SCNs, "
+        << c.num_tasks << " tasks, c=" << c.capacity_c << ")";
+  }
+}
+
+TEST(SimdEquivalence, RadixGreedyRejectsOversizedSlots) {
+  // The packed task field is 16 bits; both packed variants must refuse
+  // a slot that cannot be represented rather than alias task indices.
+  GreedySelectScratch scratch;
+  std::vector<int> bucket_start = {0, 0};
+  std::vector<std::uint64_t> entries;
+  Assignment out;
+  EXPECT_THROW(greedy_select_radix(1, 0x10001, 4, bucket_start, entries, out,
+                                   scratch),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lfsc
