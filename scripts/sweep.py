@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Run every checked-in scenario family and collect its CSV series.
+
+Usage:
+    python3 scripts/sweep.py                           # all families, T from spec
+    python3 scripts/sweep.py --horizon 2000            # shorter horizon
+    python3 scripts/sweep.py --families diurnal,drift_walk
+    python3 scripts/sweep.py --policies Oracle,LFSC,vUCB,FML,Random
+
+For each scenarios/<family>.scn this drives
+
+    build/tools/lfsc_run --scenario scenarios/<family>.scn \
+        --policies <roster> --csv <out-dir>/<family> [--horizon T]
+
+producing <out-dir>/<family>_reward.csv (cumulative compound reward per
+slot, one column per policy) and <out-dir>/<family>_violations.csv
+(cumulative QoS (1c) + resource (1d) violations, same shape), plus a
+summary table <out-dir>/summary.csv with the final-slot numbers —
+the table EXPERIMENTS.md's non-stationary section is built from.
+
+Pure standard library; exits non-zero on the first failing run.
+"""
+
+import argparse
+import csv
+import os
+import subprocess
+import sys
+
+
+def repo_root() -> str:
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def find_families(scn_dir: str, wanted: "list[str] | None") -> "list[str]":
+    families = sorted(
+        f[: -len(".scn")] for f in os.listdir(scn_dir) if f.endswith(".scn")
+    )
+    if not families:
+        sys.exit(f"sweep.py: no *.scn files in {scn_dir}")
+    if wanted is None:
+        return families
+    missing = sorted(set(wanted) - set(families))
+    if missing:
+        sys.exit(
+            f"sweep.py: unknown families {', '.join(missing)} "
+            f"(have: {', '.join(families)})"
+        )
+    return [f for f in families if f in set(wanted)]
+
+
+def final_row(path: str) -> "dict[str, float]":
+    """Last row of a series CSV as {policy: value}."""
+    with open(path, newline="") as f:
+        reader = csv.reader(f)
+        header = next(reader)
+        last = None
+        for last in reader:
+            pass
+    if last is None:
+        sys.exit(f"sweep.py: {path} has no data rows")
+    return dict(zip(header[1:], (float(x) for x in last[1:])))
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build", help="CMake build directory")
+    ap.add_argument("--scenarios", default="scenarios", help="directory of *.scn files")
+    ap.add_argument("--out-dir", default="out/sweep", help="CSV output directory")
+    ap.add_argument(
+        "--families",
+        default=None,
+        help="comma-separated subset (default: every *.scn)",
+    )
+    ap.add_argument(
+        "--policies",
+        default="Oracle,LFSC,vUCB,FML,Random",
+        help="roster passed to lfsc_run --policies",
+    )
+    ap.add_argument(
+        "--horizon",
+        type=int,
+        default=0,
+        help="override the spec horizon (0 = use each spec's own T)",
+    )
+    ap.add_argument(
+        "--extra",
+        default="",
+        help="extra lfsc_run flags, e.g. '--admission-queue 2400'",
+    )
+    args = ap.parse_args()
+
+    root = repo_root()
+    run = os.path.join(root, args.build_dir, "tools", "lfsc_run")
+    if not os.path.exists(run):
+        sys.exit(f"sweep.py: {run} not built (cmake --build {args.build_dir})")
+    scn_dir = os.path.join(root, args.scenarios)
+    wanted = args.families.split(",") if args.families else None
+    families = find_families(scn_dir, wanted)
+    os.makedirs(args.out_dir, exist_ok=True)
+
+    summary_rows = []
+    for family in families:
+        prefix = os.path.join(args.out_dir, family)
+        cmd = [
+            run,
+            "--scenario", os.path.join(scn_dir, family + ".scn"),
+            "--policies", args.policies,
+            "--csv", prefix,
+        ]
+        if args.horizon > 0:
+            cmd += ["--horizon", str(args.horizon)]
+        cmd += args.extra.split()
+        print(f"sweep: {family} ...", flush=True)
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout + proc.stderr)
+            sys.exit(f"sweep.py: {family} failed (exit {proc.returncode})")
+
+        reward = final_row(prefix + "_reward.csv")
+        violations = final_row(prefix + "_violations.csv")
+        for policy in reward:
+            summary_rows.append(
+                {
+                    "family": family,
+                    "policy": policy,
+                    "reward": reward[policy],
+                    "violations": violations[policy],
+                    "ratio": (
+                        reward[policy] / reward["Oracle"]
+                        if reward.get("Oracle")
+                        else float("nan")
+                    ),
+                }
+            )
+
+    summary = os.path.join(args.out_dir, "summary.csv")
+    with open(summary, "w", newline="") as f:
+        writer = csv.DictWriter(
+            f, fieldnames=["family", "policy", "reward", "violations", "ratio"]
+        )
+        writer.writeheader()
+        writer.writerows(summary_rows)
+    print(f"sweep: {len(families)} families -> {summary}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+// Counter-based hashing: the determinism primitive shared by the fault
+// model (DESIGN.md §9), admission control (§11) and the scenario
+// compiler (§13). Every "random" event derived through hash_unit is a
+// pure function of (seed, tag, a, b) — no stream to advance — which is
+// what makes injected schedules independent of the policy roster, of
+// parallel_scns/shards, and of checkpoint/resume.
+#pragma once
+
+#include <cstdint>
+
+namespace lfsc {
+
+/// SplitMix64 finalizer: the avalanche stage used for stream derivation
+/// in common/rng.h, reused as a counter-based hash.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Hashes (seed, tag, a, b) to a uniform double in [0, 1). Chained
+/// mix64 stages so every input perturbs all output bits. `tag` is a
+/// domain-separation constant: two draw families with different tags
+/// are independent even at identical (seed, a, b).
+constexpr double hash_unit(std::uint64_t seed, std::uint64_t tag,
+                           std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t h = mix64(seed ^ mix64(tag));
+  h = mix64(h ^ a);
+  h = mix64(h ^ b);
+  // Top 53 bits -> [0, 1), the same mapping RngStream::uniform() uses.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace lfsc

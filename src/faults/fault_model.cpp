@@ -6,31 +6,14 @@
 #include <string_view>
 
 #include "common/binio.h"
+#include "common/counter_hash.h"
 
 namespace lfsc {
 namespace {
 
-/// SplitMix64 finalizer: the avalanche stage used for stream derivation
-/// in common/rng.h, reused here as a counter-based hash.
-constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
-  x += 0x9E3779B97F4A7C15ULL;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-  return x ^ (x >> 31);
-}
-
-/// Hashes (seed, tag, a, b) to a uniform double in [0, 1). Chained
-/// mix64 stages so every input perturbs all output bits.
-double hash_unit(std::uint64_t seed, std::uint64_t tag, std::uint64_t a,
-                 std::uint64_t b) noexcept {
-  std::uint64_t h = mix64(seed ^ mix64(tag));
-  h = mix64(h ^ a);
-  h = mix64(h ^ b);
-  // Top 53 bits -> [0, 1), the same mapping RngStream::uniform() uses.
-  return static_cast<double>(h >> 11) * 0x1.0p-53;
-}
-
-// Domain-separation tags for the independent draw families.
+// Domain-separation tags for the independent draw families
+// (mix64/hash_unit live in common/counter_hash.h, shared with admission
+// control and the scenario compiler).
 constexpr std::uint64_t kTagOutageStart = 0x00DA6E'5741ULL;
 constexpr std::uint64_t kTagOutageLen = 0x00DA6E'4C45ULL;
 constexpr std::uint64_t kTagFate = 0xFA7EULL;

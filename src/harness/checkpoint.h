@@ -45,6 +45,12 @@ struct CheckpointState {
   /// AdmissionControl::save_state (queue backlog + counters), empty when
   /// the run has no admission control.
   std::string admission_blob;
+  /// SlotSource::save_state — the world's own mutable state. Empty for
+  /// Simulator/RadioSimulator (their trajectory is rebuilt by the
+  /// fast-forward); ScenarioSource stores its drift-walk offsets plus a
+  /// spec-fingerprint guard so --resume under a different --scenario is
+  /// rejected (DESIGN.md §13).
+  std::string scenario_blob;
   std::vector<telemetry::MetricSnapshot> metrics;  ///< Registry::snapshot
   telemetry::TimeSeries telemetry_series;          ///< sampled rows so far
 };

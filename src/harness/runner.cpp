@@ -149,6 +149,7 @@ ExperimentResult run_experiment(SlotSource& sim,
     }
     if (faults != nullptr) faults->save_state(ck.faults_blob);
     if (admission != nullptr) admission->save_state(ck.admission_blob);
+    sim.save_state(ck.scenario_blob);
     if (telemetry != nullptr) ck.metrics = telemetry->snapshot();
     ck.telemetry_series = result.telemetry_series;
     write_checkpoint_file(config.checkpoint_path, ck);
@@ -197,6 +198,10 @@ ExperimentResult run_experiment(SlotSource& sim,
     }
     if (telemetry != nullptr) telemetry->restore(ck.metrics);
     result.telemetry_series = std::move(ck.telemetry_series);
+    // World-private state (ScenarioSource guards + drift-walk offsets;
+    // a no-op for stateless sources) is restored before the
+    // fast-forward so a spec/seed mismatch fails before any regeneration.
+    sim.load_state(ck.scenario_blob);
     // Fast-forward the world: stateful sources (mobility) need slots in
     // order, and the task-id sequence must continue where it left off.
     Slot skipped;

@@ -1,0 +1,312 @@
+#include "scenario/scenario_source.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/binio.h"
+#include "common/counter_hash.h"
+
+namespace lfsc {
+namespace {
+
+// Domain-separation tags for the scenario draw families (same scheme as
+// the fault model's kTag* constants; independent of them by tag value).
+constexpr std::uint64_t kTagFlashStart = 0xF1A5'0001ULL;
+constexpr std::uint64_t kTagFlashLen = 0xF1A5'0002ULL;
+constexpr std::uint64_t kTagBurstStart = 0xB10C'0001ULL;
+constexpr std::uint64_t kTagBurstLen = 0xB10C'0002ULL;
+constexpr std::uint64_t kTagBurstHit = 0xB10C'0003ULL;
+constexpr std::uint64_t kTagHetArrival = 0x04E7'0001ULL;
+constexpr std::uint64_t kTagHetCapacity = 0x04E7'0002ULL;
+constexpr std::uint64_t kTagSwitch = 0xD51F'0001ULL;
+constexpr std::uint64_t kTagWalk = 0xD51F'0002ULL;
+
+/// Per-slot RNG stream base; distinct from Simulator's 0x51D0 so a
+/// scenario and a plain simulator sharing a seed stay independent.
+constexpr std::uint64_t kSlotStreamBase = 0x5CE2'0000ULL;
+
+/// Burst/spike length for the window starting at slot s: uniform over
+/// [min, max] via one hash draw (the fault model's outage-length rule).
+int hashed_length(std::uint64_t seed, std::uint64_t tag, int s,
+                  std::uint64_t key, int min_len, int max_len) noexcept {
+  const double u = hash_unit(seed, tag, static_cast<std::uint64_t>(s), key);
+  const int span = max_len - min_len + 1;
+  return min_len + std::min(span - 1, static_cast<int>(u * span));
+}
+
+/// True when a windowed process (spike/burst) keyed by `key` is live at
+/// slot t: some start s in (t - max_len, t] fired and reaches t. Pure
+/// function of (seed, t) — no state to carry, O(max_len) per query.
+bool window_active(std::uint64_t seed, std::uint64_t start_tag,
+                   std::uint64_t len_tag, std::uint64_t key, int t,
+                   double prob, int min_len, int max_len) noexcept {
+  if (prob <= 0.0) return false;
+  const int first = std::max(1, t - max_len + 1);
+  for (int s = first; s <= t; ++s) {
+    const double u =
+        hash_unit(seed, start_tag, static_cast<std::uint64_t>(s), key);
+    if (u >= prob) continue;
+    if (s + hashed_length(seed, len_tag, s, key, min_len, max_len) > t) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double clamp01(double x) noexcept { return std::clamp(x, 0.0, 1.0); }
+
+}  // namespace
+
+ScenarioSource::ScenarioSource(const ScenarioSpec& spec)
+    : spec_(spec),
+      net_{.num_scns = spec.scns,
+           .capacity_c = spec.capacity,
+           .qos_alpha = spec.alpha,
+           .resource_beta = spec.beta},
+      env_([&] {
+        EnvironmentConfig e;
+        e.num_scns = spec.scns;
+        e.likelihood_lo = spec.likelihood_lo;
+        e.likelihood_hi = spec.likelihood_hi;
+        e.jitter = spec.jitter;
+        e.blockage_prob = 0.0;  // blockage applied post-draw, per (t, m)
+        e.seed = spec.seed;
+        return Environment(e);
+      }()),
+      seed_(spec.seed) {
+  spec_.validate();
+  net_.validate();
+
+  // Fixed heterogeneity: one hash per SCN, so the profile is a pure
+  // function of the seed (stable across fork/resume without state).
+  const auto n = static_cast<std::size_t>(spec_.scns);
+  arrival_weight_.resize(n);
+  capacity_scale_.resize(n);
+  group_.resize(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    arrival_weight_[m] =
+        1.0 + spec_.hetero_arrival_spread *
+                  (2.0 * hash_unit(seed_, kTagHetArrival, m, 0) - 1.0);
+    capacity_scale_[m] =
+        1.0 - spec_.hetero_capacity_spread * hash_unit(seed_, kTagHetCapacity, m, 0);
+    // Contiguous groups of near-equal size: neighbors share mmWave
+    // geometry, so they blockage-burst together.
+    group_[m] = static_cast<int>(m * static_cast<std::size_t>(spec_.blockage_groups) / n);
+  }
+}
+
+double ScenarioSource::diurnal_factor(int t) const noexcept {
+  if (spec_.diurnal_amplitude <= 0.0 || spec_.diurnal_period <= 0) return 1.0;
+  const double phase =
+      static_cast<double>(t) / spec_.diurnal_period + spec_.diurnal_phase;
+  return 1.0 + spec_.diurnal_amplitude *
+                   std::sin(2.0 * std::numbers::pi * phase);
+}
+
+double ScenarioSource::flash_factor(int t) const noexcept {
+  return window_active(seed_, kTagFlashStart, kTagFlashLen, /*key=*/0, t,
+                       spec_.flash_prob, spec_.flash_min, spec_.flash_max)
+             ? spec_.flash_factor
+             : 1.0;
+}
+
+double ScenarioSource::blockage_prob(int t, int m) const noexcept {
+  const auto g =
+      static_cast<std::uint64_t>(group_[static_cast<std::size_t>(m)]);
+  return window_active(seed_, kTagBurstStart, kTagBurstLen, g, t,
+                       spec_.burst_prob, spec_.burst_min, spec_.burst_max)
+             ? spec_.burst_value
+             : spec_.blockage_base;
+}
+
+double ScenarioSource::arrival_weight(int m) const noexcept {
+  return arrival_weight_[static_cast<std::size_t>(m)];
+}
+
+double ScenarioSource::capacity_scale(int m) const noexcept {
+  return capacity_scale_[static_cast<std::size_t>(m)];
+}
+
+double ScenarioSource::drift_offset(int dim, int t) const noexcept {
+  const ScenarioSpec::Drift& d =
+      dim == 0 ? spec_.drift_u : dim == 1 ? spec_.drift_v : spec_.drift_q;
+  switch (d.kind) {
+    case ScenarioSpec::DriftKind::kNone:
+      return 0.0;
+    case ScenarioSpec::DriftKind::kLinear: {
+      const int ramp = d.period > 0 ? d.period : spec_.horizon;
+      return d.magnitude *
+             std::min(1.0, static_cast<double>(t) / static_cast<double>(ramp));
+    }
+    case ScenarioSpec::DriftKind::kSwitch: {
+      // Regime r holds for slots [r·period, (r+1)·period): a fresh
+      // offset in [-magnitude, magnitude] per regime, switching
+      // abruptly at the scheduled slot boundaries.
+      const auto regime = static_cast<std::uint64_t>(t / d.period);
+      return d.magnitude *
+             (2.0 * hash_unit(seed_, kTagSwitch, regime,
+                              static_cast<std::uint64_t>(dim)) -
+              1.0);
+    }
+    case ScenarioSpec::DriftKind::kWalk:
+      return walk_[dim];
+  }
+  return 0.0;
+}
+
+void ScenarioSource::advance_walk(int t) {
+  // Absorb steps walk_t_+1..t (a no-op when already caught up). Each
+  // step is a counter hash of its slot, so the walk at slot t is the
+  // same sum no matter how many instances replayed the prefix — the
+  // property the resume fast-forward relies on. Clamped to [-1, 1]: a
+  // drift offset beyond that saturates every clamp downstream anyway.
+  const ScenarioSpec::Drift* drifts[3] = {&spec_.drift_u, &spec_.drift_v,
+                                          &spec_.drift_q};
+  for (int s = walk_t_ + 1; s <= t; ++s) {
+    for (int dim = 0; dim < 3; ++dim) {
+      if (drifts[dim]->kind != ScenarioSpec::DriftKind::kWalk) continue;
+      const double step =
+          drifts[dim]->magnitude *
+          (2.0 * hash_unit(seed_, kTagWalk, static_cast<std::uint64_t>(s),
+                           static_cast<std::uint64_t>(dim)) -
+           1.0);
+      walk_[dim] = std::clamp(walk_[dim] + step, -1.0, 1.0);
+    }
+  }
+  walk_t_ = std::max(walk_t_, t);
+}
+
+Slot ScenarioSource::generate_slot(int t) {
+  Slot slot;
+  generate_slot(t, slot);
+  return slot;
+}
+
+void ScenarioSource::generate_slot(int t, Slot& slot) {
+  advance_walk(t);
+  slot.info.t = t;
+  RngStream stream(seed_, kSlotStreamBase + static_cast<std::uint64_t>(t));
+
+  // --- arrivals: the AbstractCoverage shared-pool construction, with
+  // per-SCN demand modulated by wave × flash × heterogeneity ---
+  slot.info.tasks.clear();
+  const auto num_scns = static_cast<std::size_t>(spec_.scns);
+  slot.info.coverage.resize(num_scns);
+  for (auto& cover : slot.info.coverage) cover.clear();
+
+  const double wave = diurnal_factor(t) * flash_factor(t);
+  demand_.resize(num_scns);
+  long total_demand = 0;
+  for (std::size_t m = 0; m < num_scns; ++m) {
+    // One base draw per SCN regardless of modulation, so the stream
+    // layout (and thus every later draw) is independent of the
+    // modulation parameters' *values* — only the realized counts move.
+    const auto base =
+        stream.uniform_int(spec_.tasks_min, spec_.tasks_max);
+    const double scaled =
+        static_cast<double>(base) * wave * arrival_weight_[m];
+    demand_[m] = static_cast<int>(std::lround(std::max(0.0, scaled)));
+    total_demand += demand_[m];
+  }
+
+  const auto pool_size = static_cast<std::size_t>(std::max<long>(
+      1, std::lround(static_cast<double>(total_demand) / spec_.coverage_degree)));
+  slot.info.tasks.reserve(pool_size);
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    slot.info.tasks.push_back(generator_.next(stream));
+  }
+  for (std::size_t m = 0; m < num_scns; ++m) {
+    const auto want = std::min<std::size_t>(
+        static_cast<std::size_t>(demand_[m]), pool_size);
+    stream.sample_without_replacement(pool_size, want, picks_);
+    std::sort(picks_.begin(), picks_.end());
+    auto& cover = slot.info.coverage[m];
+    cover.reserve(picks_.size());
+    for (const auto p : picks_) cover.push_back(static_cast<int>(p));
+  }
+
+  // --- realizations: stationary environment draws, then the scenario's
+  // non-stationary transforms layered on top ---
+  latent_scratch_.resize(slot.info.tasks.size());
+  for (std::size_t i = 0; i < slot.info.tasks.size(); ++i) {
+    latent_scratch_[i] = static_cast<std::uint32_t>(
+        env_.latent_cell(slot.info.tasks[i].context));
+  }
+
+  const double off_u = drift_offset(0, t);
+  const double off_v = drift_offset(1, t);
+  const double off_q = drift_offset(2, t);
+  slot.real.u.resize(num_scns);
+  slot.real.v.resize(num_scns);
+  slot.real.q.resize(num_scns);
+  for (std::size_t m = 0; m < num_scns; ++m) {
+    const auto& cover = slot.info.coverage[m];
+    auto& u = slot.real.u[m];
+    auto& v = slot.real.v[m];
+    auto& q = slot.real.q[m];
+    u.resize(cover.size());
+    v.resize(cover.size());
+    q.resize(cover.size());
+    env_.draw_cover(static_cast<int>(m), cover, latent_scratch_.data(), stream,
+                    u.data(), v.data(), q.data());
+
+    const double block_p = blockage_prob(t, static_cast<int>(m));
+    const double cap = capacity_scale_[m];
+    for (std::size_t j = 0; j < cover.size(); ++j) {
+      u[j] = clamp01(u[j] + off_u);
+      v[j] = clamp01(v[j] * cap + off_v);
+      if (block_p > 0.0) {
+        // Per-(slot, SCN, task) hash, not a stream draw: the blockage
+        // schedule is order-independent, like the fault model's fates.
+        const auto key =
+            (static_cast<std::uint64_t>(m) << 32) |
+            static_cast<std::uint32_t>(cover[j]);
+        if (hash_unit(seed_, kTagBurstHit, static_cast<std::uint64_t>(t),
+                      key) < block_p) {
+          v[j] = 0.0;
+        }
+      }
+      q[j] = std::clamp(q[j] + off_q, 1.0, 2.0);
+    }
+  }
+}
+
+void ScenarioSource::save_state(std::string& out) const {
+  BlobWriter w;
+  w.u64(seed_);
+  w.u64(spec_.fingerprint());
+  w.i32(walk_t_);
+  for (const double x : walk_) w.f64(x);
+  out += w.take();
+}
+
+void ScenarioSource::load_state(std::string_view blob) {
+  if (blob.empty()) {
+    throw std::runtime_error(
+        "ScenarioSource: checkpoint carries no scenario state (it was "
+        "written by a run without --scenario)");
+  }
+  BlobReader r(blob);
+  const std::uint64_t seed = r.u64();
+  const std::uint64_t fp = r.u64();
+  if (seed != seed_ || fp != spec_.fingerprint()) {
+    // Every modulation is a pure function of (seed, spec), so resuming
+    // under a different scenario silently rewrites history before the
+    // checkpoint — same reasoning as the fault-seed guard.
+    throw std::runtime_error(
+        "ScenarioSource: checkpoint was recorded under a different scenario "
+        "spec or seed; resume with the original --scenario file");
+  }
+  const int t = r.i32();
+  double walk[3];
+  for (double& x : walk) x = r.f64();
+  if (!r.done()) {
+    throw std::runtime_error("ScenarioSource: trailing bytes in checkpoint");
+  }
+  walk_t_ = t;
+  for (int i = 0; i < 3; ++i) walk_[i] = walk[i];
+}
+
+}  // namespace lfsc

@@ -1,0 +1,99 @@
+// ScenarioSource (DESIGN.md §13): compiles a validated ScenarioSpec
+// into a SlotSource stream — the third SlotSource implementation next
+// to Simulator and RadioSimulator, so the runner, checkpointing and
+// sweeps work unchanged.
+//
+// Determinism contract (shared with the fault model, DESIGN.md §9):
+// every modulation decision — diurnal factor, flash-crowd windows,
+// per-SCN heterogeneity, blockage-burst windows, switch-regime levels —
+// is a pure counter-based hash of (spec seed, t, ...), and per-slot
+// draws come from a stream keyed (seed, t). The single piece of
+// evolving state is the random-walk drift offset, which advances once
+// per slot in slot order (the SlotSource contract for stateful
+// sources); resume rebuilds it either by checkpoint restore or by the
+// runner's in-order fast-forward — both bit-exact. Output is therefore
+// identical for any shards × parallel_scns × SIMD combination: those
+// knobs live downstream, in the policy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/scenario_spec.h"
+#include "sim/environment.h"
+#include "sim/generator.h"
+#include "sim/network.h"
+#include "sim/slot_source.h"
+
+namespace lfsc {
+
+class ScenarioSource final : public SlotSource {
+ public:
+  /// `spec` must already be validated (parse_scenario_* guarantees it;
+  /// hand-built specs are validated again here).
+  explicit ScenarioSource(const ScenarioSpec& spec);
+
+  const NetworkConfig& network() const noexcept override { return net_; }
+  const ScenarioSpec& spec() const noexcept { return spec_; }
+  const Environment& environment() const noexcept { return env_; }
+
+  Slot generate_slot(int t) override;
+  void generate_slot(int t, Slot& out) override;
+
+  /// Deep copy (fresh generator ids continue, walk state copied); used
+  /// to run identical worlds under different policies in sweep workers.
+  ScenarioSource fork() const { return *this; }
+
+  // --- modulation internals, exposed for tests and diagnostics ---
+
+  /// Arrival multiplier of the diurnal wave at slot t (1 when disabled).
+  double diurnal_factor(int t) const noexcept;
+  /// Arrival multiplier of the flash-crowd process at slot t: the spike
+  /// factor while a (windowed, counter-hashed) spike is live, else 1.
+  double flash_factor(int t) const noexcept;
+  /// Effective blockage probability for SCN m at slot t: burst value
+  /// while m's group has a live burst, else the stationary base.
+  double blockage_prob(int t, int m) const noexcept;
+  /// Fixed per-SCN arrival weight / completion-likelihood scale.
+  double arrival_weight(int m) const noexcept;
+  double capacity_scale(int m) const noexcept;
+  /// Additive drift offset of process `dim` (0 = U, 1 = V, 2 = Q) at
+  /// slot t. For kWalk this reads the cached walk, valid once slot t
+  /// has been generated (or advanced to).
+  double drift_offset(int dim, int t) const noexcept;
+
+  /// Exact mutable state (walk offsets) plus the spec fingerprint and
+  /// seed, for crash-safe checkpoints. load_state rejects an empty blob
+  /// or one from a different scenario/seed — resuming under a different
+  /// --scenario would silently rewrite history before the checkpoint.
+  void save_state(std::string& out) const override;
+  void load_state(std::string_view blob) override;
+
+ private:
+  void advance_walk(int t);
+
+  ScenarioSpec spec_;
+  NetworkConfig net_;
+  Environment env_;
+  TaskGenerator generator_;
+  std::uint64_t seed_ = 0;
+
+  // Fixed per-SCN heterogeneity, hashed once from the seed.
+  std::vector<double> arrival_weight_;
+  std::vector<double> capacity_scale_;
+  std::vector<int> group_;  ///< blockage-burst group per SCN
+
+  // Random-walk drift state: offsets after absorbing steps 1..walk_t_.
+  int walk_t_ = 0;
+  double walk_[3] = {0.0, 0.0, 0.0};
+
+  // Per-slot scratch (contents dead between calls; copies harmless).
+  std::vector<int> demand_;
+  std::vector<std::size_t> picks_;
+  std::vector<std::uint32_t> latent_scratch_;
+  std::vector<std::uint8_t> burst_active_;  ///< per group, this slot
+};
+
+}  // namespace lfsc

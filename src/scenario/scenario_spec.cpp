@@ -1,0 +1,345 @@
+#include "scenario/scenario_spec.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/counter_hash.h"
+
+namespace lfsc {
+namespace {
+
+// Documentation order; lfsc_scn_lint compares this list against the
+// key-reference table in docs/SCENARIOS.md, both directions.
+constexpr std::string_view kKnownKeys[] = {
+    "name",
+    "horizon",
+    "seed",
+    "scns",
+    "capacity",
+    "alpha",
+    "beta",
+    "tasks.min",
+    "tasks.max",
+    "coverage.degree",
+    "likelihood.lo",
+    "likelihood.hi",
+    "jitter",
+    "blockage.base",
+    "arrival.diurnal.amplitude",
+    "arrival.diurnal.period",
+    "arrival.diurnal.phase",
+    "arrival.flash.prob",
+    "arrival.flash.factor",
+    "arrival.flash.min",
+    "arrival.flash.max",
+    "hetero.arrival.spread",
+    "hetero.capacity.spread",
+    "blockage.burst.prob",
+    "blockage.burst.value",
+    "blockage.burst.min",
+    "blockage.burst.max",
+    "blockage.groups",
+    "drift.u.kind",
+    "drift.u.magnitude",
+    "drift.u.period",
+    "drift.v.kind",
+    "drift.v.magnitude",
+    "drift.v.period",
+    "drift.q.kind",
+    "drift.q.magnitude",
+    "drift.q.period",
+};
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::invalid_argument("scenario: line " + std::to_string(line) + ": " +
+                              message);
+}
+
+int parse_int(std::string_view value, int line, std::string_view key) {
+  int out = 0;
+  const auto* end = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(value.data(), end, out);
+  if (ec != std::errc() || ptr != end) {
+    fail(line, std::string(key) + ": '" + std::string(value) +
+                   "' is not an integer");
+  }
+  return out;
+}
+
+double parse_double(std::string_view value, int line, std::string_view key) {
+  // std::from_chars<double> is still missing in some libstdc++ configs;
+  // strtod via a bounded copy keeps the parser portable.
+  const std::string copy(value);
+  char* end = nullptr;
+  const double out = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || copy.empty()) {
+    fail(line, std::string(key) + ": '" + copy + "' is not a number");
+  }
+  return out;
+}
+
+ScenarioSpec::DriftKind parse_kind(std::string_view value, int line,
+                                   std::string_view key) {
+  if (value == "none") return ScenarioSpec::DriftKind::kNone;
+  if (value == "linear") return ScenarioSpec::DriftKind::kLinear;
+  if (value == "switch") return ScenarioSpec::DriftKind::kSwitch;
+  if (value == "walk") return ScenarioSpec::DriftKind::kWalk;
+  fail(line, std::string(key) + ": '" + std::string(value) +
+                 "' is not one of none, linear, switch, walk");
+}
+
+void check(bool ok, const std::string& message) {
+  if (!ok) throw std::invalid_argument("scenario: " + message);
+}
+
+void check_drift(const ScenarioSpec::Drift& d, const char* which) {
+  const std::string key = std::string("drift.") + which;
+  check(d.magnitude >= 0.0 && d.magnitude <= 1.0,
+        key + ".magnitude must be in [0, 1]");
+  check(d.period >= 0, key + ".period must be >= 0");
+  if (d.kind == ScenarioSpec::DriftKind::kSwitch) {
+    check(d.period >= 1, key + ".kind = switch requires " + key +
+                             ".period >= 1 (slots per regime)");
+  }
+}
+
+}  // namespace
+
+void ScenarioSpec::validate() const {
+  check(!name.empty(), "name must be non-empty");
+  check(horizon > 0, "horizon must be positive");
+  check(scns > 0, "scns must be positive");
+  check(capacity > 0, "capacity must be positive (c >= 1)");
+  check(alpha > 0.0, "alpha must be positive");
+  check(beta > 0.0, "beta must be positive");
+  check(tasks_min > 0, "tasks.min must be positive");
+  check(tasks_max >= tasks_min, "tasks.max must be >= tasks.min");
+  check(coverage_degree >= 1.0, "coverage.degree must be >= 1");
+  check(likelihood_lo >= 0.0 && likelihood_hi <= 1.0 &&
+            likelihood_lo <= likelihood_hi,
+        "likelihood.lo/likelihood.hi must satisfy 0 <= lo <= hi <= 1");
+  check(jitter >= 0.0 && jitter <= 1.0, "jitter must be in [0, 1]");
+  check(blockage_base >= 0.0 && blockage_base <= 1.0,
+        "blockage.base must be in [0, 1]");
+  check(diurnal_amplitude >= 0.0 && diurnal_amplitude < 1.0,
+        "arrival.diurnal.amplitude must be in [0, 1)");
+  check(diurnal_period >= 0, "arrival.diurnal.period must be >= 0");
+  if (diurnal_amplitude > 0.0) {
+    check(diurnal_period >= 2,
+          "arrival.diurnal.amplitude > 0 requires arrival.diurnal.period >= 2");
+  }
+  check(diurnal_phase >= 0.0 && diurnal_phase < 1.0,
+        "arrival.diurnal.phase must be in [0, 1)");
+  check(flash_prob >= 0.0 && flash_prob <= 1.0,
+        "arrival.flash.prob must be in [0, 1]");
+  check(flash_factor >= 1.0, "arrival.flash.factor must be >= 1");
+  check(flash_min >= 1 && flash_max >= flash_min,
+        "need 1 <= arrival.flash.min <= arrival.flash.max");
+  check(hetero_arrival_spread >= 0.0 && hetero_arrival_spread < 1.0,
+        "hetero.arrival.spread must be in [0, 1)");
+  check(hetero_capacity_spread >= 0.0 && hetero_capacity_spread < 1.0,
+        "hetero.capacity.spread must be in [0, 1)");
+  check(burst_prob >= 0.0 && burst_prob <= 1.0,
+        "blockage.burst.prob must be in [0, 1]");
+  check(burst_value >= 0.0 && burst_value <= 1.0,
+        "blockage.burst.value must be in [0, 1]");
+  check(burst_min >= 1 && burst_max >= burst_min,
+        "need 1 <= blockage.burst.min <= blockage.burst.max");
+  check(blockage_groups >= 1 && blockage_groups <= scns,
+        "blockage.groups must be in [1, scns]");
+  check_drift(drift_u, "u");
+  check_drift(drift_v, "v");
+  check_drift(drift_q, "q");
+}
+
+std::uint64_t ScenarioSpec::fingerprint() const noexcept {
+  // Field-order chained mix64 over a canonical serialization: any field
+  // change (including the name) changes the digest.
+  std::uint64_t h = mix64(0x5CE2'F1D6ULL);
+  for (const char c : name) h = mix64(h ^ static_cast<unsigned char>(c));
+  const auto mix_u64 = [&](std::uint64_t v) { h = mix64(h ^ v); };
+  const auto mix_f64 = [&](double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof v);
+    __builtin_memcpy(&bits, &v, sizeof bits);
+    mix_u64(bits);
+  };
+  mix_u64(static_cast<std::uint64_t>(horizon));
+  mix_u64(seed);
+  mix_u64(static_cast<std::uint64_t>(scns));
+  mix_u64(static_cast<std::uint64_t>(capacity));
+  mix_f64(alpha);
+  mix_f64(beta);
+  mix_u64(static_cast<std::uint64_t>(tasks_min));
+  mix_u64(static_cast<std::uint64_t>(tasks_max));
+  mix_f64(coverage_degree);
+  mix_f64(likelihood_lo);
+  mix_f64(likelihood_hi);
+  mix_f64(jitter);
+  mix_f64(blockage_base);
+  mix_f64(diurnal_amplitude);
+  mix_u64(static_cast<std::uint64_t>(diurnal_period));
+  mix_f64(diurnal_phase);
+  mix_f64(flash_prob);
+  mix_f64(flash_factor);
+  mix_u64(static_cast<std::uint64_t>(flash_min));
+  mix_u64(static_cast<std::uint64_t>(flash_max));
+  mix_f64(hetero_arrival_spread);
+  mix_f64(hetero_capacity_spread);
+  mix_f64(burst_prob);
+  mix_f64(burst_value);
+  mix_u64(static_cast<std::uint64_t>(burst_min));
+  mix_u64(static_cast<std::uint64_t>(burst_max));
+  mix_u64(static_cast<std::uint64_t>(blockage_groups));
+  for (const Drift* d : {&drift_u, &drift_v, &drift_q}) {
+    mix_u64(static_cast<std::uint64_t>(d->kind));
+    mix_f64(d->magnitude);
+    mix_u64(static_cast<std::uint64_t>(d->period));
+  }
+  return h;
+}
+
+ScenarioSpec parse_scenario_text(std::string_view text) {
+  ScenarioSpec spec;
+  std::istringstream is{std::string(text)};
+  std::string raw;
+  int line = 0;
+  while (std::getline(is, raw)) {
+    ++line;
+    std::string_view s(raw);
+    if (const auto hash = s.find('#'); hash != std::string_view::npos) {
+      s = s.substr(0, hash);
+    }
+    s = trim(s);
+    if (s.empty()) continue;
+    const auto eq = s.find('=');
+    if (eq == std::string_view::npos) {
+      fail(line, "expected 'key = value', got '" + std::string(s) + "'");
+    }
+    const std::string_view key = trim(s.substr(0, eq));
+    const std::string_view value = trim(s.substr(eq + 1));
+    if (key.empty()) fail(line, "empty key");
+    if (value.empty()) fail(line, std::string(key) + ": empty value");
+
+    const auto as_int = [&] { return parse_int(value, line, key); };
+    const auto as_f64 = [&] { return parse_double(value, line, key); };
+    const auto as_kind = [&] { return parse_kind(value, line, key); };
+
+    if (key == "name") {
+      spec.name = std::string(value);
+    } else if (key == "horizon") {
+      spec.horizon = as_int();
+    } else if (key == "seed") {
+      spec.seed = static_cast<std::uint64_t>(
+          parse_int(value, line, key));
+    } else if (key == "scns") {
+      spec.scns = as_int();
+    } else if (key == "capacity") {
+      spec.capacity = as_int();
+    } else if (key == "alpha") {
+      spec.alpha = as_f64();
+    } else if (key == "beta") {
+      spec.beta = as_f64();
+    } else if (key == "tasks.min") {
+      spec.tasks_min = as_int();
+    } else if (key == "tasks.max") {
+      spec.tasks_max = as_int();
+    } else if (key == "coverage.degree") {
+      spec.coverage_degree = as_f64();
+    } else if (key == "likelihood.lo") {
+      spec.likelihood_lo = as_f64();
+    } else if (key == "likelihood.hi") {
+      spec.likelihood_hi = as_f64();
+    } else if (key == "jitter") {
+      spec.jitter = as_f64();
+    } else if (key == "blockage.base") {
+      spec.blockage_base = as_f64();
+    } else if (key == "arrival.diurnal.amplitude") {
+      spec.diurnal_amplitude = as_f64();
+    } else if (key == "arrival.diurnal.period") {
+      spec.diurnal_period = as_int();
+    } else if (key == "arrival.diurnal.phase") {
+      spec.diurnal_phase = as_f64();
+    } else if (key == "arrival.flash.prob") {
+      spec.flash_prob = as_f64();
+    } else if (key == "arrival.flash.factor") {
+      spec.flash_factor = as_f64();
+    } else if (key == "arrival.flash.min") {
+      spec.flash_min = as_int();
+    } else if (key == "arrival.flash.max") {
+      spec.flash_max = as_int();
+    } else if (key == "hetero.arrival.spread") {
+      spec.hetero_arrival_spread = as_f64();
+    } else if (key == "hetero.capacity.spread") {
+      spec.hetero_capacity_spread = as_f64();
+    } else if (key == "blockage.burst.prob") {
+      spec.burst_prob = as_f64();
+    } else if (key == "blockage.burst.value") {
+      spec.burst_value = as_f64();
+    } else if (key == "blockage.burst.min") {
+      spec.burst_min = as_int();
+    } else if (key == "blockage.burst.max") {
+      spec.burst_max = as_int();
+    } else if (key == "blockage.groups") {
+      spec.blockage_groups = as_int();
+    } else if (key == "drift.u.kind") {
+      spec.drift_u.kind = as_kind();
+    } else if (key == "drift.u.magnitude") {
+      spec.drift_u.magnitude = as_f64();
+    } else if (key == "drift.u.period") {
+      spec.drift_u.period = as_int();
+    } else if (key == "drift.v.kind") {
+      spec.drift_v.kind = as_kind();
+    } else if (key == "drift.v.magnitude") {
+      spec.drift_v.magnitude = as_f64();
+    } else if (key == "drift.v.period") {
+      spec.drift_v.period = as_int();
+    } else if (key == "drift.q.kind") {
+      spec.drift_q.kind = as_kind();
+    } else if (key == "drift.q.magnitude") {
+      spec.drift_q.magnitude = as_f64();
+    } else if (key == "drift.q.period") {
+      spec.drift_q.period = as_int();
+    } else {
+      fail(line, "unknown key '" + std::string(key) +
+                     "' (see docs/SCENARIOS.md for the key reference)");
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+ScenarioSpec parse_scenario_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::invalid_argument("scenario: cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return parse_scenario_text(buf.str());
+  } catch (const std::invalid_argument& e) {
+    // Prefix the file so sweep/CI output names the offending spec.
+    throw std::invalid_argument(path + ": " + e.what());
+  }
+}
+
+std::span<const std::string_view> scenario_known_keys() noexcept {
+  return kKnownKeys;
+}
+
+}  // namespace lfsc

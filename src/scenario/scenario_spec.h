@@ -1,0 +1,102 @@
+// Declarative scenario specs (DESIGN.md §13): a small key=value file
+// format describing a non-stationary workload — diurnal traffic waves,
+// flash crowds, heterogeneous per-SCN load and service quality,
+// correlated mmWave-blockage bursts, and drifting/switching U, V, Q
+// processes. A parsed and validated ScenarioSpec is compiled into a
+// SlotSource stream by ScenarioSource (scenario_source.h).
+//
+// Format: one `key = value` pair per line; `#` starts a comment; blank
+// lines are ignored. Unknown keys, malformed values and out-of-range
+// parameters are rejected with a one-line std::invalid_argument (the
+// CLI maps it to exit 2). The full key reference lives in
+// docs/SCENARIOS.md; tools/lfsc_scn_lint cross-checks that document
+// against scenario_known_keys() so the two cannot drift.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace lfsc {
+
+struct ScenarioSpec {
+  // --- world shape (defaults: the paper's Sec. 5 setup) ---
+  std::string name = "unnamed";
+  int horizon = 10000;        ///< time slots T
+  std::uint64_t seed = 42;    ///< root seed of every scenario draw
+  int scns = 30;              ///< number of small cell nodes M
+  int capacity = 20;          ///< per-SCN communication capacity c
+  double alpha = 15.0;        ///< QoS threshold (1c)
+  double beta = 27.0;         ///< resource capacity (1d)
+  int tasks_min = 35;         ///< lower end of baseline |D_{m,t}|
+  int tasks_max = 100;        ///< upper end of baseline |D_{m,t}|
+  double coverage_degree = 1.3;  ///< mean SCNs covering a task
+  double likelihood_lo = 0.0;    ///< mean-V range lower end
+  double likelihood_hi = 1.0;    ///< mean-V range upper end
+  double jitter = 0.1;           ///< per-draw uniform jitter half-width
+  double blockage_base = 0.0;    ///< stationary mmWave blockage prob
+
+  // --- diurnal wave: arrivals scale by 1 + A·sin(2π(t/P + phase)) ---
+  double diurnal_amplitude = 0.0;  ///< A in [0, 1); 0 disables
+  int diurnal_period = 0;          ///< P, slots per "day"
+  double diurnal_phase = 0.0;      ///< phase offset, fraction of a period
+
+  // --- flash crowds: network-wide arrival spikes ---
+  double flash_prob = 0.0;    ///< per-slot spike start probability
+  double flash_factor = 1.0;  ///< arrival multiplier while a spike is live
+  int flash_min = 1;          ///< spike length range (slots)
+  int flash_max = 1;
+
+  // --- per-SCN heterogeneity (fixed for the run, hashed from seed) ---
+  double hetero_arrival_spread = 0.0;   ///< arrival weight in [1-s, 1+s]
+  double hetero_capacity_spread = 0.0;  ///< V haircut factor in [1-s, 1]
+
+  // --- correlated mmWave-blockage bursts, layered on blockage_base ---
+  double burst_prob = 0.0;   ///< per-slot per-group burst start prob
+  double burst_value = 0.0;  ///< blockage prob while a burst is live
+  int burst_min = 1;         ///< burst length range (slots)
+  int burst_max = 1;
+  int blockage_groups = 1;   ///< contiguous SCN groups sharing a burst
+
+  // --- non-stationary U, V, Q processes ---
+  enum class DriftKind : std::uint8_t {
+    kNone = 0,    ///< stationary (the paper's setting)
+    kLinear = 1,  ///< offset ramps 0 -> magnitude over `period` slots
+    kSwitch = 2,  ///< fresh offset in [-magnitude, magnitude] per regime
+    kWalk = 3,    ///< random walk, step in [-magnitude, magnitude]/slot
+  };
+  struct Drift {
+    DriftKind kind = DriftKind::kNone;
+    double magnitude = 0.0;  ///< offset scale, in [0, 1]
+    int period = 0;          ///< linear: ramp length (0 = horizon);
+                             ///< switch: slots per regime (required)
+  };
+  Drift drift_u;
+  Drift drift_v;
+  Drift drift_q;
+
+  /// Throws std::invalid_argument (one line) on out-of-range parameters.
+  void validate() const;
+
+  /// Order-independent 64-bit digest of every field. Stored in
+  /// checkpoints so a --resume under a different --scenario is rejected
+  /// instead of silently rewriting history (same role as the fault-seed
+  /// guard, DESIGN.md §9).
+  std::uint64_t fingerprint() const noexcept;
+};
+
+/// Parses a scenario spec from `text`. Throws std::invalid_argument with
+/// a one-line message naming the offending line on any malformed input;
+/// the returned spec has been validate()d.
+ScenarioSpec parse_scenario_text(std::string_view text);
+
+/// Reads and parses the file at `path` (errors name the file and line).
+ScenarioSpec parse_scenario_file(const std::string& path);
+
+/// Every key the parser accepts, in documentation order — the single
+/// source of truth shared with tools/lfsc_scn_lint, which fails CI when
+/// docs/SCENARIOS.md documents a different set.
+std::span<const std::string_view> scenario_known_keys() noexcept;
+
+}  // namespace lfsc

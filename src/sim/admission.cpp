@@ -5,19 +5,11 @@
 #include <stdexcept>
 
 #include "common/binio.h"
+#include "common/counter_hash.h"
 
 namespace lfsc {
 
 namespace {
-
-/// SplitMix64 finalizer — the same avalanche stage the fault model uses
-/// for its counter-based draws (faults/fault_model.cpp).
-constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
-  x += 0x9E3779B97F4A7C15ULL;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-  return x ^ (x >> 31);
-}
 
 /// Domain-separation tag for the shed-priority draw family.
 constexpr std::uint64_t kTagShed = 0x0A4D'175DULL;

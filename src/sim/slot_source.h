@@ -5,6 +5,10 @@
 // sweeps, persistence — works with either.
 #pragma once
 
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
 #include "sim/network.h"
 #include "sim/task.h"
 
@@ -26,6 +30,28 @@ class SlotSource {
 
   /// The network constants (c, alpha, beta) this world runs under.
   virtual const NetworkConfig& network() const noexcept = 0;
+
+  /// Source-private mutable state for crash-safe checkpoints, appended
+  /// to `out` (harness/checkpoint.h stores it as the scenario blob).
+  /// Sources whose trajectory is fully rebuilt by the runner's in-order
+  /// fast-forward — Simulator, RadioSimulator — keep the default empty
+  /// blob; ScenarioSource adds its drift-walk state plus a spec
+  /// fingerprint guard.
+  virtual void save_state(std::string& out) const { (void)out; }
+
+  /// Restores (and validates) a save_state blob at resume, called
+  /// before the fast-forward. The default accepts only an empty blob:
+  /// an old or scenario-free checkpoint stays resumable, but a blob
+  /// written by a stateful source (ScenarioSource) must not be silently
+  /// dropped by a resume under a plain Simulator — that would rewrite
+  /// the world behind the checkpoint.
+  virtual void load_state(std::string_view blob) {
+    if (!blob.empty()) {
+      throw std::runtime_error(
+          "SlotSource: checkpoint carries scenario state; resume with the "
+          "original --scenario file");
+    }
+  }
 };
 
 }  // namespace lfsc

@@ -1,0 +1,608 @@
+// Tests for the scenario compiler (DESIGN.md §13): spec parsing and
+// one-line rejection of malformed files, the checked-in scenario
+// families, modulation internals, and the determinism contract —
+// bit-identical streams across instances, forks, checkpoint/resume
+// mid-drift, and any shards x parallel_scns combination.
+#include "scenario/scenario_source.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "baselines/random_policy.h"
+#include "harness/paper_setup.h"
+#include "harness/runner.h"
+#include "lfsc/lfsc_policy.h"
+#include "scenario/scenario_spec.h"
+#include "sim/admission.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+
+namespace lfsc {
+namespace {
+
+/// Small world mirroring small_setup(): 6 SCNs, c=5, alpha=3, beta=7,
+/// |D_mt| in [8, 20] — fast enough for slot-by-slot comparisons.
+ScenarioSpec small_spec() {
+  ScenarioSpec spec;
+  spec.name = "test";
+  spec.horizon = 200;
+  spec.seed = 7;
+  spec.scns = 6;
+  spec.capacity = 5;
+  spec.alpha = 3.0;
+  spec.beta = 7.0;
+  spec.tasks_min = 8;
+  spec.tasks_max = 20;
+  return spec;
+}
+
+void expect_same_slot(const Slot& a, const Slot& b, int t) {
+  ASSERT_EQ(a.info.t, b.info.t) << "slot " << t;
+  ASSERT_EQ(a.info.tasks.size(), b.info.tasks.size()) << "slot " << t;
+  for (std::size_t i = 0; i < a.info.tasks.size(); ++i) {
+    EXPECT_EQ(a.info.tasks[i].id, b.info.tasks[i].id) << "slot " << t;
+  }
+  ASSERT_EQ(a.info.coverage, b.info.coverage) << "slot " << t;
+  EXPECT_EQ(a.real.u, b.real.u) << "slot " << t;
+  EXPECT_EQ(a.real.v, b.real.v) << "slot " << t;
+  EXPECT_EQ(a.real.q, b.real.q) << "slot " << t;
+}
+
+// --- parser ---
+
+TEST(ScenarioSpecParse, RoundTripsEveryField) {
+  const auto spec = parse_scenario_text(
+      "# comment\n"
+      "name = full\n"
+      "horizon = 500\n"
+      "seed = 9\n"
+      "scns = 12\n"
+      "capacity = 8\n"
+      "alpha = 4.5\n"
+      "beta = 11\n"
+      "tasks.min = 10\n"
+      "tasks.max = 30\n"
+      "coverage.degree = 1.5\n"
+      "likelihood.lo = 0.2\n"
+      "likelihood.hi = 0.8\n"
+      "jitter = 0.05\n"
+      "blockage.base = 0.1\n"
+      "arrival.diurnal.amplitude = 0.5\n"
+      "arrival.diurnal.period = 100\n"
+      "arrival.diurnal.phase = 0.25\n"
+      "arrival.flash.prob = 0.01\n"
+      "arrival.flash.factor = 15\n"
+      "arrival.flash.min = 3\n"
+      "arrival.flash.max = 9\n"
+      "hetero.arrival.spread = 0.4\n"
+      "hetero.capacity.spread = 0.3\n"
+      "blockage.burst.prob = 0.02\n"
+      "blockage.burst.value = 0.6\n"
+      "blockage.burst.min = 5\n"
+      "blockage.burst.max = 20\n"
+      "blockage.groups = 3\n"
+      "drift.u.kind = linear\n"
+      "drift.u.magnitude = 0.4\n"
+      "drift.u.period = 250\n"
+      "drift.v.kind = switch\n"
+      "drift.v.magnitude = 0.3\n"
+      "drift.v.period = 50\n"
+      "drift.q.kind = walk\n"
+      "drift.q.magnitude = 0.02\n");
+  EXPECT_EQ(spec.name, "full");
+  EXPECT_EQ(spec.horizon, 500);
+  EXPECT_EQ(spec.seed, 9u);
+  EXPECT_EQ(spec.scns, 12);
+  EXPECT_EQ(spec.capacity, 8);
+  EXPECT_DOUBLE_EQ(spec.alpha, 4.5);
+  EXPECT_DOUBLE_EQ(spec.beta, 11.0);
+  EXPECT_EQ(spec.tasks_min, 10);
+  EXPECT_EQ(spec.tasks_max, 30);
+  EXPECT_DOUBLE_EQ(spec.coverage_degree, 1.5);
+  EXPECT_DOUBLE_EQ(spec.likelihood_lo, 0.2);
+  EXPECT_DOUBLE_EQ(spec.likelihood_hi, 0.8);
+  EXPECT_DOUBLE_EQ(spec.jitter, 0.05);
+  EXPECT_DOUBLE_EQ(spec.blockage_base, 0.1);
+  EXPECT_DOUBLE_EQ(spec.diurnal_amplitude, 0.5);
+  EXPECT_EQ(spec.diurnal_period, 100);
+  EXPECT_DOUBLE_EQ(spec.diurnal_phase, 0.25);
+  EXPECT_DOUBLE_EQ(spec.flash_prob, 0.01);
+  EXPECT_DOUBLE_EQ(spec.flash_factor, 15.0);
+  EXPECT_EQ(spec.flash_min, 3);
+  EXPECT_EQ(spec.flash_max, 9);
+  EXPECT_DOUBLE_EQ(spec.hetero_arrival_spread, 0.4);
+  EXPECT_DOUBLE_EQ(spec.hetero_capacity_spread, 0.3);
+  EXPECT_DOUBLE_EQ(spec.burst_prob, 0.02);
+  EXPECT_DOUBLE_EQ(spec.burst_value, 0.6);
+  EXPECT_EQ(spec.burst_min, 5);
+  EXPECT_EQ(spec.burst_max, 20);
+  EXPECT_EQ(spec.blockage_groups, 3);
+  EXPECT_EQ(spec.drift_u.kind, ScenarioSpec::DriftKind::kLinear);
+  EXPECT_DOUBLE_EQ(spec.drift_u.magnitude, 0.4);
+  EXPECT_EQ(spec.drift_u.period, 250);
+  EXPECT_EQ(spec.drift_v.kind, ScenarioSpec::DriftKind::kSwitch);
+  EXPECT_EQ(spec.drift_v.period, 50);
+  EXPECT_EQ(spec.drift_q.kind, ScenarioSpec::DriftKind::kWalk);
+  EXPECT_DOUBLE_EQ(spec.drift_q.magnitude, 0.02);
+}
+
+/// Every rejection is a single line naming the offending line number —
+/// the CLI prints it verbatim and exits 2.
+void expect_one_line_error(const std::string& text,
+                           const std::string& must_contain) {
+  try {
+    (void)parse_scenario_text(text);
+    FAIL() << "expected rejection containing '" << must_contain << "'";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_EQ(msg.find('\n'), std::string::npos) << msg;
+    // Syntactic errors carry "scenario: line N: ..."; whole-spec
+    // validation errors carry "scenario: ..." — both one line, prefixed.
+    EXPECT_NE(msg.find("scenario: "), std::string::npos) << msg;
+    EXPECT_NE(msg.find(must_contain), std::string::npos) << msg;
+  }
+}
+
+TEST(ScenarioSpecParse, RejectsMalformedSpecsWithOneLineErrors) {
+  expect_one_line_error("nosuchkey = 1\n", "unknown key 'nosuchkey'");
+  expect_one_line_error("horizon = ten\n", "not an integer");
+  expect_one_line_error("alpha = wide\n", "not a number");
+  expect_one_line_error("drift.u.kind = cubic\n", "cubic");
+  expect_one_line_error("horizon 100\n", "expected 'key = value'");
+  expect_one_line_error("horizon = 0\n", "horizon");
+  expect_one_line_error("arrival.diurnal.amplitude = 1.2\n", "amplitude");
+  // amplitude > 0 needs a period
+  expect_one_line_error("arrival.diurnal.amplitude = 0.5\n", "period");
+  expect_one_line_error("arrival.flash.factor = 0.5\n", "factor");
+  expect_one_line_error(
+      "arrival.flash.min = 9\narrival.flash.max = 3\n"
+      "arrival.flash.prob = 0.1\narrival.flash.factor = 2\n",
+      "flash");
+  expect_one_line_error("blockage.groups = 99\n", "groups");
+  expect_one_line_error("drift.u.kind = switch\ndrift.u.magnitude = 0.5\n",
+                        "period");
+  expect_one_line_error("tasks.min = 50\ntasks.max = 20\n", "tasks");
+}
+
+TEST(ScenarioSpecParse, FileErrorsNameThePath) {
+  ScopedTempDir tmp;
+  EXPECT_THROW((void)parse_scenario_file(tmp.path("missing.scn")),
+               std::invalid_argument);
+}
+
+TEST(ScenarioSpec, FingerprintSeparatesSpecs) {
+  const auto a = small_spec();
+  auto b = small_spec();
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  b.diurnal_amplitude = 0.3;
+  b.diurnal_period = 50;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+// --- checked-in families ---
+
+TEST(ScenarioFamilies, EveryCheckedInSpecParsesAndValidates) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(LFSC_SCENARIO_DIR)) {
+    if (entry.path().extension() != ".scn") continue;
+    const auto spec = parse_scenario_file(entry.path().string());
+    EXPECT_NE(spec.name, "unnamed") << entry.path();
+    names.push_back(spec.name);
+    // Each family must actually run.
+    ScenarioSource source(spec);
+    const auto slot = source.generate_slot(1);
+    EXPECT_EQ(slot.info.coverage.size(),
+              static_cast<std::size_t>(spec.scns));
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_GE(names.size(), 6u) << "ISSUE.md requires >= 6 named families";
+  EXPECT_TRUE(std::adjacent_find(names.begin(), names.end()) == names.end())
+      << "family names must be unique";
+}
+
+// --- stream determinism ---
+
+TEST(ScenarioSource, SameSpecSameStream) {
+  auto spec = small_spec();
+  spec.diurnal_amplitude = 0.4;
+  spec.diurnal_period = 40;
+  spec.drift_u.kind = ScenarioSpec::DriftKind::kWalk;
+  spec.drift_u.magnitude = 0.02;
+  ScenarioSource a(spec);
+  ScenarioSource b(spec);
+  Slot sb;
+  for (int t = 1; t <= 60; ++t) {
+    const Slot sa = a.generate_slot(t);
+    b.generate_slot(t, sb);  // mixed overloads must agree too
+    expect_same_slot(sa, sb, t);
+  }
+}
+
+TEST(ScenarioSource, ForkContinuesIdentically) {
+  auto spec = small_spec();
+  spec.drift_q.kind = ScenarioSpec::DriftKind::kWalk;
+  spec.drift_q.magnitude = 0.01;
+  ScenarioSource a(spec);
+  for (int t = 1; t <= 20; ++t) (void)a.generate_slot(t);
+  ScenarioSource b = a.fork();
+  for (int t = 21; t <= 40; ++t) {
+    const Slot sa = a.generate_slot(t);
+    const Slot sb = b.generate_slot(t);
+    expect_same_slot(sa, sb, t);
+  }
+}
+
+TEST(ScenarioSource, SaveLoadRestoresWalkExactly) {
+  auto spec = small_spec();
+  spec.drift_u.kind = ScenarioSpec::DriftKind::kWalk;
+  spec.drift_u.magnitude = 0.05;
+  ScenarioSource a(spec);
+  for (int t = 1; t <= 30; ++t) (void)a.generate_slot(t);
+  std::string blob;
+  a.save_state(blob);
+  ASSERT_FALSE(blob.empty());
+
+  // A fresh source restored from the blob carries a's exact walk offset
+  // without replaying a single slot.
+  ScenarioSource b(spec);
+  b.load_state(blob);
+  EXPECT_EQ(b.drift_offset(0, 30), a.drift_offset(0, 30));
+  EXPECT_NE(b.drift_offset(0, 30), 0.0) << "walk never moved in 30 slots";
+
+  // The runner's resume path then fast-forwards the completed slots to
+  // rebuild generator state (task ids); the restored walk makes its
+  // advance_walk calls no-ops. The tail must match exactly.
+  for (int t = 1; t <= 30; ++t) (void)b.generate_slot(t);
+  for (int t = 31; t <= 50; ++t) {
+    const Slot sa = a.generate_slot(t);
+    const Slot sb = b.generate_slot(t);
+    expect_same_slot(sa, sb, t);
+  }
+}
+
+TEST(ScenarioSource, LoadStateRejectsForeignBlobs) {
+  const auto spec = small_spec();
+  ScenarioSource source(spec);
+  EXPECT_THROW(source.load_state(""), std::runtime_error);
+
+  auto other = small_spec();
+  other.seed = 1234;
+  ScenarioSource different_seed(other);
+  std::string blob;
+  ScenarioSource(spec).save_state(blob);
+  EXPECT_THROW(different_seed.load_state(blob), std::runtime_error);
+}
+
+TEST(SlotSourceDefault, RejectsScenarioBlobOnResume) {
+  // Resuming a --scenario checkpoint without --scenario must fail loudly
+  // instead of silently regenerating a different world.
+  auto sim = small_setup().make_simulator();
+  EXPECT_NO_THROW(sim.load_state(""));
+  EXPECT_THROW(sim.load_state("scenario-bytes"), std::runtime_error);
+}
+
+// --- modulation internals ---
+
+TEST(ScenarioModulation, DiurnalWaveHasUnitMeanAndAmplitude) {
+  auto spec = small_spec();
+  spec.diurnal_amplitude = 0.5;
+  spec.diurnal_period = 80;
+  ScenarioSource source(spec);
+  double lo = 2.0, hi = 0.0, sum = 0.0;
+  for (int t = 1; t <= 80; ++t) {
+    const double f = source.diurnal_factor(t);
+    lo = std::min(lo, f);
+    hi = std::max(hi, f);
+    sum += f;
+  }
+  EXPECT_NEAR(lo, 0.5, 1e-3);
+  EXPECT_NEAR(hi, 1.5, 1e-3);
+  EXPECT_NEAR(sum / 80.0, 1.0, 1e-6);  // wave is load-neutral on average
+}
+
+TEST(ScenarioModulation, FlashCrowdsSpikeByTheConfiguredFactor) {
+  auto spec = small_spec();
+  spec.flash_prob = 0.02;
+  spec.flash_factor = 12.0;
+  spec.flash_min = 4;
+  spec.flash_max = 10;
+  ScenarioSource source(spec);
+  int live = 0;
+  for (int t = 1; t <= 2000; ++t) {
+    const double f = source.flash_factor(t);
+    ASSERT_TRUE(f == 1.0 || f == 12.0) << "slot " << t << " factor " << f;
+    if (f > 1.0) ++live;
+  }
+  EXPECT_GT(live, 0) << "no spike in 2000 slots at p=0.02";
+  EXPECT_LT(live, 2000);
+}
+
+TEST(ScenarioModulation, HeterogeneityStaysInRange) {
+  auto spec = small_spec();
+  spec.scns = 30;
+  spec.hetero_arrival_spread = 0.6;
+  spec.hetero_capacity_spread = 0.4;
+  ScenarioSource source(spec);
+  for (int m = 0; m < spec.scns; ++m) {
+    EXPECT_GE(source.arrival_weight(m), 0.4);
+    EXPECT_LE(source.arrival_weight(m), 1.6);
+    EXPECT_GE(source.capacity_scale(m), 0.6);
+    EXPECT_LE(source.capacity_scale(m), 1.0);
+  }
+  // The spread must actually spread: not all SCNs identical.
+  EXPECT_NE(source.arrival_weight(0), source.arrival_weight(1));
+}
+
+TEST(ScenarioModulation, LinearDriftRampsToMagnitude) {
+  auto spec = small_spec();
+  spec.drift_u.kind = ScenarioSpec::DriftKind::kLinear;
+  spec.drift_u.magnitude = 0.4;
+  spec.drift_u.period = 100;
+  const ScenarioSource source(spec);
+  EXPECT_NEAR(source.drift_offset(0, 0), 0.0, 1e-12);
+  EXPECT_NEAR(source.drift_offset(0, 50), 0.2, 1e-9);
+  EXPECT_NEAR(source.drift_offset(0, 100), 0.4, 1e-12);
+  EXPECT_NEAR(source.drift_offset(0, 500), 0.4, 1e-12);  // holds after ramp
+  EXPECT_EQ(source.drift_offset(1, 50), 0.0);  // V has no drift configured
+}
+
+TEST(ScenarioModulation, SwitchDriftChangesAcrossRegimes) {
+  auto spec = small_spec();
+  spec.drift_u.kind = ScenarioSpec::DriftKind::kSwitch;
+  spec.drift_u.magnitude = 0.6;
+  spec.drift_u.period = 50;
+  const ScenarioSource source(spec);
+  // Regime r spans slots [r*P, r*P + P - 1]: constant within, and at
+  // least one boundary moves the level.
+  bool moved = false;
+  for (int regime = 0; regime < 8; ++regime) {
+    const int base = regime * 50;
+    const double level = source.drift_offset(0, base);
+    EXPECT_GE(level, -0.6);
+    EXPECT_LE(level, 0.6);
+    EXPECT_EQ(source.drift_offset(0, base + 49), level);
+    if (regime > 0 && level != source.drift_offset(0, base - 1)) moved = true;
+  }
+  EXPECT_TRUE(moved) << "8 regimes with identical offsets at magnitude 0.6";
+}
+
+TEST(ScenarioModulation, DriftActuallyMovesRealizations) {
+  auto spec = small_spec();
+  spec.horizon = 400;
+  spec.drift_u.kind = ScenarioSpec::DriftKind::kLinear;
+  spec.drift_u.magnitude = 0.5;
+  spec.drift_u.period = 400;
+  ScenarioSource source(spec);
+  const auto mean_u = [&](int from, int to) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (int t = from; t <= to; ++t) {
+      const Slot slot = source.generate_slot(t);
+      for (const auto& row : slot.real.u) {
+        sum = std::accumulate(row.begin(), row.end(), sum);
+        n += row.size();
+      }
+    }
+    return sum / static_cast<double>(n);
+  };
+  const double early = mean_u(1, 40);
+  const double late = mean_u(360, 400);
+  EXPECT_GT(late, early + 0.15)
+      << "U drifted by 0.5 but the realized mean barely moved";
+}
+
+TEST(ScenarioModulation, BlockageBurstsZeroCompletionsByGroup) {
+  auto spec = small_spec();
+  spec.scns = 12;
+  spec.burst_prob = 0.05;
+  spec.burst_value = 1.0;  // every completion in a bursting group blocked
+  spec.burst_min = 5;
+  spec.burst_max = 10;
+  spec.blockage_groups = 3;
+  ScenarioSource source(spec);
+  bool saw_blocked_slot = false;
+  for (int t = 1; t <= 300 && !saw_blocked_slot; ++t) {
+    const Slot slot = source.generate_slot(t);
+    for (int m = 0; m < spec.scns; ++m) {
+      if (source.blockage_prob(t, m) != 1.0) continue;
+      const auto& v = slot.real.v[static_cast<std::size_t>(m)];
+      if (v.empty()) continue;
+      saw_blocked_slot = true;
+      for (const double x : v) EXPECT_EQ(x, 0.0) << "slot " << t;
+    }
+  }
+  EXPECT_TRUE(saw_blocked_slot) << "no burst hit a non-empty SCN in 300 slots";
+}
+
+// --- harness integration ---
+
+TEST(ScenarioHarness, FlashCrowdTriggersAdmissionShedding) {
+  auto spec = small_spec();
+  spec.flash_prob = 0.02;
+  spec.flash_factor = 20.0;
+  spec.flash_min = 5;
+  spec.flash_max = 10;
+  ScenarioSource source(spec);
+
+  AdmissionConfig ac;
+  ac.capacity_factor = 1.0;
+  ac.max_queue = 4 * spec.scns * spec.capacity;
+  AdmissionControl admission(ac, source.network());
+
+  NetworkConfig net = source.network();
+  RandomPolicy random(net);
+  Policy* roster[] = {&random};
+  RunConfig config;
+  config.horizon = 400;
+  config.admission = &admission;
+  (void)run_experiment(source, roster, config);
+
+  EXPECT_GT(admission.total_shed(), 0u)
+      << "a 20x flash crowd should overflow a 4-slot queue";
+  EXPECT_EQ(admission.offered(), admission.admitted() + admission.total_shed());
+}
+
+/// StopAfterSlot stand-in for SIGINT (same shape as test_checkpoint.cpp).
+class StopAfterSlot : public Policy {
+ public:
+  StopAfterSlot(Policy& inner, int stop_after, std::atomic<bool>& stop)
+      : inner_(inner), stop_after_(stop_after), stop_(stop) {}
+  std::string_view name() const noexcept override { return inner_.name(); }
+  Assignment select(const SlotInfo& info) override {
+    return inner_.select(info);
+  }
+  void observe(const SlotInfo& info, const Assignment& assignment,
+               const SlotFeedback& feedback) override {
+    inner_.observe(info, assignment, feedback);
+    if (info.t == stop_after_) stop_.store(true);
+  }
+  bool needs_realizations() const noexcept override {
+    return inner_.needs_realizations();
+  }
+  Assignment select_omniscient(const Slot& slot) override {
+    return inner_.select_omniscient(slot);
+  }
+  void reset() override { inner_.reset(); }
+  bool supports_checkpoint() const noexcept override {
+    return inner_.supports_checkpoint();
+  }
+  void save_checkpoint(std::string& out) const override {
+    inner_.save_checkpoint(out);
+  }
+  void load_checkpoint(std::string_view blob) override {
+    inner_.load_checkpoint(blob);
+  }
+
+ private:
+  Policy& inner_;
+  int stop_after_;
+  std::atomic<bool>& stop_;
+};
+
+void expect_same_series(const SeriesRecorder& a, const SeriesRecorder& b) {
+  ASSERT_EQ(a.slots(), b.slots());
+  for (std::size_t i = 0; i < a.slots(); ++i) {
+    EXPECT_EQ(a.reward()[i], b.reward()[i]) << "slot " << i + 1;
+    EXPECT_EQ(a.qos_violation()[i], b.qos_violation()[i]) << "slot " << i + 1;
+    EXPECT_EQ(a.resource_violation()[i], b.resource_violation()[i])
+        << "slot " << i + 1;
+  }
+}
+
+/// The non-stationary spec used for resume/shard identity checks: the
+/// random walk is the one piece of evolving scenario state, so it is
+/// the regime where a checkpoint bug would show.
+ScenarioSpec drifting_spec() {
+  auto spec = small_spec();
+  spec.diurnal_amplitude = 0.4;
+  spec.diurnal_period = 60;
+  spec.drift_u.kind = ScenarioSpec::DriftKind::kWalk;
+  spec.drift_u.magnitude = 0.02;
+  spec.drift_v.kind = ScenarioSpec::DriftKind::kSwitch;
+  spec.drift_v.magnitude = 0.3;
+  spec.drift_v.period = 40;
+  return spec;
+}
+
+LfscConfig scenario_lfsc_config(const ScenarioSpec& spec) {
+  LfscConfig cfg;
+  cfg.horizon = static_cast<std::size_t>(spec.horizon);
+  cfg.seed = spec.seed ^ 0x5eed;
+  return cfg;
+}
+
+TEST(ScenarioHarness, ResumeMidDriftIsBitIdentical) {
+  ScopedTempDir tmp;
+  const auto spec = drifting_spec();
+  const int horizon = spec.horizon;
+  const NetworkConfig net = ScenarioSource(spec).network();
+
+  // Reference: uninterrupted run.
+  ScenarioSource ref_source(spec);
+  LfscPolicy ref_lfsc(net, scenario_lfsc_config(spec));
+  RandomPolicy ref_random(net);
+  Policy* ref_roster[] = {&ref_lfsc, &ref_random};
+  RunConfig ref_config;
+  ref_config.horizon = horizon;
+  const auto ref = run_experiment(ref_source, ref_roster, ref_config);
+  ASSERT_EQ(ref.completed_slots, horizon);
+
+  // Interrupted at T/2 with a checkpoint mid-walk.
+  const std::string ckpt = tmp.path("scenario.ckpt");
+  {
+    ScenarioSource source(spec);
+    LfscPolicy lfsc(net, scenario_lfsc_config(spec));
+    RandomPolicy random(net);
+    std::atomic<bool> stop{false};
+    StopAfterSlot stopper(random, horizon / 2, stop);
+    Policy* roster[] = {&lfsc, &stopper};
+    RunConfig config;
+    config.horizon = horizon;
+    config.checkpoint_path = ckpt;
+    config.stop = &stop;
+    const auto first = run_experiment(source, roster, config);
+    ASSERT_TRUE(first.interrupted);
+    ASSERT_EQ(first.completed_slots, horizon / 2);
+  }
+
+  // Resume in a "new process": the walk state comes back from the blob,
+  // the fast-forward replays slots 1..T/2, and the tail must match the
+  // uninterrupted run exactly.
+  ScenarioSource source(spec);
+  LfscPolicy lfsc(net, scenario_lfsc_config(spec));
+  RandomPolicy random(net);
+  Policy* roster[] = {&lfsc, &random};
+  RunConfig config;
+  config.horizon = horizon;
+  config.checkpoint_path = ckpt;
+  config.resume = true;
+  const auto resumed = run_experiment(source, roster, config);
+  EXPECT_FALSE(resumed.interrupted);
+  ASSERT_EQ(resumed.completed_slots, horizon);
+  ASSERT_EQ(resumed.series.size(), ref.series.size());
+  for (std::size_t k = 0; k < ref.series.size(); ++k) {
+    expect_same_series(resumed.series[k], ref.series[k]);
+  }
+}
+
+TEST(ScenarioHarness, ShardsAndParallelScnsAreBitIdentical) {
+  const auto spec = drifting_spec();
+  const NetworkConfig net = ScenarioSource(spec).network();
+
+  std::vector<SeriesRecorder> reference;
+  struct Combo {
+    bool parallel;
+    int shards;
+  };
+  const Combo combos[] = {{false, 0}, {true, 0}, {true, 1}, {true, 3}};
+  for (const auto& combo : combos) {
+    ScenarioSource source(spec);
+    auto cfg = scenario_lfsc_config(spec);
+    cfg.parallel_scns = combo.parallel;
+    cfg.shards = combo.shards;
+    LfscPolicy lfsc(net, cfg);
+    Policy* roster[] = {&lfsc};
+    RunConfig config;
+    config.horizon = spec.horizon;
+    auto result = run_experiment(source, roster, config);
+    if (reference.empty()) {
+      reference = std::move(result.series);
+      continue;
+    }
+    SCOPED_TRACE(::testing::Message() << "parallel=" << combo.parallel
+                                      << " shards=" << combo.shards);
+    expect_same_series(result.series[0], reference[0]);
+  }
+}
+
+}  // namespace
+}  // namespace lfsc

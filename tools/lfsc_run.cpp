@@ -13,6 +13,8 @@
 //   lfsc_run --checkpoint run.ckpt --checkpoint-every 500   # crash-safe
 //   lfsc_run --checkpoint run.ckpt --resume              # continue after ^C
 //   lfsc_run --fault-outage-prob 0.01 --fault-loss-prob 0.1
+//   lfsc_run --scenario scenarios/flash_crowd.scn      # compiled workload
+//   lfsc_run --scenario scenarios/drift_walk.scn --horizon 2000  # override T
 #include <atomic>
 #include <csignal>
 #include <filesystem>
@@ -30,12 +32,15 @@
 #include "baselines/thompson.h"
 #include "baselines/vucb.h"
 #include "common/flags.h"
+#include "common/simd.h"
 #include "common/table.h"
 #include "faults/fault_model.h"
 #include "harness/paper_setup.h"
 #include "harness/replication.h"
 #include "harness/runner.h"
 #include "harness/series_io.h"
+#include "scenario/scenario_source.h"
+#include "scenario/scenario_spec.h"
 #include "sim/trace.h"
 #include "lfsc/lfsc_policy.h"
 #include "telemetry/export.h"
@@ -78,25 +83,29 @@ extern "C" void handle_sigint(int) { g_stop.store(true); }
 int main(int argc, char** argv) {
   FlagParser parser("lfsc_run",
                     "run a small-cell task-offloading experiment");
-  const int* scns = parser.add_int("scns", 30, "number of small cell nodes");
-  const int* capacity = parser.add_int("capacity", 20,
-                                       "per-SCN communication capacity c");
-  const double* alpha =
+  // Spec-overridable world flags: with --scenario, the scenario file
+  // provides these defaults and an explicitly passed flag overrides the
+  // spec (FlagParser::provided distinguishes the two), so the parser
+  // writes into mutable storage.
+  int* scns = parser.add_int("scns", 30, "number of small cell nodes");
+  int* capacity = parser.add_int("capacity", 20,
+                                 "per-SCN communication capacity c");
+  double* alpha =
       parser.add_double("alpha", 15.0, "QoS threshold alpha (1c)");
-  const double* beta =
+  double* beta =
       parser.add_double("beta", 27.0, "resource capacity beta (1d)");
-  const int* horizon = parser.add_int("horizon", 10000, "time slots T");
-  const int* seed = parser.add_int("seed", 42, "world seed");
+  int* horizon = parser.add_int("horizon", 10000, "time slots T");
+  int* seed = parser.add_int("seed", 42, "world seed");
   const int* h_t = parser.add_int("h", 3, "hypercube parts per dimension");
   const double* gamma =
       parser.add_double("gamma", 0.0, "LFSC exploration rate (0 = auto)");
   const std::string* coverage = parser.add_string(
       "coverage", "abstract", "coverage model: abstract | geometric");
-  const double* likelihood_lo = parser.add_double(
+  double* likelihood_lo = parser.add_double(
       "likelihood-lo", 0.0, "lower end of the mean completion likelihood");
-  const double* likelihood_hi = parser.add_double(
+  double* likelihood_hi = parser.add_double(
       "likelihood-hi", 1.0, "upper end of the mean completion likelihood");
-  const double* blockage =
+  double* blockage =
       parser.add_double("blockage", 0.0, "mmWave blockage probability");
   const std::string* policies_flag = parser.add_string(
       "policies", "Oracle,LFSC,vUCB,FML,Random", "comma-separated roster");
@@ -104,10 +113,14 @@ int main(int argc, char** argv) {
       "csv", "", "write <prefix>_reward.csv / _violations.csv");
   const int* replicates = parser.add_int(
       "replicates", 1, "seeds to replicate (>1 prints mean ± 95% CI)");
-  const int* tasks_min =
+  int* tasks_min =
       parser.add_int("tasks-min", 35, "min tasks per SCN coverage");
-  const int* tasks_max =
+  int* tasks_max =
       parser.add_int("tasks-max", 100, "max tasks per SCN coverage");
+  const std::string* scenario_path = parser.add_string(
+      "scenario", "",
+      "compile a scenario spec file (scenarios/*.scn) into the workload; "
+      "explicit world flags override the spec");
   const std::string* trace_in = parser.add_string(
       "trace", "", "replay a workload trace file instead of generating");
   const std::string* trace_out = parser.add_string(
@@ -166,6 +179,13 @@ int main(int argc, char** argv) {
   const int* admission_seed = parser.add_int(
       "admission-seed", 0xADC0,
       "seed of the deterministic shed ordering (independent of world)");
+  const int* shards = parser.add_int(
+      "shards", 0,
+      "run LFSC's per-SCN phases on the thread pool in N contiguous SCN "
+      "shards (0 = serial; bit-identical for any value, DESIGN.md §12)");
+  const bool* force_scalar = parser.add_bool(
+      "force-scalar", false,
+      "disable the SIMD kernel dispatch (bit-identical, for triage)");
 
   switch (parser.parse(argc, argv, std::cerr)) {
     case FlagParser::Result::kHelp:
@@ -182,6 +202,54 @@ int main(int argc, char** argv) {
     std::cerr << "lfsc_run: " << message << "\n";
     return 2;
   };
+  // Scenario mode: parse the spec first so it can provide the world
+  // defaults; any world flag the user passed explicitly overrides the
+  // spec (and feeds back into it, keeping one source of truth).
+  ScenarioSpec scenario_spec;
+  const bool scenario_mode = !scenario_path->empty();
+  if (scenario_mode) {
+    try {
+      scenario_spec = parse_scenario_file(*scenario_path);
+    } catch (const std::invalid_argument& e) {
+      return fail(e.what());
+    }
+    if (!trace_in->empty() || !trace_out->empty()) {
+      return fail("--scenario generates its own workload (incompatible with "
+                  "--trace/--record-trace)");
+    }
+    if (parser.provided("coverage")) {
+      return fail("--scenario fixes the coverage construction (incompatible "
+                  "with --coverage)");
+    }
+    const auto merge_int = [&](const char* flag, int* store, int& field) {
+      if (parser.provided(flag)) field = *store; else *store = field;
+    };
+    const auto merge_double = [&](const char* flag, double* store,
+                                  double& field) {
+      if (parser.provided(flag)) field = *store; else *store = field;
+    };
+    merge_int("scns", scns, scenario_spec.scns);
+    merge_int("capacity", capacity, scenario_spec.capacity);
+    merge_double("alpha", alpha, scenario_spec.alpha);
+    merge_double("beta", beta, scenario_spec.beta);
+    merge_int("horizon", horizon, scenario_spec.horizon);
+    merge_int("tasks-min", tasks_min, scenario_spec.tasks_min);
+    merge_int("tasks-max", tasks_max, scenario_spec.tasks_max);
+    merge_double("likelihood-lo", likelihood_lo, scenario_spec.likelihood_lo);
+    merge_double("likelihood-hi", likelihood_hi, scenario_spec.likelihood_hi);
+    merge_double("blockage", blockage, scenario_spec.blockage_base);
+    if (parser.provided("seed")) {
+      scenario_spec.seed = static_cast<std::uint64_t>(*seed);
+    } else {
+      *seed = static_cast<int>(scenario_spec.seed);
+    }
+    try {
+      scenario_spec.validate();  // flag overrides may have broken it
+    } catch (const std::invalid_argument& e) {
+      return fail(e.what());
+    }
+  }
+
   if (*horizon <= 0) return fail("--horizon must be positive");
   if (*scns <= 0) return fail("--scns must be positive");
   if (*capacity <= 0) return fail("--capacity must be positive (c >= 1)");
@@ -209,6 +277,7 @@ int main(int argc, char** argv) {
   if (*slot_budget_us < 0) return fail("--slot-budget-us must be >= 0");
   if (*audit_stride < 0) return fail("--audit-stride must be >= 0");
   if (*admission_queue < 0) return fail("--admission-queue must be >= 0");
+  if (*shards < 0) return fail("--shards must be >= 0");
   DegradeRung forced_rung = DegradeRung::kFull;
   const bool force_rung = *degrade != "auto";
   if (force_rung && !parse_rung(*degrade, forced_rung)) {
@@ -265,6 +334,13 @@ int main(int argc, char** argv) {
     setup.lfsc.overload.forced_rung = forced_rung;
   }
   setup.lfsc.audit_stride = static_cast<std::size_t>(*audit_stride);
+  if (*shards > 0) {
+    // Sharding lives in the parallel per-SCN path; one flag turns both
+    // on (bit-identical to serial for any value, DESIGN.md §12).
+    setup.lfsc.parallel_scns = true;
+    setup.lfsc.shards = *shards;
+  }
+  if (*force_scalar) simd::set_force_scalar(true);
 
   AdmissionConfig admission_config;
   admission_config.max_queue = *admission_queue;
@@ -283,10 +359,11 @@ int main(int argc, char** argv) {
     if (!state_in->empty() || !state_out->empty() || !trace_in->empty() ||
         !trace_out->empty() || want_telemetry || !checkpoint_path->empty() ||
         fault_config.any() || *slot_budget_us > 0 || force_rung ||
-        *audit_stride > 0 || admission_config.enabled()) {
+        *audit_stride > 0 || admission_config.enabled() || scenario_mode) {
       std::cerr << "lfsc_run: --load-state/--save-state/--trace/"
                    "--record-trace/--telemetry/--checkpoint/--fault-*/"
-                   "--slot-budget-us/--degrade/--audit-stride/--admission-* "
+                   "--slot-budget-us/--degrade/--audit-stride/--admission-*/"
+                   "--scenario "
                    "are single-run flags (incompatible with --replicates)\n";
       return 2;
     }
@@ -305,26 +382,40 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::unique_ptr<CoverageModel> cov;
-  if (!trace_in->empty()) {
-    cov = std::make_unique<TraceCoverage>(load_trace(*trace_in), *scns);
-  } else if (*coverage == "geometric") {
-    GeometricCoverageConfig geo;
-    geo.num_scns = *scns;
-    geo.num_wds = *scns * 25;
-    cov = std::make_unique<GeometricCoverage>(geo);
-  } else if (*coverage == "abstract") {
-    cov = std::make_unique<AbstractCoverage>(setup.coverage);
+  std::unique_ptr<ScenarioSource> scenario_source;
+  std::unique_ptr<Simulator> simulator;
+  if (scenario_mode) {
+    try {
+      scenario_source = std::make_unique<ScenarioSource>(scenario_spec);
+    } catch (const std::exception& e) {
+      return fail(e.what());
+    }
   } else {
-    std::cerr << "lfsc_run: unknown coverage model '" << *coverage << "'\n";
-    return 2;
+    std::unique_ptr<CoverageModel> cov;
+    if (!trace_in->empty()) {
+      cov = std::make_unique<TraceCoverage>(load_trace(*trace_in), *scns);
+    } else if (*coverage == "geometric") {
+      GeometricCoverageConfig geo;
+      geo.num_scns = *scns;
+      geo.num_wds = *scns * 25;
+      cov = std::make_unique<GeometricCoverage>(geo);
+    } else if (*coverage == "abstract") {
+      cov = std::make_unique<AbstractCoverage>(setup.coverage);
+    } else {
+      std::cerr << "lfsc_run: unknown coverage model '" << *coverage << "'\n";
+      return 2;
+    }
+    simulator = std::make_unique<Simulator>(setup.net, setup.env,
+                                            std::move(cov));
   }
-  Simulator sim(setup.net, setup.env, std::move(cov));
+  SlotSource& sim = scenario_mode
+                        ? static_cast<SlotSource&>(*scenario_source)
+                        : static_cast<SlotSource&>(*simulator);
 
   if (!trace_out->empty()) {
     // Record the workload this configuration generates (a separate pass
     // over a forked world so the experiment below is unaffected).
-    auto recorder = sim.fork();
+    auto recorder = simulator->fork();
     TraceWriter writer(*trace_out);
     for (int t = 1; t <= *horizon; ++t) {
       writer.add_slot(recorder.generate_slot(t).info);
@@ -478,6 +569,10 @@ int main(int argc, char** argv) {
                  "(LFSC_TELEMETRY=OFF); exports are empty shells\n";
   }
 
+  if (scenario_mode) {
+    std::cout << "scenario '" << scenario_spec.name << "' ("
+              << *scenario_path << ")\n";
+  }
   std::cout << *scns << " SCNs, c=" << *capacity << ", alpha=" << *alpha
             << ", beta=" << *beta << ", T=" << *horizon << "\n\n";
   Table table({"policy", "reward", "QoS viol (1c)", "res viol (1d)",

@@ -1,0 +1,134 @@
+// lfsc_scn_lint — spec-vs-docs drift gate for the scenario layer, run
+// by the CI scenario-smoke job:
+//   1. every checked-in scenarios/*.scn must parse and validate;
+//   2. the key-reference table in docs/SCENARIOS.md (rows of the form
+//      "| `key` | ...") must document exactly the keys the parser
+//      accepts (scenario_known_keys()) — a key added to the parser
+//      without documentation fails, and so does a documented key the
+//      parser no longer knows.
+//
+// Exit 0 when clean; exit 1 with one line per finding otherwise.
+//
+// Usage: lfsc_scn_lint [--scenarios <dir>] [--doc <SCENARIOS.md>]
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "scenario/scenario_spec.h"
+
+namespace {
+
+using namespace lfsc;
+
+/// Keys documented in the markdown key-reference table: every row that
+/// starts "| `key` |" contributes `key`. Prose mentions don't count —
+/// the table is the contract.
+std::set<std::string> documented_keys(const std::string& text) {
+  std::set<std::string> keys;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto bar = line.find_first_not_of(" \t");
+    if (bar == std::string::npos || line[bar] != '|') continue;
+    const auto open = line.find('`', bar);
+    if (open == std::string::npos) continue;
+    const auto close = line.find('`', open + 1);
+    if (close == std::string::npos) continue;
+    // Only the first cell names a key; later cells may carry examples.
+    const auto mid = line.find('|', bar + 1);
+    if (mid == std::string::npos || open > mid) continue;
+    keys.insert(line.substr(open + 1, close - open - 1));
+  }
+  return keys;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser parser("lfsc_scn_lint",
+                    "check scenarios/*.scn and docs/SCENARIOS.md against "
+                    "the scenario parser");
+  const std::string* scn_dir = parser.add_string(
+      "scenarios", "scenarios", "directory of checked-in *.scn files");
+  const std::string* doc_path = parser.add_string(
+      "doc", "docs/SCENARIOS.md", "scenario spec reference document");
+  switch (parser.parse(argc, argv, std::cerr)) {
+    case FlagParser::Result::kHelp:
+      return 0;
+    case FlagParser::Result::kError:
+      return 2;
+    case FlagParser::Result::kOk:
+      break;
+  }
+
+  int findings = 0;
+  const auto report = [&](const std::string& message) {
+    std::cerr << "lfsc_scn_lint: " << message << "\n";
+    ++findings;
+  };
+
+  // 1. Every checked-in scenario must compile.
+  std::vector<std::filesystem::path> files;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(*scn_dir, ec)) {
+    if (entry.path().extension() == ".scn") files.push_back(entry.path());
+  }
+  if (ec) {
+    report("cannot list '" + *scn_dir + "': " + ec.message());
+  } else if (files.empty()) {
+    report("no *.scn files under '" + *scn_dir + "'");
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& file : files) {
+    try {
+      const ScenarioSpec spec = parse_scenario_file(file.string());
+      if (spec.name == "unnamed") {
+        report(file.string() + ": checked-in scenarios must set 'name'");
+      }
+    } catch (const std::invalid_argument& e) {
+      report(e.what());
+    }
+  }
+
+  // 2. Parser keys vs documented keys, both directions.
+  std::ifstream doc(*doc_path, std::ios::binary);
+  if (!doc) {
+    report("cannot open '" + *doc_path + "'");
+  } else {
+    std::ostringstream buf;
+    buf << doc.rdbuf();
+    const auto documented = documented_keys(buf.str());
+    std::set<std::string> known;
+    for (const auto key : scenario_known_keys()) {
+      known.insert(std::string(key));
+    }
+    for (const auto& key : known) {
+      if (!documented.contains(key)) {
+        report("key '" + key + "' is accepted by the parser but missing "
+               "from the key-reference table in " + *doc_path);
+      }
+    }
+    for (const auto& key : documented) {
+      if (!known.contains(key)) {
+        report("key '" + key + "' is documented in " + *doc_path +
+               " but not accepted by the parser");
+      }
+    }
+  }
+
+  if (findings == 0) {
+    std::cout << "lfsc_scn_lint: " << files.size() << " scenario(s) parse, "
+              << scenario_known_keys().size()
+              << " keys in sync with docs\n";
+    return 0;
+  }
+  std::cerr << "lfsc_scn_lint: " << findings << " finding(s)\n";
+  return 1;
+}
