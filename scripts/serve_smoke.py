@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""CI smoke of the lfsc_serve recovery contract (DESIGN.md §14).
+
+Three phases, all against the real binary:
+
+1. Reference: stream a deterministic task trace (fixed-seed RNG) through
+   an uninterrupted service and record its final stats line.
+2. Crash: stream the same trace into a second service writing periodic
+   checkpoint generations, SIGKILL it mid-run (no drain, no flush),
+   restart with --resume-latest, ask the recovered service which slot it
+   is at, and re-stream the remainder of the trace from there.
+3. Drain: start a timer-ticked service, SIGTERM it, and require exit 0
+   within a bounded deadline plus a final checkpoint generation on disk.
+
+The recovered run's stats must match the reference byte-for-byte on
+every state-backed field. Process-local counters (ticks,
+deadline_misses, protocol_errors, checkpoints) reset with the process
+by design and are excluded.
+
+Usage: serve_smoke.py --serve-bin build/tools/lfsc_serve
+"""
+import argparse
+import glob
+import os
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+STATE_BACKED = [
+    "slots", "reward", "qos_violation", "resource_violation",
+    "offered", "admitted", "shed", "backlog", "rung",
+    "escalations", "recoveries", "audit_checks", "audit_violations",
+]
+
+SERVE_FLAGS = ["--scns", "6", "--capacity", "5", "--alpha", "3",
+               "--beta", "7", "--telemetry-interval", "1"]
+
+
+def task_lines(slot, count, scns=6):
+    """Deterministic per-slot task lines: same slot -> same bytes."""
+    rng = random.Random(1000 + slot)
+
+    def r(lo, hi):
+        return repr(lo + (hi - lo) * rng.random())
+
+    lines = []
+    for i in range(count):
+        m0 = rng.randrange(scns)
+        m1 = (m0 + 1 + rng.randrange(scns - 1)) % scns
+        res = ("cpu", "gpu", "cpugpu")[i % 3]
+        cov = (f"{m0}:{r(0, 1)}:{r(0, 1)}:{r(1, 2)},"
+               f"{m1}:{r(0, 1)}:{r(0, 1)}:{r(1, 2)}")
+        lines.append(f"task {i} {r(5, 15)} {r(1, 3)} {res} {cov}")
+    return lines
+
+
+class Serve:
+    def __init__(self, bin_path, extra):
+        self.proc = subprocess.Popen(
+            [bin_path] + SERVE_FLAGS + extra,
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            text=True, bufsize=1)
+
+    def request(self, line):
+        self.proc.stdin.write(line + "\n")
+        self.proc.stdin.flush()
+        response = self.proc.stdout.readline().rstrip("\n")
+        if not response:
+            raise RuntimeError(f"no response to {line!r} (service died?)")
+        return response
+
+    def expect_ok(self, line):
+        response = self.request(line)
+        if not response.startswith("ok"):
+            raise RuntimeError(f"{line!r} -> {response!r}")
+        return response
+
+
+def drive(serve, lo, hi, tasks):
+    for t in range(lo, hi + 1):
+        for line in task_lines(t, tasks):
+            serve.expect_ok(line)
+        tick = serve.expect_ok("tick")
+        assert tick.startswith(f"ok slot={t} "), f"slot drift: {tick}"
+
+
+def parse_stats(line):
+    return dict(tok.split("=", 1) for tok in line.split() if "=" in tok)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--serve-bin", required=True)
+    ap.add_argument("--slots", type=int, default=40)
+    ap.add_argument("--crash-after", type=int, default=20)
+    ap.add_argument("--tasks", type=int, default=8)
+    args = ap.parse_args()
+
+    # --- Phase 1: the uninterrupted reference ------------------------
+    ref = Serve(args.serve_bin, [])
+    drive(ref, 1, args.slots, args.tasks)
+    want = parse_stats(ref.expect_ok("stats"))
+    ref.expect_ok("shutdown")
+    assert ref.proc.wait(timeout=30) == 0, "reference run failed to exit 0"
+    print(f"reference: slots={want['slots']} reward={want['reward']}")
+
+    with tempfile.TemporaryDirectory(prefix="lfsc_serve_smoke_") as tmp:
+        prefix = os.path.join(tmp, "ckpt")
+
+        # --- Phase 2: SIGKILL mid-run, then supervised recovery ------
+        victim = Serve(args.serve_bin,
+                       ["--checkpoint", prefix, "--checkpoint-every", "5"])
+        drive(victim, 1, args.crash_after, args.tasks)
+        # In-flight traffic past the last checkpoint that the kill wipes.
+        for line in task_lines(args.crash_after + 1, args.tasks):
+            victim.expect_ok(line)
+        victim.proc.kill()  # SIGKILL: no drain, no final checkpoint
+        victim.proc.wait(timeout=30)
+        generations = sorted(glob.glob(prefix + ".g*"))
+        assert generations, "no checkpoint generations before the kill"
+        print(f"killed -9 after slot {args.crash_after}; "
+              f"generations on disk: {[os.path.basename(g) for g in generations]}")
+
+        resumed = Serve(args.serve_bin,
+                        ["--checkpoint", prefix, "--resume-latest"])
+        at = int(parse_stats(resumed.expect_ok("stats"))["slots"])
+        assert 0 < at <= args.crash_after, f"recovered to implausible slot {at}"
+        print(f"resumed at slot {at}; re-streaming {at + 1}..{args.slots}")
+        drive(resumed, at + 1, args.slots, args.tasks)
+        got = parse_stats(resumed.expect_ok("stats"))
+        resumed.expect_ok("shutdown")
+        assert resumed.proc.wait(timeout=30) == 0
+
+        bad = [f"  {k}: got {got[k]!r}, want {want[k]!r}"
+               for k in STATE_BACKED if got[k] != want[k]]
+        if bad:
+            print("FAIL: recovered run diverged from the reference on "
+                  "state-backed fields:", file=sys.stderr)
+            print("\n".join(bad), file=sys.stderr)
+            return 1
+        print(f"recovery: {len(STATE_BACKED)} state-backed fields "
+              "byte-identical to the uninterrupted run")
+
+        # --- Phase 3: SIGTERM drain within a bounded deadline --------
+        drain_prefix = os.path.join(tmp, "drain")
+        timed = Serve(args.serve_bin,
+                      ["--checkpoint", drain_prefix, "--tick-ms", "10"])
+        time.sleep(0.5)  # let the timer tick a few slots
+        timed.proc.send_signal(signal.SIGTERM)
+        try:
+            rc = timed.proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            timed.proc.kill()
+            print("FAIL: SIGTERM drain exceeded the 10 s deadline",
+                  file=sys.stderr)
+            return 1
+        if rc != 0:
+            print(f"FAIL: drain exited {rc}, want 0", file=sys.stderr)
+            return 1
+        if not glob.glob(drain_prefix + ".g*"):
+            print("FAIL: drain wrote no final checkpoint generation",
+                  file=sys.stderr)
+            return 1
+        print("drain: SIGTERM -> exit 0 with a final generation")
+
+    print("serve_smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,19 @@
 #include "harness/checkpoint.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <stdexcept>
+#include <thread>
 
 #include <unistd.h>
 
 #include "common/binio.h"
+#include "common/log.h"
 
 namespace lfsc {
 namespace {
@@ -226,6 +232,101 @@ CheckpointState read_checkpoint_file(const std::string& path) {
   }
   return deserialize(
       std::string_view(file.data() + sizeof kMagic, body - sizeof kMagic));
+}
+
+void write_checkpoint_file_retry(const std::string& path,
+                                 const CheckpointState& state, int attempts,
+                                 int initial_backoff_ms) {
+  if (attempts < 1) attempts = 1;
+  int backoff_ms = std::max(0, initial_backoff_ms);
+  for (int attempt = 1;; ++attempt) {
+    try {
+      write_checkpoint_file(path, state);
+      return;
+    } catch (const std::runtime_error& e) {
+      if (attempt >= attempts) throw;
+      LFSC_LOG_WARN << "checkpoint: write attempt " << attempt << "/"
+                    << attempts << " failed (" << e.what() << "); retrying in "
+                    << backoff_ms << "ms";
+      if (backoff_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      }
+      backoff_ms = std::min(backoff_ms * 2, 1000);
+    }
+  }
+}
+
+std::string checkpoint_generation_path(const std::string& prefix,
+                                       std::uint64_t generation) {
+  return prefix + ".g" + std::to_string(generation);
+}
+
+std::vector<std::uint64_t> list_checkpoint_generations(
+    const std::string& prefix) {
+  namespace fs = std::filesystem;
+  const fs::path prefix_path(prefix);
+  fs::path dir = prefix_path.parent_path();
+  if (dir.empty()) dir = ".";
+  const std::string stem = prefix_path.filename().string() + ".g";
+
+  std::vector<std::uint64_t> generations;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.size() <= stem.size() || name.compare(0, stem.size(), stem) != 0) {
+      continue;
+    }
+    const std::string digits = name.substr(stem.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;  // `.g12.tmp` mid-write leftovers and strays don't count
+    }
+    errno = 0;
+    char* endp = nullptr;
+    const unsigned long long g = std::strtoull(digits.c_str(), &endp, 10);
+    if (errno != 0 || endp == nullptr || *endp != '\0') continue;
+    generations.push_back(static_cast<std::uint64_t>(g));
+  }
+  std::sort(generations.begin(), generations.end());
+  return generations;
+}
+
+std::optional<RecoveredCheckpoint> scan_latest_checkpoint(
+    const std::string& prefix) {
+  std::vector<std::uint64_t> generations = list_checkpoint_generations(prefix);
+  for (auto it = generations.rbegin(); it != generations.rend(); ++it) {
+    const std::string path = checkpoint_generation_path(prefix, *it);
+    try {
+      RecoveredCheckpoint rec;
+      rec.state = read_checkpoint_file(path);
+      rec.generation = *it;
+      rec.path = path;
+      return rec;
+    } catch (const std::runtime_error& e) {
+      // One line per bad generation, then on to the next-older one: a
+      // torn newest file (kill -9 raced the rename) must not block
+      // recovery from an intact predecessor.
+      LFSC_LOG_WARN << "checkpoint: skipping generation " << *it << " ("
+                    << e.what() << ")";
+    }
+  }
+  return std::nullopt;
+}
+
+int prune_checkpoint_generations(const std::string& prefix, int keep) {
+  if (keep < 0) keep = 0;
+  std::vector<std::uint64_t> generations = list_checkpoint_generations(prefix);
+  if (generations.size() <= static_cast<std::size_t>(keep)) return 0;
+  const std::size_t drop = generations.size() - static_cast<std::size_t>(keep);
+  int removed = 0;
+  for (std::size_t i = 0; i < drop; ++i) {
+    if (std::remove(
+            checkpoint_generation_path(prefix, generations[i]).c_str()) == 0) {
+      ++removed;
+    }
+  }
+  return removed;
 }
 
 }  // namespace lfsc

@@ -9,9 +9,17 @@
 // footer over the whole payload — a crash mid-write leaves either the
 // previous checkpoint or a torn temp file, never a half-written
 // checkpoint that read_checkpoint_file() would accept.
+//
+// Generations (serve layer, DESIGN.md §14): a resident service keeps the
+// last K checkpoints as `<prefix>.g<n>` with a monotonically increasing
+// generation number. Supervised recovery (`--resume-latest`) scans
+// newest→oldest and loads the first file that verifies; zero-length,
+// torn, or corrupt generations are skipped with a one-line warning —
+// they never abort the scan.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -64,5 +72,48 @@ void write_checkpoint_file(const std::string& path,
 /// write_checkpoint_file. Throws std::runtime_error on a missing,
 /// corrupt or version-incompatible file.
 CheckpointState read_checkpoint_file(const std::string& path);
+
+/// write_checkpoint_file with bounded retry on failure: up to `attempts`
+/// tries, sleeping `initial_backoff_ms` before the second and doubling
+/// each retry. A transient I/O hiccup (ENOSPC race, NFS blip) is ridden
+/// out; a persistent failure still throws — after the last attempt, with
+/// the final error. The sleep caps at 1s per retry.
+void write_checkpoint_file_retry(const std::string& path,
+                                 const CheckpointState& state,
+                                 int attempts = 3,
+                                 int initial_backoff_ms = 10);
+
+// --- generation-numbered checkpoints (service mode) ---
+
+/// The path of generation `n` under `prefix`: `<prefix>.g<n>`.
+std::string checkpoint_generation_path(const std::string& prefix,
+                                       std::uint64_t generation);
+
+/// All generation numbers present for `prefix` (files named
+/// `<prefix>.g<n>` in the prefix's directory), sorted ascending.
+/// A missing directory yields an empty list, never a throw.
+std::vector<std::uint64_t> list_checkpoint_generations(
+    const std::string& prefix);
+
+/// A checkpoint recovered by scan_latest_checkpoint, plus where it
+/// came from.
+struct RecoveredCheckpoint {
+  CheckpointState state;
+  std::uint64_t generation = 0;
+  std::string path;
+};
+
+/// Supervised recovery: scans the generations of `prefix` newest→oldest
+/// and returns the first one that reads and verifies end to end.
+/// Every invalid generation — zero-length, truncated mid-footer, bad
+/// CRC, wrong version — is skipped with a one-line warning; the scan
+/// never aborts on a bad file. std::nullopt when no generation exists
+/// or none verifies.
+std::optional<RecoveredCheckpoint> scan_latest_checkpoint(
+    const std::string& prefix);
+
+/// Deletes generations older than the newest `keep` (best-effort; used
+/// by the service to bound disk usage). Returns the number removed.
+int prune_checkpoint_generations(const std::string& prefix, int keep);
 
 }  // namespace lfsc

@@ -1,6 +1,5 @@
 #include "harness/runner.h"
 
-#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -8,8 +7,8 @@
 #include "common/log.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
-#include "common/thread_pool.h"
 #include "harness/checkpoint.h"
+#include "harness/step_runner.h"
 
 namespace lfsc {
 
@@ -20,18 +19,6 @@ const SeriesRecorder& ExperimentResult::find(std::string_view name) const {
   throw std::out_of_range("ExperimentResult: no series named " +
                           std::string(name));
 }
-
-namespace {
-
-/// A delayed-feedback batch in flight between observe(origin_t) and its
-/// arrival `delay_slots` later.
-struct DelayedBatch {
-  int origin_t = 0;
-  int arrival_t = 0;
-  SlotFeedback feedback;
-};
-
-}  // namespace
 
 ExperimentResult run_experiment(SlotSource& sim,
                                 std::span<Policy* const> policies,
@@ -52,73 +39,19 @@ ExperimentResult run_experiment(SlotSource& sim,
       }
     }
   }
-  ExperimentResult result;
-  result.series.reserve(policies.size());
-  for (const Policy* p : policies) {
-    result.series.emplace_back(std::string(p->name()));
-  }
 
-  // Per-slot compute budget: run configuration, not checkpointed state,
-  // so it is forwarded before any restore. Policies without overload
-  // protection return false and are simply run unbudgeted.
-  if (config.slot_budget_us > 0) {
-    for (Policy* p : policies) {
-      (void)p->set_slot_budget(config.slot_budget_us);
-    }
-  }
-
-  // Fault-injection setup. The delay window is fixed by the fault
-  // config, so policies opt in (or not) once, before the first slot.
-  FaultModel* faults = config.faults;
-  const bool faults_on = faults != nullptr && faults->enabled();
-  const int delay_slots =
-      faults_on && faults->config().delay_prob > 0.0
-          ? faults->config().delay_slots
-          : 0;
-  std::vector<char> accepts_delayed(policies.size(), 0);
-  if (delay_slots > 0) {
-    for (std::size_t k = 0; k < policies.size(); ++k) {
-      if (!policies[k]->needs_realizations()) {
-        accepts_delayed[k] =
-            policies[k]->enable_delayed_feedback(delay_slots) ? 1 : 0;
-      }
-    }
-  }
-  std::vector<std::vector<DelayedBatch>> in_flight(policies.size());
-
-  // Admission control sits upstream of everything: the gateway sheds
-  // before outages clear coverage and before any policy decides.
-  AdmissionControl* admission = config.admission;
-  const bool admission_on = admission != nullptr && admission->enabled();
-
-  // Telemetry capture: harness-side metrics join the caller's registry
-  // so one export carries the policy's internals and the run's outcome
-  // series side by side (they cross-check each other in tests).
-  telemetry::Registry* telemetry = config.telemetry;
-  const int sample_every = config.telemetry_interval > 0
-                               ? config.telemetry_interval
-                               : std::max(1, config.horizon / 1000);
-  const std::size_t telemetry_policy = std::min(
-      policies.size() - 1,
-      static_cast<std::size_t>(std::max(0, config.telemetry_policy)));
-  telemetry::Counter* harness_slots = nullptr;
-  telemetry::Gauge* cum_reward = nullptr;
-  telemetry::Gauge* cum_qos = nullptr;
-  telemetry::Gauge* cum_res = nullptr;
-  telemetry::Counter* ckpt_writes = nullptr;
-  telemetry::Counter* ckpt_resumes = nullptr;
-  if (telemetry != nullptr) {
-    harness_slots = &telemetry->counter("harness.slots", "slots");
-    cum_reward = &telemetry->gauge("harness.cum_reward", "reward");
-    cum_qos = &telemetry->gauge("harness.cum_qos_violation", "violation");
-    cum_res = &telemetry->gauge("harness.cum_resource_violation", "violation");
-    if (!config.checkpoint_path.empty()) {
-      ckpt_writes = &telemetry->counter("checkpoint.writes", "files");
-      ckpt_resumes = &telemetry->counter("checkpoint.resumes", "runs");
-    }
-    if (faults_on) faults->attach_telemetry(*telemetry);
-    if (admission_on) admission->attach_telemetry(*telemetry);
-  }
+  StepConfig step_config;
+  step_config.horizon = config.horizon;
+  step_config.validate = config.validate;
+  step_config.parallel_policies = config.parallel_policies;
+  step_config.telemetry = config.telemetry;
+  step_config.telemetry_interval = config.telemetry_interval;
+  step_config.telemetry_policy = config.telemetry_policy;
+  step_config.checkpoint_counters = !config.checkpoint_path.empty();
+  step_config.faults = config.faults;
+  step_config.slot_budget_us = config.slot_budget_us;
+  step_config.admission = config.admission;
+  SlotStepper stepper(sim, policies, step_config);
 
   // Captures the run's full mutable state after `t` completed slots and
   // atomically replaces the checkpoint file. `last_checkpoint_t` skips
@@ -129,234 +62,27 @@ ExperimentResult run_experiment(SlotSource& sim,
   const auto write_checkpoint = [&](int t) {
     if (t == last_checkpoint_t) return;
     last_checkpoint_t = t;
-    if (ckpt_writes != nullptr) ckpt_writes->add(1);
+    stepper.note_checkpoint_write();
     CheckpointState ck;
-    ck.completed_slots = t;
-    ck.horizon = config.horizon;
-    ck.policies.resize(policies.size());
-    for (std::size_t k = 0; k < policies.size(); ++k) {
-      auto& ps = ck.policies[k];
-      ps.name = std::string(policies[k]->name());
-      policies[k]->save_checkpoint(ps.blob);
-      const SeriesRecorder& rec = result.series[k];
-      ps.reward.assign(rec.reward().begin(), rec.reward().end());
-      ps.qos.assign(rec.qos_violation().begin(), rec.qos_violation().end());
-      ps.res.assign(rec.resource_violation().begin(),
-                    rec.resource_violation().end());
-      for (const auto& batch : in_flight[k]) {
-        ps.delayed.push_back({batch.origin_t, batch.arrival_t, batch.feedback});
-      }
-    }
-    if (faults != nullptr) faults->save_state(ck.faults_blob);
-    if (admission != nullptr) admission->save_state(ck.admission_blob);
-    sim.save_state(ck.scenario_blob);
-    if (telemetry != nullptr) ck.metrics = telemetry->snapshot();
-    ck.telemetry_series = result.telemetry_series;
+    stepper.capture(ck);
     write_checkpoint_file(config.checkpoint_path, ck);
   };
 
-  int start_t = 1;
   if (config.resume) {
     CheckpointState ck = read_checkpoint_file(config.checkpoint_path);
-    if (ck.horizon != config.horizon) {
-      throw std::runtime_error(
-          "run_experiment: checkpoint horizon differs from this run");
-    }
-    if (ck.policies.size() != policies.size()) {
-      throw std::runtime_error(
-          "run_experiment: checkpoint policy roster differs from this run");
-    }
-    for (std::size_t k = 0; k < policies.size(); ++k) {
-      auto& ps = ck.policies[k];
-      if (ps.name != policies[k]->name()) {
-        throw std::runtime_error(
-            "run_experiment: checkpoint policy '" + ps.name +
-            "' does not match '" + std::string(policies[k]->name()) + "'");
-      }
-      policies[k]->load_checkpoint(ps.blob);
-      result.series[k].restore(ps.reward, ps.qos, ps.res);
-      for (auto& batch : ps.delayed) {
-        in_flight[k].push_back(
-            {batch.origin_t, batch.arrival_t, std::move(batch.feedback)});
-      }
-    }
-    if (faults != nullptr) {
-      if (ck.faults_blob.empty()) {
-        throw std::runtime_error(
-            "run_experiment: checkpoint carries no fault state but fault "
-            "injection is configured");
-      }
-      faults->load_state(ck.faults_blob);
-    }
-    if (admission != nullptr) {
-      if (ck.admission_blob.empty()) {
-        throw std::runtime_error(
-            "run_experiment: checkpoint carries no admission state but "
-            "admission control is configured");
-      }
-      admission->load_state(ck.admission_blob);
-    }
-    if (telemetry != nullptr) telemetry->restore(ck.metrics);
-    result.telemetry_series = std::move(ck.telemetry_series);
-    // World-private state (ScenarioSource guards + drift-walk offsets;
-    // a no-op for stateless sources) is restored before the
-    // fast-forward so a spec/seed mismatch fails before any regeneration.
-    sim.load_state(ck.scenario_blob);
-    // Fast-forward the world: stateful sources (mobility) need slots in
-    // order, and the task-id sequence must continue where it left off.
-    Slot skipped;
-    for (int t = 1; t <= ck.completed_slots; ++t) {
-      sim.generate_slot(t, skipped);
-    }
-    start_t = ck.completed_slots + 1;
+    stepper.restore(ck);
     last_checkpoint_t = ck.completed_slots;
-    if (ckpt_resumes != nullptr) ckpt_resumes->add(1);
   }
 
+  ExperimentResult result;
   Stopwatch watch;
-  const auto& net = sim.network();
-  const std::size_t num_scns = static_cast<std::size_t>(net.num_scns);
-  int completed = start_t - 1;
-  // One Slot reused across the horizon: by the second slot its vector
-  // capacities are warm and generation allocates nothing. Same for the
-  // per-policy assignments, via the select(info, out) reuse overload.
-  Slot slot;
-  std::vector<Assignment> assignments(policies.size());
-  for (int t = start_t; t <= config.horizon; ++t) {
+  for (int t = stepper.completed_slots() + 1; t <= config.horizon; ++t) {
     if (config.stop != nullptr &&
         config.stop->load(std::memory_order_relaxed)) {
       result.interrupted = true;
       break;
     }
-    if (faults_on) faults->begin_slot(t);
-    sim.generate_slot(t, slot);
-    if (admission_on) (void)admission->admit(slot);
-    if (faults_on && faults->down_scns() > 0) {
-      // A down SCN accepts nothing this slot: its coverage vanishes
-      // before any policy sees the SlotInfo.
-      for (std::size_t m = 0; m < num_scns; ++m) {
-        if (faults->scn_down(static_cast<int>(m))) {
-          slot.info.coverage[m].clear();
-        }
-      }
-    }
-
-    // Deliver due delayed batches before any decision for slot t.
-    // Batches addressed to an SCN that is down at arrival are lost in
-    // flight. Serial per policy — delivery mutates policy state in
-    // origin order, and the per-SCN application inside observe_delayed
-    // is where the parallelism lives.
-    if (delay_slots > 0) {
-      for (std::size_t k = 0; k < policies.size(); ++k) {
-        auto& queue = in_flight[k];
-        std::size_t write = 0;
-        for (std::size_t i = 0; i < queue.size(); ++i) {
-          if (queue[i].arrival_t != t) {
-            if (write != i) queue[write] = std::move(queue[i]);
-            ++write;
-            continue;
-          }
-          DelayedBatch batch = std::move(queue[i]);
-          for (std::size_t m = 0; m < batch.feedback.per_scn.size(); ++m) {
-            auto& items = batch.feedback.per_scn[m];
-            if (items.empty()) continue;
-            if (faults->scn_down(static_cast<int>(m))) {
-              if (k == telemetry_policy) {
-                faults->note_inflight_lost(items.size());
-              }
-              items.clear();
-            } else if (k == telemetry_policy) {
-              faults->note_late_delivered(items.size());
-            }
-          }
-          policies[k]->observe_delayed(batch.origin_t, batch.feedback);
-        }
-        queue.resize(write);
-      }
-    }
-
-    const auto step_policy = [&](std::size_t k) {
-      Policy& policy = *policies[k];
-      Assignment& assignment = assignments[k];
-      if (policy.needs_realizations()) {
-        assignment = policy.select_omniscient(slot);
-      } else {
-        policy.select(slot.info, assignment);
-      }
-      if (config.validate) {
-        if (const auto error = validate_assignment(slot.info, assignment, net)) {
-          throw std::logic_error("policy " + std::string(policy.name()) +
-                                 " produced invalid assignment at t=" +
-                                 std::to_string(t) + ": " + *error);
-        }
-      }
-      result.series[k].add(evaluate_slot(slot, assignment, net));
-      if (policy.needs_realizations()) return;
-      SlotFeedback feedback = make_feedback(slot, assignment);
-      if (!faults_on) {
-        policy.observe(slot.info, assignment, feedback);
-        return;
-      }
-      // Route every observation through the fault model: deliver, lose,
-      // delay, or corrupt. Fates are pure functions of (seed, t, SCN,
-      // local index), so the injected schedule is identical for every
-      // policy; counters track the telemetry policy's experience.
-      SlotFeedback late;
-      late.per_scn.resize(feedback.per_scn.size());
-      bool any_late = false;
-      for (std::size_t m = 0; m < feedback.per_scn.size(); ++m) {
-        auto& items = feedback.per_scn[m];
-        std::size_t write = 0;
-        for (std::size_t i = 0; i < items.size(); ++i) {
-          const auto fate =
-              faults->classify(t, static_cast<int>(m), items[i].local_index);
-          if (k == telemetry_policy) faults->note_fate(fate);
-          switch (fate) {
-            case FaultModel::Fate::kDeliver:
-              items[write++] = items[i];
-              break;
-            case FaultModel::Fate::kCorrupted:
-              items[write++] = faults->corrupt(t, static_cast<int>(m),
-                                               items[i].local_index, items[i]);
-              break;
-            case FaultModel::Fate::kLost:
-              break;
-            case FaultModel::Fate::kDelayed:
-              if (accepts_delayed[k] != 0) {
-                late.per_scn[m].push_back(items[i]);
-                any_late = true;
-              } else if (k == telemetry_policy) {
-                faults->note_late_dropped(1);
-              }
-              break;
-          }
-        }
-        items.resize(write);
-      }
-      policy.observe(slot.info, assignment, feedback);
-      if (any_late) {
-        in_flight[k].push_back({t, t + delay_slots, std::move(late)});
-      }
-    };
-    if (config.parallel_policies && policies.size() > 1) {
-      // Each policy touches only its own state, its own series slot and
-      // its own delay queue; the slot itself is shared read-only, and
-      // fault counters are touched only by the telemetry policy.
-      parallel_for(policies.size(), step_policy);
-    } else {
-      for (std::size_t k = 0; k < policies.size(); ++k) step_policy(k);
-    }
-    completed = t;
-    if (telemetry != nullptr) {
-      harness_slots->add(1);
-      if (t % sample_every == 0 || t == config.horizon) {
-        const SeriesRecorder& rec = result.series[telemetry_policy];
-        cum_reward->set(rec.total_reward());
-        cum_qos->set(rec.total_qos_violation());
-        cum_res->set(rec.total_resource_violation());
-        result.telemetry_series.sample(*telemetry, t);
-      }
-    }
+    stepper.step();
     if (!config.checkpoint_path.empty() && config.checkpoint_every > 0 &&
         t % config.checkpoint_every == 0 && t != config.horizon) {
       write_checkpoint(t);
@@ -366,13 +92,15 @@ ExperimentResult run_experiment(SlotSource& sim,
                     << Table::num(watch.seconds(), 1) << "s)";
     }
   }
-  result.completed_slots = completed;
+  result.completed_slots = stepper.completed_slots();
   if (!config.checkpoint_path.empty() &&
-      (result.interrupted || completed == config.horizon)) {
+      (result.interrupted || result.completed_slots == config.horizon)) {
     // Final state: on interruption this is what --resume continues
     // from; on completion it doubles as the run's state archive.
-    write_checkpoint(completed);
+    write_checkpoint(result.completed_slots);
   }
+  result.series = std::move(stepper.series());
+  result.telemetry_series = std::move(stepper.telemetry_series());
   result.wall_seconds = watch.seconds();
   return result;
 }

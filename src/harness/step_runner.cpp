@@ -1,0 +1,330 @@
+#include "harness/step_runner.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "metrics/metrics.h"
+
+namespace lfsc {
+
+SlotStepper::SlotStepper(SlotSource& sim, std::span<Policy* const> policies,
+                         const StepConfig& config)
+    : sim_(sim),
+      policies_(policies),
+      config_(config),
+      net_(sim.network()),
+      num_scns_(static_cast<std::size_t>(sim.network().num_scns)),
+      assignments_(policies.size()) {
+  if (policies_.empty()) {
+    throw std::invalid_argument("SlotStepper: at least one policy required");
+  }
+  series_.reserve(policies_.size());
+  for (const Policy* p : policies_) {
+    series_.emplace_back(std::string(p->name()));
+  }
+
+  // Per-slot compute budget: run configuration, not checkpointed state,
+  // so it is forwarded before any restore. Policies without overload
+  // protection return false and are simply run unbudgeted.
+  if (config_.slot_budget_us > 0) {
+    for (Policy* p : policies_) {
+      (void)p->set_slot_budget(config_.slot_budget_us);
+    }
+  }
+
+  // Fault-injection setup. The delay window is fixed by the fault
+  // config, so policies opt in (or not) once, before the first slot.
+  FaultModel* faults = config_.faults;
+  faults_on_ = faults != nullptr && faults->enabled();
+  delay_slots_ = faults_on_ && faults->config().delay_prob > 0.0
+                     ? faults->config().delay_slots
+                     : 0;
+  accepts_delayed_.assign(policies_.size(), 0);
+  if (delay_slots_ > 0) {
+    for (std::size_t k = 0; k < policies_.size(); ++k) {
+      if (!policies_[k]->needs_realizations()) {
+        accepts_delayed_[k] =
+            policies_[k]->enable_delayed_feedback(delay_slots_) ? 1 : 0;
+      }
+    }
+  }
+  in_flight_.resize(policies_.size());
+
+  // Telemetry capture: harness-side metrics join the caller's registry
+  // so one export carries the policy's internals and the run's outcome
+  // series side by side (they cross-check each other in tests).
+  telemetry::Registry* telemetry = config_.telemetry;
+  sample_every_ = config_.telemetry_interval > 0
+                      ? config_.telemetry_interval
+                      : std::max(1, config_.horizon / 1000);
+  telemetry_policy_ = std::min(
+      policies_.size() - 1,
+      static_cast<std::size_t>(std::max(0, config_.telemetry_policy)));
+  if (telemetry != nullptr) {
+    harness_slots_ = &telemetry->counter("harness.slots", "slots");
+    cum_reward_ = &telemetry->gauge("harness.cum_reward", "reward");
+    cum_qos_ = &telemetry->gauge("harness.cum_qos_violation", "violation");
+    cum_res_ =
+        &telemetry->gauge("harness.cum_resource_violation", "violation");
+    if (config_.checkpoint_counters) {
+      ckpt_writes_ = &telemetry->counter("checkpoint.writes", "files");
+      ckpt_resumes_ = &telemetry->counter("checkpoint.resumes", "runs");
+    }
+    if (faults_on_) faults->attach_telemetry(*telemetry);
+    if (config_.admission != nullptr && config_.admission->enabled()) {
+      config_.admission->attach_telemetry(*telemetry);
+    }
+  }
+}
+
+void SlotStepper::set_telemetry_interval(int interval) {
+  sample_every_ =
+      interval > 0 ? interval : std::max(1, config_.horizon / 1000);
+  config_.telemetry_interval = interval;
+}
+
+void SlotStepper::set_slot_budget(std::uint32_t budget_us) {
+  config_.slot_budget_us = budget_us;
+  for (Policy* p : policies_) {
+    (void)p->set_slot_budget(budget_us);
+  }
+}
+
+void SlotStepper::step_policy(std::size_t k, int t) {
+  Policy& policy = *policies_[k];
+  Assignment& assignment = assignments_[k];
+  FaultModel* faults = config_.faults;
+  if (policy.needs_realizations()) {
+    assignment = policy.select_omniscient(slot_);
+  } else {
+    policy.select(slot_.info, assignment);
+  }
+  if (config_.validate) {
+    if (const auto error = validate_assignment(slot_.info, assignment, net_)) {
+      throw std::logic_error("policy " + std::string(policy.name()) +
+                             " produced invalid assignment at t=" +
+                             std::to_string(t) + ": " + *error);
+    }
+  }
+  series_[k].add(evaluate_slot(slot_, assignment, net_));
+  if (policy.needs_realizations()) return;
+  SlotFeedback feedback = make_feedback(slot_, assignment);
+  if (!faults_on_) {
+    policy.observe(slot_.info, assignment, feedback);
+    return;
+  }
+  // Route every observation through the fault model: deliver, lose,
+  // delay, or corrupt. Fates are pure functions of (seed, t, SCN,
+  // local index), so the injected schedule is identical for every
+  // policy; counters track the telemetry policy's experience.
+  SlotFeedback late;
+  late.per_scn.resize(feedback.per_scn.size());
+  bool any_late = false;
+  for (std::size_t m = 0; m < feedback.per_scn.size(); ++m) {
+    auto& items = feedback.per_scn[m];
+    std::size_t write = 0;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const auto fate =
+          faults->classify(t, static_cast<int>(m), items[i].local_index);
+      if (k == telemetry_policy_) faults->note_fate(fate);
+      switch (fate) {
+        case FaultModel::Fate::kDeliver:
+          items[write++] = items[i];
+          break;
+        case FaultModel::Fate::kCorrupted:
+          items[write++] = faults->corrupt(t, static_cast<int>(m),
+                                           items[i].local_index, items[i]);
+          break;
+        case FaultModel::Fate::kLost:
+          break;
+        case FaultModel::Fate::kDelayed:
+          if (accepts_delayed_[k] != 0) {
+            late.per_scn[m].push_back(items[i]);
+            any_late = true;
+          } else if (k == telemetry_policy_) {
+            faults->note_late_dropped(1);
+          }
+          break;
+      }
+    }
+    items.resize(write);
+  }
+  policy.observe(slot_.info, assignment, feedback);
+  if (any_late) {
+    in_flight_[k].push_back({t, t + delay_slots_, std::move(late)});
+  }
+}
+
+void SlotStepper::step() {
+  const int t = completed_ + 1;
+  FaultModel* faults = config_.faults;
+  if (faults_on_) faults->begin_slot(t);
+  sim_.generate_slot(t, slot_);
+  // Admission control sits upstream of everything: the gateway sheds
+  // before outages clear coverage and before any policy decides.
+  // Re-checked every slot so a live reconfig (serve) takes effect on
+  // the next slot; for a fixed config this is the same branch each time.
+  if (config_.admission != nullptr && config_.admission->enabled()) {
+    (void)config_.admission->admit(slot_);
+  }
+  if (faults_on_ && faults->down_scns() > 0) {
+    // A down SCN accepts nothing this slot: its coverage vanishes
+    // before any policy sees the SlotInfo.
+    for (std::size_t m = 0; m < num_scns_; ++m) {
+      if (faults->scn_down(static_cast<int>(m))) {
+        slot_.info.coverage[m].clear();
+      }
+    }
+  }
+
+  // Deliver due delayed batches before any decision for slot t.
+  // Batches addressed to an SCN that is down at arrival are lost in
+  // flight. Serial per policy — delivery mutates policy state in
+  // origin order, and the per-SCN application inside observe_delayed
+  // is where the parallelism lives.
+  if (delay_slots_ > 0) {
+    for (std::size_t k = 0; k < policies_.size(); ++k) {
+      auto& queue = in_flight_[k];
+      std::size_t write = 0;
+      for (std::size_t i = 0; i < queue.size(); ++i) {
+        if (queue[i].arrival_t != t) {
+          if (write != i) queue[write] = std::move(queue[i]);
+          ++write;
+          continue;
+        }
+        DelayedBatch batch = std::move(queue[i]);
+        for (std::size_t m = 0; m < batch.feedback.per_scn.size(); ++m) {
+          auto& items = batch.feedback.per_scn[m];
+          if (items.empty()) continue;
+          if (faults->scn_down(static_cast<int>(m))) {
+            if (k == telemetry_policy_) {
+              faults->note_inflight_lost(items.size());
+            }
+            items.clear();
+          } else if (k == telemetry_policy_) {
+            faults->note_late_delivered(items.size());
+          }
+        }
+        policies_[k]->observe_delayed(batch.origin_t, batch.feedback);
+      }
+      queue.resize(write);
+    }
+  }
+
+  if (config_.parallel_policies && policies_.size() > 1) {
+    // Each policy touches only its own state, its own series slot and
+    // its own delay queue; the slot itself is shared read-only, and
+    // fault counters are touched only by the telemetry policy.
+    parallel_for(policies_.size(),
+                 [this, t](std::size_t k) { step_policy(k, t); });
+  } else {
+    for (std::size_t k = 0; k < policies_.size(); ++k) step_policy(k, t);
+  }
+  completed_ = t;
+  if (config_.telemetry != nullptr) {
+    harness_slots_->add(1);
+    if (t % sample_every_ == 0 || t == config_.horizon) {
+      const SeriesRecorder& rec = series_[telemetry_policy_];
+      cum_reward_->set(rec.total_reward());
+      cum_qos_->set(rec.total_qos_violation());
+      cum_res_->set(rec.total_resource_violation());
+      telemetry_series_.sample(*config_.telemetry, t);
+    }
+  }
+}
+
+void SlotStepper::capture(CheckpointState& out) const {
+  out.completed_slots = completed_;
+  out.horizon = config_.horizon;
+  out.policies.clear();
+  out.policies.resize(policies_.size());
+  for (std::size_t k = 0; k < policies_.size(); ++k) {
+    auto& ps = out.policies[k];
+    ps.name = std::string(policies_[k]->name());
+    policies_[k]->save_checkpoint(ps.blob);
+    const SeriesRecorder& rec = series_[k];
+    ps.reward.assign(rec.reward().begin(), rec.reward().end());
+    ps.qos.assign(rec.qos_violation().begin(), rec.qos_violation().end());
+    ps.res.assign(rec.resource_violation().begin(),
+                  rec.resource_violation().end());
+    for (const auto& batch : in_flight_[k]) {
+      ps.delayed.push_back({batch.origin_t, batch.arrival_t, batch.feedback});
+    }
+  }
+  out.faults_blob.clear();
+  out.admission_blob.clear();
+  out.scenario_blob.clear();
+  if (config_.faults != nullptr) config_.faults->save_state(out.faults_blob);
+  if (config_.admission != nullptr) {
+    config_.admission->save_state(out.admission_blob);
+  }
+  sim_.save_state(out.scenario_blob);
+  if (config_.telemetry != nullptr) out.metrics = config_.telemetry->snapshot();
+  out.telemetry_series = telemetry_series_;
+}
+
+void SlotStepper::restore(const CheckpointState& ck) {
+  if (ck.horizon != config_.horizon) {
+    throw std::runtime_error(
+        "run_experiment: checkpoint horizon differs from this run");
+  }
+  if (ck.policies.size() != policies_.size()) {
+    throw std::runtime_error(
+        "run_experiment: checkpoint policy roster differs from this run");
+  }
+  for (std::size_t k = 0; k < policies_.size(); ++k) {
+    const auto& ps = ck.policies[k];
+    if (ps.name != policies_[k]->name()) {
+      throw std::runtime_error(
+          "run_experiment: checkpoint policy '" + ps.name +
+          "' does not match '" + std::string(policies_[k]->name()) + "'");
+    }
+    policies_[k]->load_checkpoint(ps.blob);
+    series_[k].restore(ps.reward, ps.qos, ps.res);
+    in_flight_[k].clear();
+    for (const auto& batch : ps.delayed) {
+      in_flight_[k].push_back({batch.origin_t, batch.arrival_t,
+                               batch.feedback});
+    }
+  }
+  if (config_.faults != nullptr) {
+    if (ck.faults_blob.empty()) {
+      throw std::runtime_error(
+          "run_experiment: checkpoint carries no fault state but fault "
+          "injection is configured");
+    }
+    config_.faults->load_state(ck.faults_blob);
+  }
+  if (config_.admission != nullptr) {
+    if (ck.admission_blob.empty()) {
+      throw std::runtime_error(
+          "run_experiment: checkpoint carries no admission state but "
+          "admission control is configured");
+    }
+    config_.admission->load_state(ck.admission_blob);
+  }
+  if (config_.telemetry != nullptr) config_.telemetry->restore(ck.metrics);
+  telemetry_series_ = ck.telemetry_series;
+  // World-private state (ScenarioSource guards + drift-walk offsets;
+  // a no-op for stateless sources) is restored before the
+  // fast-forward so a spec/seed mismatch fails before any regeneration.
+  sim_.load_state(ck.scenario_blob);
+  // Fast-forward the world: stateful sources (mobility) need slots in
+  // order, and the task-id sequence must continue where it left off.
+  // External sources (serve mode) carry their position in load_state
+  // and opt out — their slots came over the wire and cannot be
+  // regenerated.
+  if (sim_.replay_fast_forward()) {
+    Slot skipped;
+    for (int t = 1; t <= ck.completed_slots; ++t) {
+      sim_.generate_slot(t, skipped);
+    }
+  }
+  completed_ = ck.completed_slots;
+  if (ckpt_resumes_ != nullptr) ckpt_resumes_->add(1);
+}
+
+}  // namespace lfsc

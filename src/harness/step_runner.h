@@ -1,0 +1,157 @@
+// The single-slot step engine behind run_experiment and the resident
+// service (tools/lfsc_serve): SlotStepper owns everything one slot of
+// the experiment loop mutates — the outcome series, the delayed-feedback
+// queues, the telemetry sampling cadence and the reusable slot/assignment
+// scratch — and exposes it as three verbs:
+//
+//   step()     execute slot completed_slots()+1 (generate, admit, fault,
+//              decide, validate, score, observe, sample telemetry);
+//   capture()  snapshot the run's full mutable state as a CheckpointState;
+//   restore()  load a CheckpointState (validating roster/horizon/seeds)
+//              and fast-forward the world to the completed slot.
+//
+// run_experiment() is a thin loop over a SlotStepper (stop flag, periodic
+// checkpoints, progress logging, wall clock); the serve layer drives the
+// same stepper from a command protocol and a wall-clock timer instead.
+// Extracting the stepper changes no behavior: a loop over step() is
+// bit-identical to the pre-refactor monolithic runner.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "faults/fault_model.h"
+#include "harness/checkpoint.h"
+#include "metrics/recorder.h"
+#include "sim/admission.h"
+#include "sim/network.h"
+#include "sim/policy.h"
+#include "sim/slot_source.h"
+#include "telemetry/telemetry.h"
+
+namespace lfsc {
+
+/// The per-slot subset of RunConfig (no loop control: horizon here only
+/// feeds the telemetry cadence and the checkpoint sanity field).
+struct StepConfig {
+  /// Run length recorded into checkpoints and used for the final-slot
+  /// telemetry sample. 0 = unbounded (service mode): checkpoints carry
+  /// horizon 0 and there is no final-slot sample.
+  int horizon = 0;
+
+  bool validate = true;
+  bool parallel_policies = false;
+
+  telemetry::Registry* telemetry = nullptr;
+  int telemetry_interval = 0;  ///< 0 selects max(1, horizon / 1000)
+  int telemetry_policy = 0;
+
+  /// When true (a checkpoint path is configured), the stepper registers
+  /// checkpoint.writes / checkpoint.resumes on the telemetry registry;
+  /// note_checkpoint_write() and restore() bump them.
+  bool checkpoint_counters = false;
+
+  FaultModel* faults = nullptr;
+  std::uint32_t slot_budget_us = 0;
+  AdmissionControl* admission = nullptr;
+};
+
+class SlotStepper {
+ public:
+  /// `sim` and `policies` (and the faults/admission/telemetry objects in
+  /// `config`) must outlive the stepper. Forwards the slot budget and
+  /// the delayed-feedback opt-in to every policy — both are run
+  /// configuration, so this precedes any restore().
+  SlotStepper(SlotSource& sim, std::span<Policy* const> policies,
+              const StepConfig& config);
+
+  /// Executes slot completed_slots() + 1 end to end.
+  void step();
+
+  int completed_slots() const noexcept { return completed_; }
+
+  /// Snapshots the run's full mutable state (policies, series, delayed
+  /// queues, faults, admission, world, telemetry) after the last
+  /// completed slot.
+  void capture(CheckpointState& out) const;
+
+  /// Restores a capture()d state: validates horizon/roster/blob guards,
+  /// loads every policy, the series, the in-flight delayed feedback,
+  /// fault/admission/world state and telemetry, then fast-forwards the
+  /// world by regenerating the completed slots (unless the source opts
+  /// out via SlotSource::replay_fast_forward). Throws std::runtime_error
+  /// on any mismatch; the stepper must then be considered poisoned.
+  void restore(const CheckpointState& ck);
+
+  /// Bumps checkpoint.writes (call right before writing a capture()).
+  void note_checkpoint_write() {
+    if (ckpt_writes_ != nullptr) ckpt_writes_->add(1);
+  }
+
+  // --- result assembly (the runner moves these out at the end) ---
+  std::vector<SeriesRecorder>& series() noexcept { return series_; }
+  const std::vector<SeriesRecorder>& series() const noexcept {
+    return series_;
+  }
+  telemetry::TimeSeries& telemetry_series() noexcept {
+    return telemetry_series_;
+  }
+
+  // --- live reconfiguration (serve layer; call only between slots) ---
+
+  /// The network constants used for assignment validation and slot
+  /// scoring — a mutable copy of sim.network(), so the service can move
+  /// alpha/beta without rebuilding the world. (Policies hold their own
+  /// copy; LfscPolicy::set_constraint_thresholds moves theirs.)
+  NetworkConfig& network() noexcept { return net_; }
+
+  /// Changes the telemetry sampling cadence from the next slot on.
+  void set_telemetry_interval(int interval);
+
+  /// Re-forwards a new per-slot budget to every policy (0 = unbudgeted).
+  void set_slot_budget(std::uint32_t budget_us);
+
+ private:
+  struct DelayedBatch {
+    int origin_t = 0;
+    int arrival_t = 0;
+    SlotFeedback feedback;
+  };
+
+  void step_policy(std::size_t k, int t);
+
+  SlotSource& sim_;
+  std::span<Policy* const> policies_;
+  StepConfig config_;
+  NetworkConfig net_;
+  std::size_t num_scns_ = 0;
+
+  int completed_ = 0;
+  std::vector<SeriesRecorder> series_;
+  telemetry::TimeSeries telemetry_series_;
+
+  // Fault plumbing (fixed at construction, like the pre-refactor runner).
+  bool faults_on_ = false;
+  int delay_slots_ = 0;
+  std::vector<char> accepts_delayed_;
+  std::vector<std::vector<DelayedBatch>> in_flight_;
+
+  // Telemetry handles (null when no registry is attached).
+  int sample_every_ = 1;
+  std::size_t telemetry_policy_ = 0;
+  telemetry::Counter* harness_slots_ = nullptr;
+  telemetry::Gauge* cum_reward_ = nullptr;
+  telemetry::Gauge* cum_qos_ = nullptr;
+  telemetry::Gauge* cum_res_ = nullptr;
+  telemetry::Counter* ckpt_writes_ = nullptr;
+  telemetry::Counter* ckpt_resumes_ = nullptr;
+
+  // One Slot and one Assignment per policy, reused across the run: by
+  // the second slot their vector capacities are warm and the hot path
+  // allocates nothing.
+  Slot slot_;
+  std::vector<Assignment> assignments_;
+};
+
+}  // namespace lfsc

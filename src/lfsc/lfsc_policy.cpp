@@ -203,6 +203,26 @@ bool LfscPolicy::set_slot_budget(std::uint32_t budget_us) {
   return true;
 }
 
+void LfscPolicy::reconfigure_slot_budget(std::uint32_t budget_us) {
+  overload_.set_budget(budget_us);  // throws on a forced rung
+  config_.overload.slot_budget_us = budget_us;
+  cache_active_ = overload_.enabled();
+  // Stale cached probabilities from an earlier budgeted phase must not
+  // feed the explore-capped rung after weights moved uncached: -1 marks
+  // every cell "solve exactly before reuse".
+  std::fill(cell_prob_.begin(), cell_prob_.end(), -1.0);
+  if (overload_.enabled()) ensure_overload_telemetry();
+}
+
+void LfscPolicy::set_constraint_thresholds(double qos_alpha,
+                                           double resource_beta) {
+  NetworkConfig next = net_;
+  next.qos_alpha = qos_alpha;
+  next.resource_beta = resource_beta;
+  next.validate();  // throws before anything is touched
+  net_ = next;
+}
+
 template <typename Fn>
 void LfscPolicy::for_each_scn(const Fn& fn) {
   const std::size_t count = scn_state_.size();

@@ -76,6 +76,25 @@ class LfscPolicy final : public Policy {
   /// inert (zero clock reads, bit-identical output).
   bool set_slot_budget(std::uint32_t budget_us) override;
 
+  /// Live budget reconfiguration between slots (serve layer, DESIGN.md
+  /// §14). Unlike set_slot_budget — which rebuilds the controller and is
+  /// therefore restricted to before the first slot — this swaps the
+  /// deadline in place, preserving the ladder's monotonic counters (the
+  /// delta-publishing telemetry depends on them never going backwards).
+  /// 0 removes the budget: the ladder returns to kFull with the
+  /// escalations − recoveries == rung invariant intact. The
+  /// explore-capped probability cache is invalidated on every change.
+  /// Throws std::logic_error when the config forces a rung.
+  void reconfigure_slot_budget(std::uint32_t budget_us);
+
+  /// Live reconfiguration of the constraint thresholds α (QoS, per (1a))
+  /// and β (resource, per (1b)) used by the Lagrangian multiplier
+  /// updates from the next slot on. Validates like NetworkConfig
+  /// (α ≥ 0, β > 0, finite) and throws std::invalid_argument without
+  /// touching state. Note the world keeps generating tasks under its own
+  /// NetworkConfig; only the learner's dual ascent moves.
+  void set_constraint_thresholds(double qos_alpha, double resource_beta);
+
   /// The ladder/deadline state machine (rung, overload.* counters).
   const OverloadController& overload() const noexcept { return overload_; }
 

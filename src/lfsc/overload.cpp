@@ -141,6 +141,23 @@ void OverloadController::apply_measurement(double cost_us) {
   }
 }
 
+void OverloadController::set_budget(std::uint32_t budget_us) {
+  if (config_.force) {
+    throw std::logic_error(
+        "OverloadController: cannot set a budget on a forced rung");
+  }
+  config_.slot_budget_us = budget_us;
+  if (budget_us == 0) {
+    while (rung_ != DegradeRung::kFull) {
+      rung_ = static_cast<DegradeRung>(static_cast<std::uint8_t>(rung_) - 1);
+      ++counters_.recoveries;
+    }
+  }
+  comfortable_streak_ = 0;
+  backoff_ = config_.recover_after;
+  slots_since_recovery_ = config_.recover_after;
+}
+
 void OverloadController::reset() {
   rung_ = DegradeRung::kFull;
   counters_ = OverloadCounters{};

@@ -156,6 +156,17 @@ class OverloadController {
 
   void reset();
 
+  /// Live reconfiguration (serve layer, DESIGN.md §14): replaces the
+  /// per-slot budget between slots while preserving the monotonic
+  /// counters (unlike rebuilding the controller, which would zero them
+  /// under the telemetry layer's delta publishing). Setting 0 disables
+  /// the deadline: the ladder walks back to kFull, counting one recovery
+  /// per rung so escalations − recoveries == rung stays invariant. Any
+  /// change resets the comfortable-streak/backoff probe state. Throws
+  /// std::logic_error on a forced-rung controller (a forced rung never
+  /// reads the clock — force and a budget stay mutually exclusive).
+  void set_budget(std::uint32_t budget_us);
+
   /// Exact ladder + counter state for the checkpoint image. The config
   /// itself is not serialized — it is reconstructed from LfscConfig.
   void save(BlobWriter& out) const;

@@ -1,0 +1,141 @@
+#include "serve/external_source.h"
+
+#include <stdexcept>
+
+#include "common/binio.h"
+
+namespace lfsc::serve {
+
+namespace {
+/// save_state guard + layout version for the external-source blob.
+constexpr std::uint32_t kBlobMagic = 0x4553'5243;  // "ESRC"
+constexpr std::uint32_t kBlobVersion = 1;
+}  // namespace
+
+ExternalSlotSource::ExternalSlotSource(const NetworkConfig& net) : net_(net) {
+  net_.validate();
+}
+
+void ExternalSlotSource::enqueue(const TaskCommand& task) {
+  for (const auto& cov : task.coverage) {
+    if (cov.scn < 0 || cov.scn >= net_.num_scns) {
+      throw std::invalid_argument(
+          "task: coverage SCN " + std::to_string(cov.scn) +
+          " out of range (this network has " + std::to_string(net_.num_scns) +
+          " SCNs)");
+    }
+  }
+  pending_.push_back(task);
+}
+
+Slot ExternalSlotSource::generate_slot(int t) {
+  Slot slot;
+  generate_slot(t, slot);
+  return slot;
+}
+
+void ExternalSlotSource::generate_slot(int t, Slot& out) {
+  const auto scns = static_cast<std::size_t>(net_.num_scns);
+  out.info.t = t;
+  out.info.tasks.clear();
+  out.info.coverage.assign(scns, {});
+  out.real.u.assign(scns, {});
+  out.real.v.assign(scns, {});
+  out.real.q.assign(scns, {});
+
+  out.info.tasks.reserve(pending_.size());
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const TaskCommand& task = pending_[i];
+    Task built;
+    built.id = next_id_++;
+    built.wd_id = task.wd_id;
+    built.context =
+        make_context(task.input_mbit, task.output_mbit, task.resource);
+    out.info.tasks.push_back(built);
+    // Tasks are appended in queue order, so each coverage list stays
+    // sorted ascending by global index — the SlotInfo contract.
+    for (const auto& cov : task.coverage) {
+      const auto m = static_cast<std::size_t>(cov.scn);
+      out.info.coverage[m].push_back(static_cast<int>(i));
+      out.real.u[m].push_back(cov.u);
+      out.real.v[m].push_back(cov.v);
+      out.real.q[m].push_back(cov.q);
+    }
+  }
+  pending_.clear();
+  last_t_ = t;
+}
+
+void ExternalSlotSource::save_state(std::string& out) const {
+  BlobWriter w;
+  w.u32(kBlobMagic);
+  w.u32(kBlobVersion);
+  w.u64(static_cast<std::uint64_t>(next_id_));
+  w.i32(last_t_);
+  w.u32(static_cast<std::uint32_t>(pending_.size()));
+  for (const auto& task : pending_) {
+    w.i32(task.wd_id);
+    w.f64(task.input_mbit);
+    w.f64(task.output_mbit);
+    w.u8(static_cast<std::uint8_t>(task.resource));
+    w.u32(static_cast<std::uint32_t>(task.coverage.size()));
+    for (const auto& cov : task.coverage) {
+      w.i32(cov.scn);
+      w.f64(cov.u);
+      w.f64(cov.v);
+      w.f64(cov.q);
+    }
+  }
+  out += w.take();
+}
+
+void ExternalSlotSource::load_state(std::string_view blob) {
+  if (blob.empty()) {
+    throw std::runtime_error(
+        "ExternalSlotSource: checkpoint carries no external-source state "
+        "(it was written by a generative run, not the service)");
+  }
+  BlobReader r(blob);
+  if (r.u32() != kBlobMagic) {
+    throw std::runtime_error(
+        "ExternalSlotSource: checkpoint source state is not an "
+        "external-source blob");
+  }
+  const std::uint32_t version = r.u32();
+  if (version != kBlobVersion) {
+    throw std::runtime_error(
+        "ExternalSlotSource: unsupported source-state version " +
+        std::to_string(version));
+  }
+  next_id_ = static_cast<std::int64_t>(r.u64());
+  last_t_ = r.i32();
+  pending_.assign(r.u32(), {});
+  for (auto& task : pending_) {
+    task.wd_id = r.i32();
+    task.input_mbit = r.f64();
+    task.output_mbit = r.f64();
+    const std::uint8_t res = r.u8();
+    if (res > static_cast<std::uint8_t>(ResourceType::kCpuGpu)) {
+      throw std::runtime_error(
+          "ExternalSlotSource: corrupt resource type in checkpoint");
+    }
+    task.resource = static_cast<ResourceType>(res);
+    task.coverage.assign(r.u32(), {});
+    for (auto& cov : task.coverage) {
+      cov.scn = r.i32();
+      cov.u = r.f64();
+      cov.v = r.f64();
+      cov.q = r.f64();
+      if (cov.scn < 0 || cov.scn >= net_.num_scns) {
+        throw std::runtime_error(
+            "ExternalSlotSource: corrupt coverage SCN in checkpoint");
+      }
+    }
+  }
+  if (!r.done()) {
+    throw std::runtime_error(
+        "ExternalSlotSource: trailing bytes in checkpoint source state");
+  }
+}
+
+}  // namespace lfsc::serve

@@ -1,0 +1,58 @@
+// A SlotSource fed from outside the process (DESIGN.md §14): the serve
+// layer queues protocol `task` commands here, and each `tick` turns the
+// queue into one fully-realized Slot — tasks, per-SCN coverage lists
+// (sorted by construction) and the aligned u/v/q realization rows the
+// metrics and feedback plumbing expect. An empty queue yields an empty
+// slot; the learner idles through it.
+//
+// Unlike the generative sources, a crashed run cannot regenerate lost
+// slots (they came over the wire), so replay_fast_forward() is false and
+// save_state carries the task-id cursor, the slot position and any
+// still-queued tasks — after --resume-latest the id sequence and queue
+// continue exactly where the checkpoint left them, and the client
+// re-streams from the checkpointed slot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "sim/network.h"
+#include "sim/slot_source.h"
+#include "sim/task.h"
+
+namespace lfsc::serve {
+
+class ExternalSlotSource : public SlotSource {
+ public:
+  explicit ExternalSlotSource(const NetworkConfig& net);
+
+  /// Queues one streamed task for the next generated slot. The command
+  /// must already be protocol-valid; coverage SCNs are range-checked
+  /// here (throws std::invalid_argument — the caller maps it to an
+  /// `err` line).
+  void enqueue(const TaskCommand& task);
+
+  std::size_t pending() const noexcept { return pending_.size(); }
+
+  Slot generate_slot(int t) override;
+  void generate_slot(int t, Slot& out) override;
+  const NetworkConfig& network() const noexcept override { return net_; }
+
+  bool replay_fast_forward() const noexcept override { return false; }
+  void save_state(std::string& out) const override;
+  void load_state(std::string_view blob) override;
+
+  /// Slot index of the last generated slot (0 before the first).
+  int last_t() const noexcept { return last_t_; }
+
+ private:
+  NetworkConfig net_;
+  std::vector<TaskCommand> pending_;
+  std::int64_t next_id_ = 1;
+  int last_t_ = 0;
+};
+
+}  // namespace lfsc::serve

@@ -1,0 +1,280 @@
+#include "serve/protocol.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace lfsc::serve {
+
+namespace {
+
+/// Splits `text` on single characters of `sep`, keeping empty tokens —
+/// "a,,b" must be a parse error downstream, not silently "a,b".
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(text.substr(start));
+      return out;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+/// Strict full-token integer parse: ASCII digits with optional sign,
+/// nothing else — "12x", "", " 3" and "0x10" all fail.
+bool parse_int(std::string_view token, long long& out) {
+  if (token.empty() || token.size() > 20) return false;
+  std::string buf(token);
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size() || end == buf.c_str()) {
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+/// Strict full-token finite double parse. Rejects "nan"/"inf" (finite
+/// is part of the protocol contract) and hex floats by character set.
+bool parse_double(std::string_view token, double& out) {
+  if (token.empty() || token.size() > 64) return false;
+  for (const char c : token) {
+    const bool ok = (c >= '0' && c <= '9') || c == '.' || c == '-' ||
+                    c == '+' || c == 'e' || c == 'E';
+    if (!ok) return false;
+  }
+  std::string buf(token);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size() || end == buf.c_str() ||
+      !std::isfinite(value)) {
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+std::string parse_task(const std::vector<std::string_view>& tokens,
+                       TaskCommand& out) {
+  std::size_t i = 1;
+  out = TaskCommand{};
+  if (i < tokens.size() && !tokens[i].empty() && tokens[i].front() == '@') {
+    long long instance = 0;
+    if (!parse_int(tokens[i].substr(1), instance) || instance < 0 ||
+        instance > 1'000'000) {
+      return "task: bad instance selector '" + std::string(tokens[i]) + "'";
+    }
+    out.instance = static_cast<int>(instance);
+    ++i;
+  }
+  if (tokens.size() - i != 5) {
+    return "task: expected [@<i>] <wd_id> <input_mbit> <output_mbit> "
+           "<cpu|gpu|cpugpu> <m>:<u>:<v>:<q>[,...]";
+  }
+  long long wd = 0;
+  if (!parse_int(tokens[i], wd) || wd < 0 ||
+      wd > std::numeric_limits<int>::max()) {
+    return "task: bad wd_id '" + std::string(tokens[i]) + "'";
+  }
+  out.wd_id = static_cast<int>(wd);
+  if (!parse_double(tokens[i + 1], out.input_mbit) || out.input_mbit < 0.0) {
+    return "task: bad input_mbit '" + std::string(tokens[i + 1]) + "'";
+  }
+  if (!parse_double(tokens[i + 2], out.output_mbit) || out.output_mbit < 0.0) {
+    return "task: bad output_mbit '" + std::string(tokens[i + 2]) + "'";
+  }
+  const std::string_view res = tokens[i + 3];
+  if (res == "cpu") {
+    out.resource = ResourceType::kCpu;
+  } else if (res == "gpu") {
+    out.resource = ResourceType::kGpu;
+  } else if (res == "cpugpu") {
+    out.resource = ResourceType::kCpuGpu;
+  } else {
+    return "task: bad resource '" + std::string(res) +
+           "' (cpu | gpu | cpugpu)";
+  }
+  for (const std::string_view entry : split(tokens[i + 4], ',')) {
+    const auto fields = split(entry, ':');
+    if (fields.size() != 4) {
+      return "task: bad coverage entry '" + std::string(entry) +
+             "' (want <m>:<u>:<v>:<q>)";
+    }
+    TaskCoverageEntry cov;
+    long long m = 0;
+    if (!parse_int(fields[0], m) || m < 0 || m > 1'000'000) {
+      return "task: bad coverage SCN '" + std::string(fields[0]) + "'";
+    }
+    cov.scn = static_cast<int>(m);
+    if (!parse_double(fields[1], cov.u) || cov.u < 0.0 || cov.u > 1.0) {
+      return "task: coverage u must be in [0,1], got '" +
+             std::string(fields[1]) + "'";
+    }
+    if (!parse_double(fields[2], cov.v) || cov.v < 0.0 || cov.v > 1.0) {
+      return "task: coverage v must be in [0,1], got '" +
+             std::string(fields[2]) + "'";
+    }
+    if (!parse_double(fields[3], cov.q) || cov.q < 1.0 || cov.q > 2.0) {
+      return "task: coverage q must be in [1,2], got '" +
+             std::string(fields[3]) + "'";
+    }
+    for (const auto& seen : out.coverage) {
+      if (seen.scn == cov.scn) {
+        return "task: duplicate coverage SCN " + std::to_string(cov.scn);
+      }
+    }
+    out.coverage.push_back(cov);
+  }
+  if (out.coverage.empty()) return "task: empty coverage";
+  return {};
+}
+
+std::string parse_reconfig(const std::vector<std::string_view>& tokens,
+                           ReconfigCommand& out) {
+  out = ReconfigCommand{};
+  if (tokens.size() < 2) {
+    return "reconfig: expected <key>=<value> [...]";
+  }
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string_view token = tokens[i];
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return "reconfig: bad pair '" + std::string(token) +
+             "' (want key=value)";
+    }
+    const std::string_view key = token.substr(0, eq);
+    const std::string_view value = token.substr(eq + 1);
+    long long as_int = 0;
+    double as_double = 0.0;
+    if (key == "slot_budget_us") {
+      if (out.slot_budget_us) return "reconfig: duplicate key slot_budget_us";
+      if (!parse_int(value, as_int) || as_int < 0 || as_int > 60'000'000) {
+        return "reconfig: slot_budget_us must be an integer in "
+               "[0, 60000000], got '" + std::string(value) + "'";
+      }
+      out.slot_budget_us = static_cast<std::uint32_t>(as_int);
+    } else if (key == "admission_max_queue") {
+      if (out.admission_max_queue) {
+        return "reconfig: duplicate key admission_max_queue";
+      }
+      if (!parse_int(value, as_int) || as_int < 0 ||
+          as_int > std::numeric_limits<int>::max()) {
+        return "reconfig: admission_max_queue must be an integer >= 0, "
+               "got '" + std::string(value) + "'";
+      }
+      out.admission_max_queue = static_cast<int>(as_int);
+    } else if (key == "admission_capacity_factor") {
+      if (out.admission_capacity_factor) {
+        return "reconfig: duplicate key admission_capacity_factor";
+      }
+      if (!parse_double(value, as_double) || as_double <= 0.0) {
+        return "reconfig: admission_capacity_factor must be finite and "
+               "> 0, got '" + std::string(value) + "'";
+      }
+      out.admission_capacity_factor = as_double;
+    } else if (key == "qos_alpha") {
+      if (out.qos_alpha) return "reconfig: duplicate key qos_alpha";
+      if (!parse_double(value, as_double) || as_double < 0.0) {
+        return "reconfig: qos_alpha must be finite and >= 0, got '" +
+               std::string(value) + "'";
+      }
+      out.qos_alpha = as_double;
+    } else if (key == "resource_beta") {
+      if (out.resource_beta) return "reconfig: duplicate key resource_beta";
+      if (!parse_double(value, as_double) || as_double <= 0.0) {
+        return "reconfig: resource_beta must be finite and > 0, got '" +
+               std::string(value) + "'";
+      }
+      out.resource_beta = as_double;
+    } else if (key == "telemetry_interval") {
+      if (out.telemetry_interval) {
+        return "reconfig: duplicate key telemetry_interval";
+      }
+      if (!parse_int(value, as_int) || as_int < 0 ||
+          as_int > std::numeric_limits<int>::max()) {
+        return "reconfig: telemetry_interval must be an integer >= 0, "
+               "got '" + std::string(value) + "'";
+      }
+      out.telemetry_interval = static_cast<int>(as_int);
+    } else {
+      return "reconfig: unknown key '" + std::string(key) + "'";
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string parse_command(std::string_view line, Command& out) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  if (line.empty()) return "empty command";
+  const auto tokens = split(line, ' ');
+  for (const auto& token : tokens) {
+    if (token.empty()) return "malformed spacing (single spaces, no blanks)";
+  }
+  const std::string_view verb = tokens[0];
+  if (verb == "task") {
+    out.kind = Command::Kind::kTask;
+    return parse_task(tokens, out.task);
+  }
+  if (verb == "reconfig") {
+    out.kind = Command::Kind::kReconfig;
+    return parse_reconfig(tokens, out.reconfig);
+  }
+  const auto bare = [&](Command::Kind kind) -> std::string {
+    if (tokens.size() != 1) {
+      return std::string(verb) + ": takes no arguments";
+    }
+    out.kind = kind;
+    return {};
+  };
+  if (verb == "tick") return bare(Command::Kind::kTick);
+  if (verb == "checkpoint") return bare(Command::Kind::kCheckpoint);
+  if (verb == "stats") return bare(Command::Kind::kStats);
+  if (verb == "drain") return bare(Command::Kind::kDrain);
+  if (verb == "shutdown") return bare(Command::Kind::kShutdown);
+  return "unknown command '" + std::string(verb) + "'";
+}
+
+void LineChunker::feed(std::string_view bytes) {
+  for (const char c : bytes) {
+    if (discarding_) {
+      if (c == '\n') discarding_ = false;
+      continue;
+    }
+    if (c == '\n') {
+      ready_.push_back({std::move(buffer_), false});
+      buffer_.clear();
+      continue;
+    }
+    buffer_.push_back(c);
+    if (buffer_.size() > max_line_) {
+      // Report the overflow once, now — waiting for the newline would
+      // let an unterminated flood buffer unboundedly — then drop the
+      // rest of the line.
+      buffer_.clear();
+      ready_.push_back({std::string(), true});
+      discarding_ = true;
+    }
+  }
+}
+
+std::optional<LineChunker::Line> LineChunker::next() {
+  if (read_ >= ready_.size()) {
+    if (read_ != 0) {
+      ready_.clear();
+      read_ = 0;
+    }
+    return std::nullopt;
+  }
+  return std::move(ready_[read_++]);
+}
+
+}  // namespace lfsc::serve

@@ -1,0 +1,125 @@
+// The lfsc_serve line protocol (DESIGN.md §14): newline-delimited ASCII
+// commands over stdin or a Unix domain socket, one single-line response
+// per command — `ok ...` or `err <reason>`, never more, never less.
+//
+// Grammar (tokens separated by single spaces; no command spans lines):
+//
+//   task [@<i>] <wd_id> <input_mbit> <output_mbit> <res> <cov>
+//        res  := cpu | gpu | cpugpu
+//        cov  := <m>:<u>:<v>:<q>[,<m>:<u>:<v>:<q>]...
+//        queues one offloading request for instance i (default 0). Each
+//        coverage entry names a covering SCN m with the realized
+//        u ∈ [0,1], v ∈ [0,1], q ∈ [1,2] the network measured for it.
+//   tick
+//        runs one slot on every instance from its queued tasks.
+//   reconfig <key>=<value> [...]
+//        live reconfiguration; validated atomically — one bad key or
+//        value rejects the whole command with zero state change. Keys:
+//        slot_budget_us, admission_max_queue, admission_capacity_factor,
+//        qos_alpha, resource_beta, telemetry_interval.
+//   checkpoint | stats | drain | shutdown
+//
+// Parsing is strict: unknown commands, wrong arity, trailing garbage,
+// non-numeric or out-of-range fields, duplicate coverage SCNs and
+// oversized lines each yield exactly one `err` line, and the learner
+// state is untouched (test-enforced via audit_now() + fingerprint).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/context.h"
+
+namespace lfsc::serve {
+
+/// One covering SCN of a streamed task, with its realized outcomes.
+struct TaskCoverageEntry {
+  int scn = 0;
+  double u = 0.0;  ///< task value, in [0,1]
+  double v = 0.0;  ///< completion likelihood, in [0,1]
+  double q = 1.0;  ///< resource consumption, in [1,2]
+};
+
+struct TaskCommand {
+  int instance = 0;
+  int wd_id = 0;
+  double input_mbit = 0.0;
+  double output_mbit = 0.0;
+  ResourceType resource = ResourceType::kCpu;
+  std::vector<TaskCoverageEntry> coverage;  ///< non-empty, unique SCNs
+};
+
+/// A validated-but-unapplied reconfiguration: every present field has
+/// already passed its range check, so application cannot half-fail.
+struct ReconfigCommand {
+  std::optional<std::uint32_t> slot_budget_us;
+  std::optional<int> admission_max_queue;
+  std::optional<double> admission_capacity_factor;
+  std::optional<double> qos_alpha;
+  std::optional<double> resource_beta;
+  std::optional<int> telemetry_interval;
+
+  bool empty() const noexcept {
+    return !slot_budget_us && !admission_max_queue &&
+           !admission_capacity_factor && !qos_alpha && !resource_beta &&
+           !telemetry_interval;
+  }
+};
+
+struct Command {
+  enum class Kind {
+    kTask,
+    kTick,
+    kReconfig,
+    kCheckpoint,
+    kStats,
+    kDrain,
+    kShutdown,
+  };
+  Kind kind = Kind::kStats;
+  TaskCommand task;          ///< valid when kind == kTask
+  ReconfigCommand reconfig;  ///< valid when kind == kReconfig
+};
+
+/// Parses one protocol line into `out`. Returns "" on success, else a
+/// one-line error message (no trailing newline) and `out` is
+/// unspecified. Never throws on protocol input.
+std::string parse_command(std::string_view line, Command& out);
+
+/// Splits a byte stream into protocol lines with a hard per-line size
+/// bound. Feed raw reads in; pull complete lines out. A line longer
+/// than `max_line` bytes is reported once as oversized (the remainder
+/// up to its newline is silently discarded), so a hostile or broken
+/// client cannot balloon memory or smuggle a half-parsed command.
+class LineChunker {
+ public:
+  explicit LineChunker(std::size_t max_line = kDefaultMaxLine)
+      : max_line_(max_line) {}
+
+  static constexpr std::size_t kDefaultMaxLine = 4096;
+
+  void feed(std::string_view bytes);
+
+  struct Line {
+    std::string text;      ///< without the terminator; empty if oversized
+    bool oversized = false;
+  };
+
+  /// Next complete (or oversized) line, if any.
+  std::optional<Line> next();
+
+  /// Bytes buffered awaiting a newline (bounded by max_line).
+  std::size_t buffered() const noexcept { return buffer_.size(); }
+
+ private:
+  std::size_t max_line_;
+  std::string buffer_;
+  std::vector<Line> ready_;
+  std::size_t read_ = 0;
+  bool discarding_ = false;
+};
+
+}  // namespace lfsc::serve

@@ -1,0 +1,296 @@
+#include "serve/serve.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/log.h"
+#include "harness/checkpoint.h"
+
+namespace lfsc::serve {
+
+namespace {
+
+/// Shortest round-trip-exact rendering of a double: stats lines feed
+/// byte-for-byte diffs between an interrupted-and-recovered run and an
+/// uninterrupted one, so formatting must not lose bits.
+std::string fmt(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+std::string fmt(std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+  return buf;
+}
+
+}  // namespace
+
+ServeController::ServeController(const ServeConfig& config) : config_(config) {
+  if (config_.instances < 1) {
+    throw std::invalid_argument("ServeController: instances must be >= 1");
+  }
+  if (config_.checkpoint_keep < 1) {
+    throw std::invalid_argument(
+        "ServeController: checkpoint_keep must be >= 1");
+  }
+  config_.setup.net.validate();
+  config_.admission.validate();
+
+  instances_.reserve(static_cast<std::size_t>(config_.instances));
+  for (int k = 0; k < config_.instances; ++k) {
+    auto inst = std::make_unique<Instance>();
+    inst->source = std::make_unique<ExternalSlotSource>(config_.setup.net);
+    LfscConfig lfsc = config_.setup.lfsc;
+    lfsc.seed += static_cast<std::uint64_t>(k);
+    inst->policy = std::make_unique<LfscPolicy>(config_.setup.net, lfsc);
+    inst->admission = std::make_unique<AdmissionControl>(config_.admission,
+                                                         config_.setup.net);
+    inst->roster[0] = inst->policy.get();
+
+    StepConfig step;
+    step.horizon = 0;  // resident: unbounded
+    step.validate = true;
+    step.telemetry = &inst->policy->telemetry();
+    step.telemetry_interval =
+        config_.telemetry_interval > 0 ? config_.telemetry_interval : 1;
+    step.checkpoint_counters = !config_.checkpoint_prefix.empty();
+    step.slot_budget_us = config_.slot_budget_us;
+    step.admission = inst->admission.get();
+    inst->stepper =
+        std::make_unique<SlotStepper>(*inst->source, inst->roster, step);
+    instances_.push_back(std::move(inst));
+  }
+}
+
+std::string ServeController::instance_prefix(std::size_t k) const {
+  if (instances_.size() == 1) return config_.checkpoint_prefix;
+  return config_.checkpoint_prefix + ".i" + std::to_string(k);
+}
+
+int ServeController::completed_slots(int instance) const {
+  return instances_.at(static_cast<std::size_t>(instance))
+      ->stepper->completed_slots();
+}
+
+LfscPolicy& ServeController::policy(int instance) {
+  return *instances_.at(static_cast<std::size_t>(instance))->policy;
+}
+
+const AdmissionControl& ServeController::admission(int instance) const {
+  return *instances_.at(static_cast<std::size_t>(instance))->admission;
+}
+
+std::string ServeController::error(std::string message) {
+  ++protocol_errors_;
+  for (char& c : message) {
+    if (c == '\n' || c == '\r') c = ' ';  // one line, always
+  }
+  return "err " + message;
+}
+
+std::size_t ServeController::tick() {
+  std::size_t tasks = 0;
+  for (auto& inst : instances_) {
+    tasks += inst->source->pending();
+    inst->stepper->step();
+  }
+  ++ticks_;
+  if (!config_.checkpoint_prefix.empty() && config_.checkpoint_every > 0 &&
+      instances_[0]->stepper->completed_slots() % config_.checkpoint_every ==
+          0) {
+    checkpoint_now();
+  }
+  return tasks;
+}
+
+void ServeController::checkpoint_now() {
+  if (config_.checkpoint_prefix.empty()) return;
+  const std::uint64_t generation = next_generation_;
+  for (std::size_t k = 0; k < instances_.size(); ++k) {
+    auto& inst = *instances_[k];
+    inst.stepper->note_checkpoint_write();
+    CheckpointState state;
+    inst.stepper->capture(state);
+    const std::string prefix = instance_prefix(k);
+    write_checkpoint_file_retry(
+        checkpoint_generation_path(prefix, generation), state,
+        config_.checkpoint_attempts, config_.checkpoint_backoff_ms);
+    prune_checkpoint_generations(prefix, config_.checkpoint_keep);
+  }
+  ++next_generation_;
+  ++checkpoints_written_;
+}
+
+bool ServeController::resume_latest() {
+  if (config_.checkpoint_prefix.empty()) return false;
+  bool any = false;
+  std::uint64_t newest = 0;
+  for (std::size_t k = 0; k < instances_.size(); ++k) {
+    const std::string prefix = instance_prefix(k);
+    auto recovered = scan_latest_checkpoint(prefix);
+    if (!recovered) {
+      LFSC_LOG_WARN << "serve: no valid checkpoint generation under "
+                    << prefix << "; instance " << k << " starts cold";
+      continue;
+    }
+    instances_[k]->stepper->restore(recovered->state);
+    LFSC_LOG_INFO << "serve: instance " << k << " resumed from "
+                  << recovered->path << " (slot "
+                  << recovered->state.completed_slots << ")";
+    newest = std::max(newest, recovered->generation);
+    any = true;
+  }
+  if (any) next_generation_ = newest + 1;
+  return any;
+}
+
+void ServeController::drain() {
+  if (drained_) return;
+  checkpoint_now();
+  drained_ = true;
+}
+
+std::string ServeController::apply_reconfig(const ReconfigCommand& request) {
+  // The parser already range-checked every present field, and the whole
+  // command was rejected if any key failed — application below cannot
+  // half-fail. alpha/beta validate as a pair against the *staged*
+  // values so `reconfig qos_alpha=...` alone composes with the current
+  // beta.
+  const NetworkConfig& net = instances_[0]->stepper->network();
+  const double alpha = request.qos_alpha.value_or(net.qos_alpha);
+  const double beta = request.resource_beta.value_or(net.resource_beta);
+
+  std::string applied;
+  for (auto& inst : instances_) {
+    if (request.slot_budget_us) {
+      inst->policy->reconfigure_slot_budget(*request.slot_budget_us);
+    }
+    if (request.admission_max_queue || request.admission_capacity_factor) {
+      const AdmissionConfig& cur = inst->admission->config();
+      inst->admission->reconfigure(
+          request.admission_capacity_factor.value_or(cur.capacity_factor),
+          request.admission_max_queue.value_or(cur.max_queue));
+    }
+    if (request.qos_alpha || request.resource_beta) {
+      inst->policy->set_constraint_thresholds(alpha, beta);
+      inst->stepper->network().qos_alpha = alpha;
+      inst->stepper->network().resource_beta = beta;
+    }
+    if (request.telemetry_interval) {
+      inst->stepper->set_telemetry_interval(*request.telemetry_interval);
+    }
+  }
+  if (request.slot_budget_us) {
+    applied += " slot_budget_us=" + std::to_string(*request.slot_budget_us);
+  }
+  if (request.admission_max_queue) {
+    applied +=
+        " admission_max_queue=" + std::to_string(*request.admission_max_queue);
+  }
+  if (request.admission_capacity_factor) {
+    applied += " admission_capacity_factor=" +
+               fmt(*request.admission_capacity_factor);
+  }
+  if (request.qos_alpha) applied += " qos_alpha=" + fmt(*request.qos_alpha);
+  if (request.resource_beta) {
+    applied += " resource_beta=" + fmt(*request.resource_beta);
+  }
+  if (request.telemetry_interval) {
+    applied +=
+        " telemetry_interval=" + std::to_string(*request.telemetry_interval);
+  }
+  return "ok reconfig" + applied;
+}
+
+std::string ServeController::handle_line(std::string_view line) {
+  Command command;
+  if (std::string parse_error = parse_command(line, command);
+      !parse_error.empty()) {
+    return error(std::move(parse_error));
+  }
+  switch (command.kind) {
+    case Command::Kind::kTask: {
+      const auto k = static_cast<std::size_t>(command.task.instance);
+      if (k >= instances_.size()) {
+        return error("task: instance " + std::to_string(command.task.instance) +
+                     " out of range (have " +
+                     std::to_string(instances_.size()) + ")");
+      }
+      try {
+        instances_[k]->source->enqueue(command.task);
+      } catch (const std::invalid_argument& e) {
+        return error(e.what());
+      }
+      return "ok queued=" + std::to_string(instances_[k]->source->pending());
+    }
+    case Command::Kind::kTick: {
+      const std::size_t tasks = tick();
+      return "ok slot=" +
+             std::to_string(instances_[0]->stepper->completed_slots()) +
+             " tasks=" + std::to_string(tasks);
+    }
+    case Command::Kind::kReconfig:
+      return apply_reconfig(command.reconfig);
+    case Command::Kind::kCheckpoint: {
+      if (config_.checkpoint_prefix.empty()) {
+        return error("checkpoint: no --checkpoint prefix configured");
+      }
+      try {
+        checkpoint_now();
+      } catch (const std::runtime_error& e) {
+        return error(std::string("checkpoint: ") + e.what());
+      }
+      return "ok generation=" + std::to_string(next_generation_ - 1);
+    }
+    case Command::Kind::kStats:
+      return stats_line();
+    case Command::Kind::kDrain: {
+      try {
+        drain();
+      } catch (const std::runtime_error& e) {
+        return error(std::string("drain: ") + e.what());
+      }
+      return "ok drained slot=" +
+             std::to_string(instances_[0]->stepper->completed_slots());
+    }
+    case Command::Kind::kShutdown:
+      shutdown_ = true;
+      return "ok shutdown";
+  }
+  return error("unreachable command kind");
+}
+
+std::string ServeController::stats_line() const {
+  const Instance& inst = *instances_[0];
+  const SeriesRecorder& series = inst.stepper->series()[0];
+  const OverloadCounters& overload = inst.policy->overload().counters();
+  const AdmissionControl& adm = *inst.admission;
+
+  std::string out = "ok";
+  out += " instances=" + std::to_string(instances_.size());
+  out += " slots=" + std::to_string(inst.stepper->completed_slots());
+  out += " ticks=" + fmt(ticks_);
+  out += " deadline_misses=" + fmt(deadline_misses_);
+  out += " protocol_errors=" + fmt(protocol_errors_);
+  out += " checkpoints=" + fmt(checkpoints_written_);
+  out += " reward=" + fmt(series.total_reward());
+  out += " qos_violation=" + fmt(series.total_qos_violation());
+  out += " resource_violation=" + fmt(series.total_resource_violation());
+  out += " offered=" + fmt(adm.offered());
+  out += " admitted=" + fmt(adm.admitted());
+  out += " shed=" + fmt(adm.total_shed());
+  out += " backlog=" + std::to_string(adm.backlog());
+  out += " rung=" +
+         std::to_string(static_cast<int>(inst.policy->overload().rung()));
+  out += " escalations=" + fmt(overload.escalations);
+  out += " recoveries=" + fmt(overload.recoveries);
+  out += " audit_checks=" + fmt(inst.policy->audit_checks());
+  out += " audit_violations=" + fmt(inst.policy->audit_violations());
+  return out;
+}
+
+}  // namespace lfsc::serve

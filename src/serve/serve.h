@@ -1,0 +1,150 @@
+// The resident MBS controller behind tools/lfsc_serve (DESIGN.md §14):
+// N independent LFSC instances (sharing the process thread pool when
+// parallel_scns is on), each a SlotStepper over an ExternalSlotSource,
+// driven by the line protocol in serve/protocol.h.
+//
+// The controller is transport-agnostic: handle_line() maps one request
+// line to one response line, and the event loop (stdin, Unix socket, or
+// a test calling it directly) owns timers and signals. Fault tolerance
+// composes from the existing pieces — generation checkpoints through
+// the tmp+fsync+rename path with retry-with-backoff, supervised
+// recovery that scans generations newest→oldest past corrupt files, and
+// a drain that finishes the in-flight slot and checkpoints before exit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/paper_setup.h"
+#include "harness/step_runner.h"
+#include "lfsc/lfsc_policy.h"
+#include "serve/external_source.h"
+#include "serve/protocol.h"
+#include "sim/admission.h"
+
+namespace lfsc::serve {
+
+struct ServeConfig {
+  /// Network constants + LFSC learner configuration. Instance k runs
+  /// under lfsc seed `setup.lfsc.seed + k` so instances learn on
+  /// independent streams; instance 0 is bit-identical to a batch run
+  /// with the same setup.
+  PaperSetup setup;
+
+  int instances = 1;
+
+  std::uint32_t slot_budget_us = 0;
+
+  /// Admission gateway per instance. An AdmissionControl is always
+  /// constructed (max_queue 0 = pass-through) so a live reconfig can
+  /// enable, move, or disable the bound without restart.
+  AdmissionConfig admission{};
+
+  /// Slots between telemetry samples. A resident service samples on a
+  /// fixed stride (there is no horizon to derive one from); 0 falls
+  /// back to every slot — fine for tests, unbounded growth for a
+  /// long-lived service, so lfsc_serve defaults it to 100.
+  int telemetry_interval = 100;
+
+  /// Generation-checkpoint prefix; empty disables checkpointing (the
+  /// checkpoint/drain commands then report an error/skip the write).
+  /// Instance k of a multi-instance service uses `<prefix>.i<k>`.
+  std::string checkpoint_prefix{};
+  int checkpoint_every = 0;  ///< slots between periodic checkpoints (0 = off)
+  int checkpoint_keep = 3;   ///< generations kept per instance
+
+  /// Attempts for each generation write (write_checkpoint_file_retry).
+  int checkpoint_attempts = 3;
+  int checkpoint_backoff_ms = 10;
+};
+
+class ServeController {
+ public:
+  /// Throws std::invalid_argument on an invalid configuration.
+  explicit ServeController(const ServeConfig& config);
+
+  /// One protocol request line → one response line (no terminator).
+  /// Protocol problems come back as `err ...` and never throw; a broken
+  /// internal invariant still throws (the supervisor restarts us).
+  std::string handle_line(std::string_view line);
+
+  /// Timer-driven slot tick (same path as the protocol `tick`). Returns
+  /// the number of tasks processed across instances.
+  std::size_t tick();
+
+  /// Writes one checkpoint generation for every instance (retry with
+  /// backoff), prunes old generations, bumps the generation counter.
+  /// Throws std::runtime_error when a write exhausts its retries.
+  void checkpoint_now();
+
+  /// Supervised recovery: loads the newest valid checkpoint generation
+  /// per instance, skipping corrupt ones with a warning. Returns true
+  /// when at least one instance recovered; false means cold start.
+  bool resume_latest();
+
+  /// Graceful drain: writes a final checkpoint (when configured) and
+  /// marks the controller drained. Idempotent.
+  void drain();
+
+  bool drained() const noexcept { return drained_; }
+  bool shutdown_requested() const noexcept { return shutdown_; }
+
+  /// Wall-clock tick accounting for the timer loop.
+  void note_deadline_miss(std::uint64_t periods) {
+    deadline_misses_ += periods;
+  }
+
+  /// Accounting + one-line response for a transport-detected oversized
+  /// line (the LineChunker reports it before the text reaches
+  /// handle_line, so the error counter lives here).
+  std::string note_oversized_line(std::size_t max_len) {
+    return error("oversized line (max " + std::to_string(max_len) + " bytes)");
+  }
+  std::uint64_t deadline_misses() const noexcept { return deadline_misses_; }
+  std::uint64_t ticks() const noexcept { return ticks_; }
+  std::uint64_t protocol_errors() const noexcept { return protocol_errors_; }
+
+  /// The single-line stats report (instance 0's counters + totals);
+  /// everything in it is wall-clock independent, so two runs over the
+  /// same command stream produce byte-identical stats lines.
+  std::string stats_line() const;
+
+  int num_instances() const noexcept {
+    return static_cast<int>(instances_.size());
+  }
+  int completed_slots(int instance = 0) const;
+  LfscPolicy& policy(int instance = 0);
+  const AdmissionControl& admission(int instance = 0) const;
+  std::uint64_t checkpoint_generation() const noexcept {
+    return next_generation_;
+  }
+
+ private:
+  struct Instance {
+    std::unique_ptr<ExternalSlotSource> source;
+    std::unique_ptr<LfscPolicy> policy;
+    std::unique_ptr<AdmissionControl> admission;
+    std::array<Policy*, 1> roster{};
+    std::unique_ptr<SlotStepper> stepper;
+  };
+
+  std::string instance_prefix(std::size_t k) const;
+  std::string apply_reconfig(const ReconfigCommand& request);
+  std::string error(std::string message);
+
+  ServeConfig config_;
+  std::vector<std::unique_ptr<Instance>> instances_;
+  std::uint64_t next_generation_ = 1;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t deadline_misses_ = 0;
+  std::uint64_t protocol_errors_ = 0;
+  std::uint64_t checkpoints_written_ = 0;
+  bool drained_ = false;
+  bool shutdown_ = false;
+};
+
+}  // namespace lfsc::serve

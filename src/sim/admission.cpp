@@ -40,11 +40,22 @@ AdmissionControl::AdmissionControl(AdmissionConfig config,
     : config_(config) {
   config_.validate();
   net.validate();
-  const double cap = config_.capacity_factor *
-                     static_cast<double>(net.capacity_c) *
-                     static_cast<double>(net.num_scns);
+  base_capacity_ = static_cast<double>(net.capacity_c) *
+                   static_cast<double>(net.num_scns);
   capacity_ = std::max<std::int64_t>(
-      1, static_cast<std::int64_t>(std::ceil(cap)));
+      1, static_cast<std::int64_t>(
+             std::ceil(config_.capacity_factor * base_capacity_)));
+}
+
+void AdmissionControl::reconfigure(double capacity_factor, int max_queue) {
+  AdmissionConfig next = config_;
+  next.capacity_factor = capacity_factor;
+  next.max_queue = max_queue;
+  next.validate();  // throws before anything is touched
+  config_ = next;
+  capacity_ = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(config_.capacity_factor * base_capacity_)));
 }
 
 void AdmissionControl::attach_telemetry(telemetry::Registry& registry) {

@@ -62,6 +62,16 @@ class AdmissionControl {
   /// it just counts nothing.
   void attach_telemetry(telemetry::Registry& registry);
 
+  /// Live reconfiguration (serve layer, DESIGN.md §14): replaces the
+  /// backlog bound and service capacity between slots, preserving the
+  /// carried backlog and every running counter — so the
+  /// offered == admitted + shed identity survives the change. A backlog
+  /// above a shrunken max_queue is not clamped (clamping would lose
+  /// counted tasks); it drains naturally while all new arrivals shed.
+  /// Throws std::invalid_argument on out-of-range parameters, leaving
+  /// the control untouched.
+  void reconfigure(double capacity_factor, int max_queue);
+
   /// Applies admission control to a freshly generated slot, in slot
   /// order: enqueues the offered tasks, sheds the overflow (removing
   /// shed tasks from every coverage list and the aligned realization
@@ -84,6 +94,9 @@ class AdmissionControl {
 
  private:
   AdmissionConfig config_;
+  /// c·M of the network this control fronts, kept so reconfigure() can
+  /// recompute capacity_ without the NetworkConfig.
+  double base_capacity_ = 1.0;
   std::int64_t capacity_ = 1;
 
   std::int64_t backlog_ = 0;

@@ -39,6 +39,15 @@ class SlotSource {
   /// fingerprint guard.
   virtual void save_state(std::string& out) const { (void)out; }
 
+  /// Whether a checkpoint resume can rebuild this source's trajectory by
+  /// regenerating slots 1..completed in order. True for every generative
+  /// source (Simulator, RadioSimulator, ScenarioSource). False for
+  /// sources fed from outside the process (the serve layer's
+  /// ExternalSlotSource): their slots came over the wire, cannot be
+  /// regenerated, and carry their position in save_state instead — the
+  /// client re-streams from the checkpointed slot.
+  virtual bool replay_fast_forward() const noexcept { return true; }
+
   /// Restores (and validates) a save_state blob at resume, called
   /// before the fast-forward. The default accepts only an empty blob:
   /// an old or scenario-free checkpoint stays resumable, but a blob

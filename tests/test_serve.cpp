@@ -1,0 +1,629 @@
+// Tests for the serve layer (DESIGN.md §14): protocol parsing and
+// chunking, the fuzz corpus that must never disturb learner state,
+// live reconfiguration (next-slot effect, atomic rejection), generation
+// checkpoints with corrupt-scan recovery, and the crash/resume
+// bit-identity contract — in serial and parallel_scns flavors.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/checkpoint.h"
+#include "harness/paper_setup.h"
+#include "serve/protocol.h"
+#include "serve/serve.h"
+#include "test_util.h"
+
+namespace lfsc::serve {
+namespace {
+
+// ---------------------------------------------------------------------
+// Protocol parsing
+// ---------------------------------------------------------------------
+
+TEST(ServeProtocol, ParsesTaskLine) {
+  Command cmd;
+  ASSERT_EQ(parse_command(
+                "task 7 12.5 2.5 gpu 0:0.8:0.9:1.5,3:0.25:0.5:1.25", cmd),
+            "");
+  EXPECT_EQ(cmd.kind, Command::Kind::kTask);
+  EXPECT_EQ(cmd.task.instance, 0);
+  EXPECT_EQ(cmd.task.wd_id, 7);
+  EXPECT_DOUBLE_EQ(cmd.task.input_mbit, 12.5);
+  EXPECT_DOUBLE_EQ(cmd.task.output_mbit, 2.5);
+  EXPECT_EQ(cmd.task.resource, ResourceType::kGpu);
+  ASSERT_EQ(cmd.task.coverage.size(), 2u);
+  EXPECT_EQ(cmd.task.coverage[0].scn, 0);
+  EXPECT_DOUBLE_EQ(cmd.task.coverage[0].u, 0.8);
+  EXPECT_DOUBLE_EQ(cmd.task.coverage[0].v, 0.9);
+  EXPECT_DOUBLE_EQ(cmd.task.coverage[0].q, 1.5);
+  EXPECT_EQ(cmd.task.coverage[1].scn, 3);
+  EXPECT_DOUBLE_EQ(cmd.task.coverage[1].q, 1.25);
+}
+
+TEST(ServeProtocol, ParsesInstanceSelector) {
+  Command cmd;
+  ASSERT_EQ(parse_command("task @2 1 10 2 cpu 0:0.5:0.5:1.5", cmd), "");
+  EXPECT_EQ(cmd.task.instance, 2);
+  EXPECT_EQ(cmd.task.wd_id, 1);
+}
+
+TEST(ServeProtocol, ParsesBareCommandsAndCrLf) {
+  const std::pair<const char*, Command::Kind> cases[] = {
+      {"tick", Command::Kind::kTick},
+      {"checkpoint", Command::Kind::kCheckpoint},
+      {"stats", Command::Kind::kStats},
+      {"drain", Command::Kind::kDrain},
+      {"shutdown", Command::Kind::kShutdown},
+  };
+  for (const auto& [text, kind] : cases) {
+    Command cmd;
+    EXPECT_EQ(parse_command(text, cmd), "") << text;
+    EXPECT_EQ(cmd.kind, kind) << text;
+    EXPECT_EQ(parse_command(std::string(text) + "\r", cmd), "") << text;
+    EXPECT_NE(parse_command(std::string(text) + " now", cmd), "") << text;
+  }
+}
+
+TEST(ServeProtocol, ParsesReconfigKeys) {
+  Command cmd;
+  ASSERT_EQ(parse_command(
+                "reconfig slot_budget_us=150 admission_max_queue=40 "
+                "admission_capacity_factor=0.5 qos_alpha=12 "
+                "resource_beta=22.5 telemetry_interval=7",
+                cmd),
+            "");
+  EXPECT_EQ(cmd.kind, Command::Kind::kReconfig);
+  EXPECT_EQ(cmd.reconfig.slot_budget_us.value(), 150u);
+  EXPECT_EQ(cmd.reconfig.admission_max_queue.value(), 40);
+  EXPECT_DOUBLE_EQ(cmd.reconfig.admission_capacity_factor.value(), 0.5);
+  EXPECT_DOUBLE_EQ(cmd.reconfig.qos_alpha.value(), 12.0);
+  EXPECT_DOUBLE_EQ(cmd.reconfig.resource_beta.value(), 22.5);
+  EXPECT_EQ(cmd.reconfig.telemetry_interval.value(), 7);
+  Command single;
+  ASSERT_EQ(parse_command("reconfig qos_alpha=3", single), "");
+  EXPECT_TRUE(single.reconfig.slot_budget_us == std::nullopt);
+  EXPECT_FALSE(single.reconfig.empty());
+}
+
+/// The fuzz corpus: every line is wrong in a different way, and each
+/// must produce exactly one error without touching any state. Shared by
+/// the parser rejection test and the controller state-fingerprint test,
+/// and mirrored by the sanitizer pass in CI.
+const std::vector<std::string>& fuzz_corpus() {
+  static const std::vector<std::string> corpus = {
+      "",                                         // empty
+      "\r",                                       // blank after CR strip
+      "bogus",                                    // unknown verb
+      "TASK 1 10 2 cpu 0:0.5:0.5:1.5",            // case-sensitive
+      "task",                                     // no fields
+      "task 1 10 2 cpu",                          // missing coverage
+      "task 1 10 2 cpu 0:0.5:0.5:1.5 extra",      // trailing garbage
+      "task  1 10 2 cpu 0:0.5:0.5:1.5",           // double space
+      "task 1 10 2 cpu 0:0.5:0.5:1.5 ",           // trailing blank token
+      "task x 10 2 cpu 0:0.5:0.5:1.5",            // non-numeric wd
+      "task 1 nan 2 cpu 0:0.5:0.5:1.5",           // NaN input
+      "task 1 inf 2 cpu 0:0.5:0.5:1.5",           // infinite input
+      "task 1 0x1p3 2 cpu 0:0.5:0.5:1.5",         // hex float
+      "task 1 1e999 2 cpu 0:0.5:0.5:1.5",         // overflow
+      "task 1 10 2 fpga 0:0.5:0.5:1.5",           // unknown resource
+      "task 1 10 2 cpu 0:1.5:0.5:1.5",            // u out of [0,1]
+      "task 1 10 2 cpu 0:0.5:-0.1:1.5",           // v out of [0,1]
+      "task 1 10 2 cpu 0:0.5:0.5:0.5",            // q out of [1,2]
+      "task 1 10 2 cpu 0:0.5:0.5:2.5",            // q out of [1,2]
+      "task 1 10 2 cpu -1:0.5:0.5:1.5",           // negative SCN
+      "task 1 10 2 cpu 0:0.5:0.5:1.5,0:0.6:0.6:1.6",  // duplicate SCN
+      "task 1 10 2 cpu 0:0.5:0.5",                // short coverage entry
+      "task 1 10 2 cpu 0:0.5:0.5:1.5:9",          // long coverage entry
+      "task 1 10 2 cpu ,",                        // empty entries
+      "task @9999999 1 10 2 cpu 0:0.5:0.5:1.5",   // huge instance
+      "task @x 1 10 2 cpu 0:0.5:0.5:1.5",         // bad selector
+      "tick now",                                 // args on bare verb
+      "reconfig",                                 // no pairs
+      "reconfig gamma=0.5",                       // unknown key
+      "reconfig qos_alpha",                       // no '='
+      "reconfig =5",                              // empty key
+      "reconfig qos_alpha=nan",                   // NaN value
+      "reconfig qos_alpha=-1",                    // out of range
+      "reconfig resource_beta=0",                 // out of range
+      "reconfig admission_capacity_factor=0",     // out of range
+      "reconfig admission_max_queue=-5",          // out of range
+      "reconfig slot_budget_us=999999999999",     // out of range
+      "reconfig slot_budget_us=10 slot_budget_us=20",  // duplicate key
+      "reconfig qos_alpha=5 gamma=0.1",           // one bad key poisons all
+      std::string("task 1 10 2 cpu 0:0.5:0.5:1.5\0 x", 30),  // embedded NUL
+  };
+  return corpus;
+}
+
+TEST(ServeProtocol, RejectsEveryFuzzLineWithOneError) {
+  for (const std::string& line : fuzz_corpus()) {
+    Command cmd;
+    const std::string err = parse_command(line, cmd);
+    EXPECT_NE(err, "") << "accepted: '" << line << "'";
+    EXPECT_EQ(err.find('\n'), std::string::npos) << line;
+  }
+}
+
+// ---------------------------------------------------------------------
+// LineChunker
+// ---------------------------------------------------------------------
+
+TEST(ServeLineChunker, ReassemblesAcrossFeeds) {
+  LineChunker chunker;
+  chunker.feed("ti");
+  EXPECT_FALSE(chunker.next().has_value());
+  chunker.feed("ck\nsta");
+  auto line = chunker.next();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(line->text, "tick");
+  EXPECT_FALSE(line->oversized);
+  EXPECT_FALSE(chunker.next().has_value());
+  chunker.feed("ts\r\n");
+  line = chunker.next();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(line->text, "stats\r");  // CR left for parse_command to strip
+}
+
+TEST(ServeLineChunker, ReportsOversizedOnceAndRecovers) {
+  LineChunker chunker(16);
+  chunker.feed(std::string(100, 'a'));
+  auto line = chunker.next();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_TRUE(line->oversized);
+  EXPECT_FALSE(chunker.next().has_value());
+  chunker.feed(std::string(100, 'b'));  // still the same unterminated line
+  EXPECT_FALSE(chunker.next().has_value());
+  EXPECT_LE(chunker.buffered(), 16u);
+  chunker.feed("\ntick\n");  // terminator ends the flood; next line is clean
+  line = chunker.next();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_FALSE(line->oversized);
+  EXPECT_EQ(line->text, "tick");
+}
+
+// ---------------------------------------------------------------------
+// ServeController helpers
+// ---------------------------------------------------------------------
+
+ServeConfig make_config(const std::string& checkpoint_prefix = "",
+                        bool parallel = false, int instances = 1) {
+  ServeConfig config;
+  config.setup = small_setup();
+  // Pin the network shape the expectations below are written against
+  // (small_setup()'s constants are free to drift): 6 SCNs, c=5,
+  // alpha=3, beta=7 — the same shape scripts/serve_smoke.py drives.
+  config.setup.set_num_scns(6);
+  config.setup.net.capacity_c = 5;
+  config.setup.net.qos_alpha = 3.0;
+  config.setup.net.resource_beta = 7.0;
+  config.setup.lfsc.parallel_scns = parallel;
+  if (parallel) config.setup.lfsc.shards = 3;
+  config.instances = instances;
+  config.telemetry_interval = 1;
+  config.checkpoint_prefix = checkpoint_prefix;
+  return config;
+}
+
+/// Deterministic task-line stream: `count` tasks per slot, every task
+/// covered by 2 SCNs with in-range realizations.
+std::vector<std::string> make_task_lines(int slot, int count,
+                                         int num_scns = 6) {
+  std::mt19937 rng(static_cast<unsigned>(1000 + slot));
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<std::string> lines;
+  for (int i = 0; i < count; ++i) {
+    const int m0 = static_cast<int>(rng() % static_cast<unsigned>(num_scns));
+    const int m1 = (m0 + 1 + static_cast<int>(
+                                 rng() % static_cast<unsigned>(num_scns - 1))) %
+                   num_scns;
+    std::ostringstream os;
+    os.precision(17);
+    os << "task " << i << ' ' << 5.0 + 10.0 * unit(rng) << ' '
+       << 1.0 + 2.0 * unit(rng) << ' '
+       << (i % 3 == 0 ? "cpu" : i % 3 == 1 ? "gpu" : "cpugpu") << ' ' << m0
+       << ':' << unit(rng) << ':' << unit(rng) << ':' << 1.0 + unit(rng)
+       << ',' << m1 << ':' << unit(rng) << ':' << unit(rng) << ':'
+       << 1.0 + unit(rng);
+    lines.push_back(os.str());
+  }
+  return lines;
+}
+
+void expect_ok(ServeController& controller, const std::string& line) {
+  const std::string response = controller.handle_line(line);
+  ASSERT_EQ(response.rfind("ok", 0), 0u) << line << " -> " << response;
+}
+
+std::map<std::string, std::string> parse_stats(const std::string& line) {
+  std::map<std::string, std::string> out;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      out[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+  }
+  return out;
+}
+
+/// The stats fields backed by checkpointed state (survive kill -9 +
+/// resume). Process-local fields — ticks, deadline_misses,
+/// protocol_errors, checkpoints — intentionally reset with the process.
+const std::vector<std::string>& state_backed_fields() {
+  static const std::vector<std::string> fields = {
+      "slots", "reward", "qos_violation", "resource_violation",
+      "offered", "admitted", "shed", "backlog", "rung",
+      "escalations", "recoveries", "audit_checks", "audit_violations",
+  };
+  return fields;
+}
+
+void expect_state_backed_equal(const std::string& got_line,
+                               const std::string& want_line) {
+  const auto got = parse_stats(got_line);
+  const auto want = parse_stats(want_line);
+  for (const std::string& field : state_backed_fields()) {
+    ASSERT_TRUE(got.count(field) && want.count(field)) << field;
+    EXPECT_EQ(got.at(field), want.at(field))
+        << field << ": '" << got_line << "' vs '" << want_line << "'";
+  }
+}
+
+// ---------------------------------------------------------------------
+// Fuzz corpus against a live controller: state must not move.
+// ---------------------------------------------------------------------
+
+TEST(ServeController, FuzzCorpusLeavesLearnerUntouched) {
+  ServeController controller(make_config());
+  // Learn something first so the fingerprint is non-trivial.
+  for (int t = 1; t <= 3; ++t) {
+    for (const auto& line : make_task_lines(t, 8)) {
+      expect_ok(controller, line);
+    }
+    expect_ok(controller, "tick");
+  }
+  ASSERT_EQ(controller.policy().audit_now(), 0);
+  std::string before;
+  controller.policy().save_checkpoint(before);
+  const std::string stats_before = controller.handle_line("stats");
+
+  // Parse-level garbage plus lines that only the controller can reject
+  // (range checks that need the instance/SCN configuration).
+  std::vector<std::string> lines = fuzz_corpus();
+  lines.push_back("task 1 10 2 cpu 9999:0.5:0.5:1.5");  // SCN out of range
+  lines.push_back("task @3 1 10 2 cpu 0:0.5:0.5:1.5");  // no such instance
+  lines.push_back("checkpoint");  // no --checkpoint prefix configured
+  std::uint64_t errors = 0;
+  for (const std::string& line : lines) {
+    const std::string response = controller.handle_line(line);
+    EXPECT_EQ(response.rfind("err ", 0), 0u)
+        << "'" << line << "' -> " << response;
+    EXPECT_EQ(response.find('\n'), std::string::npos) << line;
+    ++errors;
+  }
+  EXPECT_EQ(controller.protocol_errors(), errors);
+
+  // Weight tables, multipliers, counters: bit-identical. (audit_now()
+  // itself advances the checkpointed audit_checks counter, so the
+  // clean-state audit runs after the snapshot, not between the two.)
+  std::string after;
+  controller.policy().save_checkpoint(after);
+  EXPECT_EQ(before, after);
+  EXPECT_EQ(controller.policy().audit_now(), 0);
+  // And the next slot behaves as if the garbage never arrived.
+  expect_ok(controller, "tick");
+  const auto before_map = parse_stats(stats_before);
+  const auto after_map = parse_stats(controller.handle_line("stats"));
+  EXPECT_EQ(after_map.at("offered"), before_map.at("offered"));
+}
+
+TEST(ServeController, OversizedLineCountsAsProtocolError) {
+  ServeController controller(make_config());
+  const std::string response =
+      controller.note_oversized_line(LineChunker::kDefaultMaxLine);
+  EXPECT_EQ(response.rfind("err ", 0), 0u);
+  EXPECT_EQ(controller.protocol_errors(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Live reconfiguration
+// ---------------------------------------------------------------------
+
+TEST(ServeController, ReconfigTakesEffectNextSlot) {
+  ServeController controller(make_config());
+  // small_setup: alpha=3, M=6 -> an empty slot accrues 18 QoS violation.
+  expect_ok(controller, "tick");
+  auto stats = parse_stats(controller.handle_line("stats"));
+  const double qos1 = std::stod(stats.at("qos_violation"));
+  EXPECT_NEAR(qos1, 18.0, 1e-9);
+
+  expect_ok(controller, "reconfig qos_alpha=1");
+  expect_ok(controller, "tick");  // now 6 per empty slot
+  stats = parse_stats(controller.handle_line("stats"));
+  EXPECT_NEAR(std::stod(stats.at("qos_violation")) - qos1, 6.0, 1e-9);
+}
+
+TEST(ServeController, ReconfigAdmissionShedsNextSlot) {
+  ServeController controller(make_config());
+  expect_ok(controller,
+            "reconfig admission_max_queue=2 admission_capacity_factor=0.05");
+  // capacity = ceil(0.05 * 5 * 6) = 2 per slot, queue bound 2: offering
+  // 12 tasks must shed at least 8.
+  for (const auto& line : make_task_lines(1, 12)) {
+    expect_ok(controller, line);
+  }
+  expect_ok(controller, "tick");
+  const auto stats = parse_stats(controller.handle_line("stats"));
+  EXPECT_EQ(std::stod(stats.at("offered")), 12.0);
+  EXPECT_GT(std::stod(stats.at("shed")), 0.0);
+  EXPECT_EQ(std::stod(stats.at("offered")),
+            std::stod(stats.at("admitted")) + std::stod(stats.at("shed")));
+}
+
+TEST(ServeController, ReconfigSlotBudgetOnAndOffKeepsLadderInvariant) {
+  ServeController controller(make_config());
+  expect_ok(controller, "tick");  // budget reconfig after the first slot
+  expect_ok(controller, "reconfig slot_budget_us=50");
+  for (int t = 0; t < 3; ++t) {
+    for (const auto& line : make_task_lines(10 + t, 20)) {
+      expect_ok(controller, line);
+    }
+    expect_ok(controller, "tick");
+  }
+  expect_ok(controller, "reconfig slot_budget_us=0");  // back to unbudgeted
+  expect_ok(controller, "tick");
+  const auto stats = parse_stats(controller.handle_line("stats"));
+  // Removing the budget steps the ladder home, counting one recovery
+  // per rung: escalations - recoveries == rung must hold, and the rung
+  // must be kFull (0) again.
+  EXPECT_EQ(std::stod(stats.at("rung")), 0.0);
+  EXPECT_EQ(std::stod(stats.at("escalations")),
+            std::stod(stats.at("recoveries")));
+}
+
+TEST(ServeController, InvalidReconfigIsAtomicallyRejected) {
+  ServeController controller(make_config());
+  const AdmissionConfig before = controller.admission().config();
+  // Valid admission_max_queue rides with an invalid qos_alpha: the
+  // whole command must be rejected, not the valid half applied.
+  const std::string response =
+      controller.handle_line("reconfig admission_max_queue=7 qos_alpha=bad");
+  EXPECT_EQ(response.rfind("err ", 0), 0u);
+  EXPECT_EQ(controller.admission().config().max_queue, before.max_queue);
+  // The empty-slot QoS accrual still uses the original alpha = 3.
+  expect_ok(controller, "tick");
+  const auto stats = parse_stats(controller.handle_line("stats"));
+  EXPECT_NEAR(std::stod(stats.at("qos_violation")), 18.0, 1e-9);
+}
+
+TEST(ServeController, ReconfigTelemetryInterval) {
+  ServeController controller(make_config());
+  expect_ok(controller, "reconfig telemetry_interval=5");
+  for (int t = 0; t < 7; ++t) expect_ok(controller, "tick");
+  const auto stats = parse_stats(controller.handle_line("stats"));
+  EXPECT_EQ(std::stod(stats.at("slots")), 7.0);
+}
+
+// ---------------------------------------------------------------------
+// Generation checkpoints: scan, corruption, pruning (satellite of the
+// recovery path; the write/read primitives are covered in
+// test_checkpoint.cpp).
+// ---------------------------------------------------------------------
+
+class ServeCheckpointTest : public ::testing::Test {
+ protected:
+  ScopedTempDir tmp_;
+};
+
+TEST_F(ServeCheckpointTest, ScanPicksNewestAndSkipsCorrupt) {
+  const std::string prefix = tmp_.path("ckpt");
+  ServeConfig config = make_config(prefix);
+  config.checkpoint_keep = 10;
+  ServeController controller(config);
+  for (int g = 0; g < 3; ++g) {
+    for (const auto& line : make_task_lines(g + 1, 5)) {
+      expect_ok(controller, line);
+    }
+    expect_ok(controller, "tick");
+    expect_ok(controller, "checkpoint");
+  }
+  ASSERT_EQ(list_checkpoint_generations(prefix).size(), 3u);
+
+  // Newest wins when intact.
+  {
+    ServeController resumed(config);
+    ASSERT_TRUE(resumed.resume_latest());
+    EXPECT_EQ(resumed.completed_slots(), 3);
+    EXPECT_EQ(resumed.checkpoint_generation(), 4u);
+  }
+
+  // Truncate g3 (torn write) and zero g2 (crashed before data): the
+  // scan must fall back to g1 with one warning per skip.
+  {
+    std::error_code ec;
+    const auto g3 = checkpoint_generation_path(prefix, 3);
+    std::filesystem::resize_file(g3, std::filesystem::file_size(g3) / 2, ec);
+    ASSERT_FALSE(ec);
+    std::ofstream(checkpoint_generation_path(prefix, 2),
+                  std::ios::trunc | std::ios::binary);
+    ServeController resumed(config);
+    ASSERT_TRUE(resumed.resume_latest());
+    EXPECT_EQ(resumed.completed_slots(), 1);
+    EXPECT_EQ(resumed.checkpoint_generation(), 2u);
+  }
+
+  // All generations corrupt: cold start, no throw.
+  {
+    for (int g = 1; g <= 3; ++g) {
+      std::ofstream out(checkpoint_generation_path(prefix, g),
+                        std::ios::trunc | std::ios::binary);
+      out << "not a checkpoint";
+    }
+    ServeController resumed(config);
+    EXPECT_FALSE(resumed.resume_latest());
+    EXPECT_EQ(resumed.completed_slots(), 0);
+  }
+}
+
+TEST_F(ServeCheckpointTest, ListIgnoresStrayFilesAndPrunes) {
+  const std::string prefix = tmp_.path("ckpt");
+  ServeConfig config = make_config(prefix);
+  config.checkpoint_keep = 2;
+  ServeController controller(config);
+  // Stray siblings that must not parse as generations.
+  for (const char* name : {"ckpt.g1.tmp", "ckpt.gx", "ckpt.g", "ckpt2.g7"}) {
+    std::ofstream(tmp_.path(name)) << "x";
+  }
+  for (int g = 0; g < 4; ++g) {
+    expect_ok(controller, "tick");
+    expect_ok(controller, "checkpoint");
+  }
+  const auto generations = list_checkpoint_generations(prefix);
+  ASSERT_EQ(generations.size(), 2u) << "keep=2 must prune older generations";
+  EXPECT_EQ(generations.front(), 3u);
+  EXPECT_EQ(generations.back(), 4u);
+}
+
+TEST_F(ServeCheckpointTest, DrainWritesFinalGenerationOnce) {
+  ServeConfig config = make_config(tmp_.path("ckpt"));
+  ServeController controller(config);
+  expect_ok(controller, "tick");
+  controller.drain();
+  EXPECT_TRUE(controller.drained());
+  EXPECT_EQ(list_checkpoint_generations(config.checkpoint_prefix).size(), 1u);
+  controller.drain();  // idempotent
+  EXPECT_EQ(list_checkpoint_generations(config.checkpoint_prefix).size(), 1u);
+}
+
+TEST_F(ServeCheckpointTest, ExternalSourceQueueSurvivesResume) {
+  ServeConfig config = make_config(tmp_.path("ckpt"));
+  ServeController controller(config);
+  for (const auto& line : make_task_lines(1, 3)) {
+    expect_ok(controller, line);
+  }
+  expect_ok(controller, "checkpoint");  // queue captured un-ticked
+
+  ServeController resumed(config);
+  ASSERT_TRUE(resumed.resume_latest());
+  const std::string tick = resumed.handle_line("tick");
+  EXPECT_EQ(tick, "ok slot=1 tasks=3") << "queued tasks lost across resume";
+}
+
+// ---------------------------------------------------------------------
+// Crash/resume bit-identity (the tentpole acceptance test): a stream
+// interrupted by an unflushed teardown and recovered via
+// resume_latest() must land in the exact state of an uninterrupted run.
+// ---------------------------------------------------------------------
+
+class ServeCrashResume : public ::testing::TestWithParam<bool> {
+ protected:
+  ScopedTempDir tmp_;
+};
+
+TEST_P(ServeCrashResume, KillAndResumeIsBitIdentical) {
+  const bool parallel = GetParam();
+  constexpr int kSlots = 20;
+  constexpr int kCrashAfter = 9;  // checkpointed slot; the "kill" point
+  constexpr const char* kReconfig =
+      "reconfig admission_max_queue=30 qos_alpha=2.5";
+
+  // Live reconfiguration is operator configuration, not checkpointed
+  // state: on restart the supervisor re-issues it (flags or a reconfig
+  // line) before traffic resumes — modeled here by re-sending it
+  // whenever the drive starts past the slot that applied it.
+  const auto drive = [&](ServeController& controller, int from, int to) {
+    if (from > 5) expect_ok(controller, kReconfig);
+    for (int t = from; t <= to; ++t) {
+      for (const auto& line : make_task_lines(t, 12)) {
+        expect_ok(controller, line);
+      }
+      if (t == 5) expect_ok(controller, kReconfig);
+      expect_ok(controller, "tick");
+    }
+  };
+
+  // Reference: one controller, no interruption.
+  ServeConfig ref_config = make_config(tmp_.path("ref"), parallel);
+  ServeController reference(ref_config);
+  drive(reference, 1, kSlots);
+  const std::string want_stats = reference.handle_line("stats");
+  std::string want_blob;
+  reference.policy().save_checkpoint(want_blob);
+
+  // Crashed: same stream up to the checkpoint, then the controller is
+  // destroyed with everything after the checkpoint unsaved (kill -9
+  // equivalence for in-process state), and a fresh controller resumes.
+  ServeConfig config = make_config(tmp_.path("crash"), parallel);
+  {
+    ServeController victim(config);
+    drive(victim, 1, kCrashAfter);
+    expect_ok(victim, "checkpoint");
+    // Post-checkpoint work that the crash wipes out.
+    for (const auto& line : make_task_lines(kCrashAfter + 1, 12)) {
+      expect_ok(victim, line);
+    }
+    expect_ok(victim, "tick");
+  }
+  ServeController resumed(config);
+  ASSERT_TRUE(resumed.resume_latest());
+  ASSERT_EQ(resumed.completed_slots(), kCrashAfter);
+  // The client re-streams everything after the checkpointed slot.
+  drive(resumed, kCrashAfter + 1, kSlots);
+
+  expect_state_backed_equal(resumed.handle_line("stats"), want_stats);
+  std::string got_blob;
+  resumed.policy().save_checkpoint(got_blob);
+  EXPECT_EQ(got_blob, want_blob) << "learner state diverged after resume";
+}
+
+INSTANTIATE_TEST_SUITE_P(SerialAndParallel, ServeCrashResume,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "ParallelScns" : "Serial";
+                         });
+
+// ---------------------------------------------------------------------
+// Multi-instance
+// ---------------------------------------------------------------------
+
+TEST(ServeMultiInstance, RoutesTasksAndResumesPerInstance) {
+  ScopedTempDir tmp;
+  ServeConfig config = make_config(tmp.path("multi"), false, 2);
+  ServeController controller(config);
+  EXPECT_EQ(controller.num_instances(), 2);
+  expect_ok(controller, "task 1 10 2 cpu 0:0.9:0.9:1.1");
+  expect_ok(controller, "task @1 2 12 3 gpu 1:0.8:0.7:1.3");
+  expect_ok(controller, "task @1 3 11 2 cpu 2:0.6:0.5:1.2");
+  EXPECT_EQ(controller.handle_line("task @2 4 10 2 cpu 0:0.5:0.5:1.5")
+                .rfind("err ", 0),
+            0u)
+      << "instance out of range must be rejected";
+  expect_ok(controller, "tick");
+  expect_ok(controller, "checkpoint");
+
+  // Both instances checkpoint under their own suffix.
+  EXPECT_EQ(list_checkpoint_generations(tmp.path("multi") + ".i0").size(), 1u);
+  EXPECT_EQ(list_checkpoint_generations(tmp.path("multi") + ".i1").size(), 1u);
+
+  ServeController resumed(config);
+  ASSERT_TRUE(resumed.resume_latest());
+  EXPECT_EQ(resumed.completed_slots(0), 1);
+  EXPECT_EQ(resumed.completed_slots(1), 1);
+  for (int k = 0; k < 2; ++k) {
+    std::string want, got;
+    controller.policy(k).save_checkpoint(want);
+    resumed.policy(k).save_checkpoint(got);
+    EXPECT_EQ(got, want) << "instance " << k;
+  }
+}
+
+}  // namespace
+}  // namespace lfsc::serve

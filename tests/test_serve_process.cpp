@@ -1,0 +1,301 @@
+// Process-level tests of the service contract (DESIGN.md §14), run
+// against the real binaries: lfsc_run stopping gracefully on SIGTERM
+// with a final checkpoint (exit 3), lfsc_serve draining on SIGTERM
+// (exit 0, final generation written), and the headline recovery
+// guarantee — SIGKILL mid-run, restart with --resume-latest, re-stream,
+// and the state-backed stats fields match an uninterrupted run
+// byte-for-byte.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "test_util.h"
+
+namespace lfsc {
+namespace {
+
+struct ChildProc {
+  pid_t pid = -1;
+  FILE* to_child = nullptr;    ///< nullptr when stdin is /dev/null
+  FILE* from_child = nullptr;  ///< nullptr when stdout is /dev/null
+};
+
+/// Forks `binary` with argv `args`. When `wire` is true, stdin/stdout
+/// are connected over pipes for protocol traffic; otherwise both ends
+/// are /dev/null (batch tools that would block on an unread pipe).
+ChildProc spawn(const char* binary, const std::vector<std::string>& args,
+                bool wire) {
+  int to_child[2] = {-1, -1};
+  int from_child[2] = {-1, -1};
+  if (wire) {
+    EXPECT_EQ(::pipe(to_child), 0);
+    EXPECT_EQ(::pipe(from_child), 0);
+  }
+  ChildProc out;
+  out.pid = ::fork();
+  if (out.pid == 0) {
+    if (wire) {
+      ::dup2(to_child[0], STDIN_FILENO);
+      ::dup2(from_child[1], STDOUT_FILENO);
+      ::close(to_child[0]);
+      ::close(to_child[1]);
+      ::close(from_child[0]);
+      ::close(from_child[1]);
+    } else {
+      const int null_fd = ::open("/dev/null", O_RDWR);
+      ::dup2(null_fd, STDIN_FILENO);
+      ::dup2(null_fd, STDOUT_FILENO);
+      ::close(null_fd);
+    }
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(binary));
+    for (const std::string& a : args) {
+      argv.push_back(const_cast<char*>(a.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(binary, argv.data());
+    std::_Exit(127);
+  }
+  if (wire) {
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    out.to_child = ::fdopen(to_child[1], "w");
+    out.from_child = ::fdopen(from_child[0], "r");
+  }
+  return out;
+}
+
+std::string read_response(ChildProc& proc) {
+  std::string line;
+  int c;
+  while ((c = std::fgetc(proc.from_child)) != EOF && c != '\n') {
+    line.push_back(static_cast<char>(c));
+  }
+  return line;
+}
+
+std::string request(ChildProc& proc, const std::string& line) {
+  std::fputs(line.c_str(), proc.to_child);
+  std::fputc('\n', proc.to_child);
+  std::fflush(proc.to_child);
+  return read_response(proc);
+}
+
+void close_pipes(ChildProc& proc) {
+  if (proc.to_child != nullptr) std::fclose(proc.to_child);
+  if (proc.from_child != nullptr) std::fclose(proc.from_child);
+  proc.to_child = nullptr;
+  proc.from_child = nullptr;
+}
+
+/// waitpid with a deadline: a hung child must fail the test, not wedge
+/// the whole suite.
+bool wait_exit(pid_t pid, int& status, int timeout_ms = 15000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) return true;
+    if (r < 0) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, &status, 0);
+  return false;
+}
+
+std::map<std::string, std::string> parse_stats(const std::string& line) {
+  std::map<std::string, std::string> out;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      out[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+  }
+  return out;
+}
+
+/// Same deterministic stream as tests/test_serve.cpp: the process-level
+/// run must be reproducible so the interrupted and uninterrupted runs
+/// see identical traffic.
+std::vector<std::string> make_task_lines(int slot, int count,
+                                         int num_scns = 6) {
+  std::mt19937 rng(static_cast<unsigned>(1000 + slot));
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<std::string> lines;
+  for (int i = 0; i < count; ++i) {
+    const int m0 = static_cast<int>(rng() % static_cast<unsigned>(num_scns));
+    const int m1 = (m0 + 1 + static_cast<int>(
+                                 rng() % static_cast<unsigned>(num_scns - 1))) %
+                   num_scns;
+    std::ostringstream os;
+    os.precision(17);
+    os << "task " << i << ' ' << 5.0 + 10.0 * unit(rng) << ' '
+       << 1.0 + 2.0 * unit(rng) << ' '
+       << (i % 3 == 0 ? "cpu" : i % 3 == 1 ? "gpu" : "cpugpu") << ' ' << m0
+       << ':' << unit(rng) << ':' << unit(rng) << ':' << 1.0 + unit(rng)
+       << ',' << m1 << ':' << unit(rng) << ':' << unit(rng) << ':'
+       << 1.0 + unit(rng);
+    lines.push_back(os.str());
+  }
+  return lines;
+}
+
+void drive_slots(ChildProc& proc, int from, int to) {
+  for (int t = from; t <= to; ++t) {
+    for (const auto& line : make_task_lines(t, 10)) {
+      ASSERT_EQ(request(proc, line).rfind("ok", 0), 0u) << line;
+    }
+    const std::string tick = request(proc, "tick");
+    ASSERT_EQ(tick, "ok slot=" + std::to_string(t) + " tasks=10");
+  }
+}
+
+const std::vector<std::string> kServeArgs = {
+    "--scns", "6", "--capacity", "5", "--alpha", "3", "--beta", "7",
+    "--telemetry-interval", "1",
+};
+
+std::vector<std::string> serve_args(
+    const std::initializer_list<std::string>& extra) {
+  std::vector<std::string> args = kServeArgs;
+  args.insert(args.end(), extra.begin(), extra.end());
+  return args;
+}
+
+// ---------------------------------------------------------------------
+// lfsc_run: SIGTERM under supervision = graceful stop, exit 3,
+// checkpoint on disk.
+// ---------------------------------------------------------------------
+
+TEST(ServeProcess, LfscRunSigtermWritesFinalCheckpointAndExitsThree) {
+  ScopedTempDir tmp;
+  const std::string ckpt = tmp.path("run.ckpt");
+  // A horizon far beyond what can finish before the signal lands.
+  ChildProc proc = spawn(
+      LFSC_RUN_BIN,
+      {"--horizon", "2000000", "--scns", "6", "--capacity", "5", "--alpha",
+       "3", "--beta", "7", "--policies", "LFSC", "--checkpoint", ckpt,
+       "--checkpoint-every", "200"},
+      /*wire=*/false);
+  ASSERT_GT(proc.pid, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  ASSERT_EQ(::kill(proc.pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_TRUE(wait_exit(proc.pid, status)) << "lfsc_run ignored SIGTERM";
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 3) << "interrupted runs must exit 3";
+  EXPECT_TRUE(std::filesystem::exists(ckpt))
+      << "no final checkpoint after SIGTERM";
+}
+
+// ---------------------------------------------------------------------
+// lfsc_serve: SIGTERM = drain (finish slot, checkpoint, exit 0).
+// ---------------------------------------------------------------------
+
+TEST(ServeProcess, ServeSigtermDrainsAndExitsZero) {
+  ScopedTempDir tmp;
+  const std::string prefix = tmp.path("ckpt");
+  ChildProc proc =
+      spawn(LFSC_SERVE_BIN, serve_args({"--checkpoint", prefix}), true);
+  ASSERT_GT(proc.pid, 0);
+  drive_slots(proc, 1, 2);  // the service is demonstrably up
+  ASSERT_EQ(::kill(proc.pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_TRUE(wait_exit(proc.pid, status)) << "lfsc_serve ignored SIGTERM";
+  close_pipes(proc);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0) << "drain must exit 0";
+  EXPECT_TRUE(std::filesystem::exists(prefix + ".g1"))
+      << "drain did not write a final checkpoint generation";
+}
+
+// ---------------------------------------------------------------------
+// The headline guarantee: kill -9 mid-run, restart --resume-latest,
+// re-stream from the checkpointed slot — state-backed stats fields
+// match an uninterrupted run byte-for-byte.
+// ---------------------------------------------------------------------
+
+TEST(ServeProcess, SigkillThenResumeLatestMatchesUninterruptedRun) {
+  ScopedTempDir tmp;
+  constexpr int kSlots = 12;
+  constexpr int kCrashAfter = 6;
+
+  // Reference run: the full stream, never interrupted.
+  ChildProc reference = spawn(LFSC_SERVE_BIN, serve_args({}), true);
+  ASSERT_GT(reference.pid, 0);
+  drive_slots(reference, 1, kSlots);
+  const std::string want_stats = request(reference, "stats");
+  ASSERT_EQ(want_stats.rfind("ok ", 0), 0u);
+  ASSERT_EQ(request(reference, "shutdown"), "ok shutdown");
+  int status = 0;
+  ASSERT_TRUE(wait_exit(reference.pid, status));
+  close_pipes(reference);
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  // Victim: half the stream, a checkpoint, then SIGKILL — no drain, no
+  // flush, nothing graceful.
+  const std::string prefix = tmp.path("ckpt");
+  ChildProc victim =
+      spawn(LFSC_SERVE_BIN, serve_args({"--checkpoint", prefix}), true);
+  ASSERT_GT(victim.pid, 0);
+  drive_slots(victim, 1, kCrashAfter);
+  ASSERT_EQ(request(victim, "checkpoint"), "ok generation=1");
+  // Work past the checkpoint that the kill wipes out.
+  for (const auto& line : make_task_lines(kCrashAfter + 1, 10)) {
+    ASSERT_EQ(request(victim, line).rfind("ok", 0), 0u);
+  }
+  ASSERT_EQ(::kill(victim.pid, SIGKILL), 0);
+  ASSERT_TRUE(wait_exit(victim.pid, status));
+  close_pipes(victim);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  // Recovery: --resume-latest, then the client re-streams everything
+  // after the checkpointed slot.
+  ChildProc resumed = spawn(
+      LFSC_SERVE_BIN,
+      serve_args({"--checkpoint", prefix, "--resume-latest"}), true);
+  ASSERT_GT(resumed.pid, 0);
+  const std::string stats_at_resume = request(resumed, "stats");
+  EXPECT_EQ(parse_stats(stats_at_resume).at("slots"),
+            std::to_string(kCrashAfter))
+      << stats_at_resume;
+  drive_slots(resumed, kCrashAfter + 1, kSlots);
+  const std::string got_stats = request(resumed, "stats");
+  ASSERT_EQ(request(resumed, "shutdown"), "ok shutdown");
+  ASSERT_TRUE(wait_exit(resumed.pid, status));
+  close_pipes(resumed);
+
+  // Byte-exact comparison of every state-backed field; process-local
+  // counters (ticks, deadline_misses, protocol_errors, checkpoints)
+  // reset with the process by design.
+  const auto got = parse_stats(got_stats);
+  const auto want = parse_stats(want_stats);
+  for (const char* field :
+       {"slots", "reward", "qos_violation", "resource_violation", "offered",
+        "admitted", "shed", "backlog", "rung", "escalations", "recoveries",
+        "audit_checks", "audit_violations"}) {
+    ASSERT_TRUE(got.count(field) != 0 && want.count(field) != 0) << field;
+    EXPECT_EQ(got.at(field), want.at(field))
+        << field << ":\n  got  " << got_stats << "\n  want " << want_stats;
+  }
+}
+
+}  // namespace
+}  // namespace lfsc

@@ -72,11 +72,13 @@ std::string check_output_path(const std::string& path) {
   return {};
 }
 
-/// Graceful-interrupt flag: SIGINT requests a stop between slots so the
-/// runner can write a final checkpoint instead of dying mid-run.
+/// Graceful-interrupt flag: SIGINT or SIGTERM requests a stop between
+/// slots so the runner can write a final checkpoint instead of dying
+/// mid-run. SIGTERM matters under supervision — a service manager's
+/// stop is a TERM, not an INT.
 std::atomic<bool> g_stop{false};
 
-extern "C" void handle_sigint(int) { g_stop.store(true); }
+extern "C" void handle_stop_signal(int) { g_stop.store(true); }
 
 }  // namespace
 
@@ -505,11 +507,13 @@ int main(int argc, char** argv) {
     run_config.checkpoint_path = *checkpoint_path;
     run_config.checkpoint_every = *checkpoint_every;
     run_config.resume = *resume;
-    // With a checkpoint configured, Ctrl-C becomes a graceful stop: the
-    // runner finishes the current slot, writes a final checkpoint, and
-    // the process exits cleanly with status 3.
+    // With a checkpoint configured, Ctrl-C and a supervisor's TERM both
+    // become a graceful stop: the runner finishes the current slot,
+    // writes a final checkpoint, and the process exits cleanly with
+    // status 3.
     run_config.stop = &g_stop;
-    std::signal(SIGINT, handle_sigint);
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
   }
 
   ExperimentResult result;

@@ -1,0 +1,353 @@
+// lfsc_serve — the resident MBS controller (DESIGN.md §14): the batch
+// framework's learner, checkpoints and overload machinery composed into
+// a long-running service that ingests tasks over a line protocol,
+// ticks slots on command or on a wall-clock timer, reconfigures live,
+// and survives kill -9 via supervised generation-checkpoint recovery.
+//
+// Examples:
+//   lfsc_serve --checkpoint /var/lib/lfsc/ckpt --checkpoint-every 100
+//   lfsc_serve --resume-latest --checkpoint /var/lib/lfsc/ckpt
+//   lfsc_serve --tick-ms 50 --slot-budget-us 200 --admission-queue 2400
+//   lfsc_serve --socket /run/lfsc.sock --instances 4
+//
+// Protocol (one line in, one line out — grammar in src/serve/protocol.h):
+//   task <wd> <in_mbit> <out_mbit> <cpu|gpu|cpugpu> <m>:<u>:<v>:<q>[,...]
+//   tick | reconfig k=v ... | checkpoint | stats | drain | shutdown
+//
+// SIGTERM/SIGINT drain gracefully: finish the in-flight slot, write a
+// final checkpoint generation, exit 0.
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/flags.h"
+#include "common/simd.h"
+#include "serve/serve.h"
+
+namespace {
+
+using namespace lfsc;
+
+volatile std::sig_atomic_t g_drain = 0;
+
+extern "C" void handle_stop_signal(int) { g_drain = 1; }
+
+/// One connected peer (stdin or an accepted socket client): its fd pair
+/// and the line assembler that keeps partial commands across reads.
+struct Peer {
+  int in_fd = -1;
+  int out_fd = -1;
+  serve::LineChunker chunker;
+};
+
+bool write_all(int fd, const std::string& text) {
+  std::size_t off = 0;
+  while (off < text.size()) {
+    const ssize_t n = ::write(fd, text.data() + off, text.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int listen_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    ::close(fd);
+    errno = ENAMETOOLONG;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 8) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser parser("lfsc_serve",
+                    "resident MBS controller over a line protocol");
+  const int* scns = parser.add_int("scns", 30, "number of small cell nodes");
+  const int* capacity =
+      parser.add_int("capacity", 20, "per-SCN communication capacity c");
+  const double* alpha =
+      parser.add_double("alpha", 15.0, "QoS threshold alpha (1c)");
+  const double* beta =
+      parser.add_double("beta", 27.0, "resource capacity beta (1d)");
+  const int* seed = parser.add_int("seed", 42, "learner seed base");
+  const int* h_t = parser.add_int("h", 3, "hypercube parts per dimension");
+  const double* gamma =
+      parser.add_double("gamma", 0.0, "LFSC exploration rate (0 = auto)");
+  const int* shards = parser.add_int(
+      "shards", 0, "parallel per-SCN shards on the shared pool (0 = serial)");
+  const int* audit_stride = parser.add_int(
+      "audit-stride", 0, "audit LFSC invariants every N slots (0 = never)");
+  const int* slot_budget_us = parser.add_int(
+      "slot-budget-us", 0, "per-slot compute budget in us (0 = unbudgeted)");
+  const int* admission_queue = parser.add_int(
+      "admission-queue", 0, "admission backlog bound in tasks (0 = off)");
+  const double* admission_capacity = parser.add_double(
+      "admission-capacity", 1.0, "admission drain rate, multiple of c*M");
+  const int* admission_seed = parser.add_int(
+      "admission-seed", 0xADC0, "seed of the deterministic shed ordering");
+  const int* telemetry_interval = parser.add_int(
+      "telemetry-interval", 100, "slots between telemetry samples");
+  const std::string* checkpoint_prefix = parser.add_string(
+      "checkpoint", "",
+      "generation-checkpoint prefix (writes <prefix>.g<n>)");
+  const int* checkpoint_every = parser.add_int(
+      "checkpoint-every", 0, "slots between periodic checkpoints (0 = off)");
+  const int* checkpoint_keep =
+      parser.add_int("checkpoint-keep", 3, "generations kept per instance");
+  const bool* resume_latest = parser.add_bool(
+      "resume-latest", false,
+      "recover from the newest valid checkpoint generation before serving");
+  const int* instances =
+      parser.add_int("instances", 1, "independent LFSC instances");
+  const int* tick_ms = parser.add_int(
+      "tick-ms", 0,
+      "wall-clock slot period in ms (0 = slots advance only on `tick`)");
+  const std::string* socket_path = parser.add_string(
+      "socket", "", "serve a Unix domain socket instead of stdin/stdout");
+  const bool* force_scalar = parser.add_bool(
+      "force-scalar", false, "disable the SIMD kernel dispatch");
+
+  switch (parser.parse(argc, argv, std::cerr)) {
+    case FlagParser::Result::kHelp:
+      return 0;
+    case FlagParser::Result::kError:
+      return 2;
+    case FlagParser::Result::kOk:
+      break;
+  }
+
+  const auto fail = [](const std::string& message) {
+    std::cerr << "lfsc_serve: " << message << "\n";
+    return 2;
+  };
+  if (*scns <= 0) return fail("--scns must be positive");
+  if (*capacity <= 0) return fail("--capacity must be positive");
+  if (*alpha <= 0.0) return fail("--alpha must be positive");
+  if (*beta <= 0.0) return fail("--beta must be positive");
+  if (*h_t <= 0) return fail("--h must be positive");
+  if (*gamma < 0.0 || *gamma > 1.0) return fail("--gamma must be in [0, 1]");
+  if (*shards < 0) return fail("--shards must be >= 0");
+  if (*audit_stride < 0) return fail("--audit-stride must be >= 0");
+  if (*slot_budget_us < 0) return fail("--slot-budget-us must be >= 0");
+  if (*admission_queue < 0) return fail("--admission-queue must be >= 0");
+  if (*admission_capacity <= 0.0) {
+    return fail("--admission-capacity must be > 0");
+  }
+  if (*telemetry_interval < 0) return fail("--telemetry-interval must be >= 0");
+  if (*checkpoint_every < 0) return fail("--checkpoint-every must be >= 0");
+  if (*checkpoint_keep < 1) return fail("--checkpoint-keep must be >= 1");
+  if (*instances < 1) return fail("--instances must be >= 1");
+  if (*tick_ms < 0) return fail("--tick-ms must be >= 0");
+  if ((*checkpoint_every > 0 || *resume_latest) && checkpoint_prefix->empty()) {
+    return fail("--checkpoint-every/--resume-latest require --checkpoint");
+  }
+  if (*force_scalar) simd::set_force_scalar(true);
+
+  serve::ServeConfig config;
+  config.setup.set_num_scns(*scns);
+  config.setup.net.capacity_c = *capacity;
+  config.setup.net.qos_alpha = *alpha;
+  config.setup.net.resource_beta = *beta;
+  config.setup.set_seed(static_cast<std::uint64_t>(*seed));
+  config.setup.lfsc.parts_per_dim = static_cast<std::size_t>(*h_t);
+  config.setup.lfsc.gamma = *gamma;
+  config.setup.lfsc.audit_stride = static_cast<std::size_t>(*audit_stride);
+  if (*shards > 0) {
+    config.setup.lfsc.parallel_scns = true;
+    config.setup.lfsc.shards = *shards;
+  }
+  config.instances = *instances;
+  config.slot_budget_us = static_cast<std::uint32_t>(*slot_budget_us);
+  config.admission.max_queue = *admission_queue;
+  config.admission.capacity_factor = *admission_capacity;
+  config.admission.seed = static_cast<std::uint64_t>(*admission_seed);
+  config.telemetry_interval = *telemetry_interval;
+  config.checkpoint_prefix = *checkpoint_prefix;
+  config.checkpoint_every = *checkpoint_every;
+  config.checkpoint_keep = *checkpoint_keep;
+
+  std::unique_ptr<serve::ServeController> controller;
+  try {
+    controller = std::make_unique<serve::ServeController>(config);
+    if (*resume_latest && !controller->resume_latest()) {
+      std::cerr << "lfsc_serve: no recoverable checkpoint; starting cold\n";
+    }
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill us
+
+  int listen_fd = -1;
+  std::vector<Peer> peers;
+  if (socket_path->empty()) {
+    peers.push_back({STDIN_FILENO, STDOUT_FILENO, serve::LineChunker()});
+  } else {
+    listen_fd = listen_unix(*socket_path);
+    if (listen_fd < 0) {
+      return fail("cannot listen on " + *socket_path + ": " +
+                  std::strerror(errno));
+    }
+    std::cerr << "lfsc_serve: listening on " << *socket_path << "\n";
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const bool timed = *tick_ms > 0;
+  const auto period = std::chrono::milliseconds(*tick_ms);
+  auto next_due = Clock::now() + period;
+
+  // One line of protocol at a time, interleaved with timer ticks. The
+  // drain signal is honored between commands/slots — never mid-slot —
+  // so the in-flight slot always completes before the final checkpoint.
+  bool stop = false;
+  int exit_code = 0;
+  std::string io_buffer(1 << 16, '\0');
+  while (!stop) {
+    if (g_drain != 0) {
+      try {
+        controller->drain();
+      } catch (const std::exception& e) {
+        std::cerr << "lfsc_serve: drain checkpoint failed: " << e.what()
+                  << "\n";
+        exit_code = 1;
+      }
+      std::cerr << "lfsc_serve: drained at slot "
+                << controller->completed_slots() << "\n";
+      break;
+    }
+
+    int timeout = -1;
+    if (timed) {
+      const auto now = Clock::now();
+      if (now >= next_due) {
+        // Count whole periods the tick grid fell behind; skipped slots
+        // are not made up (the grid slides), only accounted.
+        const auto late = std::chrono::duration_cast<std::chrono::milliseconds>(
+            now - next_due);
+        const std::uint64_t missed =
+            static_cast<std::uint64_t>(late.count()) /
+            static_cast<std::uint64_t>(period.count());
+        if (missed > 0) controller->note_deadline_miss(missed);
+        controller->tick();
+        next_due += period * (1 + missed);
+        continue;
+      }
+      timeout = static_cast<int>(
+                    std::chrono::duration_cast<std::chrono::milliseconds>(
+                        next_due - now)
+                        .count()) +
+                1;
+    }
+
+    std::vector<pollfd> fds;
+    if (listen_fd >= 0) fds.push_back({listen_fd, POLLIN, 0});
+    for (const Peer& peer : peers) fds.push_back({peer.in_fd, POLLIN, 0});
+    const int ready = ::poll(fds.data(), fds.size(), timeout);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // signal: loop re-checks g_drain
+      std::cerr << "lfsc_serve: poll failed: " << std::strerror(errno) << "\n";
+      exit_code = 1;
+      break;
+    }
+    if (ready == 0) continue;  // timer due; handled at loop top
+
+    std::size_t fd_index = 0;
+    if (listen_fd >= 0) {
+      if ((fds[0].revents & POLLIN) != 0) {
+        const int client = ::accept(listen_fd, nullptr, nullptr);
+        if (client >= 0) {
+          peers.push_back({client, client, serve::LineChunker()});
+        }
+      }
+      fd_index = 1;
+    }
+
+    for (std::size_t p = 0; p < peers.size() && fd_index + p < fds.size();
+         ++p) {
+      const short revents = fds[fd_index + p].revents;
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const ssize_t n =
+          ::read(peers[p].in_fd, io_buffer.data(), io_buffer.size());
+      if (n > 0) {
+        peers[p].chunker.feed(
+            std::string_view(io_buffer.data(), static_cast<std::size_t>(n)));
+        while (auto line = peers[p].chunker.next()) {
+          std::string response =
+              line->oversized
+                  ? controller->note_oversized_line(
+                        serve::LineChunker::kDefaultMaxLine)
+                  : controller->handle_line(line->text);
+          response.push_back('\n');
+          if (!write_all(peers[p].out_fd, response)) {
+            peers[p].in_fd = -1;  // client gone; reaped below
+            break;
+          }
+          if (controller->shutdown_requested()) {
+            stop = true;
+            break;
+          }
+          if (controller->drained()) {
+            // A protocol `drain` ends the process like a signal drain:
+            // state is checkpointed, the supervisor restarts us.
+            stop = true;
+            break;
+          }
+        }
+        if (stop) break;
+      } else if (n == 0 || (n < 0 && errno != EINTR)) {
+        if (peers[p].in_fd == STDIN_FILENO) {
+          // stdin closed: the driving process is gone. Drain like a
+          // SIGTERM so nothing is lost.
+          g_drain = 1;
+        } else {
+          ::close(peers[p].in_fd);
+          peers[p].in_fd = -1;
+        }
+      }
+    }
+    if (g_drain != 0) continue;  // handle at loop top (drain + exit)
+    peers.erase(std::remove_if(peers.begin(), peers.end(),
+                               [](const Peer& peer) { return peer.in_fd < 0; }),
+                peers.end());
+    if (listen_fd < 0 && peers.empty()) break;  // stdin mode, stdin gone
+  }
+
+  if (listen_fd >= 0) {
+    ::close(listen_fd);
+    ::unlink(socket_path->c_str());
+  }
+  for (const Peer& peer : peers) {
+    if (peer.in_fd >= 0 && peer.in_fd != STDIN_FILENO) ::close(peer.in_fd);
+  }
+  return exit_code;
+}

@@ -13,13 +13,32 @@
 // Examples:
 //   lfsc_soak                                   # full T=10000 soak
 //   lfsc_soak --horizon 2000 --inject-poison    # CI smoke
+//   lfsc_soak --serve --horizon 300             # chaos via the protocol
+//
+// `--serve` runs the same chaos philosophy against the *service*: it
+// forks the real lfsc_serve binary, streams its own simulator world
+// through the line protocol (task lines + ticks), churns the live
+// reconfiguration path (admission bounds, slot budget on/off, alpha/
+// beta wiggle, telemetry stride), interleaves deliberate garbage lines
+// and checkpoints, then asserts the final stats line is internally
+// consistent: offered == admitted + shed, escalations − recoveries ==
+// final rung, protocol_errors and checkpoints exactly as injected.
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <limits>
+#include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "common/flags.h"
 #include "common/table.h"
@@ -41,6 +60,340 @@ void check(bool ok, const std::string& what) {
     std::cerr << "lfsc_soak: FAIL: " << what << "\n";
     ++g_failures;
   }
+}
+
+// ---------------------------------------------------------------------
+// --serve mode: drive the lfsc_serve binary through its line protocol.
+// ---------------------------------------------------------------------
+
+/// The forked service process and the pipe ends this side holds.
+struct ServeProc {
+  pid_t pid = -1;
+  FILE* to_child = nullptr;
+  FILE* from_child = nullptr;
+};
+
+bool spawn_serve(const std::vector<std::string>& args, ServeProc& out) {
+  int to_child[2];
+  int from_child[2];
+  if (::pipe(to_child) != 0 || ::pipe(from_child) != 0) return false;
+  const pid_t pid = ::fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 2);
+    static char bin[] = LFSC_SERVE_BIN;
+    argv.push_back(bin);
+    for (const std::string& a : args) {
+      argv.push_back(const_cast<char*>(a.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(LFSC_SERVE_BIN, argv.data());
+    std::perror("lfsc_soak: execv " LFSC_SERVE_BIN);
+    std::_Exit(127);
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  out.pid = pid;
+  out.to_child = ::fdopen(to_child[1], "w");
+  out.from_child = ::fdopen(from_child[0], "r");
+  return out.to_child != nullptr && out.from_child != nullptr;
+}
+
+/// Reads one response line (without the newline). Empty on EOF.
+std::string read_response(ServeProc& proc) {
+  std::string line;
+  int c;
+  while ((c = std::fgetc(proc.from_child)) != EOF && c != '\n') {
+    line.push_back(static_cast<char>(c));
+  }
+  return line;
+}
+
+/// One request, one response.
+std::string request(ServeProc& proc, const std::string& line) {
+  std::fputs(line.c_str(), proc.to_child);
+  std::fputc('\n', proc.to_child);
+  std::fflush(proc.to_child);
+  return read_response(proc);
+}
+
+std::string fmt17(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+const char* resource_token(ResourceType type) {
+  switch (type) {
+    case ResourceType::kCpu:
+      return "cpu";
+    case ResourceType::kGpu:
+      return "gpu";
+    case ResourceType::kCpuGpu:
+      return "cpugpu";
+  }
+  return "cpu";
+}
+
+/// Renders one generated slot as protocol task lines: each task carries
+/// its raw context plus the realized (u, v, q) of every SCN that covers
+/// it — exactly the information the generative sources hand the stepper
+/// in-process. Tasks outside all coverage are skipped (the protocol has
+/// no way to express them, and no SCN could serve them anyway).
+std::vector<std::string> slot_to_task_lines(const Slot& slot) {
+  std::vector<std::string> coverage_of(slot.info.tasks.size());
+  for (std::size_t m = 0; m < slot.info.coverage.size(); ++m) {
+    for (std::size_t j = 0; j < slot.info.coverage[m].size(); ++j) {
+      const auto i = static_cast<std::size_t>(slot.info.coverage[m][j]);
+      std::string& entry = coverage_of[i];
+      if (!entry.empty()) entry.push_back(',');
+      entry += std::to_string(m) + ':' + fmt17(slot.real.u[m][j]) + ':' +
+               fmt17(slot.real.v[m][j]) + ':' + fmt17(slot.real.q[m][j]);
+    }
+  }
+  std::vector<std::string> lines;
+  lines.reserve(slot.info.tasks.size());
+  for (std::size_t i = 0; i < slot.info.tasks.size(); ++i) {
+    if (coverage_of[i].empty()) continue;
+    const Task& task = slot.info.tasks[i];
+    lines.push_back("task " + std::to_string(task.wd_id) + ' ' +
+                    fmt17(task.context.input_mbit) + ' ' +
+                    fmt17(task.context.output_mbit) + ' ' +
+                    resource_token(task.context.resource) + ' ' +
+                    coverage_of[i]);
+  }
+  return lines;
+}
+
+/// Parses `ok key=value ...` into a map; numeric access via stat_num.
+std::map<std::string, std::string> parse_stats(const std::string& line) {
+  std::map<std::string, std::string> out;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      out[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+  }
+  return out;
+}
+
+double stat_num(const std::map<std::string, std::string>& stats,
+                const std::string& key) {
+  const auto it = stats.find(key);
+  if (it == stats.end()) return std::numeric_limits<double>::quiet_NaN();
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+/// Deliberately malformed lines the service must reject one-per-line
+/// without disturbing learner state (the in-process fuzz corpus in
+/// tests/test_serve.cpp asserts the state half; the soak asserts the
+/// error accounting here).
+const char* garbage_line(std::uint64_t n) {
+  static const char* kCorpus[] = {
+      "bogus",
+      "task",
+      "task 1 nan 2 cpu 0:0.5:0.5:1.5",
+      "task 1 10 2 fpga 0:0.5:0.5:1.5",
+      "task 1 10 2 cpu 0:1.5:0.5:1.5",
+      "reconfig admission_capacity_factor=0",
+      "reconfig slot_budget_us=999999999999",
+      "reconfig gamma=0.5",
+      "tick now",
+      "task 1 10 2 cpu 0:0.5:0.5:1.5,0:0.6:0.6:1.6",
+  };
+  return kCorpus[n % (sizeof kCorpus / sizeof kCorpus[0])];
+}
+
+int run_serve_soak(int horizon, int seed, int scns, int capacity,
+                   int tasks_min, int tasks_max, int admission_queue) {
+  PaperSetup setup;
+  setup.set_num_scns(scns);
+  setup.net.capacity_c = capacity;
+  setup.coverage.tasks_per_scn_min = tasks_min;
+  setup.coverage.tasks_per_scn_max = tasks_max;
+  setup.set_seed(static_cast<std::uint64_t>(seed));
+  Simulator sim(setup.net, setup.env,
+                std::make_unique<AbstractCoverage>(setup.coverage));
+
+  const int queue_bound =
+      admission_queue > 0 ? admission_queue : 2 * capacity * scns;
+
+  char ckpt_dir[] = "/tmp/lfsc_soak_serve_XXXXXX";
+  if (::mkdtemp(ckpt_dir) == nullptr) {
+    std::cerr << "lfsc_soak: mkdtemp failed\n";
+    return 1;
+  }
+  const std::string prefix = std::string(ckpt_dir) + "/ckpt";
+
+  ServeProc proc;
+  const std::vector<std::string> args = {
+      "--scns", std::to_string(scns),
+      "--capacity", std::to_string(capacity),
+      "--seed", std::to_string(seed),
+      "--admission-queue", std::to_string(queue_bound),
+      "--checkpoint", prefix,
+      "--checkpoint-keep", "2",
+      "--telemetry-interval", "100",
+  };
+  if (!spawn_serve(args, proc)) {
+    std::cerr << "lfsc_soak: cannot spawn " LFSC_SERVE_BIN "\n";
+    return 1;
+  }
+
+  std::uint64_t injected_errors = 0;
+  std::uint64_t injected_checkpoints = 0;
+  std::uint64_t tasks_streamed = 0;
+  bool protocol_ok = true;
+  const auto expect_ok = [&](const std::string& response,
+                             const std::string& what) {
+    if (response.rfind("ok", 0) != 0) {
+      check(false, what + " -> '" + response + "'");
+      protocol_ok = false;
+    }
+  };
+  const auto expect_err = [&](const std::string& response,
+                              const std::string& what) {
+    if (response.rfind("err ", 0) != 0) {
+      check(false, what + " expected err, got '" + response + "'");
+      protocol_ok = false;
+    } else {
+      ++injected_errors;
+    }
+  };
+
+  Slot slot;
+  for (int t = 1; t <= horizon && protocol_ok; ++t) {
+    sim.generate_slot(t, slot);
+    const std::vector<std::string> lines = slot_to_task_lines(slot);
+    // Batch task lines, reading responses every chunk so neither pipe
+    // fills: 200 pending `ok queued=...` responses stay well under the
+    // kernel pipe buffer.
+    std::size_t answered = 0;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      std::fputs(lines[i].c_str(), proc.to_child);
+      std::fputc('\n', proc.to_child);
+      if (i - answered >= 200) {
+        std::fflush(proc.to_child);
+        for (; answered <= i; ++answered) {
+          expect_ok(read_response(proc), "task");
+        }
+      }
+    }
+    std::fflush(proc.to_child);
+    for (; answered < lines.size(); ++answered) {
+      expect_ok(read_response(proc), "task");
+    }
+    tasks_streamed += lines.size();
+
+    // Chaos interleave: garbage, live reconfig churn, checkpoints.
+    if (t % 23 == 0) {
+      expect_err(request(proc, garbage_line(static_cast<std::uint64_t>(t))),
+                 "garbage line");
+    }
+    if (t % 40 == 10) {
+      expect_ok(request(proc, "reconfig admission_max_queue=" +
+                                  std::to_string(queue_bound / 2)),
+                "reconfig shrink queue");
+    }
+    if (t % 40 == 30) {
+      expect_ok(request(proc, "reconfig admission_max_queue=" +
+                                  std::to_string(queue_bound)),
+                "reconfig restore queue");
+    }
+    if (t % 60 == 20) expect_ok(request(proc, "reconfig slot_budget_us=150"),
+                                "reconfig budget on");
+    if (t % 60 == 50) expect_ok(request(proc, "reconfig slot_budget_us=0"),
+                                "reconfig budget off");
+    if (t % 80 == 40) {
+      expect_ok(request(proc, "reconfig qos_alpha=" + fmt17(14.0) +
+                                  " resource_beta=" + fmt17(26.0)),
+                "reconfig thresholds");
+    }
+    if (t % 97 == 5) {
+      expect_ok(request(proc, "reconfig telemetry_interval=7"),
+                "reconfig telemetry");
+    }
+
+    const std::string tick = request(proc, "tick");
+    expect_ok(tick, "tick");
+    check(tick.rfind("ok slot=" + std::to_string(t) + " ", 0) == 0,
+          "tick response '" + tick + "' != slot " + std::to_string(t));
+
+    if (t % 64 == 0) {
+      expect_ok(request(proc, "checkpoint"), "checkpoint");
+      ++injected_checkpoints;
+    }
+  }
+
+  const std::string stats_response = request(proc, "stats");
+  expect_ok(stats_response, "stats");
+  const auto stats = parse_stats(stats_response);
+
+  check(stat_num(stats, "slots") == horizon, "serve slots != horizon");
+  check(stat_num(stats, "offered") ==
+            stat_num(stats, "admitted") + stat_num(stats, "shed"),
+        "serve offered != admitted + shed");
+  check(stat_num(stats, "escalations") - stat_num(stats, "recoveries") ==
+            stat_num(stats, "rung"),
+        "serve escalations - recoveries != rung");
+  check(stat_num(stats, "protocol_errors") ==
+            static_cast<double>(injected_errors),
+        "protocol_errors = " + std::to_string(stat_num(stats,
+                                                       "protocol_errors")) +
+            ", injected " + std::to_string(injected_errors));
+  check(stat_num(stats, "checkpoints") ==
+            static_cast<double>(injected_checkpoints),
+        "checkpoints != explicit checkpoint commands");
+  check(stat_num(stats, "offered") > 0, "serve soak offered nothing");
+  check(stat_num(stats, "shed") > 0,
+        "serve soak shed nothing (offered load too low?)");
+  check(stat_num(stats, "backlog") <= queue_bound,
+        "serve backlog exceeds the configured bound");
+  const double reward = stat_num(stats, "reward");
+  check(std::isfinite(reward) && reward > 0.0, "serve soak earned no reward");
+
+  expect_ok(request(proc, "shutdown"), "shutdown");
+  std::fclose(proc.to_child);
+  std::fclose(proc.from_child);
+  int status = 0;
+  ::waitpid(proc.pid, &status, 0);
+  check(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+        "lfsc_serve did not exit cleanly (status " + std::to_string(status) +
+            ")");
+
+  std::error_code ec;
+  std::filesystem::remove_all(ckpt_dir, ec);
+
+  Table table({"metric", "value"});
+  table.add_row({"slots", Table::num(stat_num(stats, "slots"), 0)});
+  table.add_row({"tasks streamed", Table::num(double(tasks_streamed), 0)});
+  table.add_row({"offered", Table::num(stat_num(stats, "offered"), 0)});
+  table.add_row({"shed", Table::num(stat_num(stats, "shed"), 0)});
+  table.add_row({"final rung", Table::num(stat_num(stats, "rung"), 0)});
+  table.add_row({"escalations", Table::num(stat_num(stats, "escalations"), 0)});
+  table.add_row({"recoveries", Table::num(stat_num(stats, "recoveries"), 0)});
+  table.add_row(
+      {"protocol errors", Table::num(stat_num(stats, "protocol_errors"), 0)});
+  table.add_row(
+      {"checkpoints", Table::num(stat_num(stats, "checkpoints"), 0)});
+  table.add_row({"reward", Table::num(reward, 1)});
+  table.print(std::cout);
+
+  if (g_failures > 0) {
+    std::cerr << "lfsc_soak: " << g_failures << " assertion(s) failed\n";
+    return 1;
+  }
+  std::cout << "lfsc_soak: all serve assertions passed\n";
+  return 0;
 }
 
 }  // namespace
@@ -67,6 +420,9 @@ int main(int argc, char** argv) {
   const bool* inject_poison = parser.add_bool(
       "inject-poison", false,
       "plant a NaN weight before the run; assert the auditor quarantines it");
+  const bool* serve = parser.add_bool(
+      "serve", false,
+      "drive the chaos through a forked lfsc_serve over its line protocol");
 
   switch (parser.parse(argc, argv, std::cerr)) {
     case FlagParser::Result::kHelp:
@@ -89,6 +445,17 @@ int main(int argc, char** argv) {
   if (*slot_budget_us < 0) return fail("--slot-budget-us must be >= 0");
   if (*audit_stride < 0) return fail("--audit-stride must be >= 0");
   if (*admission_queue < 0) return fail("--admission-queue must be >= 0");
+
+  if (*serve) {
+    if (*inject_poison) {
+      return fail("--inject-poison is not available in --serve mode");
+    }
+    // Every slot crosses a pipe twice per task line, so the protocol
+    // soak defaults to a shorter horizon than the in-process soak.
+    const int serve_horizon = parser.provided("horizon") ? *horizon : 400;
+    return run_serve_soak(serve_horizon, *seed, *scns, *capacity, *tasks_min,
+                          *tasks_max, *admission_queue);
+  }
 
   PaperSetup setup;
   setup.set_num_scns(*scns);
