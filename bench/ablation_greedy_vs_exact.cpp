@@ -1,83 +1,253 @@
-// Lemma 2 empirics: Alg. 4's greedy assignment vs the exact max-weight
-// b-matching (min-cost flow) across instance shapes. The lemma proves a
-// 1/(c+1) worst-case factor; the paper notes practice is far closer to
-// optimal — this bench quantifies that.
+// Solver-zoo bench: every registered AssignmentSolver plus the anytime
+// shift-swap improver across instance shapes, reporting quality and
+// wall time per solver. Subsumes the original Lemma 2 empirics (greedy
+// vs exact max-weight b-matching): the lemma proves a 1/(c+1)
+// worst-case factor; the numbers below show how close practice runs.
+//
+// Quality is recomputed from the edge list by (scn, local) keeping the
+// *maximum* weight over duplicates — a dense overwrite table would
+// collapse parallel edges to whichever came last, misattributing the
+// solver's pick (the generator plants duplicates on purpose to keep
+// this path honest). Degenerate trials (optimal weight <= 0) are
+// counted and reported, never silently dropped.
+//
+// Flags:
+//   --trials N   instances per shape (default 8)
+//   --json PATH  write the BENCH_solver_zoo.json perf artifact
+#include <algorithm>
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <vector>
 
+#include "common/flags.h"
 #include "common/math_util.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "common/table.h"
-#include "solver/greedy_assignment.h"
-#include "solver/min_cost_flow.h"
+#include "solver/assignment_solver.h"
+#include "solver/improve.h"
 
-int main() {
-  using namespace lfsc;
+namespace {
 
-  struct Shape {
-    int scns;
-    int tasks;
-    int capacity;
-    double density;
-  };
+using namespace lfsc;
+
+struct Shape {
+  int scns;
+  int tasks;
+  int capacity;
+  double density;
+};
+
+/// Total weight of `assignment` under `edges`, resolving a duplicate
+/// (scn, local) pair to its best edge — the edge every solver here
+/// prefers when parallel edges exist.
+double assignment_weight_max(const Assignment& assignment,
+                             const std::vector<Edge>& edges, int num_scns,
+                             int num_tasks) {
+  std::vector<std::vector<double>> best(
+      static_cast<std::size_t>(num_scns),
+      std::vector<double>(static_cast<std::size_t>(num_tasks), 0.0));
+  for (const Edge& e : edges) {
+    double& slot = best[static_cast<std::size_t>(e.scn)]
+                       [static_cast<std::size_t>(e.local)];
+    slot = std::max(slot, e.weight);
+  }
+  double total = 0.0;
+  for (std::size_t m = 0; m < assignment.selected.size(); ++m) {
+    for (const int local : assignment.selected[m]) {
+      total += best[m][static_cast<std::size_t>(local)];
+    }
+  }
+  return total;
+}
+
+struct SolverStats {
+  RunningStats weight;
+  RunningStats ratio;  ///< vs the flow optimum, non-degenerate trials only
+  double wall_us = 0.0;
+  int timed_trials = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser parser("ablation_greedy_vs_exact",
+                    "solver zoo: quality and wall time of every "
+                    "assignment solver, plus the shift-swap improver");
+  const int* trials_flag =
+      parser.add_int("trials", 8, "instances per shape");
+  const std::string* json_path = parser.add_string(
+      "json", "", "write the BENCH_solver_zoo.json perf artifact");
+  switch (parser.parse(argc, argv, std::cerr)) {
+    case FlagParser::Result::kHelp:
+      return 0;
+    case FlagParser::Result::kError:
+      return 2;
+    case FlagParser::Result::kOk:
+      break;
+  }
+  if (*trials_flag <= 0) {
+    std::cerr << "ablation_greedy_vs_exact: --trials must be positive\n";
+    return 2;
+  }
+  const int kTrials = *trials_flag;
+
   const std::vector<Shape> shapes{
       {5, 50, 3, 0.5},  {10, 100, 5, 0.3}, {30, 500, 20, 0.15},
       {10, 60, 2, 0.8}, {4, 200, 10, 0.6}, {30, 2000, 20, 0.04},
   };
-  constexpr int kTrials = 8;
+  const std::vector<SolverKind> zoo{SolverKind::kGreedy, SolverKind::kPacked,
+                                    SolverKind::kRadix, SolverKind::kFlow,
+                                    SolverKind::kBnb};
 
-  std::cout << "Alg. 4 greedy vs exact max-weight b-matching "
-               "(ratio = greedy/optimal; Lemma 2 floor = 1/(c+1))\n\n";
-  Table table({"SCNs", "tasks", "c", "density", "mean ratio", "min ratio",
-               "lemma floor"});
+  std::cout << "Assignment-solver zoo (ratio = weight/flow optimum; "
+               "Lemma 2 floor = 1/(c+1); " << kTrials << " trials)\n";
+
+  struct ShapeReport {
+    Shape shape;
+    std::vector<SolverStats> solvers;  // parallel to `zoo`
+    RunningStats improve_delta;        // improver gain over greedy
+    double improve_wall_us = 0.0;
+    int skipped = 0;  ///< degenerate trials (optimal weight <= 0)
+  };
+  std::vector<ShapeReport> reports;
+
+  Assignment assignment;
+  GreedySelectScratch scratch;
+  ShiftSwapScratch improve_scratch;
+  Stopwatch watch;
   for (const auto& shape : shapes) {
-    RunningStats ratio;
+    ShapeReport report;
+    report.shape = shape;
+    report.solvers.resize(zoo.size());
     RngStream rng(static_cast<std::uint64_t>(shape.scns * 7919 + shape.tasks));
     for (int trial = 0; trial < kTrials; ++trial) {
       std::vector<Edge> edges;
       for (int m = 0; m < shape.scns; ++m) {
         for (int i = 0; i < shape.tasks; ++i) {
-          if (rng.uniform() < shape.density) {
-            Edge e;
-            e.scn = m;
-            e.task = i;
-            e.local = i;
+          if (rng.uniform() >= shape.density) continue;
+          Edge e;
+          e.scn = m;
+          e.task = i;
+          e.local = i;
+          e.weight = rng.uniform(0.01, 1.0);
+          edges.push_back(e);
+          // Occasional parallel edge on the same (scn, local): keeps the
+          // max-resolving weight recompute honest (see header comment).
+          if (rng.uniform() < 0.1) {
             e.weight = rng.uniform(0.01, 1.0);
             edges.push_back(e);
           }
         }
       }
-      const auto exact = max_weight_b_matching(shape.scns, shape.tasks,
-                                               shape.capacity, edges);
-      const auto greedy =
-          greedy_select(shape.scns, shape.tasks, shape.capacity, edges);
-      // Recompute greedy weight from the edge list.
-      double greedy_weight = 0.0;
-      std::vector<std::vector<double>> weight_of(
-          static_cast<std::size_t>(shape.scns),
-          std::vector<double>(static_cast<std::size_t>(shape.tasks), 0.0));
-      for (const auto& e : edges) {
-        weight_of[static_cast<std::size_t>(e.scn)]
-                 [static_cast<std::size_t>(e.local)] = e.weight;
-      }
-      for (std::size_t m = 0; m < greedy.selected.size(); ++m) {
-        for (const int local : greedy.selected[m]) {
-          greedy_weight += weight_of[m][static_cast<std::size_t>(local)];
+
+      // The flow solve is the exact optimum for (1a)/(1b); it anchors
+      // every ratio, so run it first to detect degenerate trials.
+      double flow_weight = 0.0;
+      std::vector<double> weights(zoo.size(), 0.0);
+      for (std::size_t s = 0; s < zoo.size(); ++s) {
+        watch.reset();
+        solve_assignment(zoo[s], shape.scns, shape.tasks, shape.capacity,
+                         edges, assignment, scratch);
+        report.solvers[s].wall_us += watch.seconds() * 1e6;
+        ++report.solvers[s].timed_trials;
+        weights[s] = assignment_weight_max(assignment, edges, shape.scns,
+                                           shape.tasks);
+        report.solvers[s].weight.add(weights[s]);
+        if (zoo[s] == SolverKind::kFlow) flow_weight = weights[s];
+
+        // Improver delta, measured off the reference greedy with no
+        // deadline (the anytime path's best case; gain >= 0 always).
+        if (zoo[s] == SolverKind::kGreedy) {
+          watch.reset();
+          const ShiftSwapStats st = improve_shift_swap(
+              shape.scns, shape.tasks, shape.capacity, edges, assignment,
+              ShiftSwapOptions{}, improve_scratch);
+          report.improve_wall_us += watch.seconds() * 1e6;
+          report.improve_delta.add(st.gained);
         }
       }
-      if (exact.total_weight > 0.0) {
-        ratio.add(greedy_weight / exact.total_weight);
+      if (flow_weight <= 0.0) {
+        // Degenerate instance: no positive-weight matching exists, a
+        // ratio would be 0/0. Count it instead of pretending the trial
+        // never happened.
+        ++report.skipped;
+        continue;
+      }
+      for (std::size_t s = 0; s < zoo.size(); ++s) {
+        report.solvers[s].ratio.add(weights[s] / flow_weight);
       }
     }
-    table.add_row({std::to_string(shape.scns), std::to_string(shape.tasks),
-                   std::to_string(shape.capacity),
-                   Table::num(shape.density, 2),
-                   Table::num(ratio.mean(), 4), Table::num(ratio.min(), 4),
-                   Table::num(1.0 / (shape.capacity + 1), 4)});
+    reports.push_back(std::move(report));
   }
-  table.print(std::cout);
-  std::cout << "\nconclusion: the greedy sits within a few percent of "
-               "optimal on realistic\nshapes — far above the worst-case "
-               "1/(c+1) bound, matching the paper's remark.\n";
+
+  for (const auto& report : reports) {
+    const Shape& shape = report.shape;
+    std::cout << "\n" << shape.scns << " SCNs, " << shape.tasks
+              << " tasks, c=" << shape.capacity << ", density "
+              << Table::num(shape.density, 2) << " (lemma floor "
+              << Table::num(1.0 / (shape.capacity + 1), 4) << ", skipped "
+              << report.skipped << "/" << kTrials << " degenerate)\n";
+    Table table({"solver", "mean ratio", "min ratio", "us/solve",
+                 "reward/us"});
+    for (std::size_t s = 0; s < zoo.size(); ++s) {
+      const SolverStats& st = report.solvers[s];
+      const double us =
+          st.wall_us / std::max(1, st.timed_trials);
+      table.add_row({std::string(solver_name(zoo[s])),
+                     Table::num(st.ratio.mean(), 4),
+                     Table::num(st.ratio.min(), 4), Table::num(us, 1),
+                     Table::num(st.weight.mean() / us, 4)});
+    }
+    table.print(std::cout);
+    std::cout << "improver: mean gain " << Table::num(
+                     report.improve_delta.mean(), 4)
+              << " over greedy (min " << Table::num(
+                     report.improve_delta.min(), 4)
+              << ", " << Table::num(
+                     report.improve_wall_us / kTrials, 1)
+              << " us/solve)\n";
+  }
+  std::cout << "\nconclusion: every greedy variant ties bit-for-bit and "
+               "sits within a few\npercent of optimal — far above the "
+               "worst-case 1/(c+1) bound — and the\nshift-swap improver "
+               "closes part of the remaining gap for microseconds.\n";
+
+  if (!json_path->empty()) {
+    std::ofstream out(*json_path);
+    if (!out) {
+      std::cerr << "cannot write " << *json_path << "\n";
+      return 1;
+    }
+    out.precision(10);
+    out << "{\n  \"benchmark\": \"solver_zoo\",\n  \"trials\": " << kTrials
+        << ",\n  \"shapes\": [\n";
+    for (std::size_t r = 0; r < reports.size(); ++r) {
+      const auto& report = reports[r];
+      out << "    {\"scns\": " << report.shape.scns << ", \"tasks\": "
+          << report.shape.tasks << ", \"capacity\": " << report.shape.capacity
+          << ", \"density\": " << report.shape.density
+          << ", \"skipped_trials\": " << report.skipped
+          << ",\n     \"improve\": {\"mean_delta\": "
+          << report.improve_delta.mean()
+          << ", \"min_delta\": " << report.improve_delta.min()
+          << ", \"us_per_solve\": " << report.improve_wall_us / kTrials
+          << "},\n     \"solvers\": [\n";
+      for (std::size_t s = 0; s < report.solvers.size(); ++s) {
+        const SolverStats& st = report.solvers[s];
+        const double us = st.wall_us / std::max(1, st.timed_trials);
+        out << "       {\"name\": \"" << solver_name(zoo[s])
+            << "\", \"mean_ratio\": " << st.ratio.mean()
+            << ", \"min_ratio\": " << st.ratio.min()
+            << ", \"us_per_solve\": " << us
+            << ", \"reward_per_us\": " << st.weight.mean() / us << "}"
+            << (s + 1 < report.solvers.size() ? ",\n" : "\n");
+      }
+      out << "     ]}" << (r + 1 < reports.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    std::cerr << "json -> " << *json_path << "\n";
+  }
   return 0;
 }

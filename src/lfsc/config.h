@@ -15,6 +15,7 @@
 
 #include "lfsc/overload.h"
 #include "sim/context.h"
+#include "solver/assignment_solver.h"
 
 namespace lfsc {
 
@@ -125,6 +126,27 @@ struct LfscConfig {
   /// Default: 1234. Two policies with equal config and seed replay the
   /// same trajectory bit-for-bit.
   std::uint64_t seed = 1234;
+
+  /// Assignment solver for the Alg. 4 phase (DESIGN.md §15): which
+  /// registered AssignmentSolver the collaborative select dispatches
+  /// to. Valid: any SolverKind. Default: kAuto — the shape-driven
+  /// radix/packed/wide cutover; every greedy kind produces the
+  /// identical assignment, the exact kinds (flow, bnb) trade wall time
+  /// for per-slot optimality (benches, small deployments).
+  SolverKind solver = SolverKind::kAuto;
+
+  /// Anytime shift-swap improver (DESIGN.md §15): when true and a slot
+  /// budget is live, leftover budget after the greedy refines the
+  /// assignment with strictly-improving shift/swap/insert moves. With
+  /// no budget — or on the greedy-only and shed rungs — the improver
+  /// never runs and the slot path stays bit-identical to plain greedy.
+  /// Default: false.
+  bool improve = false;
+
+  /// Fraction of slot_budget_us at which the improver's deadline fires,
+  /// leaving the remainder as headroom for the observe() phase. Unit:
+  /// fraction of the slot budget. Valid: (0, 1]. Default: 0.5.
+  double improve_budget_fraction = 0.5;
 
   /// Overload protection (DESIGN.md §11): per-slot deadline budget and
   /// staged degradation ladder. Default-constructed = disabled — the

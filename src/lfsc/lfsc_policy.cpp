@@ -1,6 +1,7 @@
 #include "lfsc/lfsc_policy.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <istream>
 #include <ostream>
@@ -13,6 +14,7 @@
 #include "common/simd.h"
 #include "common/thread_pool.h"
 #include "lfsc/audit.h"
+#include "solver/assignment_solver.h"
 
 namespace lfsc {
 namespace {
@@ -80,6 +82,12 @@ LfscPolicy::LfscPolicy(const NetworkConfig& net, LfscConfig config)
   if (config_.shards < 0) {
     throw std::invalid_argument("LfscConfig: shards must be >= 0");
   }
+  if (!std::isfinite(config_.improve_budget_fraction) ||
+      config_.improve_budget_fraction <= 0.0 ||
+      config_.improve_budget_fraction > 1.0) {
+    throw std::invalid_argument(
+        "LfscConfig: improve_budget_fraction must be in (0, 1]");
+  }
   if (gamma_ <= 0.0) gamma_ = 0.01;  // degenerate auto-formula inputs
   gamma_ = std::min(gamma_, 1.0);
   overload_ = OverloadController(config_.overload);  // validates
@@ -143,6 +151,8 @@ LfscPolicy::LfscPolicy(const NetworkConfig& net, LfscConfig config)
   tel_observe_ = &telemetry_.timer("lfsc.observe");
   tel_calculating_ = &telemetry_.timer("lfsc.alg2.calculating");
   tel_greedy_ = &telemetry_.timer("lfsc.alg4.greedy_select");
+  tel_improve_ = &telemetry_.timer("lfsc.alg4.improve");
+  tel_improve_moves_ = &telemetry_.counter("lfsc.improve.moves", "moves");
   tel_updating_ = &telemetry_.timer("lfsc.alg3.updating");
   tel_shard_busy_ = &telemetry_.timer("lfsc.shard.busy", "s", num_shards_);
   tel_slots_ = &telemetry_.counter("lfsc.slots", "slots");
@@ -647,18 +657,69 @@ void LfscPolicy::select(const SlotInfo& info, Assignment& out) {
     return;
   }
 
+  // Anytime improver gate (DESIGN.md §15): only with leftover budget to
+  // spend — a live deadline (timing, so zero clock reads otherwise), the
+  // improve switch, and a rung that still runs learning (the greedy-only
+  // and shed rungs skip it).
+  const bool improving = config_.improve && overload_.timing() &&
+                         slot_rung_ < DegradeRung::kGreedyOnly;
+  const SolverKind solver = config_.solver;
+  // The packed/bucketed greedy paths consume their staged entries in
+  // place, so any consumer that needs the edges afterwards (the exact
+  // solver kinds, the improver) snapshots a flat view first. Never built
+  // on the default path.
+  const bool need_edges = improving || solver == SolverKind::kGreedy ||
+                          solver == SolverKind::kFlow ||
+                          solver == SolverKind::kBnb;
+  if (need_edges) {
+    improve_edges_.clear();
+    improve_edges_.reserve(num_edges);
+    for (std::size_t m = 0; m < num_scns; ++m) {
+      for (int k = bucket_start_[m]; k < bucket_start_[m + 1]; ++k) {
+        Edge edge;
+        edge.scn = static_cast<int>(m);
+        if (packed) {
+          const std::uint64_t e = entries_[static_cast<std::size_t>(k)];
+          edge.task = packed_entry_task(e);
+          edge.local = packed_entry_local(e);
+          edge.weight = static_cast<double>(
+              std::bit_cast<float>(static_cast<std::uint32_t>(e >> 32)));
+        } else {
+          const GreedyBucketEntry& e =
+              wide_entries_[static_cast<std::size_t>(k)];
+          edge.task = e.task;
+          edge.local = e.local;
+          edge.weight = e.weight;
+        }
+        improve_edges_.push_back(edge);
+      }
+    }
+  }
+
   {
     // The greedy entry points below resize+clear `out` themselves, so a
     // reused assignment keeps its warm per-SCN list capacity.
     const telemetry::ScopedTimer greedy_timer(*tel_greedy_);
-    if (packed) {
+    if (solver == SolverKind::kGreedy || solver == SolverKind::kFlow ||
+        solver == SolverKind::kBnb) {
+      // Non-hot-path kinds run over the flat snapshot: the span-based
+      // greedy reference, or the exact solvers (flow/bnb) for operators
+      // who want per-slot optimality and can afford the wall time.
+      solve_assignment(solver, static_cast<int>(num_scns),
+                       static_cast<int>(info.tasks.size()), net_.capacity_c,
+                       improve_edges_, out, greedy_scratch_);
+    } else if (packed) {
       // Fallback chain radix -> packed -> wide: at city scale the edge
       // list outgrows L2 and the merge heaps' random access loses to
       // the radix variant's sequential passes; below the threshold the
       // heaps' consume-only-P-edges property wins. Both produce the
       // identical assignment (entries are staged tasks-ascending per
-      // bucket), so the cutover is purely a performance decision.
-      if (num_edges >= kRadixMinEdges) {
+      // bucket), so the cutover is purely a performance decision —
+      // kPacked/kRadix pin one side of it.
+      const bool radix =
+          solver == SolverKind::kRadix ||
+          (solver == SolverKind::kAuto && num_edges >= kRadixMinEdges);
+      if (radix) {
         greedy_select_radix(static_cast<int>(num_scns),
                             static_cast<int>(info.tasks.size()),
                             net_.capacity_c, bucket_start_, entries_, out,
@@ -675,6 +736,29 @@ void LfscPolicy::select(const SlotInfo& info, Assignment& out) {
                              net_.capacity_c, bucket_start_, wide_entries_,
                              out, greedy_scratch_);
     }
+  }
+
+  if (improving) {
+    // Spend only the leftover budget: the deadline fires at
+    // improve_budget_fraction of the slot budget, leaving the remainder
+    // for observe(). Quarantined SCNs are frozen — their assignments
+    // stay untouched and no task moves into them.
+    const telemetry::ScopedTimer improve_timer(*tel_improve_);
+    const double limit_us =
+        static_cast<double>(config_.overload.slot_budget_us) *
+        config_.improve_budget_fraction;
+    ShiftSwapOptions opts;
+    opts.deadline = [this, limit_us] {
+      return overload_.elapsed_us() > limit_us;
+    };
+    if (quarantine_count_ > 0) {
+      opts.frozen_scns = std::span<const std::uint8_t>(quarantined_.data(),
+                                                       quarantined_.size());
+    }
+    const ShiftSwapStats st = improve_shift_swap(
+        static_cast<int>(num_scns), static_cast<int>(info.tasks.size()),
+        net_.capacity_c, improve_edges_, out, opts, improve_scratch_);
+    tel_improve_moves_->add(static_cast<std::uint64_t>(st.moves()));
   }
 }
 

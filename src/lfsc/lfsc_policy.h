@@ -38,6 +38,7 @@
 #include "lfsc/overload.h"
 #include "sim/policy.h"
 #include "solver/greedy_assignment.h"
+#include "solver/improve.h"
 #include "telemetry/telemetry.h"
 
 namespace lfsc {
@@ -86,6 +87,22 @@ class LfscPolicy final : public Policy {
   /// explore-capped probability cache is invalidated on every change.
   /// Throws std::logic_error when the config forces a rung.
   void reconfigure_slot_budget(std::uint32_t budget_us);
+
+  // --- solver zoo / anytime improver (DESIGN.md §15) ---
+
+  /// Live assignment-solver selection from the next slot on (serve
+  /// layer "reconfig solver=<name>"). Every greedy kind is
+  /// bit-identical to kAuto; the exact kinds change the assignment
+  /// (and the learning trajectory downstream of it).
+  void set_solver(SolverKind kind) noexcept { config_.solver = kind; }
+  SolverKind solver() const noexcept { return config_.solver; }
+
+  /// Live toggle for the shift-swap improver from the next slot on
+  /// (serve layer "reconfig improve=0|1"). The improver only ever runs
+  /// on budgeted slots below the greedy-only rung; toggling it with no
+  /// budget set changes nothing.
+  void set_improve(bool on) noexcept { config_.improve = on; }
+  bool improve() const noexcept { return config_.improve; }
 
   /// Live reconfiguration of the constraint thresholds α (QoS, per (1a))
   /// and β (resource, per (1b)) used by the Lagrangian multiplier
@@ -452,6 +469,13 @@ class LfscPolicy final : public Policy {
   /// 16-bit task field; same keys and order, wider fields.
   std::vector<GreedyBucketEntry> wide_entries_;
   GreedySelectScratch greedy_scratch_;
+  /// Flat edge view of the staged buckets, built before the greedy
+  /// dispatch on slots that need it (the exact solver kinds, and any
+  /// slot the shift-swap improver will run on — the packed/bucketed
+  /// greedy paths consume their staged entries in place, so the edges
+  /// must be snapshotted first). Never touched on the default path.
+  std::vector<Edge> improve_edges_;
+  ShiftSwapScratch improve_scratch_;
 
   // Telemetry (DESIGN.md §8). Handles are registered once in the
   // constructor; under LFSC_TELEMETRY=OFF every call through them is an
@@ -461,6 +485,8 @@ class LfscPolicy final : public Policy {
   telemetry::Timer* tel_observe_;      ///< lfsc.observe (whole Alg. 3 phase)
   telemetry::Timer* tel_calculating_;  ///< lfsc.alg2.calculating, phase/slot
   telemetry::Timer* tel_greedy_;       ///< lfsc.alg4.greedy_select
+  telemetry::Timer* tel_improve_;      ///< lfsc.alg4.improve (budgeted slots)
+  telemetry::Counter* tel_improve_moves_;  ///< lfsc.improve.moves accepted
   telemetry::Timer* tel_updating_;     ///< lfsc.alg3.updating, phase/slot
   telemetry::Timer* tel_shard_busy_;   ///< lfsc.shard.busy, stream = shard
   telemetry::Counter* tel_slots_;      ///< lfsc.slots

@@ -203,6 +203,24 @@ std::string parse_reconfig(const std::vector<std::string_view>& tokens,
                "got '" + std::string(value) + "'";
       }
       out.telemetry_interval = static_cast<int>(as_int);
+    } else if (key == "solver") {
+      if (out.solver) return "reconfig: duplicate key solver";
+      SolverKind kind = SolverKind::kAuto;
+      if (!parse_solver(value, kind)) {
+        return "reconfig: solver must be one of auto | greedy | packed | "
+               "radix | flow | bnb, got '" + std::string(value) + "'";
+      }
+      out.solver = kind;
+    } else if (key == "improve") {
+      if (out.improve) return "reconfig: duplicate key improve";
+      if (value == "0") {
+        out.improve = false;
+      } else if (value == "1") {
+        out.improve = true;
+      } else {
+        return "reconfig: improve must be 0 or 1, got '" + std::string(value) +
+               "'";
+      }
     } else {
       return "reconfig: unknown key '" + std::string(key) + "'";
     }

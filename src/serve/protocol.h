@@ -16,7 +16,7 @@
 //        live reconfiguration; validated atomically — one bad key or
 //        value rejects the whole command with zero state change. Keys:
 //        slot_budget_us, admission_max_queue, admission_capacity_factor,
-//        qos_alpha, resource_beta, telemetry_interval.
+//        qos_alpha, resource_beta, telemetry_interval, solver, improve.
 //   checkpoint | stats | drain | shutdown
 //
 // Parsing is strict: unknown commands, wrong arity, trailing garbage,
@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "sim/context.h"
+#include "solver/assignment_solver.h"
 
 namespace lfsc::serve {
 
@@ -61,11 +62,13 @@ struct ReconfigCommand {
   std::optional<double> qos_alpha;
   std::optional<double> resource_beta;
   std::optional<int> telemetry_interval;
+  std::optional<SolverKind> solver;  ///< Alg. 4 solver (DESIGN.md §15)
+  std::optional<bool> improve;       ///< anytime shift-swap improver
 
   bool empty() const noexcept {
     return !slot_budget_us && !admission_max_queue &&
            !admission_capacity_factor && !qos_alpha && !resource_beta &&
-           !telemetry_interval;
+           !telemetry_interval && !solver && !improve;
   }
 };
 

@@ -183,6 +183,8 @@ std::string ServeController::apply_reconfig(const ReconfigCommand& request) {
     if (request.telemetry_interval) {
       inst->stepper->set_telemetry_interval(*request.telemetry_interval);
     }
+    if (request.solver) inst->policy->set_solver(*request.solver);
+    if (request.improve) inst->policy->set_improve(*request.improve);
   }
   if (request.slot_budget_us) {
     applied += " slot_budget_us=" + std::to_string(*request.slot_budget_us);
@@ -202,6 +204,12 @@ std::string ServeController::apply_reconfig(const ReconfigCommand& request) {
   if (request.telemetry_interval) {
     applied +=
         " telemetry_interval=" + std::to_string(*request.telemetry_interval);
+  }
+  if (request.solver) {
+    applied += " solver=" + std::string(solver_name(*request.solver));
+  }
+  if (request.improve) {
+    applied += std::string(" improve=") + (*request.improve ? "1" : "0");
   }
   return "ok reconfig" + applied;
 }

@@ -1,0 +1,168 @@
+#include "solver/assignment_solver.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "solver/branch_and_bound.h"
+#include "solver/min_cost_flow.h"
+
+namespace lfsc {
+namespace {
+
+/// Largest slot the packed kinds can represent (pack_greedy_entry keeps
+/// the task index in 16 bits); bigger instances fall back to the wide
+/// bucketed merge, exactly like the policy hot path.
+constexpr std::size_t kPackedFieldLimit = 0x10000;
+
+/// Edge count where kAuto switches from the packed merge heaps to the
+/// stable radix (same threshold the policy uses).
+constexpr std::size_t kAutoRadixMinEdges = 256;
+
+struct Staged {
+  std::vector<int> bucket_start;
+  std::vector<std::uint64_t> packed;
+};
+
+/// Buckets the flat edge list per SCN with each bucket staged
+/// tasks-ascending — the precondition under which radix and the packed
+/// heaps produce the identical assignment. Weights are clamped to
+/// [0, inf) at float precision (non-positive edges are never selected).
+void stage_packed(int num_scns, std::span<const Edge> edges, Staged& staged) {
+  auto& start = staged.bucket_start;
+  start.assign(static_cast<std::size_t>(num_scns) + 1, 0);
+  for (const Edge& e : edges) ++start[static_cast<std::size_t>(e.scn) + 1];
+  for (int m = 0; m < num_scns; ++m) {
+    start[static_cast<std::size_t>(m) + 1] += start[static_cast<std::size_t>(m)];
+  }
+  struct Item {
+    int task;
+    int local;
+    float weight;
+  };
+  std::vector<std::vector<Item>> buckets(static_cast<std::size_t>(num_scns));
+  for (const Edge& e : edges) {
+    const float w =
+        e.weight > 0.0 ? static_cast<float>(e.weight) : 0.0f;
+    buckets[static_cast<std::size_t>(e.scn)].push_back({e.task, e.local, w});
+  }
+  staged.packed.clear();
+  staged.packed.reserve(edges.size());
+  for (auto& bucket : buckets) {
+    std::sort(bucket.begin(), bucket.end(), [](const Item& a, const Item& b) {
+      return a.task != b.task ? a.task < b.task : a.local < b.local;
+    });
+    for (const Item& it : bucket) {
+      staged.packed.push_back(pack_greedy_entry(it.weight, it.task, it.local));
+    }
+  }
+}
+
+bool fits_packed(int num_tasks, std::span<const Edge> edges) {
+  if (static_cast<std::size_t>(num_tasks) > kPackedFieldLimit) return false;
+  for (const Edge& e : edges) {
+    if (static_cast<std::size_t>(e.local) >= kPackedFieldLimit) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string_view solver_name(SolverKind kind) noexcept {
+  switch (kind) {
+    case SolverKind::kAuto:
+      return "auto";
+    case SolverKind::kGreedy:
+      return "greedy";
+    case SolverKind::kPacked:
+      return "packed";
+    case SolverKind::kRadix:
+      return "radix";
+    case SolverKind::kFlow:
+      return "flow";
+    case SolverKind::kBnb:
+      return "bnb";
+  }
+  return "unknown";
+}
+
+bool parse_solver(std::string_view name, SolverKind& out) noexcept {
+  if (name == "auto") {
+    out = SolverKind::kAuto;
+  } else if (name == "greedy") {
+    out = SolverKind::kGreedy;
+  } else if (name == "packed") {
+    out = SolverKind::kPacked;
+  } else if (name == "radix") {
+    out = SolverKind::kRadix;
+  } else if (name == "flow") {
+    out = SolverKind::kFlow;
+  } else if (name == "bnb") {
+    out = SolverKind::kBnb;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void solve_assignment(SolverKind kind, int num_scns, int num_tasks,
+                      int capacity_c, std::span<const Edge> edges,
+                      Assignment& out, GreedySelectScratch& scratch) {
+  switch (kind) {
+    case SolverKind::kGreedy:
+      greedy_select(num_scns, num_tasks, capacity_c, edges, out, scratch);
+      return;
+    case SolverKind::kAuto:
+    case SolverKind::kPacked:
+    case SolverKind::kRadix: {
+      if (num_scns < 0 || num_tasks < 0 || capacity_c < 0) {
+        throw std::invalid_argument("solve_assignment: negative sizes");
+      }
+      for (const Edge& e : edges) {
+        if (e.scn < 0 || e.scn >= num_scns || e.task < 0 ||
+            e.task >= num_tasks) {
+          throw std::out_of_range(
+              "solve_assignment: edge endpoint out of range");
+        }
+      }
+      if (!fits_packed(num_tasks, edges)) {
+        // Same fallback the policy applies: wider fields, same keys and
+        // tie-break, identical assignment.
+        greedy_select(num_scns, num_tasks, capacity_c, edges, out, scratch);
+        return;
+      }
+      Staged staged;
+      stage_packed(num_scns, edges, staged);
+      const bool radix = kind == SolverKind::kRadix ||
+                         (kind == SolverKind::kAuto &&
+                          staged.packed.size() >= kAutoRadixMinEdges);
+      if (radix) {
+        greedy_select_radix(num_scns, num_tasks, capacity_c,
+                            staged.bucket_start, staged.packed, out, scratch);
+      } else {
+        greedy_select_packed(num_scns, num_tasks, capacity_c,
+                             staged.bucket_start, staged.packed, out, scratch);
+      }
+      return;
+    }
+    case SolverKind::kFlow: {
+      auto result = max_weight_b_matching(num_scns, num_tasks, capacity_c,
+                                          edges);
+      out = std::move(result.assignment);
+      return;
+    }
+    case SolverKind::kBnb: {
+      ExactProblem problem;
+      problem.num_scns = num_scns;
+      problem.num_tasks = num_tasks;
+      problem.capacity_c = capacity_c;
+      problem.edges.assign(edges.begin(), edges.end());
+      auto result = solve_exact(problem);
+      out = std::move(result.assignment);
+      return;
+    }
+  }
+  throw std::invalid_argument("solve_assignment: unknown solver kind");
+}
+
+}  // namespace lfsc

@@ -1,0 +1,58 @@
+// Pluggable assignment-solver zoo for the per-slot problem (1a)/(1b):
+// every solver in src/solver registered behind one SolverKind switch, so
+// the policy, the benches and the tools select an algorithm by name
+// instead of hard-coding the call site.
+//
+//   auto    the hot-path cutover LfscPolicy uses today: stable radix at
+//           >= 256 edges, packed merge heaps below, wide bucketed when
+//           the task count exceeds the packed 16-bit field
+//   greedy  the span-based Alg. 4 reference (counting sort + heaps)
+//   packed  force greedy_select_packed (uint64 keys, merge heaps)
+//   radix   force greedy_select_radix (stable LSD radix + linear consume)
+//   flow    exact max-weight b-matching (min-cost max-flow)
+//   bnb     exact branch and bound (optional resource constraint (1d))
+//
+// Every greedy variant produces the identical assignment (the cutover is
+// purely a performance decision); the exact kinds trade wall time for
+// optimality and exist for benches, tests and operators who want the
+// gap measured in production shapes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "solver/greedy_assignment.h"
+
+namespace lfsc {
+
+/// Solver selection. Numeric values are part of the serve-protocol and
+/// flag surface ("solver=<name>") — do not reorder.
+enum class SolverKind : std::uint8_t {
+  kAuto = 0,
+  kGreedy = 1,
+  kPacked = 2,
+  kRadix = 3,
+  kFlow = 4,
+  kBnb = 5,
+};
+
+/// Stable names for flags, live reconfig and telemetry/logs.
+std::string_view solver_name(SolverKind kind) noexcept;
+
+/// Parses a --solver / reconfig value ("auto", "greedy", "packed",
+/// "radix", "flow", "bnb"). Returns false on an unknown name.
+bool parse_solver(std::string_view name, SolverKind& out) noexcept;
+
+/// Runs `kind` over a flat edge list and fills `out` (resized; inner
+/// vectors keep their capacity). The greedy kinds stage the edges into
+/// per-SCN buckets first (packed/radix require num_tasks <= 0x10000 and
+/// fall back to the bucketed merge beyond that); the exact kinds call
+/// the corresponding solver directly. Edge endpoints are validated by
+/// the underlying solver. Used by the solver-zoo bench and tests; the
+/// policy hot path keeps its pre-staged bucket dispatch.
+void solve_assignment(SolverKind kind, int num_scns, int num_tasks,
+                      int capacity_c, std::span<const Edge> edges,
+                      Assignment& out, GreedySelectScratch& scratch);
+
+}  // namespace lfsc

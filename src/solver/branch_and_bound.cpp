@@ -1,6 +1,7 @@
 #include "solver/branch_and_bound.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace lfsc {
@@ -87,6 +88,23 @@ ExactResult solve_exact(const ExactProblem& problem, std::size_t max_nodes) {
     throw std::invalid_argument(
         "solve_exact: edge_resource size must match edges");
   }
+  // Parse-don't-guess: every edge and resource entry is validated up
+  // front — including the weight <= 0 edges the search drops — so a
+  // malformed input fails with one error before any state is built.
+  for (std::size_t k = 0; k < problem.edges.size(); ++k) {
+    const Edge& e = problem.edges[k];
+    if (e.scn < 0 || e.scn >= problem.num_scns || e.task < 0 ||
+        e.task >= problem.num_tasks || e.local < 0) {
+      throw std::out_of_range("solve_exact: edge endpoint out of range");
+    }
+    if (!std::isfinite(e.weight)) {
+      throw std::invalid_argument("solve_exact: non-finite edge weight");
+    }
+    if (!problem.edge_resource.empty() &&
+        !std::isfinite(problem.edge_resource[k])) {
+      throw std::invalid_argument("solve_exact: non-finite edge resource");
+    }
+  }
 
   // Group candidate edges by task; drop non-positive weights.
   std::vector<std::vector<Option>> options(
@@ -94,10 +112,6 @@ ExactResult solve_exact(const ExactProblem& problem, std::size_t max_nodes) {
   for (std::size_t k = 0; k < problem.edges.size(); ++k) {
     const Edge& e = problem.edges[k];
     if (e.weight <= 0.0) continue;
-    if (e.scn < 0 || e.scn >= problem.num_scns || e.task < 0 ||
-        e.task >= problem.num_tasks) {
-      throw std::out_of_range("solve_exact: edge endpoint out of range");
-    }
     Option opt;
     opt.scn = e.scn;
     opt.local = e.local;

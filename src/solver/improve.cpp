@@ -1,0 +1,316 @@
+#include "solver/improve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lfsc {
+namespace {
+
+/// Sorted-ascending insert/erase keep each SCN's task list in a
+/// canonical order, so the swap scan visits exchange partners
+/// deterministically. Lists hold at most capacity_c entries; the linear
+/// shuffle is cheaper than any ordered container at that size.
+void insert_sorted(std::vector<int>& v, int value) {
+  v.insert(std::lower_bound(v.begin(), v.end(), value), value);
+}
+
+void erase_sorted(std::vector<int>& v, int value) {
+  v.erase(std::lower_bound(v.begin(), v.end(), value));
+}
+
+}  // namespace
+
+ShiftSwapStats improve_shift_swap(int num_scns, int num_tasks, int capacity_c,
+                                  std::span<const Edge> edges,
+                                  Assignment& inout,
+                                  const ShiftSwapOptions& opts,
+                                  ShiftSwapScratch& scratch) {
+  if (num_scns < 0 || num_tasks < 0 || capacity_c < 0) {
+    throw std::invalid_argument("improve_shift_swap: negative sizes");
+  }
+  if (inout.selected.size() != static_cast<std::size_t>(num_scns)) {
+    throw std::invalid_argument("improve_shift_swap: assignment SCN count");
+  }
+  if (!opts.frozen_scns.empty() &&
+      opts.frozen_scns.size() != static_cast<std::size_t>(num_scns)) {
+    throw std::invalid_argument("improve_shift_swap: frozen_scns size");
+  }
+  for (const Edge& e : edges) {
+    if (e.scn < 0 || e.scn >= num_scns || e.task < 0 || e.task >= num_tasks ||
+        e.local < 0) {
+      throw std::out_of_range("improve_shift_swap: edge endpoint out of range");
+    }
+    if (!std::isfinite(e.weight)) {
+      throw std::invalid_argument("improve_shift_swap: non-finite edge weight");
+    }
+  }
+
+  ShiftSwapStats stats;
+  const auto scns = static_cast<std::size_t>(num_scns);
+  const auto tasks = static_cast<std::size_t>(num_tasks);
+  const std::size_t num_edges = edges.size();
+
+  // --- stage 1: per-SCN edge lookup, (local asc, weight desc) with
+  // duplicate (scn, local) entries collapsed to the highest weight (the
+  // edge the greedy would have accepted).
+  auto& order = scratch.lookup_order;
+  auto& cursor = scratch.cursor;
+  auto& lstart = scratch.lookup_start;
+  lstart.assign(scns + 1, 0);
+  for (const Edge& e : edges) ++lstart[static_cast<std::size_t>(e.scn) + 1];
+  for (std::size_t m = 0; m < scns; ++m) lstart[m + 1] += lstart[m];
+  order.resize(num_edges);
+  cursor.assign(lstart.begin(), lstart.end() - 1);
+  for (std::size_t k = 0; k < num_edges; ++k) {
+    order[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(edges[k].scn)]++)] =
+        static_cast<int>(k);
+  }
+  auto& llocal = scratch.lookup_local;
+  auto& ltask = scratch.lookup_task;
+  auto& lweight = scratch.lookup_weight;
+  llocal.clear();
+  ltask.clear();
+  lweight.clear();
+  {
+    std::size_t write_base = 0;
+    for (std::size_t m = 0; m < scns; ++m) {
+      const auto begin = order.begin() + lstart[m];
+      const auto end = order.begin() + lstart[m + 1];
+      std::sort(begin, end, [&](int a, int b) {
+        const Edge& ea = edges[static_cast<std::size_t>(a)];
+        const Edge& eb = edges[static_cast<std::size_t>(b)];
+        if (ea.local != eb.local) return ea.local < eb.local;
+        if (ea.weight != eb.weight) return ea.weight > eb.weight;
+        return ea.task < eb.task;
+      });
+      lstart[m] = static_cast<int>(write_base);
+      int prev_local = -1;
+      for (auto it = begin; it != end; ++it) {
+        const Edge& e = edges[static_cast<std::size_t>(*it)];
+        if (e.local == prev_local) continue;  // duplicate: keep the best
+        prev_local = e.local;
+        llocal.push_back(e.local);
+        ltask.push_back(e.task);
+        lweight.push_back(e.weight);
+        ++write_base;
+      }
+    }
+    lstart[scns] = static_cast<int>(write_base);
+  }
+
+  // --- stage 2: candidate CSR per task, scn-ascending, with duplicate
+  // (task, scn) pairs collapsed to (weight desc, local asc) best.
+  auto& tstart = scratch.task_start;
+  tstart.assign(tasks + 1, 0);
+  for (const Edge& e : edges) ++tstart[static_cast<std::size_t>(e.task) + 1];
+  for (std::size_t i = 0; i < tasks; ++i) tstart[i + 1] += tstart[i];
+  order.resize(num_edges);
+  cursor.assign(tstart.begin(), tstart.end() - 1);
+  for (std::size_t k = 0; k < num_edges; ++k) {
+    order[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(edges[k].task)]++)] =
+        static_cast<int>(k);
+  }
+  auto& cscn = scratch.cand_scn;
+  auto& clocal = scratch.cand_local;
+  auto& cweight = scratch.cand_weight;
+  cscn.clear();
+  clocal.clear();
+  cweight.clear();
+  {
+    std::size_t write_base = 0;
+    for (std::size_t i = 0; i < tasks; ++i) {
+      const auto begin = order.begin() + tstart[i];
+      const auto end = order.begin() + tstart[i + 1];
+      std::sort(begin, end, [&](int a, int b) {
+        const Edge& ea = edges[static_cast<std::size_t>(a)];
+        const Edge& eb = edges[static_cast<std::size_t>(b)];
+        if (ea.scn != eb.scn) return ea.scn < eb.scn;
+        if (ea.weight != eb.weight) return ea.weight > eb.weight;
+        return ea.local < eb.local;
+      });
+      tstart[i] = static_cast<int>(write_base);
+      int prev_scn = -1;
+      for (auto it = begin; it != end; ++it) {
+        const Edge& e = edges[static_cast<std::size_t>(*it)];
+        if (e.scn == prev_scn) continue;  // duplicate: keep the best
+        prev_scn = e.scn;
+        cscn.push_back(e.scn);
+        clocal.push_back(e.local);
+        cweight.push_back(e.weight);
+        ++write_base;
+      }
+    }
+    tstart[tasks] = static_cast<int>(write_base);
+  }
+
+  // --- stage 3: parse the incoming assignment into task-indexed state,
+  // rejecting anything infeasible before any mutation.
+  auto& load = scratch.load;
+  auto& scn_of = scratch.scn_of_task;
+  auto& local_of = scratch.local_of_task;
+  auto& weight_of = scratch.weight_of_task;
+  auto& tasks_at = scratch.tasks_at;
+  load.assign(scns, 0);
+  scn_of.assign(tasks, -1);
+  local_of.assign(tasks, -1);
+  weight_of.assign(tasks, 0.0);
+  tasks_at.resize(scns);
+  for (auto& v : tasks_at) v.clear();
+  for (std::size_t m = 0; m < scns; ++m) {
+    const auto& sel = inout.selected[m];
+    if (static_cast<int>(sel.size()) > capacity_c) {
+      throw std::invalid_argument(
+          "improve_shift_swap: assignment exceeds capacity (1a)");
+    }
+    for (const int local : sel) {
+      const auto begin = llocal.begin() + lstart[m];
+      const auto end = llocal.begin() + lstart[m + 1];
+      const auto it = std::lower_bound(begin, end, local);
+      if (it == end || *it != local) {
+        throw std::invalid_argument(
+            "improve_shift_swap: assignment references an unknown edge");
+      }
+      const auto idx = static_cast<std::size_t>(it - llocal.begin());
+      const int task = ltask[idx];
+      if (scn_of[static_cast<std::size_t>(task)] != -1) {
+        throw std::invalid_argument(
+            "improve_shift_swap: task assigned twice (1b)");
+      }
+      scn_of[static_cast<std::size_t>(task)] = static_cast<int>(m);
+      local_of[static_cast<std::size_t>(task)] = local;
+      weight_of[static_cast<std::size_t>(task)] = lweight[idx];
+      ++load[m];
+      tasks_at[m].push_back(task);
+    }
+    std::sort(tasks_at[m].begin(), tasks_at[m].end());
+  }
+
+  const auto frozen = [&](int m) {
+    return !opts.frozen_scns.empty() &&
+           opts.frozen_scns[static_cast<std::size_t>(m)] != 0;
+  };
+  const auto cross_weight = [&](int task, int scn, int& local_out,
+                                double& weight_out) {
+    const auto begin = cscn.begin() + tstart[static_cast<std::size_t>(task)];
+    const auto end = cscn.begin() + tstart[static_cast<std::size_t>(task) + 1];
+    const auto it = std::lower_bound(begin, end, scn);
+    if (it == end || *it != scn) return false;
+    const auto idx = static_cast<std::size_t>(it - cscn.begin());
+    local_out = clocal[idx];
+    weight_out = cweight[idx];
+    return true;
+  };
+
+  // --- stage 4: first-improvement passes, deadline-polled.
+  long long evals = 0;
+  const long long stride =
+      opts.check_stride > 0 ? opts.check_stride : 64;
+  const auto budget_gone = [&]() {
+    return opts.deadline && opts.deadline();
+  };
+  for (int pass = 0; pass < opts.max_passes; ++pass) {
+    if (budget_gone()) {
+      stats.deadline_hit = true;
+      break;
+    }
+    bool improved = false;
+    for (int i = 0; i < num_tasks && !stats.deadline_hit; ++i) {
+      const auto iu = static_cast<std::size_t>(i);
+      const int cur_m = scn_of[iu];
+      if (cur_m >= 0 && frozen(cur_m)) continue;  // locked in place
+      const double cur_w = cur_m >= 0 ? weight_of[iu] : 0.0;
+      for (int k = tstart[iu]; k < tstart[iu + 1]; ++k) {
+        if (++evals % stride == 0 && budget_gone()) {
+          stats.deadline_hit = true;
+          break;
+        }
+        const auto ku = static_cast<std::size_t>(k);
+        const int m = cscn[ku];
+        if (m == cur_m || frozen(m)) continue;
+        const double w = cweight[ku];
+        const auto mu = static_cast<std::size_t>(m);
+        if (load[mu] < capacity_c) {
+          if (w > cur_w) {
+            // Insert / shift: strictly improving, capacity available.
+            if (cur_m >= 0) {
+              --load[static_cast<std::size_t>(cur_m)];
+              erase_sorted(tasks_at[static_cast<std::size_t>(cur_m)], i);
+              ++stats.shifts;
+            } else {
+              ++stats.inserts;
+            }
+            ++load[mu];
+            insert_sorted(tasks_at[mu], i);
+            scn_of[iu] = m;
+            local_of[iu] = clocal[ku];
+            weight_of[iu] = w;
+            stats.gained += w - cur_w;
+            improved = true;
+            break;
+          }
+        } else if (cur_m >= 0) {
+          // Swap: m is saturated — exchange with the partner whose
+          // departure to cur_m yields the largest strictly positive
+          // total gain (ties keep the lowest task index).
+          double best_gain = 0.0;
+          int best_b = -1;
+          int best_b_local = -1;
+          double best_b_weight = 0.0;
+          for (const int b : tasks_at[mu]) {
+            int b_local = 0;
+            double b_cross = 0.0;
+            if (!cross_weight(b, cur_m, b_local, b_cross)) continue;
+            const double gain =
+                (w + b_cross) -
+                (cur_w + weight_of[static_cast<std::size_t>(b)]);
+            if (gain > best_gain) {
+              best_gain = gain;
+              best_b = b;
+              best_b_local = b_local;
+              best_b_weight = b_cross;
+            }
+          }
+          if (best_b >= 0) {
+            const auto bu = static_cast<std::size_t>(best_b);
+            erase_sorted(tasks_at[static_cast<std::size_t>(cur_m)], i);
+            erase_sorted(tasks_at[mu], best_b);
+            insert_sorted(tasks_at[mu], i);
+            insert_sorted(tasks_at[static_cast<std::size_t>(cur_m)], best_b);
+            scn_of[iu] = m;
+            local_of[iu] = clocal[ku];
+            weight_of[iu] = w;
+            scn_of[bu] = cur_m;
+            local_of[bu] = best_b_local;
+            weight_of[bu] = best_b_weight;
+            stats.gained += best_gain;
+            ++stats.swaps;
+            improved = true;
+            break;
+          }
+        }
+      }
+    }
+    if (stats.deadline_hit) break;
+    ++stats.passes;
+    if (!improved) break;
+  }
+
+  // --- stage 5: write back only when something moved, so the untouched
+  // path returns the input byte-identical.
+  if (stats.moves() > 0) {
+    for (std::size_t m = 0; m < scns; ++m) {
+      auto& sel = inout.selected[m];
+      sel.clear();
+      for (const int task : tasks_at[m]) {
+        sel.push_back(local_of[static_cast<std::size_t>(task)]);
+      }
+      std::sort(sel.begin(), sel.end());
+    }
+  }
+  return stats;
+}
+
+}  // namespace lfsc

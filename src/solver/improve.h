@@ -1,0 +1,94 @@
+// Anytime shift-swap local search over a feasible assignment (GAP-style
+// ls_shiftswap): starting from the greedy solution, repeatedly
+//   * insert  — assign an unassigned task to an SCN with residual
+//               capacity when its edge weight is positive;
+//   * shift   — move an assigned task to another covering SCN with
+//               residual capacity;
+//   * swap    — exchange two tasks across two saturated SCNs;
+// accepting a move only when the total weight strictly improves, so the
+// result is never worse than the input and constraints (1a)/(1b) are
+// preserved by construction.
+//
+// Anytime contract: the caller supplies a deadline predicate; the
+// improver polls it between passes and every `check_stride` candidate
+// evaluations, stopping at a consistent assignment the moment it fires.
+// With a null deadline the improver reads no clock at all — the policy
+// only invokes it on budgeted slots, so the budget-unset slot path stays
+// bit-identical to plain greedy (DESIGN.md §15).
+//
+// Determinism: tasks are visited ascending, candidates per task in SCN-
+// ascending order, first improvement wins — for a fixed input and a
+// deadline that never fires the result is a pure function of the edges.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "solver/bipartite.h"
+
+namespace lfsc {
+
+struct ShiftSwapOptions {
+  /// Budget predicate: true = leftover budget exhausted, stop now.
+  /// Null = no deadline (the improver then performs zero clock reads and
+  /// runs until a full pass accepts no move or max_passes is reached).
+  std::function<bool()> deadline;
+
+  /// Upper bound on local-search passes over the task list.
+  int max_passes = 16;
+
+  /// Candidate evaluations between mid-pass deadline polls.
+  int check_stride = 64;
+
+  /// Optional per-SCN lock flags (e.g. audit-quarantined SCNs): a
+  /// nonzero entry freezes that SCN — its current assignments stay
+  /// exactly as the input and no task moves into it. Empty = no locks.
+  std::span<const std::uint8_t> frozen_scns;
+};
+
+struct ShiftSwapStats {
+  int passes = 0;    ///< completed passes over the task list
+  int inserts = 0;   ///< unassigned task placed
+  int shifts = 0;    ///< task moved to an SCN with residual capacity
+  int swaps = 0;     ///< two tasks exchanged across saturated SCNs
+  double gained = 0.0;      ///< total weight added (>= 0 always)
+  bool deadline_hit = false;  ///< stopped by the budget, not convergence
+  int moves() const noexcept { return inserts + shifts + swaps; }
+};
+
+/// Caller-owned buffers so repeated calls (one per budgeted slot)
+/// allocate nothing once capacities are warm.
+struct ShiftSwapScratch {
+  std::vector<int> task_start;    ///< CSR offsets: candidates per task
+  std::vector<int> cand_scn;      ///< candidate SCN, scn-ascending per task
+  std::vector<int> cand_local;    ///< candidate local index
+  std::vector<double> cand_weight;  ///< candidate edge weight
+  std::vector<int> lookup_start;  ///< CSR offsets: edges per SCN
+  std::vector<int> lookup_local;  ///< edge local, sorted per SCN
+  std::vector<int> lookup_task;   ///< edge task, aligned with lookup_local
+  std::vector<double> lookup_weight;  ///< edge weight, aligned
+  std::vector<int> lookup_order;  ///< staging permutation scratch
+  std::vector<int> cursor;        ///< counting-sort cursor scratch
+  std::vector<int> load;          ///< accepted tasks per SCN
+  std::vector<int> scn_of_task;   ///< current SCN of each task, -1 = none
+  std::vector<int> local_of_task;   ///< local index of the current edge
+  std::vector<double> weight_of_task;  ///< weight of the current edge
+  std::vector<std::vector<int>> tasks_at;  ///< tasks per SCN, ascending
+};
+
+/// Improves `inout` in place. `inout` must be a feasible assignment over
+/// `edges` (every selected (scn, local) names an edge, per-task
+/// uniqueness and the capacity bound hold) — the greedy output always
+/// is; a malformed assignment throws std::invalid_argument with the
+/// input unmodified. Duplicate (scn, local) edges collapse to the
+/// highest weight (the one the greedy would have accepted). When no
+/// move is accepted `inout` is left byte-identical to the input.
+ShiftSwapStats improve_shift_swap(int num_scns, int num_tasks, int capacity_c,
+                                  std::span<const Edge> edges,
+                                  Assignment& inout,
+                                  const ShiftSwapOptions& opts,
+                                  ShiftSwapScratch& scratch);
+
+}  // namespace lfsc

@@ -1,6 +1,7 @@
 #include "solver/min_cost_flow.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <limits>
 #include <stdexcept>
@@ -90,6 +91,19 @@ MaxWeightMatchingResult max_weight_b_matching(int num_scns, int num_tasks,
   if (num_scns < 0 || num_tasks < 0 || capacity_c < 0) {
     throw std::invalid_argument("max_weight_b_matching: negative sizes");
   }
+  // Parse-don't-guess: every edge is validated up front — including the
+  // weight <= 0 ones the solver will skip — so a malformed input fails
+  // with one error before any graph is built, never mid-construction.
+  for (const Edge& e : edges) {
+    if (e.scn < 0 || e.scn >= num_scns || e.task < 0 || e.task >= num_tasks ||
+        e.local < 0) {
+      throw std::out_of_range("max_weight_b_matching: edge out of range");
+    }
+    if (!std::isfinite(e.weight)) {
+      throw std::invalid_argument(
+          "max_weight_b_matching: non-finite edge weight");
+    }
+  }
   MaxWeightMatchingResult result;
   result.assignment.selected.assign(static_cast<std::size_t>(num_scns), {});
   if (capacity_c == 0 || edges.empty() || num_tasks == 0) return result;
@@ -115,9 +129,6 @@ MaxWeightMatchingResult max_weight_b_matching(int num_scns, int num_tasks,
   for (std::size_t k = 0; k < edges.size(); ++k) {
     const Edge& e = edges[k];
     if (e.weight <= 0.0) continue;  // can never improve the objective
-    if (e.scn < 0 || e.scn >= num_scns || e.task < 0 || e.task >= num_tasks) {
-      throw std::out_of_range("max_weight_b_matching: edge out of range");
-    }
     arc_of_edge[k] = next_arc;
     // Max weight == min cost with negated weights.
     graph.add_arc(scn_base + e.scn, task_base + e.task, 1, -e.weight);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "common/rng.h"
@@ -170,6 +171,42 @@ TEST(BranchAndBound, ValidatesInput) {
   r.capacity_c = 1;
   r.edges = {make_edge(0, 5, 1.0)};  // task out of range
   EXPECT_THROW(solve_exact(r), std::out_of_range);
+}
+
+TEST(BranchAndBound, RejectsMalformedInputUpFront) {
+  // Parse-don't-guess: every edge is validated before the search runs,
+  // including edges the bound would prune (weight <= 0) and the
+  // per-edge resource vector.
+  ExactProblem skipped;
+  skipped.num_scns = 1;
+  skipped.num_tasks = 1;
+  skipped.capacity_c = 1;
+  skipped.edges = {make_edge(0, 5, -1.0)};  // bad endpoint, weight <= 0
+  EXPECT_THROW(solve_exact(skipped), std::out_of_range);
+
+  ExactProblem nan_weight;
+  nan_weight.num_scns = 1;
+  nan_weight.num_tasks = 1;
+  nan_weight.capacity_c = 1;
+  nan_weight.edges = {
+      make_edge(0, 0, std::numeric_limits<double>::quiet_NaN())};
+  EXPECT_THROW(solve_exact(nan_weight), std::invalid_argument);
+
+  ExactProblem negative_local;
+  negative_local.num_scns = 1;
+  negative_local.num_tasks = 1;
+  negative_local.capacity_c = 1;
+  negative_local.edges = {make_edge(0, 0, 0.5)};
+  negative_local.edges[0].local = -3;
+  EXPECT_THROW(solve_exact(negative_local), std::out_of_range);
+
+  ExactProblem nan_resource;
+  nan_resource.num_scns = 1;
+  nan_resource.num_tasks = 1;
+  nan_resource.capacity_c = 1;
+  nan_resource.edges = {make_edge(0, 0, 0.5)};
+  nan_resource.edge_resource = {std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW(solve_exact(nan_resource), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,374 @@
+// Shift-swap improver properties (DESIGN.md §15): never worse than the
+// greedy it starts from, constraint-preserving by construction, byte-
+// identical to its input when no move is accepted, and deadline-obedient
+// so the anytime contract holds under a slot budget.
+#include "solver/improve.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "harness/paper_setup.h"
+#include "lfsc/lfsc_policy.h"
+#include "metrics/metrics.h"
+#include "solver/greedy_assignment.h"
+#include "solver/min_cost_flow.h"
+
+namespace lfsc {
+namespace {
+
+Edge make_edge(int scn, int task, double weight, int local) {
+  Edge e;
+  e.scn = scn;
+  e.task = task;
+  e.local = local;
+  e.weight = weight;
+  return e;
+}
+
+/// Assignment weight with local == task generators: each (scn, local)
+/// resolves to its best edge, matching the improver's duplicate rule.
+double weight_of(const Assignment& a, const std::vector<Edge>& edges,
+                 int num_scns, int num_tasks) {
+  std::vector<std::vector<double>> best(
+      static_cast<std::size_t>(num_scns),
+      std::vector<double>(static_cast<std::size_t>(num_tasks), 0.0));
+  for (const Edge& e : edges) {
+    auto& slot =
+        best[static_cast<std::size_t>(e.scn)][static_cast<std::size_t>(e.local)];
+    if (e.weight > slot) slot = e.weight;
+  }
+  double sum = 0.0;
+  for (std::size_t m = 0; m < a.selected.size(); ++m) {
+    for (const int local : a.selected[m]) {
+      sum += best[m][static_cast<std::size_t>(local)];
+    }
+  }
+  return sum;
+}
+
+/// The canonical swap-improvable instance: greedy takes (m0, a) at 2.0
+/// and leaves b with its weak (m1, b) edge; exchanging a and b across
+/// the two saturated SCNs gains 0.85.
+std::vector<Edge> swap_instance() {
+  return {make_edge(0, 0, 2.0, 0), make_edge(0, 1, 1.9, 1),
+          make_edge(1, 0, 1.95, 0), make_edge(1, 1, 1.0, 1)};
+}
+
+TEST(ShiftSwap, FindsTheProfitableSwap) {
+  const auto edges = swap_instance();
+  auto a = greedy_select(2, 2, 1, edges);
+  ASSERT_EQ(a.selected[0], (std::vector<int>{0}));  // task 0 at 2.0
+  ASSERT_EQ(a.selected[1], (std::vector<int>{1}));  // task 1 at 1.0
+
+  ShiftSwapScratch scratch;
+  const auto stats =
+      improve_shift_swap(2, 2, 1, edges, a, ShiftSwapOptions{}, scratch);
+  EXPECT_EQ(stats.swaps, 1);
+  EXPECT_NEAR(stats.gained, 0.85, 1e-12);
+  EXPECT_FALSE(stats.deadline_hit);
+  EXPECT_EQ(a.selected[0], (std::vector<int>{1}));  // task 1 at 1.9
+  EXPECT_EQ(a.selected[1], (std::vector<int>{0}));  // task 0 at 1.95
+}
+
+TEST(ShiftSwap, NoMoveLeavesInputByteIdentical) {
+  // Single SCN: no shift target, no swap partner — the improver must
+  // return without touching the assignment vectors at all.
+  std::vector<Edge> edges;
+  RngStream rng(7);
+  for (int i = 0; i < 20; ++i) edges.push_back(make_edge(0, i, rng.uniform(), i));
+  auto a = greedy_select(1, 20, 5, edges);
+  const auto before = a;
+  ShiftSwapScratch scratch;
+  const auto stats =
+      improve_shift_swap(1, 20, 5, edges, a, ShiftSwapOptions{}, scratch);
+  EXPECT_EQ(stats.moves(), 0);
+  EXPECT_EQ(stats.gained, 0.0);
+  EXPECT_EQ(a.selected, before.selected);
+}
+
+TEST(ShiftSwap, ImmediateDeadlineStopsBeforeAnyMove) {
+  const auto edges = swap_instance();
+  auto a = greedy_select(2, 2, 1, edges);
+  const auto before = a;
+  ShiftSwapOptions opts;
+  opts.deadline = [] { return true; };
+  ShiftSwapScratch scratch;
+  const auto stats = improve_shift_swap(2, 2, 1, edges, a, opts, scratch);
+  EXPECT_TRUE(stats.deadline_hit);
+  EXPECT_EQ(stats.moves(), 0);
+  EXPECT_EQ(a.selected, before.selected);
+}
+
+TEST(ShiftSwap, DeadlineIsPolledMidPass) {
+  // A deadline that fires on the N-th poll stops the search between
+  // candidate evaluations; whatever was applied so far must still be a
+  // feasible assignment no worse than the input.
+  RngStream rng(11);
+  std::vector<Edge> edges;
+  const int scns = 6, tasks = 40, c = 3;
+  for (int m = 0; m < scns; ++m) {
+    for (int i = 0; i < tasks; ++i) {
+      if (rng.uniform() < 0.5) edges.push_back(make_edge(m, i, rng.uniform(), i));
+    }
+  }
+  auto greedy = greedy_select(scns, tasks, c, edges);
+  const double greedy_w = weight_of(greedy, edges, scns, tasks);
+  for (const int fire_after : {1, 2, 5, 50}) {
+    auto a = greedy;
+    int polls = 0;
+    ShiftSwapOptions opts;
+    opts.check_stride = 8;
+    opts.deadline = [&polls, fire_after] { return ++polls >= fire_after; };
+    ShiftSwapScratch scratch;
+    improve_shift_swap(scns, tasks, c, edges, a, opts, scratch);
+    EXPECT_GT(polls, 0);
+    EXPECT_GE(weight_of(a, edges, scns, tasks), greedy_w - 1e-12);
+    std::set<int> seen;
+    for (std::size_t m = 0; m < a.selected.size(); ++m) {
+      EXPECT_LE(a.selected[m].size(), static_cast<std::size_t>(c));  // (1a)
+      for (const int local : a.selected[m]) {
+        EXPECT_TRUE(seen.insert(local).second);  // (1b): local == task
+      }
+    }
+  }
+}
+
+TEST(ShiftSwap, FrozenScnsPinBothEndpoints) {
+  const auto edges = swap_instance();
+  for (const int frozen_scn : {0, 1}) {
+    auto a = greedy_select(2, 2, 1, edges);
+    const auto before = a;
+    std::vector<std::uint8_t> frozen(2, 0);
+    frozen[static_cast<std::size_t>(frozen_scn)] = 1;
+    ShiftSwapOptions opts;
+    opts.frozen_scns = frozen;
+    ShiftSwapScratch scratch;
+    const auto stats = improve_shift_swap(2, 2, 1, edges, a, opts, scratch);
+    // The only profitable move swaps across both SCNs; freezing either
+    // one must veto it.
+    EXPECT_EQ(stats.moves(), 0) << "frozen scn " << frozen_scn;
+    EXPECT_EQ(a.selected, before.selected);
+  }
+}
+
+TEST(ShiftSwap, DuplicateEdgesCollapseToTheBest) {
+  auto edges = swap_instance();
+  // Parallel edges on existing (scn, local) pairs with junk weights must
+  // not confuse the parse or the gain accounting.
+  edges.push_back(make_edge(0, 0, 0.01, 0));
+  edges.push_back(make_edge(1, 1, 0.02, 1));
+  auto a = greedy_select(2, 2, 1, edges);
+  ShiftSwapScratch scratch;
+  const auto stats =
+      improve_shift_swap(2, 2, 1, edges, a, ShiftSwapOptions{}, scratch);
+  EXPECT_EQ(stats.swaps, 1);
+  EXPECT_NEAR(stats.gained, 0.85, 1e-12);
+}
+
+TEST(ShiftSwap, MalformedAssignmentThrowsWithoutMutation) {
+  const auto edges = swap_instance();
+  ShiftSwapScratch scratch;
+
+  // Capacity violation (1a).
+  Assignment over;
+  over.selected = {{0, 1}, {}};
+  auto copy = over;
+  EXPECT_THROW(improve_shift_swap(2, 2, 1, edges, over, ShiftSwapOptions{},
+                                  scratch),
+               std::invalid_argument);
+  EXPECT_EQ(over.selected, copy.selected);
+
+  // Unknown (scn, local) pair.
+  Assignment unknown;
+  unknown.selected = {{7}, {}};
+  copy = unknown;
+  EXPECT_THROW(improve_shift_swap(2, 2, 1, edges, unknown, ShiftSwapOptions{},
+                                  scratch),
+               std::invalid_argument);
+  EXPECT_EQ(unknown.selected, copy.selected);
+
+  // Task assigned twice (1b): local 0 names task 0 on both SCNs.
+  Assignment twice;
+  twice.selected = {{0}, {0}};
+  copy = twice;
+  EXPECT_THROW(improve_shift_swap(2, 2, 1, edges, twice, ShiftSwapOptions{},
+                                  scratch),
+               std::invalid_argument);
+  EXPECT_EQ(twice.selected, copy.selected);
+
+  // Wrong SCN count, bad sizes, bad frozen span.
+  Assignment wrong;
+  wrong.selected = {{}};
+  EXPECT_THROW(improve_shift_swap(2, 2, 1, edges, wrong, ShiftSwapOptions{},
+                                  scratch),
+               std::invalid_argument);
+  Assignment ok;
+  ok.selected = {{}, {}};
+  EXPECT_THROW(improve_shift_swap(-1, 2, 1, edges, ok, ShiftSwapOptions{},
+                                  scratch),
+               std::invalid_argument);
+  ShiftSwapOptions bad_frozen;
+  const std::vector<std::uint8_t> one(1, 0);
+  bad_frozen.frozen_scns = one;
+  EXPECT_THROW(improve_shift_swap(2, 2, 1, edges, ok, bad_frozen, scratch),
+               std::invalid_argument);
+
+  // Malformed edges: out-of-range endpoint, non-finite weight.
+  const std::vector<Edge> out_of_range{make_edge(5, 0, 1.0, 0)};
+  EXPECT_THROW(improve_shift_swap(2, 2, 1, out_of_range, ok,
+                                  ShiftSwapOptions{}, scratch),
+               std::out_of_range);
+  const std::vector<Edge> nan_weight{
+      make_edge(0, 0, std::numeric_limits<double>::quiet_NaN(), 0)};
+  EXPECT_THROW(improve_shift_swap(2, 2, 1, nan_weight, ok, ShiftSwapOptions{},
+                                  scratch),
+               std::invalid_argument);
+}
+
+// Property sweep over random shapes: improved >= greedy, improved <=
+// exact optimum, (1a)/(1b) always.
+struct ImproveParam {
+  int scns;
+  int tasks;
+  int capacity;
+  double density;
+};
+
+class ImprovePropertyTest : public ::testing::TestWithParam<ImproveParam> {};
+
+TEST_P(ImprovePropertyTest, NeverWorseAndFeasible) {
+  const auto param = GetParam();
+  RngStream rng(static_cast<std::uint64_t>(param.scns * 131 + param.tasks));
+  ShiftSwapScratch scratch;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Edge> edges;
+    for (int m = 0; m < param.scns; ++m) {
+      for (int i = 0; i < param.tasks; ++i) {
+        if (rng.uniform() < param.density) {
+          edges.push_back(make_edge(m, i, rng.uniform(0.01, 1.0), i));
+        }
+      }
+    }
+    auto a = greedy_select(param.scns, param.tasks, param.capacity, edges);
+    const double greedy_w = weight_of(a, edges, param.scns, param.tasks);
+    const auto stats = improve_shift_swap(param.scns, param.tasks,
+                                          param.capacity, edges, a,
+                                          ShiftSwapOptions{}, scratch);
+    const double improved_w = weight_of(a, edges, param.scns, param.tasks);
+    EXPECT_GE(stats.gained, 0.0);
+    EXPECT_NEAR(improved_w, greedy_w + stats.gained, 1e-9);
+    const auto exact = max_weight_b_matching(param.scns, param.tasks,
+                                             param.capacity, edges);
+    EXPECT_LE(improved_w, exact.total_weight + 1e-9);
+    std::set<int> seen;
+    for (std::size_t m = 0; m < a.selected.size(); ++m) {
+      EXPECT_LE(a.selected[m].size(),
+                static_cast<std::size_t>(param.capacity));  // (1a)
+      for (const int local : a.selected[m]) {
+        EXPECT_TRUE(seen.insert(local).second);  // (1b): local == task
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ImprovePropertyTest,
+    ::testing::Values(ImproveParam{2, 10, 1, 0.9}, ImproveParam{4, 30, 3, 0.5},
+                      ImproveParam{6, 60, 5, 0.3}, ImproveParam{8, 40, 2, 0.6},
+                      ImproveParam{3, 25, 4, 0.8}));
+
+// ---------------------------------------------------------------------
+// Policy integration: with `improve` set but no slot budget, the slot
+// path must stay bit-identical to a plain-greedy policy for any
+// parallel_scns x shards combination — the improver gate requires a
+// live budget, so no clock is read and no assignment is touched.
+// ---------------------------------------------------------------------
+
+struct RunResult {
+  double cumulative_reward = 0.0;
+  std::string state;
+};
+
+RunResult run_policy(bool improve, bool parallel, ThreadPool* pool, int shards,
+                     int slots) {
+  auto s = small_setup();
+  s.lfsc.improve = improve;
+  s.lfsc.parallel_scns = parallel;
+  s.lfsc.pool = pool;
+  s.lfsc.shards = shards;
+  auto sim = s.make_simulator();
+  LfscPolicy policy(s.net, s.lfsc);
+  RunResult out;
+  for (int t = 1; t <= slots; ++t) {
+    const auto slot = sim.generate_slot(t);
+    const auto assignment = policy.select(slot.info);
+    out.cumulative_reward += evaluate_slot(slot, assignment, s.net).reward;
+    policy.observe(slot.info, assignment, make_feedback(slot, assignment));
+  }
+  std::ostringstream blob;
+  policy.save(blob);
+  out.state = blob.str();
+  return out;
+}
+
+TEST(ImprovePolicy, BudgetUnsetIsBitIdenticalToGreedyForAnyShardCount) {
+  constexpr int kSlots = 60;
+  const RunResult plain = run_policy(false, false, nullptr, 0, kSlots);
+  ThreadPool pool(3);
+  const RunResult serial = run_policy(true, false, nullptr, 0, kSlots);
+  const RunResult sharded1 = run_policy(true, true, &pool, 1, kSlots);
+  const RunResult sharded5 = run_policy(true, true, &pool, 5, kSlots);
+  EXPECT_EQ(plain.state, serial.state);
+  EXPECT_EQ(plain.state, sharded1.state);
+  EXPECT_EQ(plain.state, sharded5.state);
+  EXPECT_EQ(plain.cumulative_reward, serial.cumulative_reward);
+  EXPECT_EQ(plain.cumulative_reward, sharded1.cumulative_reward);
+  EXPECT_EQ(plain.cumulative_reward, sharded5.cumulative_reward);
+  EXPECT_GT(plain.cumulative_reward, 0.0);
+}
+
+TEST(ImprovePolicy, BudgetedImproverRunsAndKeepsTheSlotPathHealthy) {
+  auto s = small_setup();
+  s.lfsc.improve = true;
+  s.lfsc.overload.slot_budget_us = 50'000;  // roomy: improver gets leftover
+  auto sim = s.make_simulator();
+  LfscPolicy policy(s.net, s.lfsc);
+  double reward = 0.0;
+  for (int t = 1; t <= 40; ++t) {
+    const auto slot = sim.generate_slot(t);
+    const auto assignment = policy.select(slot.info);
+    std::set<std::pair<std::size_t, int>> seen;
+    for (std::size_t m = 0; m < assignment.selected.size(); ++m) {
+      EXPECT_LE(static_cast<int>(assignment.selected[m].size()),
+                s.net.capacity_c);
+      for (const int local : assignment.selected[m]) {
+        EXPECT_TRUE(seen.insert({m, local}).second);
+      }
+    }
+    reward += evaluate_slot(slot, assignment, s.net).reward;
+    policy.observe(slot.info, assignment, make_feedback(slot, assignment));
+  }
+  EXPECT_GT(reward, 0.0);
+}
+
+TEST(ImprovePolicy, RejectsBadImproveBudgetFraction) {
+  auto s = small_setup();
+  s.lfsc.improve_budget_fraction = 0.0;
+  EXPECT_THROW(LfscPolicy(s.net, s.lfsc), std::invalid_argument);
+  s.lfsc.improve_budget_fraction = 1.5;
+  EXPECT_THROW(LfscPolicy(s.net, s.lfsc), std::invalid_argument);
+  s.lfsc.improve_budget_fraction =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(LfscPolicy(s.net, s.lfsc), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lfsc

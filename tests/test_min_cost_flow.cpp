@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "common/rng.h"
@@ -74,6 +75,31 @@ TEST(MaxWeightBMatching, PartialMatchingWhenTasksScarce) {
 TEST(MaxWeightBMatching, RejectsOutOfRangeEdges) {
   std::vector<Edge> bad{make_edge(0, 7, 0.5)};
   EXPECT_THROW(max_weight_b_matching(1, 3, 1, bad), std::out_of_range);
+}
+
+TEST(MaxWeightBMatching, RejectsMalformedInputUpFront) {
+  // Parse-don't-guess: malformed edges throw even when the solver would
+  // never select them (non-positive weight used to mask bad endpoints).
+  std::vector<Edge> bad_skipped{make_edge(0, 9, -1.0)};
+  EXPECT_THROW(max_weight_b_matching(1, 3, 1, bad_skipped),
+               std::out_of_range);
+
+  std::vector<Edge> nan_weight{
+      make_edge(0, 0, std::numeric_limits<double>::quiet_NaN())};
+  EXPECT_THROW(max_weight_b_matching(1, 3, 1, nan_weight),
+               std::invalid_argument);
+  std::vector<Edge> inf_weight{
+      make_edge(0, 0, std::numeric_limits<double>::infinity())};
+  EXPECT_THROW(max_weight_b_matching(1, 3, 1, inf_weight),
+               std::invalid_argument);
+
+  std::vector<Edge> negative_local{make_edge(0, 0, 0.5)};
+  negative_local[0].local = -2;
+  EXPECT_THROW(max_weight_b_matching(1, 3, 1, negative_local),
+               std::out_of_range);
+
+  EXPECT_THROW(max_weight_b_matching(-1, 3, 1, {}), std::invalid_argument);
+  EXPECT_THROW(max_weight_b_matching(1, 3, -1, {}), std::invalid_argument);
 }
 
 TEST(MaxWeightBMatching, AgreesWithBranchAndBoundOnRandomInstances) {

@@ -1,0 +1,265 @@
+// AssignmentSolver registry (DESIGN.md §15): name round-trips, every
+// greedy kind bit-identical to the Alg. 4 reference, the exact kinds at
+// least as good — and the radix/packed cutover pinned at the
+// kRadixMinEdges boundary (255/256/257 edges), on all-equal-weight ties
+// and on saturated key fields, where an ordering divergence would hide.
+#include "solver/assignment_solver.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "solver/min_cost_flow.h"
+
+namespace lfsc {
+namespace {
+
+Edge make_edge(int scn, int task, double weight, int local) {
+  Edge e;
+  e.scn = scn;
+  e.task = task;
+  e.local = local;
+  e.weight = weight;
+  return e;
+}
+
+double weight_of(const Assignment& a, const std::vector<Edge>& edges,
+                 int num_scns) {
+  std::vector<std::vector<std::pair<int, double>>> best(
+      static_cast<std::size_t>(num_scns));
+  for (const Edge& e : edges) {
+    auto& row = best[static_cast<std::size_t>(e.scn)];
+    bool found = false;
+    for (auto& [local, w] : row) {
+      if (local == e.local) {
+        if (e.weight > w) w = e.weight;
+        found = true;
+      }
+    }
+    if (!found) row.emplace_back(e.local, e.weight);
+  }
+  double sum = 0.0;
+  for (std::size_t m = 0; m < a.selected.size(); ++m) {
+    for (const int local : a.selected[m]) {
+      for (const auto& [l, w] : best[m]) {
+        if (l == local) sum += w;
+      }
+    }
+  }
+  return sum;
+}
+
+TEST(SolverZoo, NamesRoundTrip) {
+  const std::vector<SolverKind> kinds{SolverKind::kAuto,  SolverKind::kGreedy,
+                                      SolverKind::kPacked, SolverKind::kRadix,
+                                      SolverKind::kFlow,  SolverKind::kBnb};
+  for (const SolverKind kind : kinds) {
+    SolverKind parsed = SolverKind::kAuto;
+    EXPECT_TRUE(parse_solver(solver_name(kind), parsed))
+        << solver_name(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+  SolverKind out = SolverKind::kAuto;
+  EXPECT_FALSE(parse_solver("simplex", out));
+  EXPECT_FALSE(parse_solver("", out));
+  EXPECT_FALSE(parse_solver("GREEDY", out));
+}
+
+TEST(SolverZoo, EveryGreedyKindMatchesTheReference) {
+  RngStream rng(17);
+  GreedySelectScratch scratch;
+  Assignment out;
+  for (int trial = 0; trial < 6; ++trial) {
+    const int scns = 3 + trial;
+    const int tasks = 20 + 30 * trial;  // crosses the 256-edge auto cutover
+    std::vector<Edge> edges;
+    for (int m = 0; m < scns; ++m) {
+      for (int i = 0; i < tasks; ++i) {
+        if (rng.uniform() < 0.6) {
+          // Float-quantised weights: the packed kinds compare float
+          // bits, so exact-float inputs keep the double reference's
+          // order identical to theirs.
+          const double w =
+              static_cast<double>(static_cast<float>(rng.uniform(0.01, 1.0)));
+          edges.push_back(make_edge(m, i, w, i));
+        }
+      }
+    }
+    const auto reference = greedy_select(scns, tasks, 4, edges);
+    for (const SolverKind kind : {SolverKind::kAuto, SolverKind::kGreedy,
+                                  SolverKind::kPacked, SolverKind::kRadix}) {
+      solve_assignment(kind, scns, tasks, 4, edges, out, scratch);
+      EXPECT_EQ(out.selected, reference.selected)
+          << solver_name(kind) << " trial " << trial << " ("
+          << edges.size() << " edges)";
+    }
+  }
+}
+
+TEST(SolverZoo, ExactKindsAreAtLeastAsGoodAsGreedy) {
+  RngStream rng(23);
+  GreedySelectScratch scratch;
+  Assignment out;
+  for (int trial = 0; trial < 5; ++trial) {
+    // Small enough that solve_exact runs to proven optimality within
+    // its node budget, so bnb == flow is a hard equality.
+    const int scns = 3, tasks = 16, c = 2;
+    std::vector<Edge> edges;
+    for (int m = 0; m < scns; ++m) {
+      for (int i = 0; i < tasks; ++i) {
+        if (rng.uniform() < 0.5) {
+          edges.push_back(make_edge(m, i, rng.uniform(0.01, 1.0), i));
+        }
+      }
+    }
+    const auto greedy = greedy_select(scns, tasks, c, edges);
+    const double greedy_w = weight_of(greedy, edges, scns);
+    solve_assignment(SolverKind::kFlow, scns, tasks, c, edges, out, scratch);
+    const double flow_w = weight_of(out, edges, scns);
+    solve_assignment(SolverKind::kBnb, scns, tasks, c, edges, out, scratch);
+    const double bnb_w = weight_of(out, edges, scns);
+    EXPECT_GE(flow_w, greedy_w - 1e-9);
+    // Both exact solvers run to optimality at this size: same value.
+    EXPECT_NEAR(bnb_w, flow_w, 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Radix-cutover boundary: packed and radix must agree bit-for-bit at
+// 255 / 256 / 257 edges — exactly around kRadixMinEdges, where the auto
+// dispatch flips implementation.
+// ---------------------------------------------------------------------
+
+/// Builds an instance with exactly `num_edges` edges spread over
+/// `scns` SCNs with the given weight generator.
+template <typename WeightFn>
+std::vector<Edge> boundary_instance(int num_edges, int scns, int tasks,
+                                    WeightFn&& weight) {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(num_edges));
+  for (int k = 0; k < num_edges; ++k) {
+    const int m = k % scns;
+    const int i = k % tasks;
+    edges.push_back(make_edge(m, i, weight(k), i));
+  }
+  return edges;
+}
+
+class RadixBoundaryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RadixBoundaryTest, PackedAndRadixAgreeBitForBit) {
+  const int num_edges = GetParam();
+  const int scns = 7, tasks = 90, c = 5;
+  GreedySelectScratch scratch;
+  Assignment packed, radix, autod;
+
+  RngStream rng(static_cast<std::uint64_t>(num_edges));
+  const auto random_instance = boundary_instance(
+      num_edges, scns, tasks, [&](int) {
+        return static_cast<double>(
+            static_cast<float>(rng.uniform(0.01, 1.0)));
+      });
+  // All-equal weights: every comparison is a tie, so the (scn asc, task
+  // asc) tie-break carries the whole ordering.
+  const auto tied_instance =
+      boundary_instance(num_edges, scns, tasks, [](int) { return 0.5; });
+  // Two-level weights that collide at float precision: the packed key
+  // compares float bits, so doubles that round to the same float must
+  // tie the same way in both implementations.
+  const auto float_collision_instance = boundary_instance(
+      num_edges, scns, tasks,
+      [](int k) { return 0.25 + (k % 2) * 1e-12; });
+
+  const auto check = [&](const std::vector<Edge>& edges,
+                         bool against_reference) {
+    solve_assignment(SolverKind::kPacked, scns, tasks, c, edges, packed,
+                     scratch);
+    solve_assignment(SolverKind::kRadix, scns, tasks, c, edges, radix,
+                     scratch);
+    solve_assignment(SolverKind::kAuto, scns, tasks, c, edges, autod,
+                     scratch);
+    EXPECT_EQ(packed.selected, radix.selected) << num_edges << " edges";
+    EXPECT_EQ(packed.selected, autod.selected) << num_edges << " edges";
+    if (against_reference) {
+      const auto reference = greedy_select(scns, tasks, c, edges);
+      EXPECT_EQ(packed.selected, reference.selected) << num_edges << " edges";
+    }
+  };
+  check(random_instance, true);
+  check(tied_instance, true);
+  // The collision instance intentionally separates double order from
+  // float order, so the double-precision reference is out of scope —
+  // the contract under test is packed == radix == auto.
+  check(float_collision_instance, false);
+}
+
+INSTANTIATE_TEST_SUITE_P(AroundKRadixMinEdges, RadixBoundaryTest,
+                         ::testing::Values(255, 256, 257));
+
+TEST(SolverZoo, SaturatedPackedKeyFieldsStayConsistent) {
+  // Task and local indices at the very top of the packed 16-bit fields,
+  // plus weights at the extremes of the positive float range: the radix
+  // byte passes and the packed heap must still produce the reference
+  // assignment.
+  const int tasks = 0x10000;  // packed limit, inclusive
+  const int scns = 2, c = 2;
+  std::vector<Edge> edges;
+  const int kBig = 0xFFFF;
+  edges.push_back(make_edge(0, kBig, 3e38, kBig));          // near FLT_MAX
+  edges.push_back(make_edge(0, kBig - 1, 1e-40, kBig - 1));  // subnormal float
+  edges.push_back(make_edge(1, kBig, 3e38, kBig));
+  edges.push_back(make_edge(1, 0, 0.5, 0));
+  edges.push_back(make_edge(0, 0, 0.5, 0));
+  // Pad past kRadixMinEdges so the auto path picks radix too.
+  for (int k = 0; k < 300; ++k) {
+    edges.push_back(make_edge(k % scns, 1 + k % 1000, 0.25, 1 + k % 1000));
+  }
+  GreedySelectScratch scratch;
+  Assignment packed, radix;
+  solve_assignment(SolverKind::kPacked, scns, tasks, c, edges, packed,
+                   scratch);
+  solve_assignment(SolverKind::kRadix, scns, tasks, c, edges, radix, scratch);
+  EXPECT_EQ(packed.selected, radix.selected);
+  const auto reference = greedy_select(scns, tasks, c, edges);
+  EXPECT_EQ(packed.selected, reference.selected);
+}
+
+TEST(SolverZoo, PackedFallsBackBeyondSixteenBitTasks) {
+  // One task index past the packed field: solve_assignment must still
+  // produce the reference result (wide bucketed fallback), not throw.
+  const int tasks = 0x10000 + 1;
+  std::vector<Edge> edges{make_edge(0, 0x10000, 0.9, 0x10000),
+                          make_edge(0, 5, 0.5, 5)};
+  GreedySelectScratch scratch;
+  Assignment out;
+  for (const SolverKind kind : {SolverKind::kAuto, SolverKind::kPacked,
+                                SolverKind::kRadix}) {
+    solve_assignment(kind, 1, tasks, 1, edges, out, scratch);
+    EXPECT_EQ(out.selected[0], (std::vector<int>{0x10000}))
+        << solver_name(kind);
+  }
+}
+
+TEST(SolverZoo, RejectsMalformedInput) {
+  GreedySelectScratch scratch;
+  Assignment out;
+  const std::vector<Edge> bad{make_edge(5, 0, 1.0, 0)};
+  for (const SolverKind kind :
+       {SolverKind::kAuto, SolverKind::kGreedy, SolverKind::kPacked,
+        SolverKind::kRadix, SolverKind::kFlow, SolverKind::kBnb}) {
+    EXPECT_THROW(solve_assignment(kind, 2, 1, 1, bad, out, scratch),
+                 std::out_of_range)
+        << solver_name(kind);
+    EXPECT_THROW(solve_assignment(kind, -1, 1, 1, {}, out, scratch),
+                 std::invalid_argument)
+        << solver_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace lfsc

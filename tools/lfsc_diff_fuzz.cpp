@@ -3,19 +3,33 @@
 //
 //   lfsc_diff_fuzz [--seeds N] [--instances N] [--base-seed S]
 //                  [--inject-off-by-one] [--no-parallel] [--no-es]
+//                  [--improve]
 //
 // Runs `seeds x instances` randomized instances (default 20 x 25 = 500)
 // and exits non-zero at the first divergence, printing the instance seed
 // so the failure replays with --seeds 1 --instances 1 --base-seed <seed>.
 // --inject-off-by-one flips the reference's epsilon off-by-one bug on;
 // the run then SUCCEEDS only if the harness catches it (self-test mode).
+//
+// --improve switches to the solver-layer mode: random assignment
+// instances (with parallel duplicate edges and randomized mid-pass
+// deadlines) through greedy -> shift-swap improver -> flow, checking on
+// every instance that greedy <= improved <= flow optimum, that the
+// reported gain matches the recomputed weights, and that the improved
+// assignment still satisfies capacity (1a) and task uniqueness (1b).
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "common/rng.h"
 #include "reference/differential.h"
+#include "solver/improve.h"
+#include "solver/min_cost_flow.h"
 
 namespace {
 
@@ -29,12 +43,151 @@ std::uint64_t parse_u64(const char* arg, const char* flag) {
   return static_cast<std::uint64_t>(value);
 }
 
+/// Total weight of `a` under `edges`, best-edge per (scn, local) so
+/// planted duplicates resolve the way every solver picks them.
+double assignment_weight(const lfsc::Assignment& a,
+                         const std::vector<lfsc::Edge>& edges, int num_scns,
+                         int num_tasks) {
+  std::vector<std::vector<double>> best(
+      static_cast<std::size_t>(num_scns),
+      std::vector<double>(static_cast<std::size_t>(num_tasks), 0.0));
+  for (const lfsc::Edge& e : edges) {
+    double& slot = best[static_cast<std::size_t>(e.scn)]
+                       [static_cast<std::size_t>(e.local)];
+    slot = std::max(slot, e.weight);
+  }
+  double total = 0.0;
+  for (std::size_t m = 0; m < a.selected.size(); ++m) {
+    for (const int local : a.selected[m]) {
+      total += best[m][static_cast<std::size_t>(local)];
+    }
+  }
+  return total;
+}
+
+/// One improver fuzz instance; returns a non-empty violation detail on
+/// failure.
+std::string fuzz_improve_one(std::uint64_t seed) {
+  lfsc::RngStream rng(seed);
+  const int scns = 2 + static_cast<int>(rng.uniform() * 6);
+  const int tasks = 4 + static_cast<int>(rng.uniform() * 60);
+  const int capacity = 1 + static_cast<int>(rng.uniform() * 4);
+  const double density = 0.1 + rng.uniform() * 0.7;
+
+  std::vector<lfsc::Edge> edges;
+  for (int m = 0; m < scns; ++m) {
+    for (int i = 0; i < tasks; ++i) {
+      if (rng.uniform() >= density) continue;
+      lfsc::Edge e;
+      e.scn = m;
+      e.task = i;
+      e.local = i;
+      e.weight = rng.uniform(0.01, 1.0);
+      edges.push_back(e);
+      if (rng.uniform() < 0.15) {  // parallel duplicate (scn, local)
+        e.weight = rng.uniform(0.01, 1.0);
+        edges.push_back(e);
+      }
+    }
+  }
+
+  const lfsc::Assignment greedy =
+      lfsc::greedy_select(scns, tasks, capacity, edges);
+  const double greedy_w = assignment_weight(greedy, edges, scns, tasks);
+
+  lfsc::Assignment improved = greedy;
+  lfsc::ShiftSwapOptions opts;
+  // A third of the runs get a deadline that fires mid-pass, exercising
+  // the anytime cut; the result must stay feasible and never-worse.
+  long long fuel = -1;
+  if (rng.uniform() < 0.33) {
+    fuel = 1 + static_cast<long long>(rng.uniform() * 40.0);
+    opts.check_stride = 4;
+    opts.deadline = [&fuel]() { return --fuel < 0; };
+  }
+  lfsc::ShiftSwapScratch scratch;
+  const lfsc::ShiftSwapStats stats = lfsc::improve_shift_swap(
+      scns, tasks, capacity, edges, improved, opts, scratch);
+  const double improved_w = assignment_weight(improved, edges, scns, tasks);
+
+  char buf[256];
+  if (stats.gained < 0.0) {
+    std::snprintf(buf, sizeof buf, "negative gain %.17g", stats.gained);
+    return buf;
+  }
+  if (std::abs(improved_w - (greedy_w + stats.gained)) > 1e-9) {
+    std::snprintf(buf, sizeof buf,
+                  "gain mismatch: greedy %.17g + gained %.17g != improved "
+                  "%.17g",
+                  greedy_w, stats.gained, improved_w);
+    return buf;
+  }
+  if (improved_w + 1e-9 < greedy_w) {
+    std::snprintf(buf, sizeof buf, "improved %.17g < greedy %.17g",
+                  improved_w, greedy_w);
+    return buf;
+  }
+  const auto flow = lfsc::max_weight_b_matching(scns, tasks, capacity, edges);
+  if (improved_w > flow.total_weight + 1e-9) {
+    std::snprintf(buf, sizeof buf, "improved %.17g > flow optimum %.17g",
+                  improved_w, flow.total_weight);
+    return buf;
+  }
+  // Feasibility: capacity (1a) and task uniqueness (1b).
+  std::vector<char> task_taken(static_cast<std::size_t>(tasks), 0);
+  for (int m = 0; m < scns; ++m) {
+    const auto& sel = improved.selected[static_cast<std::size_t>(m)];
+    if (static_cast<int>(sel.size()) > capacity) {
+      std::snprintf(buf, sizeof buf, "(1a) violated: SCN %d holds %zu > c=%d",
+                    m, sel.size(), capacity);
+      return buf;
+    }
+    for (const int local : sel) {
+      char& taken = task_taken[static_cast<std::size_t>(local)];
+      if (taken) {
+        std::snprintf(buf, sizeof buf, "(1b) violated: task %d selected twice",
+                      local);
+        return buf;
+      }
+      taken = 1;
+    }
+  }
+  return "";
+}
+
+int run_improve_fuzz(std::uint64_t num_seeds, std::uint64_t instances_per_seed,
+                     std::uint64_t base_seed) {
+  std::uint64_t total = 0, violations = 0;
+  for (std::uint64_t s = 0; s < num_seeds; ++s) {
+    for (std::uint64_t i = 0; i < instances_per_seed; ++i) {
+      const std::uint64_t seed =
+          (base_seed + s) * 0x9E3779B97F4A7C15ULL + i * 0x100000001B3ULL;
+      const std::string detail = fuzz_improve_one(seed);
+      ++total;
+      if (!detail.empty()) {
+        ++violations;
+        std::fprintf(stderr,
+                     "IMPROVER VIOLATION at instance seed %llu:\n  %s\n"
+                     "replay: lfsc_diff_fuzz --improve --seeds 1 "
+                     "--instances 1 --base-seed %llu\n",
+                     static_cast<unsigned long long>(seed), detail.c_str(),
+                     static_cast<unsigned long long>(seed));
+      }
+    }
+  }
+  std::printf("lfsc_diff_fuzz --improve: %llu instances, %llu violations\n",
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(violations));
+  return violations == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::uint64_t num_seeds = 20;
   std::uint64_t instances_per_seed = 25;
   std::uint64_t base_seed = 1;
+  bool improve_mode = false;
   lfsc::DiffOptions opts;
 
   for (int i = 1; i < argc; ++i) {
@@ -58,16 +211,22 @@ int main(int argc, char** argv) {
       opts.check_parallel = false;
     } else if (std::strcmp(arg, "--no-es") == 0) {
       opts.check_es_edges = false;
+    } else if (std::strcmp(arg, "--improve") == 0) {
+      improve_mode = true;
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
           "usage: lfsc_diff_fuzz [--seeds N] [--instances N] [--base-seed S]\n"
           "                      [--inject-off-by-one] [--no-parallel] "
-          "[--no-es]\n");
+          "[--no-es] [--improve]\n");
       return 0;
     } else {
       std::fprintf(stderr, "lfsc_diff_fuzz: unknown flag %s\n", arg);
       return 2;
     }
+  }
+
+  if (improve_mode) {
+    return run_improve_fuzz(num_seeds, instances_per_seed, base_seed);
   }
 
   std::uint64_t total = 0;

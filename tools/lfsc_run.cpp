@@ -172,6 +172,13 @@ int main(int argc, char** argv) {
   const int* audit_stride = parser.add_int(
       "audit-stride", 0,
       "audit LFSC invariants every N slots (0 = never)");
+  const std::string* solver_flag = parser.add_string(
+      "solver", "auto",
+      "LFSC assignment solver: auto | greedy | packed | radix | flow | bnb");
+  const bool* improve_flag = parser.add_bool(
+      "improve", false,
+      "spend leftover --slot-budget-us refining the greedy assignment with "
+      "shift-swap moves (no-op without a budget)");
   const int* admission_queue = parser.add_int(
       "admission-queue", 0,
       "bound on the admission backlog in tasks (0 = no admission control)");
@@ -286,6 +293,11 @@ int main(int argc, char** argv) {
     return fail("--degrade must be one of auto, full, explore-capped, "
                 "greedy-only, shed");
   }
+  SolverKind solver_kind = SolverKind::kAuto;
+  if (!parse_solver(*solver_flag, solver_kind)) {
+    return fail("--solver must be one of auto, greedy, packed, radix, flow, "
+                "bnb");
+  }
   if (force_rung && *slot_budget_us > 0) {
     return fail("--degrade <rung> pins the ladder and is incompatible with "
                 "--slot-budget-us (a forced rung never reads the clock)");
@@ -336,6 +348,8 @@ int main(int argc, char** argv) {
     setup.lfsc.overload.forced_rung = forced_rung;
   }
   setup.lfsc.audit_stride = static_cast<std::size_t>(*audit_stride);
+  setup.lfsc.solver = solver_kind;
+  setup.lfsc.improve = *improve_flag;
   if (*shards > 0) {
     // Sharding lives in the parallel per-SCN path; one flag turns both
     // on (bit-identical to serial for any value, DESIGN.md §12).
@@ -478,10 +492,11 @@ int main(int argc, char** argv) {
                  "--policies\n";
     return 2;
   }
-  if ((*slot_budget_us > 0 || force_rung || *audit_stride > 0) &&
+  if ((*slot_budget_us > 0 || force_rung || *audit_stride > 0 ||
+       solver_kind != SolverKind::kAuto || *improve_flag) &&
       lfsc_instance == nullptr) {
-    std::cerr << "lfsc_run: --slot-budget-us/--degrade/--audit-stride require "
-                 "LFSC in --policies\n";
+    std::cerr << "lfsc_run: --slot-budget-us/--degrade/--audit-stride/"
+                 "--solver/--improve require LFSC in --policies\n";
     return 2;
   }
 

@@ -107,6 +107,13 @@ int main(int argc, char** argv) {
       "audit-stride", 0, "audit LFSC invariants every N slots (0 = never)");
   const int* slot_budget_us = parser.add_int(
       "slot-budget-us", 0, "per-slot compute budget in us (0 = unbudgeted)");
+  const std::string* solver_flag = parser.add_string(
+      "solver", "auto",
+      "LFSC assignment solver: auto | greedy | packed | radix | flow | bnb");
+  const bool* improve_flag = parser.add_bool(
+      "improve", false,
+      "spend leftover --slot-budget-us refining the greedy assignment with "
+      "shift-swap moves (no-op without a budget)");
   const int* admission_queue = parser.add_int(
       "admission-queue", 0, "admission backlog bound in tasks (0 = off)");
   const double* admission_capacity = parser.add_double(
@@ -157,6 +164,11 @@ int main(int argc, char** argv) {
   if (*shards < 0) return fail("--shards must be >= 0");
   if (*audit_stride < 0) return fail("--audit-stride must be >= 0");
   if (*slot_budget_us < 0) return fail("--slot-budget-us must be >= 0");
+  SolverKind solver_kind = SolverKind::kAuto;
+  if (!parse_solver(*solver_flag, solver_kind)) {
+    return fail("--solver must be one of auto, greedy, packed, radix, flow, "
+                "bnb");
+  }
   if (*admission_queue < 0) return fail("--admission-queue must be >= 0");
   if (*admission_capacity <= 0.0) {
     return fail("--admission-capacity must be > 0");
@@ -180,6 +192,8 @@ int main(int argc, char** argv) {
   config.setup.lfsc.parts_per_dim = static_cast<std::size_t>(*h_t);
   config.setup.lfsc.gamma = *gamma;
   config.setup.lfsc.audit_stride = static_cast<std::size_t>(*audit_stride);
+  config.setup.lfsc.solver = solver_kind;
+  config.setup.lfsc.improve = *improve_flag;
   if (*shards > 0) {
     config.setup.lfsc.parallel_scns = true;
     config.setup.lfsc.shards = *shards;

@@ -322,6 +322,14 @@ int run_serve_soak(int horizon, int seed, int scns, int capacity,
       expect_ok(request(proc, "reconfig telemetry_interval=7"),
                 "reconfig telemetry");
     }
+    if (t % 70 == 15) {
+      expect_ok(request(proc, "reconfig solver=packed improve=1"),
+                "reconfig solver on");
+    }
+    if (t % 70 == 45) {
+      expect_ok(request(proc, "reconfig solver=auto improve=0"),
+                "reconfig solver off");
+    }
 
     const std::string tick = request(proc, "tick");
     expect_ok(tick, "tick");
@@ -415,6 +423,10 @@ int main(int argc, char** argv) {
       "slot-budget-us", 120, "per-slot compute budget (0 = unbudgeted)");
   const int* audit_stride = parser.add_int(
       "audit-stride", 64, "audit LFSC invariants every N slots (0 = never)");
+  const bool* improve = parser.add_bool(
+      "improve", true,
+      "run the anytime shift-swap improver on leftover slot budget "
+      "(--improve=false for the plain greedy soak)");
   const int* admission_queue = parser.add_int(
       "admission-queue", 0, "backlog bound in tasks (0 = default 6*c*M)");
   const bool* inject_poison = parser.add_bool(
@@ -465,6 +477,9 @@ int main(int argc, char** argv) {
   setup.set_seed(static_cast<std::uint64_t>(*seed));
   setup.set_horizon(static_cast<std::size_t>(*horizon));
   setup.lfsc.audit_stride = static_cast<std::size_t>(*audit_stride);
+  // Improver on by default: the budget assertions below then prove the
+  // anytime refinement never pushes a slot past its deadline.
+  setup.lfsc.improve = *improve;
 
   // The chaos mix: every fault class at once, on top of sustained
   // overload. Probabilities are the fault-injection test presets.
