@@ -22,10 +22,12 @@ constexpr char kMagic[8] = {'L', 'F', 'S', 'C', 'C', 'K', 'P', 'T'};
 /// v2 (overload-protection PR): policy blobs carry degradation-ladder
 /// state, and the file gains the admission-control blob. v3 (scenario
 /// PR): the file gains the SlotSource state blob (drift-walk offsets +
-/// spec fingerprint for ScenarioSource runs). Old versions are rejected
-/// by number — after the CRC passes — so a stale file yields one clear
+/// spec fingerprint for ScenarioSource runs). v4 (handoff PR): the file
+/// gains the serve-state blob (service-level counters, so a handed-off
+/// service resumes with identical stats). Old versions are rejected by
+/// number — after the CRC passes — so a stale file yields one clear
 /// line, not corruption noise.
-constexpr std::uint32_t kFileVersion = 3;
+constexpr std::uint32_t kFileVersion = 4;
 
 void write_feedback(BlobWriter& w, const SlotFeedback& fb) {
   w.u32(static_cast<std::uint32_t>(fb.per_scn.size()));
@@ -90,6 +92,7 @@ std::string serialize(const CheckpointState& state) {
   w.str(state.faults_blob);
   w.str(state.admission_blob);
   w.str(state.scenario_blob);
+  w.str(state.serve_blob);
 
   w.u32(static_cast<std::uint32_t>(state.metrics.size()));
   for (const auto& m : state.metrics) {
@@ -145,6 +148,7 @@ CheckpointState deserialize(std::string_view payload) {
   state.faults_blob = r.str();
   state.admission_blob = r.str();
   state.scenario_blob = r.str();
+  state.serve_blob = r.str();
 
   state.metrics.resize(r.u32());
   for (auto& m : state.metrics) {

@@ -59,6 +59,12 @@ struct CheckpointState {
   /// spec-fingerprint guard so --resume under a different --scenario is
   /// rejected (DESIGN.md §13).
   std::string scenario_blob;
+  /// ServeController::save_serve_state — the service-level counters
+  /// (ticks, deadline misses, protocol errors, busy rejects, generations
+  /// written) that must survive process replacement so a handed-off or
+  /// resumed service reports the same stats line as an uninterrupted
+  /// one. Empty for batch (lfsc_run) checkpoints.
+  std::string serve_blob;
   std::vector<telemetry::MetricSnapshot> metrics;  ///< Registry::snapshot
   telemetry::TimeSeries telemetry_series;          ///< sampled rows so far
 };

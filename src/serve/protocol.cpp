@@ -203,6 +203,16 @@ std::string parse_reconfig(const std::vector<std::string_view>& tokens,
                "got '" + std::string(value) + "'";
       }
       out.telemetry_interval = static_cast<int>(as_int);
+    } else if (key == "telemetry_push") {
+      if (out.telemetry_push) {
+        return "reconfig: duplicate key telemetry_push";
+      }
+      if (!parse_int(value, as_int) || as_int < 0 ||
+          as_int > std::numeric_limits<int>::max()) {
+        return "reconfig: telemetry_push must be an integer >= 0, "
+               "got '" + std::string(value) + "'";
+      }
+      out.telemetry_push = static_cast<int>(as_int);
     } else if (key == "solver") {
       if (out.solver) return "reconfig: duplicate key solver";
       SolverKind kind = SolverKind::kAuto;
@@ -256,6 +266,8 @@ std::string parse_command(std::string_view line, Command& out) {
   if (verb == "tick") return bare(Command::Kind::kTick);
   if (verb == "checkpoint") return bare(Command::Kind::kCheckpoint);
   if (verb == "stats") return bare(Command::Kind::kStats);
+  if (verb == "telemetry") return bare(Command::Kind::kTelemetry);
+  if (verb == "handoff") return bare(Command::Kind::kHandoff);
   if (verb == "drain") return bare(Command::Kind::kDrain);
   if (verb == "shutdown") return bare(Command::Kind::kShutdown);
   return "unknown command '" + std::string(verb) + "'";

@@ -16,7 +16,16 @@
 //        live reconfiguration; validated atomically — one bad key or
 //        value rejects the whole command with zero state change. Keys:
 //        slot_budget_us, admission_max_queue, admission_capacity_factor,
-//        qos_alpha, resource_beta, telemetry_interval, solver, improve.
+//        qos_alpha, resource_beta, telemetry_interval, telemetry_push,
+//        solver, improve.
+//   telemetry
+//        one-line `lfsc.telemetry/1` JSON snapshot (`ok {...}`). With
+//        `reconfig telemetry_push=N`, the service also pushes the same
+//        snapshot unsolicited as `push {...}` every N completed slots.
+//   handoff
+//        zero-downtime replacement: finish the in-flight slot, write a
+//        final checkpoint generation, then hand the listening socket to
+//        a `--takeover` successor and exit 0 (DESIGN.md §16).
 //   checkpoint | stats | drain | shutdown
 //
 // Parsing is strict: unknown commands, wrong arity, trailing garbage,
@@ -62,13 +71,15 @@ struct ReconfigCommand {
   std::optional<double> qos_alpha;
   std::optional<double> resource_beta;
   std::optional<int> telemetry_interval;
+  /// Unsolicited `push {json}` snapshot every N completed slots (0 = off).
+  std::optional<int> telemetry_push;
   std::optional<SolverKind> solver;  ///< Alg. 4 solver (DESIGN.md §15)
   std::optional<bool> improve;       ///< anytime shift-swap improver
 
   bool empty() const noexcept {
     return !slot_budget_us && !admission_max_queue &&
            !admission_capacity_factor && !qos_alpha && !resource_beta &&
-           !telemetry_interval && !solver && !improve;
+           !telemetry_interval && !telemetry_push && !solver && !improve;
   }
 };
 
@@ -79,6 +90,8 @@ struct Command {
     kReconfig,
     kCheckpoint,
     kStats,
+    kTelemetry,
+    kHandoff,
     kDrain,
     kShutdown,
   };
@@ -102,7 +115,9 @@ class LineChunker {
   explicit LineChunker(std::size_t max_line = kDefaultMaxLine)
       : max_line_(max_line) {}
 
-  static constexpr std::size_t kDefaultMaxLine = 4096;
+  /// 64 KiB: roomy enough for a task line covering thousands of SCNs,
+  /// still a hard bound a hostile peer cannot push past.
+  static constexpr std::size_t kDefaultMaxLine = 65536;
 
   void feed(std::string_view bytes);
 

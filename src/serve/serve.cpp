@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <sstream>
 #include <stdexcept>
 
+#include "common/binio.h"
 #include "common/log.h"
 #include "harness/checkpoint.h"
+#include "telemetry/export.h"
 
 namespace lfsc::serve {
 
@@ -27,6 +30,9 @@ std::string fmt(std::uint64_t value) {
   return buf;
 }
 
+constexpr std::uint32_t kServeStateMagic = 0x5352'5653;  // "SRVS"
+constexpr std::uint32_t kServeStateVersion = 1;
+
 }  // namespace
 
 ServeController::ServeController(const ServeConfig& config) : config_(config) {
@@ -37,8 +43,12 @@ ServeController::ServeController(const ServeConfig& config) : config_(config) {
     throw std::invalid_argument(
         "ServeController: checkpoint_keep must be >= 1");
   }
+  if (config_.max_pending < 0) {
+    throw std::invalid_argument("ServeController: max_pending must be >= 0");
+  }
   config_.setup.net.validate();
   config_.admission.validate();
+  busy_counter_ = &serve_telemetry_.counter("serve.busy_rejects", "tasks");
 
   instances_.reserve(static_cast<std::size_t>(config_.instances));
   for (int k = 0; k < config_.instances; ++k) {
@@ -104,17 +114,31 @@ std::size_t ServeController::tick() {
           0) {
     checkpoint_now();
   }
+  // The auto-push snapshot is taken after any periodic checkpoint so it
+  // reflects the complete end-of-slot state (checkpoint.writes included).
+  if (telemetry_push_ > 0 &&
+      instances_[0]->stepper->completed_slots() % telemetry_push_ == 0) {
+    pending_push_ = telemetry_json();
+  }
   return tasks;
 }
 
 void ServeController::checkpoint_now() {
   if (config_.checkpoint_prefix.empty()) return;
   const std::uint64_t generation = next_generation_;
+  // Counted before the capture — like checkpoint.writes — so the blob
+  // inside generation g already includes g: a successor resuming from it
+  // reports the same `checkpoints=` as the process that wrote it. (Like
+  // checkpoint.writes, the count is not rolled back if the write then
+  // exhausts its retries.)
+  ++checkpoints_written_;
+  const std::string serve_blob = save_serve_state();
   for (std::size_t k = 0; k < instances_.size(); ++k) {
     auto& inst = *instances_[k];
     inst.stepper->note_checkpoint_write();
     CheckpointState state;
     inst.stepper->capture(state);
+    state.serve_blob = serve_blob;
     const std::string prefix = instance_prefix(k);
     write_checkpoint_file_retry(
         checkpoint_generation_path(prefix, generation), state,
@@ -122,7 +146,6 @@ void ServeController::checkpoint_now() {
     prune_checkpoint_generations(prefix, config_.checkpoint_keep);
   }
   ++next_generation_;
-  ++checkpoints_written_;
 }
 
 bool ServeController::resume_latest() {
@@ -142,10 +165,73 @@ bool ServeController::resume_latest() {
                   << recovered->path << " (slot "
                   << recovered->state.completed_slots << ")";
     newest = std::max(newest, recovered->generation);
+    if (!any) {
+      // Every instance of a generation carries the same controller-wide
+      // serve blob; the first recovered one wins.
+      load_serve_state(recovered->state.serve_blob);
+    }
     any = true;
   }
   if (any) next_generation_ = newest + 1;
   return any;
+}
+
+std::string ServeController::save_serve_state() const {
+  BlobWriter w;
+  w.u32(kServeStateMagic);
+  w.u32(kServeStateVersion);
+  w.u64(ticks_);
+  w.u64(deadline_misses_);
+  w.u64(protocol_errors_);
+  w.u64(checkpoints_written_);
+  w.u64(busy_rejects_);
+  return w.take();
+}
+
+void ServeController::load_serve_state(const std::string& blob) {
+  if (blob.empty()) return;  // batch (lfsc_run) checkpoint: stay cold
+  BlobReader r(blob);
+  if (r.u32() != kServeStateMagic) {
+    throw std::runtime_error("serve: checkpoint serve-state blob corrupt");
+  }
+  if (const std::uint32_t version = r.u32(); version != kServeStateVersion) {
+    throw std::runtime_error("serve: unsupported serve-state version " +
+                             std::to_string(version));
+  }
+  ticks_ = r.u64();
+  deadline_misses_ = r.u64();
+  protocol_errors_ = r.u64();
+  checkpoints_written_ = r.u64();
+  busy_rejects_ = r.u64();
+  if (!r.done()) {
+    throw std::runtime_error("serve: trailing bytes in serve-state blob");
+  }
+}
+
+std::string ServeController::telemetry_json() {
+  std::ostringstream os;
+  auto snapshots = instances_[0]->policy->telemetry().snapshot();
+  auto extra = serve_telemetry_.snapshot();
+  snapshots.insert(snapshots.end(),
+                   std::make_move_iterator(extra.begin()),
+                   std::make_move_iterator(extra.end()));
+  telemetry::write_json(os, snapshots, nullptr, "serve");
+  // Collapse to one line: the writer only emits newlines as formatting
+  // (embedded ones inside strings are escaped), so dropping them yields
+  // the same JSON document on a single protocol line.
+  std::string doc = os.str();
+  std::string line;
+  line.reserve(doc.size());
+  for (const char c : doc) {
+    if (c != '\n') line.push_back(c);
+  }
+  return line;
+}
+
+std::optional<std::string> ServeController::take_push() {
+  std::optional<std::string> out;
+  out.swap(pending_push_);
+  return out;
 }
 
 void ServeController::drain() {
@@ -186,6 +272,7 @@ std::string ServeController::apply_reconfig(const ReconfigCommand& request) {
     if (request.solver) inst->policy->set_solver(*request.solver);
     if (request.improve) inst->policy->set_improve(*request.improve);
   }
+  if (request.telemetry_push) telemetry_push_ = *request.telemetry_push;
   if (request.slot_budget_us) {
     applied += " slot_budget_us=" + std::to_string(*request.slot_budget_us);
   }
@@ -204,6 +291,9 @@ std::string ServeController::apply_reconfig(const ReconfigCommand& request) {
   if (request.telemetry_interval) {
     applied +=
         " telemetry_interval=" + std::to_string(*request.telemetry_interval);
+  }
+  if (request.telemetry_push) {
+    applied += " telemetry_push=" + std::to_string(*request.telemetry_push);
   }
   if (request.solver) {
     applied += " solver=" + std::string(solver_name(*request.solver));
@@ -227,6 +317,16 @@ std::string ServeController::handle_line(std::string_view line) {
         return error("task: instance " + std::to_string(command.task.instance) +
                      " out of range (have " +
                      std::to_string(instances_.size()) + ")");
+      }
+      if (config_.max_pending > 0 &&
+          instances_[k]->source->pending() >=
+              static_cast<std::size_t>(config_.max_pending)) {
+        // Load shedding, not a malformed line: `err busy` tells a
+        // well-formed client to back off and is deliberately kept out
+        // of the protocol_errors count.
+        ++busy_rejects_;
+        busy_counter_->add(1);
+        return "err busy";
       }
       try {
         instances_[k]->source->enqueue(command.task);
@@ -256,6 +356,20 @@ std::string ServeController::handle_line(std::string_view line) {
     }
     case Command::Kind::kStats:
       return stats_line();
+    case Command::Kind::kTelemetry:
+      return "ok " + telemetry_json();
+    case Command::Kind::kHandoff: {
+      if (config_.checkpoint_prefix.empty()) {
+        return error("handoff: no --checkpoint prefix configured");
+      }
+      try {
+        checkpoint_now();
+      } catch (const std::runtime_error& e) {
+        return error(std::string("handoff: ") + e.what());
+      }
+      handoff_ = true;
+      return "ok handoff generation=" + std::to_string(next_generation_ - 1);
+    }
     case Command::Kind::kDrain: {
       try {
         drain();
@@ -284,6 +398,7 @@ std::string ServeController::stats_line() const {
   out += " ticks=" + fmt(ticks_);
   out += " deadline_misses=" + fmt(deadline_misses_);
   out += " protocol_errors=" + fmt(protocol_errors_);
+  out += " busy_rejects=" + fmt(busy_rejects_);
   out += " checkpoints=" + fmt(checkpoints_written_);
   out += " reward=" + fmt(series.total_reward());
   out += " qos_violation=" + fmt(series.total_qos_violation());

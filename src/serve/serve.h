@@ -15,6 +15,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -43,6 +44,11 @@ struct ServeConfig {
   /// constructed (max_queue 0 = pass-through) so a live reconfig can
   /// enable, move, or disable the bound without restart.
   AdmissionConfig admission{};
+
+  /// Ingress bound per instance: a `task` arriving while the instance
+  /// already holds this many queued tasks is shed with `err busy`
+  /// (load control, not a protocol error). 0 = unbounded.
+  int max_pending = 0;
 
   /// Slots between telemetry samples. A resident service samples on a
   /// fixed stride (there is no horizon to derive one from); 0 falls
@@ -93,6 +99,25 @@ class ServeController {
   bool drained() const noexcept { return drained_; }
   bool shutdown_requested() const noexcept { return shutdown_; }
 
+  /// True once a `handoff` command (or SIGUSR2 via the front-end) wrote
+  /// the final generation: the event loop must stop accepting work and
+  /// hand the listening socket to the successor (DESIGN.md §16).
+  bool handoff_requested() const noexcept { return handoff_; }
+
+  /// The `lfsc.telemetry/1` snapshot (instance 0's policy registry plus
+  /// the serve-level registry) collapsed to one line of JSON.
+  std::string telemetry_json();
+
+  /// The pending strided auto-push snapshot, if a slot boundary crossed
+  /// the `reconfig telemetry_push=` stride since the last call. The
+  /// front-end broadcasts it as a `push {...}` line to every peer.
+  std::optional<std::string> take_push();
+
+  /// Serve-level metric registry (`serve.peer.*`, `serve.busy_rejects`).
+  /// Deliberately NOT checkpointed: peer churn is transport history, not
+  /// controller state, and must not perturb checkpoint byte-identity.
+  telemetry::Registry& serve_telemetry() noexcept { return serve_telemetry_; }
+
   /// Wall-clock tick accounting for the timer loop.
   void note_deadline_miss(std::uint64_t periods) {
     deadline_misses_ += periods;
@@ -107,6 +132,10 @@ class ServeController {
   std::uint64_t deadline_misses() const noexcept { return deadline_misses_; }
   std::uint64_t ticks() const noexcept { return ticks_; }
   std::uint64_t protocol_errors() const noexcept { return protocol_errors_; }
+  std::uint64_t busy_rejects() const noexcept { return busy_rejects_; }
+  std::uint64_t checkpoints_written() const noexcept {
+    return checkpoints_written_;
+  }
 
   /// The single-line stats report (instance 0's counters + totals);
   /// everything in it is wall-clock independent, so two runs over the
@@ -136,15 +165,27 @@ class ServeController {
   std::string apply_reconfig(const ReconfigCommand& request);
   std::string error(std::string message);
 
+  /// The service-level counters as a versioned blob (CheckpointState::
+  /// serve_blob): what must ride along in every generation so a
+  /// successor process reports a byte-identical stats line.
+  std::string save_serve_state() const;
+  void load_serve_state(const std::string& blob);
+
   ServeConfig config_;
   std::vector<std::unique_ptr<Instance>> instances_;
+  telemetry::Registry serve_telemetry_;
+  telemetry::Counter* busy_counter_ = nullptr;
   std::uint64_t next_generation_ = 1;
   std::uint64_t ticks_ = 0;
   std::uint64_t deadline_misses_ = 0;
   std::uint64_t protocol_errors_ = 0;
   std::uint64_t checkpoints_written_ = 0;
+  std::uint64_t busy_rejects_ = 0;
+  int telemetry_push_ = 0;
+  std::optional<std::string> pending_push_;
   bool drained_ = false;
   bool shutdown_ = false;
+  bool handoff_ = false;
 };
 
 }  // namespace lfsc::serve

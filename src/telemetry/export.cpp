@@ -72,7 +72,12 @@ void write_metric(std::ostream& out, const MetricSnapshot& snap) {
 
 void write_json(std::ostream& out, const Registry& registry,
                 const TimeSeries* series, std::string_view label) {
-  const auto snapshots = registry.snapshot();
+  write_json(out, registry.snapshot(), series, label);
+}
+
+void write_json(std::ostream& out,
+                const std::vector<MetricSnapshot>& snapshots,
+                const TimeSeries* series, std::string_view label) {
   out.precision(17);
   out << "{\n"
       << "  \"schema\": \"lfsc.telemetry/1\",\n"

@@ -7,6 +7,7 @@
 
 #include <iosfwd>
 #include <string_view>
+#include <vector>
 
 #include "telemetry/telemetry.h"
 
@@ -17,6 +18,14 @@ namespace lfsc::telemetry {
 /// and — when `series` is non-null and non-empty — the sampled series as
 /// named columns.
 void write_json(std::ostream& out, const Registry& registry,
+                const TimeSeries* series = nullptr,
+                std::string_view label = "");
+
+/// Same document from pre-captured snapshots: lets a caller merge
+/// several registries (e.g. the serve layer's own counters appended to
+/// the policy registry) into one document.
+void write_json(std::ostream& out,
+                const std::vector<MetricSnapshot>& snapshots,
                 const TimeSeries* series = nullptr,
                 std::string_view label = "");
 

@@ -59,6 +59,8 @@ TEST(ServeProtocol, ParsesBareCommandsAndCrLf) {
       {"tick", Command::Kind::kTick},
       {"checkpoint", Command::Kind::kCheckpoint},
       {"stats", Command::Kind::kStats},
+      {"telemetry", Command::Kind::kTelemetry},
+      {"handoff", Command::Kind::kHandoff},
       {"drain", Command::Kind::kDrain},
       {"shutdown", Command::Kind::kShutdown},
   };
@@ -76,7 +78,7 @@ TEST(ServeProtocol, ParsesReconfigKeys) {
   ASSERT_EQ(parse_command(
                 "reconfig slot_budget_us=150 admission_max_queue=40 "
                 "admission_capacity_factor=0.5 qos_alpha=12 "
-                "resource_beta=22.5 telemetry_interval=7",
+                "resource_beta=22.5 telemetry_interval=7 telemetry_push=9",
                 cmd),
             "");
   EXPECT_EQ(cmd.kind, Command::Kind::kReconfig);
@@ -86,6 +88,7 @@ TEST(ServeProtocol, ParsesReconfigKeys) {
   EXPECT_DOUBLE_EQ(cmd.reconfig.qos_alpha.value(), 12.0);
   EXPECT_DOUBLE_EQ(cmd.reconfig.resource_beta.value(), 22.5);
   EXPECT_EQ(cmd.reconfig.telemetry_interval.value(), 7);
+  EXPECT_EQ(cmd.reconfig.telemetry_push.value(), 9);
   Command single;
   ASSERT_EQ(parse_command("reconfig qos_alpha=3", single), "");
   EXPECT_TRUE(single.reconfig.slot_budget_us == std::nullopt);
@@ -137,6 +140,11 @@ const std::vector<std::string>& fuzz_corpus() {
       "reconfig slot_budget_us=999999999999",     // out of range
       "reconfig slot_budget_us=10 slot_budget_us=20",  // duplicate key
       "reconfig qos_alpha=5 gamma=0.1",           // one bad key poisons all
+      "reconfig telemetry_push=-1",               // out of range
+      "reconfig telemetry_push=x",                // non-numeric
+      "reconfig telemetry_push=1 telemetry_push=2",  // duplicate key
+      "telemetry json",                           // args on bare verb
+      "handoff now",                              // args on bare verb
       std::string("task 1 10 2 cpu 0:0.5:0.5:1.5\0 x", 30),  // embedded NUL
   };
   return corpus;
@@ -301,6 +309,7 @@ TEST(ServeController, FuzzCorpusLeavesLearnerUntouched) {
   lines.push_back("task 1 10 2 cpu 9999:0.5:0.5:1.5");  // SCN out of range
   lines.push_back("task @3 1 10 2 cpu 0:0.5:0.5:1.5");  // no such instance
   lines.push_back("checkpoint");  // no --checkpoint prefix configured
+  lines.push_back("handoff");     // same: handoff needs a prefix
   std::uint64_t errors = 0;
   for (const std::string& line : lines) {
     const std::string response = controller.handle_line(line);
@@ -310,6 +319,8 @@ TEST(ServeController, FuzzCorpusLeavesLearnerUntouched) {
     ++errors;
   }
   EXPECT_EQ(controller.protocol_errors(), errors);
+  EXPECT_FALSE(controller.handoff_requested())
+      << "a rejected handoff must not arm the handoff state machine";
 
   // Weight tables, multipliers, counters: bit-identical. (audit_now()
   // itself advances the checkpointed audit_checks counter, so the
@@ -410,6 +421,65 @@ TEST(ServeController, ReconfigTelemetryInterval) {
   for (int t = 0; t < 7; ++t) expect_ok(controller, "tick");
   const auto stats = parse_stats(controller.handle_line("stats"));
   EXPECT_EQ(std::stod(stats.at("slots")), 7.0);
+}
+
+// ---------------------------------------------------------------------
+// Ingress load shedding (`err busy`)
+// ---------------------------------------------------------------------
+
+TEST(ServeController, BusySheddingIsNotAProtocolError) {
+  ServeConfig config = make_config();
+  config.max_pending = 4;
+  ServeController controller(config);
+  const auto lines = make_task_lines(1, 6);
+  for (int i = 0; i < 4; ++i) expect_ok(controller, lines[i]);
+  // The bound is reached: well-formed tasks bounce with `err busy`,
+  // counted as load shedding, not protocol garbage.
+  EXPECT_EQ(controller.handle_line(lines[4]), "err busy");
+  EXPECT_EQ(controller.handle_line(lines[5]), "err busy");
+  EXPECT_EQ(controller.busy_rejects(), 2u);
+  EXPECT_EQ(controller.protocol_errors(), 0u);
+  const auto stats = parse_stats(controller.handle_line("stats"));
+  EXPECT_EQ(stats.at("busy_rejects"), "2");
+  EXPECT_EQ(stats.at("protocol_errors"), "0");
+  // The tick drains the queue, so the next slot admits tasks again.
+  EXPECT_EQ(controller.handle_line("tick"), "ok slot=1 tasks=4");
+  expect_ok(controller, make_task_lines(2, 1)[0]);
+}
+
+// ---------------------------------------------------------------------
+// Telemetry command + strided auto-push
+// ---------------------------------------------------------------------
+
+TEST(ServeController, TelemetryIsOneLineOfJson) {
+  ServeController controller(make_config());
+  expect_ok(controller, "tick");
+  const std::string response = controller.handle_line("telemetry");
+  ASSERT_EQ(response.rfind("ok {", 0), 0u) << response;
+  EXPECT_NE(response.find("\"lfsc.telemetry/1\""), std::string::npos);
+  EXPECT_NE(response.find("serve.busy_rejects"), std::string::npos)
+      << "serve-level registry missing from the merged snapshot";
+  EXPECT_EQ(response.find('\n'), std::string::npos) << "must be one line";
+  EXPECT_EQ(controller.protocol_errors(), 0u);
+}
+
+TEST(ServeController, TelemetryPushFiresOnTheStride) {
+  ServeController controller(make_config());
+  EXPECT_FALSE(controller.take_push().has_value()) << "push defaults off";
+  expect_ok(controller, "reconfig telemetry_push=3");
+  for (int t = 1; t <= 7; ++t) {
+    expect_ok(controller, "tick");
+    const auto push = controller.take_push();
+    EXPECT_EQ(push.has_value(), t % 3 == 0) << "slot " << t;
+    if (push) {
+      EXPECT_EQ(push->rfind("{", 0), 0u);
+      EXPECT_EQ(push->find('\n'), std::string::npos);
+    }
+    EXPECT_FALSE(controller.take_push().has_value()) << "take must drain";
+  }
+  expect_ok(controller, "reconfig telemetry_push=0");  // disable again
+  for (int t = 0; t < 3; ++t) expect_ok(controller, "tick");
+  EXPECT_FALSE(controller.take_push().has_value());
 }
 
 // ---------------------------------------------------------------------
@@ -588,6 +658,170 @@ INSTANTIATE_TEST_SUITE_P(SerialAndParallel, ServeCrashResume,
                          ::testing::Values(false, true),
                          [](const ::testing::TestParamInfo<bool>& info) {
                            return info.param ? "ParallelScns" : "Serial";
+                         });
+
+// ---------------------------------------------------------------------
+// Handoff (DESIGN.md §16): the old controller writes a final generation
+// carrying the pending ingress queue and the service counters; a fresh
+// controller resumes it and must continue as if the process never
+// changed — byte-identical stats line, byte-identical learner blob, and
+// a canonically identical next checkpoint generation.
+// ---------------------------------------------------------------------
+
+/// Non-timer metric rows, minus checkpoint.resumes — the same
+/// determinism contract as tests/test_checkpoint.cpp: timers measure
+/// wall seconds, and resumes definitionally differ between a
+/// handed-off run and an uninterrupted one.
+std::vector<telemetry::MetricSnapshot> comparable_rows(
+    const std::vector<telemetry::MetricSnapshot>& metrics) {
+  std::vector<telemetry::MetricSnapshot> out;
+  for (const auto& snap : metrics) {
+    if (snap.kind == telemetry::Kind::kTimer) continue;
+    if (snap.name == "checkpoint.resumes") continue;
+    out.push_back(snap);
+  }
+  return out;
+}
+
+void expect_canonically_equal_checkpoints(const CheckpointState& got,
+                                          const CheckpointState& want) {
+  EXPECT_EQ(got.completed_slots, want.completed_slots);
+  EXPECT_EQ(got.horizon, want.horizon);
+  ASSERT_EQ(got.policies.size(), want.policies.size());
+  for (std::size_t k = 0; k < want.policies.size(); ++k) {
+    EXPECT_EQ(got.policies[k].name, want.policies[k].name);
+    EXPECT_EQ(got.policies[k].blob, want.policies[k].blob)
+        << "learner image diverged: " << want.policies[k].name;
+    EXPECT_EQ(got.policies[k].reward, want.policies[k].reward);
+    EXPECT_EQ(got.policies[k].qos, want.policies[k].qos);
+    EXPECT_EQ(got.policies[k].res, want.policies[k].res);
+    EXPECT_EQ(got.policies[k].delayed.size(), want.policies[k].delayed.size());
+  }
+  EXPECT_EQ(got.faults_blob, want.faults_blob);
+  EXPECT_EQ(got.admission_blob, want.admission_blob);
+  EXPECT_EQ(got.scenario_blob, want.scenario_blob)
+      << "pending ingress queue diverged";
+  EXPECT_EQ(got.serve_blob, want.serve_blob)
+      << "service counters diverged";
+
+  const auto got_rows = comparable_rows(got.metrics);
+  const auto want_rows = comparable_rows(want.metrics);
+  ASSERT_EQ(got_rows.size(), want_rows.size());
+  for (std::size_t i = 0; i < want_rows.size(); ++i) {
+    EXPECT_EQ(got_rows[i].name, want_rows[i].name);
+    EXPECT_EQ(got_rows[i].count, want_rows[i].count) << want_rows[i].name;
+    EXPECT_EQ(got_rows[i].value, want_rows[i].value) << want_rows[i].name;
+    EXPECT_EQ(got_rows[i].sum, want_rows[i].sum) << want_rows[i].name;
+    EXPECT_EQ(got_rows[i].stream_values, want_rows[i].stream_values)
+        << want_rows[i].name;
+    EXPECT_EQ(got_rows[i].bucket_counts, want_rows[i].bucket_counts)
+        << want_rows[i].name;
+  }
+
+  // Sampled series: column-for-column, masking wall-clock timer columns
+  // and checkpoint.resumes.
+  ASSERT_EQ(got.telemetry_series.t, want.telemetry_series.t);
+  ASSERT_EQ(got.telemetry_series.names, want.telemetry_series.names);
+  std::vector<bool> comparable(want.telemetry_series.names.size(), true);
+  for (const auto& snap : want.metrics) {
+    if (snap.kind != telemetry::Kind::kTimer &&
+        snap.name != "checkpoint.resumes") {
+      continue;
+    }
+    for (std::size_t c = 0; c < comparable.size(); ++c) {
+      if (want.telemetry_series.names[c] == snap.name) comparable[c] = false;
+    }
+  }
+  ASSERT_EQ(got.telemetry_series.rows.size(),
+            want.telemetry_series.rows.size());
+  for (std::size_t r = 0; r < want.telemetry_series.rows.size(); ++r) {
+    for (std::size_t c = 0; c < comparable.size(); ++c) {
+      if (!comparable[c]) continue;
+      EXPECT_EQ(got.telemetry_series.rows[r][c],
+                want.telemetry_series.rows[r][c])
+          << "row " << r << " column " << want.telemetry_series.names[c];
+    }
+  }
+}
+
+class ServeHandoff : public ::testing::TestWithParam<bool> {
+ protected:
+  ScopedTempDir tmp_;
+};
+
+TEST_P(ServeHandoff, SuccessorContinuesBitIdentical) {
+  const bool parallel = GetParam();
+  constexpr int kSlots = 18;
+  constexpr int kHandoffAfter = 8;
+
+  const auto drive = [](ServeController& controller, int from, int to) {
+    for (int t = from; t <= to; ++t) {
+      for (const auto& line : make_task_lines(t, 10)) {
+        expect_ok(controller, line);
+      }
+      expect_ok(controller, "tick");
+    }
+  };
+
+  // Reference: uninterrupted, but issuing `checkpoint` exactly where the
+  // handoff run hands off — with the next slot's tasks already queued —
+  // so the checkpoint counters and the captured ingress queue line up.
+  ServeConfig ref_config = make_config(tmp_.path("ref"), parallel);
+  ServeController reference(ref_config);
+  drive(reference, 1, kHandoffAfter);
+  for (const auto& line : make_task_lines(kHandoffAfter + 1, 10)) {
+    expect_ok(reference, line);
+  }
+  ASSERT_EQ(reference.handle_line("checkpoint"), "ok generation=1");
+  expect_ok(reference, "tick");
+  drive(reference, kHandoffAfter + 2, kSlots);
+  const std::string want_stats = reference.handle_line("stats");
+  ASSERT_EQ(reference.handle_line("checkpoint"), "ok generation=2");
+  std::string want_blob;
+  reference.policy().save_checkpoint(want_blob);
+
+  // Old process: identical stream to the handoff point. The tasks for
+  // slot kHandoffAfter+1 are already queued and must cross the handoff
+  // inside the final generation's ingress-queue blob.
+  ServeConfig config = make_config(tmp_.path("hand"), parallel);
+  {
+    ServeController old(config);
+    drive(old, 1, kHandoffAfter);
+    for (const auto& line : make_task_lines(kHandoffAfter + 1, 10)) {
+      expect_ok(old, line);
+    }
+    ASSERT_EQ(old.handle_line("handoff"), "ok handoff generation=1");
+    EXPECT_TRUE(old.handoff_requested());
+  }  // destroyed: nothing after the final generation survives
+
+  ServeController successor(config);
+  ASSERT_TRUE(successor.resume_latest());
+  ASSERT_EQ(successor.completed_slots(), kHandoffAfter);
+  // No task dropped, none duplicated: the first tick completes the next
+  // slot with exactly the 10 tasks queued before the handoff.
+  ASSERT_EQ(successor.handle_line("tick"),
+            "ok slot=" + std::to_string(kHandoffAfter + 1) + " tasks=10");
+  drive(successor, kHandoffAfter + 2, kSlots);
+
+  // Every stats field — including ticks, protocol_errors, busy_rejects
+  // and checkpoints, which ride the serve blob — byte-identical.
+  EXPECT_EQ(successor.handle_line("stats"), want_stats);
+  std::string got_blob;
+  successor.policy().save_checkpoint(got_blob);
+  EXPECT_EQ(got_blob, want_blob) << "learner state diverged after handoff";
+
+  // And the next generation each side writes is canonically identical.
+  ASSERT_EQ(successor.handle_line("checkpoint"), "ok generation=2");
+  expect_canonically_equal_checkpoints(
+      read_checkpoint_file(
+          checkpoint_generation_path(tmp_.path("hand"), 2)),
+      read_checkpoint_file(checkpoint_generation_path(tmp_.path("ref"), 2)));
+}
+
+INSTANTIATE_TEST_SUITE_P(SerialAndParallel, ServeHandoff,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& param) {
+                           return param.param ? "ParallelScns" : "Serial";
                          });
 
 // ---------------------------------------------------------------------

@@ -297,5 +297,72 @@ TEST(ServeProcess, SigkillThenResumeLatestMatchesUninterruptedRun) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Handoff in stdin mode: `handoff` writes the final generation (pending
+// queue and service counters included) and exits 0; a successor started
+// with --resume-latest continues to a stats line that matches the
+// uninterrupted reference byte-for-byte — every field, not just the
+// state-backed subset, because the serve counters ride the checkpoint.
+// ---------------------------------------------------------------------
+
+TEST(ServeProcess, HandoffHandsFullStateToSuccessorByteExact) {
+  ScopedTempDir tmp;
+  constexpr int kSlots = 12;
+  constexpr int kHandoffAfter = 8;
+
+  // Reference: one process, `checkpoint` issued exactly where the
+  // handoff run hands off, next slot's tasks already queued.
+  ChildProc reference = spawn(
+      LFSC_SERVE_BIN, serve_args({"--checkpoint", tmp.path("ref")}), true);
+  ASSERT_GT(reference.pid, 0);
+  drive_slots(reference, 1, kHandoffAfter);
+  for (const auto& line : make_task_lines(kHandoffAfter + 1, 10)) {
+    ASSERT_EQ(request(reference, line).rfind("ok", 0), 0u);
+  }
+  ASSERT_EQ(request(reference, "checkpoint"), "ok generation=1");
+  ASSERT_EQ(request(reference, "tick"),
+            "ok slot=" + std::to_string(kHandoffAfter + 1) + " tasks=10");
+  drive_slots(reference, kHandoffAfter + 2, kSlots);
+  const std::string want_stats = request(reference, "stats");
+  ASSERT_EQ(request(reference, "shutdown"), "ok shutdown");
+  int status = 0;
+  ASSERT_TRUE(wait_exit(reference.pid, status));
+  close_pipes(reference);
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  // Old process: same stream to the handoff point; `handoff` must write
+  // the final generation and exit 0 without further commands.
+  const std::string prefix = tmp.path("ckpt");
+  ChildProc old_proc =
+      spawn(LFSC_SERVE_BIN, serve_args({"--checkpoint", prefix}), true);
+  ASSERT_GT(old_proc.pid, 0);
+  drive_slots(old_proc, 1, kHandoffAfter);
+  for (const auto& line : make_task_lines(kHandoffAfter + 1, 10)) {
+    ASSERT_EQ(request(old_proc, line).rfind("ok", 0), 0u);
+  }
+  ASSERT_EQ(request(old_proc, "handoff"), "ok handoff generation=1");
+  ASSERT_TRUE(wait_exit(old_proc.pid, status)) << "handoff did not exit";
+  close_pipes(old_proc);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  // Successor: resumes the final generation; the queued tasks crossed.
+  ChildProc successor = spawn(
+      LFSC_SERVE_BIN,
+      serve_args({"--checkpoint", prefix, "--resume-latest"}), true);
+  ASSERT_GT(successor.pid, 0);
+  EXPECT_EQ(parse_stats(request(successor, "stats")).at("slots"),
+            std::to_string(kHandoffAfter));
+  ASSERT_EQ(request(successor, "tick"),
+            "ok slot=" + std::to_string(kHandoffAfter + 1) + " tasks=10");
+  drive_slots(successor, kHandoffAfter + 2, kSlots);
+  EXPECT_EQ(request(successor, "stats"), want_stats)
+      << "post-handoff stats must be byte-identical, every field";
+  ASSERT_EQ(request(successor, "shutdown"), "ok shutdown");
+  ASSERT_TRUE(wait_exit(successor.pid, status));
+  close_pipes(successor);
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
 }  // namespace
 }  // namespace lfsc

@@ -1,0 +1,510 @@
+// Wire-level tests of the lfsc_serve Unix-socket front-end (DESIGN.md
+// §16), against the real binary over real sockets: line reassembly
+// across arbitrary write boundaries, the 64 KiB oversized-line bound,
+// per-peer chunker isolation under interleaved writes, the --max-peers
+// cap, the live-socket startup probe (never steal a served path, always
+// reclaim a stale one), slow-peer eviction at the --peer-buffer bound,
+// and the zero-downtime handoff: old process passes the listening
+// socket to a --takeover successor which continues byte-identically
+// with no task dropped or duplicated.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "telemetry/telemetry.h"
+#include "test_util.h"
+
+namespace lfsc {
+namespace {
+
+const std::vector<std::string> kServeArgs = {
+    "--scns", "6", "--capacity", "5", "--alpha", "3", "--beta", "7",
+    "--telemetry-interval", "1",
+};
+
+/// Forks lfsc_serve with stdio on /dev/null (socket mode needs neither).
+pid_t spawn_serve(const std::vector<std::string>& extra) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    const int null_fd = ::open("/dev/null", O_RDWR);
+    ::dup2(null_fd, STDIN_FILENO);
+    ::dup2(null_fd, STDOUT_FILENO);
+    ::close(null_fd);
+    std::vector<std::string> args = kServeArgs;
+    args.insert(args.end(), extra.begin(), extra.end());
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(LFSC_SERVE_BIN));
+    for (const std::string& a : args) {
+      argv.push_back(const_cast<char*>(a.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(LFSC_SERVE_BIN, argv.data());
+    std::_Exit(127);
+  }
+  return pid;
+}
+
+bool wait_exit(pid_t pid, int& status, int timeout_ms = 20000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) return true;
+    if (r < 0) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, &status, 0);
+  return false;
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) return -1;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Connect with retry: the service creates the socket after its (brief)
+/// learner construction, so the first connects may race it.
+int connect_retry(const std::string& path, int timeout_ms = 15000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const int fd = connect_unix(path);
+    if (fd >= 0) return fd;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return -1;
+}
+
+/// One protocol client over a connected socket: raw sends (so tests can
+/// split lines at arbitrary byte boundaries) plus a buffered line
+/// reader that can skip asynchronous `push` broadcasts.
+class SockClient {
+ public:
+  explicit SockClient(int fd) : fd_(fd) {}
+  ~SockClient() { close(); }
+  SockClient(const SockClient&) = delete;
+  SockClient& operator=(const SockClient&) = delete;
+
+  int fd() const { return fd_; }
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  bool send(const std::string& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Next line (terminator stripped); "<eof>" / "<timeout>" sentinels
+  /// keep assertion messages readable when the service misbehaves.
+  std::string read_line(int timeout_ms = 15000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      const auto nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) return "<timeout>";
+      pollfd pfd{fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, static_cast<int>(left.count()));
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready <= 0) return "<timeout>";
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n == 0) return "<eof>";
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return "<eof>";
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Next command response, skipping interleaved `push` broadcasts.
+  std::string next_response(int timeout_ms = 15000) {
+    for (;;) {
+      std::string line = read_line(timeout_ms);
+      if (line.rfind("push ", 0) == 0) continue;
+      return line;
+    }
+  }
+
+  std::string request(const std::string& line) {
+    if (!send(line + "\n")) return "<send-failed>";
+    return next_response();
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+std::map<std::string, std::string> parse_stats(const std::string& line) {
+  std::map<std::string, std::string> out;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      out[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+  }
+  return out;
+}
+
+/// Same deterministic per-slot stream as tests/test_serve.cpp.
+std::vector<std::string> make_task_lines(int slot, int count,
+                                         int num_scns = 6) {
+  std::mt19937 rng(static_cast<unsigned>(1000 + slot));
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<std::string> lines;
+  for (int i = 0; i < count; ++i) {
+    const int m0 = static_cast<int>(rng() % static_cast<unsigned>(num_scns));
+    const int m1 = (m0 + 1 + static_cast<int>(
+                                 rng() % static_cast<unsigned>(num_scns - 1))) %
+                   num_scns;
+    std::ostringstream os;
+    os.precision(17);
+    os << "task " << i << ' ' << 5.0 + 10.0 * unit(rng) << ' '
+       << 1.0 + 2.0 * unit(rng) << ' '
+       << (i % 3 == 0 ? "cpu" : i % 3 == 1 ? "gpu" : "cpugpu") << ' ' << m0
+       << ':' << unit(rng) << ':' << unit(rng) << ':' << 1.0 + unit(rng)
+       << ',' << m1 << ':' << unit(rng) << ':' << unit(rng) << ':'
+       << 1.0 + unit(rng);
+    lines.push_back(os.str());
+  }
+  return lines;
+}
+
+void drive_slots(SockClient& client, int from, int to) {
+  for (int t = from; t <= to; ++t) {
+    for (const auto& line : make_task_lines(t, 10)) {
+      ASSERT_EQ(client.request(line).rfind("ok", 0), 0u) << line;
+    }
+    ASSERT_EQ(client.request("tick"),
+              "ok slot=" + std::to_string(t) + " tasks=10");
+  }
+}
+
+void shutdown_and_reap(SockClient& client, pid_t pid) {
+  EXPECT_EQ(client.request("shutdown"), "ok shutdown");
+  int status = 0;
+  ASSERT_TRUE(wait_exit(pid, status));
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+// ---------------------------------------------------------------------
+// Line reassembly across arbitrary write boundaries.
+// ---------------------------------------------------------------------
+
+TEST(ServeWire, ReassemblesLinesSplitAtEveryByte) {
+  ScopedTempDir tmp;
+  const std::string sock = tmp.path("s.sock");
+  const pid_t pid = spawn_serve({"--socket", sock});
+  ASSERT_GT(pid, 0);
+  SockClient client(connect_retry(sock));
+  ASSERT_GE(client.fd(), 0);
+
+  // One byte per send(): the chunker must see the same line a
+  // well-behaved client would have written in one piece.
+  const std::string task = "task 1 10 2 cpu 0:0.5:0.5:1.5\n";
+  for (const char c : task) {
+    ASSERT_TRUE(client.send(std::string(1, c)));
+  }
+  EXPECT_EQ(client.next_response(), "ok queued=1");
+
+  // Two commands split mid-verb across three writes.
+  ASSERT_TRUE(client.send("ti"));
+  ASSERT_TRUE(client.send("ck\nsta"));
+  ASSERT_TRUE(client.send("ts\n"));
+  EXPECT_EQ(client.next_response(), "ok slot=1 tasks=1");
+  const std::string stats = client.next_response();
+  EXPECT_EQ(stats.rfind("ok instances=1 ", 0), 0u) << stats;
+  EXPECT_EQ(parse_stats(stats).at("protocol_errors"), "0");
+  shutdown_and_reap(client, pid);
+}
+
+// ---------------------------------------------------------------------
+// Oversized (> 64 KiB) lines: exactly one error, then clean recovery.
+// ---------------------------------------------------------------------
+
+TEST(ServeWire, OversizedLineYieldsExactlyOneError) {
+  ScopedTempDir tmp;
+  const std::string sock = tmp.path("s.sock");
+  const pid_t pid = spawn_serve({"--socket", sock});
+  ASSERT_GT(pid, 0);
+  SockClient client(connect_retry(sock));
+  ASSERT_GE(client.fd(), 0);
+
+  ASSERT_TRUE(client.send(std::string(70000, 'a') + "\n"));
+  EXPECT_EQ(client.next_response(), "err oversized line (max 65536 bytes)");
+  // The flood is discarded up to its terminator; the next line is clean
+  // and the counter moved exactly once.
+  EXPECT_EQ(client.request("task 1 10 2 cpu 0:0.5:0.5:1.5"), "ok queued=1");
+  const auto stats = parse_stats(client.request("stats"));
+  EXPECT_EQ(stats.at("protocol_errors"), "1");
+  shutdown_and_reap(client, pid);
+}
+
+// ---------------------------------------------------------------------
+// Interleaved multi-peer writes: chunkers are per-peer, responses go to
+// the right socket, and one malformed line = one error.
+// ---------------------------------------------------------------------
+
+TEST(ServeWire, InterleavedPeersKeepIndependentChunkers) {
+  ScopedTempDir tmp;
+  const std::string sock = tmp.path("s.sock");
+  const pid_t pid = spawn_serve({"--socket", sock});
+  ASSERT_GT(pid, 0);
+  SockClient a(connect_retry(sock));
+  SockClient b(connect_retry(sock));
+  ASSERT_GE(a.fd(), 0);
+  ASSERT_GE(b.fd(), 0);
+
+  // A parks half a task line; B's complete traffic must be unaffected.
+  const std::string task = "task 1 10 2 cpu 0:0.5:0.5:1.5";
+  ASSERT_TRUE(a.send(task.substr(0, 17)));
+  EXPECT_EQ(b.request("task 2 11 2 gpu 1:0.6:0.6:1.2"), "ok queued=1");
+  EXPECT_EQ(b.request("bogus").rfind("err ", 0), 0u);
+  ASSERT_TRUE(a.send(task.substr(17) + "\n"));
+  EXPECT_EQ(a.next_response(), "ok queued=2");
+  EXPECT_EQ(b.request("tick"), "ok slot=1 tasks=2");
+  const auto stats = parse_stats(a.request("stats"));
+  EXPECT_EQ(stats.at("protocol_errors"), "1")
+      << "exactly one err per malformed line";
+  shutdown_and_reap(b, pid);
+}
+
+// ---------------------------------------------------------------------
+// --max-peers: the N+1th client is told `err busy` and disconnected.
+// ---------------------------------------------------------------------
+
+TEST(ServeWire, MaxPeersCapSheds) {
+  ScopedTempDir tmp;
+  const std::string sock = tmp.path("s.sock");
+  const pid_t pid = spawn_serve({"--socket", sock, "--max-peers", "1"});
+  ASSERT_GT(pid, 0);
+  SockClient first(connect_retry(sock));
+  ASSERT_GE(first.fd(), 0);
+  ASSERT_EQ(first.request("stats").rfind("ok ", 0), 0u);  // accepted
+
+  SockClient second(connect_unix(sock));
+  ASSERT_GE(second.fd(), 0);  // connect lands in the backlog regardless
+  EXPECT_EQ(second.next_response(), "err busy");
+  EXPECT_EQ(second.read_line(), "<eof>");
+  // The accepted peer is unaffected.
+  EXPECT_EQ(first.request("tick"), "ok slot=1 tasks=0");
+  shutdown_and_reap(first, pid);
+}
+
+// ---------------------------------------------------------------------
+// Startup probe: never unlink a live service's socket; do reclaim a
+// stale one left by a dead process.
+// ---------------------------------------------------------------------
+
+TEST(ServeWire, RefusesToStealALiveSocket) {
+  ScopedTempDir tmp;
+  const std::string sock = tmp.path("s.sock");
+  const pid_t pid = spawn_serve({"--socket", sock});
+  ASSERT_GT(pid, 0);
+  SockClient client(connect_retry(sock));
+  ASSERT_GE(client.fd(), 0);
+
+  const pid_t thief = spawn_serve({"--socket", sock});
+  ASSERT_GT(thief, 0);
+  int status = 0;
+  ASSERT_TRUE(wait_exit(thief, status)) << "second service must exit, fast";
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 2)
+      << "starting on a live socket must fail with exit 2";
+  // And it must not have unlinked the path out from under the owner.
+  EXPECT_EQ(client.request("tick"), "ok slot=1 tasks=0");
+  shutdown_and_reap(client, pid);
+}
+
+TEST(ServeWire, ReclaimsStaleSocketOfADeadProcess) {
+  ScopedTempDir tmp;
+  const std::string sock = tmp.path("s.sock");
+  const pid_t victim = spawn_serve({"--socket", sock});
+  ASSERT_GT(victim, 0);
+  {
+    SockClient probe(connect_retry(sock));
+    ASSERT_GE(probe.fd(), 0);
+  }
+  ASSERT_EQ(::kill(victim, SIGKILL), 0);  // dies without unlinking
+  int status = 0;
+  ASSERT_TRUE(wait_exit(victim, status));
+
+  const pid_t heir = spawn_serve({"--socket", sock});
+  ASSERT_GT(heir, 0);
+  SockClient client(connect_retry(sock));
+  ASSERT_GE(client.fd(), 0) << "stale socket file was not reclaimed";
+  EXPECT_EQ(client.request("tick"), "ok slot=1 tasks=0");
+  shutdown_and_reap(client, heir);
+}
+
+// ---------------------------------------------------------------------
+// Slow-peer eviction: a client that stops reading is cut at the
+// --peer-buffer bound while the service keeps ticking.
+// ---------------------------------------------------------------------
+
+TEST(ServeWire, SlowPeerIsEvictedAtItsBufferBound) {
+  ScopedTempDir tmp;
+  const std::string sock = tmp.path("s.sock");
+  const pid_t pid =
+      spawn_serve({"--socket", sock, "--peer-buffer", "4096"});
+  ASSERT_GT(pid, 0);
+  SockClient driver(connect_retry(sock));
+  SockClient slow(connect_retry(sock));
+  ASSERT_GE(driver.fd(), 0);
+  ASSERT_GE(slow.fd(), 0);
+  ASSERT_EQ(driver.request("reconfig telemetry_push=1"),
+            "ok reconfig telemetry_push=1");
+
+  // Every tick pushes a telemetry line to both peers. The slow peer
+  // never reads: once the kernel buffer stops absorbing, its output
+  // buffer grows to the bound and it must be evicted — detected by a
+  // write probe hitting the closed socket (EPIPE/ECONNRESET).
+  bool evicted = false;
+  for (int t = 1; t <= 4000 && !evicted; ++t) {
+    ASSERT_EQ(driver.request("tick").rfind("ok slot=", 0), 0u);
+    if (t % 8 != 0) continue;
+    const ssize_t n = ::send(slow.fd(), "x", 1, MSG_NOSIGNAL);
+    evicted = n < 0 && (errno == EPIPE || errno == ECONNRESET);
+  }
+  EXPECT_TRUE(evicted) << "slow peer never evicted within its bound";
+  // The tick path never blocked on the stalled peer.
+  const std::string stats = driver.request("stats");
+  ASSERT_EQ(stats.rfind("ok ", 0), 0u);
+  if (telemetry::kEnabled) {
+    const std::string json = driver.request("telemetry");
+    const auto name = json.find("serve.peer.evicted_slow");
+    ASSERT_NE(name, std::string::npos) << json;
+    const auto value = json.find("\"value\": ", name);
+    ASSERT_NE(value, std::string::npos);
+    EXPECT_GE(std::stol(json.substr(value + 9)), 1);
+  }
+  shutdown_and_reap(driver, pid);
+}
+
+// ---------------------------------------------------------------------
+// The tentpole end to end: handoff passes the listening socket to a
+// --takeover successor; the queued tasks cross intact and the
+// post-handoff run is byte-identical to an uninterrupted reference.
+// ---------------------------------------------------------------------
+
+TEST(ServeWire, HandoffToTakeoverSuccessorIsLossless) {
+  ScopedTempDir tmp;
+  constexpr int kSlots = 12;
+  constexpr int kHandoffAfter = 8;
+
+  // Reference: one process, same stream, `checkpoint` where the handoff
+  // run hands off (tasks for the next slot already queued).
+  const std::string ref_sock = tmp.path("ref.sock");
+  const pid_t ref_pid = spawn_serve(
+      {"--socket", ref_sock, "--checkpoint", tmp.path("ref")});
+  ASSERT_GT(ref_pid, 0);
+  std::string want_stats;
+  {
+    SockClient client(connect_retry(ref_sock));
+    ASSERT_GE(client.fd(), 0);
+    drive_slots(client, 1, kHandoffAfter);
+    for (const auto& line : make_task_lines(kHandoffAfter + 1, 10)) {
+      ASSERT_EQ(client.request(line).rfind("ok", 0), 0u);
+    }
+    ASSERT_EQ(client.request("checkpoint"), "ok generation=1");
+    ASSERT_EQ(client.request("tick"),
+              "ok slot=" + std::to_string(kHandoffAfter + 1) + " tasks=10");
+    drive_slots(client, kHandoffAfter + 2, kSlots);
+    want_stats = client.request("stats");
+    ASSERT_EQ(want_stats.rfind("ok ", 0), 0u);
+    shutdown_and_reap(client, ref_pid);
+  }
+
+  // Old process: identical stream to the handoff point, next slot's
+  // tasks queued, then `handoff`.
+  const std::string sock = tmp.path("live.sock");
+  const std::string prefix = tmp.path("hand");
+  const pid_t old_pid =
+      spawn_serve({"--socket", sock, "--checkpoint", prefix});
+  ASSERT_GT(old_pid, 0);
+  SockClient old_client(connect_retry(sock));
+  ASSERT_GE(old_client.fd(), 0);
+  drive_slots(old_client, 1, kHandoffAfter);
+  for (const auto& line : make_task_lines(kHandoffAfter + 1, 10)) {
+    ASSERT_EQ(old_client.request(line).rfind("ok", 0), 0u);
+  }
+  ASSERT_EQ(old_client.request("handoff"), "ok handoff generation=1");
+
+  // Successor: --takeover receives the listening socket over
+  // <socket>.handoff and resumes the final generation; the predecessor
+  // must then exit 0 on its own.
+  const pid_t new_pid = spawn_serve(
+      {"--socket", sock, "--checkpoint", prefix, "--takeover"});
+  ASSERT_GT(new_pid, 0);
+  int status = 0;
+  ASSERT_TRUE(wait_exit(old_pid, status)) << "predecessor did not exit";
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  old_client.close();
+
+  // Same path, new process, nothing lost: the first tick completes the
+  // next slot with exactly the tasks queued before the handoff.
+  SockClient client(connect_retry(sock));
+  ASSERT_GE(client.fd(), 0);
+  const auto resumed = parse_stats(client.request("stats"));
+  EXPECT_EQ(resumed.at("slots"), std::to_string(kHandoffAfter));
+  ASSERT_EQ(client.request("tick"),
+            "ok slot=" + std::to_string(kHandoffAfter + 1) + " tasks=10");
+  drive_slots(client, kHandoffAfter + 2, kSlots);
+
+  // The whole stats line — service counters included — byte-identical
+  // to the run that never changed processes.
+  EXPECT_EQ(client.request("stats"), want_stats);
+  shutdown_and_reap(client, new_pid);
+}
+
+}  // namespace
+}  // namespace lfsc

@@ -1,32 +1,47 @@
-// lfsc_serve — the resident MBS controller (DESIGN.md §14): the batch
-// framework's learner, checkpoints and overload machinery composed into
-// a long-running service that ingests tasks over a line protocol,
+// lfsc_serve — the resident MBS controller (DESIGN.md §14, §16): the
+// batch framework's learner, checkpoints and overload machinery composed
+// into a long-running service that ingests tasks over a line protocol,
 // ticks slots on command or on a wall-clock timer, reconfigures live,
-// and survives kill -9 via supervised generation-checkpoint recovery.
+// survives kill -9 via supervised generation-checkpoint recovery, and
+// replaces itself with zero downtime via `handoff` + `--takeover`.
 //
 // Examples:
 //   lfsc_serve --checkpoint /var/lib/lfsc/ckpt --checkpoint-every 100
 //   lfsc_serve --resume-latest --checkpoint /var/lib/lfsc/ckpt
 //   lfsc_serve --tick-ms 50 --slot-budget-us 200 --admission-queue 2400
-//   lfsc_serve --socket /run/lfsc.sock --instances 4
+//   lfsc_serve --socket /run/lfsc.sock --instances 4 --max-peers 128
+//   lfsc_serve --takeover --socket /run/lfsc.sock --checkpoint ckpt
 //
 // Protocol (one line in, one line out — grammar in src/serve/protocol.h):
 //   task <wd> <in_mbit> <out_mbit> <cpu|gpu|cpugpu> <m>:<u>:<v>:<q>[,...]
-//   tick | reconfig k=v ... | checkpoint | stats | drain | shutdown
+//   tick | reconfig k=v ... | checkpoint | stats | telemetry | handoff |
+//   drain | shutdown
 //
 // SIGTERM/SIGINT drain gracefully: finish the in-flight slot, write a
-// final checkpoint generation, exit 0.
+// final checkpoint generation, exit 0. SIGUSR2 triggers the same handoff
+// as the `handoff` command: final checkpoint, pass the listening socket
+// to a `--takeover` successor over `<socket>.handoff` via SCM_RIGHTS
+// (fallback: release and let the successor rebind), exit 0.
+//
+// Socket hardening: peers are authenticated by SO_PEERCRED uid (own
+// euid + root, extended by --allow-uids), capped by --max-peers, and
+// served through per-peer bounded output buffers — a peer that stops
+// reading is evicted at --peer-buffer bytes instead of ever blocking
+// the slot tick.
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -39,19 +54,32 @@
 namespace {
 
 using namespace lfsc;
+using Clock = std::chrono::steady_clock;
 
 volatile std::sig_atomic_t g_drain = 0;
+volatile std::sig_atomic_t g_handoff = 0;
 
 extern "C" void handle_stop_signal(int) { g_drain = 1; }
+extern "C" void handle_handoff_signal(int) { g_handoff = 1; }
 
-/// One connected peer (stdin or an accepted socket client): its fd pair
-/// and the line assembler that keeps partial commands across reads.
+/// One connected peer (stdin or an accepted socket client): its fd pair,
+/// the line assembler that keeps partial commands across reads, and the
+/// bounded output buffer that absorbs partial writes.
 struct Peer {
   int in_fd = -1;
   int out_fd = -1;
   serve::LineChunker chunker;
+  std::string outbuf;        ///< bytes owed to the peer
+  std::size_t out_off = 0;   ///< already-written prefix of outbuf
 };
 
+bool set_nonblock(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Blocking best-effort write (stdin-mode stdout, handoff acks). The
+/// serve loop's socket peers go through Peer::outbuf instead.
 bool write_all(int fd, const std::string& text) {
   std::size_t off = 0;
   while (off < text.size()) {
@@ -65,24 +93,140 @@ bool write_all(int fd, const std::string& text) {
   return true;
 }
 
-int listen_unix(const std::string& path) {
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
-  sockaddr_un addr{};
+bool fill_unix_addr(const std::string& path, sockaddr_un& addr) {
+  addr = sockaddr_un{};
   addr.sun_family = AF_UNIX;
   if (path.size() >= sizeof addr.sun_path) {
-    ::close(fd);
     errno = ENAMETOOLONG;
-    return -1;
+    return false;
   }
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  ::unlink(path.c_str());  // stale socket from a previous run
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
-      ::listen(fd, 8) < 0) {
+  return true;
+}
+
+/// Blocking connect to a Unix socket path; returns the fd or -1.
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  if (!fill_unix_addr(path, addr)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const int saved = errno;
     ::close(fd);
+    errno = saved;
     return -1;
   }
   return fd;
+}
+
+enum class ListenStatus { kOk, kLive, kError };
+
+/// Binds and listens on `path`. A stale socket file (previous process
+/// died without cleanup) is detected by connect-probing first: a live
+/// peer answering means another service owns the path, and we must
+/// refuse to start rather than ::unlink its socket out from under it.
+ListenStatus listen_unix(const std::string& path, int backlog, int& fd_out,
+                         std::string& detail) {
+  sockaddr_un addr{};
+  if (!fill_unix_addr(path, addr)) {
+    detail = std::strerror(errno);
+    return ListenStatus::kError;
+  }
+  const int probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (probe >= 0) {
+    if (::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0) {
+      ::close(probe);
+      detail = "a live service is already listening on " + path;
+      return ListenStatus::kLive;
+    }
+    const int err = errno;
+    ::close(probe);
+    if (err == ECONNREFUSED) {
+      ::unlink(path.c_str());  // stale socket of a dead process
+    } else if (err != ENOENT) {
+      detail = std::string("probing ") + path + ": " + std::strerror(err);
+      return ListenStatus::kError;
+    }
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    detail = std::strerror(errno);
+    return ListenStatus::kError;
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, backlog) < 0 || !set_nonblock(fd)) {
+    detail = std::strerror(errno);
+    ::close(fd);
+    return ListenStatus::kError;
+  }
+  fd_out = fd;
+  return ListenStatus::kOk;
+}
+
+/// Sends `payload` plus one fd over a Unix socket (SCM_RIGHTS).
+bool send_fd(int via, const std::string& payload, int fd) {
+  iovec iov{};
+  iov.iov_base = const_cast<char*>(payload.data());
+  iov.iov_len = payload.size();
+  alignas(cmsghdr) char ctrl[CMSG_SPACE(sizeof(int))] = {};
+  msghdr msg{};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = ctrl;
+  msg.msg_controllen = sizeof ctrl;
+  cmsghdr* cm = CMSG_FIRSTHDR(&msg);
+  cm->cmsg_level = SOL_SOCKET;
+  cm->cmsg_type = SCM_RIGHTS;
+  cm->cmsg_len = CMSG_LEN(sizeof(int));
+  std::memcpy(CMSG_DATA(cm), &fd, sizeof(int));
+  for (;;) {
+    const ssize_t n = ::sendmsg(via, &msg, 0);
+    if (n < 0 && errno == EINTR) continue;
+    return n == static_cast<ssize_t>(payload.size());
+  }
+}
+
+/// Receives one message with an attached fd. Returns the fd (or -1) and
+/// fills `payload` with the message bytes.
+int recv_fd(int via, std::string& payload) {
+  char buf[256];
+  iovec iov{};
+  iov.iov_base = buf;
+  iov.iov_len = sizeof buf;
+  alignas(cmsghdr) char ctrl[CMSG_SPACE(sizeof(int))] = {};
+  msghdr msg{};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = ctrl;
+  msg.msg_controllen = sizeof ctrl;
+  ssize_t n = 0;
+  for (;;) {
+    n = ::recvmsg(via, &msg, 0);
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+  if (n <= 0) return -1;
+  payload.assign(buf, static_cast<std::size_t>(n));
+  int fd = -1;
+  for (cmsghdr* cm = CMSG_FIRSTHDR(&msg); cm != nullptr;
+       cm = CMSG_NXTHDR(&msg, cm)) {
+    if (cm->cmsg_level == SOL_SOCKET && cm->cmsg_type == SCM_RIGHTS &&
+        cm->cmsg_len >= CMSG_LEN(sizeof(int))) {
+      std::memcpy(&fd, CMSG_DATA(cm), sizeof(int));
+    }
+  }
+  return fd;
+}
+
+bool wait_readable(int fd, int timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  for (;;) {
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0 && errno == EINTR) continue;
+    return ready > 0 && (pfd.revents & (POLLIN | POLLHUP)) != 0;
+  }
 }
 
 }  // namespace
@@ -120,6 +264,10 @@ int main(int argc, char** argv) {
       "admission-capacity", 1.0, "admission drain rate, multiple of c*M");
   const int* admission_seed = parser.add_int(
       "admission-seed", 0xADC0, "seed of the deterministic shed ordering");
+  const int* max_pending = parser.add_int(
+      "max-pending", 0,
+      "ingress bound: shed `task` lines with `err busy` once an instance "
+      "holds this many queued tasks (0 = unbounded)");
   const int* telemetry_interval = parser.add_int(
       "telemetry-interval", 100, "slots between telemetry samples");
   const std::string* checkpoint_prefix = parser.add_string(
@@ -139,6 +287,28 @@ int main(int argc, char** argv) {
       "wall-clock slot period in ms (0 = slots advance only on `tick`)");
   const std::string* socket_path = parser.add_string(
       "socket", "", "serve a Unix domain socket instead of stdin/stdout");
+  const int* listen_backlog = parser.add_int(
+      "listen-backlog", 64, "pending-connection backlog of the Unix socket");
+  const int* max_peers = parser.add_int(
+      "max-peers", 64,
+      "connected-client cap; further connects get `err busy` and close");
+  const int* peer_buffer = parser.add_int(
+      "peer-buffer", 1 << 20,
+      "per-peer output buffer bound in bytes; a client that stops reading "
+      "is evicted at this bound instead of blocking the service");
+  const std::string* allow_uids_flag = parser.add_string(
+      "allow-uids", "",
+      "comma-separated uids allowed to connect besides root and our own "
+      "euid (SO_PEERCRED check)");
+  const bool* takeover = parser.add_bool(
+      "takeover", false,
+      "succeed a handing-off predecessor: receive the listening socket "
+      "over <socket>.handoff (SCM_RIGHTS), resume from its final "
+      "checkpoint, and serve without dropping a queued task");
+  const int* handoff_timeout_ms = parser.add_int(
+      "handoff-timeout-ms", 10000,
+      "how long a handoff waits for its successor (and a takeover for "
+      "its predecessor) before falling back to release-and-rebind");
   const bool* force_scalar = parser.add_bool(
       "force-scalar", false, "disable the SIMD kernel dispatch");
 
@@ -173,13 +343,42 @@ int main(int argc, char** argv) {
   if (*admission_capacity <= 0.0) {
     return fail("--admission-capacity must be > 0");
   }
+  if (*max_pending < 0) return fail("--max-pending must be >= 0");
   if (*telemetry_interval < 0) return fail("--telemetry-interval must be >= 0");
   if (*checkpoint_every < 0) return fail("--checkpoint-every must be >= 0");
   if (*checkpoint_keep < 1) return fail("--checkpoint-keep must be >= 1");
   if (*instances < 1) return fail("--instances must be >= 1");
   if (*tick_ms < 0) return fail("--tick-ms must be >= 0");
+  if (*listen_backlog < 1 || *listen_backlog > 4096) {
+    return fail("--listen-backlog must be in [1, 4096]");
+  }
+  if (*max_peers < 1) return fail("--max-peers must be >= 1");
+  if (*peer_buffer < 4096) return fail("--peer-buffer must be >= 4096");
+  if (*handoff_timeout_ms < 1) return fail("--handoff-timeout-ms must be >= 1");
   if ((*checkpoint_every > 0 || *resume_latest) && checkpoint_prefix->empty()) {
     return fail("--checkpoint-every/--resume-latest require --checkpoint");
+  }
+  if (*takeover && (socket_path->empty() || checkpoint_prefix->empty())) {
+    return fail("--takeover requires --socket and --checkpoint");
+  }
+  std::vector<unsigned long> allow_uids;
+  if (!allow_uids_flag->empty()) {
+    std::size_t start = 0;
+    const std::string& spec = *allow_uids_flag;
+    while (start <= spec.size()) {
+      const std::size_t comma = spec.find(',', start);
+      const std::string token = spec.substr(
+          start, comma == std::string::npos ? std::string::npos
+                                            : comma - start);
+      if (token.empty() ||
+          token.find_first_not_of("0123456789") != std::string::npos) {
+        return fail("--allow-uids must be a comma-separated list of numeric "
+                    "uids, got '" + token + "'");
+      }
+      allow_uids.push_back(std::strtoul(token.c_str(), nullptr, 10));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
   }
   if (*force_scalar) simd::set_force_scalar(true);
 
@@ -203,6 +402,7 @@ int main(int argc, char** argv) {
   config.admission.max_queue = *admission_queue;
   config.admission.capacity_factor = *admission_capacity;
   config.admission.seed = static_cast<std::uint64_t>(*admission_seed);
+  config.max_pending = *max_pending;
   config.telemetry_interval = *telemetry_interval;
   config.checkpoint_prefix = *checkpoint_prefix;
   config.checkpoint_every = *checkpoint_every;
@@ -211,7 +411,9 @@ int main(int argc, char** argv) {
   std::unique_ptr<serve::ServeController> controller;
   try {
     controller = std::make_unique<serve::ServeController>(config);
-    if (*resume_latest && !controller->resume_latest()) {
+    // --takeover resumes below, after the predecessor's final checkpoint
+    // is guaranteed on disk (i.e. once its handoff listener answers).
+    if (*resume_latest && !*takeover && !controller->resume_latest()) {
       std::cerr << "lfsc_serve: no recoverable checkpoint; starting cold\n";
     }
   } catch (const std::exception& e) {
@@ -220,33 +422,177 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGUSR2, handle_handoff_signal);
   std::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill us
+
+  telemetry::Registry& serve_metrics = controller->serve_telemetry();
+  telemetry::Counter& peers_accepted =
+      serve_metrics.counter("serve.peer.accepted", "peers");
+  telemetry::Counter& peers_rejected_cap =
+      serve_metrics.counter("serve.peer.rejected_cap", "peers");
+  telemetry::Counter& peers_rejected_uid =
+      serve_metrics.counter("serve.peer.rejected_uid", "peers");
+  telemetry::Counter& peers_evicted_slow =
+      serve_metrics.counter("serve.peer.evicted_slow", "peers");
+  telemetry::Counter& peers_disconnected =
+      serve_metrics.counter("serve.peer.disconnects", "peers");
 
   int listen_fd = -1;
   std::vector<Peer> peers;
-  if (socket_path->empty()) {
-    peers.push_back({STDIN_FILENO, STDOUT_FILENO, serve::LineChunker()});
-  } else {
-    listen_fd = listen_unix(*socket_path);
+
+  if (*takeover) {
+    // Phase 1: ask the predecessor for the listening socket. Its handoff
+    // listener appears only after the final checkpoint generation is on
+    // disk, so connecting implies the state we resume is complete.
+    const std::string handoff_path = *socket_path + ".handoff";
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(*handoff_timeout_ms);
+    while (Clock::now() < deadline) {
+      const int conn = connect_unix(handoff_path);
+      if (conn >= 0) {
+        std::string header;
+        const int fd = recv_fd(conn, header);
+        if (fd >= 0 && header.rfind("lfsc-handoff/1", 0) == 0) {
+          if (!controller->resume_latest()) {
+            std::cerr << "lfsc_serve: takeover: no recoverable checkpoint; "
+                         "starting cold\n";
+          }
+          // Ack only now: it tells the predecessor we own both the
+          // socket and the state, so it may exit.
+          write_all(conn, "ok\n");
+          set_nonblock(fd);
+          listen_fd = fd;
+          while (!header.empty() &&
+                 (header.back() == '\n' || header.back() == '\r')) {
+            header.pop_back();
+          }
+          std::cerr << "lfsc_serve: takeover: received " << *socket_path
+                    << " from predecessor (" << header << ")\n";
+        } else if (fd >= 0) {
+          ::close(fd);
+        }
+        ::close(conn);
+        if (listen_fd >= 0) break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
     if (listen_fd < 0) {
-      return fail("cannot listen on " + *socket_path + ": " +
-                  std::strerror(errno));
+      // Phase 2 (fallback): the predecessor released the path (or died
+      // after checkpointing). Resume from its newest generation and
+      // rebind; retry while the old socket still answers the probe.
+      std::cerr << "lfsc_serve: takeover: no fd handoff on " << handoff_path
+                << "; falling back to rebind\n";
+      if (!controller->resume_latest()) {
+        std::cerr << "lfsc_serve: takeover: no recoverable checkpoint; "
+                     "starting cold\n";
+      }
+      const auto rebind_deadline =
+          Clock::now() + std::chrono::milliseconds(*handoff_timeout_ms);
+      for (;;) {
+        std::string detail;
+        const ListenStatus status =
+            listen_unix(*socket_path, *listen_backlog, listen_fd, detail);
+        if (status == ListenStatus::kOk) break;
+        if (status == ListenStatus::kError ||
+            Clock::now() >= rebind_deadline) {
+          return fail("takeover: cannot listen on " + *socket_path + ": " +
+                      detail);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    }
+    std::cerr << "lfsc_serve: listening on " << *socket_path << "\n";
+  } else if (socket_path->empty()) {
+    peers.push_back({STDIN_FILENO, STDOUT_FILENO, serve::LineChunker(), {}, 0});
+  } else {
+    std::string detail;
+    const ListenStatus status =
+        listen_unix(*socket_path, *listen_backlog, listen_fd, detail);
+    if (status != ListenStatus::kOk) {
+      return fail("cannot listen on " + *socket_path + ": " + detail);
     }
     std::cerr << "lfsc_serve: listening on " << *socket_path << "\n";
   }
 
-  using Clock = std::chrono::steady_clock;
+  const auto uid_allowed = [&](uid_t uid) {
+    if (uid == 0 || uid == ::geteuid()) return true;
+    return std::find(allow_uids.begin(), allow_uids.end(),
+                     static_cast<unsigned long>(uid)) != allow_uids.end();
+  };
+
+  const auto close_peer = [](Peer& peer) {
+    if (peer.in_fd >= 0 && peer.in_fd != STDIN_FILENO) ::close(peer.in_fd);
+    if (peer.out_fd >= 0 && peer.out_fd != peer.in_fd &&
+        peer.out_fd != STDOUT_FILENO) {
+      ::close(peer.out_fd);
+    }
+    peer.in_fd = -1;
+    peer.out_fd = -1;
+  };
+
+  /// Writes as much pending output as the peer accepts right now.
+  /// EAGAIN leaves the rest for the next POLLOUT; a hard error reports
+  /// the peer dead (false).
+  const auto flush_peer = [](Peer& peer) -> bool {
+    while (peer.out_off < peer.outbuf.size()) {
+      const ssize_t n = ::write(peer.out_fd, peer.outbuf.data() + peer.out_off,
+                                peer.outbuf.size() - peer.out_off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+        return false;
+      }
+      peer.out_off += static_cast<std::size_t>(n);
+    }
+    peer.outbuf.clear();
+    peer.out_off = 0;
+    return true;
+  };
+
+  const std::size_t peer_buffer_bound = static_cast<std::size_t>(*peer_buffer);
+  const auto queue_line = [&](Peer& peer, const std::string& text) {
+    if (peer.in_fd < 0) return;
+    if (peer.outbuf.size() - peer.out_off + text.size() + 1 >
+        peer_buffer_bound) {
+      // A peer that stopped reading: evicting it at the bound keeps the
+      // slot tick unblocked and the buffer memory bounded.
+      peers_evicted_slow.add(1);
+      close_peer(peer);
+      return;
+    }
+    peer.outbuf.append(text);
+    peer.outbuf.push_back('\n');
+    if (!flush_peer(peer)) {
+      peers_disconnected.add(1);
+      close_peer(peer);
+    }
+  };
+
+  const auto drain_pushes = [&]() {
+    while (auto push = controller->take_push()) {
+      for (Peer& peer : peers) queue_line(peer, "push " + *push);
+    }
+  };
+
+  using std::chrono::milliseconds;
   const bool timed = *tick_ms > 0;
-  const auto period = std::chrono::milliseconds(*tick_ms);
+  const auto period = milliseconds(*tick_ms);
   auto next_due = Clock::now() + period;
 
   // One line of protocol at a time, interleaved with timer ticks. The
-  // drain signal is honored between commands/slots — never mid-slot —
-  // so the in-flight slot always completes before the final checkpoint.
+  // drain/handoff signals are honored between commands/slots — never
+  // mid-slot — so the in-flight slot always completes before the final
+  // checkpoint.
   bool stop = false;
   int exit_code = 0;
   std::string io_buffer(1 << 16, '\0');
   while (!stop) {
+    if (g_handoff != 0) {
+      g_handoff = 0;
+      const std::string response = controller->handle_line("handoff");
+      std::cerr << "lfsc_serve: SIGUSR2 handoff: " << response << "\n";
+    }
+    if (controller->handoff_requested()) break;
     if (g_drain != 0) {
       try {
         controller->drain();
@@ -266,26 +612,34 @@ int main(int argc, char** argv) {
       if (now >= next_due) {
         // Count whole periods the tick grid fell behind; skipped slots
         // are not made up (the grid slides), only accounted.
-        const auto late = std::chrono::duration_cast<std::chrono::milliseconds>(
-            now - next_due);
+        const auto late =
+            std::chrono::duration_cast<milliseconds>(now - next_due);
         const std::uint64_t missed =
             static_cast<std::uint64_t>(late.count()) /
             static_cast<std::uint64_t>(period.count());
         if (missed > 0) controller->note_deadline_miss(missed);
         controller->tick();
+        drain_pushes();
         next_due += period * (1 + missed);
         continue;
       }
       timeout = static_cast<int>(
-                    std::chrono::duration_cast<std::chrono::milliseconds>(
-                        next_due - now)
+                    std::chrono::duration_cast<milliseconds>(next_due - now)
                         .count()) +
                 1;
     }
 
     std::vector<pollfd> fds;
     if (listen_fd >= 0) fds.push_back({listen_fd, POLLIN, 0});
-    for (const Peer& peer : peers) fds.push_back({peer.in_fd, POLLIN, 0});
+    for (const Peer& peer : peers) {
+      // poll ignores negative fds, so dead peers keep their slot and the
+      // index math stays aligned. A peer that owes output is polled for
+      // writability only: not reading its next command while we still
+      // owe it bytes is the backpressure that bounds both buffers.
+      const short events =
+          peer.outbuf.size() > peer.out_off ? POLLOUT : POLLIN;
+      fds.push_back({peer.in_fd, events, 0});
+    }
     const int ready = ::poll(fds.data(), fds.size(), timeout);
     if (ready < 0) {
       if (errno == EINTR) continue;  // signal: loop re-checks g_drain
@@ -298,9 +652,38 @@ int main(int argc, char** argv) {
     std::size_t fd_index = 0;
     if (listen_fd >= 0) {
       if ((fds[0].revents & POLLIN) != 0) {
-        const int client = ::accept(listen_fd, nullptr, nullptr);
-        if (client >= 0) {
-          peers.push_back({client, client, serve::LineChunker()});
+        // Drain the whole accept backlog: one wakeup may announce many
+        // queued connections.
+        for (;;) {
+          const int client = ::accept4(listen_fd, nullptr, nullptr,
+                                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (client < 0) {
+            if (errno == EINTR) continue;
+            break;  // EAGAIN: backlog drained
+          }
+          const std::size_t live = static_cast<std::size_t>(std::count_if(
+              peers.begin(), peers.end(),
+              [](const Peer& peer) { return peer.in_fd >= 0; }));
+          if (live >= static_cast<std::size_t>(*max_peers)) {
+            const char busy[] = "err busy\n";
+            (void)!::write(client, busy, sizeof busy - 1);  // best effort
+            ::close(client);
+            peers_rejected_cap.add(1);
+            continue;
+          }
+          ucred cred{};
+          socklen_t cred_len = sizeof cred;
+          if (::getsockopt(client, SOL_SOCKET, SO_PEERCRED, &cred,
+                           &cred_len) != 0 ||
+              !uid_allowed(cred.uid)) {
+            const char denied[] = "err unauthorized\n";
+            (void)!::write(client, denied, sizeof denied - 1);
+            ::close(client);
+            peers_rejected_uid.add(1);
+            continue;
+          }
+          peers.push_back({client, client, serve::LineChunker(), {}, 0});
+          peers_accepted.add(1);
         }
       }
       fd_index = 1;
@@ -309,6 +692,14 @@ int main(int argc, char** argv) {
     for (std::size_t p = 0; p < peers.size() && fd_index + p < fds.size();
          ++p) {
       const short revents = fds[fd_index + p].revents;
+      if (peers[p].in_fd < 0 || revents == 0) continue;
+      if ((revents & POLLOUT) != 0) {
+        if (!flush_peer(peers[p])) {
+          peers_disconnected.add(1);
+          close_peer(peers[p]);
+        }
+        continue;  // resume reading on the next wakeup once caught up
+      }
       if ((revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
       const ssize_t n =
           ::read(peers[p].in_fd, io_buffer.data(), io_buffer.size());
@@ -316,17 +707,20 @@ int main(int argc, char** argv) {
         peers[p].chunker.feed(
             std::string_view(io_buffer.data(), static_cast<std::size_t>(n)));
         while (auto line = peers[p].chunker.next()) {
-          std::string response =
+          const std::string response =
               line->oversized
                   ? controller->note_oversized_line(
                         serve::LineChunker::kDefaultMaxLine)
                   : controller->handle_line(line->text);
-          response.push_back('\n');
-          if (!write_all(peers[p].out_fd, response)) {
-            peers[p].in_fd = -1;  // client gone; reaped below
+          queue_line(peers[p], response);
+          drain_pushes();
+          if (controller->shutdown_requested()) {
+            stop = true;
             break;
           }
-          if (controller->shutdown_requested()) {
+          if (controller->handoff_requested()) {
+            // Stop here: anything a client pipelined after `handoff` on
+            // this connection belongs to the successor.
             stop = true;
             break;
           }
@@ -336,16 +730,18 @@ int main(int argc, char** argv) {
             stop = true;
             break;
           }
+          if (peers[p].in_fd < 0) break;  // evicted mid-batch
         }
         if (stop) break;
-      } else if (n == 0 || (n < 0 && errno != EINTR)) {
+      } else if (n == 0 || (n < 0 && errno != EINTR && errno != EAGAIN &&
+                            errno != EWOULDBLOCK)) {
         if (peers[p].in_fd == STDIN_FILENO) {
           // stdin closed: the driving process is gone. Drain like a
           // SIGTERM so nothing is lost.
           g_drain = 1;
         } else {
-          ::close(peers[p].in_fd);
-          peers[p].in_fd = -1;
+          peers_disconnected.add(1);
+          close_peer(peers[p]);
         }
       }
     }
@@ -356,12 +752,89 @@ int main(int argc, char** argv) {
     if (listen_fd < 0 && peers.empty()) break;  // stdin mode, stdin gone
   }
 
+  // Best-effort flush of everything still owed (the `ok handoff ...` /
+  // final responses), within a short window so a stalled peer cannot
+  // hold the process.
+  {
+    const auto flush_deadline = Clock::now() + milliseconds(2000);
+    for (;;) {
+      std::vector<pollfd> fds;
+      for (const Peer& peer : peers) {
+        fds.push_back({peer.outbuf.size() > peer.out_off ? peer.out_fd : -1,
+                       POLLOUT, 0});
+      }
+      bool pending = false;
+      for (const pollfd& pfd : fds) pending = pending || pfd.fd >= 0;
+      if (!pending || Clock::now() >= flush_deadline) break;
+      const int ready = ::poll(fds.data(), fds.size(), 100);
+      if (ready < 0 && errno != EINTR) break;
+      for (std::size_t p = 0; p < peers.size(); ++p) {
+        if (fds[p].fd >= 0 && (fds[p].revents & (POLLOUT | POLLERR)) != 0) {
+          if (!flush_peer(peers[p])) close_peer(peers[p]);
+        }
+      }
+    }
+  }
+
+  bool socket_passed = false;
+  if (controller->handoff_requested() && listen_fd >= 0) {
+    // Zero-downtime handoff (DESIGN.md §16): the final checkpoint is
+    // already on disk (written by the `handoff` command). Offer the
+    // listening socket on <socket>.handoff; if no successor collects it
+    // in time, fall back to release-and-rebind: close + unlink so a
+    // later --takeover can bind fresh.
+    const std::string handoff_path = *socket_path + ".handoff";
+    ::unlink(handoff_path.c_str());
+    int hand_fd = -1;
+    std::string detail;
+    if (listen_unix(handoff_path, 1, hand_fd, detail) == ListenStatus::kOk) {
+      if (wait_readable(hand_fd, *handoff_timeout_ms)) {
+        int conn = -1;
+        for (;;) {
+          conn = ::accept(hand_fd, nullptr, nullptr);
+          if (conn < 0 && errno == EINTR) continue;
+          break;
+        }
+        if (conn >= 0) {
+          const std::string header =
+              "lfsc-handoff/1 generation=" +
+              std::to_string(controller->checkpoint_generation() - 1) + "\n";
+          if (send_fd(conn, header, listen_fd) &&
+              wait_readable(conn, *handoff_timeout_ms)) {
+            char ack[8] = {};
+            ssize_t got = 0;
+            for (;;) {
+              got = ::read(conn, ack, sizeof ack - 1);
+              if (got < 0 && errno == EINTR) continue;
+              break;
+            }
+            socket_passed = got >= 2 && std::strncmp(ack, "ok", 2) == 0;
+          }
+          ::close(conn);
+        }
+      }
+      ::close(hand_fd);
+    } else {
+      std::cerr << "lfsc_serve: handoff listener failed (" << detail
+                << "); releasing the socket instead\n";
+    }
+    ::unlink(handoff_path.c_str());
+    if (socket_passed) {
+      std::cerr << "lfsc_serve: handoff complete; successor owns "
+                << *socket_path << "\n";
+      ::close(listen_fd);
+      listen_fd = -1;  // the successor serves the path; do not unlink it
+    } else {
+      std::cerr << "lfsc_serve: no successor claimed the socket within "
+                << *handoff_timeout_ms << "ms; releasing " << *socket_path
+                << " for rebind\n";
+    }
+  }
+
   if (listen_fd >= 0) {
     ::close(listen_fd);
     ::unlink(socket_path->c_str());
   }
-  for (const Peer& peer : peers) {
-    if (peer.in_fd >= 0 && peer.in_fd != STDIN_FILENO) ::close(peer.in_fd);
-  }
+  for (Peer& peer : peers) close_peer(peer);
   return exit_code;
 }

@@ -106,14 +106,25 @@ bool spawn_serve(const std::vector<std::string>& args, ServeProc& out) {
   return out.to_child != nullptr && out.from_child != nullptr;
 }
 
-/// Reads one response line (without the newline). Empty on EOF.
+/// Unsolicited `push {json}` telemetry lines seen between responses
+/// (reconfig telemetry_push= churn below); counted, not matched 1:1.
+std::uint64_t g_push_lines = 0;
+
+/// Reads one response line (without the newline), skipping unsolicited
+/// telemetry pushes. Empty on EOF.
 std::string read_response(ServeProc& proc) {
-  std::string line;
-  int c;
-  while ((c = std::fgetc(proc.from_child)) != EOF && c != '\n') {
-    line.push_back(static_cast<char>(c));
+  for (;;) {
+    std::string line;
+    int c;
+    while ((c = std::fgetc(proc.from_child)) != EOF && c != '\n') {
+      line.push_back(static_cast<char>(c));
+    }
+    if (line.rfind("push ", 0) == 0) {
+      ++g_push_lines;
+      continue;
+    }
+    return line;
   }
-  return line;
 }
 
 /// One request, one response.
@@ -330,6 +341,23 @@ int run_serve_soak(int horizon, int seed, int scns, int capacity,
       expect_ok(request(proc, "reconfig solver=auto improve=0"),
                 "reconfig solver off");
     }
+    if (t % 53 == 11) {
+      const std::string snapshot = request(proc, "telemetry");
+      expect_ok(snapshot, "telemetry");
+      check(snapshot.rfind("ok {", 0) == 0 &&
+                snapshot.find("lfsc.telemetry/1") != std::string::npos,
+            "telemetry response is not a one-line lfsc.telemetry/1 doc");
+      check(snapshot.find('\n') == std::string::npos,
+            "telemetry response spans lines");
+    }
+    if (t % 90 == 25) {
+      expect_ok(request(proc, "reconfig telemetry_push=16"),
+                "reconfig push on");
+    }
+    if (t % 90 == 85) {
+      expect_ok(request(proc, "reconfig telemetry_push=0"),
+                "reconfig push off");
+    }
 
     const std::string tick = request(proc, "tick");
     expect_ok(tick, "tick");
@@ -364,6 +392,11 @@ int run_serve_soak(int horizon, int seed, int scns, int capacity,
   check(stat_num(stats, "offered") > 0, "serve soak offered nothing");
   check(stat_num(stats, "shed") > 0,
         "serve soak shed nothing (offered load too low?)");
+  if (horizon >= 120) {
+    // The telemetry_push churn (stride 16, on between t%90 == 25..85)
+    // must have produced unsolicited push lines.
+    check(g_push_lines > 0, "telemetry_push produced no push lines");
+  }
   check(stat_num(stats, "backlog") <= queue_bound,
         "serve backlog exceeds the configured bound");
   const double reward = stat_num(stats, "reward");
@@ -393,6 +426,7 @@ int run_serve_soak(int horizon, int seed, int scns, int capacity,
       {"protocol errors", Table::num(stat_num(stats, "protocol_errors"), 0)});
   table.add_row(
       {"checkpoints", Table::num(stat_num(stats, "checkpoints"), 0)});
+  table.add_row({"push lines", Table::num(double(g_push_lines), 0)});
   table.add_row({"reward", Table::num(reward, 1)});
   table.print(std::cout);
 
